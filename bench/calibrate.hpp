@@ -1,0 +1,54 @@
+// Shared calibration helper for the model-based benches: measures this
+// repository's own mean-shift code at several input sizes and fits linear
+// cost models (see DESIGN.md §5 — measured compute, modeled network).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "meanshift/distributed.hpp"
+#include "meanshift/synth.hpp"
+#include "sim/models.hpp"
+
+namespace tbon::bench {
+
+/// Measure leaf_compute and merge_compute over a few input sizes and fit
+/// seconds-vs-points lines.
+inline sim::MeanShiftCostModel calibrate_meanshift(const ms::DistributedParams& params,
+                                                   const ms::SynthParams& synth_base) {
+  std::vector<double> leaf_points, leaf_seconds;
+  std::vector<double> merge_points, merge_seconds;
+
+  for (const std::size_t scale : {1u, 2u, 4u}) {
+    ms::SynthParams synth = synth_base;
+    synth.points_per_cluster = synth_base.points_per_cluster * scale;
+    const auto data = ms::generate_leaf_data(0, synth);
+
+    Stopwatch watch;
+    const ms::LocalResult local = ms::leaf_compute(data, params);
+    leaf_points.push_back(static_cast<double>(data.size()));
+    leaf_seconds.push_back(watch.elapsed_seconds());
+
+    // Merge cost vs merged input size: feed 2/4/8 copies of the local result.
+    const std::size_t copies = 2 * scale;
+    std::vector<ms::LocalResult> children(copies, local);
+    watch.restart();
+    ms::merge_compute(children, params);
+    merge_points.push_back(static_cast<double>(copies * local.points.size()));
+    merge_seconds.push_back(watch.elapsed_seconds());
+  }
+
+  sim::MeanShiftCostModel model;
+  model.leaf = sim::fit_linear(leaf_points, leaf_seconds);
+  // With seed deduplication at merge nodes (distributed.cpp) the merge cost
+  // is linear in the merged input: constant distinct seeds, O(n) per shift
+  // iteration.  merge_quad stays 0.
+  model.merge = sim::fit_linear(merge_points, merge_seconds);
+  model.merge.slope = std::max(model.merge.slope, 0.0);
+  model.merge.intercept = std::max(model.merge.intercept, 0.0);
+  return model;
+}
+
+}  // namespace tbon::bench

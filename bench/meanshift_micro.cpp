@@ -1,0 +1,125 @@
+// Microbenchmarks of the mean-shift case study: per-kernel shift cost,
+// linearity of the leaf step in input size (the paper's "runtime of the
+// single-node version increases linearly", §3.2), merge cost vs fan-in, and
+// the shape-function ablation (§3.1 lists gaussian/uniform/quadratic/
+// triangular).
+#include <benchmark/benchmark.h>
+
+#include "core/protocol.hpp"
+#include "meanshift/distributed.hpp"
+#include "meanshift/nd.hpp"
+#include "meanshift/synth.hpp"
+
+namespace {
+
+using namespace tbon::ms;
+
+SynthParams synth_for(std::size_t points_per_cluster) {
+  SynthParams synth;
+  synth.num_clusters = 4;
+  synth.points_per_cluster = points_per_cluster;
+  synth.noise_points = points_per_cluster / 2;
+  return synth;
+}
+
+void BM_ShiftToMode(benchmark::State& state) {
+  const auto kernel = static_cast<Kernel>(state.range(0));
+  const auto data = generate_leaf_data(0, synth_for(500));
+  MeanShiftParams params;
+  params.bandwidth = 50.0;
+  params.kernel = kernel;
+  const Point2 seed = true_centers(synth_for(500))[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shift_to_mode(data, seed, params));
+  }
+  state.SetLabel(kernel_name(kernel));
+}
+BENCHMARK(BM_ShiftToMode)->DenseRange(0, 3);  // all four shape functions
+
+void BM_LeafCompute(benchmark::State& state) {
+  const auto points_per_cluster = static_cast<std::size_t>(state.range(0));
+  const auto data = generate_leaf_data(0, synth_for(points_per_cluster));
+  DistributedParams params;
+  params.shift.density_threshold = 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(leaf_compute(data, params));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+// Linearity check: items/s should stay roughly constant across sizes.
+BENCHMARK(BM_LeafCompute)->Arg(100)->Arg(200)->Arg(400)->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MergeCompute(benchmark::State& state) {
+  const auto fan_in = static_cast<std::size_t>(state.range(0));
+  DistributedParams params;
+  params.shift.density_threshold = 10.0;
+  const auto data = generate_leaf_data(0, synth_for(300));
+  const LocalResult child = leaf_compute(data, params);
+  const std::vector<LocalResult> children(fan_in, child);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(merge_compute(children, params));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fan_in * child.points.size()));
+}
+BENCHMARK(BM_MergeCompute)->Arg(2)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FindSeeds(benchmark::State& state) {
+  const auto data = generate_leaf_data(0, synth_for(static_cast<std::size_t>(state.range(0))));
+  MeanShiftParams params;
+  params.density_threshold = 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_seeds(data, params));
+  }
+}
+BENCHMARK(BM_FindSeeds)->Arg(200)->Arg(800)->Unit(benchmark::kMillisecond);
+
+void BM_CodecRoundTrip(benchmark::State& state) {
+  DistributedParams params;
+  const auto data = generate_leaf_data(0, synth_for(400));
+  const LocalResult local = leaf_compute(data, params);
+  for (auto _ : state) {
+    const auto values = MeanShiftCodec::to_values(local);
+    const auto packet = tbon::Packet::make(1, tbon::kFirstAppTag, 0,
+                                           MeanShiftCodec::kFormat, values);
+    benchmark::DoNotOptimize(MeanShiftCodec::from_values(*packet));
+  }
+}
+BENCHMARK(BM_CodecRoundTrip);
+
+// Dimensionality ablation: the paper's motivation that mean-shift "becomes
+// prohibitively expensive as the size and complexity (dimensionality) of
+// the data space increases" (§3).
+void BM_NdClusterByDimension(benchmark::State& state) {
+  nd::SynthNdParams synth;
+  synth.dim = static_cast<std::size_t>(state.range(0));
+  synth.num_clusters = 4;
+  synth.points_per_cluster = 250;
+  synth.noise_points = 50;
+  const auto coords = nd::generate(synth);
+  const nd::DatasetView data(coords, synth.dim);
+  MeanShiftParams params;
+  params.bandwidth = 60.0;
+  params.density_threshold = 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nd::cluster(data, params, /*seed_stride=*/8));
+  }
+}
+BENCHMARK(BM_NdClusterByDimension)->Arg(2)->Arg(3)->Arg(5)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SynthGeneration(benchmark::State& state) {
+  const auto synth = synth_for(static_cast<std::size_t>(state.range(0)));
+  std::uint32_t rank = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_leaf_data(rank++, synth));
+  }
+}
+BENCHMARK(BM_SynthGeneration)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,161 @@
+// Microbenchmarks of the core runtime: packet codec, zero-copy vs
+// serialize-copy paths (the paper's "counted packet references" / zero-copy
+// optimization, §2.2), built-in filters, channels and end-to-end waves.
+#include <benchmark/benchmark.h>
+
+#include "common/queue.hpp"
+#include "core/network.hpp"
+#include "filters/equivalence.hpp"
+#include "filters/register.hpp"
+#include "topology/topology.hpp"
+
+namespace {
+
+using namespace tbon;
+
+PacketPtr vector_packet(std::size_t doubles) {
+  return Packet::make(1, kFirstAppTag, 0, "vf64",
+                      {std::vector<double>(doubles, 1.0)});
+}
+
+// ---- packet codec -----------------------------------------------------------
+
+void BM_PacketSerialize(benchmark::State& state) {
+  const PacketPtr packet = vector_packet(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    BinaryWriter writer;
+    packet->serialize(writer);
+    benchmark::DoNotOptimize(writer.bytes().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(packet->payload_bytes()));
+}
+BENCHMARK(BM_PacketSerialize)->Arg(8)->Arg(256)->Arg(8192);
+
+void BM_PacketDeserialize(benchmark::State& state) {
+  const PacketPtr packet = vector_packet(static_cast<std::size_t>(state.range(0)));
+  BinaryWriter writer;
+  packet->serialize(writer);
+  for (auto _ : state) {
+    BinaryReader reader(writer.bytes());
+    benchmark::DoNotOptimize(Packet::deserialize(reader));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(packet->payload_bytes()));
+}
+BENCHMARK(BM_PacketDeserialize)->Arg(8)->Arg(256)->Arg(8192);
+
+// Zero-copy multicast (shared PacketPtr) vs copy-per-child: the ablation of
+// MRNet's counted packet references.
+void BM_MulticastZeroCopy(benchmark::State& state) {
+  const auto children = static_cast<std::size_t>(state.range(0));
+  const PacketPtr packet = vector_packet(4096);
+  std::vector<PacketPtr> outgoing(children);
+  for (auto _ : state) {
+    for (std::size_t c = 0; c < children; ++c) outgoing[c] = packet;  // refcount only
+    benchmark::DoNotOptimize(outgoing.data());
+  }
+}
+BENCHMARK(BM_MulticastZeroCopy)->Arg(2)->Arg(16)->Arg(64);
+
+void BM_MulticastDeepCopy(benchmark::State& state) {
+  const auto children = static_cast<std::size_t>(state.range(0));
+  const PacketPtr packet = vector_packet(4096);
+  std::vector<PacketPtr> outgoing(children);
+  for (auto _ : state) {
+    for (std::size_t c = 0; c < children; ++c) {
+      outgoing[c] = std::make_shared<const Packet>(*packet);  // full payload copy
+    }
+    benchmark::DoNotOptimize(outgoing.data());
+  }
+}
+BENCHMARK(BM_MulticastDeepCopy)->Arg(2)->Arg(16)->Arg(64);
+
+// ---- built-in filters ----------------------------------------------------------
+
+void run_filter_bench(benchmark::State& state, const char* name) {
+  auto& registry = FilterRegistry::instance();
+  FilterContext ctx;
+  ctx.num_children = static_cast<std::size_t>(state.range(0));
+  auto filter = registry.make_transform(name, ctx);
+  std::vector<PacketPtr> batch;
+  for (std::size_t c = 0; c < ctx.num_children; ++c) batch.push_back(vector_packet(64));
+  for (auto _ : state) {
+    std::vector<PacketPtr> out;
+    filter->transform(batch, out, ctx);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ctx.num_children));
+}
+
+void BM_FilterSum(benchmark::State& state) { run_filter_bench(state, "sum"); }
+BENCHMARK(BM_FilterSum)->Arg(2)->Arg(16)->Arg(64);
+void BM_FilterConcat(benchmark::State& state) { run_filter_bench(state, "concat"); }
+BENCHMARK(BM_FilterConcat)->Arg(2)->Arg(16)->Arg(64);
+
+void BM_FilterEquivalence(benchmark::State& state) {
+  filters::register_all(FilterRegistry::instance());
+  FilterContext ctx;
+  ctx.num_children = static_cast<std::size_t>(state.range(0));
+  auto filter = FilterRegistry::instance().make_transform("equivalence_class", ctx);
+  std::vector<PacketPtr> batch;
+  for (std::size_t c = 0; c < ctx.num_children; ++c) {
+    EquivalenceClasses classes;
+    for (std::uint32_t member = 0; member < 8; ++member) {
+      classes.add("class-" + std::to_string(member % 4),
+                  static_cast<std::uint32_t>(c) * 8 + member);
+    }
+    batch.push_back(Packet::make(1, kFirstAppTag, 0, EquivalenceClasses::kFormat,
+                                 classes.to_values()));
+  }
+  for (auto _ : state) {
+    std::vector<PacketPtr> out;
+    filter->transform(batch, out, ctx);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FilterEquivalence)->Arg(2)->Arg(16)->Arg(64);
+
+// ---- queue / channel -------------------------------------------------------------
+
+void BM_BoundedQueuePushPop(benchmark::State& state) {
+  BoundedQueue<PacketPtr> queue(1024);
+  const PacketPtr packet = vector_packet(64);
+  for (auto _ : state) {
+    queue.push(packet);
+    benchmark::DoNotOptimize(queue.pop());
+  }
+}
+BENCHMARK(BM_BoundedQueuePushPop);
+
+// ---- end-to-end wave latency -------------------------------------------------------
+
+void BM_EndToEndWave(benchmark::State& state) {
+  const auto leaves = static_cast<std::size_t>(state.range(0));
+  auto net = Network::create_threaded(Topology::balanced_for_leaves(4, leaves));
+  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  for (auto _ : state) {
+    for (std::uint32_t rank = 0; rank < leaves; ++rank) {
+      net->backend(rank).send(stream.id(), kFirstAppTag, "i64", {std::int64_t{1}});
+    }
+    const auto result = stream.recv();
+    benchmark::DoNotOptimize(result);
+  }
+  net->shutdown();
+}
+BENCHMARK(BM_EndToEndWave)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+// ---- topology construction ----------------------------------------------------------
+
+void BM_TopologyBuild(benchmark::State& state) {
+  const auto leaves = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Topology::balanced_for_leaves(16, leaves));
+  }
+}
+BENCHMARK(BM_TopologyBuild)->Arg(256)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Transport microbenchmarks: frame codec over socketpairs and TCP, packet
+// round-trips across real kernel channels, and the in-process link for
+// comparison — quantifying what the zero-copy threaded path saves.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "common/queue.hpp"
+#include "core/fd_link.hpp"
+#include "core/packet.hpp"
+#include "transport/fd.hpp"
+#include "transport/tcp.hpp"
+
+namespace {
+
+using namespace tbon;
+
+Bytes payload_of(std::size_t size) {
+  Bytes bytes(size);
+  for (std::size_t i = 0; i < size; ++i) bytes[i] = static_cast<std::byte>(i & 0xff);
+  return bytes;
+}
+
+/// Echo thread: reads frames and writes them straight back.
+std::jthread start_echo(int fd) {
+  return std::jthread([fd] {
+    while (auto frame = read_frame(fd)) {
+      write_frame(fd, *frame);
+    }
+  });
+}
+
+void BM_SocketpairFrameRoundTrip(benchmark::State& state) {
+  auto [mine, theirs] = make_socketpair();
+  auto echo = start_echo(theirs.get());
+  const Bytes payload = payload_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    write_frame(mine.get(), payload);
+    benchmark::DoNotOptimize(read_frame(mine.get()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()) * 2);
+  shutdown_write(mine.get());
+}
+BENCHMARK(BM_SocketpairFrameRoundTrip)->Arg(64)->Arg(4096)->Arg(65536)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TcpFrameRoundTrip(benchmark::State& state) {
+  TcpListener listener;
+  Fd client;
+  Fd server;
+  std::thread accepter([&] { server = listener.accept(); });
+  client = tcp_connect(listener.port());
+  accepter.join();
+  auto echo = start_echo(server.get());
+
+  const Bytes payload = payload_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    write_frame(client.get(), payload);
+    benchmark::DoNotOptimize(read_frame(client.get()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()) * 2);
+  shutdown_write(client.get());
+}
+BENCHMARK(BM_TcpFrameRoundTrip)->Arg(64)->Arg(4096)->Arg(65536)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Full packet path over a socketpair: serialize -> frame -> deserialize,
+/// using the same FdLink/reader machinery as the multi-process network.
+void BM_FdLinkPacketSend(benchmark::State& state) {
+  auto [mine, theirs] = make_socketpair();
+  auto inbox = std::make_shared<Inbox>(4096);
+  auto reader = start_fd_reader(theirs.get(), inbox, Origin::kChild, 0);
+  FdLink link(mine.get());
+
+  const PacketPtr packet = Packet::make(
+      1, 100, 0, "vf64",
+      {std::vector<double>(static_cast<std::size_t>(state.range(0)), 1.0)});
+  for (auto _ : state) {
+    link.send(packet);
+    benchmark::DoNotOptimize(inbox->pop());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(packet->payload_bytes()));
+  link.close();
+}
+BENCHMARK(BM_FdLinkPacketSend)->Arg(8)->Arg(512)->Arg(8192)
+    ->Unit(benchmark::kMicrosecond);
+
+/// The in-process path the threaded network uses: no serialization at all.
+void BM_InprocLinkPacketSend(benchmark::State& state) {
+  auto inbox = std::make_shared<Inbox>(4096);
+  InprocLink link(inbox, Origin::kChild, 0);
+  const PacketPtr packet = Packet::make(
+      1, 100, 0, "vf64",
+      {std::vector<double>(static_cast<std::size_t>(state.range(0)), 1.0)});
+  for (auto _ : state) {
+    link.send(packet);
+    benchmark::DoNotOptimize(inbox->pop());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(packet->payload_bytes()));
+}
+BENCHMARK(BM_InprocLinkPacketSend)->Arg(8)->Arg(512)->Arg(8192)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

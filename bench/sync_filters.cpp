@@ -1,0 +1,110 @@
+// Synchronization-policy ablation: wave assembly cost of wait_for_all vs
+// time_out vs null, and the end-to-end latency each policy imposes.
+#include <benchmark/benchmark.h>
+
+#include "common/timer.hpp"
+#include "core/network.hpp"
+#include "core/sync.hpp"
+
+namespace {
+
+using namespace tbon;
+
+FilterContext context_with_children(std::size_t n) {
+  FilterContext ctx;
+  ctx.num_children = n;
+  return ctx;
+}
+
+PacketPtr small_packet(std::uint32_t rank) {
+  return Packet::make(1, kFirstAppTag, rank, "f64", {1.0});
+}
+
+void BM_WaitForAllWave(benchmark::State& state) {
+  const auto children = static_cast<std::size_t>(state.range(0));
+  const FilterContext ctx = context_with_children(children);
+  WaitForAllSync sync(ctx);
+  for (auto _ : state) {
+    for (std::size_t c = 0; c < children; ++c) {
+      sync.on_packet(c, small_packet(static_cast<std::uint32_t>(c)));
+    }
+    benchmark::DoNotOptimize(sync.drain_ready(now_ns()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(children));
+}
+BENCHMARK(BM_WaitForAllWave)->Arg(2)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_NullSyncWave(benchmark::State& state) {
+  const auto children = static_cast<std::size_t>(state.range(0));
+  const FilterContext ctx = context_with_children(children);
+  NullSync sync(ctx);
+  for (auto _ : state) {
+    for (std::size_t c = 0; c < children; ++c) {
+      sync.on_packet(c, small_packet(static_cast<std::uint32_t>(c)));
+    }
+    benchmark::DoNotOptimize(sync.drain_ready(now_ns()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(children));
+}
+BENCHMARK(BM_NullSyncWave)->Arg(2)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_TimeOutWave(benchmark::State& state) {
+  const auto children = static_cast<std::size_t>(state.range(0));
+  FilterContext ctx = context_with_children(children);
+  Config params;
+  params.add("window_ms=0");  // immediate expiry: measures bookkeeping only
+  ctx.params = params;
+  TimeOutSync sync(ctx);
+  for (auto _ : state) {
+    for (std::size_t c = 0; c < children; ++c) {
+      sync.on_packet(c, small_packet(static_cast<std::uint32_t>(c)));
+    }
+    benchmark::DoNotOptimize(sync.drain_ready(now_ns() + 1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(children));
+}
+BENCHMARK(BM_TimeOutWave)->Arg(2)->Arg(16)->Arg(64)->Arg(256);
+
+// End-to-end latency per policy over a real network: one round trip of 16
+// back-ends through a 2-level tree.
+void end_to_end_policy(benchmark::State& state, const char* sync_name,
+                       const char* params) {
+  auto net = Network::create_threaded(Topology::balanced(4, 2));
+  Stream& stream = net->front_end().new_stream(
+      {.up_transform = "sum", .up_sync = sync_name, .params = params});
+  const std::size_t expected = sync_name == std::string("null") ? 16 : 1;
+  for (auto _ : state) {
+    for (std::uint32_t rank = 0; rank < 16; ++rank) {
+      net->backend(rank).send(stream.id(), kFirstAppTag, "i64", {std::int64_t{1}});
+    }
+    for (std::size_t i = 0; i < expected; ++i) {
+      benchmark::DoNotOptimize(stream.recv());
+    }
+    // Policies with data-dependent batching (time_out) may emit a variable
+    // number of result packets; drain the remainder so the result queue
+    // cannot fill up across iterations.
+    while (stream.try_recv()) {
+    }
+  }
+  net->shutdown();
+}
+
+void BM_EndToEndWaitForAll(benchmark::State& state) {
+  end_to_end_policy(state, "wait_for_all", "");
+}
+BENCHMARK(BM_EndToEndWaitForAll)->Unit(benchmark::kMicrosecond);
+
+void BM_EndToEndNull(benchmark::State& state) { end_to_end_policy(state, "null", ""); }
+BENCHMARK(BM_EndToEndNull)->Unit(benchmark::kMicrosecond);
+
+void BM_EndToEndTimeOut(benchmark::State& state) {
+  end_to_end_policy(state, "time_out", "window_ms=1");
+}
+BENCHMARK(BM_EndToEndTimeOut)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// §3.2 node-overhead table: "with a fan-out of 16, 16 (6.25% more) internal
+// nodes are needed to connect 256 back-ends, or 272 (6.6%) for 4096
+// back-ends."
+//
+//   ./topology_cost
+//
+// Reproduces the paper's two data points exactly and sweeps fan-out and
+// scale to show that the overhead approaches 1/(fanout-1) ~ small.
+#include "benchlib/table.hpp"
+#include "topology/topology.hpp"
+
+using namespace tbon;
+using namespace tbon::bench;
+
+int main() {
+  banner("Paper §3.2 internal-node overhead (exact data points)");
+  {
+    Table table({"fanout", "backends", "internal_nodes", "overhead_pct", "paper_pct"});
+    const Topology t256 = Topology::balanced(16, 2);
+    table.add_row({"16", fmt_int(static_cast<long long>(t256.num_leaves())),
+                   fmt_int(static_cast<long long>(t256.num_internal())),
+                   fmt("%.2f", t256.internal_overhead() * 100), "6.25"});
+    const Topology t4096 = Topology::balanced(16, 3);
+    table.add_row({"16", fmt_int(static_cast<long long>(t4096.num_leaves())),
+                   fmt_int(static_cast<long long>(t4096.num_internal())),
+                   fmt("%.2f", t4096.internal_overhead() * 100), "6.6"});
+    table.print("topology_cost_paper");
+  }
+
+  banner("Overhead sweep: internal nodes as % of back-ends");
+  {
+    Table table({"fanout", "be_256", "be_1024", "be_4096", "be_16384", "be_65536"});
+    for (const std::size_t fanout : {2u, 4u, 8u, 16u, 32u}) {
+      std::vector<std::string> row = {fmt_int(static_cast<long long>(fanout))};
+      for (const std::size_t backends : {256u, 1024u, 4096u, 16384u, 65536u}) {
+        const Topology t = Topology::balanced_for_leaves(fanout, backends);
+        row.push_back(fmt("%.2f%%", t.internal_overhead() * 100));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print("topology_cost_sweep");
+    std::printf("\nasymptote: overhead -> 1/(fanout-1); deep trees are cheap.\n");
+  }
+
+  banner("Depth and max fan-out per organization (256 back-ends)");
+  {
+    Table table({"organization", "nodes", "internal", "depth", "max_fanout"});
+    const struct {
+      const char* name;
+      const char* spec;
+    } organizations[] = {
+        {"flat (1-deep)", "flat:256"},
+        {"2-deep fanout 16", "bal:16x2"},
+        {"4-deep fanout 4", "bal:4x4"},
+        {"8-deep fanout 2", "bal:2x8"},
+        {"binomial dim 8", "knomial:2:8"},
+    };
+    for (const auto& organization : organizations) {
+      const Topology t = Topology::parse(organization.spec);
+      table.add_row({organization.name, fmt_int(static_cast<long long>(t.num_nodes())),
+                     fmt_int(static_cast<long long>(t.num_internal())),
+                     fmt_int(static_cast<long long>(t.depth())),
+                     fmt_int(static_cast<long long>(t.max_fanout()))});
+    }
+    table.print("topology_organizations");
+  }
+  return 0;
+}

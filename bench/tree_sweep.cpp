@@ -1,0 +1,87 @@
+// §3.2 open question: "An open question is whether even deeper trees with
+// limited fan-outs would yield a constant execution time as the scale
+// increases."
+//
+//   ./tree_sweep [points=150] [clusters=6]
+//
+// Using the cost model calibrated from this repository's real mean-shift
+// code, sweeps (a) fan-out at fixed scale and (b) scale at fixed fan-out /
+// growing depth, and answers the question: per-level cost is constant once
+// fan-out is fixed, so execution time grows with depth — i.e. O(log n), not
+// constant, but with a very small constant (one merge + one hop per level).
+#include "benchlib/table.hpp"
+#include "calibrate.hpp"
+#include "common/config.hpp"
+#include "sim/critical_path.hpp"
+
+using namespace tbon;
+using namespace tbon::bench;
+
+int main(int argc, char** argv) {
+  const Config config(argc, argv);
+  ms::SynthParams synth;
+  synth.num_clusters = static_cast<std::size_t>(config.get_int("clusters", 6));
+  synth.points_per_cluster = static_cast<std::size_t>(config.get_int("points", 150));
+  synth.noise_points = synth.points_per_cluster / 2;
+
+  ms::DistributedParams params;
+  params.shift.density_threshold = 10.0;
+
+  const auto model = calibrate_meanshift(params, synth);
+  const sim::LinkModel link;
+  const double points_per_leaf = static_cast<double>(
+      synth.num_clusters * synth.points_per_cluster + synth.noise_points);
+  const double forwarded = points_per_leaf * 0.9;
+
+  banner("Tree sweep (calibrated model): fan-out at fixed 4096 leaves");
+  std::printf("calibration: leaf %.2f us/pt, merge %.2f us/pt\n\n",
+              model.leaf.slope * 1e6, model.merge.slope * 1e6);
+  {
+    Table table({"fanout", "depth", "internal", "makespan_s"});
+    for (const std::size_t fanout : {2u, 4u, 8u, 16u, 64u, 4096u}) {
+      const Topology t = fanout >= 4096 ? Topology::flat(4096)
+                                        : Topology::balanced_for_leaves(fanout, 4096);
+      const double makespan =
+          sim::modeled_makespan(t, model, link, points_per_leaf, forwarded);
+      table.add_row({fmt_int(static_cast<long long>(fanout)),
+                     fmt_int(static_cast<long long>(t.depth())),
+                     fmt_int(static_cast<long long>(t.num_internal())),
+                     fmt("%.3f", makespan)});
+    }
+    table.print("tree_sweep_fanout");
+    std::printf("\nthe sweet spot balances per-node merge cost (grows with fan-out)\n"
+                "against tree depth (grows as log_fanout n).\n");
+  }
+
+  banner("Scale sweep at fixed fan-out (the open question)");
+  {
+    Table table({"leaves", "fanout8_depth", "fanout8_s", "flat_s", "delta_per_level_s"});
+    double previous = 0.0;
+    std::size_t previous_depth = 0;
+    for (const std::size_t leaves : {8u, 64u, 512u, 4096u, 32768u}) {
+      const Topology deep = Topology::balanced_for_leaves(8, leaves);
+      const Topology flat = Topology::flat(leaves);
+      const double deep_time =
+          sim::modeled_makespan(deep, model, link, points_per_leaf, forwarded);
+      const double flat_time =
+          sim::modeled_makespan(flat, model, link, points_per_leaf, forwarded);
+      std::string delta = "-";
+      if (previous > 0.0 && deep.depth() > previous_depth) {
+        delta = fmt("%.4f", (deep_time - previous) /
+                                static_cast<double>(deep.depth() - previous_depth));
+      }
+      table.add_row({fmt_int(static_cast<long long>(leaves)),
+                     fmt_int(static_cast<long long>(deep.depth())),
+                     fmt("%.3f", deep_time), fmt("%.3f", flat_time), delta});
+      previous = deep_time;
+      previous_depth = deep.depth();
+    }
+    table.print("tree_sweep_scale");
+    std::printf("\nanswer to the paper's open question: NOT constant — each added\n"
+                "level costs one fixed merge + one hop, so time grows\n"
+                "logarithmically with scale; but the per-level increment is small\n"
+                "and constant, which is why the paper's 2-deep trees looked flat\n"
+                "over 16..324 leaves.\n");
+  }
+  return 0;
+}

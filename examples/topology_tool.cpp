@@ -1,0 +1,61 @@
+// Topology inspection tool: build a tree from a compact spec or an
+// MRNet-style config file, print its statistics, and export DOT/MRNet
+// renderings — handy when sizing a deployment (cf. the §3.2 overhead table).
+//
+//   ./topology_tool spec=bal:16x2
+//   ./topology_tool spec=auto:8:300 dot=1
+//   ./topology_tool config=/path/to/topology.cfg mrnet=1
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/config.hpp"
+#include "topology/mrnet_config.hpp"
+#include "topology/topology.hpp"
+
+using namespace tbon;
+
+int main(int argc, char** argv) {
+  const Config config(argc, argv);
+
+  Topology topology = [&] {
+    const std::string path = config.get("config");
+    if (!path.empty()) {
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        std::exit(1);
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      return parse_mrnet_config(text.str());
+    }
+    return Topology::parse(config.get("spec", "bal:4x2"));
+  }();
+
+  std::printf("nodes        : %zu\n", topology.num_nodes());
+  std::printf("back-ends    : %zu\n", topology.num_leaves());
+  std::printf("internal     : %zu (%.2f%% overhead)\n", topology.num_internal(),
+              topology.internal_overhead() * 100.0);
+  std::printf("depth        : %zu\n", topology.depth());
+  std::printf("max fan-out  : %zu\n", topology.max_fanout());
+
+  // Per-level widths.
+  std::vector<std::size_t> width;
+  for (NodeId id = 0; id < topology.num_nodes(); ++id) {
+    const std::size_t level = topology.path_to_root(id).size() - 1;
+    if (width.size() <= level) width.resize(level + 1, 0);
+    ++width[level];
+  }
+  std::printf("level widths :");
+  for (const std::size_t w : width) std::printf(" %zu", w);
+  std::printf("\n");
+
+  if (config.get_bool("dot")) {
+    std::printf("\n%s", topology.to_dot().c_str());
+  }
+  if (config.get_bool("mrnet")) {
+    std::printf("\n%s", to_mrnet_config(topology).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "benchlib/table.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <sstream>
+
+namespace tbon::bench {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << "  " << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule += "  " + std::string(widths[c], '-');
+  }
+  out << rule << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::to_csv(const std::string& tag) const {
+  std::ostringstream out;
+  out << "csv," << tag;
+  for (const auto& header : headers_) out << ',' << header;
+  out << '\n';
+  for (const auto& row : rows_) {
+    out << "csv," << tag;
+    for (const auto& cell : row) out << ',' << cell;
+    out << '\n';
+  }
+  return out.str();
+}
+
+void Table::print(const std::string& csv_tag) const {
+  std::fputs(to_string().c_str(), stdout);
+  std::fputs(to_csv(csv_tag).c_str(), stdout);
+  std::fflush(stdout);
+}
+
+std::string fmt(const char* format, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), format, value);
+  return buffer;
+}
+
+std::string fmt_int(long long value) { return std::to_string(value); }
+
+void banner(const std::string& title) {
+  std::printf("\n==== %s ====\n\n", title.c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace tbon::bench

@@ -1,0 +1,41 @@
+// Table and CSV output shared by the figure-reproduction benches.
+//
+// Every bench prints (a) a human-readable aligned table matching the rows or
+// series the paper reports, and (b) machine-readable CSV lines prefixed with
+// "csv," for downstream plotting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tbon::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Aligned, human-readable rendering.
+  std::string to_string() const;
+
+  /// CSV rendering, each line prefixed with "csv," for easy grep.
+  std::string to_csv(const std::string& tag) const;
+
+  /// Print both to stdout.
+  void print(const std::string& csv_tag) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helper ("%.3f" etc.).
+std::string fmt(const char* format, double value);
+std::string fmt_int(long long value);
+
+/// Section banner for bench output.
+void banner(const std::string& title);
+
+}  // namespace tbon::bench

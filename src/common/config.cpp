@@ -1,0 +1,38 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+
+namespace tbon {
+
+Config::Config(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) add(argv[i]);
+}
+
+void Config::add(std::string_view token) {
+  const auto eq = token.find('=');
+  if (eq == std::string_view::npos) return;
+  values_[std::string(token.substr(0, eq))] = std::string(token.substr(eq + 1));
+}
+
+std::string Config::get(const std::string& key, std::string fallback) const {
+  const auto it = values_.find(key);
+  return it != values_.end() ? it->second : fallback;
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  return it != values_.end() ? std::strtoll(it->second.c_str(), nullptr, 10) : fallback;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  return it != values_.end() ? std::strtod(it->second.c_str(), nullptr) : fallback;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second == "1" || it->second == "true" || it->second == "yes";
+}
+
+}  // namespace tbon

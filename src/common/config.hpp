@@ -1,0 +1,33 @@
+// Tiny "key=value" command-line/config parser for examples and benches.
+//
+// Usage:  Config cfg(argc, argv);        // parses trailing key=value args
+//         int leaves = cfg.get_int("leaves", 16);
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace tbon {
+
+class Config {
+ public:
+  Config() = default;
+  Config(int argc, char** argv);
+
+  /// Parse one "key=value" token; tokens without '=' are ignored.
+  void add(std::string_view token);
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::string get(const std::string& key, std::string fallback = "") const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback = 0) const;
+  double get_double(const std::string& key, double fallback = 0.0) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace tbon

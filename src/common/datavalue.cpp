@@ -1,0 +1,208 @@
+#include "common/datavalue.hpp"
+
+#include <sstream>
+
+namespace tbon {
+namespace {
+
+constexpr std::string_view kTypeNames[] = {
+    "i32", "i64", "u64", "f64", "str", "bytes", "vi64", "vf64", "vstr",
+};
+
+}  // namespace
+
+std::string_view type_name(DataType type) noexcept {
+  return kTypeNames[static_cast<std::size_t>(type)];
+}
+
+DataType parse_type(std::string_view token) {
+  for (std::size_t i = 0; i < std::size(kTypeNames); ++i) {
+    if (kTypeNames[i] == token) return static_cast<DataType>(i);
+  }
+  throw ParseError("unknown format token '" + std::string(token) + "'");
+}
+
+DataType type_of(const DataValue& value) noexcept {
+  return static_cast<DataType>(value.index());
+}
+
+DataFormat::DataFormat(std::string_view format_string) : text_(format_string) {
+  std::size_t pos = 0;
+  while (pos < format_string.size()) {
+    while (pos < format_string.size() && format_string[pos] == ' ') ++pos;
+    if (pos >= format_string.size()) break;
+    std::size_t end = format_string.find(' ', pos);
+    if (end == std::string_view::npos) end = format_string.size();
+    fields_.push_back(parse_type(format_string.substr(pos, end - pos)));
+    pos = end;
+  }
+}
+
+bool DataFormat::matches(std::span<const DataValue> values) const noexcept {
+  if (values.size() != fields_.size()) return false;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (type_of(values[i]) != fields_[i]) return false;
+  }
+  return true;
+}
+
+void pack_values(BinaryWriter& writer, const DataFormat& format,
+                 std::span<const DataValue> values) {
+  if (!format.matches(values)) {
+    throw CodecError("payload does not match format '" + format.to_string() + "'");
+  }
+  for (const DataValue& v : values) {
+    switch (type_of(v)) {
+      case DataType::kInt32:
+        writer.put(std::get<std::int32_t>(v));
+        break;
+      case DataType::kInt64:
+        writer.put(std::get<std::int64_t>(v));
+        break;
+      case DataType::kUInt64:
+        writer.put(std::get<std::uint64_t>(v));
+        break;
+      case DataType::kFloat64:
+        writer.put(std::get<double>(v));
+        break;
+      case DataType::kString:
+        writer.put_string(std::get<std::string>(v));
+        break;
+      case DataType::kBytes:
+        writer.put_bytes(std::get<Bytes>(v));
+        break;
+      case DataType::kVecInt64:
+        writer.put_vector<std::int64_t>(std::get<std::vector<std::int64_t>>(v));
+        break;
+      case DataType::kVecFloat64:
+        writer.put_vector<double>(std::get<std::vector<double>>(v));
+        break;
+      case DataType::kVecString: {
+        const auto& strings = std::get<std::vector<std::string>>(v);
+        writer.put(static_cast<std::uint32_t>(strings.size()));
+        for (const auto& s : strings) writer.put_string(s);
+        break;
+      }
+    }
+  }
+}
+
+std::vector<DataValue> unpack_values(BinaryReader& reader, const DataFormat& format) {
+  std::vector<DataValue> values;
+  values.reserve(format.arity());
+  for (DataType type : format.fields()) {
+    switch (type) {
+      case DataType::kInt32:
+        values.emplace_back(reader.get<std::int32_t>());
+        break;
+      case DataType::kInt64:
+        values.emplace_back(reader.get<std::int64_t>());
+        break;
+      case DataType::kUInt64:
+        values.emplace_back(reader.get<std::uint64_t>());
+        break;
+      case DataType::kFloat64:
+        values.emplace_back(reader.get<double>());
+        break;
+      case DataType::kString:
+        values.emplace_back(reader.get_string());
+        break;
+      case DataType::kBytes:
+        values.emplace_back(reader.get_bytes());
+        break;
+      case DataType::kVecInt64:
+        values.emplace_back(reader.get_vector<std::int64_t>());
+        break;
+      case DataType::kVecFloat64:
+        values.emplace_back(reader.get_vector<double>());
+        break;
+      case DataType::kVecString: {
+        const auto n = reader.get<std::uint32_t>();
+        // Every string needs at least its 4-byte length prefix; reject a
+        // corrupt count before reserving memory for it.
+        if (n > reader.remaining() / 4) {
+          throw CodecError("string-vector length exceeds remaining payload");
+        }
+        std::vector<std::string> strings;
+        strings.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) strings.push_back(reader.get_string());
+        values.emplace_back(std::move(strings));
+        break;
+      }
+    }
+  }
+  return values;
+}
+
+std::size_t value_payload_bytes(const DataValue& value) noexcept {
+  switch (type_of(value)) {
+    case DataType::kInt32:
+      return 4;
+    case DataType::kInt64:
+    case DataType::kUInt64:
+    case DataType::kFloat64:
+      return 8;
+    case DataType::kString:
+      return std::get<std::string>(value).size();
+    case DataType::kBytes:
+      return std::get<Bytes>(value).size();
+    case DataType::kVecInt64:
+      return std::get<std::vector<std::int64_t>>(value).size() * 8;
+    case DataType::kVecFloat64:
+      return std::get<std::vector<double>>(value).size() * 8;
+    case DataType::kVecString: {
+      std::size_t total = 0;
+      for (const auto& s : std::get<std::vector<std::string>>(value)) total += s.size();
+      return total;
+    }
+  }
+  return 0;
+}
+
+std::string value_to_string(const DataValue& value) {
+  std::ostringstream out;
+  switch (type_of(value)) {
+    case DataType::kInt32:
+      out << std::get<std::int32_t>(value);
+      break;
+    case DataType::kInt64:
+      out << std::get<std::int64_t>(value);
+      break;
+    case DataType::kUInt64:
+      out << std::get<std::uint64_t>(value);
+      break;
+    case DataType::kFloat64:
+      out << std::get<double>(value);
+      break;
+    case DataType::kString:
+      out << '"' << std::get<std::string>(value) << '"';
+      break;
+    case DataType::kBytes:
+      out << "<" << std::get<Bytes>(value).size() << " bytes>";
+      break;
+    case DataType::kVecInt64: {
+      out << '[';
+      const auto& v = std::get<std::vector<std::int64_t>>(value);
+      for (std::size_t i = 0; i < v.size(); ++i) out << (i ? ", " : "") << v[i];
+      out << ']';
+      break;
+    }
+    case DataType::kVecFloat64: {
+      out << '[';
+      const auto& v = std::get<std::vector<double>>(value);
+      for (std::size_t i = 0; i < v.size(); ++i) out << (i ? ", " : "") << v[i];
+      out << ']';
+      break;
+    }
+    case DataType::kVecString: {
+      out << '[';
+      const auto& v = std::get<std::vector<std::string>>(value);
+      for (std::size_t i = 0; i < v.size(); ++i) out << (i ? ", " : "") << '"' << v[i] << '"';
+      out << ']';
+      break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace tbon

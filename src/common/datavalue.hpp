@@ -1,0 +1,87 @@
+// Typed packet payloads and MRNet-style format strings.
+//
+// MRNet describes packet contents with printf-like format strings; we use a
+// small space-separated type language instead:
+//
+//   i32 i64 u64 f64 str bytes vi64 vf64 vstr
+//
+// e.g. "i32 vf64 str" declares three fields: an int32, a vector of doubles
+// and a string.  DataFormat parses and validates such strings once;
+// DataValue holds one field; pack/unpack round-trip a field list through the
+// binary archive.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/archive.hpp"
+#include "common/error.hpp"
+
+namespace tbon {
+
+enum class DataType : std::uint8_t {
+  kInt32 = 0,
+  kInt64,
+  kUInt64,
+  kFloat64,
+  kString,
+  kBytes,
+  kVecInt64,
+  kVecFloat64,
+  kVecString,
+};
+
+/// Human-readable token for a type (the format-string vocabulary).
+std::string_view type_name(DataType type) noexcept;
+
+/// Parse a single token; throws ParseError for unknown tokens.
+DataType parse_type(std::string_view token);
+
+/// One payload field.
+using DataValue = std::variant<std::int32_t, std::int64_t, std::uint64_t, double,
+                               std::string, Bytes, std::vector<std::int64_t>,
+                               std::vector<double>, std::vector<std::string>>;
+
+/// The declared type of a DataValue.
+DataType type_of(const DataValue& value) noexcept;
+
+/// A parsed, validated format string.
+class DataFormat {
+ public:
+  DataFormat() = default;
+
+  /// Parse "i32 vf64 str"; throws ParseError on unknown tokens.
+  explicit DataFormat(std::string_view format_string);
+
+  const std::vector<DataType>& fields() const noexcept { return fields_; }
+  std::size_t arity() const noexcept { return fields_.size(); }
+  const std::string& to_string() const noexcept { return text_; }
+
+  /// True when `values` matches this format field-for-field.
+  bool matches(std::span<const DataValue> values) const noexcept;
+
+  friend bool operator==(const DataFormat&, const DataFormat&) = default;
+
+ private:
+  std::vector<DataType> fields_;
+  std::string text_;
+};
+
+/// Serialize values (which must match `format`) into `writer`.
+void pack_values(BinaryWriter& writer, const DataFormat& format,
+                 std::span<const DataValue> values);
+
+/// Deserialize a value list matching `format`; throws CodecError on mismatch.
+std::vector<DataValue> unpack_values(BinaryReader& reader, const DataFormat& format);
+
+/// Rough in-memory footprint of a value, used for throughput accounting.
+std::size_t value_payload_bytes(const DataValue& value) noexcept;
+
+/// Render a value for diagnostics ("[1, 2, 3]", "\"abc\"", "42").
+std::string value_to_string(const DataValue& value);
+
+}  // namespace tbon

@@ -1,0 +1,100 @@
+// Error handling primitives for the TBON library.
+//
+// Construction/configuration failures throw exceptions derived from
+// tbon::Error (per C++ Core Guidelines E.2: throw to signal that a function
+// can't perform its assigned task).  Hot-path operations that can fail
+// routinely (e.g. receive on a closed channel) return std::optional or a
+// small Result<T> instead.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tbon {
+
+/// Base class for all exceptions thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A malformed topology specification, filter format string, config file...
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// A structurally invalid topology (cycle, multiple roots, empty tree...).
+class TopologyError : public Error {
+ public:
+  explicit TopologyError(const std::string& what)
+      : Error("topology error: " + what) {}
+};
+
+/// Payload did not match the declared packet format.
+class CodecError : public Error {
+ public:
+  explicit CodecError(const std::string& what) : Error("codec error: " + what) {}
+};
+
+/// OS-level transport failure (socketpair, fork, read/write).
+class TransportError : public Error {
+ public:
+  explicit TransportError(const std::string& what)
+      : Error("transport error: " + what) {}
+};
+
+/// Misuse of the network/stream API (unknown stream, bad endpoint set...).
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : Error("protocol error: " + what) {}
+};
+
+/// Unknown filter name, duplicate registration, dlopen failure.
+class FilterError : public Error {
+ public:
+  explicit FilterError(const std::string& what) : Error("filter error: " + what) {}
+};
+
+/// Lightweight result type for fallible operations on non-exceptional paths.
+/// Holds either a value or an error message.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  static Result failure(std::string message) {
+    return Result(Failure{std::move(message)});
+  }
+
+  bool ok() const noexcept { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Value access; throws Error when the result holds a failure.
+  const T& value() const& {
+    if (!ok()) throw Error(error());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    if (!ok()) throw Error(error());
+    return std::get<T>(std::move(data_));
+  }
+
+  /// Error message; empty string when the result holds a value.
+  const std::string& error() const noexcept {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : std::get<Failure>(data_).message;
+  }
+
+ private:
+  struct Failure {
+    std::string message;
+  };
+  explicit Result(Failure f) : data_(std::move(f)) {}
+  std::variant<T, Failure> data_;
+};
+
+}  // namespace tbon

@@ -1,0 +1,84 @@
+// Fixed-range histogram with exact merge.
+//
+// Histograms are one of the paper's examples of complex TBON aggregations:
+// each back-end builds a local histogram and the tree merges them, which is
+// exact because merging fixed-bin histograms is associative and commutative.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tbon {
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// A histogram over [lo, hi) with `bins` equal-width bins; out-of-range
+  /// samples are counted in underflow/overflow.
+  Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+    if (!(hi > lo) || bins == 0) throw Error("invalid histogram range/bins");
+  }
+
+  void add(double sample, std::uint64_t weight = 1) noexcept {
+    if (sample < lo_) {
+      underflow_ += weight;
+    } else if (sample >= hi_) {
+      overflow_ += weight;
+    } else {
+      const auto bin = static_cast<std::size_t>((sample - lo_) / (hi_ - lo_) *
+                                                static_cast<double>(counts_.size()));
+      counts_[std::min(bin, counts_.size() - 1)] += weight;
+    }
+    total_ += weight;
+  }
+
+  /// Merge another histogram with identical bucketing; throws on mismatch.
+  void merge(const Histogram& other) {
+    if (other.counts_.size() != counts_.size() || other.lo_ != lo_ || other.hi_ != hi_) {
+      throw Error("cannot merge histograms with different bucketing");
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+  }
+
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  const std::vector<std::uint64_t>& bins() const noexcept { return counts_; }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Approximate quantile (bin midpoint of the bin containing rank q*total).
+  double quantile(double q) const noexcept {
+    if (total_ == 0 || counts_.empty()) return lo_;
+    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+    std::uint64_t cumulative = underflow_;
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      cumulative += counts_[i];
+      if (cumulative > rank) return lo_ + (static_cast<double>(i) + 0.5) * width;
+    }
+    return hi_;
+  }
+
+  friend bool operator==(const Histogram&, const Histogram&) = default;
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace tbon

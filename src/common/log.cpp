@@ -1,0 +1,64 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace tbon::log {
+namespace {
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> storage{[] {
+    const char* env = std::getenv("TBON_LOG");
+    return static_cast<int>(env != nullptr ? parse_level(env) : Level::kWarn);
+  }()};
+  return storage;
+}
+
+const char* level_name(Level l) noexcept {
+  switch (l) {
+    case Level::kError:
+      return "ERROR";
+    case Level::kWarn:
+      return "WARN ";
+    case Level::kInfo:
+      return "INFO ";
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kTrace:
+      return "TRACE";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Level level() noexcept { return static_cast<Level>(level_storage().load(std::memory_order_relaxed)); }
+
+void set_level(Level l) noexcept {
+  level_storage().store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+Level parse_level(std::string_view name) noexcept {
+  if (name == "error") return Level::kError;
+  if (name == "warn") return Level::kWarn;
+  if (name == "info") return Level::kInfo;
+  if (name == "debug") return Level::kDebug;
+  if (name == "trace") return Level::kTrace;
+  return Level::kWarn;
+}
+
+namespace detail {
+
+void emit(Level l, const std::string& message) {
+  static std::mutex mutex;
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  const double seconds = std::chrono::duration<double>(now).count();
+  std::lock_guard<std::mutex> lock(mutex);
+  std::fprintf(stderr, "[%12.6f] %s %s\n", seconds, level_name(l), message.c_str());
+}
+
+}  // namespace detail
+}  // namespace tbon::log

@@ -1,0 +1,65 @@
+// Minimal leveled, thread-safe logger.
+//
+// Levels are filtered at runtime via set_level() or the TBON_LOG environment
+// variable (error|warn|info|debug|trace).  The default is `warn` so that
+// tests and benchmarks stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace tbon::log {
+
+enum class Level : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+/// Current global threshold (messages above it are dropped).
+Level level() noexcept;
+
+/// Set the global threshold.
+void set_level(Level level) noexcept;
+
+/// Parse a level name; returns kWarn for unknown names.
+Level parse_level(std::string_view name) noexcept;
+
+/// True when `l` would currently be emitted.
+inline bool enabled(Level l) noexcept { return static_cast<int>(l) <= static_cast<int>(level()); }
+
+namespace detail {
+void emit(Level level, const std::string& message);
+
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level level) : level_(level) {}
+  ~LineBuilder() { emit(level_, stream_.str()); }
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace tbon::log
+
+// Stream-style logging macros; the stream expression is not evaluated when
+// the level is disabled.
+#define TBON_LOG_AT(lvl, expr)                                   \
+  do {                                                           \
+    if (::tbon::log::enabled(lvl)) {                             \
+      ::tbon::log::detail::LineBuilder(lvl) << expr;             \
+    }                                                            \
+  } while (0)
+
+#define TBON_ERROR(expr) TBON_LOG_AT(::tbon::log::Level::kError, expr)
+#define TBON_WARN(expr) TBON_LOG_AT(::tbon::log::Level::kWarn, expr)
+#define TBON_INFO(expr) TBON_LOG_AT(::tbon::log::Level::kInfo, expr)
+#define TBON_DEBUG(expr) TBON_LOG_AT(::tbon::log::Level::kDebug, expr)
+#define TBON_TRACE(expr) TBON_LOG_AT(::tbon::log::Level::kTrace, expr)

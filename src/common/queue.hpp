@@ -1,0 +1,108 @@
+// Bounded, thread-safe MPMC queue with close semantics.
+//
+// This is the FIFO channel primitive of the in-process transport: each
+// communication process owns one inbox; producers block when the queue is
+// full (back-pressure, as TCP would provide in MRNet); close() wakes all
+// waiters and makes further pops drain-then-fail.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace tbon {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocking push; returns false if the queue was closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; nullopt once the queue is closed *and* drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    return take_front(lock);
+  }
+
+  /// Pop with timeout; nullopt on timeout or closed-and-drained.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait_for(lock, timeout, [&] { return !items_.empty() || closed_; });
+    return take_front(lock);
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return take_front(lock);
+  }
+
+  /// Close the queue: producers fail, consumers drain remaining items.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::optional<T> take_front(std::unique_lock<std::mutex>& lock) {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace tbon

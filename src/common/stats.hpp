@@ -1,0 +1,47 @@
+// Summary statistics used by the benchmark harness and tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace tbon {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Compute count/mean/stddev/min/max/p50/p95 of a sample.
+inline Summary summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+  double sq = 0.0;
+  for (double v : sorted) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = sorted.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(sorted.size() - 1))
+                 : 0.0;
+  s.min = sorted.front();
+  s.max = sorted.back();
+  auto at_quantile = [&](double q) {
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+  };
+  s.p50 = at_quantile(0.50);
+  s.p95 = at_quantile(0.95);
+  return s;
+}
+
+}  // namespace tbon

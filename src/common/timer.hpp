@@ -1,0 +1,44 @@
+// Monotonic timing helpers shared by the runtime, benches and tests.
+#pragma once
+
+#include <ctime>
+
+#include <chrono>
+#include <cstdint>
+
+namespace tbon {
+
+/// Nanoseconds since an arbitrary monotonic epoch.
+inline std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// CPU time consumed by the calling thread, in nanoseconds.  Unlike wall
+/// clock, this is immune to preemption — essential for measuring per-node
+/// compute costs when many node threads time-share one core (the
+/// critical-path methodology of DESIGN.md §5).
+inline std::int64_t thread_cpu_ns() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+/// Simple restartable stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now_ns()) {}
+
+  void restart() noexcept { start_ = now_ns(); }
+
+  std::int64_t elapsed_ns() const noexcept { return now_ns() - start_; }
+  double elapsed_seconds() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  std::int64_t start_;
+};
+
+}  // namespace tbon

@@ -1,0 +1,40 @@
+#include "common/trace.hpp"
+
+namespace tbon {
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder* recorder = new TraceRecorder();  // process lifetime
+  return *recorder;
+}
+
+void TraceRecorder::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_ = enabled;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return;
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::int64_t TraceRecorder::node_busy_ns(std::uint32_t node_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::int64_t total = 0;
+  for (const TraceEvent& event : events_) {
+    if (event.node_id == node_id) total += event.duration_ns();
+  }
+  return total;
+}
+
+}  // namespace tbon

@@ -1,0 +1,50 @@
+// Execution tracing for critical-path analysis.
+//
+// The benchmark harness reconstructs the makespan a real cluster would
+// achieve from per-node filter execution records (see DESIGN.md §5: this
+// machine has one core, so raw wall-clock over N worker threads measures
+// serialized, not parallel, execution).  Filters report their compute
+// intervals here when tracing is enabled; the sim library turns the records
+// plus a network model into a parallel makespan.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tbon {
+
+struct TraceEvent {
+  std::uint32_t node_id = 0;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  std::uint64_t bytes_out = 0;   ///< payload bytes this execution forwarded
+  std::string label;             ///< e.g. "leaf_compute", "merge_shift"
+
+  std::int64_t duration_ns() const noexcept { return end_ns - start_ns; }
+};
+
+/// Process-wide, thread-safe trace sink.  Disabled (and free) by default.
+class TraceRecorder {
+ public:
+  static TraceRecorder& instance();
+
+  void set_enabled(bool enabled);
+  bool enabled() const noexcept { return enabled_; }
+
+  void clear();
+  void record(TraceEvent event);
+
+  std::vector<TraceEvent> events() const;
+
+  /// Sum of recorded durations for one node (ns).
+  std::int64_t node_busy_ns(std::uint32_t node_id) const;
+
+ private:
+  mutable std::mutex mutex_;
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace tbon

@@ -1,0 +1,289 @@
+#include "core/builtin_filters.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/error.hpp"
+#include "core/registry.hpp"
+#include "core/sync.hpp"
+
+namespace tbon {
+namespace {
+
+/// Shared implementation for sum/min/max: reduce numeric fields across the
+/// batch with `Op`, preserving the packet format.
+template <typename Op>
+class NumericReduceFilter final : public TransformFilter {
+ public:
+  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 const FilterContext&) override {
+    const Packet& first = *in.front();
+    std::vector<DataValue> acc = first.values();
+    for (std::size_t p = 1; p < in.size(); ++p) {
+      const Packet& packet = *in[p];
+      if (packet.format() != first.format()) {
+        throw CodecError("numeric reduction over mixed formats ('" +
+                         first.format().to_string() + "' vs '" +
+                         packet.format().to_string() + "')");
+      }
+      for (std::size_t f = 0; f < acc.size(); ++f) reduce_field(acc[f], packet.values()[f]);
+    }
+    out.push_back(std::make_shared<const Packet>(first.stream_id(), first.tag(),
+                                                 first.src_rank(), first.format(),
+                                                 std::move(acc)));
+  }
+
+ private:
+  static void reduce_field(DataValue& acc, const DataValue& next) {
+    switch (type_of(acc)) {
+      case DataType::kInt32:
+        std::get<std::int32_t>(acc) =
+            Op{}(std::get<std::int32_t>(acc), std::get<std::int32_t>(next));
+        break;
+      case DataType::kInt64:
+        std::get<std::int64_t>(acc) =
+            Op{}(std::get<std::int64_t>(acc), std::get<std::int64_t>(next));
+        break;
+      case DataType::kUInt64:
+        std::get<std::uint64_t>(acc) =
+            Op{}(std::get<std::uint64_t>(acc), std::get<std::uint64_t>(next));
+        break;
+      case DataType::kFloat64:
+        std::get<double>(acc) = Op{}(std::get<double>(acc), std::get<double>(next));
+        break;
+      case DataType::kVecInt64:
+        reduce_vector(std::get<std::vector<std::int64_t>>(acc),
+                      std::get<std::vector<std::int64_t>>(next));
+        break;
+      case DataType::kVecFloat64:
+        reduce_vector(std::get<std::vector<double>>(acc),
+                      std::get<std::vector<double>>(next));
+        break;
+      case DataType::kString:
+      case DataType::kBytes:
+      case DataType::kVecString:
+        // Non-numeric fields ride along unchanged (first packet wins).
+        break;
+    }
+  }
+
+  template <typename T>
+  static void reduce_vector(std::vector<T>& acc, const std::vector<T>& next) {
+    if (next.size() != acc.size()) {
+      throw CodecError("numeric reduction over vectors of different lengths");
+    }
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = Op{}(acc[i], next[i]);
+  }
+};
+
+struct MinOp {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return std::min(a, b);
+  }
+};
+struct MaxOp {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return std::max(a, b);
+  }
+};
+struct SumOp {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return static_cast<T>(a + b);
+  }
+};
+
+/// Element-wise arithmetic mean (see header for the balanced-tree caveat).
+class AvgFilter final : public TransformFilter {
+ public:
+  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 const FilterContext& ctx) override {
+    std::vector<PacketPtr> summed;
+    sum_.transform(in, summed, ctx);
+    const Packet& total = *summed.front();
+    const double n = static_cast<double>(in.size());
+    std::vector<DataValue> averaged = total.values();
+    for (DataValue& field : averaged) {
+      switch (type_of(field)) {
+        case DataType::kFloat64:
+          std::get<double>(field) /= n;
+          break;
+        case DataType::kVecFloat64:
+          for (double& v : std::get<std::vector<double>>(field)) v /= n;
+          break;
+        case DataType::kInt32:
+          std::get<std::int32_t>(field) =
+              static_cast<std::int32_t>(std::get<std::int32_t>(field) / n);
+          break;
+        case DataType::kInt64:
+          std::get<std::int64_t>(field) =
+              static_cast<std::int64_t>(static_cast<double>(std::get<std::int64_t>(field)) / n);
+          break;
+        case DataType::kUInt64:
+          std::get<std::uint64_t>(field) = static_cast<std::uint64_t>(
+              static_cast<double>(std::get<std::uint64_t>(field)) / n);
+          break;
+        case DataType::kVecInt64:
+          for (std::int64_t& v : std::get<std::vector<std::int64_t>>(field)) {
+            v = static_cast<std::int64_t>(static_cast<double>(v) / n);
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    out.push_back(std::make_shared<const Packet>(total.stream_id(), total.tag(),
+                                                 total.src_rank(), total.format(),
+                                                 std::move(averaged)));
+  }
+
+ private:
+  NumericReduceFilter<SumOp> sum_;
+};
+
+/// Exact tree-safe weighted mean: packets are "vf64 u64" (sums, weight).
+class WeightedAvgFilter final : public TransformFilter {
+ public:
+  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 const FilterContext&) override {
+    static const DataFormat kFormat{"vf64 u64"};
+    const Packet& first = *in.front();
+    if (first.format() != kFormat) {
+      throw CodecError("wavg expects packets of format 'vf64 u64'");
+    }
+    std::vector<double> sums = first.get_vf64(0);
+    std::uint64_t weight = first.get_u64(1);
+    for (std::size_t p = 1; p < in.size(); ++p) {
+      const Packet& packet = *in[p];
+      if (packet.format() != kFormat) throw CodecError("wavg expects 'vf64 u64'");
+      const auto& other = packet.get_vf64(0);
+      if (other.size() != sums.size()) throw CodecError("wavg vector length mismatch");
+      for (std::size_t i = 0; i < sums.size(); ++i) sums[i] += other[i];
+      weight += packet.get_u64(1);
+    }
+    out.push_back(std::make_shared<const Packet>(
+        first.stream_id(), first.tag(), first.src_rank(), kFormat,
+        std::vector<DataValue>{std::move(sums), weight}));
+  }
+};
+
+/// Tree-composable count (see header).
+class CountFilter final : public TransformFilter {
+ public:
+  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 const FilterContext&) override {
+    static const DataFormat kCountFormat{"u64"};
+    std::uint64_t count = 0;
+    for (const PacketPtr& packet : in) {
+      if (packet->format() == kCountFormat) {
+        count += packet->get_u64(0);
+      } else {
+        ++count;
+      }
+    }
+    const Packet& first = *in.front();
+    out.push_back(std::make_shared<const Packet>(
+        first.stream_id(), first.tag(), first.src_rank(), kCountFormat,
+        std::vector<DataValue>{count}));
+  }
+};
+
+/// Concatenate vector/string fields across the batch in child order.
+class ConcatFilter final : public TransformFilter {
+ public:
+  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 const FilterContext&) override {
+    const Packet& first = *in.front();
+    std::vector<DataValue> acc = first.values();
+    for (std::size_t p = 1; p < in.size(); ++p) {
+      const Packet& packet = *in[p];
+      if (packet.format() != first.format()) {
+        throw CodecError("concat over mixed formats");
+      }
+      for (std::size_t f = 0; f < acc.size(); ++f) {
+        concat_field(acc[f], packet.values()[f]);
+      }
+    }
+    out.push_back(std::make_shared<const Packet>(first.stream_id(), first.tag(),
+                                                 first.src_rank(), first.format(),
+                                                 std::move(acc)));
+  }
+
+ private:
+  static void concat_field(DataValue& acc, const DataValue& next) {
+    switch (type_of(acc)) {
+      case DataType::kString:
+        std::get<std::string>(acc) += std::get<std::string>(next);
+        break;
+      case DataType::kBytes: {
+        auto& dst = std::get<Bytes>(acc);
+        const auto& src = std::get<Bytes>(next);
+        dst.insert(dst.end(), src.begin(), src.end());
+        break;
+      }
+      case DataType::kVecInt64: {
+        auto& dst = std::get<std::vector<std::int64_t>>(acc);
+        const auto& src = std::get<std::vector<std::int64_t>>(next);
+        dst.insert(dst.end(), src.begin(), src.end());
+        break;
+      }
+      case DataType::kVecFloat64: {
+        auto& dst = std::get<std::vector<double>>(acc);
+        const auto& src = std::get<std::vector<double>>(next);
+        dst.insert(dst.end(), src.begin(), src.end());
+        break;
+      }
+      case DataType::kVecString: {
+        auto& dst = std::get<std::vector<std::string>>(acc);
+        const auto& src = std::get<std::vector<std::string>>(next);
+        dst.insert(dst.end(), src.begin(), src.end());
+        break;
+      }
+      default:
+        throw CodecError(
+            "concat requires vector or string fields (wrap scalars in "
+            "one-element vectors at the back-ends)");
+    }
+  }
+};
+
+/// Forward every input packet unchanged.
+class PassthroughFilter final : public TransformFilter {
+ public:
+  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 const FilterContext&) override {
+    out.insert(out.end(), in.begin(), in.end());
+  }
+};
+
+template <typename F>
+std::unique_ptr<TransformFilter> make_simple(const FilterContext&) {
+  return std::make_unique<F>();
+}
+
+}  // namespace
+
+void register_builtin_filters(FilterRegistry& registry) {
+  registry.register_transform("sum", &make_simple<NumericReduceFilter<SumOp>>);
+  registry.register_transform("min", &make_simple<NumericReduceFilter<MinOp>>);
+  registry.register_transform("max", &make_simple<NumericReduceFilter<MaxOp>>);
+  registry.register_transform("avg", &make_simple<AvgFilter>);
+  registry.register_transform("wavg", &make_simple<WeightedAvgFilter>);
+  registry.register_transform("count", &make_simple<CountFilter>);
+  registry.register_transform("concat", &make_simple<ConcatFilter>);
+  registry.register_transform("passthrough", &make_simple<PassthroughFilter>);
+
+  registry.register_sync("wait_for_all", [](const FilterContext& ctx) {
+    return std::unique_ptr<SyncPolicy>(std::make_unique<WaitForAllSync>(ctx));
+  });
+  registry.register_sync("time_out", [](const FilterContext& ctx) {
+    return std::unique_ptr<SyncPolicy>(std::make_unique<TimeOutSync>(ctx));
+  });
+  registry.register_sync("null", [](const FilterContext& ctx) {
+    return std::unique_ptr<SyncPolicy>(std::make_unique<NullSync>(ctx));
+  });
+}
+
+}  // namespace tbon

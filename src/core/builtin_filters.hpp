@@ -1,0 +1,36 @@
+// MRNet's built-in transformation filters: avg, sum, min, max, count, concat
+// (paper §2.2), plus a passthrough and an exact weighted average.
+//
+// Semantics (all field-wise over the packet payload; every packet in a batch
+// must share the format of the first):
+//
+//  * sum/min/max — numeric scalar fields and numeric vector fields are
+//    reduced element-wise across the batch.  These reductions are
+//    associative and commutative, so a tree of them computes the same result
+//    as a flat fold — the property that makes TBON aggregation exact.
+//  * count — emits a single "u64" packet.  Inputs of format "u64" are summed
+//    (so counts compose through the tree); any other format counts one per
+//    packet at the leaves of the reduction.
+//  * avg — element-wise arithmetic mean of the batch.  NOTE: exact only when
+//    every input aggregates the same number of endpoints (balanced trees);
+//    this mirrors MRNet.  Use `wavg` for the exact tree-safe version.
+//  * wavg — exact weighted mean: packets carry "vf64 u64" (sums, weight);
+//    the filter adds sums and weights.  The front-end divides at the end.
+//  * concat — vector and string fields are concatenated across the batch in
+//    child order; numeric scalar fields are not allowed (wrap scalars in
+//    one-element vectors at the back-ends).
+//  * passthrough — forwards every input packet unchanged.
+#pragma once
+
+#include "core/filter.hpp"
+
+namespace tbon {
+
+/// Register the built-in transformation filters and synchronization policies
+/// under their MRNet names ("sum", "min", "max", "avg", "wavg", "count",
+/// "concat", "passthrough"; "wait_for_all", "time_out", "null").  Called
+/// automatically by FilterRegistry::instance().
+class FilterRegistry;
+void register_builtin_filters(FilterRegistry& registry);
+
+}  // namespace tbon

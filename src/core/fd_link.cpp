@@ -1,0 +1,47 @@
+#include "core/fd_link.hpp"
+
+#include "common/archive.hpp"
+#include "common/log.hpp"
+
+namespace tbon {
+
+bool FdLink::send(const PacketPtr& packet) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return false;
+  try {
+    BinaryWriter writer;
+    packet->serialize(writer);
+    write_frame(fd_, writer.bytes());
+    return true;
+  } catch (const TransportError& error) {
+    TBON_DEBUG("fd link send failed: " << error.what());
+    closed_ = true;
+    return false;
+  }
+}
+
+void FdLink::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!closed_) {
+    closed_ = true;
+    shutdown_write(fd_);
+  }
+}
+
+std::jthread start_fd_reader(int fd, InboxPtr inbox, Origin origin,
+                             std::uint32_t child_slot) {
+  return std::jthread([fd, inbox = std::move(inbox), origin, child_slot] {
+    try {
+      while (auto frame = read_frame(fd)) {
+        BinaryReader reader(*frame);
+        inbox->push(Envelope{origin, child_slot, Packet::deserialize(reader)});
+      }
+    } catch (const std::exception& error) {
+      TBON_DEBUG("fd reader stopping: " << error.what());
+    }
+    // EOF (orderly or not): tell the runtime the peer is gone.
+    inbox->push(Envelope{origin, child_slot, nullptr});
+  });
+}
+
+}  // namespace tbon

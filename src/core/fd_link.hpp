@@ -1,0 +1,55 @@
+// Links over OS file descriptors — the multi-process transport.
+//
+// Each tree edge is one full-duplex socketpair.  The sending half (FdLink)
+// serializes packets into length-prefixed frames; the receiving half is a
+// reader thread that deserializes frames and pushes envelopes into the
+// owning node's inbox, so NodeRuntime is oblivious to the transport.
+// Kernel socket buffers provide the back-pressure that bounded queues
+// provide in-process.
+#pragma once
+
+#include <mutex>
+#include <thread>
+
+#include "core/runtime.hpp"
+#include "transport/fd.hpp"
+
+namespace tbon {
+
+/// Sends packets as serialized frames on a file descriptor.
+/// Thread-safe: a back-end's application thread and its runtime share one.
+class FdLink final : public Link {
+ public:
+  /// Does not own the fd; the owner keeps it open until links and readers
+  /// are done.
+  explicit FdLink(int fd) : fd_(fd) {}
+
+  bool send(const PacketPtr& packet) override;
+  void close() override;
+
+ private:
+  std::mutex mutex_;
+  int fd_;
+  bool closed_ = false;
+};
+
+/// Adapter giving several owners (a back-end handle and its runtime) one
+/// shared, mutex-protected FdLink — two independent FdLinks on the same fd
+/// could interleave partial frames.
+class SharedLink final : public Link {
+ public:
+  explicit SharedLink(std::shared_ptr<Link> inner) : inner_(std::move(inner)) {}
+  bool send(const PacketPtr& packet) override { return inner_->send(packet); }
+  void close() override { inner_->close(); }
+
+ private:
+  std::shared_ptr<Link> inner_;
+};
+
+/// Start a reader thread: frames from `fd` become envelopes in `inbox`
+/// tagged (origin, child_slot); EOF or a transport error becomes the null
+/// EOF envelope.
+std::jthread start_fd_reader(int fd, InboxPtr inbox, Origin origin,
+                             std::uint32_t child_slot);
+
+}  // namespace tbon

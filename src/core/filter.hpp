@@ -1,0 +1,98 @@
+// The data-filter abstraction — the heart of the TBON model.
+//
+// "A filter can be any function that inputs a set of packets and outputs a
+// single packet" (paper §2.1; the general model allows multiple outputs, so
+// our interface appends to an output vector).  Filters are instantiated once
+// per (node, stream): instance members ARE the persistent filter state the
+// paper describes ("persistent filter state, used to carry side-effects from
+// one filter execution to the next").
+//
+// Two filter kinds exist, as in MRNet:
+//  * TransformFilter — aggregates/reduces one synchronized batch of packets.
+//  * SyncPolicy      — decides *when* buffered upstream packets are grouped
+//                      into a batch and delivered to the transformation
+//                      filter (wait_for_all, time_out, null).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/packet.hpp"
+
+namespace tbon {
+
+/// Static information a filter can consult while running.
+struct FilterContext {
+  std::uint32_t node_id = 0;       ///< topology node this instance runs on
+  std::uint32_t stream_id = 0;     ///< stream this instance serves
+  std::size_t num_children = 0;    ///< stream-participating children here
+  bool is_root = false;            ///< true at the front-end node
+  bool is_leaf = false;            ///< true at a back-end node
+  Config params;                   ///< per-stream parameters (key=value)
+};
+
+/// Transformation filter: reduces one synchronized batch of upstream packets
+/// (or one downstream packet) into zero or more output packets.
+class TransformFilter {
+ public:
+  virtual ~TransformFilter() = default;
+
+  /// Process a batch.  `in` is never empty.  Outputs are appended to `out`
+  /// and forwarded toward the parent (upstream) or the children (downstream).
+  virtual void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                         const FilterContext& ctx) = 0;
+
+  /// Called once when the stream shuts down; filters holding buffered state
+  /// (e.g. time-aligned aggregation) may emit final packets here.
+  virtual void finish(std::vector<PacketPtr>& out, const FilterContext& ctx) {
+    (void)out;
+    (void)ctx;
+  }
+};
+
+/// Synchronization filter: groups upstream packets into batches.
+///
+/// The runtime calls on_packet() for each arriving packet, then drain_ready()
+/// to collect complete batches.  Policies with time-based behaviour report a
+/// deadline via next_deadline(); the runtime wakes the node at that time and
+/// calls drain_ready() again.  flush() empties all buffers (stream teardown).
+class SyncPolicy {
+ public:
+  virtual ~SyncPolicy() = default;
+
+  using Batch = std::vector<PacketPtr>;
+
+  /// A packet arrived from stream-participating child slot `child`.
+  virtual void on_packet(std::size_t child, PacketPtr packet) = 0;
+
+  /// Return every batch that is ready at monotonic time `now_ns`.
+  virtual std::vector<Batch> drain_ready(std::int64_t now_ns) = 0;
+
+  /// Monotonic deadline at which drain_ready() should be re-polled, if any.
+  virtual std::optional<std::int64_t> next_deadline() const { return std::nullopt; }
+
+  /// Deliver everything still buffered, regardless of completeness.
+  virtual std::vector<Batch> flush() = 0;
+
+  /// A child was declared failed; stop waiting for it (reliability hook —
+  /// wait_for_all degrades to the surviving children).
+  virtual void child_failed(std::size_t child) { (void)child; }
+
+  /// A child was attached at runtime (dynamic topology, paper §2.2:
+  /// "back-end processes may join after the internal tree has been
+  /// instantiated"); the policy should start expecting it.
+  virtual void child_added() {}
+};
+
+/// Factory signatures used by the registry.
+using TransformFactory =
+    std::function<std::unique_ptr<TransformFilter>(const FilterContext& ctx)>;
+using SyncFactory = std::function<std::unique_ptr<SyncPolicy>(const FilterContext& ctx)>;
+
+}  // namespace tbon

@@ -1,0 +1,437 @@
+#include "core/network.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "core/delegates.hpp"
+
+namespace tbon {
+
+using namespace std::chrono_literals;
+
+// ---- dynamic back-ends --------------------------------------------------------
+
+/// Service loop for a back-end attached after instantiation.  Implements the
+/// leaf subset of the control protocol (stream announcements, shutdown
+/// handshake, peer delivery) without a topology slot.
+class Network::DynamicLeafService {
+ public:
+  DynamicLeafService(std::uint32_t rank, FilterRegistry& registry)
+      : registry_(registry),
+        inbox_(std::make_shared<Inbox>(4096)),
+        backend_(new BackEnd(rank, nullptr)),
+        delegate_(*backend_) {}
+
+  void start() {
+    thread_ = std::jthread([this] { run(); });
+  }
+
+  const InboxPtr& inbox() const noexcept { return inbox_; }
+  BackEnd& backend() noexcept { return *backend_; }
+  void set_up_link(LinkPtr link) { backend_->up_link_ = std::move(link); }
+
+ private:
+  void run() {
+    while (auto envelope = inbox_->pop()) {
+      if (!envelope->packet) break;  // parent gone
+      const Packet& packet = *envelope->packet;
+      if (packet.stream_id() != kControlStream) {
+        delegate_.on_downstream(envelope->packet);
+        continue;
+      }
+      switch (packet.tag()) {
+        case kTagNewStream:
+          delegate_.on_stream_known(StreamSpec::from_packet(packet));
+          break;
+        case kTagDeleteStream:
+          delegate_.on_stream_deleted(static_cast<std::uint32_t>(packet.get_i64(0)));
+          break;
+        case kTagPeerMessage:
+          delegate_.on_peer_message(unwrap_peer_packet(packet));
+          break;
+        case kTagLoadFilter:
+          try {
+            registry_.load_library(packet.get_str(0));
+          } catch (const FilterError& error) {
+            TBON_ERROR("dynamic back-end: " << error.what());
+          }
+          break;
+        case kTagShutdown:
+          delegate_.on_shutdown();
+          backend_->up_link_->send(make_shutdown_ack_packet());
+          backend_->up_link_->close();
+          return;
+        default:
+          TBON_WARN("dynamic back-end dropping control tag " << packet.tag());
+      }
+    }
+    delegate_.on_shutdown();
+  }
+
+  FilterRegistry& registry_;
+  InboxPtr inbox_;
+  std::unique_ptr<BackEnd> backend_;
+  BackEndDelegate delegate_;
+  std::jthread thread_;
+};
+
+BackEnd& Network::dynamic_backend(std::size_t index) {
+  return dynamic_leaves_[index]->backend();
+}
+
+BackEnd& Network::attach_backend(NodeId parent) {
+  if (process_mode_) {
+    throw ProtocolError("attach_backend is only supported in threaded mode");
+  }
+  if (parent >= topology_.num_nodes()) throw ProtocolError("parent id out of range");
+  if (topology_.is_leaf(parent)) {
+    throw ProtocolError("cannot attach a back-end under another back-end");
+  }
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    if (shutdown_requested_) throw ProtocolError("network is shutting down");
+  }
+
+  NodeRuntime& runtime = *runtimes_[parent];
+  const std::uint32_t slot = runtime.reserve_child_slot();
+
+  std::lock_guard<std::mutex> lock(dynamic_mutex_);
+  const std::uint32_t rank = next_dynamic_rank_++;
+  auto service = std::make_unique<DynamicLeafService>(rank, registry_);
+  service->set_up_link(
+      std::make_unique<InprocLink>(runtime.inbox(), Origin::kChild, slot));
+  service->start();
+  runtime.request_attach(
+      slot, rank, std::make_unique<InprocLink>(service->inbox(), Origin::kParent, 0));
+  // Teach every ancestor which child slot now leads to the new rank, so
+  // peer messages route from anywhere in the tree.
+  for (NodeId node = parent; node != topology_.root();) {
+    const NodeId ancestor = topology_.node(node).parent;
+    const auto& siblings = topology_.node(ancestor).children;
+    const auto it = std::find(siblings.begin(), siblings.end(), node);
+    runtimes_[ancestor]->request_route(
+        rank, static_cast<std::uint32_t>(it - siblings.begin()));
+    node = ancestor;
+  }
+  dynamic_leaves_.push_back(std::move(service));
+  return dynamic_leaves_.back()->backend();
+}
+
+// ---- Stream -----------------------------------------------------------------
+
+Stream::Stream(Network& network, StreamSpec spec)
+    : network_(network), spec_(std::move(spec)) {}
+
+void Stream::send(std::int32_t tag, std::string_view format,
+                  std::vector<DataValue> values) {
+  if (tag < kFirstAppTag) throw ProtocolError("application tags must be >= kFirstAppTag");
+  network_.send_to_root(
+      Packet::make(spec_.id, tag, kFrontEndRank, format, std::move(values)));
+}
+
+std::optional<PacketPtr> Stream::recv() { return results_.pop(); }
+
+std::optional<PacketPtr> Stream::recv_for(std::chrono::milliseconds timeout) {
+  return results_.pop_for(timeout);
+}
+
+std::optional<PacketPtr> Stream::try_recv() { return results_.try_pop(); }
+
+// ---- FrontEnd ---------------------------------------------------------------
+
+Stream& FrontEnd::new_stream(StreamOptions options) {
+  StreamSpec spec;
+  spec.endpoints = std::move(options.endpoints);
+  std::sort(spec.endpoints.begin(), spec.endpoints.end());
+  spec.up_transform = std::move(options.up_transform);
+  spec.up_sync = std::move(options.up_sync);
+  spec.down_transform = std::move(options.down_transform);
+  spec.params = std::move(options.params);
+
+  // Validate filter names eagerly so misconfigurations fail at the call site
+  // rather than deep inside a communication process.
+  FilterRegistry& registry = network_.registry();
+  for (const auto& name : {spec.up_transform, spec.down_transform}) {
+    if (!registry.has_transform(name)) throw FilterError("unknown transform filter '" + name + "'");
+  }
+  if (!registry.has_sync(spec.up_sync)) throw FilterError("unknown sync filter '" + spec.up_sync + "'");
+  for (const std::uint32_t rank : spec.endpoints) {
+    if (rank >= network_.num_backends()) {
+      throw ProtocolError("endpoint rank " + std::to_string(rank) + " out of range");
+    }
+  }
+
+  std::unique_ptr<Stream> stream;
+  Stream* raw = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spec.id = next_stream_id_++;
+    stream = std::unique_ptr<Stream>(new Stream(network_, spec));
+    raw = stream.get();
+    streams_.emplace(spec.id, std::move(stream));
+  }
+  network_.send_to_root(spec.to_packet());
+  return *raw;
+}
+
+void FrontEnd::delete_stream(std::uint32_t stream_id) {
+  network_.send_to_root(make_delete_stream_packet(stream_id));
+}
+
+void FrontEnd::load_filter_library(const std::string& path) {
+  // Load synchronously into the local registry first so a new_stream issued
+  // right after this call validates; then announce tree-wide (needed in
+  // process mode, idempotent in threaded mode).
+  network_.registry().load_library(path);
+  network_.send_to_root(make_load_filter_packet(path));
+}
+
+Stream& FrontEnd::stream(std::uint32_t stream_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = streams_.find(stream_id);
+  if (it == streams_.end()) throw ProtocolError("unknown stream " + std::to_string(stream_id));
+  return *it->second;
+}
+
+// ---- BackEnd ----------------------------------------------------------------
+
+void BackEnd::wait_stream_known(std::uint32_t stream_id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool known = stream_known_cv_.wait_for(lock, 10s, [&] {
+    return known_streams_.count(stream_id) != 0 || shutting_down_;
+  });
+  if (!known || known_streams_.count(stream_id) == 0) {
+    throw ProtocolError("stream " + std::to_string(stream_id) +
+                        " never announced to back-end " + std::to_string(rank_));
+  }
+}
+
+void BackEnd::send(std::uint32_t stream_id, std::int32_t tag, std::string_view format,
+                   std::vector<DataValue> values) {
+  if (tag < kFirstAppTag) throw ProtocolError("application tags must be >= kFirstAppTag");
+  wait_stream_known(stream_id);
+  up_link_->send(Packet::make(stream_id, tag, rank_, format, std::move(values)));
+}
+
+void BackEnd::send_to(std::uint32_t dst_rank, std::int32_t tag, std::string_view format,
+                      std::vector<DataValue> values) {
+  if (tag < kFirstAppTag) throw ProtocolError("application tags must be >= kFirstAppTag");
+  const PacketPtr inner =
+      Packet::make(kControlStream, tag, rank_, format, std::move(values));
+  up_link_->send(make_peer_packet(dst_rank, *inner));
+}
+
+std::optional<PacketPtr> BackEnd::recv() { return downstream_.pop(); }
+
+std::optional<PacketPtr> BackEnd::recv_for(std::chrono::milliseconds timeout) {
+  return downstream_.pop_for(timeout);
+}
+
+std::optional<PacketPtr> BackEnd::recv_peer() { return peer_messages_.pop(); }
+
+std::optional<PacketPtr> BackEnd::recv_peer_for(std::chrono::milliseconds timeout) {
+  return peer_messages_.pop_for(timeout);
+}
+
+bool BackEnd::shutting_down() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shutting_down_;
+}
+
+// ---- Network ----------------------------------------------------------------
+
+Network::Network(const Topology& topology) : topology_(topology) {}
+
+std::unique_ptr<Network> Network::create_threaded(const Topology& topology) {
+  if (topology.num_leaves() == 0 || topology.is_leaf(topology.root())) {
+    throw TopologyError("a network needs at least one back-end distinct from the root");
+  }
+  auto network = std::unique_ptr<Network>(new Network(topology));
+  Network& net = *network;
+  // NodeRuntime instances keep a reference to the topology for the lifetime
+  // of the network, so wire them to the Network's own copy, never to the
+  // caller's (possibly temporary) argument.
+  const Topology& topo = net.topology_;
+
+  net.root_delegate_ = std::make_unique<RootDelegate>(net);
+
+  // First pass: create back-end handles (they own the upstream link used by
+  // application threads) and delegates.
+  net.runtimes_.resize(topo.num_nodes());
+  net.leaf_delegates_.resize(topo.num_leaves());
+  net.backends_.resize(topo.num_leaves());
+
+  // Create runtimes top-down so a child can reference its parent's inbox.
+  for (NodeId id = 0; id < topo.num_nodes(); ++id) {
+    NodeRuntime::Delegate* delegate = nullptr;
+    if (topo.is_root(id)) {
+      delegate = net.root_delegate_.get();
+    } else if (topo.is_leaf(id)) {
+      const auto rank = topo.leaf_rank(id);
+      // The BackEnd's upstream link is wired after the parent runtime exists;
+      // create the handle first with a placeholder.
+      net.backends_[rank] = std::unique_ptr<BackEnd>(new BackEnd(rank, nullptr));
+      net.leaf_delegates_[rank] = std::make_unique<LeafDelegate>(*net.backends_[rank]);
+      delegate = net.leaf_delegates_[rank].get();
+    }
+    net.runtimes_[id] = std::make_unique<NodeRuntime>(topo, id, net.registry_, delegate);
+  }
+
+  // Second pass: wire links along every edge.
+  for (NodeId id = 0; id < topo.num_nodes(); ++id) {
+    const auto& children = topo.node(id).children;
+    for (std::uint32_t slot = 0; slot < children.size(); ++slot) {
+      const NodeId child = children[slot];
+      net.runtimes_[id]->add_child_link(std::make_unique<InprocLink>(
+          net.runtimes_[child]->inbox(), Origin::kParent, 0));
+      net.runtimes_[child]->set_parent_link(std::make_unique<InprocLink>(
+          net.runtimes_[id]->inbox(), Origin::kChild, slot));
+      if (topo.is_leaf(child)) {
+        // Application threads need their own upstream link to the parent.
+        net.backends_[topo.leaf_rank(child)]->up_link_ =
+            std::make_unique<InprocLink>(net.runtimes_[id]->inbox(), Origin::kChild, slot);
+      }
+    }
+  }
+
+  net.front_end_ = std::unique_ptr<FrontEnd>(new FrontEnd(net));
+  net.next_dynamic_rank_ = static_cast<std::uint32_t>(topo.num_leaves());
+
+  // Launch one service thread per node.
+  net.threads_.reserve(topo.num_nodes());
+  for (NodeId id = 0; id < topo.num_nodes(); ++id) {
+    net.threads_.emplace_back([runtime = net.runtimes_[id].get()] { runtime->run(); });
+  }
+  return network;
+}
+
+Network::~Network() {
+  try {
+    shutdown();
+  } catch (...) {
+    // Destructors must not throw; force-close everything instead.
+    for (auto& runtime : runtimes_) {
+      if (runtime) runtime->inbox()->close();
+    }
+  }
+}
+
+BackEnd& Network::backend(std::uint32_t rank) {
+  if (process_mode_) {
+    throw ProtocolError(
+        "back-end handles live in their own processes in process mode");
+  }
+  if (rank < backends_.size()) return *backends_[rank];
+  std::lock_guard<std::mutex> lock(dynamic_mutex_);
+  const std::size_t index = rank - backends_.size();
+  if (index >= dynamic_leaves_.size()) throw ProtocolError("back-end rank out of range");
+  return dynamic_backend(index);
+}
+
+std::size_t Network::num_backends() const {
+  std::lock_guard<std::mutex> lock(dynamic_mutex_);
+  return topology_.num_leaves() + dynamic_leaves_.size();
+}
+
+void Network::run_backends(const std::function<void(BackEnd&)>& body) {
+  if (process_mode_) {
+    throw ProtocolError("run_backends is unavailable in process mode; pass "
+                        "backend_main to create_process instead");
+  }
+  std::vector<std::jthread> workers;
+  workers.reserve(backends_.size());
+  for (auto& backend : backends_) {
+    workers.emplace_back([&body, be = backend.get()] { body(*be); });
+  }
+}
+
+void Network::kill_node(NodeId id) {
+  if (process_mode_) {
+    throw ProtocolError("kill_node is only supported in threaded mode");
+  }
+  if (id == topology_.root()) throw ProtocolError("cannot kill the front-end");
+  if (id >= runtimes_.size()) throw ProtocolError("node id out of range");
+  TBON_INFO("injecting failure at node " << id);
+  runtimes_[id]->inbox()->close();
+}
+
+void Network::send_to_root(PacketPtr packet) {
+  runtimes_[topology_.root()]->inbox()->push(
+      Envelope{Origin::kParent, 0, std::move(packet)});
+}
+
+void Network::on_result(std::uint32_t stream_id, PacketPtr packet) {
+  // Delivered on the root runtime thread.
+  try {
+    front_end_->stream(stream_id).results_.push(std::move(packet));
+  } catch (const ProtocolError&) {
+    TBON_WARN("dropping result for unknown stream " << stream_id);
+  }
+}
+
+void Network::on_shutdown_complete() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_complete_ = true;
+  }
+  shutdown_cv_.notify_all();
+  // Unblock any Stream::recv() waiting for results that will never come.
+  std::lock_guard<std::mutex> lock(front_end_->mutex_);
+  for (auto& [id, stream] : front_end_->streams_) stream->results_.close();
+}
+
+void Network::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    if (shutdown_requested_) {
+      // Another caller started it; fall through to wait.
+    } else {
+      shutdown_requested_ = true;
+      send_to_root(make_shutdown_packet());
+    }
+  }
+  std::unique_lock<std::mutex> lock(shutdown_mutex_);
+  if (!shutdown_cv_.wait_for(lock, 30s, [&] { return shutdown_complete_; })) {
+    TBON_ERROR("network shutdown timed out; force-closing");
+    for (auto& runtime : runtimes_) {
+      if (runtime) runtime->inbox()->close();
+    }
+    {
+      // Dynamic leaf services block on their own inboxes; wake them too or
+      // their jthreads would never join.
+      std::lock_guard<std::mutex> dynamic_lock(dynamic_mutex_);
+      for (auto& leaf : dynamic_leaves_) leaf->inbox()->close();
+    }
+    shutdown_cv_.wait_for(lock, 5s, [&] { return shutdown_complete_; });
+  }
+  lock.unlock();
+  threads_.clear();  // join all service threads
+  if (process_mode_) {
+    // The root runtime shut down its child links on exit, so every child
+    // process sees EOF, finishes and exits; reap them and drop the fds.
+    reader_threads_.clear();  // join (EOF when children exit)
+    for (const int pid : child_pids_) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+    child_pids_.clear();
+    for (const int fd : process_child_fds_) ::close(fd);
+    process_child_fds_.clear();
+  }
+}
+
+NodeMetricsSnapshot Network::node_metrics(NodeId id) const {
+  if (id >= runtimes_.size()) throw ProtocolError("node id out of range");
+  if (!runtimes_[id]) {
+    throw ProtocolError(
+        "metrics for remote nodes are not available in process mode");
+  }
+  return snapshot(runtimes_[id]->metrics());
+}
+
+}  // namespace tbon

@@ -1,0 +1,255 @@
+// The user-facing TBON API: Network, FrontEnd, Stream and BackEnd.
+//
+// Mirrors MRNet's programming model:
+//
+//   auto net = Network::create_threaded(Topology::balanced(4, 2));
+//   Stream& s = net->front_end().new_stream({.up_transform = "sum"});
+//   s.send(kMyTag, "str", {"begin"});                  // multicast down
+//   // ... back-ends call be.send(s.id(), kMyTag, "vf64", {...}) ...
+//   PacketPtr result = *s.recv();                      // aggregated result
+//   net->shutdown();
+//
+// The threaded instantiation runs every communication process as a thread
+// inside this process, moving packets by reference (zero copy).  The
+// multi-process instantiation (process_network.hpp) forks one OS process per
+// tree node connected by socketpairs, exercising real serialization; both
+// share NodeRuntime, so the TBON semantics are identical.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/node.hpp"
+#include "core/protocol.hpp"
+#include "core/registry.hpp"
+#include "topology/topology.hpp"
+
+namespace tbon {
+
+class Network;
+class FrontEnd;
+
+/// Options for FrontEnd::new_stream.
+struct StreamOptions {
+  /// Participating back-end ranks; empty = all back-ends.
+  std::vector<std::uint32_t> endpoints;
+  std::string up_transform = "passthrough";
+  std::string up_sync = "wait_for_all";
+  std::string down_transform = "passthrough";
+  std::string params;  ///< space-separated key=value pairs for the filters
+};
+
+/// Front-end handle to one virtual channel.
+class Stream {
+ public:
+  std::uint32_t id() const noexcept { return spec_.id; }
+  const StreamSpec& spec() const noexcept { return spec_; }
+
+  /// Multicast a packet downstream to the stream's back-ends.
+  void send(std::int32_t tag, std::string_view format, std::vector<DataValue> values);
+
+  /// Receive the next aggregated upstream packet; nullopt when the network
+  /// shut down and no further packet will arrive.
+  std::optional<PacketPtr> recv();
+
+  /// recv with a timeout; nullopt on timeout or shutdown.
+  std::optional<PacketPtr> recv_for(std::chrono::milliseconds timeout);
+
+  /// Non-blocking receive.
+  std::optional<PacketPtr> try_recv();
+
+ private:
+  friend class FrontEnd;
+  friend class Network;
+  Stream(Network& network, StreamSpec spec);
+
+  Network& network_;
+  StreamSpec spec_;
+  BoundedQueue<PacketPtr> results_{1 << 16};
+};
+
+/// The application process at the root of the tree.
+class FrontEnd {
+ public:
+  /// Create a stream; the announcement propagates down the tree ahead of any
+  /// data (FIFO channels), so back-ends can use it immediately.
+  Stream& new_stream(StreamOptions options = {});
+
+  /// Tear down a stream tree-wide (buffered packets are flushed upward).
+  void delete_stream(std::uint32_t stream_id);
+
+  /// dlopen a filter library on every communication process.
+  void load_filter_library(const std::string& path);
+
+  /// Stream lookup (throws ProtocolError for unknown ids).
+  Stream& stream(std::uint32_t stream_id);
+
+ private:
+  friend class Network;
+  explicit FrontEnd(Network& network) : network_(network) {}
+
+  Network& network_;
+  std::mutex mutex_;
+  std::uint32_t next_stream_id_ = 1;  // 0 is the control stream
+  std::map<std::uint32_t, std::unique_ptr<Stream>> streams_;
+};
+
+/// The application process at a leaf of the tree.
+class BackEnd {
+ public:
+  std::uint32_t rank() const noexcept { return rank_; }
+
+  /// Send a packet upstream on `stream_id`.  Blocks until the stream
+  /// announcement has reached this back-end (bounded wait, then throws
+  /// ProtocolError) so that data can never overtake the stream creation.
+  void send(std::uint32_t stream_id, std::int32_t tag, std::string_view format,
+            std::vector<DataValue> values);
+
+  /// Send a message to another back-end, routed hop-by-hop through the
+  /// internal process tree (paper §2.1: the TBON model has no direct
+  /// back-end channels, but the tree can route such traffic).  The
+  /// destination receives it via recv_peer(); `tag` and payload are
+  /// application-defined.
+  void send_to(std::uint32_t dst_rank, std::int32_t tag, std::string_view format,
+               std::vector<DataValue> values);
+
+  /// Receive the next downstream packet (any stream); nullopt after shutdown.
+  std::optional<PacketPtr> recv();
+  std::optional<PacketPtr> recv_for(std::chrono::milliseconds timeout);
+
+  /// Receive the next tree-routed peer message; the packet's src_rank()
+  /// identifies the sender.
+  std::optional<PacketPtr> recv_peer();
+  std::optional<PacketPtr> recv_peer_for(std::chrono::milliseconds timeout);
+
+  /// True once the network told this back-end to shut down.
+  bool shutting_down() const;
+
+ private:
+  friend class Network;
+  friend class BackEndDelegate;
+  BackEnd(std::uint32_t rank, LinkPtr up_link) : rank_(rank), up_link_(std::move(up_link)) {}
+
+  void wait_stream_known(std::uint32_t stream_id);
+
+  std::uint32_t rank_;
+  LinkPtr up_link_;
+  BoundedQueue<PacketPtr> downstream_{1 << 16};
+  BoundedQueue<PacketPtr> peer_messages_{1 << 12};
+  mutable std::mutex mutex_;
+  std::condition_variable stream_known_cv_;
+  std::set<std::uint32_t> known_streams_;
+  bool shutting_down_ = false;
+};
+
+/// A fully instantiated TBON.
+class Network {
+ public:
+  /// Instantiate the tree with one thread per communication process (and per
+  /// back-end service loop) inside this process.
+  static std::unique_ptr<Network> create_threaded(const Topology& topology);
+
+  /// Instantiate the tree with one OS process per node, connected by
+  /// socketpair or loopback-TCP channels with real packet serialization.
+  /// `backend_main` runs inside every back-end process.  `tcp_edges` selects
+  /// TCP (MRNet's wire) instead of socketpairs.  See process_network.hpp.
+  static std::unique_ptr<Network> create_process(
+      const Topology& topology, const std::function<void(BackEnd&)>& backend_main,
+      bool tcp_edges = false);
+
+  /// True when this network was built with create_process().
+  bool is_process_mode() const noexcept { return process_mode_; }
+
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const Topology& topology() const noexcept { return topology_; }
+  FrontEnd& front_end() noexcept { return *front_end_; }
+
+  /// Back-end handle by rank (threaded instantiation only); covers both
+  /// original and dynamically attached back-ends.
+  BackEnd& backend(std::uint32_t rank);
+  /// Number of back-ends, including dynamically attached ones.
+  std::size_t num_backends() const;
+
+  /// Run `body` concurrently on every back-end (one thread each) and join.
+  void run_backends(const std::function<void(BackEnd&)>& body);
+
+  /// Dynamic topology (threaded instantiation; paper §2.2: "back-end
+  /// processes may join after the internal tree has been instantiated"):
+  /// attach a new back-end under `parent` (the root or an internal node).
+  /// The newcomer gets the next free rank, joins every stream that spans all
+  /// endpoints (existing announcements are replayed to it), and is reachable
+  /// by peer messages.  Returns its handle, valid for the network's life.
+  BackEnd& attach_backend(NodeId parent);
+
+  /// Failure injection: abruptly terminate a non-root node.  Its peers see
+  /// EOF; wait_for_all filters upstream degrade to the surviving children.
+  void kill_node(NodeId id);
+
+  /// Orderly tree-wide teardown (idempotent): broadcasts SHUTDOWN, waits for
+  /// all acknowledgements, flushes filters, joins all threads.
+  void shutdown();
+
+  /// Post-shutdown (or live) metrics for a node.
+  NodeMetricsSnapshot node_metrics(NodeId id) const;
+
+  FilterRegistry& registry() noexcept { return registry_; }
+
+ private:
+  friend class Stream;
+  friend class FrontEnd;
+  friend class BackEndDelegate;
+  class RootDelegate;
+  class LeafDelegate;
+  class DynamicLeafService;
+
+  explicit Network(const Topology& topology);
+  void send_to_root(PacketPtr packet);
+  BackEnd& dynamic_backend(std::size_t index);
+  void on_result(std::uint32_t stream_id, PacketPtr packet);
+  void on_shutdown_complete();
+
+  // Multi-process instantiation internals (defined in process_network.cpp).
+  [[noreturn]] static void run_child_process(
+      const Topology& topology, NodeId id, int parent_fd,
+      const std::function<void(BackEnd&)>& backend_main);
+  struct SpawnedChildren;
+  static SpawnedChildren spawn_children(
+      const Topology& topology, NodeId id, int my_parent_fd,
+      const std::function<void(BackEnd&)>& backend_main);
+
+  Topology topology_;
+  FilterRegistry& registry_ = FilterRegistry::instance();
+
+  std::vector<std::unique_ptr<NodeRuntime>> runtimes_;  // index = NodeId
+  std::vector<std::unique_ptr<BackEnd>> backends_;      // index = leaf rank
+  std::vector<std::unique_ptr<DynamicLeafService>> dynamic_leaves_;
+  mutable std::mutex dynamic_mutex_;
+  std::uint32_t next_dynamic_rank_ = 0;  // set at creation to num_leaves
+  std::unique_ptr<RootDelegate> root_delegate_;
+  std::vector<std::unique_ptr<LeafDelegate>> leaf_delegates_;
+  std::unique_ptr<FrontEnd> front_end_;
+  std::vector<std::jthread> threads_;
+
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  bool shutdown_complete_ = false;
+
+  // Multi-process mode state (empty in threaded mode).
+  bool process_mode_ = false;
+  std::vector<int> process_child_fds_;   ///< root's ends, owned
+  std::vector<int> child_pids_;
+  std::vector<std::jthread> reader_threads_;
+};
+
+}  // namespace tbon

@@ -1,0 +1,470 @@
+#include "core/node.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/log.hpp"
+#include "common/timer.hpp"
+
+namespace tbon {
+
+NodeRuntime::NodeRuntime(const Topology& topology, NodeId id, FilterRegistry& registry,
+                         Delegate* delegate)
+    : topology_(topology),
+      id_(id),
+      role_(topology.is_root(id)   ? NodeRole::kRoot
+            : topology.is_leaf(id) ? NodeRole::kLeaf
+                                   : NodeRole::kInternal),
+      registry_(registry),
+      delegate_(delegate),
+      inbox_(std::make_shared<Inbox>(/*capacity=*/4096)),
+      child_alive_(topology.node(id).children.size(), true),
+      child_acked_(topology.node(id).children.size(), false),
+      live_children_(topology.node(id).children.size()),
+      next_dynamic_slot_(
+          static_cast<std::uint32_t>(topology.node(id).children.size())) {
+  // Peer-message routing table: which child slot serves which back-end rank.
+  const auto& children = topology_.node(id_).children;
+  for (std::uint32_t slot = 0; slot < children.size(); ++slot) {
+    for (const std::uint32_t rank : topology_.subtree_leaf_ranks(children[slot])) {
+      rank_routes_[rank] = slot;
+    }
+  }
+}
+
+std::uint32_t NodeRuntime::reserve_child_slot() noexcept {
+  return next_dynamic_slot_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void NodeRuntime::request_attach(std::uint32_t slot, std::uint32_t backend_rank,
+                                 LinkPtr link) {
+  {
+    std::lock_guard<std::mutex> lock(attach_mutex_);
+    pending_attaches_.emplace_back(slot, backend_rank, std::move(link));
+  }
+  inbox_->push(Envelope{Origin::kParent, 0, make_attach_marker_packet()});
+}
+
+void NodeRuntime::request_route(std::uint32_t backend_rank, std::uint32_t slot) {
+  {
+    std::lock_guard<std::mutex> lock(attach_mutex_);
+    pending_routes_.emplace_back(backend_rank, slot);
+  }
+  inbox_->push(Envelope{Origin::kParent, 0, make_attach_marker_packet()});
+}
+
+void NodeRuntime::process_pending_attaches() {
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, LinkPtr>> batch;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> routes;
+  {
+    std::lock_guard<std::mutex> lock(attach_mutex_);
+    batch.swap(pending_attaches_);
+    routes.swap(pending_routes_);
+  }
+  for (const auto& [backend_rank, slot] : routes) {
+    rank_routes_[backend_rank] = slot;
+  }
+  for (auto& [slot, backend_rank, link] : batch) {
+    if (child_links_.size() <= slot) {
+      child_links_.resize(slot + 1);
+      child_alive_.resize(slot + 1, false);
+      child_acked_.resize(slot + 1, false);
+    }
+    child_links_[slot] = std::move(link);
+    child_alive_[slot] = true;
+    child_acked_[slot] = false;
+    ++live_children_;
+    rank_routes_[backend_rank] = slot;
+    TBON_INFO("node " << id_ << " attached dynamic back-end rank " << backend_rank
+                      << " at slot " << slot);
+    for (auto& [stream_id, stream] : streams_) {
+      if (stream.slot_to_sync_index.size() <= slot) {
+        stream.slot_to_sync_index.resize(slot + 1, -1);
+      }
+      // Dynamic back-ends join every all-endpoints stream; streams over an
+      // explicit endpoint set keep their membership.
+      if (stream.spec.endpoints.empty()) {
+        stream.slot_to_sync_index[slot] =
+            static_cast<std::int32_t>(stream.participating_slots.size());
+        stream.participating_slots.push_back(slot);
+        if (stream.sync) stream.sync->child_added();
+      }
+      // Replay the announcement so the newcomer knows the stream exists.
+      child_links_[slot]->send(stream.spec.to_packet());
+    }
+    if (shutting_down_) {
+      child_links_[slot]->send(make_shutdown_packet());
+      ++shutdown_acks_needed_;
+    }
+  }
+}
+
+void NodeRuntime::run() {
+  using namespace std::chrono_literals;
+  while (!done_) {
+    std::optional<Envelope> envelope;
+    if (const auto deadline = earliest_deadline()) {
+      const auto wait_ns = *deadline - now_ns();
+      if (wait_ns > 0) {
+        envelope = inbox_->pop_for(std::chrono::nanoseconds(wait_ns));
+      } else {
+        envelope = inbox_->try_pop();
+      }
+    } else {
+      envelope = inbox_->pop_for(200ms);
+    }
+    if (envelope) {
+      handle_envelope(std::move(*envelope));
+    } else if (inbox_->closed() && inbox_->size() == 0) {
+      // The node was killed (failure injection) or orphaned: signal EOF to
+      // all peers and stop.
+      TBON_DEBUG("node " << id_ << " inbox closed; exiting");
+      close_all_links();
+      return;
+    }
+    poll_timeouts();
+  }
+  close_all_links();
+}
+
+void NodeRuntime::handle_envelope(Envelope&& envelope) {
+  if (!envelope.packet) {
+    // EOF marker from a peer.
+    if (envelope.origin == Origin::kChild) {
+      note_child_gone(envelope.child_slot);
+    } else {
+      // Parent is gone: the subtree can no longer deliver results; shut down.
+      TBON_DEBUG("node " << id_ << " lost its parent; shutting down subtree");
+      if (!shutting_down_) handle_shutdown();
+      // No parent to ack to: finish immediately once children are gone.
+      if (role_ == NodeRole::kLeaf || shutdown_acks_needed_ == 0) done_ = true;
+    }
+    return;
+  }
+
+  const Packet& packet = *envelope.packet;
+  if (packet.stream_id() == kControlStream) {
+    handle_control(envelope);
+    return;
+  }
+
+  if (envelope.origin == Origin::kChild) {
+    handle_upstream_data(envelope.child_slot, envelope.packet);
+  } else {
+    handle_downstream_data(envelope.packet);
+  }
+}
+
+void NodeRuntime::handle_control(const Envelope& envelope) {
+  const Packet& packet = *envelope.packet;
+  switch (packet.tag()) {
+    case kTagNewStream:
+      handle_new_stream(StreamSpec::from_packet(packet));
+      forward_down(envelope.packet);
+      break;
+    case kTagDeleteStream:
+      handle_delete_stream(static_cast<std::uint32_t>(packet.get_i64(0)));
+      forward_down(envelope.packet);
+      break;
+    case kTagLoadFilter:
+      // Idempotent per process: the registry tracks loaded paths.
+      try {
+        registry_.load_library(packet.get_str(0));
+      } catch (const FilterError& error) {
+        TBON_ERROR("node " << id_ << ": " << error.what());
+      }
+      forward_down(envelope.packet);
+      break;
+    case kTagShutdown:
+      if (!shutting_down_) handle_shutdown();
+      break;
+    case kTagShutdownAck:
+      if (envelope.origin == Origin::kChild && shutdown_acks_needed_ > 0 &&
+          envelope.child_slot < child_acked_.size() &&
+          !child_acked_[envelope.child_slot]) {
+        child_acked_[envelope.child_slot] = true;
+        --shutdown_acks_needed_;
+        maybe_finish_shutdown();
+      }
+      break;
+    case kTagPeerMessage:
+      route_peer_message(envelope);
+      break;
+    case kTagAttachChild:
+      process_pending_attaches();
+      break;
+    default:
+      TBON_WARN("node " << id_ << " dropping unknown control tag " << packet.tag());
+  }
+}
+
+void NodeRuntime::route_peer_message(const Envelope& envelope) {
+  const Packet& wrapper = *envelope.packet;
+  if (role_ == NodeRole::kLeaf) {
+    // Arrived at the destination back-end.
+    if (delegate_ != nullptr) delegate_->on_peer_message(unwrap_peer_packet(wrapper));
+    return;
+  }
+  const std::uint32_t dst = peer_packet_destination(wrapper);
+  const auto route = rank_routes_.find(dst);
+  if (route != rank_routes_.end()) {
+    const std::uint32_t slot = route->second;
+    if (slot < child_links_.size() && child_links_[slot] && child_alive_[slot]) {
+      child_links_[slot]->send(envelope.packet);
+    } else {
+      TBON_WARN("node " << id_ << " dropping peer message for dead subtree of rank "
+                        << dst);
+    }
+    return;
+  }
+  // Not in this subtree: forward toward the root ("using the internal
+  // process-tree to route back-end to back-end messages", paper §2.1).
+  if (parent_link_) {
+    parent_link_->send(envelope.packet);
+  } else {
+    TBON_WARN("node " << id_ << " dropping peer message for unknown rank " << dst);
+  }
+}
+
+void NodeRuntime::handle_new_stream(const StreamSpec& spec) {
+  if (streams_.count(spec.id) != 0) return;  // duplicate announcement
+
+  StreamLocal stream;
+  stream.spec = spec;
+
+  const auto& children = topology_.node(id_).children;
+  stream.slot_to_sync_index.assign(std::max(children.size(), child_links_.size()), -1);
+  for (std::uint32_t slot = 0; slot < children.size(); ++slot) {
+    const auto subtree_ranks = topology_.subtree_leaf_ranks(children[slot]);
+    const bool participates =
+        spec.endpoints.empty() ||
+        std::any_of(subtree_ranks.begin(), subtree_ranks.end(),
+                    [&](std::uint32_t rank) { return spec.contains(rank); });
+    if (participates) {
+      stream.slot_to_sync_index[slot] =
+          static_cast<std::int32_t>(stream.participating_slots.size());
+      stream.participating_slots.push_back(slot);
+    }
+  }
+  // Dynamically attached children (slots beyond the static topology) join
+  // every all-endpoints stream.
+  for (std::uint32_t slot = static_cast<std::uint32_t>(children.size());
+       slot < child_links_.size(); ++slot) {
+    if (child_links_[slot] && spec.endpoints.empty()) {
+      stream.slot_to_sync_index[slot] =
+          static_cast<std::int32_t>(stream.participating_slots.size());
+      stream.participating_slots.push_back(slot);
+    }
+  }
+
+  stream.ctx.node_id = id_;
+  stream.ctx.stream_id = spec.id;
+  stream.ctx.num_children = stream.participating_slots.size();
+  stream.ctx.is_root = role_ == NodeRole::kRoot;
+  stream.ctx.is_leaf = role_ == NodeRole::kLeaf;
+  stream.ctx.params = spec.parsed_params();
+
+  if (role_ != NodeRole::kLeaf) {
+    stream.sync = registry_.make_sync(spec.up_sync, stream.ctx);
+    stream.up_filter = registry_.make_transform(spec.up_transform, stream.ctx);
+    stream.down_filter = registry_.make_transform(spec.down_transform, stream.ctx);
+    // A child may have died before this stream was announced; the sync
+    // policy must not wait for it.
+    for (const std::uint32_t slot : stream.participating_slots) {
+      if (slot < child_alive_.size() && !child_alive_[slot]) {
+        stream.sync->child_failed(
+            static_cast<std::size_t>(stream.slot_to_sync_index[slot]));
+      }
+    }
+  }
+
+  streams_.emplace(spec.id, std::move(stream));
+  if (delegate_ != nullptr) delegate_->on_stream_known(spec);
+}
+
+void NodeRuntime::handle_delete_stream(std::uint32_t stream_id) {
+  const auto it = streams_.find(stream_id);
+  if (it == streams_.end()) return;
+  flush_stream(it->second);
+  streams_.erase(it);
+  if (delegate_ != nullptr) delegate_->on_stream_deleted(stream_id);
+}
+
+void NodeRuntime::handle_shutdown() {
+  shutting_down_ = true;
+  shutdown_acks_needed_ = live_children_;
+  if (role_ == NodeRole::kLeaf && delegate_ != nullptr) delegate_->on_shutdown();
+  // Forward to every live child; leaves have none.
+  for (std::uint32_t slot = 0; slot < child_links_.size(); ++slot) {
+    if (child_links_[slot] && child_alive_[slot]) {
+      child_links_[slot]->send(make_shutdown_packet());
+    }
+  }
+  maybe_finish_shutdown();
+}
+
+void NodeRuntime::maybe_finish_shutdown() {
+  if (!shutting_down_ || shutdown_acks_needed_ > 0 || done_) return;
+  // Every subtree is quiescent: deliver what the sync filters still hold,
+  // give transformation filters their finish() hook, then ack upward.
+  flush_all_streams();
+  if (parent_link_) {
+    parent_link_->send(make_shutdown_ack_packet());
+  }
+  if (role_ == NodeRole::kRoot && delegate_ != nullptr) {
+    delegate_->on_shutdown_complete();
+  }
+  done_ = true;
+}
+
+void NodeRuntime::note_child_gone(std::uint32_t slot) {
+  if (slot >= child_alive_.size() || !child_alive_[slot]) return;
+  child_alive_[slot] = false;
+  --live_children_;
+  TBON_DEBUG("node " << id_ << " lost child slot " << slot);
+  for (auto& [stream_id, stream] : streams_) {
+    if (!stream.sync) continue;
+    const auto sync_index = stream.slot_to_sync_index[slot];
+    if (sync_index >= 0) {
+      stream.sync->child_failed(static_cast<std::size_t>(sync_index));
+      // Failure may complete a pending wave for the survivors.
+      process_batches(stream, stream.sync->drain_ready(now_ns()));
+    }
+  }
+  if (shutting_down_ && shutdown_acks_needed_ > 0 && !child_acked_[slot]) {
+    child_acked_[slot] = true;
+    --shutdown_acks_needed_;
+    maybe_finish_shutdown();
+  }
+}
+
+void NodeRuntime::handle_upstream_data(std::uint32_t slot, const PacketPtr& packet) {
+  metrics_.packets_up.fetch_add(1, std::memory_order_relaxed);
+  metrics_.bytes_up.fetch_add(packet->payload_bytes(), std::memory_order_relaxed);
+
+  const auto it = streams_.find(packet->stream_id());
+  if (it == streams_.end()) {
+    TBON_WARN("node " << id_ << " dropping packet for unknown stream "
+                      << packet->stream_id());
+    return;
+  }
+  StreamLocal& stream = it->second;
+  if (slot >= stream.slot_to_sync_index.size()) {
+    TBON_WARN("node " << id_ << " dropping packet from unwired child slot " << slot);
+    return;
+  }
+  const auto sync_index = stream.slot_to_sync_index[slot];
+  if (sync_index < 0) {
+    TBON_WARN("node " << id_ << " dropping packet from non-participating child");
+    return;
+  }
+  stream.sync->on_packet(static_cast<std::size_t>(sync_index), packet);
+  process_batches(stream, stream.sync->drain_ready(now_ns()));
+}
+
+void NodeRuntime::process_batches(StreamLocal& stream,
+                                  std::vector<SyncPolicy::Batch> batches) {
+  for (auto& batch : batches) {
+    if (batch.empty()) continue;
+    metrics_.waves.fetch_add(1, std::memory_order_relaxed);
+    std::vector<PacketPtr> outputs;
+    const auto start = now_ns();
+    stream.up_filter->transform(batch, outputs, stream.ctx);
+    metrics_.filter_ns.fetch_add(static_cast<std::uint64_t>(now_ns() - start),
+                                 std::memory_order_relaxed);
+    emit_upstream(stream, outputs);
+  }
+}
+
+void NodeRuntime::emit_upstream(StreamLocal& stream, std::span<const PacketPtr> packets) {
+  for (const PacketPtr& packet : packets) {
+    if (role_ == NodeRole::kRoot) {
+      if (delegate_ != nullptr) delegate_->on_result(stream.spec.id, packet);
+    } else if (parent_link_) {
+      parent_link_->send(packet);
+    }
+  }
+}
+
+void NodeRuntime::flush_stream(StreamLocal& stream) {
+  if (!stream.sync) return;
+  process_batches(stream, stream.sync->flush());
+  std::vector<PacketPtr> finals;
+  stream.up_filter->finish(finals, stream.ctx);
+  emit_upstream(stream, finals);
+}
+
+void NodeRuntime::flush_all_streams() {
+  for (auto& [stream_id, stream] : streams_) flush_stream(stream);
+}
+
+void NodeRuntime::poll_timeouts() {
+  const auto now = now_ns();
+  for (auto& [stream_id, stream] : streams_) {
+    if (!stream.sync) continue;
+    const auto deadline = stream.sync->next_deadline();
+    if (deadline && *deadline <= now) {
+      process_batches(stream, stream.sync->drain_ready(now));
+    }
+  }
+}
+
+std::optional<std::int64_t> NodeRuntime::earliest_deadline() const {
+  std::optional<std::int64_t> earliest;
+  for (const auto& [stream_id, stream] : streams_) {
+    if (!stream.sync) continue;
+    const auto deadline = stream.sync->next_deadline();
+    if (deadline && (!earliest || *deadline < *earliest)) earliest = deadline;
+  }
+  return earliest;
+}
+
+void NodeRuntime::forward_down(const PacketPtr& packet) {
+  for (std::uint32_t slot = 0; slot < child_links_.size(); ++slot) {
+    if (child_links_[slot] && child_alive_[slot]) child_links_[slot]->send(packet);
+  }
+}
+
+void NodeRuntime::forward_down_to_participants(const StreamLocal& stream,
+                                               const PacketPtr& packet) {
+  for (const std::uint32_t slot : stream.participating_slots) {
+    if (slot < child_links_.size() && child_links_[slot] && child_alive_[slot]) {
+      child_links_[slot]->send(packet);
+    }
+  }
+}
+
+void NodeRuntime::handle_downstream_data(const PacketPtr& packet) {
+  metrics_.packets_down.fetch_add(1, std::memory_order_relaxed);
+  metrics_.bytes_down.fetch_add(packet->payload_bytes(), std::memory_order_relaxed);
+
+  if (role_ == NodeRole::kLeaf) {
+    if (delegate_ != nullptr) delegate_->on_downstream(packet);
+    return;
+  }
+  const auto it = streams_.find(packet->stream_id());
+  if (it == streams_.end()) {
+    TBON_WARN("node " << id_ << " dropping downstream packet for unknown stream "
+                      << packet->stream_id());
+    return;
+  }
+  StreamLocal& stream = it->second;
+  std::vector<PacketPtr> outputs;
+  const auto start = now_ns();
+  const PacketPtr inputs[] = {packet};
+  stream.down_filter->transform(inputs, outputs, stream.ctx);
+  metrics_.filter_ns.fetch_add(static_cast<std::uint64_t>(now_ns() - start),
+                               std::memory_order_relaxed);
+  for (const PacketPtr& output : outputs) {
+    forward_down_to_participants(stream, output);
+  }
+}
+
+void NodeRuntime::close_all_links() {
+  if (parent_link_) parent_link_->close();
+  for (auto& link : child_links_) {
+    if (link) link->close();
+  }
+}
+
+}  // namespace tbon

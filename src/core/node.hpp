@@ -1,0 +1,157 @@
+// NodeRuntime: the event loop run by every process slot in the tree.
+//
+// One NodeRuntime instance serves one topology node.  It pops envelopes from
+// its inbox and:
+//   * routes downstream packets toward participating children (applying the
+//     stream's downstream transformation filter),
+//   * feeds upstream packets through the stream's synchronization filter and
+//     transformation filter, forwarding the results toward the root,
+//   * executes the control protocol (stream creation/teardown, dynamic
+//     filter loading, shutdown with acknowledgements),
+//   * detects peer failure (EOF envelopes) and degrades gracefully:
+//     wait_for_all stops waiting on dead children.
+//
+// The same class is used for the front-end (role kRoot: results go to the
+// Delegate instead of a parent link), internal communication processes
+// (role kInternal) and back-ends (role kLeaf: downstream packets go to the
+// Delegate; upstream sends bypass the runtime via the parent link).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <memory>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/registry.hpp"
+#include "core/runtime.hpp"
+#include "topology/topology.hpp"
+
+namespace tbon {
+
+enum class NodeRole : std::uint8_t { kRoot, kInternal, kLeaf };
+
+class NodeRuntime {
+ public:
+  /// Callbacks into the endpoint layer; all invoked on the runtime thread.
+  class Delegate {
+   public:
+    virtual ~Delegate() = default;
+    /// Root only: a fully aggregated upstream packet is available.
+    virtual void on_result(std::uint32_t stream_id, PacketPtr packet) {
+      (void)stream_id;
+      (void)packet;
+    }
+    /// Leaf only: a downstream packet arrived for this back-end.
+    virtual void on_downstream(PacketPtr packet) { (void)packet; }
+    /// Any node: a stream now exists locally (leaves use this to unblock
+    /// sends; the root uses it for bookkeeping).
+    virtual void on_stream_known(const StreamSpec& spec) { (void)spec; }
+    /// A stream was deleted.
+    virtual void on_stream_deleted(std::uint32_t stream_id) { (void)stream_id; }
+    /// Root only: every subtree acknowledged shutdown.
+    virtual void on_shutdown_complete() {}
+    /// Leaf only: the network is shutting down.
+    virtual void on_shutdown() {}
+    /// Leaf only: a tree-routed back-end-to-back-end message arrived.
+    virtual void on_peer_message(PacketPtr inner) { (void)inner; }
+  };
+
+  NodeRuntime(const Topology& topology, NodeId id, FilterRegistry& registry,
+              Delegate* delegate);
+
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  /// Wiring (call before run()).
+  void set_parent_link(LinkPtr link) { parent_link_ = std::move(link); }
+  void add_child_link(LinkPtr link) { child_links_.push_back(std::move(link)); }
+  const InboxPtr& inbox() const noexcept { return inbox_; }
+
+  /// Dynamic topology support (threaded instantiation): reserve a child
+  /// slot, then hand the runtime a link to the new child.  The runtime wires
+  /// it on its own thread when the kTagAttachChild marker arrives, replaying
+  /// existing stream announcements to the newcomer.  `backend_rank` is used
+  /// for peer-message routing.
+  std::uint32_t reserve_child_slot() noexcept;
+  void request_attach(std::uint32_t slot, std::uint32_t backend_rank, LinkPtr link);
+
+  /// Tell this node (an ancestor of a dynamic attach) that back-end
+  /// `backend_rank` is reachable through child `slot`.
+  void request_route(std::uint32_t backend_rank, std::uint32_t slot);
+
+  NodeId id() const noexcept { return id_; }
+  NodeRole role() const noexcept { return role_; }
+  NodeMetrics& metrics() noexcept { return metrics_; }
+
+  /// Process envelopes until shutdown completes or the inbox is destroyed.
+  void run();
+
+ private:
+  struct StreamLocal {
+    StreamSpec spec;
+    FilterContext ctx;
+    std::unique_ptr<SyncPolicy> sync;
+    std::unique_ptr<TransformFilter> up_filter;
+    std::unique_ptr<TransformFilter> down_filter;
+    /// child slot -> index the sync policy sees, or -1 if not participating.
+    std::vector<std::int32_t> slot_to_sync_index;
+    /// child slots participating in this stream, in slot order.
+    std::vector<std::uint32_t> participating_slots;
+  };
+
+  void handle_envelope(Envelope&& envelope);
+  void handle_control(const Envelope& envelope);
+  void route_peer_message(const Envelope& envelope);
+  void process_pending_attaches();
+  void handle_new_stream(const StreamSpec& spec);
+  void handle_delete_stream(std::uint32_t stream_id);
+  void handle_shutdown();
+  void note_child_gone(std::uint32_t slot);
+  void handle_upstream_data(std::uint32_t slot, const PacketPtr& packet);
+  void handle_downstream_data(const PacketPtr& packet);
+  void process_batches(StreamLocal& stream, std::vector<SyncPolicy::Batch> batches);
+  void emit_upstream(StreamLocal& stream, std::span<const PacketPtr> packets);
+  void flush_stream(StreamLocal& stream);
+  void flush_all_streams();
+  void poll_timeouts();
+  std::optional<std::int64_t> earliest_deadline() const;
+  void forward_down(const PacketPtr& packet);
+  void forward_down_to_participants(const StreamLocal& stream, const PacketPtr& packet);
+  void maybe_finish_shutdown();
+  void close_all_links();
+
+  const Topology& topology_;
+  NodeId id_;
+  NodeRole role_;
+  FilterRegistry& registry_;
+  Delegate* delegate_;
+
+  InboxPtr inbox_;
+  LinkPtr parent_link_;
+  std::vector<LinkPtr> child_links_;
+  std::vector<bool> child_alive_;
+  std::vector<bool> child_acked_;  ///< shutdown ack received from this slot
+  std::size_t live_children_ = 0;
+
+  /// Back-end rank -> child slot whose subtree serves it (peer routing).
+  std::map<std::uint32_t, std::uint32_t> rank_routes_;
+
+  /// Dynamic-attach plumbing.
+  std::mutex attach_mutex_;
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, LinkPtr>> pending_attaches_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pending_routes_;
+  std::atomic<std::uint32_t> next_dynamic_slot_;
+
+  std::map<std::uint32_t, StreamLocal> streams_;
+  NodeMetrics metrics_;
+
+  bool shutting_down_ = false;
+  std::size_t shutdown_acks_needed_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace tbon

@@ -1,0 +1,64 @@
+#include "core/packet.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tbon {
+
+Packet::Packet(std::uint32_t stream_id, std::int32_t tag, std::uint32_t src_rank,
+               DataFormat format, std::vector<DataValue> values)
+    : stream_id_(stream_id),
+      tag_(tag),
+      src_rank_(src_rank),
+      format_(std::move(format)),
+      values_(std::move(values)) {
+  if (!format_.matches(values_)) {
+    throw CodecError("packet payload does not match format '" + format_.to_string() + "'");
+  }
+}
+
+PacketPtr Packet::make(std::uint32_t stream_id, std::int32_t tag,
+                       std::uint32_t src_rank, std::string_view format_string,
+                       std::vector<DataValue> values) {
+  return std::make_shared<const Packet>(stream_id, tag, src_rank,
+                                        DataFormat(format_string), std::move(values));
+}
+
+std::size_t Packet::payload_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const DataValue& v : values_) total += value_payload_bytes(v);
+  return total;
+}
+
+void Packet::serialize(BinaryWriter& writer) const {
+  writer.put(stream_id_);
+  writer.put(tag_);
+  writer.put(src_rank_);
+  writer.put_string(format_.to_string());
+  pack_values(writer, format_, values_);
+}
+
+PacketPtr Packet::deserialize(BinaryReader& reader) {
+  const auto stream_id = reader.get<std::uint32_t>();
+  const auto tag = reader.get<std::int32_t>();
+  const auto src_rank = reader.get<std::uint32_t>();
+  DataFormat format(reader.get_string());
+  auto values = unpack_values(reader, format);
+  return std::make_shared<const Packet>(stream_id, tag, src_rank, std::move(format),
+                                        std::move(values));
+}
+
+std::string Packet::to_string() const {
+  std::ostringstream out;
+  out << "stream=" << stream_id_ << " tag=" << tag_ << " src=";
+  if (src_rank_ == kFrontEndRank) {
+    out << "FE";
+  } else {
+    out << src_rank_;
+  }
+  for (const DataValue& v : values_) out << ' ' << value_to_string(v);
+  return out.str();
+}
+
+}  // namespace tbon

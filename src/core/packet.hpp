@@ -1,0 +1,90 @@
+// Application-level packets — the unit of data flowing through a TBON.
+//
+// A packet belongs to a stream, carries an application tag, remembers the
+// rank of the endpoint that produced it, and holds a typed payload described
+// by a DataFormat.  Packets are immutable after construction and are passed
+// around as shared_ptr<const Packet> ("counted packet references" in the
+// paper): multicasting a packet to k children shares one object across k
+// outgoing queues with no copy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/archive.hpp"
+#include "common/datavalue.hpp"
+
+namespace tbon {
+
+/// Rank used as `src` for packets originating at the front-end.
+inline constexpr std::uint32_t kFrontEndRank = static_cast<std::uint32_t>(-1);
+
+/// Stream id 0 is reserved for the control protocol.
+inline constexpr std::uint32_t kControlStream = 0;
+
+class Packet;
+using PacketPtr = std::shared_ptr<const Packet>;
+
+class Packet {
+ public:
+  /// Construct a packet; `values` must match `format` (CodecError otherwise).
+  Packet(std::uint32_t stream_id, std::int32_t tag, std::uint32_t src_rank,
+         DataFormat format, std::vector<DataValue> values);
+
+  /// Convenience factory returning a shared (immutable) packet.
+  static PacketPtr make(std::uint32_t stream_id, std::int32_t tag,
+                        std::uint32_t src_rank, std::string_view format_string,
+                        std::vector<DataValue> values);
+
+  std::uint32_t stream_id() const noexcept { return stream_id_; }
+  std::int32_t tag() const noexcept { return tag_; }
+  std::uint32_t src_rank() const noexcept { return src_rank_; }
+  const DataFormat& format() const noexcept { return format_; }
+  const std::vector<DataValue>& values() const noexcept { return values_; }
+  std::size_t arity() const noexcept { return values_.size(); }
+
+  /// Typed field access; throws std::bad_variant_access on a type mismatch
+  /// and std::out_of_range on a bad index.
+  template <typename T>
+  const T& get(std::size_t index) const {
+    return std::get<T>(values_.at(index));
+  }
+
+  std::int32_t get_i32(std::size_t i) const { return get<std::int32_t>(i); }
+  std::int64_t get_i64(std::size_t i) const { return get<std::int64_t>(i); }
+  std::uint64_t get_u64(std::size_t i) const { return get<std::uint64_t>(i); }
+  double get_f64(std::size_t i) const { return get<double>(i); }
+  const std::string& get_str(std::size_t i) const { return get<std::string>(i); }
+  const Bytes& get_bytes(std::size_t i) const { return get<Bytes>(i); }
+  const std::vector<std::int64_t>& get_vi64(std::size_t i) const {
+    return get<std::vector<std::int64_t>>(i);
+  }
+  const std::vector<double>& get_vf64(std::size_t i) const {
+    return get<std::vector<double>>(i);
+  }
+  const std::vector<std::string>& get_vstr(std::size_t i) const {
+    return get<std::vector<std::string>>(i);
+  }
+
+  /// Total payload size, used for throughput accounting.
+  std::size_t payload_bytes() const noexcept;
+
+  /// Wire serialization (used by the multi-process transport).
+  void serialize(BinaryWriter& writer) const;
+  static PacketPtr deserialize(BinaryReader& reader);
+
+  /// Diagnostic rendering: "stream=3 tag=7 src=12 [1, 2] \"x\"".
+  std::string to_string() const;
+
+ private:
+  std::uint32_t stream_id_;
+  std::int32_t tag_;
+  std::uint32_t src_rank_;
+  DataFormat format_;
+  std::vector<DataValue> values_;
+};
+
+}  // namespace tbon

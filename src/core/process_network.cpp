@@ -1,0 +1,167 @@
+#include "core/process_network.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "core/delegates.hpp"
+#include "core/fd_link.hpp"
+#include "transport/fd.hpp"
+#include "transport/tcp.hpp"
+
+namespace tbon {
+namespace {
+// Edge transport for the process tree being spawned.  Set once in
+// create_process before any fork, so every descendant inherits it.
+bool g_tcp_edges = false;
+}  // namespace
+
+struct Network::SpawnedChildren {
+  std::vector<Fd> fds;      ///< this process's end of each child edge
+  std::vector<int> pids;
+};
+
+Network::SpawnedChildren Network::spawn_children(
+    const Topology& topology, NodeId id, int my_parent_fd,
+    const std::function<void(BackEnd&)>& backend_main) {
+  SpawnedChildren spawned;
+  const auto& children = topology.node(id).children;
+  spawned.fds.reserve(children.size());
+  spawned.pids.reserve(children.size());
+
+  // Parent-side buffered output would be duplicated into children.
+  std::fflush(stdout);
+  std::fflush(stderr);
+
+  for (const NodeId child : children) {
+    if (g_tcp_edges) {
+      // MRNet's wire: a loopback TCP connection per edge.  The parent
+      // listens on an ephemeral port; the child connects after the fork.
+      TcpListener listener;
+      const std::uint16_t port = listener.port();
+      const pid_t pid = ::fork();
+      if (pid < 0) throw TransportError("fork failed");
+      if (pid == 0) {
+        listener.close();  // the child only connects
+        for (Fd& sibling : spawned.fds) sibling.reset();
+        if (my_parent_fd >= 0) ::close(my_parent_fd);
+        Fd connection = tcp_connect(port);
+        run_child_process(topology, child, connection.release(), backend_main);
+        // unreachable
+      }
+      spawned.fds.push_back(listener.accept());
+      spawned.pids.push_back(pid);
+    } else {
+      auto [mine, theirs] = make_socketpair();
+      const pid_t pid = ::fork();
+      if (pid < 0) throw TransportError("fork failed");
+      if (pid == 0) {
+        // In the child: drop every fd that belongs to other edges, keeping
+        // only our end of our own socketpair.
+        mine.reset();
+        for (Fd& sibling : spawned.fds) sibling.reset();
+        if (my_parent_fd >= 0) ::close(my_parent_fd);
+        run_child_process(topology, child, theirs.release(), backend_main);
+        // unreachable
+      }
+      theirs.reset();
+      spawned.fds.push_back(std::move(mine));
+      spawned.pids.push_back(pid);
+    }
+  }
+  return spawned;
+}
+
+void Network::run_child_process(const Topology& topology, NodeId id, int parent_fd,
+                                const std::function<void(BackEnd&)>& backend_main) {
+  try {
+    SpawnedChildren spawned = spawn_children(topology, id, parent_fd, backend_main);
+
+    std::vector<std::jthread> readers;
+    if (topology.is_leaf(id)) {
+      const auto rank = topology.leaf_rank(id);
+      // The back-end handle and the runtime share one frame-atomic link.
+      auto shared_up = std::make_shared<FdLink>(parent_fd);
+      BackEnd backend(rank, std::make_unique<SharedLink>(shared_up));
+      BackEndDelegate delegate(backend);
+      NodeRuntime runtime(topology, id, FilterRegistry::instance(), &delegate);
+      runtime.set_parent_link(std::make_unique<SharedLink>(shared_up));
+      readers.push_back(start_fd_reader(parent_fd, runtime.inbox(), Origin::kParent, 0));
+      {
+        std::jthread service([&runtime] { runtime.run(); });
+        backend_main(backend);
+        // The runtime exits when the shutdown handshake completes.
+      }
+    } else {
+      NodeRuntime runtime(topology, id, FilterRegistry::instance(), nullptr);
+      runtime.set_parent_link(std::make_unique<FdLink>(parent_fd));
+      readers.push_back(start_fd_reader(parent_fd, runtime.inbox(), Origin::kParent, 0));
+      for (std::uint32_t slot = 0; slot < spawned.fds.size(); ++slot) {
+        const int fd = spawned.fds[slot].get();
+        runtime.add_child_link(std::make_unique<FdLink>(fd));
+        readers.push_back(start_fd_reader(fd, runtime.inbox(), Origin::kChild, slot));
+      }
+      runtime.run();
+    }
+
+    // Reap our direct children, then drop our fds so readers see EOF.
+    for (const int pid : spawned.pids) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+    spawned.fds.clear();
+    readers.clear();  // join
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "tbon child process %u failed: %s\n", id, error.what());
+    std::fflush(stderr);
+    std::_Exit(1);
+  }
+  std::_Exit(0);
+}
+
+std::unique_ptr<Network> Network::create_process(
+    const Topology& topology, const std::function<void(BackEnd&)>& backend_main,
+    bool tcp_edges) {
+  if (topology.num_leaves() == 0 || topology.is_leaf(topology.root())) {
+    throw TopologyError("a network needs at least one back-end distinct from the root");
+  }
+  g_tcp_edges = tcp_edges;
+  auto network = std::unique_ptr<Network>(new Network(topology));
+  Network& net = *network;
+  net.process_mode_ = true;
+  const Topology& topo = net.topology_;
+
+  net.root_delegate_ = std::make_unique<RootDelegate>(net);
+  net.runtimes_.resize(topo.num_nodes());
+  net.runtimes_[topo.root()] =
+      std::make_unique<NodeRuntime>(topo, topo.root(), net.registry_,
+                                    net.root_delegate_.get());
+  NodeRuntime& root = *net.runtimes_[topo.root()];
+
+  SpawnedChildren spawned = spawn_children(topo, topo.root(), -1, backend_main);
+  for (std::uint32_t slot = 0; slot < spawned.fds.size(); ++slot) {
+    const int fd = spawned.fds[slot].get();
+    root.add_child_link(std::make_unique<FdLink>(fd));
+    net.reader_threads_.push_back(
+        start_fd_reader(fd, root.inbox(), Origin::kChild, slot));
+  }
+  for (Fd& fd : spawned.fds) net.process_child_fds_.push_back(fd.release());
+  net.child_pids_ = std::move(spawned.pids);
+
+  net.front_end_ = std::unique_ptr<FrontEnd>(new FrontEnd(net));
+  net.threads_.emplace_back([&root] { root.run(); });
+  return network;
+}
+
+std::unique_ptr<Network> create_process_network(const Topology& topology,
+                                                BackendMain backend_main,
+                                                EdgeTransport transport) {
+  return Network::create_process(topology, backend_main,
+                                 transport == EdgeTransport::kTcp);
+}
+
+}  // namespace tbon

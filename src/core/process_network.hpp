@@ -1,0 +1,42 @@
+// Multi-process TBON instantiation: one OS process per tree node.
+//
+// create_process() forks the tree recursively — each node's process forks
+// its own children, so every edge's socketpair is created in the common
+// ancestor and inherited by exactly the two endpoint processes.  Back-end
+// processes run the user-supplied `backend_main`; communication processes
+// run NodeRuntime event loops; the calling process keeps the front-end.
+//
+// This is the paper's deployment model on one host: real processes, real
+// kernel FIFO channels, real packet serialization.  MRNet's rsh/ssh remote
+// spawn is replaced by fork() (DESIGN.md §5) — orthogonal to everything the
+// paper measures.
+//
+// Restrictions relative to the threaded instantiation:
+//  * call create_process() before spawning threads in the parent (fork),
+//  * custom filters must be registered (or dlopen-loadable) before the call
+//    so children inherit them,
+//  * backend(rank)/run_backends()/kill_node() are unavailable — back-ends
+//    live in their own processes and interact via `backend_main`.
+#pragma once
+
+#include <functional>
+
+#include "core/network.hpp"
+
+namespace tbon {
+
+/// Per-back-end entry point executed in the back-end's own process.
+using BackendMain = std::function<void(BackEnd&)>;
+
+/// Wire used for each tree edge in the multi-process instantiation.
+/// kSocketpair is the default (nothing to configure); kTcp runs every edge
+/// over a loopback TCP connection — the transport MRNet itself uses.
+enum class EdgeTransport { kSocketpair, kTcp };
+
+/// Fork a process tree for `topology`; returns the front-end-side network.
+/// Throws TransportError on fork/socketpair/connect failure.
+std::unique_ptr<Network> create_process_network(
+    const Topology& topology, BackendMain backend_main,
+    EdgeTransport transport = EdgeTransport::kSocketpair);
+
+}  // namespace tbon

@@ -1,0 +1,66 @@
+#include "core/protocol.hpp"
+
+namespace tbon {
+namespace {
+constexpr std::string_view kSpecFormat = "i64 vi64 str str str str";
+}
+
+PacketPtr StreamSpec::to_packet() const {
+  std::vector<std::int64_t> ranks(endpoints.begin(), endpoints.end());
+  return Packet::make(kControlStream, kTagNewStream, kFrontEndRank, kSpecFormat,
+                      {static_cast<std::int64_t>(id), std::move(ranks), up_transform,
+                       up_sync, down_transform, params});
+}
+
+StreamSpec StreamSpec::from_packet(const Packet& packet) {
+  StreamSpec spec;
+  spec.id = static_cast<std::uint32_t>(packet.get_i64(0));
+  for (const std::int64_t rank : packet.get_vi64(1)) {
+    spec.endpoints.push_back(static_cast<std::uint32_t>(rank));
+  }
+  spec.up_transform = packet.get_str(2);
+  spec.up_sync = packet.get_str(3);
+  spec.down_transform = packet.get_str(4);
+  spec.params = packet.get_str(5);
+  return spec;
+}
+
+PacketPtr make_shutdown_packet() {
+  return Packet::make(kControlStream, kTagShutdown, kFrontEndRank, "", {});
+}
+
+PacketPtr make_shutdown_ack_packet() {
+  return Packet::make(kControlStream, kTagShutdownAck, kFrontEndRank, "", {});
+}
+
+PacketPtr make_delete_stream_packet(std::uint32_t stream_id) {
+  return Packet::make(kControlStream, kTagDeleteStream, kFrontEndRank, "i64",
+                      {static_cast<std::int64_t>(stream_id)});
+}
+
+PacketPtr make_load_filter_packet(const std::string& library_path) {
+  return Packet::make(kControlStream, kTagLoadFilter, kFrontEndRank, "str",
+                      {library_path});
+}
+
+PacketPtr make_attach_marker_packet() {
+  return Packet::make(kControlStream, kTagAttachChild, kFrontEndRank, "", {});
+}
+
+PacketPtr make_peer_packet(std::uint32_t dst_rank, const Packet& inner) {
+  BinaryWriter writer;
+  inner.serialize(writer);
+  return Packet::make(kControlStream, kTagPeerMessage, inner.src_rank(), "i64 bytes",
+                      {static_cast<std::int64_t>(dst_rank), writer.take()});
+}
+
+std::uint32_t peer_packet_destination(const Packet& wrapper) {
+  return static_cast<std::uint32_t>(wrapper.get_i64(0));
+}
+
+PacketPtr unwrap_peer_packet(const Packet& wrapper) {
+  BinaryReader reader(wrapper.get_bytes(1));
+  return Packet::deserialize(reader);
+}
+
+}  // namespace tbon

@@ -1,0 +1,94 @@
+// Control protocol and stream specifications.
+//
+// Control messages are ordinary packets on the reserved control stream
+// (stream id 0), distinguished by tag.  This mirrors MRNet, where network
+// management rides the same FIFO channels as application data — which is
+// what guarantees, for example, that a NEW_STREAM notification reaches a
+// back-end before any data packet on that stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/packet.hpp"
+
+namespace tbon {
+
+/// Control packet tags (application tags must be >= kFirstAppTag).
+enum ControlTag : std::int32_t {
+  kTagNewStream = 1,
+  kTagDeleteStream = 2,
+  kTagShutdown = 3,
+  kTagShutdownAck = 4,
+  kTagLoadFilter = 5,
+  /// Back-end to back-end message routed through the tree (paper §2.1:
+  /// "using the internal process-tree to route back-end to back-end
+  /// messages").  Payload: "i64 bytes" = (destination rank, serialized
+  /// application packet).
+  kTagPeerMessage = 6,
+  /// In-process marker waking a node to wire pending dynamic children
+  /// (threaded instantiation only; carries no payload).
+  kTagAttachChild = 7,
+};
+
+/// First tag value available to applications.
+inline constexpr std::int32_t kFirstAppTag = 100;
+
+/// Everything a node needs to know to participate in a stream.
+struct StreamSpec {
+  std::uint32_t id = 0;
+  /// Participating back-end ranks, sorted.  Empty means "all back-ends".
+  std::vector<std::uint32_t> endpoints;
+  std::string up_transform = "passthrough";
+  std::string up_sync = "wait_for_all";
+  std::string down_transform = "passthrough";
+  /// Space-separated key=value parameters made available to filters.
+  std::string params;
+
+  /// True when back-end `rank` participates.
+  bool contains(std::uint32_t rank) const noexcept {
+    if (endpoints.empty()) return true;
+    for (const std::uint32_t e : endpoints) {
+      if (e == rank) return true;
+    }
+    return false;
+  }
+
+  Config parsed_params() const {
+    Config config;
+    std::size_t pos = 0;
+    while (pos < params.size()) {
+      auto end = params.find(' ', pos);
+      if (end == std::string::npos) end = params.size();
+      config.add(std::string_view(params).substr(pos, end - pos));
+      pos = end + 1;
+    }
+    return config;
+  }
+
+  /// Encode as a control packet on the control stream.
+  PacketPtr to_packet() const;
+  static StreamSpec from_packet(const Packet& packet);
+
+  friend bool operator==(const StreamSpec&, const StreamSpec&) = default;
+};
+
+/// Build the simple control packets.
+PacketPtr make_shutdown_packet();
+PacketPtr make_shutdown_ack_packet();
+PacketPtr make_delete_stream_packet(std::uint32_t stream_id);
+PacketPtr make_load_filter_packet(const std::string& library_path);
+PacketPtr make_attach_marker_packet();
+
+/// Wrap an application packet for tree routing to back-end `dst_rank`.
+PacketPtr make_peer_packet(std::uint32_t dst_rank, const Packet& inner);
+
+/// Destination rank of a peer message.
+std::uint32_t peer_packet_destination(const Packet& wrapper);
+
+/// Recover the application packet carried by a peer message.
+PacketPtr unwrap_peer_packet(const Packet& wrapper);
+
+}  // namespace tbon

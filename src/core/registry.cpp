@@ -1,0 +1,107 @@
+#include "core/registry.hpp"
+
+#include <dlfcn.h>
+
+#include "common/error.hpp"
+#include "core/builtin_filters.hpp"
+
+namespace tbon {
+
+FilterRegistry& FilterRegistry::instance() {
+  static FilterRegistry* registry = [] {
+    auto* r = new FilterRegistry();  // intentionally leaked: lives for the process
+    register_builtin_filters(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void FilterRegistry::register_transform(const std::string& name, TransformFactory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!transforms_.emplace(name, std::move(factory)).second) {
+    throw FilterError("duplicate transform filter '" + name + "'");
+  }
+}
+
+void FilterRegistry::register_sync(const std::string& name, SyncFactory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!syncs_.emplace(name, std::move(factory)).second) {
+    throw FilterError("duplicate sync filter '" + name + "'");
+  }
+}
+
+bool FilterRegistry::has_transform(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return transforms_.count(name) != 0;
+}
+
+bool FilterRegistry::has_sync(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return syncs_.count(name) != 0;
+}
+
+std::unique_ptr<TransformFilter> FilterRegistry::make_transform(
+    const std::string& name, const FilterContext& ctx) const {
+  TransformFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = transforms_.find(name);
+    if (it == transforms_.end()) throw FilterError("unknown transform filter '" + name + "'");
+    factory = it->second;
+  }
+  return factory(ctx);
+}
+
+std::unique_ptr<SyncPolicy> FilterRegistry::make_sync(const std::string& name,
+                                                      const FilterContext& ctx) const {
+  SyncFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = syncs_.find(name);
+    if (it == syncs_.end()) throw FilterError("unknown sync filter '" + name + "'");
+    factory = it->second;
+  }
+  return factory(ctx);
+}
+
+void FilterRegistry::load_library(const std::string& path) {
+  {
+    // Loading is idempotent per path: in the threaded instantiation every
+    // communication process shares this registry, and the LOAD_FILTER
+    // control packet reaches each of them.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (loaded_paths_.count(path) != 0) return;
+  }
+  void* handle = dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    throw FilterError("dlopen(" + path + ") failed: " + dlerror());
+  }
+  auto entry = reinterpret_cast<tbon_register_filters_fn>(
+      dlsym(handle, "tbon_register_filters"));
+  if (entry == nullptr) {
+    dlclose(handle);
+    throw FilterError(path + " does not export tbon_register_filters");
+  }
+  entry(this);
+  std::lock_guard<std::mutex> lock(mutex_);
+  loaded_libraries_.push_back(handle);
+  loaded_paths_.insert(path);
+}
+
+std::vector<std::string> FilterRegistry::transform_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(transforms_.size());
+  for (const auto& [name, _] : transforms_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> FilterRegistry::sync_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(syncs_.size());
+  for (const auto& [name, _] : syncs_) names.push_back(name);
+  return names;
+}
+
+}  // namespace tbon

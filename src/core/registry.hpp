@@ -1,0 +1,68 @@
+// Filter registry: name -> factory for transformation filters and
+// synchronization policies.
+//
+// MRNet "allows developers to extend the filter set with application-
+// specific filters ... an interface similar to dlopen is used to dynamically
+// specify and load the filters into the running communication processes."
+// We provide both:
+//   * static registration (register_transform / register_sync, or the
+//     TBON_REGISTER_* convenience macros), and
+//   * load_library(path): dlopen() the shared object and call its exported
+//     `tbon_register_filters(tbon::FilterRegistry*)`.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/filter.hpp"
+
+namespace tbon {
+
+class FilterRegistry {
+ public:
+  /// The process-wide registry, with built-ins pre-registered.
+  static FilterRegistry& instance();
+
+  FilterRegistry() = default;
+  FilterRegistry(const FilterRegistry&) = delete;
+  FilterRegistry& operator=(const FilterRegistry&) = delete;
+
+  /// Register a factory; throws FilterError on duplicate names.
+  void register_transform(const std::string& name, TransformFactory factory);
+  void register_sync(const std::string& name, SyncFactory factory);
+
+  bool has_transform(const std::string& name) const;
+  bool has_sync(const std::string& name) const;
+
+  /// Instantiate a filter; throws FilterError for unknown names.
+  std::unique_ptr<TransformFilter> make_transform(const std::string& name,
+                                                  const FilterContext& ctx) const;
+  std::unique_ptr<SyncPolicy> make_sync(const std::string& name,
+                                        const FilterContext& ctx) const;
+
+  /// dlopen `path` and invoke its `tbon_register_filters` entry point so the
+  /// library can add filters to this registry; throws FilterError on failure.
+  void load_library(const std::string& path);
+
+  std::vector<std::string> transform_names() const;
+  std::vector<std::string> sync_names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, TransformFactory> transforms_;
+  std::map<std::string, SyncFactory> syncs_;
+  std::vector<void*> loaded_libraries_;
+  std::set<std::string> loaded_paths_;
+};
+
+}  // namespace tbon
+
+/// Entry point exported by dynamically loadable filter libraries:
+///   extern "C" void tbon_register_filters(tbon::FilterRegistry* registry);
+extern "C" {
+typedef void (*tbon_register_filters_fn)(tbon::FilterRegistry*);
+}

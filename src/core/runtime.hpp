@@ -1,0 +1,102 @@
+// Runtime plumbing shared by the threaded and multi-process networks:
+// envelopes (packet + origin), links (one direction of a FIFO channel) and
+// per-node metrics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/queue.hpp"
+#include "core/packet.hpp"
+
+namespace tbon {
+
+/// Where an envelope entered the node.
+enum class Origin : std::uint8_t { kParent, kChild };
+
+/// One unit of work in a node's inbox.  A null packet is the EOF marker:
+/// the peer on that side closed its end of the channel (used for failure
+/// detection and teardown).
+struct Envelope {
+  Origin origin = Origin::kParent;
+  std::uint32_t child_slot = 0;  ///< valid when origin == kChild
+  PacketPtr packet;
+};
+
+using Inbox = BoundedQueue<Envelope>;
+using InboxPtr = std::shared_ptr<Inbox>;
+
+/// The sending half of one direction of a FIFO channel.
+class Link {
+ public:
+  virtual ~Link() = default;
+
+  /// Enqueue a packet; returns false when the peer is gone.
+  virtual bool send(const PacketPtr& packet) = 0;
+
+  /// Signal EOF to the peer (idempotent).
+  virtual void close() = 0;
+};
+
+using LinkPtr = std::unique_ptr<Link>;
+
+/// In-process link: pushes envelopes straight into the peer node's inbox.
+/// Multicast through several InprocLinks shares one immutable Packet object
+/// — the "counted packet references" / zero-copy path of the paper.
+class InprocLink final : public Link {
+ public:
+  /// `origin`/`child_slot` describe how the *receiver* sees this link.
+  InprocLink(InboxPtr target, Origin origin, std::uint32_t child_slot)
+      : target_(std::move(target)), origin_(origin), child_slot_(child_slot) {}
+
+  bool send(const PacketPtr& packet) override {
+    return target_->push(Envelope{origin_, child_slot_, packet});
+  }
+
+  void close() override {
+    if (!closed_.exchange(true)) {
+      // EOF marker; a failed push means the peer is already gone.
+      target_->push(Envelope{origin_, child_slot_, nullptr});
+    }
+  }
+
+ private:
+  InboxPtr target_;
+  Origin origin_;
+  std::uint32_t child_slot_;
+  std::atomic<bool> closed_{false};
+};
+
+/// Counters maintained by every node; readable live (relaxed atomics).
+struct NodeMetrics {
+  std::atomic<std::uint64_t> packets_up{0};
+  std::atomic<std::uint64_t> packets_down{0};
+  std::atomic<std::uint64_t> bytes_up{0};
+  std::atomic<std::uint64_t> bytes_down{0};
+  std::atomic<std::uint64_t> waves{0};            ///< sync batches processed
+  std::atomic<std::uint64_t> filter_ns{0};        ///< time inside transform()
+};
+
+/// Plain-value snapshot of NodeMetrics.
+struct NodeMetricsSnapshot {
+  std::uint64_t packets_up = 0;
+  std::uint64_t packets_down = 0;
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
+  std::uint64_t waves = 0;
+  std::uint64_t filter_ns = 0;
+};
+
+inline NodeMetricsSnapshot snapshot(const NodeMetrics& m) {
+  return NodeMetricsSnapshot{
+      m.packets_up.load(std::memory_order_relaxed),
+      m.packets_down.load(std::memory_order_relaxed),
+      m.bytes_up.load(std::memory_order_relaxed),
+      m.bytes_down.load(std::memory_order_relaxed),
+      m.waves.load(std::memory_order_relaxed),
+      m.filter_ns.load(std::memory_order_relaxed),
+  };
+}
+
+}  // namespace tbon

@@ -1,0 +1,126 @@
+#include "core/sync.hpp"
+
+#include <algorithm>
+
+namespace tbon {
+
+// ---- WaitForAllSync ---------------------------------------------------------
+
+WaitForAllSync::WaitForAllSync(const FilterContext& ctx)
+    : per_child_(ctx.num_children),
+      alive_(per_child_.size(), true),
+      num_alive_(per_child_.size()) {}
+
+void WaitForAllSync::on_packet(std::size_t child, PacketPtr packet) {
+  per_child_.at(child).push_back(std::move(packet));
+}
+
+bool WaitForAllSync::wave_ready() const {
+  if (num_alive_ == 0) {
+    // All children failed: deliver whatever remains rather than deadlock.
+    return std::any_of(per_child_.begin(), per_child_.end(),
+                       [](const auto& q) { return !q.empty(); });
+  }
+  for (std::size_t c = 0; c < per_child_.size(); ++c) {
+    if (alive_[c] && per_child_[c].empty()) return false;
+  }
+  return true;
+}
+
+std::vector<SyncPolicy::Batch> WaitForAllSync::drain_ready(std::int64_t) {
+  std::vector<Batch> batches;
+  while (wave_ready()) {
+    Batch wave;
+    for (auto& queue : per_child_) {
+      if (!queue.empty()) {
+        wave.push_back(std::move(queue.front()));
+        queue.pop_front();
+      }
+    }
+    if (wave.empty()) break;
+    batches.push_back(std::move(wave));
+  }
+  return batches;
+}
+
+std::vector<SyncPolicy::Batch> WaitForAllSync::flush() {
+  // Deliver remaining packets as (partial) waves, preserving per-child FIFO
+  // order: repeatedly take the front packet of every non-empty child queue.
+  std::vector<Batch> batches;
+  while (true) {
+    Batch wave;
+    for (auto& queue : per_child_) {
+      if (!queue.empty()) {
+        wave.push_back(std::move(queue.front()));
+        queue.pop_front();
+      }
+    }
+    if (wave.empty()) break;
+    batches.push_back(std::move(wave));
+  }
+  return batches;
+}
+
+void WaitForAllSync::child_added() {
+  per_child_.emplace_back();
+  alive_.push_back(true);
+  ++num_alive_;
+}
+
+void WaitForAllSync::child_failed(std::size_t child) {
+  if (child < alive_.size() && alive_[child]) {
+    alive_[child] = false;
+    --num_alive_;
+  }
+}
+
+// ---- TimeOutSync ------------------------------------------------------------
+
+TimeOutSync::TimeOutSync(const FilterContext& ctx)
+    : window_ns_(ctx.params.get_int("window_ms", 50) * 1'000'000) {}
+
+void TimeOutSync::on_packet(std::size_t, PacketPtr packet) {
+  pending_.push_back(std::move(packet));
+}
+
+std::vector<SyncPolicy::Batch> TimeOutSync::drain_ready(std::int64_t now_ns) {
+  if (pending_.empty()) {
+    deadline_ns_ = -1;
+    return {};
+  }
+  if (deadline_ns_ < 0) deadline_ns_ = now_ns + window_ns_;
+  if (now_ns < deadline_ns_) return {};
+  deadline_ns_ = -1;
+  std::vector<Batch> batches;
+  batches.push_back(std::move(pending_));
+  pending_.clear();
+  return batches;
+}
+
+std::optional<std::int64_t> TimeOutSync::next_deadline() const {
+  if (deadline_ns_ < 0) return std::nullopt;
+  return deadline_ns_;
+}
+
+std::vector<SyncPolicy::Batch> TimeOutSync::flush() {
+  if (pending_.empty()) return {};
+  std::vector<Batch> batches;
+  batches.push_back(std::move(pending_));
+  pending_.clear();
+  deadline_ns_ = -1;
+  return batches;
+}
+
+// ---- NullSync ---------------------------------------------------------------
+
+void NullSync::on_packet(std::size_t, PacketPtr packet) {
+  ready_.push_back(Batch{std::move(packet)});
+}
+
+std::vector<SyncPolicy::Batch> NullSync::drain_ready(std::int64_t) {
+  return std::exchange(ready_, {});
+}
+
+std::vector<SyncPolicy::Batch> NullSync::flush() { return std::exchange(ready_, {}); }
+
+}  // namespace tbon

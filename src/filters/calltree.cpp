@@ -1,0 +1,156 @@
+#include "filters/calltree.hpp"
+
+#include "common/error.hpp"
+
+namespace tbon {
+
+void CallTree::add_path(std::span<const std::string> path, std::uint32_t rank) {
+  Node* node = root_.get();
+  node->hosts.insert(rank);
+  for (const std::string& label : path) {
+    auto& child = node->children[label];
+    if (!child) {
+      child = std::make_unique<Node>();
+      child->label = label;
+    }
+    child->hosts.insert(rank);
+    node = child.get();
+  }
+}
+
+void CallTree::merge(const CallTree& other) { merge_node(*root_, *other.root_); }
+
+void CallTree::merge_node(Node& into, const Node& from) {
+  into.hosts.insert(from.hosts.begin(), from.hosts.end());
+  for (const auto& [label, from_child] : from.children) {
+    auto& into_child = into.children[label];
+    if (!into_child) {
+      into_child = std::make_unique<Node>();
+      into_child->label = label;
+    }
+    merge_node(*into_child, *from_child);
+  }
+}
+
+std::size_t CallTree::num_nodes() const noexcept {
+  std::size_t count = 0;
+  // Iterative DFS to avoid recursion limits on deep trees.
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const auto& [label, child] : node->children) stack.push_back(child.get());
+  }
+  return count - 1;  // exclude the synthetic root
+}
+
+std::set<std::uint32_t> CallTree::all_hosts() const { return root_->hosts; }
+
+std::vector<std::pair<std::string, std::set<std::uint32_t>>> CallTree::paths() const {
+  std::vector<std::pair<std::string, std::set<std::uint32_t>>> result;
+  std::vector<std::pair<const Node*, std::string>> stack;
+  // Seed with the root's children so paths start at real nodes.  Reverse
+  // order keeps the output sorted because children are map-ordered.
+  for (auto it = root_->children.rbegin(); it != root_->children.rend(); ++it) {
+    stack.emplace_back(it->second.get(), "/" + it->first);
+  }
+  while (!stack.empty()) {
+    const auto [node, path] = stack.back();
+    stack.pop_back();
+    result.emplace_back(path, node->hosts);
+    for (auto it = node->children.rbegin(); it != node->children.rend(); ++it) {
+      stack.emplace_back(it->second.get(), path + "/" + it->first);
+    }
+  }
+  return result;
+}
+
+bool CallTree::equal(const Node& a, const Node& b) {
+  if (a.label != b.label || a.hosts != b.hosts ||
+      a.children.size() != b.children.size()) {
+    return false;
+  }
+  auto ita = a.children.begin();
+  auto itb = b.children.begin();
+  for (; ita != a.children.end(); ++ita, ++itb) {
+    if (ita->first != itb->first || !equal(*ita->second, *itb->second)) return false;
+  }
+  return true;
+}
+
+std::vector<DataValue> CallTree::to_values() const {
+  std::vector<std::string> labels;
+  std::vector<std::int64_t> child_counts;
+  std::vector<std::int64_t> host_counts;
+  std::vector<std::int64_t> flat_hosts;
+
+  // Preorder walk (children in map order, pushed reversed to preserve it).
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    labels.push_back(node->label);
+    child_counts.push_back(static_cast<std::int64_t>(node->children.size()));
+    host_counts.push_back(static_cast<std::int64_t>(node->hosts.size()));
+    for (const std::uint32_t host : node->hosts) flat_hosts.push_back(host);
+    for (auto it = node->children.rbegin(); it != node->children.rend(); ++it) {
+      stack.push_back(it->second.get());
+    }
+  }
+  return {std::move(labels), std::move(child_counts), std::move(host_counts),
+          std::move(flat_hosts)};
+}
+
+CallTree CallTree::from_values(const Packet& packet, std::size_t first_field) {
+  const auto& labels = packet.get_vstr(first_field);
+  const auto& child_counts = packet.get_vi64(first_field + 1);
+  const auto& host_counts = packet.get_vi64(first_field + 2);
+  const auto& flat_hosts = packet.get_vi64(first_field + 3);
+  if (labels.empty() || labels.size() != child_counts.size() ||
+      labels.size() != host_counts.size()) {
+    throw CodecError("call tree payload shape mismatch");
+  }
+
+  CallTree tree;
+  std::size_t index = 0;
+  std::size_t host_cursor = 0;
+  // Recursive descent over the preorder encoding.
+  auto build = [&](auto&& self, Node& node) -> void {
+    if (index >= labels.size()) throw CodecError("call tree preorder underrun");
+    node.label = labels[index];
+    const auto nchildren = child_counts[index];
+    const auto nhosts = host_counts[index];
+    ++index;
+    if (host_cursor + static_cast<std::size_t>(nhosts) > flat_hosts.size()) {
+      throw CodecError("call tree host overflow");
+    }
+    for (std::int64_t i = 0; i < nhosts; ++i) {
+      node.hosts.insert(static_cast<std::uint32_t>(flat_hosts[host_cursor++]));
+    }
+    for (std::int64_t i = 0; i < nchildren; ++i) {
+      // Peek the child's label to key the map.
+      if (index >= labels.size()) throw CodecError("call tree preorder underrun");
+      auto child = std::make_unique<Node>();
+      Node& ref = *child;
+      self(self, ref);
+      node.children.emplace(ref.label, std::move(child));
+    }
+  };
+  build(build, *tree.root_);
+  if (index != labels.size()) throw CodecError("call tree preorder overrun");
+  return tree;
+}
+
+void SubGraphFoldFilter::transform(std::span<const PacketPtr> in,
+                                   std::vector<PacketPtr>& out, const FilterContext&) {
+  CallTree merged = CallTree::from_values(*in.front());
+  for (std::size_t i = 1; i < in.size(); ++i) {
+    merged.merge(CallTree::from_values(*in[i]));
+  }
+  const Packet& first = *in.front();
+  out.push_back(Packet::make(first.stream_id(), first.tag(), first.src_rank(),
+                             CallTree::kFormat, merged.to_values()));
+}
+
+}  // namespace tbon

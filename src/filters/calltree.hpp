@@ -1,0 +1,84 @@
+// Labeled call trees and the Sub-Graph Folding Algorithm (SGFA).
+//
+// Paradyn's Distributed Performance Consultant uses MRNet filters to run a
+// "sub-graph folding algorithm ... for combining sub-graphs of similar
+// qualitative structure into a composite sub-graph" (paper §2.2, [24]).
+// Each back-end produces a rooted, labeled tree (e.g. the call paths its
+// daemon found interesting); the filter merges children's trees by folding
+// nodes with the same label under the same parent into one composite node
+// whose host set records which back-ends exhibited that path.
+//
+// Folding is associative and commutative over the merge operation, so a
+// TBON computes the same composite graph as a central merge while shipping
+// only the *distinct* structure upward.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/filter.hpp"
+#include "core/packet.hpp"
+
+namespace tbon {
+
+/// A rooted tree whose nodes carry a label and the set of back-end ranks
+/// that contributed the node.  Children are keyed (and ordered) by label.
+class CallTree {
+ public:
+  struct Node {
+    std::string label;
+    std::set<std::uint32_t> hosts;
+    std::map<std::string, std::unique_ptr<Node>> children;
+  };
+
+  CallTree() : root_(std::make_unique<Node>()) { root_->label = "<root>"; }
+
+  CallTree(CallTree&&) noexcept = default;
+  CallTree& operator=(CallTree&&) noexcept = default;
+  CallTree(const CallTree& other) : CallTree() { merge(other); }
+
+  /// Insert one path of labels from the root, attributed to `rank`.
+  void add_path(std::span<const std::string> path, std::uint32_t rank);
+
+  /// Fold `other` into this tree (SGFA merge step).
+  void merge(const CallTree& other);
+
+  /// Number of composite nodes (excluding the synthetic root).
+  std::size_t num_nodes() const noexcept;
+
+  /// Hosts present anywhere in the tree.
+  std::set<std::uint32_t> all_hosts() const;
+
+  /// Every root-to-node path with the hosts that exhibit it; for tests and
+  /// front-end display.  Paths are "/a/b/c" strings in sorted order.
+  std::vector<std::pair<std::string, std::set<std::uint32_t>>> paths() const;
+
+  const Node& root() const noexcept { return *root_; }
+
+  /// Packet payload codec.  Format "vstr vi64 vi64 vi64" = preorder labels,
+  /// per-node child counts, per-node host-set sizes, flattened host ranks.
+  static constexpr const char* kFormat = "vstr vi64 vi64 vi64";
+  std::vector<DataValue> to_values() const;
+  static CallTree from_values(const Packet& packet, std::size_t first_field = 0);
+
+  bool operator==(const CallTree& other) const { return equal(*root_, *other.root_); }
+
+ private:
+  static void merge_node(Node& into, const Node& from);
+  static bool equal(const Node& a, const Node& b);
+
+  std::unique_ptr<Node> root_;
+};
+
+/// Transformation filter folding CallTree payloads (register name "sgfa").
+class SubGraphFoldFilter final : public TransformFilter {
+ public:
+  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 const FilterContext& ctx) override;
+};
+
+}  // namespace tbon

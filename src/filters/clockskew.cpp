@@ -1,0 +1,66 @@
+#include "filters/clockskew.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace tbon {
+
+double virtual_skew(std::uint32_t node_id, std::uint64_t seed) {
+  if (seed == 0) return 0.0;
+  // Deterministic pseudo-random skew in (-0.5s, 0.5s) per node.
+  std::uint64_t state = seed * 0x9e3779b97f4a7c15ULL + node_id;
+  const std::uint64_t bits = splitmix64(state);
+  return (static_cast<double>(bits >> 11) * 0x1.0p-53 - 0.5);
+}
+
+double virtual_now_seconds(std::uint32_t node_id, std::uint64_t seed) {
+  return static_cast<double>(now_ns()) * 1e-9 + virtual_skew(node_id, seed);
+}
+
+void ClockProbeFilter::transform(std::span<const PacketPtr> in,
+                                 std::vector<PacketPtr>& out, const FilterContext& ctx) {
+  static const DataFormat kProbe{"vf64"};
+  for (const PacketPtr& packet : in) {
+    if (packet->format() != kProbe) throw CodecError("clock probe must be 'vf64'");
+    std::vector<double> path = packet->get_vf64(0);
+    path.push_back(virtual_now_seconds(ctx.node_id, seed_));
+    out.push_back(Packet::make(packet->stream_id(), packet->tag(), packet->src_rank(),
+                               "vf64", {std::move(path)}));
+  }
+}
+
+PacketPtr make_clock_reply(const Packet& probe, std::uint32_t rank,
+                           std::uint64_t skew_seed) {
+  const auto& path = probe.get_vf64(0);
+  if (path.empty()) throw CodecError("clock probe carried no timestamps");
+  // Offset estimate: this back-end's virtual clock minus the front-end's
+  // stamp.  Biased by the one-way downstream latency (see header).
+  // The back-end's *node id* is unknown here, so virtual skew is keyed by
+  // rank offset past the front-end's id space: callers pass node-id-derived
+  // ranks when they want per-node virtual clocks.
+  const double mine = virtual_now_seconds(rank + 1'000'000u, skew_seed);
+  const double offset = mine - path.front();
+  return Packet::make(probe.stream_id(), probe.tag(), rank, "vi64 vf64",
+                      {std::vector<std::int64_t>{rank}, std::vector<double>{offset}});
+}
+
+void ClockSkewFilter::transform(std::span<const PacketPtr> in,
+                                std::vector<PacketPtr>& out, const FilterContext&) {
+  static const DataFormat kReply{"vi64 vf64"};
+  std::vector<std::int64_t> ranks;
+  std::vector<double> offsets;
+  for (const PacketPtr& packet : in) {
+    if (packet->format() != kReply) throw CodecError("clock reply must be 'vi64 vf64'");
+    const auto& r = packet->get_vi64(0);
+    const auto& o = packet->get_vf64(1);
+    if (r.size() != o.size()) throw CodecError("clock reply shape mismatch");
+    ranks.insert(ranks.end(), r.begin(), r.end());
+    offsets.insert(offsets.end(), o.begin(), o.end());
+  }
+  const Packet& first = *in.front();
+  out.push_back(Packet::make(first.stream_id(), first.tag(), first.src_rank(),
+                             "vi64 vf64", {std::move(ranks), std::move(offsets)}));
+}
+
+}  // namespace tbon

@@ -1,0 +1,68 @@
+// Tree-based clock-skew detection (paper §1/§2.2: "MRNet filters were used
+// to implement an efficient tree-based clock-skew detection algorithm").
+//
+// The algorithm estimates, for every back-end, the offset of its clock
+// relative to the front-end's clock by composing per-edge offsets along the
+// tree path, instead of having the front-end probe every back-end directly
+// (which is the O(n) pattern TBONs exist to avoid).
+//
+// Protocol (one round):
+//   1. The front-end multicasts a PROBE packet carrying its local send time.
+//   2. The downstream ClockProbeFilter at each node appends the node's local
+//      time to the probe's timestamp path as it passes — so a probe arriving
+//      at a back-end carries [t_fe, t_n1, t_n2, ...].
+//   3. Each back-end replies with the stamped path plus its own receive time.
+//   4. The upstream ClockSkewFilter at each node computes the per-edge offset
+//      estimate for each child reply (child_stamp - own_stamp ≈ skew + hop
+//      latency) and aggregates the per-back-end path sums.
+//   5. The front-end receives one packet with (rank, estimated offset) pairs.
+//
+// Under the half-RTT assumption the per-edge latency bias is bounded by the
+// one-way hop time; composing L edges bounds the error by the path latency.
+// On one host all clocks agree, so tests inject *virtual* per-node skews via
+// the stream parameter `skew_seed`: each node's virtual clock is
+// now_ns() + virtual_skew(node_id, seed), and the recovered offsets must
+// match virtual_skew(be) - virtual_skew(root) within the latency bound.
+//
+// Packet formats:
+//   PROBE (down): "vf64"         — timestamp path, seconds, FE first.
+//   REPLY (up):   "vi64 vf64"    — back-end ranks, estimated offsets (s).
+#pragma once
+
+#include <cstdint>
+
+#include "core/filter.hpp"
+
+namespace tbon {
+
+/// Deterministic virtual skew for node `id` (seconds); seed 0 disables.
+double virtual_skew(std::uint32_t node_id, std::uint64_t seed);
+
+/// Node-local virtual-clock reading in seconds.
+double virtual_now_seconds(std::uint32_t node_id, std::uint64_t seed);
+
+/// Downstream filter: appends this node's virtual clock to the probe path.
+class ClockProbeFilter final : public TransformFilter {
+ public:
+  explicit ClockProbeFilter(const FilterContext& ctx)
+      : seed_(static_cast<std::uint64_t>(ctx.params.get_int("skew_seed", 0))) {}
+
+  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 const FilterContext& ctx) override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Builds a back-end's REPLY from the PROBE it received.
+PacketPtr make_clock_reply(const Packet& probe, std::uint32_t rank,
+                           std::uint64_t skew_seed);
+
+/// Upstream filter: merges children's (rank, offset) estimates.
+class ClockSkewFilter final : public TransformFilter {
+ public:
+  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 const FilterContext& ctx) override;
+};
+
+}  // namespace tbon

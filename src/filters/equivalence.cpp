@@ -1,0 +1,70 @@
+#include "filters/equivalence.hpp"
+
+#include "common/error.hpp"
+
+namespace tbon {
+
+void EquivalenceClasses::merge(const EquivalenceClasses& other) {
+  for (const auto& [key, members] : other.classes_) {
+    classes_[key].insert(members.begin(), members.end());
+  }
+}
+
+std::size_t EquivalenceClasses::num_members() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [key, members] : classes_) total += members.size();
+  return total;
+}
+
+const std::set<std::uint32_t>& EquivalenceClasses::members(const std::string& key) const {
+  const auto it = classes_.find(key);
+  if (it == classes_.end()) throw Error("unknown equivalence class '" + key + "'");
+  return it->second;
+}
+
+std::vector<DataValue> EquivalenceClasses::to_values() const {
+  std::vector<std::string> keys;
+  std::vector<std::int64_t> counts;
+  std::vector<std::int64_t> flat_members;
+  keys.reserve(classes_.size());
+  counts.reserve(classes_.size());
+  for (const auto& [key, members] : classes_) {
+    keys.push_back(key);
+    counts.push_back(static_cast<std::int64_t>(members.size()));
+    for (const std::uint32_t rank : members) flat_members.push_back(rank);
+  }
+  return {std::move(keys), std::move(counts), std::move(flat_members)};
+}
+
+EquivalenceClasses EquivalenceClasses::from_values(const Packet& packet,
+                                                   std::size_t first_field) {
+  const auto& keys = packet.get_vstr(first_field);
+  const auto& counts = packet.get_vi64(first_field + 1);
+  const auto& flat_members = packet.get_vi64(first_field + 2);
+  if (keys.size() != counts.size()) throw CodecError("equivalence class shape mismatch");
+  EquivalenceClasses classes;
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (cursor + static_cast<std::size_t>(counts[i]) > flat_members.size()) {
+      throw CodecError("equivalence class member overflow");
+    }
+    for (std::int64_t j = 0; j < counts[i]; ++j) {
+      classes.add(keys[i], static_cast<std::uint32_t>(flat_members[cursor++]));
+    }
+  }
+  return classes;
+}
+
+void EquivalenceClassFilter::transform(std::span<const PacketPtr> in,
+                                       std::vector<PacketPtr>& out,
+                                       const FilterContext&) {
+  EquivalenceClasses merged = EquivalenceClasses::from_values(*in.front());
+  for (std::size_t i = 1; i < in.size(); ++i) {
+    merged.merge(EquivalenceClasses::from_values(*in[i]));
+  }
+  const Packet& first = *in.front();
+  out.push_back(Packet::make(first.stream_id(), first.tag(), first.src_rank(),
+                             EquivalenceClasses::kFormat, merged.to_values()));
+}
+
+}  // namespace tbon

@@ -1,0 +1,65 @@
+// Equivalence-class reduction — the paper's canonical "complex" TBON filter.
+//
+// Figure 2 of the paper maps data-clustering algorithms onto "a TBON
+// equivalence class filter computation, where the inputs are elements to
+// classify, the computation is the application of data model or statistics
+// to classify the data into the classes they represent, and the output is
+// the classified data (or summary of the classified data)".
+//
+// An EquivalenceClasses value maps a class key (an arbitrary string — for
+// Paradyn this is the canonical rendering of a daemon's report) to the set
+// of back-end ranks that produced an equivalent report.  Merging unions the
+// member sets; the merge is associative and commutative, so aggregation
+// through any tree yields the same classes as a flat gather, while the data
+// volume per level stays proportional to the number of *distinct* classes
+// rather than the number of back-ends — exactly the compression that made
+// Paradyn's startup scale (paper §2.2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/filter.hpp"
+#include "core/packet.hpp"
+
+namespace tbon {
+
+class EquivalenceClasses {
+ public:
+  /// Record that back-end `rank` produced a report in class `key`.
+  void add(const std::string& key, std::uint32_t rank) { classes_[key].insert(rank); }
+
+  /// Union the classes of another instance into this one.
+  void merge(const EquivalenceClasses& other);
+
+  std::size_t num_classes() const noexcept { return classes_.size(); }
+  std::size_t num_members() const noexcept;
+  const std::map<std::string, std::set<std::uint32_t>>& classes() const noexcept {
+    return classes_;
+  }
+  const std::set<std::uint32_t>& members(const std::string& key) const;
+
+  /// Packet payload encoding: format "vstr vi64 vi64" =
+  /// (keys, members-per-key counts, flattened member ranks).
+  static constexpr const char* kFormat = "vstr vi64 vi64";
+  std::vector<DataValue> to_values() const;
+  static EquivalenceClasses from_values(const Packet& packet, std::size_t first_field = 0);
+
+  friend bool operator==(const EquivalenceClasses&, const EquivalenceClasses&) = default;
+
+ private:
+  std::map<std::string, std::set<std::uint32_t>> classes_;
+};
+
+/// Transformation filter: merges EquivalenceClasses payloads.
+/// Register under "equivalence_class" via filters::register_all().
+class EquivalenceClassFilter final : public TransformFilter {
+ public:
+  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 const FilterContext& ctx) override;
+};
+
+}  // namespace tbon

@@ -1,0 +1,47 @@
+#include "filters/histogram_filter.hpp"
+
+#include "common/error.hpp"
+
+namespace tbon {
+
+std::vector<DataValue> HistogramCodec::to_values(const Histogram& histogram) {
+  std::vector<std::int64_t> counts;
+  counts.reserve(histogram.bin_count() + 2);
+  counts.push_back(static_cast<std::int64_t>(histogram.underflow()));
+  counts.push_back(static_cast<std::int64_t>(histogram.overflow()));
+  for (const std::uint64_t c : histogram.bins()) {
+    counts.push_back(static_cast<std::int64_t>(c));
+  }
+  return {histogram.lo(), histogram.hi(), std::move(counts)};
+}
+
+Histogram HistogramCodec::from_values(const Packet& packet, std::size_t first_field) {
+  const double lo = packet.get_f64(first_field);
+  const double hi = packet.get_f64(first_field + 1);
+  const auto& counts = packet.get_vi64(first_field + 2);
+  if (counts.size() < 3) throw CodecError("histogram payload too small");
+  Histogram histogram(lo, hi, counts.size() - 2);
+  // Reconstruct by re-adding weighted bin midpoints (exact: weights land in
+  // the same bins) and the out-of-range sentinels.
+  const double width = (hi - lo) / static_cast<double>(counts.size() - 2);
+  histogram.add(lo - 1.0, static_cast<std::uint64_t>(counts[0]));  // underflow
+  histogram.add(hi + 1.0, static_cast<std::uint64_t>(counts[1]));  // overflow
+  for (std::size_t bin = 0; bin + 2 < counts.size(); ++bin) {
+    const auto weight = static_cast<std::uint64_t>(counts[bin + 2]);
+    if (weight > 0) histogram.add(lo + (static_cast<double>(bin) + 0.5) * width, weight);
+  }
+  return histogram;
+}
+
+void HistogramMergeFilter::transform(std::span<const PacketPtr> in,
+                                     std::vector<PacketPtr>& out, const FilterContext&) {
+  Histogram merged = HistogramCodec::from_values(*in.front());
+  for (std::size_t i = 1; i < in.size(); ++i) {
+    merged.merge(HistogramCodec::from_values(*in[i]));
+  }
+  const Packet& first = *in.front();
+  out.push_back(Packet::make(first.stream_id(), first.tag(), first.src_rank(),
+                             HistogramCodec::kFormat, HistogramCodec::to_values(merged)));
+}
+
+}  // namespace tbon

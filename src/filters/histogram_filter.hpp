@@ -1,0 +1,32 @@
+// Histogram merging as a TBON filter — "creating ... data histograms" is one
+// of the complex tree-based computations the paper lists (§1, §4).
+//
+// Each back-end builds a Histogram over its local samples; the filter merges
+// bucket-compatible histograms level by level.  Merge is exact (associative,
+// commutative), so the front-end receives the histogram of the union of all
+// samples while per-level traffic stays O(bins), independent of sample count.
+#pragma once
+
+#include "common/histogram.hpp"
+#include "core/filter.hpp"
+#include "core/packet.hpp"
+
+namespace tbon {
+
+/// Packet payload codec for Histogram.
+/// Format "f64 f64 vi64" = (lo, hi, [underflow, overflow, bin counts...]).
+struct HistogramCodec {
+  static constexpr const char* kFormat = "f64 f64 vi64";
+  static std::vector<DataValue> to_values(const Histogram& histogram);
+  static Histogram from_values(const Packet& packet, std::size_t first_field = 0);
+};
+
+/// Transformation filter merging histogram payloads.
+/// Register under "histogram_merge" via filters::register_all().
+class HistogramMergeFilter final : public TransformFilter {
+ public:
+  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 const FilterContext& ctx) override;
+};
+
+}  // namespace tbon

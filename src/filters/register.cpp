@@ -1,0 +1,49 @@
+#include "filters/register.hpp"
+
+#include "core/registry.hpp"
+#include "filters/calltree.hpp"
+#include "filters/clockskew.hpp"
+#include "filters/equivalence.hpp"
+#include "filters/histogram_filter.hpp"
+#include "filters/super.hpp"
+#include "filters/time_aligned.hpp"
+#include "filters/topk.hpp"
+
+namespace tbon::filters {
+namespace {
+
+template <typename F>
+void add_simple(FilterRegistry& registry, const char* name) {
+  if (registry.has_transform(name)) return;
+  registry.register_transform(name, [](const FilterContext&) {
+    return std::unique_ptr<TransformFilter>(std::make_unique<F>());
+  });
+}
+
+template <typename F>
+void add_with_context(FilterRegistry& registry, const char* name) {
+  if (registry.has_transform(name)) return;
+  registry.register_transform(name, [](const FilterContext& ctx) {
+    return std::unique_ptr<TransformFilter>(std::make_unique<F>(ctx));
+  });
+}
+
+}  // namespace
+
+void register_all(FilterRegistry& registry) {
+  add_simple<EquivalenceClassFilter>(registry, "equivalence_class");
+  add_simple<HistogramMergeFilter>(registry, "histogram_merge");
+  add_simple<SubGraphFoldFilter>(registry, "sgfa");
+  add_simple<ClockSkewFilter>(registry, "clock_skew");
+  add_with_context<TimeAlignedFilter>(registry, "time_aligned");
+  add_with_context<TopKFilter>(registry, "topk");
+  add_with_context<ClockProbeFilter>(registry, "clock_probe");
+  if (!registry.has_transform("super")) {
+    registry.register_transform("super", [&registry](const FilterContext& ctx) {
+      return std::unique_ptr<TransformFilter>(
+          std::make_unique<SuperFilter>(ctx, registry));
+    });
+  }
+}
+
+}  // namespace tbon::filters

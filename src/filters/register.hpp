@@ -1,0 +1,16 @@
+// Registration of the complex-filter library.
+#pragma once
+
+namespace tbon {
+class FilterRegistry;
+
+namespace filters {
+
+/// Register the complex filters under their canonical names:
+///   "equivalence_class", "histogram_merge", "time_aligned", "sgfa",
+///   "topk", "clock_probe", "clock_skew", "super".
+/// Idempotent: names already present are left untouched.
+void register_all(FilterRegistry& registry);
+
+}  // namespace filters
+}  // namespace tbon

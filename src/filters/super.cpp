@@ -1,0 +1,53 @@
+#include "filters/super.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "core/registry.hpp"
+
+namespace tbon {
+
+SuperFilter::SuperFilter(const FilterContext& ctx, const FilterRegistry& registry) {
+  const std::string chain = ctx.params.get("chain");
+  if (chain.empty()) {
+    throw FilterError("super filter requires a 'chain=a,b,...' stream parameter");
+  }
+  std::size_t pos = 0;
+  while (pos <= chain.size()) {
+    auto end = chain.find(',', pos);
+    if (end == std::string::npos) end = chain.size();
+    const std::string name = chain.substr(pos, end - pos);
+    if (name == "super") throw FilterError("super filter cannot nest itself");
+    if (!name.empty()) stages_.push_back(registry.make_transform(name, ctx));
+    pos = end + 1;
+  }
+  if (stages_.empty()) throw FilterError("super filter chain is empty");
+}
+
+void SuperFilter::transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                            const FilterContext& ctx) {
+  std::vector<PacketPtr> current(in.begin(), in.end());
+  for (auto& stage : stages_) {
+    std::vector<PacketPtr> next;
+    if (!current.empty()) stage->transform(current, next, ctx);
+    current = std::move(next);
+  }
+  out.insert(out.end(), current.begin(), current.end());
+}
+
+void SuperFilter::finish(std::vector<PacketPtr>& out, const FilterContext& ctx) {
+  // Flush each stage in order, feeding its finals through the rest of the
+  // chain so stateful stages compose correctly.
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    std::vector<PacketPtr> finals;
+    stages_[i]->finish(finals, ctx);
+    for (std::size_t j = i + 1; j < stages_.size() && !finals.empty(); ++j) {
+      std::vector<PacketPtr> next;
+      stages_[j]->transform(finals, next, ctx);
+      finals = std::move(next);
+    }
+    out.insert(out.end(), finals.begin(), finals.end());
+  }
+}
+
+}  // namespace tbon

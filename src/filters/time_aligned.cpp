@@ -1,0 +1,53 @@
+#include "filters/time_aligned.hpp"
+
+#include "common/error.hpp"
+
+namespace tbon {
+
+void TimeAlignedFilter::transform(std::span<const PacketPtr> in,
+                                  std::vector<PacketPtr>& out, const FilterContext&) {
+  static const DataFormat kExpected{kFormat};
+  for (const PacketPtr& packet : in) {
+    if (packet->format() != kExpected) {
+      throw CodecError("time_aligned expects packets of format 'u64 vf64'");
+    }
+    stream_id_ = packet->stream_id();
+    tag_ = packet->tag();
+
+    const std::uint64_t bucket_id = packet->get_u64(0);
+    const auto& values = packet->get_vf64(1);
+    Bucket& bucket = buckets_[bucket_id];
+    if (bucket.sums.empty()) {
+      bucket.sums = values;
+    } else {
+      if (bucket.sums.size() != values.size()) {
+        throw CodecError("time_aligned sample width changed within a bucket");
+      }
+      for (std::size_t i = 0; i < values.size(); ++i) bucket.sums[i] += values[i];
+    }
+    ++bucket.contributions;
+  }
+
+  // Emit every bucket that is now complete, in bucket order.
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    if (it->second.contributions >= expected_children_) {
+      emit(it->first, it->second, out);
+      it = buckets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TimeAlignedFilter::finish(std::vector<PacketPtr>& out, const FilterContext&) {
+  for (const auto& [bucket_id, bucket] : buckets_) emit(bucket_id, bucket, out);
+  buckets_.clear();
+}
+
+void TimeAlignedFilter::emit(std::uint64_t bucket_id, const Bucket& bucket,
+                             std::vector<PacketPtr>& out) {
+  out.push_back(Packet::make(stream_id_, tag_, kFrontEndRank, kFormat,
+                             {bucket_id, bucket.sums}));
+}
+
+}  // namespace tbon

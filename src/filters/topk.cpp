@@ -1,0 +1,44 @@
+#include "filters/topk.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tbon {
+
+void TopKFilter::transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                           const FilterContext&) {
+  static const DataFormat kExpected{kFormat};
+  std::vector<std::pair<double, std::string>> candidates;
+  for (const PacketPtr& packet : in) {
+    if (packet->format() != kExpected) {
+      throw CodecError("topk expects packets of format 'vf64 vstr'");
+    }
+    const auto& scores = packet->get_vf64(0);
+    const auto& labels = packet->get_vstr(1);
+    if (scores.size() != labels.size()) throw CodecError("topk score/label mismatch");
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      candidates.emplace_back(scores[i], labels[i]);
+    }
+  }
+  // Sort descending by score, ties broken by label for determinism.
+  std::sort(candidates.begin(), candidates.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (candidates.size() > k_) candidates.resize(k_);
+
+  std::vector<double> scores;
+  std::vector<std::string> labels;
+  scores.reserve(candidates.size());
+  labels.reserve(candidates.size());
+  for (auto& [score, label] : candidates) {
+    scores.push_back(score);
+    labels.push_back(std::move(label));
+  }
+  const Packet& first = *in.front();
+  out.push_back(Packet::make(first.stream_id(), first.tag(), first.src_rank(), kFormat,
+                             {std::move(scores), std::move(labels)}));
+}
+
+}  // namespace tbon

@@ -1,0 +1,31 @@
+// Top-k selection filter.
+//
+// A classic tree-friendly reduction: each level keeps only the k largest
+// (score, label) pairs of its children's candidates, so per-level traffic is
+// O(k) regardless of fan-out or back-end count.  Top-k is the shape of many
+// of the paper's motivating data-mining queries ("frequencies and other
+// statistics of classes of elements", §2.3).
+//
+// Payload format: "vf64 vstr" = (scores, labels), sorted descending.
+// Parameter: k (default 10) via stream params.
+#pragma once
+
+#include "core/filter.hpp"
+
+namespace tbon {
+
+class TopKFilter final : public TransformFilter {
+ public:
+  static constexpr const char* kFormat = "vf64 vstr";
+
+  explicit TopKFilter(const FilterContext& ctx)
+      : k_(static_cast<std::size_t>(ctx.params.get_int("k", 10))) {}
+
+  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 const FilterContext& ctx) override;
+
+ private:
+  std::size_t k_;
+};
+
+}  // namespace tbon

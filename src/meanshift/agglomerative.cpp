@@ -1,0 +1,123 @@
+#include "meanshift/agglomerative.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/registry.hpp"
+
+namespace tbon::ms::agg {
+
+std::vector<Cluster> singletons(std::span<const Point2> points) {
+  std::vector<Cluster> clusters;
+  clusters.reserve(points.size());
+  for (const Point2& p : points) clusters.push_back(Cluster{p, 1});
+  return clusters;
+}
+
+namespace {
+
+Cluster merge_pair(const Cluster& a, const Cluster& b) {
+  const double total = static_cast<double>(a.size + b.size);
+  return Cluster{
+      Point2{(a.centroid.x * static_cast<double>(a.size) +
+              b.centroid.x * static_cast<double>(b.size)) / total,
+             (a.centroid.y * static_cast<double>(a.size) +
+              b.centroid.y * static_cast<double>(b.size)) / total},
+      a.size + b.size};
+}
+
+}  // namespace
+
+std::vector<Cluster> agglomerate(std::vector<Cluster> clusters,
+                                 const AggloParams& params) {
+  const double stop2 = params.stop_distance * params.stop_distance;
+  // Greedy nearest-pair merging.  The O(n^2) pair scan per merge is
+  // acceptable because TBON nodes operate on summaries, not raw points.
+  while (clusters.size() > 1) {
+    double best = 1e300;
+    std::size_t best_i = 0, best_j = 0;
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      for (std::size_t j = i + 1; j < clusters.size(); ++j) {
+        const double d2 = distance_squared(clusters[i].centroid, clusters[j].centroid);
+        if (d2 < best) {
+          best = d2;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    if (best > stop2) break;  // "nearest neighbors" are now too far apart
+    clusters[best_i] = merge_pair(clusters[best_i], clusters[best_j]);
+    clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(best_j));
+  }
+
+  // Deterministic order: largest first, ties by coordinates.
+  std::sort(clusters.begin(), clusters.end(), [](const Cluster& a, const Cluster& b) {
+    if (a.size != b.size) return a.size > b.size;
+    if (a.centroid.x != b.centroid.x) return a.centroid.x < b.centroid.x;
+    return a.centroid.y < b.centroid.y;
+  });
+  if (params.max_clusters > 0 && clusters.size() > params.max_clusters) {
+    clusters.resize(params.max_clusters);
+  }
+  return clusters;
+}
+
+std::vector<DataValue> AggloCodec::to_values(std::span<const Cluster> clusters) {
+  std::vector<double> xs, ys;
+  std::vector<std::int64_t> sizes;
+  xs.reserve(clusters.size());
+  ys.reserve(clusters.size());
+  sizes.reserve(clusters.size());
+  for (const Cluster& cluster : clusters) {
+    xs.push_back(cluster.centroid.x);
+    ys.push_back(cluster.centroid.y);
+    sizes.push_back(static_cast<std::int64_t>(cluster.size));
+  }
+  return {std::move(xs), std::move(ys), std::move(sizes)};
+}
+
+std::vector<Cluster> AggloCodec::from_values(const Packet& packet,
+                                             std::size_t first_field) {
+  const auto& xs = packet.get_vf64(first_field);
+  const auto& ys = packet.get_vf64(first_field + 1);
+  const auto& sizes = packet.get_vi64(first_field + 2);
+  if (xs.size() != ys.size() || xs.size() != sizes.size()) {
+    throw CodecError("agglomerative payload shape mismatch");
+  }
+  std::vector<Cluster> clusters;
+  clusters.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    clusters.push_back(Cluster{{xs[i], ys[i]}, static_cast<std::uint64_t>(sizes[i])});
+  }
+  return clusters;
+}
+
+AgglomerativeFilter::AgglomerativeFilter(const FilterContext& ctx) {
+  params_.stop_distance = ctx.params.get_double("stop_distance", params_.stop_distance);
+  params_.max_clusters = static_cast<std::size_t>(
+      ctx.params.get_int("max_clusters", static_cast<std::int64_t>(params_.max_clusters)));
+}
+
+void AgglomerativeFilter::transform(std::span<const PacketPtr> in,
+                                    std::vector<PacketPtr>& out, const FilterContext&) {
+  std::vector<Cluster> merged;
+  for (const PacketPtr& packet : in) {
+    const auto clusters = AggloCodec::from_values(*packet);
+    merged.insert(merged.end(), clusters.begin(), clusters.end());
+  }
+  merged = agglomerate(std::move(merged), params_);
+  const Packet& first = *in.front();
+  out.push_back(Packet::make(first.stream_id(), first.tag(), first.src_rank(),
+                             AggloCodec::kFormat, AggloCodec::to_values(merged)));
+}
+
+void register_agglomerative_filter() {
+  auto& registry = FilterRegistry::instance();
+  if (registry.has_transform("agglomerative")) return;
+  registry.register_transform("agglomerative", [](const FilterContext& ctx) {
+    return std::unique_ptr<TransformFilter>(std::make_unique<AgglomerativeFilter>(ctx));
+  });
+}
+
+}  // namespace tbon::ms::agg

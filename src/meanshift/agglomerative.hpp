@@ -1,0 +1,81 @@
+// Distributed agglomerative clustering over a TBON (paper §2.3).
+//
+// "In agglomerative clustering, a data set with N elements is initially
+// partitioned into N clusters each containing a single element.  Larger
+// clusters are formed by iteratively merging nearest-neighbor clusters."
+//
+// The distributed decomposition follows the paper's general recipe
+// (Figure 2): every back-end agglomerates its local points bottom-up until
+// no two clusters are closer than the stop distance, then ships the
+// surviving *cluster summaries* (centroid, size) upward; each internal node
+// merges its children's summaries and agglomerates again.  Because a
+// summary stands for all the points it absorbed (sizes weight the centroid
+// updates), the tree computes the same dendrogram cut a central
+// agglomeration would — up to ties — while shipping only O(clusters) per
+// edge: a textbook §2.3 data reduction.
+//
+// Linkage: centroid linkage (clusters merge when their size-weighted
+// centroids are nearest), the variant that composes exactly through
+// summaries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/filter.hpp"
+#include "meanshift/meanshift.hpp"
+
+namespace tbon::ms::agg {
+
+/// A cluster summary: size-weighted centroid.
+struct Cluster {
+  Point2 centroid;
+  std::uint64_t size = 1;
+
+  friend bool operator==(const Cluster&, const Cluster&) = default;
+};
+
+struct AggloParams {
+  /// Stop merging when the nearest pair is farther apart than this.
+  double stop_distance = 40.0;
+  /// Optional cap on the number of clusters a node forwards (0 = no cap);
+  /// when capped, the largest clusters survive.
+  std::size_t max_clusters = 0;
+};
+
+/// Turn raw points into singleton clusters.
+std::vector<Cluster> singletons(std::span<const Point2> points);
+
+/// Greedy centroid-linkage agglomeration: repeatedly merge the globally
+/// nearest pair until the nearest distance exceeds params.stop_distance,
+/// then apply the forwarding cap.  O(n^2) per round — fine at summary scale.
+std::vector<Cluster> agglomerate(std::vector<Cluster> clusters,
+                                 const AggloParams& params);
+
+/// Packet codec.  Format "vf64 vf64 vi64" = (xs, ys, sizes).
+struct AggloCodec {
+  static constexpr const char* kFormat = "vf64 vf64 vi64";
+  static std::vector<DataValue> to_values(std::span<const Cluster> clusters);
+  static std::vector<Cluster> from_values(const Packet& packet,
+                                          std::size_t first_field = 0);
+};
+
+/// The TBON filter: concatenates children's summaries and re-agglomerates.
+/// Stream params: stop_distance, max_clusters.  Register as "agglomerative"
+/// via register_agglomerative_filter().
+class AgglomerativeFilter final : public TransformFilter {
+ public:
+  explicit AgglomerativeFilter(const FilterContext& ctx);
+
+  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 const FilterContext& ctx) override;
+
+ private:
+  AggloParams params_;
+};
+
+/// Idempotent registration with the global registry.
+void register_agglomerative_filter();
+
+}  // namespace tbon::ms::agg

@@ -1,0 +1,209 @@
+#include "meanshift/distributed.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "common/trace.hpp"
+#include "core/registry.hpp"
+
+namespace tbon::ms {
+
+DistributedParams params_from_config(const Config& config) {
+  DistributedParams params;
+  params.shift.bandwidth = config.get_double("bandwidth", params.shift.bandwidth);
+  params.shift.kernel = parse_kernel(config.get("kernel", "gaussian"));
+  params.shift.max_iterations = static_cast<std::size_t>(
+      config.get_int("max_iterations", static_cast<std::int64_t>(params.shift.max_iterations)));
+  params.shift.convergence_eps =
+      config.get_double("convergence_eps", params.shift.convergence_eps);
+  params.shift.density_threshold =
+      config.get_double("density_threshold", params.shift.density_threshold);
+  params.shift.merge_radius = config.get_double("merge_radius", params.shift.merge_radius);
+  params.keep_factor = config.get_double("keep_factor", params.keep_factor);
+  params.max_forward = static_cast<std::size_t>(
+      config.get_int("max_forward", static_cast<std::int64_t>(params.max_forward)));
+  params.trace = config.get_bool("trace", false);
+  return params;
+}
+
+std::string params_to_string(const DistributedParams& params) {
+  std::ostringstream out;
+  out << "bandwidth=" << params.shift.bandwidth
+      << " kernel=" << kernel_name(params.shift.kernel)
+      << " max_iterations=" << params.shift.max_iterations
+      << " convergence_eps=" << params.shift.convergence_eps
+      << " density_threshold=" << params.shift.density_threshold
+      << " merge_radius=" << params.shift.merge_radius
+      << " keep_factor=" << params.keep_factor
+      << " max_forward=" << params.max_forward
+      << " trace=" << (params.trace ? 1 : 0);
+  return out.str();
+}
+
+std::vector<DataValue> MeanShiftCodec::to_values(const LocalResult& result) {
+  std::vector<double> xs, ys, peak_xs, peak_ys;
+  std::vector<std::int64_t> supports;
+  xs.reserve(result.points.size());
+  ys.reserve(result.points.size());
+  for (const Point2& p : result.points) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+  }
+  peak_xs.reserve(result.peaks.size());
+  peak_ys.reserve(result.peaks.size());
+  supports.reserve(result.peaks.size());
+  for (const Peak& peak : result.peaks) {
+    peak_xs.push_back(peak.position.x);
+    peak_ys.push_back(peak.position.y);
+    supports.push_back(static_cast<std::int64_t>(peak.support));
+  }
+  return {std::move(xs), std::move(ys), std::move(peak_xs), std::move(peak_ys),
+          std::move(supports)};
+}
+
+LocalResult MeanShiftCodec::from_values(const Packet& packet, std::size_t first_field) {
+  const auto& xs = packet.get_vf64(first_field);
+  const auto& ys = packet.get_vf64(first_field + 1);
+  const auto& peak_xs = packet.get_vf64(first_field + 2);
+  const auto& peak_ys = packet.get_vf64(first_field + 3);
+  const auto& supports = packet.get_vi64(first_field + 4);
+  if (xs.size() != ys.size() || peak_xs.size() != peak_ys.size() ||
+      peak_xs.size() != supports.size()) {
+    throw CodecError("mean-shift payload shape mismatch");
+  }
+  LocalResult result;
+  result.points.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) result.points.push_back({xs[i], ys[i]});
+  result.peaks.reserve(peak_xs.size());
+  for (std::size_t i = 0; i < peak_xs.size(); ++i) {
+    result.peaks.push_back(Peak{{peak_xs[i], peak_ys[i]},
+                                static_cast<std::uint64_t>(supports[i])});
+  }
+  return result;
+}
+
+namespace {
+
+/// Keep points near any peak, thinned uniformly to at most max_forward.
+std::vector<Point2> reduce_points(std::span<const Point2> data,
+                                  std::span<const Peak> peaks,
+                                  const DistributedParams& params) {
+  const double radius = params.keep_factor * params.shift.bandwidth;
+  const double radius2 = radius * radius;
+  std::vector<Point2> kept;
+  for (const Point2& p : data) {
+    for (const Peak& peak : peaks) {
+      if (distance_squared(p, peak.position) <= radius2) {
+        kept.push_back(p);
+        break;
+      }
+    }
+  }
+  if (kept.size() > params.max_forward) {
+    // Uniform stride thinning preserves spatial distribution.
+    std::vector<Point2> thinned;
+    thinned.reserve(params.max_forward);
+    const double stride =
+        static_cast<double>(kept.size()) / static_cast<double>(params.max_forward);
+    for (std::size_t i = 0; i < params.max_forward; ++i) {
+      thinned.push_back(kept[static_cast<std::size_t>(static_cast<double>(i) * stride)]);
+    }
+    kept = std::move(thinned);
+  }
+  return kept;
+}
+
+std::uint64_t result_bytes(const LocalResult& result) {
+  return result.points.size() * 16 + result.peaks.size() * 24;
+}
+
+/// Record one execution.  The duration is the *thread CPU time* consumed,
+/// not wall time: node threads time-share the host's cores, and the
+/// critical-path analysis needs each node's true compute cost (DESIGN.md §5).
+void record_trace(bool enabled, std::uint32_t node_id, std::int64_t wall_start_ns,
+                  std::int64_t cpu_start_ns, const char* label,
+                  const LocalResult& result) {
+  if (!enabled) return;
+  const std::int64_t cpu_ns = thread_cpu_ns() - cpu_start_ns;
+  TraceRecorder::instance().record(TraceEvent{
+      .node_id = node_id,
+      .start_ns = wall_start_ns,
+      .end_ns = wall_start_ns + cpu_ns,
+      .bytes_out = result_bytes(result),
+      .label = label,
+  });
+}
+
+}  // namespace
+
+LocalResult leaf_compute(std::span<const Point2> data, const DistributedParams& params,
+                         std::uint32_t node_id_for_trace) {
+  const auto start = now_ns();
+  const auto cpu_start = thread_cpu_ns();
+  LocalResult result;
+  result.peaks = cluster_single_node(data, params.shift);
+  result.points = reduce_points(data, result.peaks, params);
+  record_trace(params.trace, node_id_for_trace, start, cpu_start, "leaf_compute",
+               result);
+  return result;
+}
+
+LocalResult merge_compute(std::span<const LocalResult> children,
+                          const DistributedParams& params,
+                          std::uint32_t node_id_for_trace) {
+  const auto start = now_ns();
+  const auto cpu_start = thread_cpu_ns();
+  // "Each parent node merges the data sets of its children..."
+  std::vector<Point2> merged_points;
+  std::vector<Point2> child_modes;
+  std::vector<std::uint64_t> child_supports;
+  for (const LocalResult& child : children) {
+    merged_points.insert(merged_points.end(), child.points.begin(), child.points.end());
+    for (const Peak& peak : child.peaks) {
+      child_modes.push_back(peak.position);
+      child_supports.push_back(peak.support);
+    }
+  }
+  // "...then applies the mean shift procedure to the new data set using the
+  //  peaks determined by child nodes as the starting points."  Children see
+  //  (nearly) the same modes, so their peaks cluster tightly; deduplicate
+  //  them first so the number of shift searches stays proportional to the
+  //  number of distinct modes, not to the fan-in.  This is what keeps the
+  //  per-node merge cost linear in its input — and the deep-tree runtime
+  //  proportional to the fan-out, as the paper observes (§3.2).
+  const std::vector<Peak> deduped =
+      merge_modes(child_modes, child_supports, params.shift);
+  std::vector<Point2> seeds;
+  seeds.reserve(deduped.size());
+  for (const Peak& peak : deduped) seeds.push_back(peak.position);
+  LocalResult result;
+  result.peaks = mean_shift(merged_points, seeds, params.shift);
+  result.points = reduce_points(merged_points, result.peaks, params);
+  record_trace(params.trace, node_id_for_trace, start, cpu_start, "merge_shift",
+               result);
+  return result;
+}
+
+void MeanShiftFilter::transform(std::span<const PacketPtr> in,
+                                std::vector<PacketPtr>& out, const FilterContext& ctx) {
+  std::vector<LocalResult> children;
+  children.reserve(in.size());
+  for (const PacketPtr& packet : in) {
+    children.push_back(MeanShiftCodec::from_values(*packet));
+  }
+  const LocalResult merged = merge_compute(children, params_, ctx.node_id);
+  const Packet& first = *in.front();
+  out.push_back(Packet::make(first.stream_id(), first.tag(), first.src_rank(),
+                             MeanShiftCodec::kFormat, MeanShiftCodec::to_values(merged)));
+}
+
+void register_mean_shift_filter() {
+  auto& registry = FilterRegistry::instance();
+  if (registry.has_transform("mean_shift")) return;
+  registry.register_transform("mean_shift", [](const FilterContext& ctx) {
+    return std::unique_ptr<TransformFilter>(std::make_unique<MeanShiftFilter>(ctx));
+  });
+}
+
+}  // namespace tbon::ms

@@ -1,0 +1,208 @@
+#include "meanshift/meanshift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tbon::ms {
+
+double distance_squared(Point2 a, Point2 b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+double distance(Point2 a, Point2 b) { return std::sqrt(distance_squared(a, b)); }
+
+Kernel parse_kernel(const std::string& name) {
+  if (name == "gaussian") return Kernel::kGaussian;
+  if (name == "uniform") return Kernel::kUniform;
+  if (name == "epanechnikov" || name == "quadratic") return Kernel::kEpanechnikov;
+  if (name == "triangular") return Kernel::kTriangular;
+  throw ParseError("unknown kernel '" + name + "'");
+}
+
+const char* kernel_name(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::kGaussian:
+      return "gaussian";
+    case Kernel::kUniform:
+      return "uniform";
+    case Kernel::kEpanechnikov:
+      return "epanechnikov";
+    case Kernel::kTriangular:
+      return "triangular";
+  }
+  return "?";
+}
+
+double kernel_weight(Kernel kernel, double u) {
+  if (u > 1.0) return 0.0;
+  switch (kernel) {
+    case Kernel::kGaussian:
+      // exp(-u/(2*sigma^2)) with sigma = 1/3: ~3-sigma support inside the
+      // window, giving the smoothing behaviour the paper chose for noisy data.
+      return std::exp(-4.5 * u);
+    case Kernel::kUniform:
+      return 1.0;
+    case Kernel::kEpanechnikov:
+      return 1.0 - u;
+    case Kernel::kTriangular:
+      return 1.0 - std::sqrt(u);
+  }
+  return 0.0;
+}
+
+ShiftResult shift_to_mode(std::span<const Point2> data, Point2 start,
+                          const MeanShiftParams& params) {
+  const double h2 = params.bandwidth * params.bandwidth;
+  const double eps2 = params.convergence_eps * params.convergence_eps;
+  ShiftResult result{.mode = start, .iterations = 0, .converged = false};
+
+  // Figure 3 of the paper:
+  //   do
+  //     for all points in window around current centroid
+  //       calculate euclidean distance from current centroid
+  //       use distances to calculate mean-shift vector toward higher density
+  //   while mean-shift vector is non-zero
+  while (result.iterations < params.max_iterations) {
+    double wx = 0.0, wy = 0.0, wsum = 0.0;
+    for (const Point2& p : data) {
+      const double u = distance_squared(p, result.mode) / h2;
+      const double w = kernel_weight(params.kernel, u);
+      if (w > 0.0) {
+        wx += w * p.x;
+        wy += w * p.y;
+        wsum += w;
+      }
+    }
+    ++result.iterations;
+    if (wsum <= 0.0) break;  // empty window: nowhere to go
+    const Point2 next{wx / wsum, wy / wsum};
+    const double moved2 = distance_squared(next, result.mode);
+    result.mode = next;
+    if (moved2 < eps2) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+std::size_t window_population(std::span<const Point2> data, Point2 center,
+                              double bandwidth) {
+  const double h2 = bandwidth * bandwidth;
+  std::size_t count = 0;
+  for (const Point2& p : data) {
+    if (distance_squared(p, center) <= h2) ++count;
+  }
+  return count;
+}
+
+std::vector<Point2> find_seeds(std::span<const Point2> data,
+                               const MeanShiftParams& params) {
+  std::vector<Point2> seeds;
+  if (data.empty()) return seeds;
+
+  double min_x = data[0].x, max_x = data[0].x;
+  double min_y = data[0].y, max_y = data[0].y;
+  for (const Point2& p : data) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+
+  // Scan a bandwidth-spaced grid ("we scan across the data and calculate the
+  // density of the data using a fixed window", §3.1).
+  const double step = params.bandwidth;
+  for (double y = min_y; y <= max_y + step * 0.5; y += step) {
+    for (double x = min_x; x <= max_x + step * 0.5; x += step) {
+      const Point2 center{x, y};
+      if (static_cast<double>(window_population(data, center, params.bandwidth)) >=
+          params.density_threshold) {
+        seeds.push_back(center);
+      }
+    }
+  }
+  return seeds;
+}
+
+std::vector<Peak> merge_modes(std::span<const Point2> modes,
+                              std::span<const std::uint64_t> supports,
+                              const MeanShiftParams& params) {
+  const double radius =
+      params.merge_radius > 0.0 ? params.merge_radius : params.bandwidth * 0.5;
+  const double radius2 = radius * radius;
+
+  std::vector<Peak> peaks;
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    const std::uint64_t support = supports.empty() ? 1 : supports[i];
+    bool absorbed = false;
+    for (Peak& peak : peaks) {
+      if (distance_squared(peak.position, modes[i]) <= radius2) {
+        // Support-weighted centroid keeps the merge order-insensitive.
+        const double total = static_cast<double>(peak.support + support);
+        peak.position.x =
+            (peak.position.x * static_cast<double>(peak.support) +
+             modes[i].x * static_cast<double>(support)) / total;
+        peak.position.y =
+            (peak.position.y * static_cast<double>(peak.support) +
+             modes[i].y * static_cast<double>(support)) / total;
+        peak.support += support;
+        absorbed = true;
+        break;
+      }
+    }
+    if (!absorbed) peaks.push_back(Peak{modes[i], support});
+  }
+  std::sort(peaks.begin(), peaks.end(), [](const Peak& a, const Peak& b) {
+    if (a.support != b.support) return a.support > b.support;
+    if (a.position.x != b.position.x) return a.position.x < b.position.x;
+    return a.position.y < b.position.y;
+  });
+  return peaks;
+}
+
+std::vector<Peak> mean_shift(std::span<const Point2> data, std::span<const Point2> seeds,
+                             const MeanShiftParams& params) {
+  std::vector<Point2> modes;
+  std::vector<std::uint64_t> supports;
+  modes.reserve(seeds.size());
+  for (const Point2& seed : seeds) {
+    const ShiftResult result = shift_to_mode(data, seed, params);
+    const std::size_t population =
+        window_population(data, result.mode, params.bandwidth);
+    if (population == 0) continue;  // drifted into emptiness
+    modes.push_back(result.mode);
+    supports.push_back(population);
+  }
+  return merge_modes(modes, supports, params);
+}
+
+std::vector<Peak> cluster_single_node(std::span<const Point2> data,
+                                      const MeanShiftParams& params) {
+  const std::vector<Point2> seeds = find_seeds(data, params);
+  return mean_shift(data, seeds, params);
+}
+
+std::vector<std::int32_t> assign_clusters(std::span<const Point2> data,
+                                          std::span<const Peak> peaks,
+                                          const MeanShiftParams& params) {
+  std::vector<std::int32_t> labels(data.size(), -1);
+  const double h2 = params.bandwidth * params.bandwidth;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    double best = h2;
+    for (std::size_t k = 0; k < peaks.size(); ++k) {
+      const double d2 = distance_squared(data[i], peaks[k].position);
+      if (d2 <= best) {
+        best = d2;
+        labels[i] = static_cast<std::int32_t>(k);
+      }
+    }
+  }
+  return labels;
+}
+
+}  // namespace tbon::ms

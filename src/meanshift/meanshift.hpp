@@ -1,0 +1,111 @@
+// Mean-shift mode seeking (Fukunaga & Hostetler 1975; Cheng 1995) — the
+// paper's case-study algorithm, for two-dimensional data as in §3.1.
+//
+// "Mean-shift is an iterative procedure that shifts the center of a search
+// window in the direction of greatest increase in the density of the data
+// set being explored ... until the window is centered on a region of
+// maximum density."
+//
+// The implementation mirrors the paper's choices:
+//   * a shape function weights points in the window — Gaussian by default
+//     ("greater weight to points nearer to the center; this effectively
+//     smooths the data"), with Uniform, Epanechnikov (quadratic) and
+//     Triangular as the alternatives the paper lists;
+//   * a fixed bandwidth (the paper uses 50 for its synthetic data);
+//   * a minimum-density threshold selects the starting points of searches
+//     ("low density areas are poor candidates for modes");
+//   * iteration stops when the shift vector vanishes or a maximum iteration
+//     threshold is reached.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tbon::ms {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point2 operator+(Point2 a, Point2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point2 operator-(Point2 a, Point2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point2 operator*(Point2 a, double s) { return {a.x * s, a.y * s}; }
+  friend bool operator==(const Point2&, const Point2&) = default;
+};
+
+double distance_squared(Point2 a, Point2 b);
+double distance(Point2 a, Point2 b);
+
+/// Shape functions weighting window points by normalized squared distance
+/// u = d^2 / h^2 (paper §3.1: Gaussian, uniform, quadratic, triangular).
+enum class Kernel : std::uint8_t { kGaussian, kUniform, kEpanechnikov, kTriangular };
+
+Kernel parse_kernel(const std::string& name);
+const char* kernel_name(Kernel kernel);
+
+/// Kernel weight for normalized squared distance `u` in [0, inf).
+/// Support is compact (u <= 1) for all kernels; the Gaussian is truncated at
+/// the window edge, matching a windowed mean-shift implementation.
+double kernel_weight(Kernel kernel, double u);
+
+struct MeanShiftParams {
+  double bandwidth = 50.0;          ///< window radius h (paper's value)
+  Kernel kernel = Kernel::kGaussian;
+  std::size_t max_iterations = 100; ///< iteration threshold (paper §3.1)
+  double convergence_eps = 1e-2;    ///< "mean-shift vector is non-zero" cutoff
+  double density_threshold = 8.0;   ///< min points per window to seed a search
+  double merge_radius = 0.0;        ///< peak merge distance; 0 => bandwidth/2
+};
+
+/// One discovered density peak.
+struct Peak {
+  Point2 position;
+  std::uint64_t support = 0;  ///< points that converged to / seeded this peak
+
+  friend bool operator==(const Peak&, const Peak&) = default;
+};
+
+/// Run the mean-shift procedure from one starting point; returns the mode
+/// location and the number of iterations used.
+struct ShiftResult {
+  Point2 mode;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+ShiftResult shift_to_mode(std::span<const Point2> data, Point2 start,
+                          const MeanShiftParams& params);
+
+/// Number of points within the window (radius = bandwidth) around `center`.
+std::size_t window_population(std::span<const Point2> data, Point2 center,
+                              double bandwidth);
+
+/// Density-threshold seed selection: scan a bandwidth-spaced grid over the
+/// data's bounding box and keep cell centers whose window population meets
+/// params.density_threshold (paper §3.1: "the regions where the density is
+/// above our chosen threshold are used as the starting points").
+std::vector<Point2> find_seeds(std::span<const Point2> data,
+                               const MeanShiftParams& params);
+
+/// Merge modes closer than the merge radius into peaks, pooling support.
+std::vector<Peak> merge_modes(std::span<const Point2> modes,
+                              std::span<const std::uint64_t> supports,
+                              const MeanShiftParams& params);
+
+/// Full mean-shift clustering from explicit seeds: shift every seed to its
+/// mode, then merge nearby modes into peaks (sorted by descending support).
+std::vector<Peak> mean_shift(std::span<const Point2> data, std::span<const Point2> seeds,
+                             const MeanShiftParams& params);
+
+/// The single-node baseline of §3.1: density scan for seeds, then mean_shift.
+std::vector<Peak> cluster_single_node(std::span<const Point2> data,
+                                      const MeanShiftParams& params);
+
+/// Assign every point to the nearest peak within `bandwidth` (label -1 for
+/// unassigned noise); used for segmentation-style output.
+std::vector<std::int32_t> assign_clusters(std::span<const Point2> data,
+                                          std::span<const Peak> peaks,
+                                          const MeanShiftParams& params);
+
+}  // namespace tbon::ms

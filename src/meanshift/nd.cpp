@@ -1,0 +1,194 @@
+#include "meanshift/nd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace tbon::ms::nd {
+
+DatasetView::DatasetView(std::span<const double> coords, std::size_t dim)
+    : coords_(coords), dim_(dim) {
+  if (dim == 0) throw Error("dataset dimension must be positive");
+  if (coords.size() % dim != 0) throw Error("coordinate count not divisible by dim");
+}
+
+double distance_squared(std::span<const double> a, std::span<const double> b) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double delta = a[i] - b[i];
+    total += delta * delta;
+  }
+  return total;
+}
+
+std::size_t window_population(const DatasetView& data, std::span<const double> center,
+                              double bandwidth) {
+  const double h2 = bandwidth * bandwidth;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (distance_squared(data.point(i), center) <= h2) ++count;
+  }
+  return count;
+}
+
+ShiftResultN shift_to_mode(const DatasetView& data, std::span<const double> start,
+                           const MeanShiftParams& params) {
+  const double h2 = params.bandwidth * params.bandwidth;
+  const double eps2 = params.convergence_eps * params.convergence_eps;
+  ShiftResultN result;
+  result.mode.assign(start.begin(), start.end());
+
+  std::vector<double> next(data.dim(), 0.0);
+  while (result.iterations < params.max_iterations) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double weight_sum = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const auto point = data.point(i);
+      const double u = distance_squared(point, result.mode) / h2;
+      const double w = kernel_weight(params.kernel, u);
+      if (w > 0.0) {
+        for (std::size_t d = 0; d < next.size(); ++d) next[d] += w * point[d];
+        weight_sum += w;
+      }
+    }
+    ++result.iterations;
+    if (weight_sum <= 0.0) break;
+    for (double& coordinate : next) coordinate /= weight_sum;
+    const double moved2 = distance_squared(next, result.mode);
+    result.mode.assign(next.begin(), next.end());
+    if (moved2 < eps2) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<double>> find_seeds(const DatasetView& data,
+                                            const MeanShiftParams& params,
+                                            std::size_t stride) {
+  std::vector<std::vector<double>> seeds;
+  if (stride == 0) stride = 1;
+  for (std::size_t i = 0; i < data.size(); i += stride) {
+    const auto point = data.point(i);
+    if (static_cast<double>(window_population(data, point, params.bandwidth)) >=
+        params.density_threshold) {
+      seeds.emplace_back(point.begin(), point.end());
+    }
+  }
+  return seeds;
+}
+
+std::vector<PeakN> merge_modes(std::span<const std::vector<double>> modes,
+                               std::span<const std::uint64_t> supports,
+                               const MeanShiftParams& params) {
+  const double radius =
+      params.merge_radius > 0.0 ? params.merge_radius : params.bandwidth * 0.5;
+  const double radius2 = radius * radius;
+  std::vector<PeakN> peaks;
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    const std::uint64_t support = supports.empty() ? 1 : supports[i];
+    bool absorbed = false;
+    for (PeakN& peak : peaks) {
+      if (distance_squared(peak.position, modes[i]) <= radius2) {
+        const double total = static_cast<double>(peak.support + support);
+        for (std::size_t d = 0; d < peak.position.size(); ++d) {
+          peak.position[d] = (peak.position[d] * static_cast<double>(peak.support) +
+                              modes[i][d] * static_cast<double>(support)) /
+                             total;
+        }
+        peak.support += support;
+        absorbed = true;
+        break;
+      }
+    }
+    if (!absorbed) peaks.push_back(PeakN{modes[i], support});
+  }
+  std::sort(peaks.begin(), peaks.end(), [](const PeakN& a, const PeakN& b) {
+    if (a.support != b.support) return a.support > b.support;
+    return a.position < b.position;
+  });
+  return peaks;
+}
+
+std::vector<PeakN> mean_shift(const DatasetView& data,
+                              std::span<const std::vector<double>> seeds,
+                              const MeanShiftParams& params) {
+  std::vector<std::vector<double>> modes;
+  std::vector<std::uint64_t> supports;
+  for (const auto& seed : seeds) {
+    ShiftResultN result = shift_to_mode(data, seed, params);
+    const std::size_t population = window_population(data, result.mode, params.bandwidth);
+    if (population == 0) continue;
+    modes.push_back(std::move(result.mode));
+    supports.push_back(population);
+  }
+  return merge_modes(modes, supports, params);
+}
+
+std::vector<PeakN> cluster(const DatasetView& data, const MeanShiftParams& params,
+                           std::size_t seed_stride) {
+  const auto seeds = find_seeds(data, params, seed_stride);
+  return mean_shift(data, seeds, params);
+}
+
+std::vector<std::int32_t> assign_clusters(const DatasetView& data,
+                                          std::span<const PeakN> peaks,
+                                          const MeanShiftParams& params) {
+  std::vector<std::int32_t> labels(data.size(), -1);
+  const double h2 = params.bandwidth * params.bandwidth;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    double best = h2;
+    for (std::size_t k = 0; k < peaks.size(); ++k) {
+      const double d2 = distance_squared(data.point(i), peaks[k].position);
+      if (d2 <= best) {
+        best = d2;
+        labels[i] = static_cast<std::int32_t>(k);
+      }
+    }
+  }
+  return labels;
+}
+
+std::vector<std::vector<double>> true_centers(const SynthNdParams& params) {
+  Rng rng(params.seed * 7919 + 3);
+  std::vector<std::vector<double>> centers;
+  centers.reserve(params.num_clusters);
+  // Rejection-sample centers at pairwise distance >= 6 bandwidth-ish units
+  // so clusters stay separable in any dimension.
+  const double min_separation = 8.0 * params.cluster_stddev;
+  while (centers.size() < params.num_clusters) {
+    std::vector<double> candidate(params.dim);
+    for (double& c : candidate) c = rng.uniform(0.15, 0.85) * params.domain;
+    const bool clear = std::all_of(centers.begin(), centers.end(), [&](const auto& c) {
+      return distance_squared(c, candidate) >= min_separation * min_separation;
+    });
+    if (clear) centers.push_back(std::move(candidate));
+  }
+  return centers;
+}
+
+std::vector<double> generate(const SynthNdParams& params) {
+  const auto centers = true_centers(params);
+  Rng rng(params.seed * 104729 + 11);
+  std::vector<double> coords;
+  coords.reserve((params.num_clusters * params.points_per_cluster + params.noise_points) *
+                 params.dim);
+  for (const auto& center : centers) {
+    for (std::size_t i = 0; i < params.points_per_cluster; ++i) {
+      for (std::size_t d = 0; d < params.dim; ++d) {
+        coords.push_back(rng.gaussian(center[d], params.cluster_stddev));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < params.noise_points; ++i) {
+    for (std::size_t d = 0; d < params.dim; ++d) {
+      coords.push_back(rng.uniform(0.0, params.domain));
+    }
+  }
+  return coords;
+}
+
+}  // namespace tbon::ms::nd

@@ -1,0 +1,102 @@
+// N-dimensional mean-shift.
+//
+// The paper's case study is two-dimensional, but its motivation is general:
+// "the computation becomes prohibitively expensive as the size and
+// complexity (dimensionality) of the data space increases" (§3, citing
+// Cheng).  This module generalizes the algorithm to arbitrary dimension so
+// the repository can quantify that cost growth (bench/meanshift_micro) and
+// serve feature spaces such as color+position (5-D) segmentation.
+//
+// Data layout: row-major flat array, `dim` doubles per point.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "meanshift/meanshift.hpp"
+
+namespace tbon::ms::nd {
+
+/// A borrowed view of n points in d dimensions (row-major).
+class DatasetView {
+ public:
+  DatasetView(std::span<const double> coords, std::size_t dim);
+
+  std::size_t dim() const noexcept { return dim_; }
+  std::size_t size() const noexcept { return coords_.size() / dim_; }
+  std::span<const double> point(std::size_t index) const {
+    return coords_.subspan(index * dim_, dim_);
+  }
+  std::span<const double> coords() const noexcept { return coords_; }
+
+ private:
+  std::span<const double> coords_;
+  std::size_t dim_;
+};
+
+/// Squared Euclidean distance between two d-dimensional points.
+double distance_squared(std::span<const double> a, std::span<const double> b);
+
+/// Points within the window (radius = bandwidth) around `center`.
+std::size_t window_population(const DatasetView& data, std::span<const double> center,
+                              double bandwidth);
+
+/// One mean-shift search from `start`; same stopping rules as the 2-D core.
+struct ShiftResultN {
+  std::vector<double> mode;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+ShiftResultN shift_to_mode(const DatasetView& data, std::span<const double> start,
+                           const MeanShiftParams& params);
+
+/// One discovered peak with its window population.
+struct PeakN {
+  std::vector<double> position;
+  std::uint64_t support = 0;
+};
+
+/// Seed selection for high dimension: a bandwidth-spaced grid is exponential
+/// in d, so instead every `stride`-th data point whose window population
+/// meets the density threshold becomes a seed (standard practice for
+/// mean-shift in feature spaces).
+std::vector<std::vector<double>> find_seeds(const DatasetView& data,
+                                            const MeanShiftParams& params,
+                                            std::size_t stride = 16);
+
+/// Merge modes within the merge radius (support-weighted centroids), sorted
+/// by descending support.
+std::vector<PeakN> merge_modes(std::span<const std::vector<double>> modes,
+                               std::span<const std::uint64_t> supports,
+                               const MeanShiftParams& params);
+
+/// Full clustering from explicit seeds.
+std::vector<PeakN> mean_shift(const DatasetView& data,
+                              std::span<const std::vector<double>> seeds,
+                              const MeanShiftParams& params);
+
+/// Density-seeded single-node clustering (the N-D analogue of
+/// cluster_single_node).
+std::vector<PeakN> cluster(const DatasetView& data, const MeanShiftParams& params,
+                           std::size_t seed_stride = 16);
+
+/// Nearest-peak labels within one bandwidth; -1 = noise.
+std::vector<std::int32_t> assign_clusters(const DatasetView& data,
+                                          std::span<const PeakN> peaks,
+                                          const MeanShiftParams& params);
+
+/// Synthetic d-dimensional Gaussian mixture (deterministic in seed).
+struct SynthNdParams {
+  std::uint64_t seed = 42;
+  std::size_t dim = 3;
+  std::size_t num_clusters = 4;
+  std::size_t points_per_cluster = 300;
+  double domain = 1000.0;
+  double cluster_stddev = 18.0;
+  std::size_t noise_points = 100;
+};
+std::vector<std::vector<double>> true_centers(const SynthNdParams& params);
+std::vector<double> generate(const SynthNdParams& params);  ///< flat row-major
+
+}  // namespace tbon::ms::nd

@@ -1,0 +1,85 @@
+#include "meanshift/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace tbon::ms {
+
+std::vector<Point2> true_centers(const SynthParams& params) {
+  // Centers on a jittered sqrt(n) x sqrt(n) grid keeps them separated by
+  // several bandwidths for any cluster count.
+  Rng rng(params.seed * 7919 + 1);
+  const auto side = static_cast<std::size_t>(std::ceil(std::sqrt(
+      static_cast<double>(params.num_clusters))));
+  const double cell = params.domain / static_cast<double>(side);
+  std::vector<Point2> centers;
+  centers.reserve(params.num_clusters);
+  for (std::size_t i = 0; i < params.num_clusters; ++i) {
+    const double cx = (static_cast<double>(i % side) + 0.5) * cell;
+    const double cy = (static_cast<double>(i / side) + 0.5) * cell;
+    centers.push_back(Point2{cx + rng.uniform(-0.1, 0.1) * cell,
+                             cy + rng.uniform(-0.1, 0.1) * cell});
+  }
+  return centers;
+}
+
+std::vector<Point2> generate_leaf_data(std::uint32_t leaf_rank,
+                                       const SynthParams& params) {
+  const std::vector<Point2> centers = true_centers(params);
+  Rng rng(params.seed * 104729 + leaf_rank * 31 + 17);
+
+  std::vector<Point2> data;
+  data.reserve(params.num_clusters * params.points_per_cluster + params.noise_points);
+  for (const Point2& center : centers) {
+    // "The cluster centers are slightly shifted in each leaf node."
+    const Point2 shifted{center.x + rng.uniform(-params.leaf_shift, params.leaf_shift),
+                         center.y + rng.uniform(-params.leaf_shift, params.leaf_shift)};
+    for (std::size_t i = 0; i < params.points_per_cluster; ++i) {
+      data.push_back(Point2{rng.gaussian(shifted.x, params.cluster_stddev),
+                            rng.gaussian(shifted.y, params.cluster_stddev)});
+    }
+  }
+  for (std::size_t i = 0; i < params.noise_points; ++i) {
+    data.push_back(Point2{rng.uniform(0.0, params.domain),
+                          rng.uniform(0.0, params.domain)});
+  }
+  return data;
+}
+
+std::vector<Point2> generate_union(std::size_t leaves, const SynthParams& params) {
+  std::vector<Point2> all;
+  for (std::uint32_t rank = 0; rank < leaves; ++rank) {
+    const auto part = generate_leaf_data(rank, params);
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  return all;
+}
+
+double match_fraction(std::span<const Peak> peaks, std::span<const Point2> centers,
+                      double tolerance) {
+  if (centers.empty()) return 1.0;
+  const double tol2 = tolerance * tolerance;
+  std::vector<bool> used(peaks.size(), false);
+  std::size_t matched = 0;
+  for (const Point2& center : centers) {
+    double best = tol2;
+    std::size_t best_peak = peaks.size();
+    for (std::size_t i = 0; i < peaks.size(); ++i) {
+      if (used[i]) continue;
+      const double d2 = distance_squared(peaks[i].position, center);
+      if (d2 <= best) {
+        best = d2;
+        best_peak = i;
+      }
+    }
+    if (best_peak < peaks.size()) {
+      used[best_peak] = true;
+      ++matched;
+    }
+  }
+  return static_cast<double>(matched) / static_cast<double>(centers.size());
+}
+
+}  // namespace tbon::ms

@@ -1,0 +1,50 @@
+// Synthetic workload generation for the case study (paper §3.1):
+//
+//   "The data at the leaf nodes is synthetically generated.  The data about
+//    each cluster center is generated using a random Gaussian distribution.
+//    The cluster centers are slightly shifted in each leaf node as they
+//    might be in feature tracking in video processing or when processing
+//    images with non-uniform illumination."
+//
+// Cluster centers live on a jittered grid inside a square domain; every leaf
+// samples the same mixture with its own deterministic center shift and adds
+// uniform background noise.  Generation is fully deterministic in
+// (seed, leaf_rank), so distributed and single-node runs see identical data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "meanshift/meanshift.hpp"
+
+namespace tbon::ms {
+
+struct SynthParams {
+  std::uint64_t seed = 42;
+  double domain = 1000.0;            ///< data lives in [0, domain)^2
+  std::size_t num_clusters = 6;
+  std::size_t points_per_cluster = 400;
+  double cluster_stddev = 18.0;      ///< well-separated at bandwidth 50
+  std::size_t noise_points = 200;    ///< uniform background clutter
+  double leaf_shift = 6.0;           ///< max per-leaf center displacement
+};
+
+/// The mixture's true cluster centers (shared by all leaves, pre-shift).
+std::vector<Point2> true_centers(const SynthParams& params);
+
+/// Data observed by `leaf_rank`: the mixture with that leaf's center shift,
+/// plus background noise.  Deterministic in (params.seed, leaf_rank).
+std::vector<Point2> generate_leaf_data(std::uint32_t leaf_rank, const SynthParams& params);
+
+/// Union of all leaves' data [0, leaves) — what the single-node baseline
+/// processes when the experiment scales input with back-end count (§3.2:
+/// "each back-end generates input data of the same size and distribution;
+/// the input size scales with the number of back-ends").
+std::vector<Point2> generate_union(std::size_t leaves, const SynthParams& params);
+
+/// Greedy matching distance between found peaks and true centers; returns
+/// the fraction of true centers matched within `tolerance`.
+double match_fraction(std::span<const Peak> peaks, std::span<const Point2> centers,
+                      double tolerance);
+
+}  // namespace tbon::ms

@@ -1,0 +1,72 @@
+#include "sim/critical_path.hpp"
+
+#include <algorithm>
+
+namespace tbon::sim {
+namespace {
+
+double finish_time(const Topology& topology, NodeId id,
+                   const std::map<NodeId, NodeCost>& costs, const LinkModel& link,
+                   std::vector<double>& memo, std::vector<bool>& known) {
+  if (known[id]) return memo[id];
+  const auto it = costs.find(id);
+  const NodeCost cost = it != costs.end() ? it->second : NodeCost{};
+  double children_done = 0.0;
+  for (const NodeId child : topology.node(id).children) {
+    const double child_finish =
+        finish_time(topology, child, costs, link, memo, known);
+    const auto child_it = costs.find(child);
+    const std::uint64_t child_bytes =
+        child_it != costs.end() ? child_it->second.bytes_up : 0;
+    children_done =
+        std::max(children_done, child_finish + link.transfer_seconds(child_bytes));
+  }
+  memo[id] = children_done + cost.compute_seconds;
+  known[id] = true;
+  return memo[id];
+}
+
+}  // namespace
+
+double critical_path_seconds(const Topology& topology,
+                             const std::map<NodeId, NodeCost>& costs,
+                             const LinkModel& link) {
+  std::vector<double> memo(topology.num_nodes(), 0.0);
+  std::vector<bool> known(topology.num_nodes(), false);
+  const double upstream = finish_time(topology, topology.root(), costs, link, memo, known);
+  // Control broadcast: one latency per level (pipelined down the tree).
+  const double broadcast =
+      static_cast<double>(topology.depth()) * link.latency_seconds;
+  return broadcast + upstream;
+}
+
+std::map<NodeId, NodeCost> costs_from_trace(std::span<const TraceEvent> events) {
+  std::map<NodeId, NodeCost> costs;
+  for (const TraceEvent& event : events) {
+    NodeCost& cost = costs[event.node_id];
+    cost.compute_seconds += static_cast<double>(event.duration_ns()) * 1e-9;
+    cost.bytes_up = event.bytes_out;  // last event wins: the final forward
+  }
+  return costs;
+}
+
+double modeled_makespan(const Topology& topology, const MeanShiftCostModel& cost,
+                        const LinkModel& link, double points_per_leaf,
+                        double forwarded_points) {
+  std::map<NodeId, NodeCost> costs;
+  for (NodeId id = 0; id < topology.num_nodes(); ++id) {
+    NodeCost node;
+    if (topology.is_leaf(id)) {
+      node.compute_seconds = cost.leaf_seconds(points_per_leaf);
+      node.bytes_up = cost.forwarded_bytes(forwarded_points);
+    } else {
+      const double fanout = static_cast<double>(topology.node(id).children.size());
+      node.compute_seconds = cost.merge_seconds(fanout * forwarded_points);
+      node.bytes_up = cost.forwarded_bytes(forwarded_points);
+    }
+    costs[id] = node;
+  }
+  return critical_path_seconds(topology, costs, link);
+}
+
+}  // namespace tbon::sim

@@ -1,0 +1,58 @@
+// Critical-path (makespan) analysis of one tree-structured computation wave.
+//
+// In the paper's experiment every node runs once per wave: leaves compute,
+// parents merge after *all* their children finish (wait_for_all), and the
+// measured time is "from the broadcast of a control message ... until the
+// results ... are available at the front-end" (§3.2).  On a real cluster
+// each node has its own CPU, so the end-to-end time is the longest
+// dependency path:
+//
+//   finish(leaf)     = compute(leaf)
+//   finish(internal) = max over children c of
+//                        ( finish(c) + link(bytes sent by c) ) + compute(node)
+//   makespan         = finish(root) + broadcast depth * link latency
+//
+// This module evaluates that recursion either from modeled costs or from
+// *measured* per-node compute durations recorded by TraceRecorder during a
+// real run of the full TBON stack — which is how the Figure 4 bench turns
+// a one-core execution into the cluster-equivalent number (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/trace.hpp"
+#include "sim/models.hpp"
+#include "topology/topology.hpp"
+
+namespace tbon::sim {
+
+/// Per-node inputs to the recursion.
+struct NodeCost {
+  double compute_seconds = 0.0;  ///< this node's filter/compute time
+  std::uint64_t bytes_up = 0;    ///< payload this node sends to its parent
+};
+
+/// Evaluate the critical path.  `costs` must cover every node in `topology`
+/// (missing nodes count as zero).  The returned makespan includes the
+/// downstream control broadcast (depth * link latency), matching the paper's
+/// measurement window.
+double critical_path_seconds(const Topology& topology,
+                             const std::map<NodeId, NodeCost>& costs,
+                             const LinkModel& link);
+
+/// Build per-node costs from TraceRecorder events: compute time is the sum
+/// of a node's recorded durations; bytes_up is the bytes_out of its last
+/// event (what it finally forwarded).
+std::map<NodeId, NodeCost> costs_from_trace(std::span<const TraceEvent> events);
+
+/// Evaluate the critical path from a modeled workload instead of a trace:
+/// every leaf processes `points_per_leaf` input points and forwards
+/// `forwarded_points`; every internal node merges fanout * forwarded_points.
+double modeled_makespan(const Topology& topology, const MeanShiftCostModel& cost,
+                        const LinkModel& link, double points_per_leaf,
+                        double forwarded_points);
+
+}  // namespace tbon::sim

@@ -1,0 +1,53 @@
+#include "sim/des.hpp"
+
+#include "common/error.hpp"
+
+namespace tbon::sim {
+
+void Simulator::schedule_at(double when, Callback callback) {
+  if (when < now_) throw Error("cannot schedule an event in the past");
+  queue_.push(Event{when, next_sequence_++, std::move(callback)});
+}
+
+void Simulator::run_until(double t_end) {
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    // priority_queue::top() is const; move via const_cast is UB, so copy the
+    // callback handle (cheap: std::function) before popping.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++executed_;
+    event.callback();
+  }
+  if (queue_.empty() && now_ < t_end) {
+    // Clock rests at the last executed event when the queue drains.
+    return;
+  }
+  now_ = std::max(now_, std::min(t_end, now_));
+}
+
+void Server::submit(double service_seconds, Simulator::Callback on_done) {
+  jobs_.push(Job{service_seconds, std::move(on_done)});
+  ++queued_;
+  max_queued_ = std::max(max_queued_, queued_);
+  if (!serving_) start_next();
+}
+
+void Server::start_next() {
+  if (jobs_.empty()) {
+    serving_ = false;
+    return;
+  }
+  serving_ = true;
+  Job job = std::move(jobs_.front());
+  jobs_.pop();
+  --queued_;
+  busy_ += job.service_seconds;
+  sim_.schedule_in(job.service_seconds, [this, done = std::move(job.on_done)]() {
+    ++completed_;
+    if (done) done();
+    start_next();
+  });
+}
+
+}  // namespace tbon::sim

@@ -1,0 +1,91 @@
+// A small discrete-event simulation engine.
+//
+// Used by the benchmark harness to model queueing behaviour that a one-core
+// host cannot exhibit natively — e.g. the front-end of a flat one-to-many
+// organization saturating under the offered load of hundreds of daemons
+// (paper §2.2), which is a single-server queue fed by n arrival processes.
+//
+// Events are (time, sequence, callback); sequence numbers break ties so
+// execution is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace tbon::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const noexcept { return now_; }
+
+  /// Schedule `callback` at absolute time `when` (>= now).
+  void schedule_at(double when, Callback callback);
+
+  /// Schedule `callback` `delay` seconds from now.
+  void schedule_in(double delay, Callback callback) {
+    schedule_at(now_ + delay, std::move(callback));
+  }
+
+  /// Run until the event queue empties or the clock passes `t_end`.
+  void run_until(double t_end);
+
+  /// Run until the event queue empties.
+  void run() { run_until(1e300); }
+
+  std::uint64_t events_executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t sequence;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// A FIFO single-server queue (one CPU handling packets sequentially).
+/// Tracks utilization and the maximum backlog reached.
+class Server {
+ public:
+  explicit Server(Simulator& sim) : sim_(sim) {}
+
+  /// Enqueue a job taking `service_seconds`; `on_done` fires at completion.
+  void submit(double service_seconds, Simulator::Callback on_done = {});
+
+  std::size_t queue_length() const noexcept { return queued_; }
+  std::size_t max_queue_length() const noexcept { return max_queued_; }
+  double busy_seconds() const noexcept { return busy_; }
+  std::uint64_t completed() const noexcept { return completed_; }
+
+ private:
+  void start_next();
+
+  struct Job {
+    double service_seconds;
+    Simulator::Callback on_done;
+  };
+
+  Simulator& sim_;
+  std::queue<Job> jobs_;
+  bool serving_ = false;
+  std::size_t queued_ = 0;
+  std::size_t max_queued_ = 0;
+  double busy_ = 0.0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace tbon::sim

@@ -1,0 +1,32 @@
+#include "sim/models.hpp"
+
+#include "common/error.hpp"
+
+namespace tbon::sim {
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.empty()) {
+    throw Error("fit_linear needs equal-length, non-empty samples");
+  }
+  const auto n = static_cast<double>(xs.size());
+  double sum_x = 0.0, sum_y = 0.0, sum_xx = 0.0, sum_xy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sum_x += xs[i];
+    sum_y += ys[i];
+    sum_xx += xs[i] * xs[i];
+    sum_xy += xs[i] * ys[i];
+  }
+  const double denom = n * sum_xx - sum_x * sum_x;
+  LinearFit fit;
+  if (denom == 0.0) {
+    // All x identical: degenerate; model as constant.
+    fit.slope = 0.0;
+    fit.intercept = sum_y / n;
+  } else {
+    fit.slope = (n * sum_xy - sum_x * sum_y) / denom;
+    fit.intercept = (sum_y - fit.slope * sum_x) / n;
+  }
+  return fit;
+}
+
+}  // namespace tbon::sim

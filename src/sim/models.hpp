@@ -1,0 +1,65 @@
+// Performance models: network links and mean-shift compute costs.
+//
+// The paper's testbed is "a cluster of 2.8–3.2 GHz Pentium 4 workstations
+// ... inter-connected by a Gigabit Ethernet network"; the LinkModel defaults
+// approximate that fabric.  Compute costs are NOT assumed: they are
+// calibrated from real executions of this repository's own mean-shift code
+// (fit_linear over measured samples), so the figure-reproduction benches
+// combine measured compute with modeled communication (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace tbon::sim {
+
+/// Point-to-point link: latency plus bandwidth-limited transfer.
+struct LinkModel {
+  double latency_seconds = 100e-6;        ///< ~LAN round-trip/2 on GigE
+  double bandwidth_bytes_per_second = 117e6;  ///< ~1 Gb/s minus framing
+
+  double transfer_seconds(std::uint64_t bytes) const noexcept {
+    return latency_seconds +
+           static_cast<double>(bytes) / bandwidth_bytes_per_second;
+  }
+
+  /// A zero-cost link (pure compute critical path).
+  static LinkModel free() noexcept { return LinkModel{0.0, 1e300}; }
+};
+
+/// Least-squares fit of y = a * x + b over measured samples.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+
+  double operator()(double x) const noexcept { return slope * x + intercept; }
+};
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+/// Calibrated cost model for the distributed mean-shift phases.
+///
+///   leaf_seconds(n)  — run the full leaf step on n input points
+///   merge_seconds(n) — merge+re-shift n incoming points at a parent
+///   forwarded_bytes(points) — wire size of a LocalResult with that many points
+struct MeanShiftCostModel {
+  LinearFit leaf;          ///< seconds vs input points
+  LinearFit merge;         ///< seconds vs merged input points (linear part)
+  /// Quadratic merge coefficient (seconds per merged-point^2).  Merging at a
+  /// node re-runs mean-shift seeded by every child peak, so both the seed
+  /// count and the per-seed scan grow with fan-in: cost ~ O(n_in^2).  This
+  /// is precisely the paper's flat-tree consolidation bottleneck.
+  double merge_quad = 0.0;
+  double bytes_per_point = 16.0;
+  double fixed_bytes = 256.0;
+
+  double leaf_seconds(double points) const noexcept { return leaf(points); }
+  double merge_seconds(double points_in) const noexcept {
+    return merge(points_in) + merge_quad * points_in * points_in;
+  }
+  std::uint64_t forwarded_bytes(double points) const noexcept {
+    return static_cast<std::uint64_t>(points * bytes_per_point + fixed_bytes);
+  }
+};
+
+}  // namespace tbon::sim

@@ -1,0 +1,179 @@
+#include "topology/mrnet_config.hpp"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace tbon {
+namespace {
+
+struct Slot {
+  std::string host;
+  std::uint32_t index = 0;
+
+  bool operator<(const Slot& other) const {
+    if (host != other.host) return host < other.host;
+    return index < other.index;
+  }
+  bool operator==(const Slot& other) const = default;
+
+  std::string to_string() const { return host + ":" + std::to_string(index); }
+};
+
+Slot parse_slot(std::string_view token) {
+  const auto colon = token.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 || colon + 1 >= token.size()) {
+    throw ParseError("bad slot '" + std::string(token) + "' (expected host:index)");
+  }
+  Slot slot;
+  slot.host = std::string(token.substr(0, colon));
+  const auto digits = token.substr(colon + 1);
+  std::uint32_t index = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') {
+      throw ParseError("bad slot index in '" + std::string(token) + "'");
+    }
+    index = index * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  slot.index = index;
+  return slot;
+}
+
+/// Tokenize, dropping comments (# to end of line) and treating "=>" and ";"
+/// as standalone tokens.
+std::vector<std::string> tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '#') {
+      flush();
+      while (i < text.size() && text[i] != '\n') ++i;
+    } else if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      flush();
+    } else if (c == ';') {
+      flush();
+      tokens.emplace_back(";");
+    } else if (c == '=' && i + 1 < text.size() && text[i + 1] == '>') {
+      flush();
+      tokens.emplace_back("=>");
+      ++i;
+    } else {
+      current.push_back(c);
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace
+
+Topology parse_mrnet_config(std::string_view text) {
+  const auto tokens = tokenize(text);
+  // parent slot -> ordered children slots
+  std::map<Slot, std::vector<Slot>> edges;
+  std::map<Slot, int> in_degree;
+
+  std::size_t cursor = 0;
+  while (cursor < tokens.size()) {
+    const Slot parent = parse_slot(tokens[cursor++]);
+    if (cursor >= tokens.size() || tokens[cursor] != "=>") {
+      throw ParseError("expected '=>' after " + parent.to_string());
+    }
+    ++cursor;
+    auto& children = edges[parent];  // creates the parent entry
+    in_degree.emplace(parent, 0);
+    bool terminated = false;
+    while (cursor < tokens.size()) {
+      if (tokens[cursor] == ";") {
+        ++cursor;
+        terminated = true;
+        break;
+      }
+      const Slot child = parse_slot(tokens[cursor++]);
+      children.push_back(child);
+      ++in_degree[child];
+    }
+    if (!terminated) throw ParseError("missing ';' after children of " + parent.to_string());
+    if (children.empty()) throw ParseError(parent.to_string() + " declares no children");
+  }
+  if (edges.empty()) throw ParseError("empty topology config");
+
+  // The root is the slot that is a parent but never a child.
+  std::vector<Slot> roots;
+  for (const auto& [slot, degree] : in_degree) {
+    if (degree == 0) roots.push_back(slot);
+  }
+  if (roots.size() != 1) {
+    throw TopologyError("config must have exactly one root, found " +
+                        std::to_string(roots.size()));
+  }
+  for (const auto& [slot, degree] : in_degree) {
+    if (degree > 1) {
+      throw TopologyError(slot.to_string() + " has multiple parents");
+    }
+  }
+
+  // Assign node ids by BFS from the root (root = 0), preserving child order.
+  std::map<Slot, NodeId> ids;
+  std::vector<Slot> order = {roots[0]};
+  ids[roots[0]] = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto it = edges.find(order[i]);
+    if (it == edges.end()) continue;
+    for (const Slot& child : it->second) {
+      if (ids.count(child)) throw TopologyError("duplicate child " + child.to_string());
+      ids[child] = static_cast<NodeId>(order.size());
+      order.push_back(child);
+    }
+  }
+  if (order.size() != in_degree.size()) {
+    throw TopologyError("config contains nodes unreachable from the root");
+  }
+
+  std::vector<NodeId> parents(order.size(), kNoNode);
+  for (const auto& [parent, children] : edges) {
+    for (const Slot& child : children) {
+      parents[ids[child]] = ids[parent];
+    }
+  }
+  Topology topology = Topology::from_parents(parents);
+  // from_parents rebuilds children in id order, which matches the BFS
+  // numbering above, so child order is preserved.  Attach host hints via
+  // serialization round-trip (hosts are carried in the serialized form).
+  BinaryWriter writer;
+  writer.put(static_cast<std::uint32_t>(order.size()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    writer.put(parents[i]);
+    writer.put_string(order[i].host);
+  }
+  BinaryReader reader(writer.bytes());
+  return Topology::deserialize(reader);
+}
+
+std::string to_mrnet_config(const Topology& topology) {
+  // Slot indices are per-host counters in node-id order.
+  std::map<std::string, std::uint32_t> next_index;
+  std::vector<Slot> slots(topology.num_nodes());
+  for (NodeId id = 0; id < topology.num_nodes(); ++id) {
+    const std::string& host = topology.node(id).host;
+    slots[id] = Slot{host, next_index[host]++};
+  }
+  std::ostringstream out;
+  for (NodeId id = 0; id < topology.num_nodes(); ++id) {
+    const auto& children = topology.node(id).children;
+    if (children.empty()) continue;
+    out << slots[id].to_string() << " =>";
+    for (const NodeId child : children) out << ' ' << slots[child].to_string();
+    out << " ;\n";
+  }
+  return out.str();
+}
+
+}  // namespace tbon

@@ -1,0 +1,31 @@
+// MRNet-style topology configuration files.
+//
+// MRNet tools describe process trees in a config format where each line maps
+// a parent slot to its children:
+//
+//     # front-end on the first host
+//     host0:0 => host1:0 host1:1 ;
+//     host1:0 => host2:0 host2:1 host2:2 ;
+//     host1:1 => host3:0 ;
+//
+// A slot is "hostname:index".  The root is the parent that never appears as
+// a child.  This module parses that format into a Topology (preserving the
+// host placement hints) and renders a Topology back into it, so existing
+// MRNet topology files can drive this library.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "topology/topology.hpp"
+
+namespace tbon {
+
+/// Parse MRNet config text; throws ParseError on malformed input and
+/// TopologyError on structural problems (no root, two roots, cycles...).
+Topology parse_mrnet_config(std::string_view text);
+
+/// Render a topology in the same format (one line per internal node).
+std::string to_mrnet_config(const Topology& topology);
+
+}  // namespace tbon

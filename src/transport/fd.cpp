@@ -1,0 +1,91 @@
+#include "transport/fd.hpp"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace tbon {
+namespace {
+
+std::string errno_string() { return std::strerror(errno); }
+
+/// write() the whole buffer, retrying on EINTR and short writes.
+void write_all(int fd, const std::byte* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError("write failed: " + errno_string());
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+/// read() exactly `size` bytes; false on clean EOF at a frame boundary.
+bool read_all(int fd, std::byte* data, std::size_t size) {
+  std::size_t consumed = 0;
+  while (consumed < size) {
+    const ssize_t n = ::read(fd, data + consumed, size - consumed);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // ECONNRESET from a dead peer is EOF for our purposes.
+      if (errno == ECONNRESET) return false;
+      throw TransportError("read failed: " + errno_string());
+    }
+    if (n == 0) {
+      if (consumed == 0) return false;  // orderly EOF between frames
+      throw TransportError("EOF inside a frame");
+    }
+    consumed += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::pair<Fd, Fd> make_socketpair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw TransportError("socketpair failed: " + errno_string());
+  }
+  return {Fd(fds[0]), Fd(fds[1])};
+}
+
+void write_frame(int fd, std::span<const std::byte> payload) {
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::byte header[4];
+  std::memcpy(header, &length, 4);
+  write_all(fd, header, 4);
+  write_all(fd, payload.data(), payload.size());
+}
+
+std::optional<Bytes> read_frame(int fd) {
+  std::byte header[4];
+  if (!read_all(fd, header, 4)) return std::nullopt;
+  std::uint32_t length = 0;
+  std::memcpy(&length, header, 4);
+  constexpr std::uint32_t kMaxFrame = 1u << 30;
+  if (length > kMaxFrame) throw TransportError("oversized frame");
+  Bytes payload(length);
+  if (length > 0 && !read_all(fd, payload.data(), length)) {
+    throw TransportError("EOF inside a frame body");
+  }
+  return payload;
+}
+
+void shutdown_write(int fd) noexcept { ::shutdown(fd, SHUT_WR); }
+
+}  // namespace tbon

@@ -1,0 +1,59 @@
+// Byte-level OS transport: RAII file descriptors, socketpair channels and
+// length-prefixed frame I/O.
+//
+// MRNet connects its communication processes with TCP; our multi-process
+// instantiation runs on one host, so each tree edge is a Unix socketpair —
+// the same kernel-buffered, back-pressured FIFO byte stream semantics
+// without needing remote spawn (see DESIGN.md §5).  A localhost TCP path is
+// provided in tcp.hpp for fidelity to the paper's transport.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+
+#include "common/archive.hpp"
+
+namespace tbon {
+
+/// RAII wrapper around a file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept { return std::exchange(fd_, -1); }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Create a connected pair of stream sockets (AF_UNIX, SOCK_STREAM).
+std::pair<Fd, Fd> make_socketpair();
+
+/// Write a length-prefixed frame; throws TransportError on failure.
+void write_frame(int fd, std::span<const std::byte> payload);
+
+/// Read one length-prefixed frame; nullopt on orderly EOF, throws on error.
+std::optional<Bytes> read_frame(int fd);
+
+/// Shut down the write side so the peer's read_frame sees EOF.
+void shutdown_write(int fd) noexcept;
+
+}  // namespace tbon

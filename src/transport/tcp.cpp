@@ -1,0 +1,79 @@
+#include "transport/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace tbon {
+namespace {
+
+std::string errno_string() { return std::strerror(errno); }
+
+void enable_nodelay(int fd) {
+  // Small control packets should not wait for Nagle coalescing.
+  int flag = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag));
+}
+
+}  // namespace
+
+TcpListener::TcpListener() {
+  socket_ = Fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket_.valid()) throw TransportError("socket failed: " + errno_string());
+
+  int reuse = 1;
+  ::setsockopt(socket_.get(), SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = 0;  // ephemeral
+  if (::bind(socket_.get(), reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    throw TransportError("bind failed: " + errno_string());
+  }
+  if (::listen(socket_.get(), 128) != 0) {
+    throw TransportError("listen failed: " + errno_string());
+  }
+  socklen_t length = sizeof(address);
+  if (::getsockname(socket_.get(), reinterpret_cast<sockaddr*>(&address), &length) != 0) {
+    throw TransportError("getsockname failed: " + errno_string());
+  }
+  port_ = ntohs(address.sin_port);
+}
+
+Fd TcpListener::accept() {
+  while (true) {
+    const int fd = ::accept(socket_.get(), nullptr, nullptr);
+    if (fd >= 0) {
+      enable_nodelay(fd);
+      return Fd(fd);
+    }
+    if (errno != EINTR) throw TransportError("accept failed: " + errno_string());
+  }
+}
+
+Fd tcp_connect(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw TransportError("socket failed: " + errno_string());
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  while (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&address),
+                   sizeof(address)) != 0) {
+    if (errno != EINTR) throw TransportError("connect failed: " + errno_string());
+  }
+  enable_nodelay(fd.get());
+  return fd;
+}
+
+}  // namespace tbon

@@ -1,0 +1,39 @@
+// Localhost TCP transport — the wire MRNet actually uses.
+//
+// The multi-process launcher defaults to socketpairs (no ports to manage),
+// but this module lets tests and examples run edges over real TCP sockets:
+// a listener on an ephemeral port, plus connect/accept helpers.  Frames use
+// the same length-prefix codec as fd.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "transport/fd.hpp"
+
+namespace tbon {
+
+/// Listening TCP socket bound to 127.0.0.1 on an ephemeral port.
+class TcpListener {
+ public:
+  TcpListener();
+
+  /// The port the OS assigned.
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Block until a client connects; returns the connected socket.
+  Fd accept();
+
+  /// Close the listening socket (e.g. in a forked child that must only
+  /// connect, never accept).
+  void close() noexcept { socket_.reset(); }
+
+ private:
+  Fd socket_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to 127.0.0.1:port; throws TransportError on failure.
+Fd tcp_connect(std::uint16_t port);
+
+}  // namespace tbon

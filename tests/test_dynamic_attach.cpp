@@ -1,0 +1,163 @@
+// Tests for dynamic back-end attach (paper §2.2: "MRNet also supports a
+// more dynamic topology model in which ... back-end processes may join
+// after the internal tree has been instantiated").
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+
+namespace tbon {
+namespace {
+
+using namespace std::chrono_literals;
+constexpr std::int32_t kTag = kFirstAppTag;
+
+TEST(DynamicAttach, NewBackendJoinsExistingStream) {
+  auto net = Network::create_threaded(Topology::flat(2));
+  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+
+  BackEnd& late = net->attach_backend(net->topology().root());
+  EXPECT_EQ(late.rank(), 2u);
+  EXPECT_EQ(net->num_backends(), 3u);
+
+  // All three back-ends (two original + the newcomer) contribute to a wave.
+  net->backend(0).send(stream.id(), kTag, "i64", {std::int64_t{1}});
+  net->backend(1).send(stream.id(), kTag, "i64", {std::int64_t{2}});
+  late.send(stream.id(), kTag, "i64", {std::int64_t{4}});  // waits for replay
+
+  const auto result = stream.recv_for(5s);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ((*result)->get_i64(0), 7);
+  net->shutdown();
+}
+
+TEST(DynamicAttach, StreamsCreatedAfterAttachIncludeNewcomer) {
+  auto net = Network::create_threaded(Topology::flat(2));
+  BackEnd& late = net->attach_backend(net->topology().root());
+
+  Stream& stream = net->front_end().new_stream({.up_transform = "count"});
+  net->backend(0).send(stream.id(), kTag, "i64", {std::int64_t{0}});
+  net->backend(1).send(stream.id(), kTag, "i64", {std::int64_t{0}});
+  late.send(stream.id(), kTag, "i64", {std::int64_t{0}});
+  const auto result = stream.recv_for(5s);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ((*result)->get_u64(0), 3u);
+  net->shutdown();
+}
+
+TEST(DynamicAttach, BroadcastReachesNewcomer) {
+  auto net = Network::create_threaded(Topology::flat(2));
+  BackEnd& late = net->attach_backend(net->topology().root());
+  Stream& stream = net->front_end().new_stream({});
+  // Give the attach a moment to be wired before the downstream multicast.
+  // (The attach marker and the stream announcement both flow through the
+  // root's inbox; marker first, so ordering is already guaranteed.)
+  stream.send(kTag, "str", {std::string("hello")});
+  const auto packet = late.recv_for(5s);
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_EQ((*packet)->get_str(0), "hello");
+  net->shutdown();
+}
+
+TEST(DynamicAttach, AttachUnderInternalNode) {
+  auto net = Network::create_threaded(Topology::balanced(2, 2));  // nodes 1,2 internal
+  BackEnd& late = net->attach_backend(1);
+  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  net->run_backends([&](BackEnd& be) {
+    be.send(stream.id(), kTag, "i64", {std::int64_t{1}});
+  });
+  late.send(stream.id(), kTag, "i64", {std::int64_t{10}});
+  const auto result = stream.recv_for(5s);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ((*result)->get_i64(0), 14);  // 4 originals + newcomer
+  net->shutdown();
+}
+
+TEST(DynamicAttach, PeerRoutingReachesNewcomer) {
+  auto net = Network::create_threaded(Topology::balanced(2, 2));
+  BackEnd& late = net->attach_backend(2);  // under the second internal node
+  net->backend(0).send_to(late.rank(), kTag, "str", {std::string("welcome")});
+  const auto message = late.recv_peer_for(5s);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ((*message)->get_str(0), "welcome");
+  EXPECT_EQ((*message)->src_rank(), 0u);
+
+  // And the reverse direction.
+  late.send_to(0, kTag, "str", {std::string("thanks")});
+  const auto reply = net->backend(0).recv_peer_for(5s);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ((*reply)->get_str(0), "thanks");
+  net->shutdown();
+}
+
+TEST(DynamicAttach, MultipleAttachesGetDistinctRanks) {
+  auto net = Network::create_threaded(Topology::flat(2));
+  BackEnd& a = net->attach_backend(0);
+  BackEnd& b = net->attach_backend(0);
+  BackEnd& c = net->attach_backend(0);
+  EXPECT_EQ(a.rank(), 2u);
+  EXPECT_EQ(b.rank(), 3u);
+  EXPECT_EQ(c.rank(), 4u);
+  EXPECT_EQ(net->num_backends(), 5u);
+  EXPECT_EQ(&net->backend(3), &b);
+
+  Stream& stream = net->front_end().new_stream({.up_transform = "count"});
+  for (std::uint32_t rank = 0; rank < 5; ++rank) {
+    net->backend(rank).send(stream.id(), kTag, "i64", {std::int64_t{0}});
+  }
+  const auto result = stream.recv_for(5s);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ((*result)->get_u64(0), 5u);
+  net->shutdown();
+}
+
+TEST(DynamicAttach, ExplicitEndpointStreamsExcludeNewcomer) {
+  auto net = Network::create_threaded(Topology::flat(2));
+  Stream& subset = net->front_end().new_stream(
+      {.endpoints = {0, 1}, .up_transform = "sum"});
+  BackEnd& late = net->attach_backend(net->topology().root());
+  (void)late;
+  net->backend(0).send(subset.id(), kTag, "i64", {std::int64_t{1}});
+  net->backend(1).send(subset.id(), kTag, "i64", {std::int64_t{2}});
+  // Wave completes without the newcomer (it is not a member).
+  const auto result = subset.recv_for(5s);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ((*result)->get_i64(0), 3);
+  net->shutdown();
+}
+
+TEST(DynamicAttach, RejectsBadParents) {
+  auto net = Network::create_threaded(Topology::flat(2));
+  EXPECT_THROW(net->attach_backend(1), ProtocolError);   // a leaf
+  EXPECT_THROW(net->attach_backend(99), ProtocolError);  // out of range
+  net->shutdown();
+}
+
+TEST(DynamicAttach, RecoveryPattern) {
+  // The reconfiguration story (paper §2.2: nodes "show up or leave at any
+  // time (perhaps as a response to failures, recoveries, or load
+  // balancing)"): kill an internal node, then attach a replacement back-end
+  // to the root and keep computing with the survivors.
+  auto net = Network::create_threaded(Topology::balanced(2, 2));
+  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+
+  net->kill_node(1);  // orphans ranks 0 and 1
+  BackEnd& replacement = net->attach_backend(net->topology().root());
+
+  net->backend(2).send(stream.id(), kTag, "i64", {std::int64_t{10}});
+  net->backend(3).send(stream.id(), kTag, "i64", {std::int64_t{20}});
+  replacement.send(stream.id(), kTag, "i64", {std::int64_t{30}});
+
+  const auto result = stream.recv_for(5s);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ((*result)->get_i64(0), 60);
+  net->shutdown();
+}
+
+TEST(DynamicAttach, ShutdownWaitsForNewcomers) {
+  auto net = Network::create_threaded(Topology::flat(2));
+  for (int i = 0; i < 3; ++i) net->attach_backend(net->topology().root());
+  net->shutdown();  // must not hang or double-count acks
+}
+
+}  // namespace
+}  // namespace tbon

@@ -1,0 +1,169 @@
+// Robustness fuzzing: deserializers must reject arbitrary and truncated
+// bytes with CodecError — never crash, hang or allocate absurd amounts.
+// A communication process feeding on a network socket must survive any
+// byte stream a broken or malicious peer produces.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/packet.hpp"
+#include "core/protocol.hpp"
+#include "filters/calltree.hpp"
+#include "filters/equivalence.hpp"
+#include "filters/histogram_filter.hpp"
+#include "meanshift/agglomerative.hpp"
+#include "meanshift/distributed.hpp"
+
+namespace tbon {
+namespace {
+
+Bytes random_bytes(Rng& rng, std::size_t size) {
+  Bytes bytes(size);
+  for (auto& b : bytes) b = static_cast<std::byte>(rng.next_u64() & 0xff);
+  return bytes;
+}
+
+TEST(FuzzCodec, RandomBytesNeverCrashPacketDeserialize) {
+  Rng rng(2024);
+  int rejected = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Bytes bytes = random_bytes(rng, 1 + rng.next_below(256));
+    BinaryReader reader(bytes);
+    try {
+      const PacketPtr packet = Packet::deserialize(reader);
+      // Occasionally random bytes form a valid packet (e.g. an empty format
+      // string); that is fine as long as it is well-formed.
+      EXPECT_TRUE(packet->format().matches(packet->values()));
+    } catch (const Error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 1000);  // the vast majority must be rejected
+}
+
+TEST(FuzzCodec, TruncationsOfValidPacketAreRejected) {
+  const PacketPtr packet = Packet::make(
+      7, kFirstAppTag, 3, "i32 vf64 str vstr",
+      {std::int32_t{-5}, std::vector<double>{1, 2, 3}, std::string("payload"),
+       std::vector<std::string>{"a", "bb"}});
+  BinaryWriter writer;
+  packet->serialize(writer);
+  const Bytes& full = writer.bytes();
+
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    BinaryReader reader(std::span<const std::byte>(full.data(), cut));
+    EXPECT_THROW((void)Packet::deserialize(reader), CodecError) << "cut=" << cut;
+  }
+  // The full buffer still parses.
+  BinaryReader reader(full);
+  EXPECT_EQ(Packet::deserialize(reader)->values(), packet->values());
+}
+
+TEST(FuzzCodec, BitFlipsNeverCrash) {
+  const PacketPtr packet = Packet::make(
+      1, kFirstAppTag, 0, "vi64 vstr",
+      {std::vector<std::int64_t>{1, 2, 3}, std::vector<std::string>{"x", "y"}});
+  BinaryWriter writer;
+  packet->serialize(writer);
+  Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    Bytes mutated = writer.bytes();
+    const std::size_t at = rng.next_below(mutated.size());
+    mutated[at] ^= static_cast<std::byte>(1u << rng.next_below(8));
+    BinaryReader reader(mutated);
+    try {
+      const PacketPtr out = Packet::deserialize(reader);
+      EXPECT_TRUE(out->format().matches(out->values()));
+    } catch (const Error&) {
+      // rejection is the expected common case
+    }
+  }
+}
+
+TEST(FuzzCodec, StreamSpecFromHostilePacket) {
+  // A packet with the right format but nonsense contents must parse into a
+  // StreamSpec without crashing (semantic validation happens later).
+  const PacketPtr packet = Packet::make(
+      kControlStream, kTagNewStream, kFrontEndRank, "i64 vi64 str str str str",
+      {std::int64_t{-1}, std::vector<std::int64_t>{-7, 1 << 30}, std::string("\0x", 2),
+       std::string(1000, 'y'), std::string(""), std::string("==garbage==")});
+  const StreamSpec spec = StreamSpec::from_packet(*packet);
+  EXPECT_EQ(spec.up_sync, std::string(1000, 'y'));
+}
+
+// Payload-level codecs: wrong shapes must throw, not crash.
+
+TEST(FuzzCodec, EquivalenceClassShapeMismatch) {
+  const PacketPtr bad = Packet::make(
+      1, kFirstAppTag, 0, EquivalenceClasses::kFormat,
+      {std::vector<std::string>{"a", "b"}, std::vector<std::int64_t>{5},
+       std::vector<std::int64_t>{}});
+  EXPECT_THROW(EquivalenceClasses::from_values(*bad), CodecError);
+
+  const PacketPtr overflow = Packet::make(
+      1, kFirstAppTag, 0, EquivalenceClasses::kFormat,
+      {std::vector<std::string>{"a"}, std::vector<std::int64_t>{100},
+       std::vector<std::int64_t>{1, 2}});
+  EXPECT_THROW(EquivalenceClasses::from_values(*overflow), CodecError);
+}
+
+TEST(FuzzCodec, CallTreeMalformedPreorder) {
+  // Child count claims more nodes than the label list provides.
+  const PacketPtr underrun = Packet::make(
+      1, kFirstAppTag, 0, CallTree::kFormat,
+      {std::vector<std::string>{"<root>", "a"}, std::vector<std::int64_t>{5, 0},
+       std::vector<std::int64_t>{0, 0}, std::vector<std::int64_t>{}});
+  EXPECT_THROW(CallTree::from_values(*underrun), CodecError);
+
+  const PacketPtr host_overflow = Packet::make(
+      1, kFirstAppTag, 0, CallTree::kFormat,
+      {std::vector<std::string>{"<root>"}, std::vector<std::int64_t>{0},
+       std::vector<std::int64_t>{3}, std::vector<std::int64_t>{1}});
+  EXPECT_THROW(CallTree::from_values(*host_overflow), CodecError);
+}
+
+TEST(FuzzCodec, HistogramTooSmall) {
+  const PacketPtr bad = Packet::make(1, kFirstAppTag, 0, HistogramCodec::kFormat,
+                                     {0.0, 1.0, std::vector<std::int64_t>{1, 2}});
+  EXPECT_THROW(HistogramCodec::from_values(*bad), CodecError);
+}
+
+TEST(FuzzCodec, MeanShiftShapeMismatch) {
+  const PacketPtr bad = Packet::make(
+      1, kFirstAppTag, 0, ms::MeanShiftCodec::kFormat,
+      {std::vector<double>{1, 2}, std::vector<double>{1},  // xs/ys mismatch
+       std::vector<double>{}, std::vector<double>{}, std::vector<std::int64_t>{}});
+  EXPECT_THROW(ms::MeanShiftCodec::from_values(*bad), CodecError);
+}
+
+TEST(FuzzCodec, AgglomerativeShapeMismatch) {
+  const PacketPtr bad = Packet::make(
+      1, kFirstAppTag, 0, ms::agg::AggloCodec::kFormat,
+      {std::vector<double>{1}, std::vector<double>{1, 2},
+       std::vector<std::int64_t>{1}});
+  EXPECT_THROW(ms::agg::AggloCodec::from_values(*bad), CodecError);
+}
+
+TEST(FuzzCodec, FormatStringFuzz) {
+  Rng rng(7);
+  const std::string alphabet = "if3264suvbytesr ";
+  int accepted = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string format;
+    const std::size_t length = rng.next_below(12);
+    for (std::size_t i = 0; i < length; ++i) {
+      format.push_back(alphabet[rng.next_below(alphabet.size())]);
+    }
+    try {
+      const DataFormat parsed(format);
+      ++accepted;
+      // Anything accepted must render back to a parsable string.
+      const DataFormat again(parsed.to_string());
+      EXPECT_EQ(again.fields(), parsed.fields());
+    } catch (const ParseError&) {
+    }
+  }
+  EXPECT_GT(accepted, 0);  // "" and whitespace-only are valid
+}
+
+}  // namespace
+}  // namespace tbon

@@ -1,0 +1,287 @@
+// Tests for the mean-shift library: kernels, mode seeking, seeding, merging,
+// synthetic data, and the single-node baseline.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "meanshift/meanshift.hpp"
+#include "meanshift/synth.hpp"
+
+namespace tbon::ms {
+namespace {
+
+std::vector<Point2> gaussian_blob(Point2 center, double stddev, std::size_t n,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point2> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back({rng.gaussian(center.x, stddev), rng.gaussian(center.y, stddev)});
+  }
+  return points;
+}
+
+// ---- geometry ---------------------------------------------------------------
+
+TEST(Geometry, Distances) {
+  EXPECT_DOUBLE_EQ(distance_squared({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+// ---- kernels ----------------------------------------------------------------
+
+TEST(Kernels, ParseNames) {
+  EXPECT_EQ(parse_kernel("gaussian"), Kernel::kGaussian);
+  EXPECT_EQ(parse_kernel("uniform"), Kernel::kUniform);
+  EXPECT_EQ(parse_kernel("epanechnikov"), Kernel::kEpanechnikov);
+  EXPECT_EQ(parse_kernel("quadratic"), Kernel::kEpanechnikov);
+  EXPECT_EQ(parse_kernel("triangular"), Kernel::kTriangular);
+  EXPECT_THROW(parse_kernel("box"), tbon::ParseError);
+  EXPECT_STREQ(kernel_name(Kernel::kGaussian), "gaussian");
+}
+
+class KernelProperties : public ::testing::TestWithParam<Kernel> {};
+
+TEST_P(KernelProperties, MonotoneNonNegativeCompact) {
+  const Kernel kernel = GetParam();
+  double previous = kernel_weight(kernel, 0.0);
+  EXPECT_GT(previous, 0.0);
+  for (double u = 0.05; u <= 1.0; u += 0.05) {
+    const double w = kernel_weight(kernel, u);
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, previous + 1e-12) << "kernel must be non-increasing at u=" << u;
+    previous = w;
+  }
+  EXPECT_EQ(kernel_weight(kernel, 1.01), 0.0);  // compact support
+  EXPECT_EQ(kernel_weight(kernel, 100.0), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, KernelProperties,
+                         ::testing::Values(Kernel::kGaussian, Kernel::kUniform,
+                                           Kernel::kEpanechnikov, Kernel::kTriangular));
+
+TEST(Kernels, GaussianWeighsCenterMore) {
+  EXPECT_GT(kernel_weight(Kernel::kGaussian, 0.01),
+            10 * kernel_weight(Kernel::kGaussian, 0.9));
+}
+
+// ---- mode seeking ---------------------------------------------------------------
+
+TEST(ShiftToMode, ConvergesToGaussianMean) {
+  const Point2 center{500, 300};
+  const auto data = gaussian_blob(center, 15.0, 2000, 7);
+  MeanShiftParams params;
+  params.bandwidth = 50.0;
+  const ShiftResult result = shift_to_mode(data, {530, 330}, params);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.mode.x, center.x, 3.0);
+  EXPECT_NEAR(result.mode.y, center.y, 3.0);
+}
+
+TEST(ShiftToMode, EmptyWindowStops) {
+  const auto data = gaussian_blob({0, 0}, 5.0, 100, 1);
+  MeanShiftParams params;
+  params.bandwidth = 10.0;
+  const ShiftResult result = shift_to_mode(data, {10000, 10000}, params);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 1u);
+}
+
+TEST(ShiftToMode, RespectsIterationThreshold) {
+  const auto data = gaussian_blob({0, 0}, 30.0, 500, 2);
+  MeanShiftParams params;
+  params.bandwidth = 40.0;
+  params.max_iterations = 2;
+  params.convergence_eps = 1e-12;  // effectively unreachable
+  const ShiftResult result = shift_to_mode(data, {50, 0}, params);
+  EXPECT_LE(result.iterations, 2u);
+}
+
+class ShiftKernels : public ::testing::TestWithParam<Kernel> {};
+
+TEST_P(ShiftKernels, AllKernelsFindTheMode) {
+  const Point2 center{100, 100};
+  const auto data = gaussian_blob(center, 10.0, 3000, 13);
+  MeanShiftParams params;
+  params.bandwidth = 40.0;
+  params.kernel = GetParam();
+  const ShiftResult result = shift_to_mode(data, {125, 85}, params);
+  EXPECT_NEAR(result.mode.x, center.x, 4.0);
+  EXPECT_NEAR(result.mode.y, center.y, 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ShiftKernels,
+                         ::testing::Values(Kernel::kGaussian, Kernel::kUniform,
+                                           Kernel::kEpanechnikov, Kernel::kTriangular));
+
+// ---- seeding --------------------------------------------------------------------
+
+TEST(FindSeeds, DenseRegionsSeedSparseDoNot) {
+  auto data = gaussian_blob({200, 200}, 10.0, 1000, 3);
+  // A lone far-away outlier must not produce a seed.
+  data.push_back({900, 900});
+  MeanShiftParams params;
+  params.bandwidth = 50.0;
+  params.density_threshold = 20.0;
+  const auto seeds = find_seeds(data, params);
+  ASSERT_FALSE(seeds.empty());
+  for (const Point2& seed : seeds) {
+    EXPECT_LT(distance(seed, {200, 200}), 200.0) << "seed near the outlier";
+  }
+}
+
+TEST(FindSeeds, EmptyDataYieldsNoSeeds) {
+  MeanShiftParams params;
+  EXPECT_TRUE(find_seeds({}, params).empty());
+}
+
+// ---- mode merging ------------------------------------------------------------------
+
+TEST(MergeModes, CollapsesNearbyModes) {
+  const std::vector<Point2> modes = {{100, 100}, {101, 101}, {400, 400}};
+  const std::vector<std::uint64_t> supports = {10, 30, 5};
+  MeanShiftParams params;
+  params.bandwidth = 50.0;  // merge radius defaults to 25
+  const auto peaks = merge_modes(modes, supports, params);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].support, 40u);  // sorted by support
+  // Support-weighted centroid: (100*10 + 101*30) / 40 = 100.75.
+  EXPECT_NEAR(peaks[0].position.x, 100.75, 1e-9);
+  EXPECT_EQ(peaks[1].support, 5u);
+}
+
+TEST(MergeModes, RespectsExplicitRadius) {
+  const std::vector<Point2> modes = {{0, 0}, {30, 0}};
+  const std::vector<std::uint64_t> supports = {1, 1};
+  MeanShiftParams params;
+  params.merge_radius = 10.0;
+  EXPECT_EQ(merge_modes(modes, supports, params).size(), 2u);
+  params.merge_radius = 40.0;
+  EXPECT_EQ(merge_modes(modes, supports, params).size(), 1u);
+}
+
+// ---- end-to-end single-node clustering ----------------------------------------------
+
+TEST(ClusterSingleNode, FindsAllModesOfAMixture) {
+  SynthParams synth;
+  synth.num_clusters = 5;
+  synth.points_per_cluster = 500;
+  synth.noise_points = 100;
+  const auto data = generate_leaf_data(0, synth);
+  const auto centers = true_centers(synth);
+
+  MeanShiftParams params;
+  params.bandwidth = 50.0;
+  params.density_threshold = 10.0;
+  const auto peaks = cluster_single_node(data, params);
+  EXPECT_GE(match_fraction(peaks, centers, 15.0), 1.0);
+  // No spurious heavy peaks: every peak with solid support matches a center.
+  for (const auto& peak : peaks) {
+    if (peak.support < 50) continue;
+    double nearest = 1e18;
+    for (const auto& center : centers) {
+      nearest = std::min(nearest, distance(peak.position, center));
+    }
+    EXPECT_LT(nearest, 20.0);
+  }
+}
+
+TEST(AssignClusters, LabelsPointsAndNoise) {
+  const auto blob_a = gaussian_blob({100, 100}, 8.0, 300, 5);
+  const auto blob_b = gaussian_blob({400, 400}, 8.0, 300, 6);
+  std::vector<Point2> data = blob_a;
+  data.insert(data.end(), blob_b.begin(), blob_b.end());
+  const Point2 far{900, 900};
+  data.push_back(far);
+
+  const std::vector<Peak> peaks = {{{100, 100}, 300}, {{400, 400}, 300}};
+  MeanShiftParams params;
+  params.bandwidth = 50.0;
+  const auto labels = assign_clusters(data, peaks, params);
+  ASSERT_EQ(labels.size(), data.size());
+  EXPECT_EQ(labels.back(), -1);  // the outlier is noise
+  std::size_t a_count = 0, b_count = 0;
+  for (std::size_t i = 0; i + 1 < data.size(); ++i) {
+    if (labels[i] == 0) ++a_count;
+    if (labels[i] == 1) ++b_count;
+  }
+  EXPECT_GT(a_count, 280u);
+  EXPECT_GT(b_count, 280u);
+}
+
+// ---- synthetic generator -----------------------------------------------------------
+
+TEST(Synth, DeterministicPerLeaf) {
+  SynthParams params;
+  const auto a = generate_leaf_data(3, params);
+  const auto b = generate_leaf_data(3, params);
+  EXPECT_EQ(a, b);
+  const auto c = generate_leaf_data(4, params);
+  EXPECT_NE(a, c);
+}
+
+TEST(Synth, LeafShiftIsSmall) {
+  // Every leaf's cluster mass must stay near the true centers: the mean of
+  // points assigned to a center must be within leaf_shift + tolerance.
+  SynthParams params;
+  params.num_clusters = 4;
+  params.points_per_cluster = 800;
+  params.noise_points = 0;
+  params.leaf_shift = 6.0;
+  const auto centers = true_centers(params);
+  for (std::uint32_t leaf : {0u, 7u, 63u}) {
+    const auto data = generate_leaf_data(leaf, params);
+    for (const auto& center : centers) {
+      double sx = 0, sy = 0;
+      std::size_t n = 0;
+      for (const auto& p : data) {
+        if (distance(p, center) < 60.0) {
+          sx += p.x;
+          sy += p.y;
+          ++n;
+        }
+      }
+      ASSERT_GT(n, 100u);
+      EXPECT_NEAR(sx / static_cast<double>(n), center.x, params.leaf_shift + 3.0);
+      EXPECT_NEAR(sy / static_cast<double>(n), center.y, params.leaf_shift + 3.0);
+    }
+  }
+}
+
+TEST(Synth, UnionConcatenatesLeaves) {
+  SynthParams params;
+  params.num_clusters = 2;
+  params.points_per_cluster = 10;
+  params.noise_points = 5;
+  const auto all = generate_union(3, params);
+  EXPECT_EQ(all.size(), 3u * (2 * 10 + 5));
+  const auto leaf0 = generate_leaf_data(0, params);
+  EXPECT_TRUE(std::equal(leaf0.begin(), leaf0.end(), all.begin()));
+}
+
+TEST(Synth, CentersSeparatedForClustering) {
+  SynthParams params;
+  params.num_clusters = 9;
+  const auto centers = true_centers(params);
+  ASSERT_EQ(centers.size(), 9u);
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    for (std::size_t j = i + 1; j < centers.size(); ++j) {
+      EXPECT_GT(distance(centers[i], centers[j]), 150.0);
+    }
+  }
+}
+
+TEST(Synth, MatchFractionBehaves) {
+  const std::vector<Point2> centers = {{0, 0}, {100, 100}};
+  const std::vector<Peak> perfect = {{{1, 1}, 10}, {{99, 99}, 10}};
+  EXPECT_DOUBLE_EQ(match_fraction(perfect, centers, 5.0), 1.0);
+  const std::vector<Peak> half = {{{1, 1}, 10}};
+  EXPECT_DOUBLE_EQ(match_fraction(half, centers, 5.0), 0.5);
+  // One peak cannot match two centers.
+  const std::vector<Peak> greedy = {{{50, 50}, 10}};
+  EXPECT_DOUBLE_EQ(match_fraction(greedy, centers, 500.0), 0.5);
+}
+
+}  // namespace
+}  // namespace tbon::ms

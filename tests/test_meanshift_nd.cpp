@@ -1,0 +1,146 @@
+// Tests for N-dimensional mean-shift: consistency with the 2-D core,
+// mode recovery in 3-D/5-D, seeding, merging and labeling.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "meanshift/nd.hpp"
+#include "meanshift/synth.hpp"
+
+namespace tbon::ms::nd {
+namespace {
+
+MeanShiftParams params_with(double bandwidth, double threshold = 8.0) {
+  MeanShiftParams params;
+  params.bandwidth = bandwidth;
+  params.density_threshold = threshold;
+  return params;
+}
+
+TEST(DatasetViewTest, ShapeChecks) {
+  const std::vector<double> coords = {1, 2, 3, 4, 5, 6};
+  const DatasetView view(coords, 3);
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_EQ(view.point(1)[0], 4.0);
+  EXPECT_THROW(DatasetView(coords, 4), tbon::Error);
+  EXPECT_THROW(DatasetView(coords, 0), tbon::Error);
+}
+
+TEST(NdGeometry, DistanceMatches2d) {
+  const std::vector<double> a = {0, 0};
+  const std::vector<double> b = {3, 4};
+  EXPECT_DOUBLE_EQ(distance_squared(a, b), 25.0);
+}
+
+TEST(NdShift, MatchesTwoDimensionalCore) {
+  // The N-D implementation at d=2 must find the same mode as the 2-D core.
+  SynthParams synth2;
+  synth2.num_clusters = 1;
+  synth2.points_per_cluster = 1500;
+  synth2.noise_points = 0;
+  const auto points = generate_leaf_data(0, synth2);
+  std::vector<double> flat;
+  flat.reserve(points.size() * 2);
+  for (const Point2& p : points) {
+    flat.push_back(p.x);
+    flat.push_back(p.y);
+  }
+  const auto params = params_with(50.0);
+  const Point2 start{points[0].x + 20, points[0].y - 20};
+  const ShiftResult result2 = shift_to_mode(points, start, params);
+  const std::vector<double> startN = {start.x, start.y};
+  const ShiftResultN resultN =
+      shift_to_mode(DatasetView(flat, 2), startN, params);
+  ASSERT_TRUE(result2.converged);
+  ASSERT_TRUE(resultN.converged);
+  EXPECT_NEAR(resultN.mode[0], result2.mode.x, 1e-6);
+  EXPECT_NEAR(resultN.mode[1], result2.mode.y, 1e-6);
+  EXPECT_EQ(resultN.iterations, result2.iterations);
+}
+
+class NdClusterRecovery : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NdClusterRecovery, FindsAllModes) {
+  SynthNdParams synth;
+  synth.dim = GetParam();
+  synth.num_clusters = 4;
+  synth.points_per_cluster = 400;
+  synth.noise_points = 80;
+  const auto coords = generate(synth);
+  const DatasetView data(coords, synth.dim);
+  const auto centers = true_centers(synth);
+
+  const auto peaks = cluster(data, params_with(60.0, 10.0), /*seed_stride=*/8);
+  ASSERT_GE(peaks.size(), centers.size());
+
+  // Every true center is matched by a peak within a fraction of bandwidth.
+  for (const auto& center : centers) {
+    double nearest = 1e300;
+    for (const auto& peak : peaks) {
+      nearest = std::min(nearest, distance_squared(peak.position, center));
+    }
+    EXPECT_LT(std::sqrt(nearest), 20.0) << "dim=" << synth.dim;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, NdClusterRecovery, ::testing::Values(2u, 3u, 5u));
+
+TEST(NdSeeds, DensityFilterRejectsNoise) {
+  SynthNdParams synth;
+  synth.dim = 3;
+  synth.num_clusters = 1;
+  synth.points_per_cluster = 600;
+  synth.noise_points = 30;
+  const auto coords = generate(synth);
+  const DatasetView data(coords, 3);
+  const auto params = params_with(60.0, 30.0);
+  const auto seeds = find_seeds(data, params, 4);
+  ASSERT_FALSE(seeds.empty());
+  const auto center = true_centers(synth)[0];
+  for (const auto& seed : seeds) {
+    EXPECT_LT(std::sqrt(distance_squared(seed, center)), 150.0);
+  }
+}
+
+TEST(NdMergeModes, WeightedCentroid) {
+  const std::vector<std::vector<double>> modes = {{0, 0, 0}, {2, 0, 0}, {500, 0, 0}};
+  const std::vector<std::uint64_t> supports = {10, 30, 7};
+  auto params = params_with(50.0);
+  params.merge_radius = 10.0;
+  const auto peaks = merge_modes(modes, supports, params);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].support, 40u);
+  EXPECT_NEAR(peaks[0].position[0], 1.5, 1e-9);
+}
+
+TEST(NdAssign, LabelsAndNoise) {
+  SynthNdParams synth;
+  synth.dim = 3;
+  synth.num_clusters = 2;
+  synth.points_per_cluster = 200;
+  synth.noise_points = 0;
+  const auto coords = generate(synth);
+  const DatasetView data(coords, 3);
+  std::vector<PeakN> peaks;
+  for (const auto& center : true_centers(synth)) peaks.push_back(PeakN{center, 1});
+  const auto labels = assign_clusters(data, peaks, params_with(60.0));
+  std::size_t labeled = 0;
+  for (const auto label : labels) labeled += (label >= 0);
+  EXPECT_GT(labeled, labels.size() * 9 / 10);
+}
+
+TEST(NdSynth, DeterministicAndSeparated) {
+  SynthNdParams synth;
+  synth.dim = 4;
+  EXPECT_EQ(generate(synth), generate(synth));
+  const auto centers = true_centers(synth);
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    for (std::size_t j = i + 1; j < centers.size(); ++j) {
+      EXPECT_GT(std::sqrt(distance_squared(centers[i], centers[j])),
+                8.0 * synth.cluster_stddev - 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tbon::ms::nd

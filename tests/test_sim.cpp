@@ -1,0 +1,240 @@
+// Tests for the performance-model library: discrete-event engine, queueing
+// server, linear fits, link model and critical-path analysis — including the
+// analytic sanity checks that underpin the Figure 4 reproduction.
+#include <gtest/gtest.h>
+
+#include "sim/critical_path.hpp"
+#include "sim/des.hpp"
+#include "sim/models.hpp"
+
+namespace tbon::sim {
+namespace {
+
+// ---- discrete-event engine ------------------------------------------------------
+
+TEST(Des, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(Des, TiesBreakByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(0); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(Des, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] {
+    ++fired;
+    sim.schedule_in(0.5, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.5);
+}
+
+TEST(Des, RunUntilStopsEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Des, RejectsPastEvents) {
+  Simulator sim;
+  sim.schedule_at(2.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), Error);
+}
+
+// ---- queueing server -------------------------------------------------------------
+
+TEST(Server, ServesFifoAndTracksBusy) {
+  Simulator sim;
+  Server server(sim);
+  std::vector<double> completion_times;
+  server.submit(1.0, [&] { completion_times.push_back(sim.now()); });
+  server.submit(2.0, [&] { completion_times.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(completion_times.size(), 2u);
+  EXPECT_DOUBLE_EQ(completion_times[0], 1.0);
+  EXPECT_DOUBLE_EQ(completion_times[1], 3.0);
+  EXPECT_DOUBLE_EQ(server.busy_seconds(), 3.0);
+  EXPECT_EQ(server.completed(), 2u);
+}
+
+TEST(Server, OverloadGrowsQueue) {
+  // Offered load 2x capacity: backlog must grow roughly linearly — this is
+  // the saturation mechanism behind the paper's one-to-many bottleneck.
+  Simulator sim;
+  Server server(sim);
+  const double service = 0.01;     // 100 packets/s capacity
+  const double interval = 0.005;   // 200 packets/s offered
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule_at(i * interval, [&] { server.submit(service); });
+  }
+  sim.run_until(1000 * interval);
+  EXPECT_GT(server.max_queue_length(), 400u);
+}
+
+TEST(Server, UnderloadStaysShallow) {
+  Simulator sim;
+  Server server(sim);
+  const double service = 0.01;    // 100/s capacity
+  const double interval = 0.02;   // 50/s offered
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule_at(i * interval, [&] { server.submit(service); });
+  }
+  sim.run();
+  EXPECT_LE(server.max_queue_length(), 2u);
+}
+
+// ---- models ---------------------------------------------------------------------
+
+TEST(Models, LinearFitRecoversLine) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(3.0 * x + 7.0);
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 7.0, 1e-9);
+  EXPECT_NEAR(fit(10.0), 37.0, 1e-9);
+}
+
+TEST(Models, LinearFitDegenerateX) {
+  const std::vector<double> xs = {2, 2, 2};
+  const std::vector<double> ys = {5, 7, 9};
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 7.0);
+}
+
+TEST(Models, LinearFitRejectsBadInput) {
+  const std::vector<double> xs = {1.0};
+  const std::vector<double> ys = {};
+  EXPECT_THROW(fit_linear(xs, ys), Error);
+}
+
+TEST(Models, LinkTransferTime) {
+  LinkModel link{.latency_seconds = 1e-4, .bandwidth_bytes_per_second = 1e8};
+  EXPECT_NEAR(link.transfer_seconds(0), 1e-4, 1e-12);
+  EXPECT_NEAR(link.transfer_seconds(100'000'000), 1.0001, 1e-6);
+  EXPECT_LT(LinkModel::free().transfer_seconds(1 << 30), 1e-200);
+}
+
+// ---- critical path -----------------------------------------------------------------
+
+TEST(CriticalPath, SingleEdgeChain) {
+  // root <- leaf: makespan = broadcast latency + leaf compute + transfer +
+  // root compute.
+  const Topology topology = Topology::flat(1);
+  std::map<NodeId, NodeCost> costs;
+  costs[0] = {.compute_seconds = 2.0, .bytes_up = 0};
+  costs[topology.leaves()[0]] = {.compute_seconds = 5.0, .bytes_up = 1'000'000};
+  LinkModel link{.latency_seconds = 0.001, .bandwidth_bytes_per_second = 1e6};
+  const double makespan = critical_path_seconds(topology, costs, link);
+  // 0.001 (broadcast) + 5 + (0.001 + 1.0) + 2.
+  EXPECT_NEAR(makespan, 8.002, 1e-9);
+}
+
+TEST(CriticalPath, ParallelLeavesTakeTheMax) {
+  const Topology topology = Topology::flat(3);
+  std::map<NodeId, NodeCost> costs;
+  costs[0] = {.compute_seconds = 1.0, .bytes_up = 0};
+  const auto& leaves = topology.leaves();
+  costs[leaves[0]] = {.compute_seconds = 2.0, .bytes_up = 0};
+  costs[leaves[1]] = {.compute_seconds = 9.0, .bytes_up = 0};
+  costs[leaves[2]] = {.compute_seconds = 4.0, .bytes_up = 0};
+  const double makespan = critical_path_seconds(topology, costs, LinkModel::free());
+  EXPECT_NEAR(makespan, 10.0, 1e-9);  // slowest leaf + root compute
+}
+
+TEST(CriticalPath, DeepTreeAccumulatesLevels) {
+  const Topology topology = Topology::balanced(2, 2);
+  std::map<NodeId, NodeCost> costs;
+  for (NodeId id = 0; id < topology.num_nodes(); ++id) {
+    costs[id] = {.compute_seconds = 1.0, .bytes_up = 0};
+  }
+  // leaf(1) + internal(1) + root(1) = 3 along every path.
+  EXPECT_NEAR(critical_path_seconds(topology, costs, LinkModel::free()), 3.0, 1e-9);
+}
+
+TEST(CriticalPath, MissingNodesCountZero) {
+  const Topology topology = Topology::flat(2);
+  const std::map<NodeId, NodeCost> costs;  // empty
+  EXPECT_NEAR(critical_path_seconds(topology, costs, LinkModel::free()), 0.0, 1e-12);
+}
+
+TEST(CriticalPath, CostsFromTraceAggregates) {
+  std::vector<TraceEvent> events;
+  events.push_back({.node_id = 1, .start_ns = 0, .end_ns = 1'000'000,
+                    .bytes_out = 100, .label = "a"});
+  events.push_back({.node_id = 1, .start_ns = 2'000'000, .end_ns = 5'000'000,
+                    .bytes_out = 250, .label = "b"});
+  events.push_back({.node_id = 2, .start_ns = 0, .end_ns = 500'000,
+                    .bytes_out = 42, .label = "c"});
+  const auto costs = costs_from_trace(events);
+  EXPECT_NEAR(costs.at(1).compute_seconds, 0.004, 1e-9);
+  EXPECT_EQ(costs.at(1).bytes_up, 250u);  // last event wins
+  EXPECT_NEAR(costs.at(2).compute_seconds, 0.0005, 1e-9);
+}
+
+// The analytic core of Figure 4: with a calibrated-style cost model,
+//   single ~ linear in scale, flat ~ bottlenecked by root merge at high
+//   fan-out, deep ~ nearly flat.
+TEST(CriticalPath, ModeledFigureFourShape) {
+  MeanShiftCostModel cost;
+  cost.leaf = {.slope = 1e-4, .intercept = 0.01};   // 0.1 ms per point
+  cost.merge = {.slope = 2e-5, .intercept = 0.005}; // 20 us per merged point
+  const LinkModel link;  // GigE defaults
+  const double points_per_leaf = 2000;
+  const double forwarded = 400;
+
+  auto flat_time = [&](std::size_t leaves) {
+    return modeled_makespan(Topology::flat(leaves), cost, link, points_per_leaf,
+                            forwarded);
+  };
+  auto deep_time = [&](std::size_t leaves) {
+    return modeled_makespan(Topology::balanced_for_leaves(16, leaves), cost, link,
+                            points_per_leaf, forwarded);
+  };
+
+  // Deep is no slower than flat at large scale, and much better at 256.
+  EXPECT_LT(deep_time(256), flat_time(256) * 0.5);
+  // Flat grows superlinearly with leaves (root merge dominates)...
+  EXPECT_GT(flat_time(256) - flat_time(128), (flat_time(64) - flat_time(32)) * 1.5);
+  // ...while deep stays nearly constant.
+  EXPECT_LT(deep_time(256) / deep_time(16), 1.6);
+}
+
+TEST(CriticalPath, DeeperTreesBeatFlatButPayLatency) {
+  // The §3.2 open question: with fixed fan-out, adding depth keeps per-node
+  // merge constant at the cost of one link + merge per level.
+  MeanShiftCostModel cost;
+  cost.leaf = {.slope = 1e-4, .intercept = 0.01};
+  cost.merge = {.slope = 2e-5, .intercept = 0.005};
+  const LinkModel link;
+  const double t1 = modeled_makespan(Topology::balanced(4, 2), cost, link, 2000, 400);
+  const double t2 = modeled_makespan(Topology::balanced(4, 3), cost, link, 2000, 400);
+  const double merge_cost = cost.merge_seconds(4 * 400);
+  EXPECT_NEAR(t2 - t1, merge_cost + link.transfer_seconds(cost.forwarded_bytes(400)) +
+                           link.latency_seconds,
+              1e-6);
+}
+
+}  // namespace
+}  // namespace tbon::sim

@@ -1,0 +1,211 @@
+// Stress and property tests over the full stack: randomized topologies,
+// high-volume flows, many concurrent streams, failure storms.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/rng.hpp"
+#include "core/network.hpp"
+
+namespace tbon {
+namespace {
+
+using namespace std::chrono_literals;
+constexpr std::int32_t kTag = kFirstAppTag;
+
+/// Build a random tree: up to `max_nodes` nodes, fan-out capped, guaranteed
+/// at least one non-root leaf.
+Topology random_topology(std::uint64_t seed, std::size_t max_nodes,
+                         std::size_t max_fanout) {
+  Rng rng(seed);
+  const std::size_t nodes = 2 + rng.next_below(max_nodes - 1);
+  std::vector<NodeId> parents(nodes, kNoNode);
+  std::vector<std::size_t> fanouts(nodes, 0);
+  for (NodeId id = 1; id < nodes; ++id) {
+    // Pick a parent among earlier nodes whose fan-out is not exhausted.
+    while (true) {
+      const NodeId candidate = static_cast<NodeId>(rng.next_below(id));
+      if (fanouts[candidate] < max_fanout) {
+        parents[id] = candidate;
+        ++fanouts[candidate];
+        break;
+      }
+    }
+  }
+  return Topology::from_parents(parents);
+}
+
+// Property: a sum reduction over ANY tree shape equals the closed form.
+class RandomTreeReduction : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTreeReduction, SumMatchesClosedForm) {
+  const Topology topology = random_topology(GetParam(), 40, 5);
+  if (topology.is_leaf(topology.root())) GTEST_SKIP();
+  auto net = Network::create_threaded(topology);
+  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  net->run_backends([&](BackEnd& be) {
+    be.send(stream.id(), kTag, "i64", {std::int64_t{be.rank()} * 3 + 1});
+  });
+  const auto result = stream.recv_for(10s);
+  ASSERT_TRUE(result.has_value());
+  const auto n = static_cast<std::int64_t>(topology.num_leaves());
+  EXPECT_EQ((*result)->get_i64(0), 3 * n * (n - 1) / 2 + n);
+  net->shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeReduction,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// Property: concat over any tree preserves global rank order.
+class RandomTreeOrder : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTreeOrder, ConcatKeepsRankOrder) {
+  const Topology topology = random_topology(GetParam() + 1000, 30, 4);
+  if (topology.is_leaf(topology.root())) GTEST_SKIP();
+  auto net = Network::create_threaded(topology);
+  Stream& stream = net->front_end().new_stream({.up_transform = "concat"});
+  net->run_backends([&](BackEnd& be) {
+    be.send(stream.id(), kTag, "vi64", {std::vector<std::int64_t>{be.rank()}});
+  });
+  const auto result = stream.recv_for(10s);
+  ASSERT_TRUE(result.has_value());
+  const auto& ranks = (*result)->get_vi64(0);
+  ASSERT_EQ(ranks.size(), topology.num_leaves());
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(ranks.size()); ++i) {
+    EXPECT_EQ(ranks[static_cast<std::size_t>(i)], i);
+  }
+  net->shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeOrder, ::testing::Values(7u, 11u, 19u, 42u));
+
+TEST(Stress, HighVolumeWaves) {
+  constexpr int kWaves = 300;
+  auto net = Network::create_threaded(Topology::balanced(4, 2));
+  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  net->run_backends([&](BackEnd& be) {
+    for (int wave = 0; wave < kWaves; ++wave) {
+      be.send(stream.id(), kTag, "i64", {std::int64_t{1}});
+    }
+  });
+  for (int wave = 0; wave < kWaves; ++wave) {
+    const auto result = stream.recv_for(10s);
+    ASSERT_TRUE(result.has_value()) << "wave " << wave;
+    ASSERT_EQ((*result)->get_i64(0), 16);
+  }
+  net->shutdown();
+  EXPECT_EQ(net->node_metrics(0).waves, static_cast<std::uint64_t>(kWaves));
+}
+
+TEST(Stress, ManyConcurrentStreams) {
+  constexpr std::size_t kStreams = 12;
+  auto net = Network::create_threaded(Topology::balanced(3, 2));
+  std::vector<Stream*> streams;
+  for (std::size_t i = 0; i < kStreams; ++i) {
+    streams.push_back(&net->front_end().new_stream({.up_transform = "sum"}));
+  }
+  net->run_backends([&](BackEnd& be) {
+    for (std::size_t i = 0; i < kStreams; ++i) {
+      be.send(streams[i]->id(), kTag, "i64",
+              {static_cast<std::int64_t>(i * 100 + be.rank())});
+    }
+  });
+  for (std::size_t i = 0; i < kStreams; ++i) {
+    const auto result = streams[i]->recv_for(10s);
+    ASSERT_TRUE(result.has_value());
+    // 9 leaves: sum(i*100 + rank) = 900 i + 36.
+    EXPECT_EQ((*result)->get_i64(0), static_cast<std::int64_t>(900 * i + 36));
+  }
+  net->shutdown();
+}
+
+TEST(Stress, LargePayloads) {
+  auto net = Network::create_threaded(Topology::balanced(2, 2));
+  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  const std::size_t kDoubles = 100'000;  // 800 KB per packet
+  net->run_backends([&](BackEnd& be) {
+    be.send(stream.id(), kTag, "vf64",
+            {std::vector<double>(kDoubles, static_cast<double>(be.rank()))});
+  });
+  const auto result = stream.recv_for(30s);
+  ASSERT_TRUE(result.has_value());
+  const auto& values = (*result)->get_vf64(0);
+  ASSERT_EQ(values.size(), kDoubles);
+  EXPECT_DOUBLE_EQ(values[0], 0.0 + 1 + 2 + 3);
+  net->shutdown();
+}
+
+TEST(Stress, SurvivorsKeepProducingAfterKills) {
+  // Kill a third of the back-ends (one per subtree) before traffic starts;
+  // the survivors' waves must keep flowing.
+  auto net = Network::create_threaded(Topology::balanced(3, 2));  // 9 leaves
+  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  const std::set<std::uint32_t> victims = {0u, 4u, 8u};
+  for (const std::uint32_t victim : victims) {
+    net->kill_node(net->topology().leaves()[victim]);
+  }
+
+  constexpr int kWaves = 30;
+  net->run_backends([&](BackEnd& be) {
+    if (victims.count(be.rank())) return;  // its node is dead
+    for (int wave = 0; wave < kWaves; ++wave) {
+      be.send(stream.id(), kTag, "i64", {std::int64_t{1}});
+    }
+  });
+
+  std::size_t delivered = 0;
+  std::int64_t total = 0;
+  while (const auto result = stream.recv_for(500ms)) {
+    ++delivered;
+    total += (*result)->get_i64(0);
+    if (delivered == kWaves) break;
+  }
+  EXPECT_EQ(delivered, static_cast<std::size_t>(kWaves));
+  EXPECT_EQ(total, kWaves * 6);  // 6 survivors per wave
+  net->shutdown();
+}
+
+TEST(Stress, ConcurrentFailureStormShutsDownCleanly) {
+  // Kills racing live traffic: delivery is timing-dependent, but the network
+  // must never hang, crash or double-count shutdown acknowledgements.
+  auto net = Network::create_threaded(Topology::balanced(3, 2));
+  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+
+  std::jthread killer([&] {
+    for (const std::uint32_t victim : {0u, 4u, 8u}) {
+      net->kill_node(net->topology().leaves()[victim]);
+    }
+  });
+
+  net->run_backends([&](BackEnd& be) {
+    for (int wave = 0; wave < 10 && !be.shutting_down(); ++wave) {
+      try {
+        be.send(stream.id(), kTag, "i64", {std::int64_t{1}});
+      } catch (const Error&) {
+        return;  // killed mid-send (stream announcement lost)
+      }
+    }
+  });
+  while (stream.try_recv()) {
+  }
+  net->shutdown();
+  SUCCEED();
+}
+
+TEST(Stress, ProcessModeManyChildren) {
+  auto net = Network::create_process(Topology::flat(16), [](BackEnd& be) {
+    for (int wave = 0; wave < 20; ++wave) {
+      be.send(1, kTag, "i64", {std::int64_t{wave}});
+    }
+  });
+  Stream& stream = net->front_end().new_stream({.up_transform = "min"});
+  for (int wave = 0; wave < 20; ++wave) {
+    const auto result = stream.recv_for(20s);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ((*result)->get_i64(0), wave);
+  }
+  net->shutdown();
+}
+
+}  // namespace
+}  // namespace tbon

@@ -1,0 +1,176 @@
+// Tests for the synchronization filters: wait_for_all, time_out, null.
+#include <gtest/gtest.h>
+
+#include "common/timer.hpp"
+#include "core/registry.hpp"
+#include "core/sync.hpp"
+
+namespace tbon {
+namespace {
+
+PacketPtr packet_from(std::uint32_t rank, double v) {
+  return Packet::make(1, 100, rank, "f64", {v});
+}
+
+FilterContext context_with_children(std::size_t n, std::string params = "") {
+  FilterContext ctx;
+  ctx.num_children = n;
+  Config config;
+  std::size_t pos = 0;
+  while (pos < params.size()) {
+    auto end = params.find(' ', pos);
+    if (end == std::string::npos) end = params.size();
+    config.add(std::string_view(params).substr(pos, end - pos));
+    pos = end + 1;
+  }
+  ctx.params = config;
+  return ctx;
+}
+
+// ---- wait_for_all -----------------------------------------------------------
+
+TEST(WaitForAll, HoldsUntilAllChildrenReport) {
+  WaitForAllSync sync(context_with_children(3));
+  sync.on_packet(0, packet_from(0, 1.0));
+  EXPECT_TRUE(sync.drain_ready(now_ns()).empty());
+  sync.on_packet(1, packet_from(1, 2.0));
+  EXPECT_TRUE(sync.drain_ready(now_ns()).empty());
+  sync.on_packet(2, packet_from(2, 3.0));
+  const auto batches = sync.drain_ready(now_ns());
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 3u);
+}
+
+TEST(WaitForAll, WavesStayAligned) {
+  // A fast child sending two packets must not contaminate the first wave.
+  WaitForAllSync sync(context_with_children(2));
+  sync.on_packet(0, packet_from(0, 1.0));
+  sync.on_packet(0, packet_from(0, 10.0));  // wave 2 from child 0
+  EXPECT_TRUE(sync.drain_ready(now_ns()).empty());
+  sync.on_packet(1, packet_from(1, 2.0));
+  auto batches = sync.drain_ready(now_ns());
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_DOUBLE_EQ(batches[0][0]->get_f64(0), 1.0);
+  EXPECT_DOUBLE_EQ(batches[0][1]->get_f64(0), 2.0);
+
+  sync.on_packet(1, packet_from(1, 20.0));
+  batches = sync.drain_ready(now_ns());
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_DOUBLE_EQ(batches[0][0]->get_f64(0), 10.0);
+  EXPECT_DOUBLE_EQ(batches[0][1]->get_f64(0), 20.0);
+}
+
+TEST(WaitForAll, MultipleWavesDrainTogether) {
+  WaitForAllSync sync(context_with_children(2));
+  sync.on_packet(0, packet_from(0, 1.0));
+  sync.on_packet(0, packet_from(0, 2.0));
+  sync.on_packet(1, packet_from(1, 10.0));
+  sync.on_packet(1, packet_from(1, 20.0));
+  const auto batches = sync.drain_ready(now_ns());
+  ASSERT_EQ(batches.size(), 2u);
+}
+
+TEST(WaitForAll, ChildFailureDegradesToSurvivors) {
+  // The reliability behaviour: a dead child no longer blocks waves.
+  WaitForAllSync sync(context_with_children(3));
+  sync.on_packet(0, packet_from(0, 1.0));
+  sync.on_packet(1, packet_from(1, 2.0));
+  EXPECT_TRUE(sync.drain_ready(now_ns()).empty());
+  sync.child_failed(2);
+  const auto batches = sync.drain_ready(now_ns());
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 2u);
+}
+
+TEST(WaitForAll, AllChildrenFailedStillDrains) {
+  WaitForAllSync sync(context_with_children(2));
+  sync.on_packet(0, packet_from(0, 1.0));
+  sync.child_failed(0);
+  sync.child_failed(1);
+  const auto batches = sync.drain_ready(now_ns());
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 1u);
+}
+
+TEST(WaitForAll, FlushDeliversPartialWaves) {
+  WaitForAllSync sync(context_with_children(3));
+  sync.on_packet(0, packet_from(0, 1.0));
+  sync.on_packet(0, packet_from(0, 2.0));
+  sync.on_packet(1, packet_from(1, 3.0));
+  const auto batches = sync.flush();
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].size(), 2u);  // packets 1.0 and 3.0
+  EXPECT_EQ(batches[1].size(), 1u);  // packet 2.0
+}
+
+TEST(WaitForAll, NoDeadline) {
+  WaitForAllSync sync(context_with_children(2));
+  EXPECT_EQ(sync.next_deadline(), std::nullopt);
+}
+
+// ---- time_out ----------------------------------------------------------------
+
+TEST(TimeOut, DeliversAfterWindow) {
+  TimeOutSync sync(context_with_children(2, "window_ms=10"));
+  const auto start = now_ns();
+  sync.on_packet(0, packet_from(0, 1.0));
+  EXPECT_TRUE(sync.drain_ready(start).empty());  // window just opened
+  const auto deadline = sync.next_deadline();
+  ASSERT_TRUE(deadline.has_value());
+  EXPECT_NEAR(static_cast<double>(*deadline - start), 10e6, 1e6);
+
+  sync.on_packet(1, packet_from(1, 2.0));
+  // Still inside the window.
+  EXPECT_TRUE(sync.drain_ready(start + 5'000'000).empty());
+  // Window elapsed.
+  const auto batches = sync.drain_ready(start + 11'000'000);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 2u);
+  EXPECT_EQ(sync.next_deadline(), std::nullopt);
+}
+
+TEST(TimeOut, DefaultWindowIs50ms) {
+  TimeOutSync sync(context_with_children(1));
+  const auto start = now_ns();
+  sync.on_packet(0, packet_from(0, 1.0));
+  sync.drain_ready(start);
+  const auto deadline = sync.next_deadline();
+  ASSERT_TRUE(deadline.has_value());
+  EXPECT_NEAR(static_cast<double>(*deadline - start), 50e6, 5e6);
+}
+
+TEST(TimeOut, FlushDeliversImmediately) {
+  TimeOutSync sync(context_with_children(2, "window_ms=10000"));
+  sync.on_packet(0, packet_from(0, 1.0));
+  sync.drain_ready(now_ns());
+  const auto batches = sync.flush();
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 1u);
+}
+
+TEST(TimeOut, EmptyFlushYieldsNothing) {
+  TimeOutSync sync(context_with_children(2));
+  EXPECT_TRUE(sync.flush().empty());
+}
+
+// ---- null ----------------------------------------------------------------------
+
+TEST(NullSync, DeliversEachPacketAlone) {
+  NullSync sync(context_with_children(3));
+  sync.on_packet(0, packet_from(0, 1.0));
+  sync.on_packet(2, packet_from(2, 2.0));
+  const auto batches = sync.drain_ready(now_ns());
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].size(), 1u);
+  EXPECT_EQ(batches[1].size(), 1u);
+}
+
+TEST(NullSync, FlushDrains) {
+  NullSync sync(context_with_children(1));
+  sync.on_packet(0, packet_from(0, 1.0));
+  EXPECT_EQ(sync.flush().size(), 1u);
+  EXPECT_TRUE(sync.flush().empty());
+}
+
+}  // namespace
+}  // namespace tbon

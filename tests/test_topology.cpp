@@ -1,0 +1,213 @@
+// Unit and property tests for topology builders, invariants and queries —
+// including the paper's §3.2 internal-node accounting.
+#include <gtest/gtest.h>
+
+#include "topology/topology.hpp"
+
+namespace tbon {
+namespace {
+
+TEST(Topology, SingleIsOneNode) {
+  const Topology t = Topology::single();
+  EXPECT_EQ(t.num_nodes(), 1u);
+  EXPECT_EQ(t.num_leaves(), 1u);  // the root is its own leaf
+  EXPECT_EQ(t.depth(), 0u);
+  EXPECT_EQ(t.num_internal(), 0u);
+}
+
+TEST(Topology, FlatShape) {
+  const Topology t = Topology::flat(64);
+  EXPECT_EQ(t.num_nodes(), 65u);
+  EXPECT_EQ(t.num_leaves(), 64u);
+  EXPECT_EQ(t.depth(), 1u);
+  EXPECT_EQ(t.max_fanout(), 64u);
+  EXPECT_EQ(t.num_internal(), 0u);  // no communication processes in a flat tree
+}
+
+TEST(Topology, BalancedShape) {
+  const Topology t = Topology::balanced(4, 3);
+  EXPECT_EQ(t.num_leaves(), 64u);
+  EXPECT_EQ(t.num_nodes(), 1u + 4u + 16u + 64u);
+  EXPECT_EQ(t.depth(), 3u);
+  EXPECT_EQ(t.max_fanout(), 4u);
+  EXPECT_EQ(t.num_internal(), 20u);
+}
+
+TEST(Topology, PaperNodeOverheadClaim) {
+  // §3.2: "with a fan-out of 16, 16 (6.25% more) internal nodes are needed
+  // to connect 256 back-ends, or 272 (6.6%) for 4096 back-ends."
+  const Topology t256 = Topology::balanced(16, 2);
+  EXPECT_EQ(t256.num_leaves(), 256u);
+  EXPECT_EQ(t256.num_internal(), 16u);
+  EXPECT_NEAR(t256.internal_overhead(), 0.0625, 1e-9);
+
+  const Topology t4096 = Topology::balanced(16, 3);
+  EXPECT_EQ(t4096.num_leaves(), 4096u);
+  EXPECT_EQ(t4096.num_internal(), 272u);
+  EXPECT_NEAR(t4096.internal_overhead(), 0.0664, 1e-3);
+}
+
+TEST(Topology, BalancedForLeavesExact) {
+  const Topology t = Topology::balanced_for_leaves(4, 16);
+  EXPECT_EQ(t.num_leaves(), 16u);
+  EXPECT_EQ(t.depth(), 2u);
+}
+
+TEST(Topology, BalancedForLeavesUneven) {
+  const Topology t = Topology::balanced_for_leaves(16, 324);  // paper's largest scale
+  EXPECT_EQ(t.num_leaves(), 324u);
+  EXPECT_EQ(t.depth(), 3u);
+  // Round-robin distribution keeps the leaf level nearly even.
+  std::size_t min_fanout = 1000, max_fanout = 0;
+  for (NodeId id = 0; id < t.num_nodes(); ++id) {
+    if (!t.is_leaf(id) && !t.node(id).children.empty()) {
+      bool children_are_leaves = t.is_leaf(t.node(id).children[0]);
+      if (children_are_leaves) {
+        min_fanout = std::min(min_fanout, t.node(id).children.size());
+        max_fanout = std::max(max_fanout, t.node(id).children.size());
+      }
+    }
+  }
+  EXPECT_LE(max_fanout - min_fanout, 1u);
+}
+
+TEST(Topology, FromFanouts) {
+  const std::size_t fanouts[] = {2, 3, 4};
+  const Topology t = Topology::from_fanouts(fanouts);
+  EXPECT_EQ(t.num_leaves(), 24u);
+  EXPECT_EQ(t.depth(), 3u);
+}
+
+TEST(Topology, KnomialNodeCount) {
+  // A k-nomial tree of dimension d has k^d nodes.
+  EXPECT_EQ(Topology::knomial(2, 4).num_nodes(), 16u);
+  EXPECT_EQ(Topology::knomial(3, 3).num_nodes(), 27u);
+}
+
+TEST(Topology, KnomialIsSkewed) {
+  const Topology t = Topology::knomial(2, 5);
+  // Root degree = dim, and subtree sizes are unequal (skewed).
+  EXPECT_EQ(t.node(0).children.size(), 5u);
+  EXPECT_GT(t.depth(), 1u);
+}
+
+TEST(Topology, LeafRanksAreDense) {
+  const Topology t = Topology::balanced(3, 2);
+  ASSERT_EQ(t.num_leaves(), 9u);
+  for (std::uint32_t rank = 0; rank < 9; ++rank) {
+    EXPECT_EQ(t.leaf_rank(t.leaves()[rank]), rank);
+  }
+  EXPECT_THROW(t.leaf_rank(0), TopologyError);  // root is not a leaf
+}
+
+TEST(Topology, SubtreeLeafRanksPartitionTheLeaves) {
+  const Topology t = Topology::balanced(4, 2);
+  std::vector<std::uint32_t> all;
+  for (NodeId child : t.node(0).children) {
+    const auto ranks = t.subtree_leaf_ranks(child);
+    all.insert(all.end(), ranks.begin(), ranks.end());
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), 16u);
+  for (std::uint32_t i = 0; i < 16; ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(Topology, PathToRoot) {
+  const Topology t = Topology::balanced(2, 3);
+  const NodeId leaf = t.leaves()[5];
+  const auto path = t.path_to_root(leaf);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), leaf);
+  EXPECT_EQ(path.back(), t.root());
+}
+
+TEST(Topology, ParseSpecs) {
+  EXPECT_EQ(Topology::parse("single").num_nodes(), 1u);
+  EXPECT_EQ(Topology::parse("flat:8").num_leaves(), 8u);
+  EXPECT_EQ(Topology::parse("bal:4x2").num_leaves(), 16u);
+  EXPECT_EQ(Topology::parse("auto:4:10").num_leaves(), 10u);
+  EXPECT_EQ(Topology::parse("fanouts:2,5").num_leaves(), 10u);
+  EXPECT_EQ(Topology::parse("knomial:2:3").num_nodes(), 8u);
+  EXPECT_THROW(Topology::parse("bogus:1"), ParseError);
+  EXPECT_THROW(Topology::parse("flat:x"), ParseError);
+  EXPECT_THROW(Topology::parse("nocolon"), ParseError);
+}
+
+TEST(Topology, FromParentsValidation) {
+  {
+    const NodeId parents[] = {kNoNode, 0, 0, 1};
+    const Topology t = Topology::from_parents(parents);
+    EXPECT_EQ(t.num_leaves(), 2u);
+  }
+  {
+    // Two roots.
+    const NodeId parents[] = {kNoNode, kNoNode};
+    EXPECT_THROW(Topology::from_parents(parents), TopologyError);
+  }
+  {
+    // Dangling parent.
+    const NodeId parents[] = {kNoNode, 9};
+    EXPECT_THROW(Topology::from_parents(parents), TopologyError);
+  }
+}
+
+TEST(Topology, SerializationRoundTrip) {
+  for (const char* spec : {"flat:5", "bal:3x2", "knomial:2:4", "auto:4:11"}) {
+    const Topology original = Topology::parse(spec);
+    BinaryWriter writer;
+    original.serialize(writer);
+    BinaryReader reader(writer.bytes());
+    const Topology copy = Topology::deserialize(reader);
+    EXPECT_EQ(copy, original) << spec;
+  }
+}
+
+TEST(Topology, DotExportContainsAllEdges) {
+  const Topology t = Topology::balanced(2, 2);
+  const std::string dot = t.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  // 6 edges for a 7-node binary tree of depth 2.
+  std::size_t edges = 0, pos = 0;
+  while ((pos = dot.find("->", pos)) != std::string::npos) {
+    ++edges;
+    pos += 2;
+  }
+  EXPECT_EQ(edges, 6u);
+}
+
+// Property sweep: structural invariants hold across many shapes.
+class TopologyInvariants : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TopologyInvariants, HoldForShape) {
+  const Topology t = Topology::parse(GetParam());
+  // Exactly one root.
+  std::size_t roots = 0;
+  for (NodeId id = 0; id < t.num_nodes(); ++id) {
+    if (t.node(id).parent == kNoNode) ++roots;
+  }
+  EXPECT_EQ(roots, 1u);
+  // nodes = leaves + internal + root (when the root is not itself a leaf).
+  if (!t.is_leaf(t.root())) {
+    EXPECT_EQ(t.num_nodes(), t.num_leaves() + t.num_internal() + 1);
+  }
+  // Every leaf's path to root has length == its depth <= tree depth.
+  for (NodeId leaf : t.leaves()) {
+    EXPECT_LE(t.path_to_root(leaf).size() - 1, t.depth());
+  }
+  // Child/parent links are mutually consistent.
+  for (NodeId id = 0; id < t.num_nodes(); ++id) {
+    for (NodeId child : t.node(id).children) {
+      EXPECT_EQ(t.node(child).parent, id);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TopologyInvariants,
+                         ::testing::Values("single", "flat:1", "flat:17", "bal:2x1",
+                                           "bal:2x5", "bal:7x2", "auto:4:23",
+                                           "auto:16:324", "fanouts:3,1,4",
+                                           "knomial:2:6", "knomial:4:3"));
+
+}  // namespace
+}  // namespace tbon

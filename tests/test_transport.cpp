@@ -1,0 +1,114 @@
+// Tests for the byte transport: socketpair frames, EOF semantics, TCP.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.hpp"
+#include "transport/fd.hpp"
+#include "transport/tcp.hpp"
+
+namespace tbon {
+namespace {
+
+Bytes to_bytes(std::string_view text) {
+  Bytes bytes(text.size());
+  std::memcpy(bytes.data(), text.data(), text.size());
+  return bytes;
+}
+
+TEST(Fd, MoveTransfersOwnership) {
+  auto [a, b] = make_socketpair();
+  const int raw = a.get();
+  Fd moved = std::move(a);
+  EXPECT_EQ(moved.get(), raw);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): testing moved-from state
+}
+
+TEST(Frames, RoundTripOverSocketpair) {
+  auto [a, b] = make_socketpair();
+  write_frame(a.get(), to_bytes("hello"));
+  write_frame(a.get(), to_bytes(""));
+  write_frame(a.get(), to_bytes("world!"));
+
+  EXPECT_EQ(read_frame(b.get()), to_bytes("hello"));
+  EXPECT_EQ(read_frame(b.get()), to_bytes(""));
+  EXPECT_EQ(read_frame(b.get()), to_bytes("world!"));
+}
+
+TEST(Frames, EofAfterShutdown) {
+  auto [a, b] = make_socketpair();
+  write_frame(a.get(), to_bytes("last"));
+  shutdown_write(a.get());
+  EXPECT_EQ(read_frame(b.get()), to_bytes("last"));
+  EXPECT_EQ(read_frame(b.get()), std::nullopt);  // orderly EOF
+}
+
+TEST(Frames, EofOnClose) {
+  Fd b;
+  {
+    auto [a, b_inner] = make_socketpair();
+    b = std::move(b_inner);
+    // `a` closes here.
+  }
+  EXPECT_EQ(read_frame(b.get()), std::nullopt);
+}
+
+TEST(Frames, LargeFrame) {
+  auto [a, b] = make_socketpair();
+  Bytes big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<std::byte>(i & 0xff);
+  std::thread writer([fd = a.get(), &big] { write_frame(fd, big); });
+  const auto got = read_frame(b.get());
+  writer.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, big);
+}
+
+TEST(Frames, ManySmallFramesPreserveOrder) {
+  auto [a, b] = make_socketpair();
+  std::thread writer([fd = a.get()] {
+    for (int i = 0; i < 500; ++i) {
+      const std::string payload = "frame-" + std::to_string(i);
+      write_frame(fd, to_bytes(payload));
+    }
+    shutdown_write(fd);
+  });
+  int count = 0;
+  while (const auto frame = read_frame(b.get())) {
+    const std::string expected = "frame-" + std::to_string(count);
+    EXPECT_EQ(*frame, to_bytes(expected));
+    ++count;
+  }
+  writer.join();
+  EXPECT_EQ(count, 500);
+}
+
+TEST(Tcp, ListenConnectRoundTrip) {
+  TcpListener listener;
+  ASSERT_GT(listener.port(), 0);
+
+  std::thread client([port = listener.port()] {
+    Fd fd = tcp_connect(port);
+    write_frame(fd.get(), to_bytes("over tcp"));
+    const auto reply = read_frame(fd.get());
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(*reply, to_bytes("ack"));
+  });
+
+  Fd server = listener.accept();
+  EXPECT_EQ(read_frame(server.get()), to_bytes("over tcp"));
+  write_frame(server.get(), to_bytes("ack"));
+  client.join();
+}
+
+TEST(Tcp, ConnectToClosedPortFails) {
+  std::uint16_t dead_port;
+  {
+    TcpListener listener;
+    dead_port = listener.port();
+  }  // listener closed
+  EXPECT_THROW(tcp_connect(dead_port), TransportError);
+}
+
+}  // namespace
+}  // namespace tbon
