@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_meanshift.dir/fig4_meanshift.cpp.o"
+  "CMakeFiles/fig4_meanshift.dir/fig4_meanshift.cpp.o.d"
+  "fig4_meanshift"
+  "fig4_meanshift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_meanshift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

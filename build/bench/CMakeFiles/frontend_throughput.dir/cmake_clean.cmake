@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_throughput.dir/frontend_throughput.cpp.o"
+  "CMakeFiles/frontend_throughput.dir/frontend_throughput.cpp.o.d"
+  "frontend_throughput"
+  "frontend_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meanshift_ablation.dir/meanshift_ablation.cpp.o"
+  "CMakeFiles/meanshift_ablation.dir/meanshift_ablation.cpp.o.d"
+  "meanshift_ablation"
+  "meanshift_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meanshift_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

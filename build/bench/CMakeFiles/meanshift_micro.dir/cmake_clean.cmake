@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meanshift_micro.dir/meanshift_micro.cpp.o"
+  "CMakeFiles/meanshift_micro.dir/meanshift_micro.cpp.o.d"
+  "meanshift_micro"
+  "meanshift_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meanshift_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

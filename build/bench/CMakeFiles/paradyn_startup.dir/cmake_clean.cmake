@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradyn_startup.dir/paradyn_startup.cpp.o"
+  "CMakeFiles/paradyn_startup.dir/paradyn_startup.cpp.o.d"
+  "paradyn_startup"
+  "paradyn_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradyn_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_filters.dir/sync_filters.cpp.o"
+  "CMakeFiles/sync_filters.dir/sync_filters.cpp.o.d"
+  "sync_filters"
+  "sync_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

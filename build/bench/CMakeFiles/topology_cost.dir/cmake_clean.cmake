@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_cost.dir/topology_cost.cpp.o"
+  "CMakeFiles/topology_cost.dir/topology_cost.cpp.o.d"
+  "topology_cost"
+  "topology_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

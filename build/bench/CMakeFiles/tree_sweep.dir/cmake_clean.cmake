@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_sweep.dir/tree_sweep.cpp.o"
+  "CMakeFiles/tree_sweep.dir/tree_sweep.cpp.o.d"
+  "tree_sweep"
+  "tree_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

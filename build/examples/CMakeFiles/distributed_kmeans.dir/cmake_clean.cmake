@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_kmeans.dir/distributed_kmeans.cpp.o"
+  "CMakeFiles/distributed_kmeans.dir/distributed_kmeans.cpp.o.d"
+  "distributed_kmeans"
+  "distributed_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

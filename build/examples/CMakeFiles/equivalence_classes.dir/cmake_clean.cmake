@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equivalence_classes.dir/equivalence_classes.cpp.o"
+  "CMakeFiles/equivalence_classes.dir/equivalence_classes.cpp.o.d"
+  "equivalence_classes"
+  "equivalence_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equivalence_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

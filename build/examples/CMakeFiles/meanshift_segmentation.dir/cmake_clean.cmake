@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meanshift_segmentation.dir/meanshift_segmentation.cpp.o"
+  "CMakeFiles/meanshift_segmentation.dir/meanshift_segmentation.cpp.o.d"
+  "meanshift_segmentation"
+  "meanshift_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meanshift_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_monitor.dir/system_monitor.cpp.o"
+  "CMakeFiles/system_monitor.dir/system_monitor.cpp.o.d"
+  "system_monitor"
+  "system_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

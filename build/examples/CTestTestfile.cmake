@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "topology=bal:2x2")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_meanshift "/root/repo/build/examples/meanshift_segmentation" "topology=bal:2x2" "clusters=3" "points=120")
+set_tests_properties(example_meanshift PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_monitor "/root/repo/build/examples/system_monitor" "topology=bal:2x2" "rounds=3")
+set_tests_properties(example_monitor PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_equivalence "/root/repo/build/examples/equivalence_classes" "daemons=16" "fanout=4")
+set_tests_properties(example_equivalence PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_clock_skew "/root/repo/build/examples/clock_skew" "topology=bal:2x2")
+set_tests_properties(example_clock_skew PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_process_mode "/root/repo/build/examples/process_mode" "topology=bal:2x2")
+set_tests_properties(example_process_mode PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_kmeans "/root/repo/build/examples/distributed_kmeans" "topology=bal:2x2" "k=3" "dim=2" "points=150")
+set_tests_properties(example_kmeans PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_topology_tool "/root/repo/build/examples/topology_tool" "spec=auto:8:100" "dot=1" "mrnet=1")
+set_tests_properties(example_topology_tool PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

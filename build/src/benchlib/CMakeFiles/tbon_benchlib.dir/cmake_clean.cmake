@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbon_benchlib.dir/table.cpp.o"
+  "CMakeFiles/tbon_benchlib.dir/table.cpp.o.d"
+  "libtbon_benchlib.a"
+  "libtbon_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbon_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

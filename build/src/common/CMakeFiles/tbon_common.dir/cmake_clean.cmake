@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbon_common.dir/config.cpp.o"
+  "CMakeFiles/tbon_common.dir/config.cpp.o.d"
+  "CMakeFiles/tbon_common.dir/datavalue.cpp.o"
+  "CMakeFiles/tbon_common.dir/datavalue.cpp.o.d"
+  "CMakeFiles/tbon_common.dir/log.cpp.o"
+  "CMakeFiles/tbon_common.dir/log.cpp.o.d"
+  "CMakeFiles/tbon_common.dir/trace.cpp.o"
+  "CMakeFiles/tbon_common.dir/trace.cpp.o.d"
+  "libtbon_common.a"
+  "libtbon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

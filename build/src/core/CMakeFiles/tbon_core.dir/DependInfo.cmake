@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/builtin_filters.cpp" "src/core/CMakeFiles/tbon_core.dir/builtin_filters.cpp.o" "gcc" "src/core/CMakeFiles/tbon_core.dir/builtin_filters.cpp.o.d"
+  "/root/repo/src/core/fd_link.cpp" "src/core/CMakeFiles/tbon_core.dir/fd_link.cpp.o" "gcc" "src/core/CMakeFiles/tbon_core.dir/fd_link.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "src/core/CMakeFiles/tbon_core.dir/network.cpp.o" "gcc" "src/core/CMakeFiles/tbon_core.dir/network.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/core/CMakeFiles/tbon_core.dir/node.cpp.o" "gcc" "src/core/CMakeFiles/tbon_core.dir/node.cpp.o.d"
+  "/root/repo/src/core/packet.cpp" "src/core/CMakeFiles/tbon_core.dir/packet.cpp.o" "gcc" "src/core/CMakeFiles/tbon_core.dir/packet.cpp.o.d"
+  "/root/repo/src/core/process_network.cpp" "src/core/CMakeFiles/tbon_core.dir/process_network.cpp.o" "gcc" "src/core/CMakeFiles/tbon_core.dir/process_network.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/tbon_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/tbon_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/tbon_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/tbon_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/sync.cpp" "src/core/CMakeFiles/tbon_core.dir/sync.cpp.o" "gcc" "src/core/CMakeFiles/tbon_core.dir/sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tbon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/tbon_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/tbon_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

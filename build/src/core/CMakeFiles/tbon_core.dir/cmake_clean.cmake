@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbon_core.dir/builtin_filters.cpp.o"
+  "CMakeFiles/tbon_core.dir/builtin_filters.cpp.o.d"
+  "CMakeFiles/tbon_core.dir/fd_link.cpp.o"
+  "CMakeFiles/tbon_core.dir/fd_link.cpp.o.d"
+  "CMakeFiles/tbon_core.dir/network.cpp.o"
+  "CMakeFiles/tbon_core.dir/network.cpp.o.d"
+  "CMakeFiles/tbon_core.dir/node.cpp.o"
+  "CMakeFiles/tbon_core.dir/node.cpp.o.d"
+  "CMakeFiles/tbon_core.dir/packet.cpp.o"
+  "CMakeFiles/tbon_core.dir/packet.cpp.o.d"
+  "CMakeFiles/tbon_core.dir/process_network.cpp.o"
+  "CMakeFiles/tbon_core.dir/process_network.cpp.o.d"
+  "CMakeFiles/tbon_core.dir/protocol.cpp.o"
+  "CMakeFiles/tbon_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/tbon_core.dir/registry.cpp.o"
+  "CMakeFiles/tbon_core.dir/registry.cpp.o.d"
+  "CMakeFiles/tbon_core.dir/sync.cpp.o"
+  "CMakeFiles/tbon_core.dir/sync.cpp.o.d"
+  "libtbon_core.a"
+  "libtbon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

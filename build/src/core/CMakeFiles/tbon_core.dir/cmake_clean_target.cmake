@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtbon_core.a"
+)

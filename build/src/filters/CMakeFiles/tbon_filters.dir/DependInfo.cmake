@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filters/calltree.cpp" "src/filters/CMakeFiles/tbon_filters.dir/calltree.cpp.o" "gcc" "src/filters/CMakeFiles/tbon_filters.dir/calltree.cpp.o.d"
+  "/root/repo/src/filters/clockskew.cpp" "src/filters/CMakeFiles/tbon_filters.dir/clockskew.cpp.o" "gcc" "src/filters/CMakeFiles/tbon_filters.dir/clockskew.cpp.o.d"
+  "/root/repo/src/filters/equivalence.cpp" "src/filters/CMakeFiles/tbon_filters.dir/equivalence.cpp.o" "gcc" "src/filters/CMakeFiles/tbon_filters.dir/equivalence.cpp.o.d"
+  "/root/repo/src/filters/histogram_filter.cpp" "src/filters/CMakeFiles/tbon_filters.dir/histogram_filter.cpp.o" "gcc" "src/filters/CMakeFiles/tbon_filters.dir/histogram_filter.cpp.o.d"
+  "/root/repo/src/filters/register.cpp" "src/filters/CMakeFiles/tbon_filters.dir/register.cpp.o" "gcc" "src/filters/CMakeFiles/tbon_filters.dir/register.cpp.o.d"
+  "/root/repo/src/filters/super.cpp" "src/filters/CMakeFiles/tbon_filters.dir/super.cpp.o" "gcc" "src/filters/CMakeFiles/tbon_filters.dir/super.cpp.o.d"
+  "/root/repo/src/filters/time_aligned.cpp" "src/filters/CMakeFiles/tbon_filters.dir/time_aligned.cpp.o" "gcc" "src/filters/CMakeFiles/tbon_filters.dir/time_aligned.cpp.o.d"
+  "/root/repo/src/filters/topk.cpp" "src/filters/CMakeFiles/tbon_filters.dir/topk.cpp.o" "gcc" "src/filters/CMakeFiles/tbon_filters.dir/topk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tbon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/tbon_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/tbon_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tbon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

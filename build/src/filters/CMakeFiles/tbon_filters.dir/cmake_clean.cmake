@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbon_filters.dir/calltree.cpp.o"
+  "CMakeFiles/tbon_filters.dir/calltree.cpp.o.d"
+  "CMakeFiles/tbon_filters.dir/clockskew.cpp.o"
+  "CMakeFiles/tbon_filters.dir/clockskew.cpp.o.d"
+  "CMakeFiles/tbon_filters.dir/equivalence.cpp.o"
+  "CMakeFiles/tbon_filters.dir/equivalence.cpp.o.d"
+  "CMakeFiles/tbon_filters.dir/histogram_filter.cpp.o"
+  "CMakeFiles/tbon_filters.dir/histogram_filter.cpp.o.d"
+  "CMakeFiles/tbon_filters.dir/register.cpp.o"
+  "CMakeFiles/tbon_filters.dir/register.cpp.o.d"
+  "CMakeFiles/tbon_filters.dir/super.cpp.o"
+  "CMakeFiles/tbon_filters.dir/super.cpp.o.d"
+  "CMakeFiles/tbon_filters.dir/time_aligned.cpp.o"
+  "CMakeFiles/tbon_filters.dir/time_aligned.cpp.o.d"
+  "CMakeFiles/tbon_filters.dir/topk.cpp.o"
+  "CMakeFiles/tbon_filters.dir/topk.cpp.o.d"
+  "libtbon_filters.a"
+  "libtbon_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbon_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

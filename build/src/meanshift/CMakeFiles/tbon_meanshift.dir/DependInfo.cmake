@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meanshift/agglomerative.cpp" "src/meanshift/CMakeFiles/tbon_meanshift.dir/agglomerative.cpp.o" "gcc" "src/meanshift/CMakeFiles/tbon_meanshift.dir/agglomerative.cpp.o.d"
+  "/root/repo/src/meanshift/distributed.cpp" "src/meanshift/CMakeFiles/tbon_meanshift.dir/distributed.cpp.o" "gcc" "src/meanshift/CMakeFiles/tbon_meanshift.dir/distributed.cpp.o.d"
+  "/root/repo/src/meanshift/kmeans.cpp" "src/meanshift/CMakeFiles/tbon_meanshift.dir/kmeans.cpp.o" "gcc" "src/meanshift/CMakeFiles/tbon_meanshift.dir/kmeans.cpp.o.d"
+  "/root/repo/src/meanshift/meanshift.cpp" "src/meanshift/CMakeFiles/tbon_meanshift.dir/meanshift.cpp.o" "gcc" "src/meanshift/CMakeFiles/tbon_meanshift.dir/meanshift.cpp.o.d"
+  "/root/repo/src/meanshift/nd.cpp" "src/meanshift/CMakeFiles/tbon_meanshift.dir/nd.cpp.o" "gcc" "src/meanshift/CMakeFiles/tbon_meanshift.dir/nd.cpp.o.d"
+  "/root/repo/src/meanshift/synth.cpp" "src/meanshift/CMakeFiles/tbon_meanshift.dir/synth.cpp.o" "gcc" "src/meanshift/CMakeFiles/tbon_meanshift.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tbon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/tbon_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/tbon_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tbon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

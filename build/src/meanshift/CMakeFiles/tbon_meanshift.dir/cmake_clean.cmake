@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbon_meanshift.dir/agglomerative.cpp.o"
+  "CMakeFiles/tbon_meanshift.dir/agglomerative.cpp.o.d"
+  "CMakeFiles/tbon_meanshift.dir/distributed.cpp.o"
+  "CMakeFiles/tbon_meanshift.dir/distributed.cpp.o.d"
+  "CMakeFiles/tbon_meanshift.dir/kmeans.cpp.o"
+  "CMakeFiles/tbon_meanshift.dir/kmeans.cpp.o.d"
+  "CMakeFiles/tbon_meanshift.dir/meanshift.cpp.o"
+  "CMakeFiles/tbon_meanshift.dir/meanshift.cpp.o.d"
+  "CMakeFiles/tbon_meanshift.dir/nd.cpp.o"
+  "CMakeFiles/tbon_meanshift.dir/nd.cpp.o.d"
+  "CMakeFiles/tbon_meanshift.dir/synth.cpp.o"
+  "CMakeFiles/tbon_meanshift.dir/synth.cpp.o.d"
+  "libtbon_meanshift.a"
+  "libtbon_meanshift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbon_meanshift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/critical_path.cpp" "src/sim/CMakeFiles/tbon_sim.dir/critical_path.cpp.o" "gcc" "src/sim/CMakeFiles/tbon_sim.dir/critical_path.cpp.o.d"
+  "/root/repo/src/sim/des.cpp" "src/sim/CMakeFiles/tbon_sim.dir/des.cpp.o" "gcc" "src/sim/CMakeFiles/tbon_sim.dir/des.cpp.o.d"
+  "/root/repo/src/sim/models.cpp" "src/sim/CMakeFiles/tbon_sim.dir/models.cpp.o" "gcc" "src/sim/CMakeFiles/tbon_sim.dir/models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tbon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/tbon_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbon_sim.dir/critical_path.cpp.o"
+  "CMakeFiles/tbon_sim.dir/critical_path.cpp.o.d"
+  "CMakeFiles/tbon_sim.dir/des.cpp.o"
+  "CMakeFiles/tbon_sim.dir/des.cpp.o.d"
+  "CMakeFiles/tbon_sim.dir/models.cpp.o"
+  "CMakeFiles/tbon_sim.dir/models.cpp.o.d"
+  "libtbon_sim.a"
+  "libtbon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbon_topology.dir/mrnet_config.cpp.o"
+  "CMakeFiles/tbon_topology.dir/mrnet_config.cpp.o.d"
+  "CMakeFiles/tbon_topology.dir/topology.cpp.o"
+  "CMakeFiles/tbon_topology.dir/topology.cpp.o.d"
+  "libtbon_topology.a"
+  "libtbon_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbon_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbon_transport.dir/fd.cpp.o"
+  "CMakeFiles/tbon_transport.dir/fd.cpp.o.d"
+  "CMakeFiles/tbon_transport.dir/tcp.cpp.o"
+  "CMakeFiles/tbon_transport.dir/tcp.cpp.o.d"
+  "libtbon_transport.a"
+  "libtbon_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbon_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

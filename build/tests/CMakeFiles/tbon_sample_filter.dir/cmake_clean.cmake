@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbon_sample_filter.dir/sample_filter_lib.cpp.o"
+  "CMakeFiles/tbon_sample_filter.dir/sample_filter_lib.cpp.o.d"
+  "libtbon_sample_filter.pdb"
+  "libtbon_sample_filter.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbon_sample_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

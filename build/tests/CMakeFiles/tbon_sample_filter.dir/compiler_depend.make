@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tbon_sample_filter.
+# This may be replaced when dependencies are built.

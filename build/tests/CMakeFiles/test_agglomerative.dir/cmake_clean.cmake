@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agglomerative.dir/test_agglomerative.cpp.o"
+  "CMakeFiles/test_agglomerative.dir/test_agglomerative.cpp.o.d"
+  "test_agglomerative"
+  "test_agglomerative.pdb"
+  "test_agglomerative[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agglomerative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

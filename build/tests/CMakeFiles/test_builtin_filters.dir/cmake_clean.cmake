@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_builtin_filters.dir/test_builtin_filters.cpp.o"
+  "CMakeFiles/test_builtin_filters.dir/test_builtin_filters.cpp.o.d"
+  "test_builtin_filters"
+  "test_builtin_filters.pdb"
+  "test_builtin_filters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_builtin_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_complex_filters.dir/test_complex_filters.cpp.o"
+  "CMakeFiles/test_complex_filters.dir/test_complex_filters.cpp.o.d"
+  "test_complex_filters"
+  "test_complex_filters.pdb"
+  "test_complex_filters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_complex_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributed_meanshift.dir/test_distributed_meanshift.cpp.o"
+  "CMakeFiles/test_distributed_meanshift.dir/test_distributed_meanshift.cpp.o.d"
+  "test_distributed_meanshift"
+  "test_distributed_meanshift.pdb"
+  "test_distributed_meanshift[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributed_meanshift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

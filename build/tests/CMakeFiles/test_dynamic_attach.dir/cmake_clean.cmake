@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_attach.dir/test_dynamic_attach.cpp.o"
+  "CMakeFiles/test_dynamic_attach.dir/test_dynamic_attach.cpp.o.d"
+  "test_dynamic_attach"
+  "test_dynamic_attach.pdb"
+  "test_dynamic_attach[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_attach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_codec.dir/test_fuzz_codec.cpp.o"
+  "CMakeFiles/test_fuzz_codec.dir/test_fuzz_codec.cpp.o.d"
+  "test_fuzz_codec"
+  "test_fuzz_codec.pdb"
+  "test_fuzz_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

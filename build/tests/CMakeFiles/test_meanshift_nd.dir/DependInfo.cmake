@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_meanshift_nd.cpp" "tests/CMakeFiles/test_meanshift_nd.dir/test_meanshift_nd.cpp.o" "gcc" "tests/CMakeFiles/test_meanshift_nd.dir/test_meanshift_nd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/meanshift/CMakeFiles/tbon_meanshift.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tbon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/tbon_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/tbon_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tbon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_meanshift_nd.dir/test_meanshift_nd.cpp.o"
+  "CMakeFiles/test_meanshift_nd.dir/test_meanshift_nd.cpp.o.d"
+  "test_meanshift_nd"
+  "test_meanshift_nd.pdb"
+  "test_meanshift_nd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_meanshift_nd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mrnet_config.dir/test_mrnet_config.cpp.o"
+  "CMakeFiles/test_mrnet_config.dir/test_mrnet_config.cpp.o.d"
+  "test_mrnet_config"
+  "test_mrnet_config.pdb"
+  "test_mrnet_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mrnet_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_streams.dir/test_network_streams.cpp.o"
+  "CMakeFiles/test_network_streams.dir/test_network_streams.cpp.o.d"
+  "test_network_streams"
+  "test_network_streams.pdb"
+  "test_network_streams[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peer_routing.dir/test_peer_routing.cpp.o"
+  "CMakeFiles/test_peer_routing.dir/test_peer_routing.cpp.o.d"
+  "test_peer_routing"
+  "test_peer_routing.pdb"
+  "test_peer_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peer_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_process_network.dir/test_process_network.cpp.o"
+  "CMakeFiles/test_process_network.dir/test_process_network.cpp.o.d"
+  "test_process_network"
+  "test_process_network.pdb"
+  "test_process_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_process_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

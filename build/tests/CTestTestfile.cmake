@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_packet[1]_include.cmake")
+include("/root/repo/build/tests/test_builtin_filters[1]_include.cmake")
+include("/root/repo/build/tests/test_sync[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_complex_filters[1]_include.cmake")
+include("/root/repo/build/tests/test_meanshift[1]_include.cmake")
+include("/root/repo/build/tests/test_distributed_meanshift[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_process_network[1]_include.cmake")
+include("/root/repo/build/tests/test_dynamic_filters[1]_include.cmake")
+include("/root/repo/build/tests/test_peer_routing[1]_include.cmake")
+include("/root/repo/build/tests/test_dynamic_attach[1]_include.cmake")
+include("/root/repo/build/tests/test_meanshift_nd[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_kmeans[1]_include.cmake")
+include("/root/repo/build/tests/test_agglomerative[1]_include.cmake")
+include("/root/repo/build/tests/test_mrnet_config[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_codec[1]_include.cmake")
+include("/root/repo/build/tests/test_network_streams[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
