@@ -1,0 +1,143 @@
+// Recovery latency: how long does the tree take to heal after an interior
+// node is killed mid-stream?
+//
+//   ./recovery_latency [fanouts=2,4,8] [repeats=5]
+//
+// For each fanout f, a threaded balanced(f, 2) network runs a wait_for_all
+// wavg stream.  After a full-tree aggregate confirms steady state, one
+// interior node is killed and two instants are measured:
+//
+//   adoption_ms     kill -> all f orphaned back-ends re-adopted (the
+//                   control-plane cost: EOF propagation, climb, rewiring,
+//                   stream replay)
+//   first_full_ms   kill -> first post-recovery aggregate carrying all
+//                   f*f back-end contributions (the data-plane cost: when
+//                   results are whole again)
+//
+// The stream uses the tree-exact wavg filter with constant per-rank values,
+// so "whole again" is detected by exact weight, not by timing heuristics.
+#include <chrono>
+#include <cstdio>
+
+#include "benchlib/table.hpp"
+#include "common/config.hpp"
+#include "common/timer.hpp"
+#include "core/network.hpp"
+
+using namespace tbon;
+using namespace tbon::bench;
+using namespace std::chrono_literals;
+
+namespace {
+
+constexpr std::int32_t kTag = kFirstAppTag;
+
+void send_wave(BackEnd& be, std::uint32_t stream_id) {
+  be.send(stream_id, kTag, "vf64 u64",
+          {std::vector<double>{static_cast<double>(be.rank()) + 1.0},
+           std::uint64_t{1}});
+}
+
+/// Drain until a result with the given weight arrives; returns the instant
+/// it was received (ns), or -1 on deadline.
+std::int64_t await_weight(Stream& stream, std::uint64_t weight,
+                          std::chrono::seconds deadline) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    const auto result = stream.recv_for(50ms);
+    if (result && (*result)->get_u64(1) == weight) return now_ns();
+  }
+  return -1;
+}
+
+struct Sample {
+  double adoption_ms = 0;
+  double first_full_ms = 0;
+};
+
+Sample measure_once(std::uint32_t fanout) {
+  const Topology topo = Topology::balanced(fanout, 2);
+  const std::uint32_t leaves = fanout * fanout;
+  auto net = Network::create_threaded(topo, {.auto_readopt = true});
+  Stream& stream = net->front_end().new_stream(
+      {.up_transform = "wavg", .up_sync = "wait_for_all"});
+
+  // Steady state: one full wave through the intact tree.
+  for (std::uint32_t rank = 0; rank < leaves; ++rank) {
+    send_wave(net->backend(rank), stream.id());
+  }
+  if (await_weight(stream, leaves, 30s) < 0) {
+    std::fprintf(stderr, "warmup wave lost\n");
+    return {};
+  }
+
+  const NodeId victim = 1;  // first interior node, orphaning `fanout` leaves
+  const std::int64_t t_kill = now_ns();
+  net->kill_node(victim);
+  net->wait_for_adoptions(fanout, std::chrono::milliseconds(30'000));
+  const std::int64_t t_adopted = now_ns();
+
+  // Pump waves until the aggregate is whole again.  Each iteration sends
+  // one wave and polls briefly; the loop exits on the first full-weight
+  // result, so the measured instant is dominated by recovery, not pumping.
+  std::int64_t t_full = -1;
+  const auto until = std::chrono::steady_clock::now() + 30s;
+  while (t_full < 0 && std::chrono::steady_clock::now() < until) {
+    for (std::uint32_t rank = 0; rank < leaves; ++rank) {
+      send_wave(net->backend(rank), stream.id());
+    }
+    const auto result = stream.recv_for(20ms);
+    if (result && (*result)->get_u64(1) == leaves) t_full = now_ns();
+  }
+
+  net->shutdown();
+  Sample sample;
+  sample.adoption_ms = static_cast<double>(t_adopted - t_kill) / 1e6;
+  sample.first_full_ms =
+      t_full < 0 ? -1.0 : static_cast<double>(t_full - t_kill) / 1e6;
+  return sample;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config(argc, argv);
+  const std::string fanouts = config.get("fanouts", "2,4,8");
+  const int repeats = static_cast<int>(config.get_int("repeats", 5));
+
+  banner("recovery latency after killing an interior node (threaded, depth 2)");
+  Table table({"fanout", "backends", "orphans", "adoption_ms", "first_full_ms"});
+
+  std::size_t pos = 0;
+  while (pos <= fanouts.size()) {
+    auto end = fanouts.find(',', pos);
+    if (end == std::string::npos) end = fanouts.size();
+    const std::string token = fanouts.substr(pos, end - pos);
+    pos = end + 1;
+    std::uint32_t fanout = 0;
+    try {
+      fanout = static_cast<std::uint32_t>(std::stoul(token));
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "invalid fanout '%s' (expected e.g. fanouts=2,4,8)\n",
+                   token.c_str());
+      return 1;
+    }
+    if (fanout < 2) {
+      std::fprintf(stderr, "fanout must be >= 2, got '%s'\n", token.c_str());
+      return 1;
+    }
+
+    double adoption = 0, first_full = 0;
+    for (int r = 0; r < repeats; ++r) {
+      const Sample sample = measure_once(fanout);
+      adoption += sample.adoption_ms;
+      first_full += sample.first_full_ms;
+    }
+    table.add_row({fmt_int(fanout), fmt_int(fanout * fanout), fmt_int(fanout),
+                   fmt("%.2f", adoption / repeats),
+                   fmt("%.2f", first_full / repeats)});
+  }
+
+  table.print("recovery_latency");
+  return 0;
+}

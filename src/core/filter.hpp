@@ -37,6 +37,16 @@ struct FilterContext {
   Config params;                   ///< per-stream parameters (key=value)
 };
 
+/// A change in a stream's participating-children set at one node, caused by
+/// failure detection (child died / was declared dead) or re-adoption (a new
+/// child was grafted in).  Stateful filters use this to re-baseline instead
+/// of waiting forever for contributions that will never arrive.
+struct MembershipChange {
+  std::size_t child = 0;         ///< sync index of the affected child
+  bool added = false;            ///< true: grafted in; false: gone
+  std::size_t num_children = 0;  ///< live participating children *after* the change
+};
+
 /// Transformation filter: reduces one synchronized batch of upstream packets
 /// (or one downstream packet) into zero or more output packets.
 class TransformFilter {
@@ -51,6 +61,19 @@ class TransformFilter {
   /// Called once when the stream shuts down; filters holding buffered state
   /// (e.g. time-aligned aggregation) may emit final packets here.
   virtual void finish(std::vector<PacketPtr>& out, const FilterContext& ctx) {
+    (void)out;
+    (void)ctx;
+  }
+
+  /// The stream's membership changed at this node (failure or re-adoption).
+  /// `ctx.num_children` already reflects the new count.  Filters keyed on
+  /// the expected number of contributors re-baseline here and may emit
+  /// buffered aggregates that the change just completed; stateless filters
+  /// ignore it (default).
+  virtual void on_membership_change(const MembershipChange& change,
+                                    std::vector<PacketPtr>& out,
+                                    const FilterContext& ctx) {
+    (void)change;
     (void)out;
     (void)ctx;
   }
@@ -88,6 +111,17 @@ class SyncPolicy {
   /// "back-end processes may join after the internal tree has been
   /// instantiated"); the policy should start expecting it.
   virtual void child_added() {}
+
+  /// Unified membership hook used by the recovery subsystem; the default
+  /// forwards to child_failed()/child_added() so existing policies (e.g.
+  /// wait_for_all shrinking its expected-child set) work unchanged.
+  virtual void on_membership_change(const MembershipChange& change) {
+    if (change.added) {
+      child_added();
+    } else {
+      child_failed(change.child);
+    }
+  }
 };
 
 /// Factory signatures used by the registry.

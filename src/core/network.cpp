@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "core/delegates.hpp"
+#include "core/fd_link.hpp"
 
 namespace tbon {
 
@@ -245,14 +246,21 @@ bool BackEnd::shutting_down() const {
 
 // ---- Network ----------------------------------------------------------------
 
-Network::Network(const Topology& topology) : topology_(topology) {}
+Network::Network(const Topology& topology) : topology_(topology) {
+  current_parent_.resize(topology_.num_nodes());
+  for (NodeId id = 0; id < topology_.num_nodes(); ++id) {
+    current_parent_[id] = topology_.is_root(id) ? id : topology_.node(id).parent;
+  }
+}
 
-std::unique_ptr<Network> Network::create_threaded(const Topology& topology) {
+std::unique_ptr<Network> Network::create_threaded(const Topology& topology,
+                                                  RecoveryOptions recovery) {
   if (topology.num_leaves() == 0 || topology.is_leaf(topology.root())) {
     throw TopologyError("a network needs at least one back-end distinct from the root");
   }
   auto network = std::unique_ptr<Network>(new Network(topology));
   Network& net = *network;
+  net.recovery_ = std::move(recovery);
   // NodeRuntime instances keep a reference to the topology for the lifetime
   // of the network, so wire them to the Network's own copy, never to the
   // caller's (possibly temporary) argument.
@@ -293,14 +301,26 @@ std::unique_ptr<Network> Network::create_threaded(const Topology& topology) {
           net.runtimes_[id]->inbox(), Origin::kChild, slot));
       if (topo.is_leaf(child)) {
         // Application threads need their own upstream link to the parent.
-        net.backends_[topo.leaf_rank(child)]->up_link_ =
-            std::make_unique<InprocLink>(net.runtimes_[id]->inbox(), Origin::kChild, slot);
+        const auto rank = topo.leaf_rank(child);
+        auto up = std::make_shared<InprocLink>(net.runtimes_[id]->inbox(),
+                                               Origin::kChild, slot);
+        if (net.recovery_.auto_readopt) {
+          // Relinkable so the handle survives a parent swap (re-adoption).
+          net.backend_relinks_.resize(topo.num_leaves());
+          net.backend_relinks_[rank] =
+              std::make_shared<RelinkableLink>(std::move(up));
+          net.backends_[rank]->up_link_ =
+              std::make_unique<SharedLink>(net.backend_relinks_[rank]);
+        } else {
+          net.backends_[rank]->up_link_ = std::make_unique<SharedLink>(std::move(up));
+        }
       }
     }
   }
 
   net.front_end_ = std::unique_ptr<FrontEnd>(new FrontEnd(net));
   net.next_dynamic_rank_ = static_cast<std::uint32_t>(topo.num_leaves());
+  net.apply_recovery_threaded();
 
   // Launch one service thread per node.
   net.threads_.reserve(topo.num_nodes());
@@ -308,6 +328,84 @@ std::unique_ptr<Network> Network::create_threaded(const Topology& topology) {
     net.threads_.emplace_back([runtime = net.runtimes_[id].get()] { runtime->run(); });
   }
   return network;
+}
+
+void Network::apply_recovery_threaded() {
+  if (!recovery_.fault_plan.empty()) {
+    injector_ = std::make_shared<FaultInjector>(recovery_.fault_plan);
+    for (auto& runtime : runtimes_) runtime->set_fault_injector(injector_);
+  }
+  const HeartbeatConfig hb = recovery_.heartbeat();
+  if (hb.enabled()) {
+    for (auto& runtime : runtimes_) runtime->set_recovery(hb);
+  }
+  if (recovery_.auto_readopt) {
+    for (auto& runtime : runtimes_) {
+      if (runtime->role() == NodeRole::kRoot) continue;
+      runtime->set_orphan_handler(
+          [this](NodeRuntime& orphan) { return readopt_threaded(orphan); });
+    }
+  }
+}
+
+bool Network::readopt_threaded(NodeRuntime& orphan) {
+  std::lock_guard<std::mutex> lock(recovery_mutex_);
+  {
+    std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+    if (shutdown_requested_) return false;
+  }
+  // A muted node simulates a hang: re-admitting it would reintroduce the
+  // fault, so let it die and its children recover around it.
+  if (injector_ && injector_->sends_muted(orphan.id())) return false;
+  const NodeId self = orphan.id();
+  // Climb the effective topology past dead ancestors to the first live one;
+  // the root never dies, so the climb terminates.
+  NodeId ancestor = current_parent_[self];  // the parent that just died
+  do {
+    ancestor = current_parent_[ancestor];
+  } while (ancestor != topology_.root() && runtimes_[ancestor]->is_dead());
+  if (runtimes_[ancestor]->is_dead()) return false;  // tearing down
+  NodeRuntime& adopter = *runtimes_[ancestor];
+
+  const std::uint32_t epoch = orphan.bump_parent_epoch();
+  const std::uint32_t slot = adopter.reserve_child_slot();
+  TBON_INFO("node " << self << " re-adopted by ancestor " << ancestor
+                    << " at slot " << slot);
+  // Queue the adoption at the adopter *before* handing the orphan its new
+  // parent link: the adopter's inbox is FIFO, so the wiring marker is
+  // processed before any data the orphan (or its back-end handle) sends.
+  adopter.request_adopt(
+      slot, topology_.subtree_leaf_ranks(self),
+      std::make_unique<InprocLink>(orphan.inbox(), Origin::kParent, epoch));
+  orphan.set_parent_link(
+      std::make_unique<InprocLink>(adopter.inbox(), Origin::kChild, slot));
+  if (topology_.is_leaf(self)) {
+    const auto rank = topology_.leaf_rank(self);
+    if (rank < backend_relinks_.size() && backend_relinks_[rank]) {
+      backend_relinks_[rank]->relink(
+          std::make_shared<InprocLink>(adopter.inbox(), Origin::kChild, slot));
+    }
+  }
+  current_parent_[self] = ancestor;
+  ++adoptions_;
+  adoption_cv_.notify_all();
+  return true;
+}
+
+bool Network::wait_for_adoptions(std::size_t count, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(recovery_mutex_);
+  return adoption_cv_.wait_for(lock, timeout, [&] { return adoptions_ >= count; });
+}
+
+std::size_t Network::adoption_count() const {
+  std::lock_guard<std::mutex> lock(recovery_mutex_);
+  return adoptions_;
+}
+
+NodeId Network::effective_parent(NodeId id) const {
+  if (id >= topology_.num_nodes()) throw ProtocolError("node id out of range");
+  std::lock_guard<std::mutex> lock(recovery_mutex_);
+  return current_parent_[id];
 }
 
 Network::~Network() {
@@ -351,12 +449,15 @@ void Network::run_backends(const std::function<void(BackEnd&)>& body) {
 }
 
 void Network::kill_node(NodeId id) {
-  if (process_mode_) {
-    throw ProtocolError("kill_node is only supported in threaded mode");
-  }
   if (id == topology_.root()) throw ProtocolError("cannot kill the front-end");
-  if (id >= runtimes_.size()) throw ProtocolError("node id out of range");
+  if (id >= topology_.num_nodes()) throw ProtocolError("node id out of range");
   TBON_INFO("injecting failure at node " << id);
+  if (process_mode_) {
+    // The victim lives in another process: send a targeted die request down
+    // the tree; the node crashes abruptly on receipt (no handshakes).
+    send_to_root(make_die_packet(id));
+    return;
+  }
   runtimes_[id]->inbox()->close();
 }
 
@@ -410,6 +511,9 @@ void Network::shutdown() {
     shutdown_cv_.wait_for(lock, 5s, [&] { return shutdown_complete_; });
   }
   lock.unlock();
+  // Stop accepting orphans before tearing down transport state; after this
+  // join no adoption callback can touch reader_threads_/process_child_fds_.
+  if (rendezvous_) rendezvous_->stop();
   threads_.clear();  // join all service threads
   if (process_mode_) {
     // The root runtime shut down its child links on exit, so every child

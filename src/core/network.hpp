@@ -29,12 +29,43 @@
 #include "core/node.hpp"
 #include "core/protocol.hpp"
 #include "core/registry.hpp"
+#include "recovery/adoption.hpp"
+#include "recovery/fault_injector.hpp"
+#include "recovery/heartbeat.hpp"
 #include "topology/topology.hpp"
 
 namespace tbon {
 
 class Network;
 class FrontEnd;
+
+/// Fault-tolerance options accepted by Network::create_threaded and
+/// Network::create_process.  Everything defaults to off: a network built
+/// without options behaves exactly as before the recovery subsystem existed
+/// (an orphaned subtree shuts itself down).
+struct RecoveryOptions {
+  /// Orphaned nodes reconnect instead of shutting down: to their nearest
+  /// live ancestor (threaded) or to the front-end's rendezvous port
+  /// (multi-process), carrying the back-end ranks their subtree serves so
+  /// stream membership and peer routes are recomputed at the adopter.
+  bool auto_readopt = false;
+
+  /// Heartbeat/liveness detection (see recovery/heartbeat.hpp): send an
+  /// explicit heartbeat on a channel idle for `heartbeat_interval_ms`, and
+  /// declare a peer silent for `failure_timeout_ms` dead, triggering the
+  /// same degradation/re-adoption as an EOF.  0 disables.
+  int heartbeat_interval_ms = 0;
+  int failure_timeout_ms = 0;
+
+  /// Deterministic fault injection executed inside the node event loops
+  /// (see recovery/fault_injector.hpp).
+  FaultPlan fault_plan;
+
+  HeartbeatConfig heartbeat() const noexcept {
+    return HeartbeatConfig{heartbeat_interval_ms * 1'000'000LL,
+                           failure_timeout_ms * 1'000'000LL};
+  }
+};
 
 /// Options for FrontEnd::new_stream.
 struct StreamOptions {
@@ -154,7 +185,8 @@ class Network {
  public:
   /// Instantiate the tree with one thread per communication process (and per
   /// back-end service loop) inside this process.
-  static std::unique_ptr<Network> create_threaded(const Topology& topology);
+  static std::unique_ptr<Network> create_threaded(const Topology& topology,
+                                                  RecoveryOptions recovery = {});
 
   /// Instantiate the tree with one OS process per node, connected by
   /// socketpair or loopback-TCP channels with real packet serialization.
@@ -162,7 +194,7 @@ class Network {
   /// TCP (MRNet's wire) instead of socketpairs.  See process_network.hpp.
   static std::unique_ptr<Network> create_process(
       const Topology& topology, const std::function<void(BackEnd&)>& backend_main,
-      bool tcp_edges = false);
+      bool tcp_edges = false, RecoveryOptions recovery = {});
 
   /// True when this network was built with create_process().
   bool is_process_mode() const noexcept { return process_mode_; }
@@ -192,8 +224,23 @@ class Network {
   BackEnd& attach_backend(NodeId parent);
 
   /// Failure injection: abruptly terminate a non-root node.  Its peers see
-  /// EOF; wait_for_all filters upstream degrade to the surviving children.
+  /// EOF; wait_for_all filters upstream degrade to the surviving children,
+  /// and with RecoveryOptions::auto_readopt its orphaned children rejoin the
+  /// tree.  Threaded mode closes the node's inbox; process mode sends a
+  /// kTagDie control packet down the tree (the target crashes abruptly on
+  /// receipt, without shutdown handshakes).
   void kill_node(NodeId id);
+
+  /// Block until at least `count` orphan re-adoptions have completed since
+  /// the network was created; false on timeout.
+  bool wait_for_adoptions(std::size_t count, std::chrono::milliseconds timeout);
+
+  /// Re-adoptions completed so far.
+  std::size_t adoption_count() const;
+
+  /// Current parent of `id` in the effective (post-recovery) topology; this
+  /// diverges from topology() once subtrees have been re-adopted.
+  NodeId effective_parent(NodeId id) const;
 
   /// Orderly tree-wide teardown (idempotent): broadcasts SHUTDOWN, waits for
   /// all acknowledgements, flushes filters, joins all threads.
@@ -217,6 +264,9 @@ class Network {
   BackEnd& dynamic_backend(std::size_t index);
   void on_result(std::uint32_t stream_id, PacketPtr packet);
   void on_shutdown_complete();
+  void apply_recovery_threaded();
+  bool readopt_threaded(NodeRuntime& orphan);
+  void adopt_process_orphan(Fd connection, const OrphanHello& hello);
 
   // Multi-process instantiation internals (defined in process_network.cpp).
   [[noreturn]] static void run_child_process(
@@ -244,6 +294,19 @@ class Network {
   std::condition_variable shutdown_cv_;
   bool shutdown_requested_ = false;
   bool shutdown_complete_ = false;
+
+  // Recovery state (see src/recovery/).
+  RecoveryOptions recovery_;
+  std::shared_ptr<FaultInjector> injector_;
+  /// Effective parent of each node after re-adoptions (recovery_mutex_).
+  std::vector<NodeId> current_parent_;
+  /// Per-leaf-rank relinkable upstream link (threaded auto_readopt only),
+  /// so application threads keep sending across a parent swap.
+  std::vector<std::shared_ptr<RelinkableLink>> backend_relinks_;
+  std::unique_ptr<RendezvousServer> rendezvous_;  ///< process auto_readopt
+  mutable std::mutex recovery_mutex_;
+  std::condition_variable adoption_cv_;
+  std::size_t adoptions_ = 0;
 
   // Multi-process mode state (empty in threaded mode).
   bool process_mode_ = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "common/log.hpp"
 #include "common/timer.hpp"
@@ -45,6 +46,15 @@ void NodeRuntime::request_attach(std::uint32_t slot, std::uint32_t backend_rank,
   inbox_->push(Envelope{Origin::kParent, 0, make_attach_marker_packet()});
 }
 
+void NodeRuntime::request_adopt(std::uint32_t slot, std::vector<std::uint32_t> ranks,
+                                LinkPtr link) {
+  {
+    std::lock_guard<std::mutex> lock(attach_mutex_);
+    pending_adopts_.emplace_back(slot, std::move(ranks), std::move(link));
+  }
+  inbox_->push(Envelope{Origin::kParent, 0, make_attach_marker_packet()});
+}
+
 void NodeRuntime::request_route(std::uint32_t backend_rank, std::uint32_t slot) {
   {
     std::lock_guard<std::mutex> lock(attach_mutex_);
@@ -53,54 +63,90 @@ void NodeRuntime::request_route(std::uint32_t backend_rank, std::uint32_t slot) 
   inbox_->push(Envelope{Origin::kParent, 0, make_attach_marker_packet()});
 }
 
+void NodeRuntime::set_recovery(const HeartbeatConfig& config) { hb_config_ = config; }
+
+void NodeRuntime::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+  injector_ = std::move(injector);
+}
+
+void NodeRuntime::set_orphan_handler(std::function<bool(NodeRuntime&)> handler) {
+  orphan_handler_ = std::move(handler);
+}
+
+void NodeRuntime::set_crash_handler(std::function<void()> handler) {
+  crash_handler_ = std::move(handler);
+}
+
 void NodeRuntime::process_pending_attaches() {
   std::vector<std::tuple<std::uint32_t, std::uint32_t, LinkPtr>> batch;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> routes;
+  std::vector<std::tuple<std::uint32_t, std::vector<std::uint32_t>, LinkPtr>> adopts;
   {
     std::lock_guard<std::mutex> lock(attach_mutex_);
     batch.swap(pending_attaches_);
     routes.swap(pending_routes_);
+    adopts.swap(pending_adopts_);
   }
   for (const auto& [backend_rank, slot] : routes) {
     rank_routes_[backend_rank] = slot;
   }
   for (auto& [slot, backend_rank, link] : batch) {
-    if (child_links_.size() <= slot) {
-      child_links_.resize(slot + 1);
-      child_alive_.resize(slot + 1, false);
-      child_acked_.resize(slot + 1, false);
-    }
-    child_links_[slot] = std::move(link);
-    child_alive_[slot] = true;
-    child_acked_[slot] = false;
-    ++live_children_;
-    rank_routes_[backend_rank] = slot;
-    TBON_INFO("node " << id_ << " attached dynamic back-end rank " << backend_rank
+    TBON_INFO("node " << id_ << " attaching dynamic back-end rank " << backend_rank
                       << " at slot " << slot);
-    for (auto& [stream_id, stream] : streams_) {
-      if (stream.slot_to_sync_index.size() <= slot) {
-        stream.slot_to_sync_index.resize(slot + 1, -1);
-      }
-      // Dynamic back-ends join every all-endpoints stream; streams over an
-      // explicit endpoint set keep their membership.
-      if (stream.spec.endpoints.empty()) {
-        stream.slot_to_sync_index[slot] =
-            static_cast<std::int32_t>(stream.participating_slots.size());
-        stream.participating_slots.push_back(slot);
-        if (stream.sync) stream.sync->child_added();
-      }
-      // Replay the announcement so the newcomer knows the stream exists.
-      child_links_[slot]->send(stream.spec.to_packet());
+    wire_dynamic_child(slot, {backend_rank}, std::move(link));
+  }
+  for (auto& [slot, ranks, link] : adopts) {
+    TBON_INFO("node " << id_ << " adopting orphaned subtree serving "
+                      << ranks.size() << " back-end rank(s) at slot " << slot);
+    wire_dynamic_child(slot, std::move(ranks), std::move(link));
+  }
+}
+
+void NodeRuntime::wire_dynamic_child(std::uint32_t slot,
+                                     std::vector<std::uint32_t> ranks, LinkPtr link) {
+  if (child_links_.size() <= slot) {
+    child_links_.resize(slot + 1);
+    child_alive_.resize(slot + 1, false);
+    child_acked_.resize(slot + 1, false);
+  }
+  child_links_[slot] = std::move(link);
+  child_alive_[slot] = true;
+  child_acked_[slot] = false;
+  ++live_children_;
+  for (const std::uint32_t rank : ranks) rank_routes_[rank] = slot;
+  dynamic_slot_ranks_[slot] = std::move(ranks);
+  if (liveness_) liveness_->ensure_child(slot, now_ns());
+  const auto& slot_ranks = dynamic_slot_ranks_[slot];
+  for (auto& [stream_id, stream] : streams_) {
+    if (stream.slot_to_sync_index.size() <= slot) {
+      stream.slot_to_sync_index.resize(slot + 1, -1);
     }
-    if (shutting_down_) {
-      child_links_[slot]->send(make_shutdown_packet());
-      ++shutdown_acks_needed_;
+    const bool participates =
+        stream.spec.endpoints.empty() ||
+        std::any_of(slot_ranks.begin(), slot_ranks.end(),
+                    [&](std::uint32_t rank) { return stream.spec.contains(rank); });
+    if (participates && stream.slot_to_sync_index[slot] < 0) {
+      const auto sync_index = stream.participating_slots.size();
+      stream.slot_to_sync_index[slot] = static_cast<std::int32_t>(sync_index);
+      stream.participating_slots.push_back(slot);
+      if (stream.sync) apply_membership_change(stream, sync_index, /*added=*/true);
     }
+    // Replay the announcement so the newcomer knows the stream exists.
+    send_child(slot, stream.spec.to_packet());
+  }
+  if (shutting_down_) {
+    send_child(slot, make_shutdown_packet());
+    ++shutdown_acks_needed_;
   }
 }
 
 void NodeRuntime::run() {
   using namespace std::chrono_literals;
+  if (hb_config_.enabled() && !liveness_) {
+    liveness_ = std::make_unique<PeerLiveness>(
+        hb_config_, role_ != NodeRole::kRoot && parent_link_ != nullptr,
+        child_alive_.size(), now_ns());
+  }
   while (!done_) {
     std::optional<Envelope> envelope;
     if (const auto deadline = earliest_deadline()) {
@@ -115,29 +161,52 @@ void NodeRuntime::run() {
     }
     if (envelope) {
       handle_envelope(std::move(*envelope));
+      if (crashed_) return;
     } else if (inbox_->closed() && inbox_->size() == 0) {
       // The node was killed (failure injection) or orphaned: signal EOF to
       // all peers and stop.
       TBON_DEBUG("node " << id_ << " inbox closed; exiting");
+      dead_.store(true, std::memory_order_release);
       close_all_links();
       return;
     }
     poll_timeouts();
+    poll_liveness();
+    if (crashed_) return;
   }
+  dead_.store(true, std::memory_order_release);
   close_all_links();
 }
 
 void NodeRuntime::handle_envelope(Envelope&& envelope) {
+  if (envelope.origin == Origin::kParent && envelope.child_slot != parent_epoch_) {
+    // A message from a previous parent (we were re-adopted since it was
+    // sent).  Internal wakeup markers are epoch-agnostic; everything else —
+    // in particular the old parent's EOF — must not reach the handlers, or
+    // a stale EOF would re-orphan us out from under the new parent.
+    const bool marker = envelope.packet &&
+                        envelope.packet->stream_id() == kControlStream &&
+                        envelope.packet->tag() == kTagAttachChild;
+    if (!marker) {
+      TBON_DEBUG("node " << id_ << " dropping stale parent envelope (epoch "
+                         << envelope.child_slot << " != " << parent_epoch_ << ")");
+      return;
+    }
+  }
+  if (liveness_) {
+    if (envelope.origin == Origin::kChild) {
+      liveness_->note_recv_child(envelope.child_slot, now_ns());
+    } else {
+      liveness_->note_recv_parent(now_ns());
+    }
+  }
+
   if (!envelope.packet) {
     // EOF marker from a peer.
     if (envelope.origin == Origin::kChild) {
       note_child_gone(envelope.child_slot);
     } else {
-      // Parent is gone: the subtree can no longer deliver results; shut down.
-      TBON_DEBUG("node " << id_ << " lost its parent; shutting down subtree");
-      if (!shutting_down_) handle_shutdown();
-      // No parent to ack to: finish immediately once children are gone.
-      if (role_ == NodeRole::kLeaf || shutdown_acks_needed_ == 0) done_ = true;
+      handle_parent_lost();
     }
     return;
   }
@@ -145,6 +214,13 @@ void NodeRuntime::handle_envelope(Envelope&& envelope) {
   const Packet& packet = *envelope.packet;
   if (packet.stream_id() == kControlStream) {
     handle_control(envelope);
+    return;
+  }
+
+  if (injector_ && injector_->on_data_packet(id_) == FaultAction::kKill) {
+    TBON_INFO("node " << id_ << " fault injection: crashing at data packet "
+                      << injector_->data_packets(id_));
+    crash();
     return;
   }
 
@@ -193,6 +269,17 @@ void NodeRuntime::handle_control(const Envelope& envelope) {
     case kTagAttachChild:
       process_pending_attaches();
       break;
+    case kTagHeartbeat:
+      // Pure liveness traffic: receipt already credited the channel.
+      break;
+    case kTagDie:
+      if (die_packet_target(packet) == id_) {
+        TBON_INFO("node " << id_ << " fault injection: die request");
+        crash();
+      } else {
+        forward_down(envelope.packet);
+      }
+      break;
     default:
       TBON_WARN("node " << id_ << " dropping unknown control tag " << packet.tag());
   }
@@ -210,7 +297,7 @@ void NodeRuntime::route_peer_message(const Envelope& envelope) {
   if (route != rank_routes_.end()) {
     const std::uint32_t slot = route->second;
     if (slot < child_links_.size() && child_links_[slot] && child_alive_[slot]) {
-      child_links_[slot]->send(envelope.packet);
+      send_child(slot, envelope.packet);
     } else {
       TBON_WARN("node " << id_ << " dropping peer message for dead subtree of rank "
                         << dst);
@@ -220,7 +307,7 @@ void NodeRuntime::route_peer_message(const Envelope& envelope) {
   // Not in this subtree: forward toward the root ("using the internal
   // process-tree to route back-end to back-end messages", paper §2.1).
   if (parent_link_) {
-    parent_link_->send(envelope.packet);
+    send_parent(envelope.packet);
   } else {
     TBON_WARN("node " << id_ << " dropping peer message for unknown rank " << dst);
   }
@@ -246,11 +333,20 @@ void NodeRuntime::handle_new_stream(const StreamSpec& spec) {
       stream.participating_slots.push_back(slot);
     }
   }
-  // Dynamically attached children (slots beyond the static topology) join
-  // every all-endpoints stream.
+  // Dynamically wired children (attached back-ends and adopted subtrees,
+  // slots beyond the static topology) join by their known rank sets; a slot
+  // with no recorded ranks joins only all-endpoints streams.
   for (std::uint32_t slot = static_cast<std::uint32_t>(children.size());
        slot < child_links_.size(); ++slot) {
-    if (child_links_[slot] && spec.endpoints.empty()) {
+    if (!child_links_[slot]) continue;
+    bool participates = spec.endpoints.empty();
+    if (!participates) {
+      const auto ranks = dynamic_slot_ranks_.find(slot);
+      participates = ranks != dynamic_slot_ranks_.end() &&
+                     std::any_of(ranks->second.begin(), ranks->second.end(),
+                                 [&](std::uint32_t rank) { return spec.contains(rank); });
+    }
+    if (participates) {
       stream.slot_to_sync_index[slot] =
           static_cast<std::int32_t>(stream.participating_slots.size());
       stream.participating_slots.push_back(slot);
@@ -269,11 +365,12 @@ void NodeRuntime::handle_new_stream(const StreamSpec& spec) {
     stream.up_filter = registry_.make_transform(spec.up_transform, stream.ctx);
     stream.down_filter = registry_.make_transform(spec.down_transform, stream.ctx);
     // A child may have died before this stream was announced; the sync
-    // policy must not wait for it.
+    // policy and filters must not wait for it.
     for (const std::uint32_t slot : stream.participating_slots) {
       if (slot < child_alive_.size() && !child_alive_[slot]) {
-        stream.sync->child_failed(
-            static_cast<std::size_t>(stream.slot_to_sync_index[slot]));
+        apply_membership_change(
+            stream, static_cast<std::size_t>(stream.slot_to_sync_index[slot]),
+            /*added=*/false);
       }
     }
   }
@@ -297,7 +394,7 @@ void NodeRuntime::handle_shutdown() {
   // Forward to every live child; leaves have none.
   for (std::uint32_t slot = 0; slot < child_links_.size(); ++slot) {
     if (child_links_[slot] && child_alive_[slot]) {
-      child_links_[slot]->send(make_shutdown_packet());
+      send_child(slot, make_shutdown_packet());
     }
   }
   maybe_finish_shutdown();
@@ -309,7 +406,7 @@ void NodeRuntime::maybe_finish_shutdown() {
   // give transformation filters their finish() hook, then ack upward.
   flush_all_streams();
   if (parent_link_) {
-    parent_link_->send(make_shutdown_ack_packet());
+    send_parent(make_shutdown_ack_packet());
   }
   if (role_ == NodeRole::kRoot && delegate_ != nullptr) {
     delegate_->on_shutdown_complete();
@@ -317,18 +414,101 @@ void NodeRuntime::maybe_finish_shutdown() {
   done_ = true;
 }
 
+void NodeRuntime::handle_parent_lost() {
+  if (role_ == NodeRole::kRoot) return;  // the root has no parent channel
+  if (liveness_) liveness_->drop_parent();
+  if (!shutting_down_ && orphan_handler_) {
+    if (orphan_handler_(*this)) {
+      TBON_INFO("node " << id_ << " re-adopted under a new parent (epoch "
+                        << parent_epoch_ << ")");
+      if (liveness_) liveness_->reset_parent(now_ns());
+      return;
+    }
+    // Recovery is enabled but re-adoption failed (network tearing down, the
+    // rendezvous is unreachable, or this node itself is compromised).  Die
+    // abruptly — no shutdown broadcast — so our children see EOF and
+    // re-adopt around us instead of shutting down.
+    TBON_WARN("node " << id_ << " could not be re-adopted; dying so its "
+                         "children can recover");
+    crash();
+    return;
+  }
+  // Legacy behaviour: the subtree can no longer deliver results; shut down.
+  TBON_DEBUG("node " << id_ << " lost its parent; shutting down subtree");
+  if (!shutting_down_) handle_shutdown();
+  // No parent to ack to: finish immediately once children are gone.
+  if (role_ == NodeRole::kLeaf || shutdown_acks_needed_ == 0) done_ = true;
+}
+
+void NodeRuntime::crash() {
+  dead_.store(true, std::memory_order_release);
+  close_all_links();
+  crashed_ = true;
+  if (crash_handler_) crash_handler_();  // may not return (process: _Exit)
+}
+
+bool NodeRuntime::send_parent(const PacketPtr& packet) {
+  if (!parent_link_) return false;
+  if (liveness_) liveness_->note_send_parent(now_ns());
+  if (injector_) {
+    if (injector_->sends_muted(id_)) return true;  // simulated hang: drop
+    if (const auto delay = injector_->send_delay_ns(id_)) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+    }
+  }
+  return parent_link_->send(packet);
+}
+
+bool NodeRuntime::send_child(std::uint32_t slot, const PacketPtr& packet) {
+  if (slot >= child_links_.size() || !child_links_[slot]) return false;
+  if (liveness_) liveness_->note_send_child(slot, now_ns());
+  if (injector_) {
+    if (injector_->sends_muted(id_)) return true;  // simulated hang: drop
+    if (const auto delay = injector_->send_delay_ns(id_)) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+    }
+  }
+  return child_links_[slot]->send(packet);
+}
+
+std::size_t NodeRuntime::live_participants(const StreamLocal& stream) const {
+  std::size_t live = 0;
+  for (const std::uint32_t slot : stream.participating_slots) {
+    if (slot < child_alive_.size() && child_alive_[slot]) ++live;
+  }
+  return live;
+}
+
+void NodeRuntime::apply_membership_change(StreamLocal& stream,
+                                          std::size_t sync_index, bool added) {
+  stream.ctx.num_children = live_participants(stream);
+  const MembershipChange change{sync_index, added, stream.ctx.num_children};
+  if (stream.sync) {
+    stream.sync->on_membership_change(change);
+    if (!added) {
+      // Failure may complete a pending wave for the survivors.
+      process_batches(stream, stream.sync->drain_ready(now_ns()));
+    }
+  }
+  if (stream.up_filter) {
+    std::vector<PacketPtr> outputs;
+    stream.up_filter->on_membership_change(change, outputs, stream.ctx);
+    emit_upstream(stream, outputs);
+  }
+}
+
 void NodeRuntime::note_child_gone(std::uint32_t slot) {
   if (slot >= child_alive_.size() || !child_alive_[slot]) return;
   child_alive_[slot] = false;
   --live_children_;
+  if (liveness_) liveness_->drop_child(slot);
   TBON_DEBUG("node " << id_ << " lost child slot " << slot);
   for (auto& [stream_id, stream] : streams_) {
     if (!stream.sync) continue;
     const auto sync_index = stream.slot_to_sync_index[slot];
     if (sync_index >= 0) {
-      stream.sync->child_failed(static_cast<std::size_t>(sync_index));
-      // Failure may complete a pending wave for the survivors.
-      process_batches(stream, stream.sync->drain_ready(now_ns()));
+      apply_membership_change(stream, static_cast<std::size_t>(sync_index),
+                              /*added=*/false);
     }
   }
   if (shutting_down_ && shutdown_acks_needed_ > 0 && !child_acked_[slot]) {
@@ -342,6 +522,13 @@ void NodeRuntime::handle_upstream_data(std::uint32_t slot, const PacketPtr& pack
   metrics_.packets_up.fetch_add(1, std::memory_order_relaxed);
   metrics_.bytes_up.fetch_add(packet->payload_bytes(), std::memory_order_relaxed);
 
+  if (slot < child_alive_.size() && !child_alive_[slot]) {
+    // Data raced with the failure declaration (e.g. a heartbeat timeout
+    // fired while packets were in flight); the sync policy no longer has a
+    // live index for this child.
+    TBON_DEBUG("node " << id_ << " dropping packet from dead child slot " << slot);
+    return;
+  }
   const auto it = streams_.find(packet->stream_id());
   if (it == streams_.end()) {
     TBON_WARN("node " << id_ << " dropping packet for unknown stream "
@@ -381,7 +568,7 @@ void NodeRuntime::emit_upstream(StreamLocal& stream, std::span<const PacketPtr> 
     if (role_ == NodeRole::kRoot) {
       if (delegate_ != nullptr) delegate_->on_result(stream.spec.id, packet);
     } else if (parent_link_) {
-      parent_link_->send(packet);
+      send_parent(packet);
     }
   }
 }
@@ -409,6 +596,36 @@ void NodeRuntime::poll_timeouts() {
   }
 }
 
+void NodeRuntime::poll_liveness() {
+  if (!liveness_ || done_ || crashed_) return;
+  const auto now = now_ns();
+  // Explicit heartbeats on channels that have been send-idle too long.
+  if (parent_link_ && liveness_->parent_heartbeat_due(now)) {
+    send_parent(make_heartbeat_packet());
+  }
+  for (const std::uint32_t slot : liveness_->children_heartbeat_due(now)) {
+    if (slot < child_links_.size() && child_links_[slot] && child_alive_[slot]) {
+      send_child(slot, make_heartbeat_packet());
+    }
+  }
+  // Failure declarations: a silent peer is treated exactly like an EOF.
+  for (const std::uint32_t slot : liveness_->timed_out_children(now)) {
+    if (slot >= child_alive_.size() || !child_alive_[slot]) {
+      liveness_->drop_child(slot);
+      continue;
+    }
+    TBON_WARN("node " << id_ << " heartbeat timeout: declaring child slot "
+                      << slot << " dead");
+    if (child_links_[slot]) child_links_[slot]->close();
+    note_child_gone(slot);
+  }
+  if (!shutting_down_ && role_ != NodeRole::kRoot && liveness_->parent_timed_out(now)) {
+    TBON_WARN("node " << id_ << " heartbeat timeout: declaring parent dead");
+    if (parent_link_) parent_link_->close();
+    handle_parent_lost();
+  }
+}
+
 std::optional<std::int64_t> NodeRuntime::earliest_deadline() const {
   std::optional<std::int64_t> earliest;
   for (const auto& [stream_id, stream] : streams_) {
@@ -416,12 +633,16 @@ std::optional<std::int64_t> NodeRuntime::earliest_deadline() const {
     const auto deadline = stream.sync->next_deadline();
     if (deadline && (!earliest || *deadline < *earliest)) earliest = deadline;
   }
+  if (liveness_) {
+    const auto deadline = liveness_->next_deadline();
+    if (deadline && (!earliest || *deadline < *earliest)) earliest = deadline;
+  }
   return earliest;
 }
 
 void NodeRuntime::forward_down(const PacketPtr& packet) {
   for (std::uint32_t slot = 0; slot < child_links_.size(); ++slot) {
-    if (child_links_[slot] && child_alive_[slot]) child_links_[slot]->send(packet);
+    if (child_links_[slot] && child_alive_[slot]) send_child(slot, packet);
   }
 }
 
@@ -429,7 +650,7 @@ void NodeRuntime::forward_down_to_participants(const StreamLocal& stream,
                                                const PacketPtr& packet) {
   for (const std::uint32_t slot : stream.participating_slots) {
     if (slot < child_links_.size() && child_links_[slot] && child_alive_[slot]) {
-      child_links_[slot]->send(packet);
+      send_child(slot, packet);
     }
   }
 }

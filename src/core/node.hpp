@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <tuple>
@@ -28,6 +29,8 @@
 #include "core/protocol.hpp"
 #include "core/registry.hpp"
 #include "core/runtime.hpp"
+#include "recovery/fault_injector.hpp"
+#include "recovery/heartbeat.hpp"
 #include "topology/topology.hpp"
 
 namespace tbon {
@@ -83,6 +86,45 @@ class NodeRuntime {
   /// `backend_rank` is reachable through child `slot`.
   void request_route(std::uint32_t backend_rank, std::uint32_t slot);
 
+  // ---- recovery subsystem (src/recovery/) ---------------------------------
+
+  /// Enable heartbeat-based failure detection on every channel of this node.
+  /// Call before run().
+  void set_recovery(const HeartbeatConfig& config);
+
+  /// Deterministic fault injection; consulted on every data packet and send.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector);
+
+  /// Called (on the runtime thread) when the parent channel dies while the
+  /// network is not shutting down.  Return true once re-adopted (the runtime
+  /// keeps running under the new parent); false to give up, in which case
+  /// the runtime dies abruptly so its own children re-adopt in turn.
+  /// Without a handler the legacy behaviour applies: orderly subtree
+  /// shutdown.
+  void set_orphan_handler(std::function<bool(NodeRuntime&)> handler);
+
+  /// Called after an injected crash closed all links.  The multi-process
+  /// instantiation installs `std::_Exit(0)` here; the default (threaded)
+  /// simply stops the event loop.
+  void set_crash_handler(std::function<void()> handler);
+
+  /// Adopt an orphaned subtree serving back-end `ranks` at child `slot`
+  /// (same marker mechanics as request_attach; safe from any thread).  The
+  /// subtree joins every stream whose endpoint set intersects `ranks`, and
+  /// existing stream announcements are replayed to it.
+  void request_adopt(std::uint32_t slot, std::vector<std::uint32_t> ranks,
+                     LinkPtr link);
+
+  /// Advance the parent-channel epoch (call while re-adopting, on the
+  /// runtime thread).  Envelopes from a previous parent carry the old epoch
+  /// and are discarded, so a stale EOF cannot re-orphan the node.
+  std::uint32_t bump_parent_epoch() noexcept { return ++parent_epoch_; }
+  std::uint32_t parent_epoch() const noexcept { return parent_epoch_; }
+
+  /// True once this runtime stopped for any reason (crash, orphaned,
+  /// shutdown); used when picking a live ancestor for adoption.
+  bool is_dead() const noexcept { return dead_.load(std::memory_order_acquire); }
+
   NodeId id() const noexcept { return id_; }
   NodeRole role() const noexcept { return role_; }
   NodeMetrics& metrics() noexcept { return metrics_; }
@@ -107,9 +149,19 @@ class NodeRuntime {
   void handle_control(const Envelope& envelope);
   void route_peer_message(const Envelope& envelope);
   void process_pending_attaches();
+  void wire_dynamic_child(std::uint32_t slot, std::vector<std::uint32_t> ranks,
+                          LinkPtr link);
   void handle_new_stream(const StreamSpec& spec);
   void handle_delete_stream(std::uint32_t stream_id);
   void handle_shutdown();
+  void handle_parent_lost();
+  void crash();
+  bool send_parent(const PacketPtr& packet);
+  bool send_child(std::uint32_t slot, const PacketPtr& packet);
+  void poll_liveness();
+  void apply_membership_change(StreamLocal& stream, std::size_t sync_index,
+                               bool added);
+  std::size_t live_participants(const StreamLocal& stream) const;
   void note_child_gone(std::uint32_t slot);
   void handle_upstream_data(std::uint32_t slot, const PacketPtr& packet);
   void handle_downstream_data(const PacketPtr& packet);
@@ -144,10 +196,26 @@ class NodeRuntime {
   std::mutex attach_mutex_;
   std::vector<std::tuple<std::uint32_t, std::uint32_t, LinkPtr>> pending_attaches_;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> pending_routes_;
+  std::vector<std::tuple<std::uint32_t, std::vector<std::uint32_t>, LinkPtr>>
+      pending_adopts_;
   std::atomic<std::uint32_t> next_dynamic_slot_;
+
+  /// Back-end ranks served through each dynamically wired slot (attach and
+  /// adopt); lets handle_new_stream compute endpoint membership for them.
+  std::map<std::uint32_t, std::vector<std::uint32_t>> dynamic_slot_ranks_;
 
   std::map<std::uint32_t, StreamLocal> streams_;
   NodeMetrics metrics_;
+
+  // Recovery state.
+  HeartbeatConfig hb_config_;
+  std::unique_ptr<PeerLiveness> liveness_;
+  std::shared_ptr<FaultInjector> injector_;
+  std::function<bool(NodeRuntime&)> orphan_handler_;
+  std::function<void()> crash_handler_;
+  std::uint32_t parent_epoch_ = 0;
+  std::atomic<bool> dead_{false};
+  bool crashed_ = false;
 
   bool shutting_down_ = false;
   std::size_t shutdown_acks_needed_ = 0;

@@ -10,14 +10,22 @@
 #include "common/log.hpp"
 #include "core/delegates.hpp"
 #include "core/fd_link.hpp"
+#include "recovery/adoption.hpp"
 #include "transport/fd.hpp"
 #include "transport/tcp.hpp"
 
 namespace tbon {
 namespace {
-// Edge transport for the process tree being spawned.  Set once in
-// create_process before any fork, so every descendant inherits it.
+// Configuration for the process tree being spawned.  All of it is set once
+// in create_process before any fork, so every descendant inherits it.
 bool g_tcp_edges = false;
+/// Front-end rendezvous port for orphan re-adoption; 0 = recovery disabled.
+std::uint16_t g_rendezvous_port = 0;
+/// The rendezvous listener fd, closed in every child (only the front-end
+/// accepts; a surviving inherited copy would keep the port alive forever).
+int g_rendezvous_listener_fd = -1;
+HeartbeatConfig g_hb{};
+FaultPlan g_fault_plan{};
 }  // namespace
 
 struct Network::SpawnedChildren {
@@ -78,18 +86,58 @@ Network::SpawnedChildren Network::spawn_children(
 
 void Network::run_child_process(const Topology& topology, NodeId id, int parent_fd,
                                 const std::function<void(BackEnd&)>& backend_main) {
+  if (g_rendezvous_listener_fd >= 0) {
+    ::close(g_rendezvous_listener_fd);
+    g_rendezvous_listener_fd = -1;  // our own children must not re-close it
+  }
   try {
     SpawnedChildren spawned = spawn_children(topology, id, parent_fd, backend_main);
 
+    std::shared_ptr<FaultInjector> injector;
+    if (!g_fault_plan.empty()) {
+      // Each process builds its own injector from the inherited plan; the
+      // counters are per-process, which is exactly the per-node semantics.
+      injector = std::make_shared<FaultInjector>(g_fault_plan);
+    }
+
+    // Connections opened by re-adoption; must outlive the reader threads
+    // and links that borrow the raw fds, hence declared first.
+    std::vector<Fd> adopted_fds;
     std::vector<std::jthread> readers;
     if (topology.is_leaf(id)) {
       const auto rank = topology.leaf_rank(id);
-      // The back-end handle and the runtime share one frame-atomic link.
-      auto shared_up = std::make_shared<FdLink>(parent_fd);
-      BackEnd backend(rank, std::make_unique<SharedLink>(shared_up));
+      // The back-end handle and the runtime share one frame-atomic link; a
+      // relinkable wrapper lets re-adoption swap the channel underneath
+      // both without either noticing.
+      auto relink = std::make_shared<RelinkableLink>(
+          std::make_shared<FdLink>(parent_fd));
+      BackEnd backend(rank, std::make_unique<SharedLink>(relink));
       BackEndDelegate delegate(backend);
       NodeRuntime runtime(topology, id, FilterRegistry::instance(), &delegate);
-      runtime.set_parent_link(std::make_unique<SharedLink>(shared_up));
+      runtime.set_parent_link(std::make_unique<SharedLink>(relink));
+      if (injector) runtime.set_fault_injector(injector);
+      // An injected crash must look like a real one: no stack unwinding, no
+      // flushes, no handshakes.
+      runtime.set_crash_handler([] { std::_Exit(0); });
+      if (g_hb.enabled()) runtime.set_recovery(g_hb);
+      if (g_rendezvous_port != 0) {
+        runtime.set_orphan_handler([&, rank](NodeRuntime& self) {
+          try {
+            const std::uint32_t epoch = self.bump_parent_epoch();
+            Fd fd = orphan_reconnect(g_rendezvous_port, OrphanHello{id, {rank}});
+            // The hello frame is already on the wire (FIFO), so the
+            // front-end wires our slot before any data sent from here on.
+            relink->relink(std::make_shared<FdLink>(fd.get()));
+            readers.push_back(
+                start_fd_reader(fd.get(), self.inbox(), Origin::kParent, epoch));
+            adopted_fds.push_back(std::move(fd));
+            return true;
+          } catch (const std::exception& error) {
+            TBON_WARN("back-end " << rank << " re-adoption failed: " << error.what());
+            return false;
+          }
+        });
+      }
       readers.push_back(start_fd_reader(parent_fd, runtime.inbox(), Origin::kParent, 0));
       {
         std::jthread service([&runtime] { runtime.run(); });
@@ -99,6 +147,27 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
     } else {
       NodeRuntime runtime(topology, id, FilterRegistry::instance(), nullptr);
       runtime.set_parent_link(std::make_unique<FdLink>(parent_fd));
+      if (injector) runtime.set_fault_injector(injector);
+      runtime.set_crash_handler([] { std::_Exit(0); });
+      if (g_hb.enabled()) runtime.set_recovery(g_hb);
+      if (g_rendezvous_port != 0) {
+        runtime.set_orphan_handler([&](NodeRuntime& self) {
+          try {
+            const std::uint32_t epoch = self.bump_parent_epoch();
+            Fd fd = orphan_reconnect(
+                g_rendezvous_port,
+                OrphanHello{id, topology.subtree_leaf_ranks(id)});
+            self.set_parent_link(std::make_unique<FdLink>(fd.get()));
+            readers.push_back(
+                start_fd_reader(fd.get(), self.inbox(), Origin::kParent, epoch));
+            adopted_fds.push_back(std::move(fd));
+            return true;
+          } catch (const std::exception& error) {
+            TBON_WARN("node " << id << " re-adoption failed: " << error.what());
+            return false;
+          }
+        });
+      }
       readers.push_back(start_fd_reader(parent_fd, runtime.inbox(), Origin::kParent, 0));
       for (std::uint32_t slot = 0; slot < spawned.fds.size(); ++slot) {
         const int fd = spawned.fds[slot].get();
@@ -123,17 +192,56 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
   std::_Exit(0);
 }
 
+void Network::adopt_process_orphan(Fd connection, const OrphanHello& hello) {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    // Dropping the connection EOFs the orphan, which then gives up and dies;
+    // its subtree drains through the normal teardown path.
+    if (shutdown_requested_) return;
+  }
+  std::lock_guard<std::mutex> lock(recovery_mutex_);
+  NodeRuntime& root = *runtimes_[topology_.root()];
+  const std::uint32_t slot = root.reserve_child_slot();
+  const int raw = connection.release();
+  TBON_INFO("front-end adopting orphan node " << hello.node << " at slot " << slot);
+  if (hello.node < current_parent_.size()) {
+    current_parent_[hello.node] = topology_.root();
+  }
+  // Queue the wiring marker before starting the reader: the root's inbox is
+  // FIFO, so the slot is wired before any data frame from the orphan.
+  root.request_adopt(slot, hello.ranks, std::make_unique<FdLink>(raw));
+  reader_threads_.push_back(start_fd_reader(raw, root.inbox(), Origin::kChild, slot));
+  process_child_fds_.push_back(raw);
+  ++adoptions_;
+  adoption_cv_.notify_all();
+}
+
 std::unique_ptr<Network> Network::create_process(
     const Topology& topology, const std::function<void(BackEnd&)>& backend_main,
-    bool tcp_edges) {
+    bool tcp_edges, RecoveryOptions recovery) {
   if (topology.num_leaves() == 0 || topology.is_leaf(topology.root())) {
     throw TopologyError("a network needs at least one back-end distinct from the root");
   }
   g_tcp_edges = tcp_edges;
+  g_hb = recovery.heartbeat();
+  g_fault_plan = recovery.fault_plan;
   auto network = std::unique_ptr<Network>(new Network(topology));
   Network& net = *network;
   net.process_mode_ = true;
+  net.recovery_ = std::move(recovery);
   const Topology& topo = net.topology_;
+
+  if (net.recovery_.auto_readopt) {
+    // The listener binds now so the port is known to every forked child;
+    // the acceptor thread starts only after all forks (threads don't
+    // survive fork).
+    net.rendezvous_ = std::make_unique<RendezvousServer>();
+    g_rendezvous_port = net.rendezvous_->port();
+    g_rendezvous_listener_fd = net.rendezvous_->listener_fd();
+  } else {
+    g_rendezvous_port = 0;
+    g_rendezvous_listener_fd = -1;
+  }
 
   net.root_delegate_ = std::make_unique<RootDelegate>(net);
   net.runtimes_.resize(topo.num_nodes());
@@ -141,6 +249,11 @@ std::unique_ptr<Network> Network::create_process(
       std::make_unique<NodeRuntime>(topo, topo.root(), net.registry_,
                                     net.root_delegate_.get());
   NodeRuntime& root = *net.runtimes_[topo.root()];
+  if (!g_fault_plan.empty()) {
+    net.injector_ = std::make_shared<FaultInjector>(g_fault_plan);
+    root.set_fault_injector(net.injector_);
+  }
+  if (g_hb.enabled()) root.set_recovery(g_hb);
 
   SpawnedChildren spawned = spawn_children(topo, topo.root(), -1, backend_main);
   for (std::uint32_t slot = 0; slot < spawned.fds.size(); ++slot) {
@@ -153,15 +266,22 @@ std::unique_ptr<Network> Network::create_process(
   net.child_pids_ = std::move(spawned.pids);
 
   net.front_end_ = std::unique_ptr<FrontEnd>(new FrontEnd(net));
+  if (net.rendezvous_) {
+    net.rendezvous_->start([&net](Fd connection, const OrphanHello& hello) {
+      net.adopt_process_orphan(std::move(connection), hello);
+    });
+  }
   net.threads_.emplace_back([&root] { root.run(); });
   return network;
 }
 
 std::unique_ptr<Network> create_process_network(const Topology& topology,
                                                 BackendMain backend_main,
-                                                EdgeTransport transport) {
+                                                EdgeTransport transport,
+                                                RecoveryOptions recovery) {
   return Network::create_process(topology, backend_main,
-                                 transport == EdgeTransport::kTcp);
+                                 transport == EdgeTransport::kTcp,
+                                 std::move(recovery));
 }
 
 }  // namespace tbon

@@ -34,9 +34,13 @@ using BackendMain = std::function<void(BackEnd&)>;
 enum class EdgeTransport { kSocketpair, kTcp };
 
 /// Fork a process tree for `topology`; returns the front-end-side network.
-/// Throws TransportError on fork/socketpair/connect failure.
+/// Throws TransportError on fork/socketpair/connect failure.  `recovery`
+/// enables the fault-tolerance subsystem (heartbeats, orphan re-adoption via
+/// a front-end rendezvous port, deterministic fault injection); the options
+/// are inherited by every forked node.
 std::unique_ptr<Network> create_process_network(
     const Topology& topology, BackendMain backend_main,
-    EdgeTransport transport = EdgeTransport::kSocketpair);
+    EdgeTransport transport = EdgeTransport::kSocketpair,
+    RecoveryOptions recovery = {});
 
 }  // namespace tbon

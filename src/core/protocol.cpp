@@ -47,6 +47,19 @@ PacketPtr make_attach_marker_packet() {
   return Packet::make(kControlStream, kTagAttachChild, kFrontEndRank, "", {});
 }
 
+PacketPtr make_heartbeat_packet() {
+  return Packet::make(kControlStream, kTagHeartbeat, kFrontEndRank, "", {});
+}
+
+PacketPtr make_die_packet(std::uint32_t target_node) {
+  return Packet::make(kControlStream, kTagDie, kFrontEndRank, "i64",
+                      {static_cast<std::int64_t>(target_node)});
+}
+
+std::uint32_t die_packet_target(const Packet& packet) {
+  return static_cast<std::uint32_t>(packet.get_i64(0));
+}
+
 PacketPtr make_peer_packet(std::uint32_t dst_rank, const Packet& inner) {
   BinaryWriter writer;
   inner.serialize(writer);

@@ -31,6 +31,13 @@ enum ControlTag : std::int32_t {
   /// In-process marker waking a node to wire pending dynamic children
   /// (threaded instantiation only; carries no payload).
   kTagAttachChild = 7,
+  /// Liveness probe sent on an idle channel (recovery subsystem); consumed
+  /// by the receiving node, never forwarded, carries no payload.
+  kTagHeartbeat = 8,
+  /// Targeted failure injection: the node whose id matches the "i64"
+  /// payload crashes abruptly (no shutdown handshake); everyone else
+  /// forwards the packet down the tree.
+  kTagDie = 9,
 };
 
 /// First tag value available to applications.
@@ -81,6 +88,11 @@ PacketPtr make_shutdown_ack_packet();
 PacketPtr make_delete_stream_packet(std::uint32_t stream_id);
 PacketPtr make_load_filter_packet(const std::string& library_path);
 PacketPtr make_attach_marker_packet();
+PacketPtr make_heartbeat_packet();
+PacketPtr make_die_packet(std::uint32_t target_node);
+
+/// Node targeted by a kTagDie packet.
+std::uint32_t die_packet_target(const Packet& packet);
 
 /// Wrap an application packet for tree routing to back-end `dst_rank`.
 PacketPtr make_peer_packet(std::uint32_t dst_rank, const Packet& inner);

@@ -20,7 +20,10 @@ enum class Origin : std::uint8_t { kParent, kChild };
 /// detection and teardown).
 struct Envelope {
   Origin origin = Origin::kParent;
-  std::uint32_t child_slot = 0;  ///< valid when origin == kChild
+  /// Child slot when origin == kChild; the sender's parent-channel epoch
+  /// when origin == kParent (re-adoption discards envelopes from a previous
+  /// parent by comparing this against the receiver's current epoch).
+  std::uint32_t child_slot = 0;
   PacketPtr packet;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/timer.hpp"
+
 namespace tbon {
 
 // ---- WaitForAllSync ---------------------------------------------------------
@@ -80,6 +82,11 @@ TimeOutSync::TimeOutSync(const FilterContext& ctx)
     : window_ns_(ctx.params.get_int("window_ms", 50) * 1'000'000) {}
 
 void TimeOutSync::on_packet(std::size_t, PacketPtr packet) {
+  // Arm the window when the first packet of a batch is buffered, not when
+  // drain_ready() happens to run next: arming lazily let the window start
+  // drift later than the packet that opened it, inflating delivery latency
+  // by up to one event-loop iteration per batch.
+  if (pending_.empty()) deadline_ns_ = now_ns() + window_ns_;
   pending_.push_back(std::move(packet));
 }
 
@@ -88,7 +95,7 @@ std::vector<SyncPolicy::Batch> TimeOutSync::drain_ready(std::int64_t now_ns) {
     deadline_ns_ = -1;
     return {};
   }
-  if (deadline_ns_ < 0) deadline_ns_ = now_ns + window_ns_;
+  if (deadline_ns_ < 0) deadline_ns_ = now_ns + window_ns_;  // defensive
   if (now_ns < deadline_ns_) return {};
   deadline_ns_ = -1;
   std::vector<Batch> batches;

@@ -35,6 +35,21 @@ void SuperFilter::transform(std::span<const PacketPtr> in, std::vector<PacketPtr
   out.insert(out.end(), current.begin(), current.end());
 }
 
+void SuperFilter::on_membership_change(const MembershipChange& change,
+                                       std::vector<PacketPtr>& out,
+                                       const FilterContext& ctx) {
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    std::vector<PacketPtr> emitted;
+    stages_[i]->on_membership_change(change, emitted, ctx);
+    for (std::size_t j = i + 1; j < stages_.size() && !emitted.empty(); ++j) {
+      std::vector<PacketPtr> next;
+      stages_[j]->transform(emitted, next, ctx);
+      emitted = std::move(next);
+    }
+    out.insert(out.end(), emitted.begin(), emitted.end());
+  }
+}
+
 void SuperFilter::finish(std::vector<PacketPtr>& out, const FilterContext& ctx) {
   // Flush each stage in order, feeding its finals through the rest of the
   // chain so stateful stages compose correctly.

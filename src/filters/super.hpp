@@ -28,6 +28,13 @@ class SuperFilter final : public TransformFilter {
                  const FilterContext& ctx) override;
   void finish(std::vector<PacketPtr>& out, const FilterContext& ctx) override;
 
+  /// Forward the change to every stage; packets a stage emits in response
+  /// (e.g. a time_aligned bucket the failure completed) flow through the
+  /// remaining stages, mirroring finish().
+  void on_membership_change(const MembershipChange& change,
+                            std::vector<PacketPtr>& out,
+                            const FilterContext& ctx) override;
+
  private:
   std::vector<std::unique_ptr<TransformFilter>> stages_;
 };

@@ -28,6 +28,10 @@ void TimeAlignedFilter::transform(std::span<const PacketPtr> in,
     ++bucket.contributions;
   }
 
+  emit_complete(out);
+}
+
+void TimeAlignedFilter::emit_complete(std::vector<PacketPtr>& out) {
   // Emit every bucket that is now complete, in bucket order.
   for (auto it = buckets_.begin(); it != buckets_.end();) {
     if (it->second.contributions >= expected_children_) {
@@ -37,6 +41,18 @@ void TimeAlignedFilter::transform(std::span<const PacketPtr> in,
       ++it;
     }
   }
+}
+
+void TimeAlignedFilter::on_membership_change(const MembershipChange& change,
+                                             std::vector<PacketPtr>& out,
+                                             const FilterContext&) {
+  expected_children_ = change.num_children;
+  // A shrink may have completed buckets the dead child never reached.  (On
+  // growth nothing is emitted; future buckets simply expect more
+  // contributions.  Buckets already partially filled before the newcomer
+  // joined will wait for it too — its replayed stream sees all buckets the
+  // adopted subtree still produces, so the accounting stays consistent.)
+  if (!change.added && expected_children_ > 0) emit_complete(out);
 }
 
 void TimeAlignedFilter::finish(std::vector<PacketPtr>& out, const FilterContext&) {

@@ -33,7 +33,17 @@ class TimeAlignedFilter final : public TransformFilter {
                  const FilterContext& ctx) override;
   void finish(std::vector<PacketPtr>& out, const FilterContext& ctx) override;
 
+  /// Re-baseline on failure/re-adoption: a dead child will never contribute
+  /// to pending buckets, so the expected count shrinks and any bucket the
+  /// change just completed is emitted immediately instead of hanging.
+  void on_membership_change(const MembershipChange& change,
+                            std::vector<PacketPtr>& out,
+                            const FilterContext& ctx) override;
+
  private:
+  /// Emit and erase every bucket with >= expected_children_ contributions.
+  void emit_complete(std::vector<PacketPtr>& out);
+
   struct Bucket {
     std::vector<double> sums;
     std::size_t contributions = 0;

@@ -1,0 +1,67 @@
+#include "recovery/fault_injector.hpp"
+
+#include <algorithm>
+
+namespace tbon {
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  std::vector<std::uint32_t> nodes;
+  for (const FaultSpec& spec : plan_.faults) nodes.push_back(spec.node);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  states_.reserve(nodes.size());
+  for (const std::uint32_t node : nodes) {
+    states_.emplace_back(node, std::make_unique<NodeState>());
+  }
+}
+
+FaultInjector::NodeState* FaultInjector::state_for(std::uint32_t node) const {
+  const auto it = std::lower_bound(
+      states_.begin(), states_.end(), node,
+      [](const auto& entry, std::uint32_t id) { return entry.first < id; });
+  if (it == states_.end() || it->first != node) return nullptr;
+  return it->second.get();
+}
+
+FaultAction FaultInjector::on_data_packet(std::uint32_t node) {
+  NodeState* state = state_for(node);
+  if (state == nullptr) return FaultAction::kNone;
+  const std::uint64_t count =
+      state->data_packets.fetch_add(1, std::memory_order_relaxed) + 1;
+  for (const FaultSpec& spec : plan_.faults) {
+    if (spec.node != node || count != spec.after_packets) continue;
+    switch (spec.kind) {
+      case FaultKind::kKillAfterPackets:
+        state->killed.store(true, std::memory_order_relaxed);
+        return FaultAction::kKill;
+      case FaultKind::kMuteAfterPackets:
+        state->muted.store(true, std::memory_order_relaxed);
+        break;
+      case FaultKind::kDelaySends:
+        break;  // delay is unconditional, not packet-count-triggered
+    }
+  }
+  return FaultAction::kNone;
+}
+
+bool FaultInjector::sends_muted(std::uint32_t node) const {
+  const NodeState* state = state_for(node);
+  return state != nullptr && state->muted.load(std::memory_order_relaxed);
+}
+
+std::int64_t FaultInjector::send_delay_ns(std::uint32_t node) const {
+  if (state_for(node) == nullptr) return 0;
+  for (const FaultSpec& spec : plan_.faults) {
+    if (spec.node == node && spec.kind == FaultKind::kDelaySends) {
+      return spec.delay_ns;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t FaultInjector::data_packets(std::uint32_t node) const {
+  const NodeState* state = state_for(node);
+  return state == nullptr ? 0 : state->data_packets.load(std::memory_order_relaxed);
+}
+
+}  // namespace tbon

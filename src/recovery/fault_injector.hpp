@@ -1,0 +1,94 @@
+// Deterministic fault injection for recovery testing.
+//
+// Timing-based failure tests are inherently flaky; this harness instead
+// trips faults at exact points in the packet flow: "node 3 crashes after
+// processing its 4th data packet", "node 1 goes mute (simulated hang) after
+// its 2nd", "node 2 delays every send by 1 ms".  Both network
+// instantiations consult one FaultInjector from their NodeRuntime event
+// loops; in the multi-process instantiation every process builds its own
+// injector from the same inherited FaultPlan, so the per-node counters are
+// naturally per-process and the semantics are identical.
+//
+// Counters only advance on *data* packets (stream id != control stream):
+// control traffic and heartbeats vary with timing, data waves do not, which
+// is what makes kill-at-packet-N reproducible in CI.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tbon {
+
+enum class FaultKind : std::uint8_t {
+  kKillAfterPackets,  ///< crash abruptly when the Nth data packet arrives
+  kMuteAfterPackets,  ///< keep running but drop every send (simulated hang)
+  kDelaySends,        ///< sleep delay_ns before every send
+};
+
+/// One planned fault at one node.
+struct FaultSpec {
+  std::uint32_t node = 0;
+  FaultKind kind = FaultKind::kKillAfterPackets;
+  std::uint64_t after_packets = 1;  ///< trip on the Nth data packet (1-based)
+  std::int64_t delay_ns = 0;        ///< kDelaySends only
+};
+
+/// A reproducible failure scenario: an ordered list of faults.
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  bool empty() const noexcept { return faults.empty(); }
+
+  FaultPlan& kill(std::uint32_t node, std::uint64_t after_packets) {
+    faults.push_back({node, FaultKind::kKillAfterPackets, after_packets, 0});
+    return *this;
+  }
+  FaultPlan& mute(std::uint32_t node, std::uint64_t after_packets) {
+    faults.push_back({node, FaultKind::kMuteAfterPackets, after_packets, 0});
+    return *this;
+  }
+  FaultPlan& delay(std::uint32_t node, std::int64_t delay_ns) {
+    faults.push_back({node, FaultKind::kDelaySends, 0, delay_ns});
+    return *this;
+  }
+};
+
+/// What the runtime must do with the data packet it is about to process.
+enum class FaultAction : std::uint8_t { kNone, kKill };
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Count one data packet at `node`; returns kKill when a planned crash
+  /// trips (the caller must drop the packet and die without handshakes).
+  FaultAction on_data_packet(std::uint32_t node);
+
+  /// True once a mute fault has tripped at `node`: all its sends (including
+  /// heartbeats and shutdown acks) must be silently dropped.
+  bool sends_muted(std::uint32_t node) const;
+
+  /// Per-send delay for `node`, or 0.
+  std::int64_t send_delay_ns(std::uint32_t node) const;
+
+  /// Data packets counted at `node` so far (test introspection).
+  std::uint64_t data_packets(std::uint32_t node) const;
+
+ private:
+  struct NodeState {
+    std::atomic<std::uint64_t> data_packets{0};
+    std::atomic<bool> muted{false};
+    std::atomic<bool> killed{false};
+  };
+
+  NodeState* state_for(std::uint32_t node) const;
+
+  FaultPlan plan_;
+  // One entry per node mentioned in the plan, id-sorted, fixed after
+  // construction — lock-free lookup from every node thread.
+  std::vector<std::pair<std::uint32_t, std::unique_ptr<NodeState>>> states_;
+};
+
+}  // namespace tbon

@@ -1,0 +1,105 @@
+#include "recovery/heartbeat.hpp"
+
+#include <algorithm>
+
+namespace tbon {
+
+PeerLiveness::PeerLiveness(const HeartbeatConfig& config, bool has_parent,
+                           std::size_t num_children, std::int64_t now)
+    : config_(config) {
+  if (has_parent) {
+    parent_.active = true;
+    parent_.last_recv = parent_.last_send = now;
+  }
+  children_.resize(num_children);
+  for (auto& child : children_) {
+    child.active = true;
+    child.last_recv = child.last_send = now;
+  }
+}
+
+void PeerLiveness::note_recv_parent(std::int64_t now) {
+  if (parent_.active) parent_.last_recv = now;
+}
+
+void PeerLiveness::note_send_parent(std::int64_t now) {
+  if (parent_.active) parent_.last_send = now;
+}
+
+void PeerLiveness::note_recv_child(std::uint32_t slot, std::int64_t now) {
+  if (slot < children_.size() && children_[slot].active) {
+    children_[slot].last_recv = now;
+  }
+}
+
+void PeerLiveness::note_send_child(std::uint32_t slot, std::int64_t now) {
+  if (slot < children_.size() && children_[slot].active) {
+    children_[slot].last_send = now;
+  }
+}
+
+void PeerLiveness::ensure_child(std::uint32_t slot, std::int64_t now) {
+  if (children_.size() <= slot) children_.resize(slot + 1);
+  if (!children_[slot].active) {
+    children_[slot].active = true;
+    children_[slot].last_recv = children_[slot].last_send = now;
+  }
+}
+
+void PeerLiveness::drop_child(std::uint32_t slot) {
+  if (slot < children_.size()) children_[slot].active = false;
+}
+
+void PeerLiveness::reset_parent(std::int64_t now) {
+  parent_.active = true;
+  parent_.last_recv = parent_.last_send = now;
+}
+
+void PeerLiveness::drop_parent() { parent_.active = false; }
+
+bool PeerLiveness::parent_heartbeat_due(std::int64_t now) const {
+  return parent_.active && now - parent_.last_send >= config_.interval_ns;
+}
+
+bool PeerLiveness::parent_timed_out(std::int64_t now) const {
+  return parent_.active && now - parent_.last_recv >= config_.timeout_ns;
+}
+
+std::vector<std::uint32_t> PeerLiveness::children_heartbeat_due(
+    std::int64_t now) const {
+  std::vector<std::uint32_t> due;
+  for (std::uint32_t slot = 0; slot < children_.size(); ++slot) {
+    if (children_[slot].active && now - children_[slot].last_send >= config_.interval_ns) {
+      due.push_back(slot);
+    }
+  }
+  return due;
+}
+
+std::vector<std::uint32_t> PeerLiveness::timed_out_children(std::int64_t now) const {
+  std::vector<std::uint32_t> dead;
+  for (std::uint32_t slot = 0; slot < children_.size(); ++slot) {
+    if (children_[slot].active && now - children_[slot].last_recv >= config_.timeout_ns) {
+      dead.push_back(slot);
+    }
+  }
+  return dead;
+}
+
+void PeerLiveness::merge_deadline(const Channel& channel,
+                                  std::optional<std::int64_t>& earliest) const {
+  if (!channel.active) return;
+  const std::int64_t next =
+      std::min(channel.last_send + config_.interval_ns,
+               channel.last_recv + config_.timeout_ns);
+  if (!earliest || next < *earliest) earliest = next;
+}
+
+std::optional<std::int64_t> PeerLiveness::next_deadline() const {
+  std::optional<std::int64_t> earliest;
+  merge_deadline(parent_, earliest);
+  for (const Channel& child : children_) merge_deadline(child, earliest);
+  return earliest;
+}
+
+}  // namespace tbon

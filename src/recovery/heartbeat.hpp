@@ -1,0 +1,83 @@
+// Heartbeat / liveness layer for every tree channel.
+//
+// The TBON (paper §2) degrades a subtree only when a peer's channel reports
+// EOF.  A hung or silently partitioned peer never reports EOF, so this
+// module adds a bound on detection latency: every channel carries liveness
+// information, piggybacked on ordinary data traffic and supplemented by
+// explicit heartbeat packets when a channel has been idle for longer than
+// the configured interval.  A peer that has been silent for longer than the
+// configured timeout is declared dead, which triggers the same degradation
+// and re-adoption machinery as an EOF (see adoption.hpp).
+//
+// PeerLiveness is pure bookkeeping — no threads, no clocks of its own; the
+// owning NodeRuntime feeds it monotonic timestamps (common/timer.hpp) from
+// its event loop, which makes it unit-testable with synthetic time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace tbon {
+
+/// Detection parameters.  Disabled (all zero) by default: heartbeats cost a
+/// wakeup per interval per channel, so they are strictly opt-in.
+struct HeartbeatConfig {
+  std::int64_t interval_ns = 0;  ///< send a heartbeat after this much idle time
+  std::int64_t timeout_ns = 0;   ///< declare a silent peer dead after this long
+
+  bool enabled() const noexcept { return interval_ns > 0 && timeout_ns > 0; }
+};
+
+/// Per-peer liveness state for one node: the parent channel plus one entry
+/// per child slot.  "recv" is any traffic from the peer (data, control or
+/// heartbeat — piggybacking); "send" is any traffic we pushed toward it.
+class PeerLiveness {
+ public:
+  PeerLiveness(const HeartbeatConfig& config, bool has_parent,
+               std::size_t num_children, std::int64_t now);
+
+  // ---- event feed ----------------------------------------------------------
+  void note_recv_parent(std::int64_t now);
+  void note_send_parent(std::int64_t now);
+  void note_recv_child(std::uint32_t slot, std::int64_t now);
+  void note_send_child(std::uint32_t slot, std::int64_t now);
+
+  /// Start tracking a (possibly dynamic) child slot; idempotent.
+  void ensure_child(std::uint32_t slot, std::int64_t now);
+  /// Stop tracking a child (EOF seen or declared dead).
+  void drop_child(std::uint32_t slot);
+  /// Restart the parent channel clock (after re-adoption).
+  void reset_parent(std::int64_t now);
+  /// Stop tracking the parent channel (orphaned with no re-adoption).
+  void drop_parent();
+
+  // ---- queries -------------------------------------------------------------
+  bool parent_tracked() const noexcept { return parent_.active; }
+  bool parent_heartbeat_due(std::int64_t now) const;
+  bool parent_timed_out(std::int64_t now) const;
+  /// Tracked child slots whose send side is idle past the interval.
+  std::vector<std::uint32_t> children_heartbeat_due(std::int64_t now) const;
+  /// Tracked child slots silent for longer than the timeout.
+  std::vector<std::uint32_t> timed_out_children(std::int64_t now) const;
+
+  /// Earliest future instant at which a heartbeat becomes due or a peer
+  /// would time out; nullopt when nothing is tracked.
+  std::optional<std::int64_t> next_deadline() const;
+
+ private:
+  struct Channel {
+    std::int64_t last_recv = 0;
+    std::int64_t last_send = 0;
+    bool active = false;
+  };
+
+  void merge_deadline(const Channel& channel,
+                      std::optional<std::int64_t>& earliest) const;
+
+  HeartbeatConfig config_;
+  Channel parent_;
+  std::vector<Channel> children_;
+};
+
+}  // namespace tbon

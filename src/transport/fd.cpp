@@ -14,11 +14,16 @@ namespace {
 
 std::string errno_string() { return std::strerror(errno); }
 
-/// write() the whole buffer, retrying on EINTR and short writes.
+/// Write the whole buffer, retrying on EINTR and short writes.  Uses
+/// send(MSG_NOSIGNAL) so that writing to a crashed peer surfaces as EPIPE
+/// (-> TransportError, handled by the links) instead of a fatal SIGPIPE.
 void write_all(int fd, const std::byte* data, std::size_t size) {
   std::size_t written = 0;
   while (written < size) {
-    const ssize_t n = ::write(fd, data + written, size - written);
+    ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, data + written, size - written);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       throw TransportError("write failed: " + errno_string());

@@ -21,6 +21,10 @@ class TcpListener {
   /// The port the OS assigned.
   std::uint16_t port() const noexcept { return port_; }
 
+  /// The raw listening fd (so forked children can close their inherited
+  /// copy); -1 after close().
+  int fd() const noexcept { return socket_.get(); }
+
   /// Block until a client connects; returns the connected socket.
   Fd accept();
 

@@ -133,7 +133,8 @@ TEST(ProcessNetwork, ThreadedApisRejected) {
   auto net = create_process_network(Topology::flat(2), [](BackEnd&) {});
   EXPECT_THROW(net->backend(0), ProtocolError);
   EXPECT_THROW(net->run_backends([](BackEnd&) {}), ProtocolError);
-  EXPECT_THROW(net->kill_node(1), ProtocolError);
+  // kill_node works in process mode (kTagDie), but never against the root.
+  EXPECT_THROW(net->kill_node(0), ProtocolError);
   net->shutdown();
 }
 

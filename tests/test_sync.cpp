@@ -153,6 +153,44 @@ TEST(TimeOut, EmptyFlushYieldsNothing) {
   EXPECT_TRUE(sync.flush().empty());
 }
 
+TEST(TimeOut, DeadlineArmsAtFirstBufferedPacketNotAtDrain) {
+  // Regression: the window used to be armed lazily by the next drain_ready()
+  // call, so the window start drifted later than the packet that opened it.
+  TimeOutSync sync(context_with_children(2, "window_ms=50"));
+  const auto before = now_ns();
+  sync.on_packet(0, packet_from(0, 1.0));
+  const auto after = now_ns();
+  const auto deadline = sync.next_deadline();  // note: no drain_ready() yet
+  ASSERT_TRUE(deadline.has_value());
+  EXPECT_GE(*deadline, before + 50'000'000);
+  EXPECT_LE(*deadline, after + 50'000'000);
+}
+
+TEST(TimeOut, LaterPacketsDoNotExtendTheWindow) {
+  TimeOutSync sync(context_with_children(3, "window_ms=50"));
+  sync.on_packet(0, packet_from(0, 1.0));
+  const auto armed = sync.next_deadline();
+  ASSERT_TRUE(armed.has_value());
+  sync.on_packet(1, packet_from(1, 2.0));
+  sync.on_packet(2, packet_from(2, 3.0));
+  EXPECT_EQ(sync.next_deadline(), armed);  // fixed by the first packet
+  const auto batches = sync.drain_ready(*armed);  // whole batch at deadline
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 3u);
+}
+
+TEST(TimeOut, WindowReArmsForTheNextBatch) {
+  TimeOutSync sync(context_with_children(1, "window_ms=10"));
+  sync.on_packet(0, packet_from(0, 1.0));
+  const auto first = *sync.next_deadline();
+  ASSERT_EQ(sync.drain_ready(first).size(), 1u);
+  EXPECT_EQ(sync.next_deadline(), std::nullopt);  // no open window
+  sync.on_packet(0, packet_from(0, 2.0));
+  const auto second = *sync.next_deadline();
+  EXPECT_GE(second, first);  // a fresh window for the new batch
+  ASSERT_EQ(sync.drain_ready(second).size(), 1u);
+}
+
 // ---- null ----------------------------------------------------------------------
 
 TEST(NullSync, DeliversEachPacketAlone) {

@@ -1,6 +1,13 @@
-// Tests for the byte transport: socketpair frames, EOF semantics, TCP.
+// Tests for the byte transport: socketpair frames, EOF semantics, TCP, and
+// the error paths a node failure exercises (truncated frames, peer resets,
+// writes to a dead peer).
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <functional>
 #include <thread>
 
 #include "common/error.hpp"
@@ -12,7 +19,7 @@ namespace {
 
 Bytes to_bytes(std::string_view text) {
   Bytes bytes(text.size());
-  std::memcpy(bytes.data(), text.data(), text.size());
+  if (!text.empty()) std::memcpy(bytes.data(), text.data(), text.size());
   return bytes;
 }
 
@@ -108,6 +115,98 @@ TEST(Tcp, ConnectToClosedPortFails) {
     dead_port = listener.port();
   }  // listener closed
   EXPECT_THROW(tcp_connect(dead_port), TransportError);
+}
+
+// ---- failure-path semantics (what a crashed peer looks like on the wire) ----
+
+namespace {
+std::string message_of(const std::function<void()>& body) {
+  try {
+    body();
+  } catch (const TransportError& error) {
+    return error.what();
+  }
+  return "";
+}
+}  // namespace
+
+TEST(Frames, ShortReadOnLengthPrefixIsAFramingError) {
+  // A peer that dies after 2 of the 4 length-prefix bytes must produce a
+  // distinguishable error, not a bogus zero-length frame or a clean EOF.
+  auto [a, b] = make_socketpair();
+  const std::byte half[2] = {};
+  ASSERT_EQ(::write(a.get(), half, sizeof(half)), 2);
+  shutdown_write(a.get());
+  const std::string message = message_of([fd = b.get()] { read_frame(fd); });
+  EXPECT_NE(message.find("EOF inside a frame"), std::string::npos) << message;
+}
+
+TEST(Frames, TruncatedBodyIsAFramingError) {
+  auto [a, b] = make_socketpair();
+  const std::uint32_t claimed = 100;
+  std::byte header[4];
+  std::memcpy(header, &claimed, 4);
+  ASSERT_EQ(::write(a.get(), header, 4), 4);
+  const std::byte partial[10] = {};
+  ASSERT_EQ(::write(a.get(), partial, sizeof(partial)), 10);
+  shutdown_write(a.get());  // dies 90 bytes short of the promised body
+  const std::string message = message_of([fd = b.get()] { read_frame(fd); });
+  EXPECT_NE(message.find("EOF inside a frame"), std::string::npos) << message;
+}
+
+TEST(Frames, HeaderWithNoBodyIsAFramingError) {
+  // The peer died exactly between the prefix and the body.
+  auto [a, b] = make_socketpair();
+  const std::uint32_t claimed = 8;
+  std::byte header[4];
+  std::memcpy(header, &claimed, 4);
+  ASSERT_EQ(::write(a.get(), header, 4), 4);
+  shutdown_write(a.get());
+  const std::string message = message_of([fd = b.get()] { read_frame(fd); });
+  EXPECT_NE(message.find("EOF inside a frame body"), std::string::npos) << message;
+}
+
+TEST(Frames, OversizedLengthPrefixIsRejected) {
+  // A corrupt or malicious prefix must not trigger a gigabyte allocation.
+  auto [a, b] = make_socketpair();
+  const std::uint32_t huge = (1u << 30) + 1;
+  std::byte header[4];
+  std::memcpy(header, &huge, 4);
+  ASSERT_EQ(::write(a.get(), header, 4), 4);
+  const std::string message = message_of([fd = b.get()] { read_frame(fd); });
+  EXPECT_NE(message.find("oversized frame"), std::string::npos) << message;
+}
+
+TEST(Frames, WriteToDeadPeerThrowsInsteadOfSigpipe) {
+  // Writing to a crashed peer must surface as TransportError (EPIPE via
+  // MSG_NOSIGNAL), not kill the process with SIGPIPE.
+  auto [a, b] = make_socketpair();
+  b.reset();  // peer gone
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 64; ++i) write_frame(a.get(), to_bytes("x"));
+      },
+      TransportError);
+}
+
+TEST(Tcp, PeerResetSurfacesAsEof) {
+  // An abortive close (RST, what a killed process produces for in-flight
+  // connections) must read as end-of-stream, not crash or hang the reader.
+  TcpListener listener;
+  std::thread client([port = listener.port()] {
+    Fd fd = tcp_connect(port);
+    write_frame(fd.get(), to_bytes("payload"));
+    const auto ack = read_frame(fd.get());  // sync: server consumed the frame
+    ASSERT_TRUE(ack.has_value());
+    const struct linger abort_on_close = {1, 0};
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_LINGER, &abort_on_close,
+                 sizeof(abort_on_close));
+  });  // fd destructor closes -> RST
+  Fd server = listener.accept();
+  EXPECT_EQ(read_frame(server.get()), to_bytes("payload"));
+  write_frame(server.get(), to_bytes("ack"));
+  client.join();
+  EXPECT_EQ(read_frame(server.get()), std::nullopt);
 }
 
 }  // namespace
