@@ -82,9 +82,9 @@ RunResult run_distributed(const Topology& topology, const ms::SynthParams& synth
   recorder.set_enabled(true);
 
   Stopwatch watch;
-  auto net = Network::create_threaded(topology);
+  auto net = Network::create({.topology = topology});
   Stream& stream = net->front_end().new_stream(
-      {.up_transform = "mean_shift", .params = ms::params_to_string(params)});
+      {.up_transform = "mean_shift", .params = ms::to_filter_params(params)});
   // The measured window starts with the control broadcast (paper §3.2); we
   // include it in the makespan via the link model's broadcast term.
   stream.send(kFirstAppTag, "str", {std::string("start")});

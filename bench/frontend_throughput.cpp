@@ -5,7 +5,12 @@
 // processed the loads offered by 512 daemons."
 //
 //   ./frontend_throughput [daemons=8,16,32,64,128,256,512] [fanout=16]
-//                         [rate=0] [duration=5] [functions=32]
+//                         [rate=0] [duration=5] [functions=32] [live_waves=2000]
+//
+// A second, live section measures the in-band telemetry overhead: the same
+// end-to-end aggregation workload over a real threaded tree with telemetry
+// off vs on (snapshots riding the reserved stream every 50 ms).  Telemetry
+// is accepted if it costs <= 5% of sustained front-end throughput.
 //
 // Methodology: we measure the real per-packet front-end service time for a
 // 32-function performance report (deserialize + fold into running state)
@@ -28,6 +33,7 @@
 #include "benchlib/table.hpp"
 #include "common/config.hpp"
 #include "common/timer.hpp"
+#include "core/network.hpp"
 #include "core/protocol.hpp"
 #include "sim/des.hpp"
 
@@ -59,6 +65,45 @@ double measure_packet_service(int functions) {
   // Defeat dead-code elimination.
   if (state[0] < 0) std::printf("%f", state[0]);
   return watch.elapsed_seconds() / kReps;
+}
+
+/// Sustained end-to-end throughput (leaf packets/s reaching the root as
+/// aggregates) over a live threaded tree, with or without telemetry.
+double live_throughput(int waves, int functions, bool telemetry) {
+  auto net = Network::create(
+      {.topology = Topology::balanced(2, 2),  // 4 leaves, 2 interior merges
+       .telemetry = {.enabled = telemetry, .interval_ms = 50}});
+  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  std::vector<double> report(static_cast<std::size_t>(functions), 0.5);
+
+  Stopwatch watch;
+  std::jthread producers([&] {
+    net->run_backends([&](BackEnd& be) {
+      for (int wave = 0; wave < waves; ++wave) {
+        be.send(stream.id(), kFirstAppTag, "vf64", {report});
+      }
+    });
+  });
+  for (int wave = 0; wave < waves; ++wave) {
+    if (!stream.recv_for(std::chrono::seconds(60))) break;
+  }
+  const double elapsed = watch.elapsed_seconds();
+  producers.join();
+  net->shutdown();
+  return 4.0 * waves / elapsed;
+}
+
+/// Peak throughput over `passes` alternating off/on runs.  The best pass
+/// per configuration is the estimate: on an oversubscribed host a mean
+/// would mostly measure scheduler noise, while the peaks are comparable.
+std::pair<double, double> live_peaks(int waves, int functions, int passes) {
+  double off = 0.0;
+  double on = 0.0;
+  for (int pass = 0; pass < passes; ++pass) {
+    off = std::max(off, live_throughput(waves, functions, false));
+    on = std::max(on, live_throughput(waves, functions, true));
+  }
+  return {off, on};
 }
 
 }  // namespace
@@ -161,5 +206,21 @@ int main(int argc, char** argv) {
               "Note the tree's internal nodes each serve only `fanout` packets per\n"
               "wave (%zu x %.2f us << 1/rate), so they are not the bottleneck.\n",
               saturation_point, fanout, service * 1e6);
+
+  // ---- live telemetry overhead ---------------------------------------------
+  const auto live_waves = static_cast<int>(config.get_int("live_waves", 2000));
+  const auto live_passes = static_cast<int>(config.get_int("live_passes", 8));
+  banner("In-band telemetry overhead (live threaded tree, 4 leaves)");
+  const auto [off, on] = live_peaks(live_waves, functions, live_passes);
+  const double overhead = 100.0 * (off - on) / off;
+
+  Table live({"telemetry", "leaf_pkt_s", "overhead_pct"});
+  live.add_row({"off", fmt("%.0f", off), "-"});
+  live.add_row({"on (50ms)", fmt("%.0f", on), fmt("%.1f", overhead)});
+  live.print("telemetry_overhead");
+  std::printf("\ntelemetry rides the reserved stream 0x%08x: snapshots are merged\n"
+              "in-band by the metrics_merge filter, so the front-end cost is one\n"
+              "small packet per interval, not per node.  budget: <= 5%% overhead%s\n",
+              kTelemetryStream, overhead <= 5.0 ? " (met)" : " (EXCEEDED)");
   return 0;
 }

@@ -43,9 +43,9 @@ Outcome run_once(std::size_t scale, const ms::SynthParams& synth,
   const auto fanout = static_cast<std::size_t>(
       std::ceil(std::sqrt(static_cast<double>(scale))));
   const Topology topology = Topology::balanced_for_leaves(fanout, scale);
-  auto net = Network::create_threaded(topology);
+  auto net = Network::create({.topology = topology});
   Stream& stream = net->front_end().new_stream(
-      {.up_transform = "mean_shift", .params = ms::params_to_string(params)});
+      {.up_transform = "mean_shift", .params = ms::to_filter_params(params)});
   net->run_backends([&](BackEnd& be) {
     const auto data = ms::generate_leaf_data(be.rank(), synth);
     const NodeId leaf = net->topology().leaves()[be.rank()];

@@ -147,7 +147,7 @@ int main(int argc, char** argv) {
     double real_wall = -1.0;
     std::size_t fe_bytes_tbon = 0;
     if (daemons <= real_limit) {
-      auto net = Network::create_threaded(tree);
+      auto net = Network::create({.topology = tree});
       Stream& stream = net->front_end().new_stream(
           {.up_transform = "equivalence_class"});
       Stopwatch watch;

@@ -58,7 +58,7 @@ struct Sample {
 Sample measure_once(std::uint32_t fanout) {
   const Topology topo = Topology::balanced(fanout, 2);
   const std::uint32_t leaves = fanout * fanout;
-  auto net = Network::create_threaded(topo, {.auto_readopt = true});
+  auto net = Network::create({.topology = topo, .recovery = {.auto_readopt = true}});
   Stream& stream = net->front_end().new_stream(
       {.up_transform = "wavg", .up_sync = "wait_for_all"});
 

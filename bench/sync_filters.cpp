@@ -71,10 +71,10 @@ BENCHMARK(BM_TimeOutWave)->Arg(2)->Arg(16)->Arg(64)->Arg(256);
 // End-to-end latency per policy over a real network: one round trip of 16
 // back-ends through a 2-level tree.
 void end_to_end_policy(benchmark::State& state, const char* sync_name,
-                       const char* params) {
-  auto net = Network::create_threaded(Topology::balanced(4, 2));
+                       FilterParams params = {}) {
+  auto net = Network::create({.topology = Topology::balanced(4, 2)});
   Stream& stream = net->front_end().new_stream(
-      {.up_transform = "sum", .up_sync = sync_name, .params = params});
+      {.up_transform = "sum", .up_sync = sync_name, .params = std::move(params)});
   const std::size_t expected = sync_name == std::string("null") ? 16 : 1;
   for (auto _ : state) {
     for (std::uint32_t rank = 0; rank < 16; ++rank) {
@@ -93,15 +93,15 @@ void end_to_end_policy(benchmark::State& state, const char* sync_name,
 }
 
 void BM_EndToEndWaitForAll(benchmark::State& state) {
-  end_to_end_policy(state, "wait_for_all", "");
+  end_to_end_policy(state, "wait_for_all");
 }
 BENCHMARK(BM_EndToEndWaitForAll)->Unit(benchmark::kMicrosecond);
 
-void BM_EndToEndNull(benchmark::State& state) { end_to_end_policy(state, "null", ""); }
+void BM_EndToEndNull(benchmark::State& state) { end_to_end_policy(state, "null"); }
 BENCHMARK(BM_EndToEndNull)->Unit(benchmark::kMicrosecond);
 
 void BM_EndToEndTimeOut(benchmark::State& state) {
-  end_to_end_policy(state, "time_out", "window_ms=1");
+  end_to_end_policy(state, "time_out", FilterParams().set("window_ms", 1));
 }
 BENCHMARK(BM_EndToEndTimeOut)->Unit(benchmark::kMicrosecond);
 

@@ -21,11 +21,11 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
 
   filters::register_all(FilterRegistry::instance());
-  auto net = Network::create_threaded(topology);
+  auto net = Network::create({.topology = topology});
   Stream& stream = net->front_end().new_stream(
       {.up_transform = "clock_skew",
        .down_transform = "clock_probe",
-       .params = "skew_seed=" + std::to_string(seed)});
+       .params = FilterParams().set("skew_seed", static_cast<std::int64_t>(seed))});
 
   // The probe carries the front-end's (unskewed reference) clock.
   stream.send(kFirstAppTag, "vf64",

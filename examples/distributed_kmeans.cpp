@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   params.k = synth.num_clusters;
   params.epsilon = 1e-4;
 
-  auto net = Network::create_threaded(topology);
+  auto net = Network::create({.topology = topology});
   const KMeansResult result = kmeans_distributed(*net, dim, params, leaf_coords);
   net->shutdown();
 

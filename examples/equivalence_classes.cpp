@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
 
   filters::register_all(FilterRegistry::instance());
   const Topology topology = Topology::balanced_for_leaves(fanout, daemons);
-  auto net = Network::create_threaded(topology);
+  auto net = Network::create({.topology = topology});
   Stream& stream = net->front_end().new_stream({.up_transform = "equivalence_class"});
 
   std::atomic<std::size_t> raw_bytes{0};

@@ -31,9 +31,9 @@ int main(int argc, char** argv) {
   params.shift.density_threshold = config.get_double("density_threshold", 10.0);
 
   register_mean_shift_filter();
-  auto net = Network::create_threaded(topology);
+  auto net = Network::create({.topology = topology});
   Stream& stream = net->front_end().new_stream(
-      {.up_transform = "mean_shift", .params = params_to_string(params)});
+      {.up_transform = "mean_shift", .params = to_filter_params(params)});
 
   net->run_backends([&](BackEnd& be) {
     const auto data = generate_leaf_data(be.rank(), synth);

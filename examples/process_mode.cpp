@@ -19,11 +19,14 @@ int main(int argc, char** argv) {
               topology.num_nodes() - 1, static_cast<int>(::getpid()));
 
   // Stream ids are assigned in order, so the back-ends can rely on id 1.
-  auto net = create_process_network(topology, [](BackEnd& be) {
-    be.send(1, kFirstAppTag, "vi64 vstr",
-            {std::vector<std::int64_t>{::getpid()},
-             std::vector<std::string>{"rank-" + std::to_string(be.rank())}});
-  });
+  auto net = Network::create({.mode = NetworkMode::kProcess,
+                              .topology = topology,
+                              .backend_main = [](BackEnd& be) {
+                                be.send(1, kFirstAppTag, "vi64 vstr",
+                                        {std::vector<std::int64_t>{::getpid()},
+                                         std::vector<std::string>{
+                                             "rank-" + std::to_string(be.rank())}});
+                              }});
   Stream& stream = net->front_end().new_stream({.up_transform = "concat"});
 
   const auto result = stream.recv_for(std::chrono::seconds(10));

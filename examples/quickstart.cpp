@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
               topology.depth());
 
   // One thread per communication process inside this program.
-  auto net = Network::create_threaded(topology);
+  auto net = Network::create({.topology = topology});
 
   // A stream whose upstream packets are summed field-wise at every level and
   // delivered in waves (one packet per back-end per wave).

@@ -28,13 +28,13 @@ int main(int argc, char** argv) {
   const std::size_t hosts = topology.num_leaves();
 
   filters::register_all(FilterRegistry::instance());
-  auto net = Network::create_threaded(topology);
+  auto net = Network::create({.topology = topology});
 
   Stream& aligned = net->front_end().new_stream(
       {.up_transform = "time_aligned", .up_sync = "null"});
   Stream& latency = net->front_end().new_stream({.up_transform = "histogram_merge"});
   Stream& hogs = net->front_end().new_stream(
-      {.up_transform = "topk", .params = "k=3"});
+      {.up_transform = "topk", .params = FilterParams().set("k", 3)});
 
   net->run_backends([&](BackEnd& be) {
     Rng rng(1000 + be.rank());

@@ -4,8 +4,11 @@
 #include <functional>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
+#include "core/protocol.hpp"
 #include "core/registry.hpp"
 #include "core/sync.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tbon {
 namespace {
@@ -249,6 +252,32 @@ class ConcatFilter final : public TransformFilter {
   }
 };
 
+/// Merge NodeTelemetry record sets from the batch into one packet (the
+/// telemetry stream's upstream filter): per node id the freshest record —
+/// highest publish seq — wins, so the merge is associative, commutative and
+/// immune to duplicate delivery after re-adoption.  Malformed payloads are
+/// skipped: observability must never take the tree down.
+class MetricsMergeFilter final : public TransformFilter {
+ public:
+  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 const FilterContext& ctx) override {
+    std::vector<NodeTelemetry> merged;
+    for (const PacketPtr& packet : in) {
+      try {
+        const auto records = deserialize_records(telemetry_packet_records(*packet));
+        merged = merge_records(merged, records);
+      } catch (const std::exception& error) {
+        TBON_WARN("node " << ctx.node_id << " skipping malformed telemetry payload: "
+                          << error.what());
+      }
+    }
+    if (merged.empty()) return;
+    const Packet& first = *in.front();
+    out.push_back(Packet::make(first.stream_id(), first.tag(), first.src_rank(),
+                               "bytes", {serialize_records(merged)}));
+  }
+};
+
 /// Forward every input packet unchanged.
 class PassthroughFilter final : public TransformFilter {
  public:
@@ -274,6 +303,7 @@ void register_builtin_filters(FilterRegistry& registry) {
   registry.register_transform("count", &make_simple<CountFilter>);
   registry.register_transform("concat", &make_simple<ConcatFilter>);
   registry.register_transform("passthrough", &make_simple<PassthroughFilter>);
+  registry.register_transform("metrics_merge", &make_simple<MetricsMergeFilter>);
 
   registry.register_sync("wait_for_all", [](const FilterContext& ctx) {
     return std::unique_ptr<SyncPolicy>(std::make_unique<WaitForAllSync>(ctx));

@@ -14,6 +14,9 @@ class Network::RootDelegate final : public NodeRuntime::Delegate {
   void on_result(std::uint32_t stream_id, PacketPtr packet) override {
     network_.on_result(stream_id, std::move(packet));
   }
+  void on_stream_deleted(std::uint32_t stream_id) override {
+    network_.on_stream_deleted(stream_id);
+  }
   void on_shutdown_complete() override { network_.on_shutdown_complete(); }
 
  private:

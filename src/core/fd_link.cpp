@@ -12,6 +12,10 @@ bool FdLink::send(const PacketPtr& packet) {
     BinaryWriter writer;
     packet->serialize(writer);
     write_frame(fd_, writer.bytes());
+    if (metrics_ != nullptr) {
+      metrics_->wire_bytes_out.fetch_add(writer.bytes().size(),
+                                         std::memory_order_relaxed);
+    }
     return true;
   } catch (const TransportError& error) {
     TBON_DEBUG("fd link send failed: " << error.what());
@@ -29,10 +33,13 @@ void FdLink::close() {
 }
 
 std::jthread start_fd_reader(int fd, InboxPtr inbox, Origin origin,
-                             std::uint32_t child_slot) {
-  return std::jthread([fd, inbox = std::move(inbox), origin, child_slot] {
+                             std::uint32_t child_slot, MetricsRegistry* metrics) {
+  return std::jthread([fd, inbox = std::move(inbox), origin, child_slot, metrics] {
     try {
       while (auto frame = read_frame(fd)) {
+        if (metrics != nullptr) {
+          metrics->wire_bytes_in.fetch_add(frame->size(), std::memory_order_relaxed);
+        }
         BinaryReader reader(*frame);
         inbox->push(Envelope{origin, child_slot, Packet::deserialize(reader)});
       }

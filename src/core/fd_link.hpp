@@ -21,8 +21,10 @@ namespace tbon {
 class FdLink final : public Link {
  public:
   /// Does not own the fd; the owner keeps it open until links and readers
-  /// are done.
-  explicit FdLink(int fd) : fd_(fd) {}
+  /// are done.  `metrics`, when given, receives wire_bytes_out accounting
+  /// (frame payload bytes actually written); it must outlive the link.
+  explicit FdLink(int fd, MetricsRegistry* metrics = nullptr)
+      : fd_(fd), metrics_(metrics) {}
 
   bool send(const PacketPtr& packet) override;
   void close() override;
@@ -30,6 +32,7 @@ class FdLink final : public Link {
  private:
   std::mutex mutex_;
   int fd_;
+  MetricsRegistry* metrics_;
   bool closed_ = false;
 };
 
@@ -48,8 +51,10 @@ class SharedLink final : public Link {
 
 /// Start a reader thread: frames from `fd` become envelopes in `inbox`
 /// tagged (origin, child_slot); EOF or a transport error becomes the null
-/// EOF envelope.
+/// EOF envelope.  `metrics`, when given, receives wire_bytes_in accounting
+/// and must outlive the thread.
 std::jthread start_fd_reader(int fd, InboxPtr inbox, Origin origin,
-                             std::uint32_t child_slot);
+                             std::uint32_t child_slot,
+                             MetricsRegistry* metrics = nullptr);
 
 }  // namespace tbon

@@ -103,6 +103,9 @@ class SyncPolicy {
   /// Deliver everything still buffered, regardless of completeness.
   virtual std::vector<Batch> flush() = 0;
 
+  /// Packets currently buffered awaiting batch formation (telemetry gauge).
+  virtual std::size_t buffered() const { return 0; }
+
   /// A child was declared failed; stop waiting for it (reliability hook —
   /// wait_for_all degrades to the surviving children).
   virtual void child_failed(std::size_t child) { (void)child; }

@@ -135,13 +135,25 @@ void Stream::send(std::int32_t tag, std::string_view format,
       Packet::make(spec_.id, tag, kFrontEndRank, format, std::move(values)));
 }
 
-std::optional<PacketPtr> Stream::recv() { return results_.pop(); }
-
-std::optional<PacketPtr> Stream::recv_for(std::chrono::milliseconds timeout) {
-  return results_.pop_for(timeout);
+RecvResult Stream::make_result(std::optional<PacketPtr> popped) {
+  if (popped) return RecvResult(std::move(*popped));
+  if (results_.closed()) {
+    // Drain-then-fail queues only report empty-and-closed once every buffered
+    // packet has been handed out, so a terminal status means "truly done".
+    return RecvResult(deleted_.load(std::memory_order_acquire)
+                          ? RecvStatus::kStreamClosed
+                          : RecvStatus::kShutdown);
+  }
+  return RecvResult(RecvStatus::kTimeout);
 }
 
-std::optional<PacketPtr> Stream::try_recv() { return results_.try_pop(); }
+RecvResult Stream::recv() { return make_result(results_.pop()); }
+
+RecvResult Stream::recv_for(std::chrono::milliseconds timeout) {
+  return make_result(results_.pop_for(timeout));
+}
+
+RecvResult Stream::try_recv() { return make_result(results_.try_pop()); }
 
 // ---- FrontEnd ---------------------------------------------------------------
 
@@ -152,7 +164,7 @@ Stream& FrontEnd::new_stream(StreamOptions options) {
   spec.up_transform = std::move(options.up_transform);
   spec.up_sync = std::move(options.up_sync);
   spec.down_transform = std::move(options.down_transform);
-  spec.params = std::move(options.params);
+  spec.params = options.params.to_wire();
 
   // Validate filter names eagerly so misconfigurations fail at the call site
   // rather than deep inside a communication process.
@@ -199,6 +211,16 @@ Stream& FrontEnd::stream(std::uint32_t stream_id) {
   return *it->second;
 }
 
+TreeMetricsSnapshot FrontEnd::metrics() const {
+  if (!network_.collector_) {
+    throw ProtocolError(
+        "telemetry is disabled; create the network with TelemetryOptions::enabled");
+  }
+  return network_.collector_->snapshot();
+}
+
+std::string FrontEnd::metrics_json() const { return metrics().to_json(); }
+
 // ---- BackEnd ----------------------------------------------------------------
 
 void BackEnd::wait_stream_known(std::uint32_t stream_id) {
@@ -227,16 +249,38 @@ void BackEnd::send_to(std::uint32_t dst_rank, std::int32_t tag, std::string_view
   up_link_->send(make_peer_packet(dst_rank, *inner));
 }
 
-std::optional<PacketPtr> BackEnd::recv() { return downstream_.pop(); }
+namespace {
 
-std::optional<PacketPtr> BackEnd::recv_for(std::chrono::milliseconds timeout) {
-  return downstream_.pop_for(timeout);
+/// Shared recv plumbing for the two back-end queues: a closed queue only
+/// reads empty once drained, and back-end queues close exactly on shutdown.
+RecvResult backend_result(BoundedQueue<PacketPtr>& queue,
+                          std::optional<PacketPtr> popped) {
+  if (popped) return RecvResult(std::move(*popped));
+  return RecvResult(queue.closed() ? RecvStatus::kShutdown : RecvStatus::kTimeout);
 }
 
-std::optional<PacketPtr> BackEnd::recv_peer() { return peer_messages_.pop(); }
+}  // namespace
 
-std::optional<PacketPtr> BackEnd::recv_peer_for(std::chrono::milliseconds timeout) {
-  return peer_messages_.pop_for(timeout);
+RecvResult BackEnd::recv() { return backend_result(downstream_, downstream_.pop()); }
+
+RecvResult BackEnd::recv_for(std::chrono::milliseconds timeout) {
+  return backend_result(downstream_, downstream_.pop_for(timeout));
+}
+
+RecvResult BackEnd::try_recv() {
+  return backend_result(downstream_, downstream_.try_pop());
+}
+
+RecvResult BackEnd::recv_peer() {
+  return backend_result(peer_messages_, peer_messages_.pop());
+}
+
+RecvResult BackEnd::recv_peer_for(std::chrono::milliseconds timeout) {
+  return backend_result(peer_messages_, peer_messages_.pop_for(timeout));
+}
+
+RecvResult BackEnd::try_recv_peer() {
+  return backend_result(peer_messages_, peer_messages_.try_pop());
 }
 
 bool BackEnd::shutting_down() const {
@@ -253,14 +297,70 @@ Network::Network(const Topology& topology) : topology_(topology) {
   }
 }
 
-std::unique_ptr<Network> Network::create_threaded(const Topology& topology,
-                                                  RecoveryOptions recovery) {
+std::unique_ptr<Network> Network::create(NetworkOptions options) {
+  const Topology& topology = options.topology;
   if (topology.num_leaves() == 0 || topology.is_leaf(topology.root())) {
     throw TopologyError("a network needs at least one back-end distinct from the root");
   }
+  if (options.telemetry.enabled && options.telemetry.interval_ms <= 0) {
+    throw ProtocolError("TelemetryOptions::interval_ms must be positive");
+  }
+  switch (options.mode) {
+    case NetworkMode::kThreaded:
+      return create_threaded_impl(options);
+    case NetworkMode::kProcess:
+      return create_process_impl(options);
+  }
+  throw ProtocolError("unknown NetworkMode");
+}
+
+std::unique_ptr<Network> Network::create_threaded(const Topology& topology,
+                                                  RecoveryOptions recovery) {
+  NetworkOptions options;
+  options.topology = topology;
+  options.recovery = std::move(recovery);
+  return create(std::move(options));
+}
+
+std::unique_ptr<Network> Network::create_process(
+    const Topology& topology, const std::function<void(BackEnd&)>& backend_main,
+    bool tcp_edges, RecoveryOptions recovery) {
+  NetworkOptions options;
+  options.mode = NetworkMode::kProcess;
+  options.topology = topology;
+  options.recovery = std::move(recovery);
+  options.backend_main = backend_main;
+  options.tcp_edges = tcp_edges;
+  return create(std::move(options));
+}
+
+void Network::start_telemetry(const TelemetryOptions& telemetry) {
+  if (!telemetry.enabled) return;
+  const std::int64_t age_out_ms =
+      telemetry.age_out_ms > 0 ? telemetry.age_out_ms : 5LL * telemetry.interval_ms;
+  collector_ = std::make_unique<TelemetryCollector>(age_out_ms * 1'000'000);
+
+  // Announce the reserved telemetry stream exactly like an application
+  // stream: interior nodes instantiate metrics_merge behind a time_out sync
+  // (window = publish interval), and every node arms its periodic publisher
+  // when the announcement reaches it (FIFO, so before any data).
+  StreamSpec spec;
+  spec.id = kTelemetryStream;
+  spec.up_transform = "metrics_merge";
+  spec.up_sync = "time_out";
+  spec.down_transform = "passthrough";
+  spec.params = FilterParams()
+                    .set("interval_ms", telemetry.interval_ms)
+                    .set("window_ms", telemetry.interval_ms)
+                    .to_wire();
+  send_to_root(spec.to_packet());
+}
+
+std::unique_ptr<Network> Network::create_threaded_impl(const NetworkOptions& options) {
+  const Topology& topology = options.topology;
   auto network = std::unique_ptr<Network>(new Network(topology));
   Network& net = *network;
-  net.recovery_ = std::move(recovery);
+  net.recovery_ = options.recovery;
   // NodeRuntime instances keep a reference to the topology for the lifetime
   // of the network, so wire them to the Network's own copy, never to the
   // caller's (possibly temporary) argument.
@@ -327,6 +427,7 @@ std::unique_ptr<Network> Network::create_threaded(const Topology& topology,
   for (NodeId id = 0; id < topo.num_nodes(); ++id) {
     net.threads_.emplace_back([runtime = net.runtimes_[id].get()] { runtime->run(); });
   }
+  net.start_telemetry(options.telemetry);
   return network;
 }
 
@@ -468,6 +569,16 @@ void Network::send_to_root(PacketPtr packet) {
 
 void Network::on_result(std::uint32_t stream_id, PacketPtr packet) {
   // Delivered on the root runtime thread.
+  if (stream_id == kTelemetryStream) {
+    if (collector_) {
+      try {
+        collector_->ingest(telemetry_packet_records(*packet));
+      } catch (const Error& error) {
+        TBON_WARN("dropping malformed telemetry packet: " << error.what());
+      }
+    }
+    return;
+  }
   try {
     front_end_->stream(stream_id).results_.push(std::move(packet));
   } catch (const ProtocolError&) {
@@ -475,7 +586,26 @@ void Network::on_result(std::uint32_t stream_id, PacketPtr packet) {
   }
 }
 
+void Network::on_stream_deleted(std::uint32_t stream_id) {
+  // Delivered on the root runtime thread, after the runtime flushed the
+  // stream's sync buffer upward — every packet this stream will ever carry
+  // is already in its results queue, so closing it turns the queue into
+  // drain-then-kStreamClosed.
+  if (stream_id == kTelemetryStream) return;
+  try {
+    Stream& stream = front_end_->stream(stream_id);
+    stream.deleted_.store(true, std::memory_order_release);
+    stream.results_.close();
+  } catch (const ProtocolError&) {
+    // Deleted before ever reaching the front-end map; nothing to mark.
+  }
+}
+
 void Network::on_shutdown_complete() {
+  // Every node published its final telemetry record before acknowledging
+  // shutdown (FIFO channels order record before ack), so the collector now
+  // holds the exact totals; freeze it against age-out.
+  if (collector_) collector_->freeze();
   {
     std::lock_guard<std::mutex> lock(shutdown_mutex_);
     shutdown_complete_ = true;
@@ -535,7 +665,7 @@ NodeMetricsSnapshot Network::node_metrics(NodeId id) const {
     throw ProtocolError(
         "metrics for remote nodes are not available in process mode");
   }
-  return snapshot(runtimes_[id]->metrics());
+  return runtimes_[id]->telemetry_snapshot();
 }
 
 }  // namespace tbon

@@ -2,11 +2,12 @@
 //
 // Mirrors MRNet's programming model:
 //
-//   auto net = Network::create_threaded(Topology::balanced(4, 2));
+//   auto net = Network::create({.topology = Topology::balanced(4, 2)});
 //   Stream& s = net->front_end().new_stream({.up_transform = "sum"});
 //   s.send(kMyTag, "str", {"begin"});                  // multicast down
 //   // ... back-ends call be.send(s.id(), kMyTag, "vf64", {...}) ...
-//   PacketPtr result = *s.recv();                      // aggregated result
+//   RecvResult result = s.recv();                      // aggregated result
+//   if (result) use((*result)->get_f64(0));
 //   net->shutdown();
 //
 // The threaded instantiation runs every communication process as a thread
@@ -16,6 +17,7 @@
 // share NodeRuntime, so the TBON semantics are identical.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -26,23 +28,26 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
+#include "core/filter_params.hpp"
 #include "core/node.hpp"
 #include "core/protocol.hpp"
 #include "core/registry.hpp"
 #include "recovery/adoption.hpp"
 #include "recovery/fault_injector.hpp"
 #include "recovery/heartbeat.hpp"
+#include "telemetry/collector.hpp"
 #include "topology/topology.hpp"
 
 namespace tbon {
 
 class Network;
 class FrontEnd;
+class BackEnd;
 
-/// Fault-tolerance options accepted by Network::create_threaded and
-/// Network::create_process.  Everything defaults to off: a network built
-/// without options behaves exactly as before the recovery subsystem existed
-/// (an orphaned subtree shuts itself down).
+/// Fault-tolerance options (part of NetworkOptions).  Everything defaults
+/// to off: a network built without options behaves exactly as before the
+/// recovery subsystem existed (an orphaned subtree shuts itself down).
 struct RecoveryOptions {
   /// Orphaned nodes reconnect instead of shutting down: to their nearest
   /// live ancestor (threaded) or to the front-end's rendezvous port
@@ -67,6 +72,101 @@ struct RecoveryOptions {
   }
 };
 
+/// In-band telemetry options (part of NetworkOptions).  When enabled, every
+/// node periodically publishes a metrics record on a reserved stream
+/// (kTelemetryStream); interior nodes merge child records with the built-in
+/// metrics_merge filter, and the front-end aggregates them into the
+/// TreeMetricsSnapshot returned by FrontEnd::metrics().
+struct TelemetryOptions {
+  bool enabled = false;
+  /// How often each node publishes a snapshot (also the merge window).
+  int interval_ms = 200;
+  /// Nodes silent this long are dropped from snapshots (dead nodes age
+  /// out after a kill without re-adoption).  0 = auto (5 x interval_ms).
+  int age_out_ms = 0;
+};
+
+/// Which instantiation Network::create builds.
+enum class NetworkMode {
+  kThreaded,  ///< one thread per tree node in this process, zero-copy links
+  kProcess,   ///< one forked OS process per node, serialized fd channels
+};
+
+/// Everything Network::create needs, in one aggregate so call sites read as
+/// named fields and new options never change the factory signature:
+///
+///   auto net = Network::create({
+///       .topology = Topology::balanced(4, 2),
+///       .recovery = {.auto_readopt = true},
+///       .telemetry = {.enabled = true, .interval_ms = 50},
+///   });
+struct NetworkOptions {
+  NetworkMode mode = NetworkMode::kThreaded;
+  Topology topology = Topology::single();
+  RecoveryOptions recovery;
+  TelemetryOptions telemetry;
+
+  /// Process mode only: runs inside every back-end process.
+  std::function<void(BackEnd&)> backend_main;
+  /// Process mode only: loopback-TCP edges (MRNet's wire) instead of
+  /// socketpairs.
+  bool tcp_edges = false;
+};
+
+/// Why a receive returned without a packet.
+enum class RecvStatus : std::uint8_t {
+  kOk,            ///< a packet was received
+  kTimeout,       ///< the deadline passed (recv_for / try_recv only)
+  kShutdown,      ///< the network shut down; no further packet will arrive
+  kStreamClosed,  ///< this stream was deleted; remaining packets drained
+};
+
+constexpr const char* to_string(RecvStatus status) noexcept {
+  switch (status) {
+    case RecvStatus::kOk: return "ok";
+    case RecvStatus::kTimeout: return "timeout";
+    case RecvStatus::kShutdown: return "shutdown";
+    case RecvStatus::kStreamClosed: return "stream_closed";
+  }
+  return "?";
+}
+
+/// Result of a receive: a packet, or the status explaining its absence.
+/// Replaces the old std::optional<PacketPtr> returns, which could not
+/// distinguish "timed out, retry" from "shut down, stop".  Keeps the
+/// optional's ergonomics: truthiness means ok, * dereferences the packet.
+class RecvResult {
+ public:
+  /// Successful receive (status kOk).
+  RecvResult(PacketPtr packet) : packet_(std::move(packet)) {}  // NOLINT(google-explicit-constructor)
+  /// Packet-less receive; `status` must not be kOk.
+  explicit RecvResult(RecvStatus status) : status_(status) {}
+
+  RecvStatus status() const noexcept { return status_; }
+  bool ok() const noexcept { return status_ == RecvStatus::kOk; }
+  bool timed_out() const noexcept { return status_ == RecvStatus::kTimeout; }
+  explicit operator bool() const noexcept { return ok(); }
+  bool has_value() const noexcept { return ok(); }
+
+  /// The received packet; throws ProtocolError unless ok().
+  const PacketPtr& packet() const {
+    require_ok();
+    return packet_;
+  }
+  const PacketPtr& operator*() const { return packet(); }
+  const Packet* operator->() const { return packet().get(); }
+
+ private:
+  void require_ok() const {
+    if (!ok()) {
+      throw ProtocolError(std::string("no packet: recv status is ") + to_string(status_));
+    }
+  }
+
+  PacketPtr packet_;
+  RecvStatus status_ = RecvStatus::kOk;
+};
+
 /// Options for FrontEnd::new_stream.
 struct StreamOptions {
   /// Participating back-end ranks; empty = all back-ends.
@@ -74,7 +174,7 @@ struct StreamOptions {
   std::string up_transform = "passthrough";
   std::string up_sync = "wait_for_all";
   std::string down_transform = "passthrough";
-  std::string params;  ///< space-separated key=value pairs for the filters
+  FilterParams params;  ///< typed filter parameters (see filter_params.hpp)
 };
 
 /// Front-end handle to one virtual channel.
@@ -86,23 +186,29 @@ class Stream {
   /// Multicast a packet downstream to the stream's back-ends.
   void send(std::int32_t tag, std::string_view format, std::vector<DataValue> values);
 
-  /// Receive the next aggregated upstream packet; nullopt when the network
-  /// shut down and no further packet will arrive.
-  std::optional<PacketPtr> recv();
+  /// Receive the next aggregated upstream packet.  Blocks until a packet
+  /// arrives or the status becomes terminal (kShutdown / kStreamClosed —
+  /// buffered packets are still drained first).
+  RecvResult recv();
 
-  /// recv with a timeout; nullopt on timeout or shutdown.
-  std::optional<PacketPtr> recv_for(std::chrono::milliseconds timeout);
+  /// recv with a timeout; kTimeout when the deadline passes.
+  RecvResult recv_for(std::chrono::milliseconds timeout);
 
-  /// Non-blocking receive.
-  std::optional<PacketPtr> try_recv();
+  /// Non-blocking receive; kTimeout when no packet is ready.
+  RecvResult try_recv();
 
  private:
   friend class FrontEnd;
   friend class Network;
   Stream(Network& network, StreamSpec spec);
 
+  /// Map a queue pop outcome to a RecvResult (empty + closed queue means a
+  /// terminal status; empty + open queue means timeout).
+  RecvResult make_result(std::optional<PacketPtr> popped);
+
   Network& network_;
   StreamSpec spec_;
+  std::atomic<bool> deleted_{false};
   BoundedQueue<PacketPtr> results_{1 << 16};
 };
 
@@ -121,6 +227,17 @@ class FrontEnd {
 
   /// Stream lookup (throws ProtocolError for unknown ids).
   Stream& stream(std::uint32_t stream_id);
+
+  /// Current tree-wide telemetry snapshot: one record per live node plus
+  /// field-wise totals and cross-node percentiles.  After shutdown() the
+  /// snapshot is frozen and the aggregate counters are exact (every node
+  /// publishes a final record ahead of its shutdown acknowledgement).
+  /// Throws ProtocolError unless the network was created with
+  /// TelemetryOptions::enabled.
+  TreeMetricsSnapshot metrics() const;
+
+  /// The same snapshot rendered as a JSON object.
+  std::string metrics_json() const;
 
  private:
   friend class Network;
@@ -151,14 +268,18 @@ class BackEnd {
   void send_to(std::uint32_t dst_rank, std::int32_t tag, std::string_view format,
                std::vector<DataValue> values);
 
-  /// Receive the next downstream packet (any stream); nullopt after shutdown.
-  std::optional<PacketPtr> recv();
-  std::optional<PacketPtr> recv_for(std::chrono::milliseconds timeout);
+  /// Receive the next downstream packet (any stream); kShutdown once the
+  /// network told this back-end to stop and the queue has drained.
+  RecvResult recv();
+  RecvResult recv_for(std::chrono::milliseconds timeout);
+  /// Non-blocking receive; kTimeout when no packet is ready.
+  RecvResult try_recv();
 
   /// Receive the next tree-routed peer message; the packet's src_rank()
   /// identifies the sender.
-  std::optional<PacketPtr> recv_peer();
-  std::optional<PacketPtr> recv_peer_for(std::chrono::milliseconds timeout);
+  RecvResult recv_peer();
+  RecvResult recv_peer_for(std::chrono::milliseconds timeout);
+  RecvResult try_recv_peer();
 
   /// True once the network told this back-end to shut down.
   bool shutting_down() const;
@@ -183,20 +304,22 @@ class BackEnd {
 /// A fully instantiated TBON.
 class Network {
  public:
-  /// Instantiate the tree with one thread per communication process (and per
-  /// back-end service loop) inside this process.
+  /// Instantiate the tree described by `options` (see NetworkOptions): one
+  /// thread per node in kThreaded mode, one forked OS process per node in
+  /// kProcess mode.  Both share NodeRuntime, so the semantics — and the
+  /// telemetry and recovery subsystems — are identical.
+  static std::unique_ptr<Network> create(NetworkOptions options);
+
+  /// Pre-NetworkOptions factory spellings; forward to create().
+  [[deprecated("use Network::create(NetworkOptions)")]]
   static std::unique_ptr<Network> create_threaded(const Topology& topology,
                                                   RecoveryOptions recovery = {});
-
-  /// Instantiate the tree with one OS process per node, connected by
-  /// socketpair or loopback-TCP channels with real packet serialization.
-  /// `backend_main` runs inside every back-end process.  `tcp_edges` selects
-  /// TCP (MRNet's wire) instead of socketpairs.  See process_network.hpp.
+  [[deprecated("use Network::create(NetworkOptions) with mode = kProcess")]]
   static std::unique_ptr<Network> create_process(
       const Topology& topology, const std::function<void(BackEnd&)>& backend_main,
       bool tcp_edges = false, RecoveryOptions recovery = {});
 
-  /// True when this network was built with create_process().
+  /// True when this network runs in NetworkMode::kProcess.
   bool is_process_mode() const noexcept { return process_mode_; }
 
   ~Network();
@@ -260,9 +383,13 @@ class Network {
   class DynamicLeafService;
 
   explicit Network(const Topology& topology);
+  static std::unique_ptr<Network> create_threaded_impl(const NetworkOptions& options);
+  static std::unique_ptr<Network> create_process_impl(const NetworkOptions& options);
+  void start_telemetry(const TelemetryOptions& telemetry);
   void send_to_root(PacketPtr packet);
   BackEnd& dynamic_backend(std::size_t index);
   void on_result(std::uint32_t stream_id, PacketPtr packet);
+  void on_stream_deleted(std::uint32_t stream_id);
   void on_shutdown_complete();
   void apply_recovery_threaded();
   bool readopt_threaded(NodeRuntime& orphan);
@@ -294,6 +421,9 @@ class Network {
   std::condition_variable shutdown_cv_;
   bool shutdown_requested_ = false;
   bool shutdown_complete_ = false;
+
+  // Telemetry state (see src/telemetry/); null unless enabled.
+  std::unique_ptr<TelemetryCollector> collector_;
 
   // Recovery state (see src/recovery/).
   RecoveryOptions recovery_;

@@ -6,6 +6,7 @@
 
 #include "common/log.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 
 namespace tbon {
 
@@ -147,10 +148,17 @@ void NodeRuntime::run() {
         hb_config_, role_ != NodeRole::kRoot && parent_link_ != nullptr,
         child_alive_.size(), now_ns());
   }
+  // At saturation this loop runs once per envelope, and per-iteration clock
+  // reads are measurable overhead (telemetry arms a standing deadline, which
+  // would otherwise cost a read before every pop).  One post-pop timestamp
+  // serves the three polls and, slightly stale, the next wait computation:
+  // it understates elapsed time by at most one handle_envelope, so a
+  // deadline fires microseconds late — harmless at ms-scale deadlines.
+  std::int64_t now = now_ns();
   while (!done_) {
     std::optional<Envelope> envelope;
     if (const auto deadline = earliest_deadline()) {
-      const auto wait_ns = *deadline - now_ns();
+      const auto wait_ns = *deadline - now;
       if (wait_ns > 0) {
         envelope = inbox_->pop_for(std::chrono::nanoseconds(wait_ns));
       } else {
@@ -170,8 +178,10 @@ void NodeRuntime::run() {
       close_all_links();
       return;
     }
-    poll_timeouts();
-    poll_liveness();
+    now = now_ns();
+    poll_timeouts(now);
+    poll_liveness(now);
+    poll_telemetry(now);
     if (crashed_) return;
   }
   dead_.store(true, std::memory_order_release);
@@ -200,6 +210,13 @@ void NodeRuntime::handle_envelope(Envelope&& envelope) {
       liveness_->note_recv_parent(now_ns());
     }
   }
+  if (envelope.origin == Origin::kParent && last_parent_hb_sent_ >= 0) {
+    // First traffic from the parent since our last heartbeat: the channel
+    // round trip is at most this long (heartbeat up + anything down).
+    metrics_.heartbeat_rtt_ns.store(now_ns() - last_parent_hb_sent_,
+                                    std::memory_order_relaxed);
+    last_parent_hb_sent_ = -1;
+  }
 
   if (!envelope.packet) {
     // EOF marker from a peer.
@@ -217,7 +234,11 @@ void NodeRuntime::handle_envelope(Envelope&& envelope) {
     return;
   }
 
-  if (injector_ && injector_->on_data_packet(id_) == FaultAction::kKill) {
+  // Telemetry traffic is exempt from fault-injection counting: kill-at-
+  // data-packet-N must hit the same application packet whether or not
+  // telemetry is enabled.
+  if (packet.stream_id() != kTelemetryStream && injector_ &&
+      injector_->on_data_packet(id_) == FaultAction::kKill) {
     TBON_INFO("node " << id_ << " fault injection: crashing at data packet "
                       << injector_->data_packets(id_));
     crash();
@@ -271,6 +292,7 @@ void NodeRuntime::handle_control(const Envelope& envelope) {
       break;
     case kTagHeartbeat:
       // Pure liveness traffic: receipt already credited the channel.
+      metrics_.heartbeats_received.fetch_add(1, std::memory_order_relaxed);
       break;
     case kTagDie:
       if (die_packet_target(packet) == id_) {
@@ -289,6 +311,7 @@ void NodeRuntime::route_peer_message(const Envelope& envelope) {
   const Packet& wrapper = *envelope.packet;
   if (role_ == NodeRole::kLeaf) {
     // Arrived at the destination back-end.
+    metrics_.peer_messages_routed.fetch_add(1, std::memory_order_relaxed);
     if (delegate_ != nullptr) delegate_->on_peer_message(unwrap_peer_packet(wrapper));
     return;
   }
@@ -297,8 +320,10 @@ void NodeRuntime::route_peer_message(const Envelope& envelope) {
   if (route != rank_routes_.end()) {
     const std::uint32_t slot = route->second;
     if (slot < child_links_.size() && child_links_[slot] && child_alive_[slot]) {
+      metrics_.peer_messages_routed.fetch_add(1, std::memory_order_relaxed);
       send_child(slot, envelope.packet);
     } else {
+      metrics_.packets_dropped.fetch_add(1, std::memory_order_relaxed);
       TBON_WARN("node " << id_ << " dropping peer message for dead subtree of rank "
                         << dst);
     }
@@ -307,8 +332,10 @@ void NodeRuntime::route_peer_message(const Envelope& envelope) {
   // Not in this subtree: forward toward the root ("using the internal
   // process-tree to route back-end to back-end messages", paper §2.1).
   if (parent_link_) {
+    metrics_.peer_messages_routed.fetch_add(1, std::memory_order_relaxed);
     send_parent(envelope.packet);
   } else {
+    metrics_.packets_dropped.fetch_add(1, std::memory_order_relaxed);
     TBON_WARN("node " << id_ << " dropping peer message for unknown rank " << dst);
   }
 }
@@ -376,6 +403,18 @@ void NodeRuntime::handle_new_stream(const StreamSpec& spec) {
   }
 
   streams_.emplace(spec.id, std::move(stream));
+
+  if (spec.id == kTelemetryStream) {
+    // Arm periodic self-publishing; the interval rides in the stream params
+    // so every node (including forked process-mode children) learns it from
+    // the announcement itself.
+    telemetry_armed_ = true;
+    telemetry_interval_ns_ =
+        std::max<std::int64_t>(1, spec.parsed_params().get_int("interval_ms", 200)) *
+        1'000'000;
+    telemetry_next_ = now_ns() + telemetry_interval_ns_;
+  }
+
   if (delegate_ != nullptr) delegate_->on_stream_known(spec);
 }
 
@@ -405,6 +444,11 @@ void NodeRuntime::maybe_finish_shutdown() {
   // Every subtree is quiescent: deliver what the sync filters still hold,
   // give transformation filters their finish() hook, then ack upward.
   flush_all_streams();
+  // Final telemetry record: published after the flush (so it follows every
+  // merged child record on the parent channel) and before the ack (so the
+  // parent is guaranteed to buffer it before its own flush).  Channel FIFO
+  // order makes the post-shutdown tree snapshot exact, not best-effort.
+  if (telemetry_armed_) publish_telemetry();
   if (parent_link_) {
     send_parent(make_shutdown_ack_packet());
   }
@@ -417,10 +461,14 @@ void NodeRuntime::maybe_finish_shutdown() {
 void NodeRuntime::handle_parent_lost() {
   if (role_ == NodeRole::kRoot) return;  // the root has no parent channel
   if (liveness_) liveness_->drop_parent();
+  if (!shutting_down_) {
+    metrics_.orphaned_events.fetch_add(1, std::memory_order_relaxed);
+  }
   if (!shutting_down_ && orphan_handler_) {
     if (orphan_handler_(*this)) {
       TBON_INFO("node " << id_ << " re-adopted under a new parent (epoch "
                         << parent_epoch_ << ")");
+      metrics_.adoptions.fetch_add(1, std::memory_order_relaxed);
       if (liveness_) liveness_->reset_parent(now_ns());
       return;
     }
@@ -441,6 +489,7 @@ void NodeRuntime::handle_parent_lost() {
 }
 
 void NodeRuntime::crash() {
+  metrics_.faults_injected.fetch_add(1, std::memory_order_relaxed);
   dead_.store(true, std::memory_order_release);
   close_all_links();
   crashed_ = true;
@@ -519,29 +568,39 @@ void NodeRuntime::note_child_gone(std::uint32_t slot) {
 }
 
 void NodeRuntime::handle_upstream_data(std::uint32_t slot, const PacketPtr& packet) {
-  metrics_.packets_up.fetch_add(1, std::memory_order_relaxed);
-  metrics_.bytes_up.fetch_add(packet->payload_bytes(), std::memory_order_relaxed);
+  if (packet->stream_id() == kTelemetryStream) {
+    // Telemetry traffic is accounted separately so application counters
+    // stay exact whether or not telemetry is enabled.
+    metrics_.telemetry_packets.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    metrics_.packets_up.fetch_add(1, std::memory_order_relaxed);
+    metrics_.bytes_up.fetch_add(packet->payload_bytes(), std::memory_order_relaxed);
+  }
 
   if (slot < child_alive_.size() && !child_alive_[slot]) {
     // Data raced with the failure declaration (e.g. a heartbeat timeout
     // fired while packets were in flight); the sync policy no longer has a
     // live index for this child.
+    metrics_.packets_dropped.fetch_add(1, std::memory_order_relaxed);
     TBON_DEBUG("node " << id_ << " dropping packet from dead child slot " << slot);
     return;
   }
   const auto it = streams_.find(packet->stream_id());
   if (it == streams_.end()) {
+    metrics_.packets_dropped.fetch_add(1, std::memory_order_relaxed);
     TBON_WARN("node " << id_ << " dropping packet for unknown stream "
                       << packet->stream_id());
     return;
   }
   StreamLocal& stream = it->second;
   if (slot >= stream.slot_to_sync_index.size()) {
+    metrics_.packets_dropped.fetch_add(1, std::memory_order_relaxed);
     TBON_WARN("node " << id_ << " dropping packet from unwired child slot " << slot);
     return;
   }
   const auto sync_index = stream.slot_to_sync_index[slot];
   if (sync_index < 0) {
+    metrics_.packets_dropped.fetch_add(1, std::memory_order_relaxed);
     TBON_WARN("node " << id_ << " dropping packet from non-participating child");
     return;
   }
@@ -551,14 +610,26 @@ void NodeRuntime::handle_upstream_data(std::uint32_t slot, const PacketPtr& pack
 
 void NodeRuntime::process_batches(StreamLocal& stream,
                                   std::vector<SyncPolicy::Batch> batches) {
+  // The telemetry stream's own merge work is excluded from the application
+  // wave/latency instruments it feeds.
+  const bool telemetry = stream.spec.id == kTelemetryStream;
   for (auto& batch : batches) {
     if (batch.empty()) continue;
-    metrics_.waves.fetch_add(1, std::memory_order_relaxed);
+    if (!telemetry) metrics_.waves.fetch_add(1, std::memory_order_relaxed);
     std::vector<PacketPtr> outputs;
     const auto start = now_ns();
     stream.up_filter->transform(batch, outputs, stream.ctx);
-    metrics_.filter_ns.fetch_add(static_cast<std::uint64_t>(now_ns() - start),
-                                 std::memory_order_relaxed);
+    const auto end = now_ns();
+    if (!telemetry) {
+      const auto elapsed = static_cast<std::uint64_t>(end - start);
+      metrics_.filter_ns.fetch_add(elapsed, std::memory_order_relaxed);
+      metrics_.observe_filter_latency(elapsed);
+      if (auto& tracer = TraceRecorder::instance(); tracer.enabled()) {
+        std::uint64_t bytes_out = 0;
+        for (const PacketPtr& p : outputs) bytes_out += p->payload_bytes();
+        tracer.record({id_, start, end, bytes_out, "up:" + stream.spec.up_transform});
+      }
+    }
     emit_upstream(stream, outputs);
   }
 }
@@ -585,8 +656,7 @@ void NodeRuntime::flush_all_streams() {
   for (auto& [stream_id, stream] : streams_) flush_stream(stream);
 }
 
-void NodeRuntime::poll_timeouts() {
-  const auto now = now_ns();
+void NodeRuntime::poll_timeouts(std::int64_t now) {
   for (auto& [stream_id, stream] : streams_) {
     if (!stream.sync) continue;
     const auto deadline = stream.sync->next_deadline();
@@ -596,16 +666,18 @@ void NodeRuntime::poll_timeouts() {
   }
 }
 
-void NodeRuntime::poll_liveness() {
+void NodeRuntime::poll_liveness(std::int64_t now) {
   if (!liveness_ || done_ || crashed_) return;
-  const auto now = now_ns();
   // Explicit heartbeats on channels that have been send-idle too long.
   if (parent_link_ && liveness_->parent_heartbeat_due(now)) {
     send_parent(make_heartbeat_packet());
+    metrics_.heartbeats_sent.fetch_add(1, std::memory_order_relaxed);
+    if (last_parent_hb_sent_ < 0) last_parent_hb_sent_ = now;
   }
   for (const std::uint32_t slot : liveness_->children_heartbeat_due(now)) {
     if (slot < child_links_.size() && child_links_[slot] && child_alive_[slot]) {
       send_child(slot, make_heartbeat_packet());
+      metrics_.heartbeats_sent.fetch_add(1, std::memory_order_relaxed);
     }
   }
   // Failure declarations: a silent peer is treated exactly like an EOF.
@@ -637,7 +709,42 @@ std::optional<std::int64_t> NodeRuntime::earliest_deadline() const {
     const auto deadline = liveness_->next_deadline();
     if (deadline && (!earliest || *deadline < *earliest)) earliest = deadline;
   }
+  if (telemetry_armed_ && !shutting_down_ &&
+      (!earliest || telemetry_next_ < *earliest)) {
+    earliest = telemetry_next_;
+  }
   return earliest;
+}
+
+void NodeRuntime::poll_telemetry(std::int64_t now) {
+  if (!telemetry_armed_ || shutting_down_ || done_ || crashed_) return;
+  if (now < telemetry_next_) return;
+  telemetry_next_ = now + telemetry_interval_ns_;
+  publish_telemetry();
+}
+
+void NodeRuntime::refresh_gauges() {
+  metrics_.inbox_depth.store(inbox_->size(), std::memory_order_relaxed);
+  std::uint64_t depth = 0;
+  for (const auto& [stream_id, stream] : streams_) {
+    if (stream.sync) depth += stream.sync->buffered();
+  }
+  metrics_.sync_depth.store(depth, std::memory_order_relaxed);
+}
+
+void NodeRuntime::publish_telemetry() {
+  refresh_gauges();
+  const NodeTelemetry record = metrics_.publish(id_, role_byte());
+  const PacketPtr packet =
+      make_telemetry_packet(id_, serialize_records({&record, 1}));
+  if (role_ == NodeRole::kRoot) {
+    // The root's own record goes straight to the collector; child records
+    // arrive through the telemetry stream's merge filter like any other
+    // upstream result.
+    if (delegate_ != nullptr) delegate_->on_result(kTelemetryStream, packet);
+  } else {
+    send_parent(packet);
+  }
 }
 
 void NodeRuntime::forward_down(const PacketPtr& packet) {
@@ -656,8 +763,13 @@ void NodeRuntime::forward_down_to_participants(const StreamLocal& stream,
 }
 
 void NodeRuntime::handle_downstream_data(const PacketPtr& packet) {
-  metrics_.packets_down.fetch_add(1, std::memory_order_relaxed);
-  metrics_.bytes_down.fetch_add(packet->payload_bytes(), std::memory_order_relaxed);
+  const bool telemetry = packet->stream_id() == kTelemetryStream;
+  if (telemetry) {
+    metrics_.telemetry_packets.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    metrics_.packets_down.fetch_add(1, std::memory_order_relaxed);
+    metrics_.bytes_down.fetch_add(packet->payload_bytes(), std::memory_order_relaxed);
+  }
 
   if (role_ == NodeRole::kLeaf) {
     if (delegate_ != nullptr) delegate_->on_downstream(packet);
@@ -665,6 +777,7 @@ void NodeRuntime::handle_downstream_data(const PacketPtr& packet) {
   }
   const auto it = streams_.find(packet->stream_id());
   if (it == streams_.end()) {
+    metrics_.packets_dropped.fetch_add(1, std::memory_order_relaxed);
     TBON_WARN("node " << id_ << " dropping downstream packet for unknown stream "
                       << packet->stream_id());
     return;
@@ -674,8 +787,11 @@ void NodeRuntime::handle_downstream_data(const PacketPtr& packet) {
   const auto start = now_ns();
   const PacketPtr inputs[] = {packet};
   stream.down_filter->transform(inputs, outputs, stream.ctx);
-  metrics_.filter_ns.fetch_add(static_cast<std::uint64_t>(now_ns() - start),
-                               std::memory_order_relaxed);
+  const auto elapsed = static_cast<std::uint64_t>(now_ns() - start);
+  if (!telemetry) {
+    metrics_.filter_ns.fetch_add(elapsed, std::memory_order_relaxed);
+    metrics_.observe_filter_latency(elapsed);
+  }
   for (const PacketPtr& output : outputs) {
     forward_down_to_participants(stream, output);
   }

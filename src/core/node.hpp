@@ -129,6 +129,12 @@ class NodeRuntime {
   NodeRole role() const noexcept { return role_; }
   NodeMetrics& metrics() noexcept { return metrics_; }
 
+  /// Live snapshot of this node's metrics (does not advance the telemetry
+  /// publish sequence).
+  NodeTelemetry telemetry_snapshot() const noexcept {
+    return metrics_.peek(id_, role_byte());
+  }
+
   /// Process envelopes until shutdown completes or the inbox is destroyed.
   void run();
 
@@ -158,7 +164,7 @@ class NodeRuntime {
   void crash();
   bool send_parent(const PacketPtr& packet);
   bool send_child(std::uint32_t slot, const PacketPtr& packet);
-  void poll_liveness();
+  void poll_liveness(std::int64_t now);
   void apply_membership_change(StreamLocal& stream, std::size_t sync_index,
                                bool added);
   std::size_t live_participants(const StreamLocal& stream) const;
@@ -169,7 +175,13 @@ class NodeRuntime {
   void emit_upstream(StreamLocal& stream, std::span<const PacketPtr> packets);
   void flush_stream(StreamLocal& stream);
   void flush_all_streams();
-  void poll_timeouts();
+  void poll_timeouts(std::int64_t now);
+  void poll_telemetry(std::int64_t now);
+  void publish_telemetry();
+  void refresh_gauges();
+  std::uint8_t role_byte() const noexcept {
+    return role_ == NodeRole::kRoot ? 0 : role_ == NodeRole::kInternal ? 1 : 2;
+  }
   std::optional<std::int64_t> earliest_deadline() const;
   void forward_down(const PacketPtr& packet);
   void forward_down_to_participants(const StreamLocal& stream, const PacketPtr& packet);
@@ -206,6 +218,13 @@ class NodeRuntime {
 
   std::map<std::uint32_t, StreamLocal> streams_;
   NodeMetrics metrics_;
+
+  // Telemetry publishing (armed when the reserved telemetry stream is
+  // announced; the publish interval rides in the stream params).
+  bool telemetry_armed_ = false;
+  std::int64_t telemetry_interval_ns_ = 0;
+  std::int64_t telemetry_next_ = 0;
+  std::int64_t last_parent_hb_sent_ = -1;  ///< pending heartbeat RTT probe
 
   // Recovery state.
   HeartbeatConfig hb_config_;

@@ -108,12 +108,14 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
       const auto rank = topology.leaf_rank(id);
       // The back-end handle and the runtime share one frame-atomic link; a
       // relinkable wrapper lets re-adoption swap the channel underneath
-      // both without either noticing.
-      auto relink = std::make_shared<RelinkableLink>(
-          std::make_shared<FdLink>(parent_fd));
-      BackEnd backend(rank, std::make_unique<SharedLink>(relink));
+      // both without either noticing.  (The runtime exists first so links
+      // and readers can account wire bytes into its metrics.)
+      BackEnd backend(rank, nullptr);
       BackEndDelegate delegate(backend);
       NodeRuntime runtime(topology, id, FilterRegistry::instance(), &delegate);
+      auto relink = std::make_shared<RelinkableLink>(
+          std::make_shared<FdLink>(parent_fd, &runtime.metrics()));
+      backend.up_link_ = std::make_unique<SharedLink>(relink);
       runtime.set_parent_link(std::make_unique<SharedLink>(relink));
       if (injector) runtime.set_fault_injector(injector);
       // An injected crash must look like a real one: no stack unwinding, no
@@ -127,9 +129,10 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
             Fd fd = orphan_reconnect(g_rendezvous_port, OrphanHello{id, {rank}});
             // The hello frame is already on the wire (FIFO), so the
             // front-end wires our slot before any data sent from here on.
-            relink->relink(std::make_shared<FdLink>(fd.get()));
-            readers.push_back(
-                start_fd_reader(fd.get(), self.inbox(), Origin::kParent, epoch));
+            relink->relink(std::make_shared<FdLink>(fd.get(), &self.metrics()));
+            readers.push_back(start_fd_reader(fd.get(), self.inbox(),
+                                              Origin::kParent, epoch,
+                                              &self.metrics()));
             adopted_fds.push_back(std::move(fd));
             return true;
           } catch (const std::exception& error) {
@@ -138,7 +141,8 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
           }
         });
       }
-      readers.push_back(start_fd_reader(parent_fd, runtime.inbox(), Origin::kParent, 0));
+      readers.push_back(start_fd_reader(parent_fd, runtime.inbox(), Origin::kParent,
+                                        0, &runtime.metrics()));
       {
         std::jthread service([&runtime] { runtime.run(); });
         backend_main(backend);
@@ -146,7 +150,7 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
       }
     } else {
       NodeRuntime runtime(topology, id, FilterRegistry::instance(), nullptr);
-      runtime.set_parent_link(std::make_unique<FdLink>(parent_fd));
+      runtime.set_parent_link(std::make_unique<FdLink>(parent_fd, &runtime.metrics()));
       if (injector) runtime.set_fault_injector(injector);
       runtime.set_crash_handler([] { std::_Exit(0); });
       if (g_hb.enabled()) runtime.set_recovery(g_hb);
@@ -157,9 +161,11 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
             Fd fd = orphan_reconnect(
                 g_rendezvous_port,
                 OrphanHello{id, topology.subtree_leaf_ranks(id)});
-            self.set_parent_link(std::make_unique<FdLink>(fd.get()));
-            readers.push_back(
-                start_fd_reader(fd.get(), self.inbox(), Origin::kParent, epoch));
+            self.set_parent_link(
+                std::make_unique<FdLink>(fd.get(), &self.metrics()));
+            readers.push_back(start_fd_reader(fd.get(), self.inbox(),
+                                              Origin::kParent, epoch,
+                                              &self.metrics()));
             adopted_fds.push_back(std::move(fd));
             return true;
           } catch (const std::exception& error) {
@@ -168,11 +174,13 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
           }
         });
       }
-      readers.push_back(start_fd_reader(parent_fd, runtime.inbox(), Origin::kParent, 0));
+      readers.push_back(start_fd_reader(parent_fd, runtime.inbox(), Origin::kParent,
+                                        0, &runtime.metrics()));
       for (std::uint32_t slot = 0; slot < spawned.fds.size(); ++slot) {
         const int fd = spawned.fds[slot].get();
-        runtime.add_child_link(std::make_unique<FdLink>(fd));
-        readers.push_back(start_fd_reader(fd, runtime.inbox(), Origin::kChild, slot));
+        runtime.add_child_link(std::make_unique<FdLink>(fd, &runtime.metrics()));
+        readers.push_back(start_fd_reader(fd, runtime.inbox(), Origin::kChild, slot,
+                                          &runtime.metrics()));
       }
       runtime.run();
     }
@@ -209,26 +217,27 @@ void Network::adopt_process_orphan(Fd connection, const OrphanHello& hello) {
   }
   // Queue the wiring marker before starting the reader: the root's inbox is
   // FIFO, so the slot is wired before any data frame from the orphan.
-  root.request_adopt(slot, hello.ranks, std::make_unique<FdLink>(raw));
-  reader_threads_.push_back(start_fd_reader(raw, root.inbox(), Origin::kChild, slot));
+  root.request_adopt(slot, hello.ranks,
+                     std::make_unique<FdLink>(raw, &root.metrics()));
+  reader_threads_.push_back(
+      start_fd_reader(raw, root.inbox(), Origin::kChild, slot, &root.metrics()));
   process_child_fds_.push_back(raw);
   ++adoptions_;
   adoption_cv_.notify_all();
 }
 
-std::unique_ptr<Network> Network::create_process(
-    const Topology& topology, const std::function<void(BackEnd&)>& backend_main,
-    bool tcp_edges, RecoveryOptions recovery) {
-  if (topology.num_leaves() == 0 || topology.is_leaf(topology.root())) {
-    throw TopologyError("a network needs at least one back-end distinct from the root");
+std::unique_ptr<Network> Network::create_process_impl(const NetworkOptions& options) {
+  if (!options.backend_main) {
+    throw ProtocolError("NetworkOptions::backend_main is required in process mode");
   }
-  g_tcp_edges = tcp_edges;
-  g_hb = recovery.heartbeat();
-  g_fault_plan = recovery.fault_plan;
-  auto network = std::unique_ptr<Network>(new Network(topology));
+  const std::function<void(BackEnd&)>& backend_main = options.backend_main;
+  g_tcp_edges = options.tcp_edges;
+  g_hb = options.recovery.heartbeat();
+  g_fault_plan = options.recovery.fault_plan;
+  auto network = std::unique_ptr<Network>(new Network(options.topology));
   Network& net = *network;
   net.process_mode_ = true;
-  net.recovery_ = std::move(recovery);
+  net.recovery_ = options.recovery;
   const Topology& topo = net.topology_;
 
   if (net.recovery_.auto_readopt) {
@@ -258,9 +267,9 @@ std::unique_ptr<Network> Network::create_process(
   SpawnedChildren spawned = spawn_children(topo, topo.root(), -1, backend_main);
   for (std::uint32_t slot = 0; slot < spawned.fds.size(); ++slot) {
     const int fd = spawned.fds[slot].get();
-    root.add_child_link(std::make_unique<FdLink>(fd));
+    root.add_child_link(std::make_unique<FdLink>(fd, &root.metrics()));
     net.reader_threads_.push_back(
-        start_fd_reader(fd, root.inbox(), Origin::kChild, slot));
+        start_fd_reader(fd, root.inbox(), Origin::kChild, slot, &root.metrics()));
   }
   for (Fd& fd : spawned.fds) net.process_child_fds_.push_back(fd.release());
   net.child_pids_ = std::move(spawned.pids);
@@ -272,6 +281,7 @@ std::unique_ptr<Network> Network::create_process(
     });
   }
   net.threads_.emplace_back([&root] { root.run(); });
+  net.start_telemetry(options.telemetry);
   return network;
 }
 
@@ -279,9 +289,13 @@ std::unique_ptr<Network> create_process_network(const Topology& topology,
                                                 BackendMain backend_main,
                                                 EdgeTransport transport,
                                                 RecoveryOptions recovery) {
-  return Network::create_process(topology, backend_main,
-                                 transport == EdgeTransport::kTcp,
-                                 std::move(recovery));
+  NetworkOptions options;
+  options.mode = NetworkMode::kProcess;
+  options.topology = topology;
+  options.recovery = std::move(recovery);
+  options.backend_main = std::move(backend_main);
+  options.tcp_edges = transport == EdgeTransport::kTcp;
+  return Network::create(std::move(options));
 }
 
 }  // namespace tbon

@@ -38,6 +38,7 @@ enum class EdgeTransport { kSocketpair, kTcp };
 /// enables the fault-tolerance subsystem (heartbeats, orphan re-adoption via
 /// a front-end rendezvous port, deterministic fault injection); the options
 /// are inherited by every forked node.
+[[deprecated("use Network::create(NetworkOptions) with mode = kProcess")]]
 std::unique_ptr<Network> create_process_network(
     const Topology& topology, BackendMain backend_main,
     EdgeTransport transport = EdgeTransport::kSocketpair,

@@ -60,6 +60,15 @@ std::uint32_t die_packet_target(const Packet& packet) {
   return static_cast<std::uint32_t>(packet.get_i64(0));
 }
 
+PacketPtr make_telemetry_packet(std::uint32_t src, Bytes records) {
+  return Packet::make(kTelemetryStream, kTagTelemetry, src, "bytes",
+                      {std::move(records)});
+}
+
+const Bytes& telemetry_packet_records(const Packet& packet) {
+  return packet.get_bytes(0);
+}
+
 PacketPtr make_peer_packet(std::uint32_t dst_rank, const Packet& inner) {
   BinaryWriter writer;
   inner.serialize(writer);

@@ -38,7 +38,15 @@ enum ControlTag : std::int32_t {
   /// payload crashes abruptly (no shutdown handshake); everyone else
   /// forwards the packet down the tree.
   kTagDie = 9,
+  /// Metrics snapshot riding the reserved telemetry stream (not stream 0):
+  /// payload "bytes" = serialize_records() of one or more NodeTelemetry
+  /// records, merged on the way up by the `metrics_merge` built-in filter.
+  kTagTelemetry = 10,
 };
+
+/// Reserved stream carrying in-band telemetry (auto-created when
+/// TelemetryOptions::enabled); far above any application stream id.
+inline constexpr std::uint32_t kTelemetryStream = 0xFFFFFFFEu;
 
 /// First tag value available to applications.
 inline constexpr std::int32_t kFirstAppTag = 100;
@@ -90,6 +98,13 @@ PacketPtr make_load_filter_packet(const std::string& library_path);
 PacketPtr make_attach_marker_packet();
 PacketPtr make_heartbeat_packet();
 PacketPtr make_die_packet(std::uint32_t target_node);
+
+/// Wrap serialized NodeTelemetry records (see src/telemetry/metrics.hpp)
+/// for the reserved telemetry stream.  `src` is the publishing node's id.
+PacketPtr make_telemetry_packet(std::uint32_t src, Bytes records);
+
+/// The serialized records carried by a telemetry packet.
+const Bytes& telemetry_packet_records(const Packet& packet);
 
 /// Node targeted by a kTagDie packet.
 std::uint32_t die_packet_target(const Packet& packet);

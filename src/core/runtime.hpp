@@ -9,6 +9,7 @@
 
 #include "common/queue.hpp"
 #include "core/packet.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tbon {
 
@@ -72,34 +73,12 @@ class InprocLink final : public Link {
 };
 
 /// Counters maintained by every node; readable live (relaxed atomics).
-struct NodeMetrics {
-  std::atomic<std::uint64_t> packets_up{0};
-  std::atomic<std::uint64_t> packets_down{0};
-  std::atomic<std::uint64_t> bytes_up{0};
-  std::atomic<std::uint64_t> bytes_down{0};
-  std::atomic<std::uint64_t> waves{0};            ///< sync batches processed
-  std::atomic<std::uint64_t> filter_ns{0};        ///< time inside transform()
-};
+/// Historically a six-field struct, now the full telemetry registry —
+/// same update discipline, many more instruments.
+using NodeMetrics = MetricsRegistry;
 
-/// Plain-value snapshot of NodeMetrics.
-struct NodeMetricsSnapshot {
-  std::uint64_t packets_up = 0;
-  std::uint64_t packets_down = 0;
-  std::uint64_t bytes_up = 0;
-  std::uint64_t bytes_down = 0;
-  std::uint64_t waves = 0;
-  std::uint64_t filter_ns = 0;
-};
-
-inline NodeMetricsSnapshot snapshot(const NodeMetrics& m) {
-  return NodeMetricsSnapshot{
-      m.packets_up.load(std::memory_order_relaxed),
-      m.packets_down.load(std::memory_order_relaxed),
-      m.bytes_up.load(std::memory_order_relaxed),
-      m.bytes_down.load(std::memory_order_relaxed),
-      m.waves.load(std::memory_order_relaxed),
-      m.filter_ns.load(std::memory_order_relaxed),
-  };
-}
+/// Plain-value snapshot of NodeMetrics (now the full telemetry record;
+/// the original six fields kept their names).
+using NodeMetricsSnapshot = NodeTelemetry;
 
 }  // namespace tbon

@@ -63,6 +63,12 @@ std::vector<SyncPolicy::Batch> WaitForAllSync::flush() {
   return batches;
 }
 
+std::size_t WaitForAllSync::buffered() const {
+  std::size_t total = 0;
+  for (const auto& queue : per_child_) total += queue.size();
+  return total;
+}
+
 void WaitForAllSync::child_added() {
   per_child_.emplace_back();
   alive_.push_back(true);

@@ -24,6 +24,7 @@ class WaitForAllSync final : public SyncPolicy {
   void on_packet(std::size_t child, PacketPtr packet) override;
   std::vector<Batch> drain_ready(std::int64_t now_ns) override;
   std::vector<Batch> flush() override;
+  std::size_t buffered() const override;
   void child_failed(std::size_t child) override;
   void child_added() override;
 
@@ -46,6 +47,7 @@ class TimeOutSync final : public SyncPolicy {
   std::vector<Batch> drain_ready(std::int64_t now_ns) override;
   std::optional<std::int64_t> next_deadline() const override;
   std::vector<Batch> flush() override;
+  std::size_t buffered() const override { return pending_.size(); }
 
  private:
   std::int64_t window_ns_;

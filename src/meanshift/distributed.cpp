@@ -27,18 +27,17 @@ DistributedParams params_from_config(const Config& config) {
   return params;
 }
 
-std::string params_to_string(const DistributedParams& params) {
-  std::ostringstream out;
-  out << "bandwidth=" << params.shift.bandwidth
-      << " kernel=" << kernel_name(params.shift.kernel)
-      << " max_iterations=" << params.shift.max_iterations
-      << " convergence_eps=" << params.shift.convergence_eps
-      << " density_threshold=" << params.shift.density_threshold
-      << " merge_radius=" << params.shift.merge_radius
-      << " keep_factor=" << params.keep_factor
-      << " max_forward=" << params.max_forward
-      << " trace=" << (params.trace ? 1 : 0);
-  return out.str();
+FilterParams to_filter_params(const DistributedParams& params) {
+  return FilterParams()
+      .set("bandwidth", params.shift.bandwidth)
+      .set("kernel", kernel_name(params.shift.kernel))
+      .set("max_iterations", static_cast<std::int64_t>(params.shift.max_iterations))
+      .set("convergence_eps", params.shift.convergence_eps)
+      .set("density_threshold", params.shift.density_threshold)
+      .set("merge_radius", params.shift.merge_radius)
+      .set("keep_factor", params.keep_factor)
+      .set("max_forward", static_cast<std::int64_t>(params.max_forward))
+      .set("trace", params.trace);
 }
 
 std::vector<DataValue> MeanShiftCodec::to_values(const LocalResult& result) {

@@ -24,6 +24,7 @@
 
 #include "common/config.hpp"
 #include "core/filter.hpp"
+#include "core/filter_params.hpp"
 #include "meanshift/meanshift.hpp"
 
 namespace tbon::ms {
@@ -38,8 +39,9 @@ struct DistributedParams {
 
 /// Parse stream params ("bandwidth=50 kernel=gaussian ...").
 DistributedParams params_from_config(const Config& config);
-/// Render as a stream-params string (inverse of params_from_config).
-std::string params_to_string(const DistributedParams& params);
+/// Render as typed stream params (inverse of params_from_config); pass the
+/// result as StreamOptions::params.
+FilterParams to_filter_params(const DistributedParams& params);
 
 /// What one node sends upward: reduced data set + peak list.
 struct LocalResult {

@@ -1,0 +1,163 @@
+#include "telemetry/collector.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace tbon {
+namespace {
+
+void accumulate(NodeTelemetry& total, const NodeTelemetry& r) {
+  total.packets_up += r.packets_up;
+  total.packets_down += r.packets_down;
+  total.bytes_up += r.bytes_up;
+  total.bytes_down += r.bytes_down;
+  total.waves += r.waves;
+  total.filter_ns += r.filter_ns;
+  total.telemetry_packets += r.telemetry_packets;
+  total.heartbeats_sent += r.heartbeats_sent;
+  total.heartbeats_received += r.heartbeats_received;
+  total.peer_messages_routed += r.peer_messages_routed;
+  total.packets_dropped += r.packets_dropped;
+  total.orphaned_events += r.orphaned_events;
+  total.adoptions += r.adoptions;
+  total.faults_injected += r.faults_injected;
+  total.wire_bytes_out += r.wire_bytes_out;
+  total.wire_bytes_in += r.wire_bytes_in;
+  total.inbox_depth += r.inbox_depth;
+  total.sync_depth += r.sync_depth;
+  total.heartbeat_rtt_ns = std::max(total.heartbeat_rtt_ns, r.heartbeat_rtt_ns);
+  for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
+    total.filter_latency_hist[b] += r.filter_latency_hist[b];
+  }
+}
+
+void json_record(std::ostringstream& out, const NodeTelemetry& r) {
+  out << "{\"node\":" << r.node << ",\"role\":" << static_cast<unsigned>(r.role)
+      << ",\"seq\":" << r.seq << ",\"packets_up\":" << r.packets_up
+      << ",\"packets_down\":" << r.packets_down << ",\"bytes_up\":" << r.bytes_up
+      << ",\"bytes_down\":" << r.bytes_down << ",\"waves\":" << r.waves
+      << ",\"filter_ns\":" << r.filter_ns
+      << ",\"telemetry_packets\":" << r.telemetry_packets
+      << ",\"heartbeats_sent\":" << r.heartbeats_sent
+      << ",\"heartbeats_received\":" << r.heartbeats_received
+      << ",\"peer_messages_routed\":" << r.peer_messages_routed
+      << ",\"packets_dropped\":" << r.packets_dropped
+      << ",\"orphaned_events\":" << r.orphaned_events
+      << ",\"adoptions\":" << r.adoptions
+      << ",\"faults_injected\":" << r.faults_injected
+      << ",\"wire_bytes_out\":" << r.wire_bytes_out
+      << ",\"wire_bytes_in\":" << r.wire_bytes_in
+      << ",\"inbox_depth\":" << r.inbox_depth
+      << ",\"sync_depth\":" << r.sync_depth
+      << ",\"heartbeat_rtt_ns\":" << r.heartbeat_rtt_ns
+      << ",\"filter_latency_hist\":[";
+  for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
+    if (b != 0) out << ',';
+    out << r.filter_latency_hist[b];
+  }
+  out << "]}";
+}
+
+void json_summary(std::ostringstream& out, const char* name, const Summary& s) {
+  out << '"' << name << "\":{\"count\":" << s.count << ",\"mean\":" << s.mean
+      << ",\"p50\":" << s.p50 << ",\"p95\":" << s.p95 << ",\"min\":" << s.min
+      << ",\"max\":" << s.max << '}';
+}
+
+}  // namespace
+
+const NodeTelemetry* TreeMetricsSnapshot::find(std::uint32_t node) const noexcept {
+  const auto it = std::lower_bound(
+      nodes.begin(), nodes.end(), node,
+      [](const NodeTelemetry& r, std::uint32_t id) { return r.node < id; });
+  if (it == nodes.end() || it->node != node) return nullptr;
+  return &*it;
+}
+
+std::string TreeMetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\"nodes_reporting\":" << nodes_reporting << ",\"total\":";
+  json_record(out, total);
+  out << ',';
+  json_summary(out, "filter_ms_per_node", filter_ms_per_node);
+  out << ',';
+  json_summary(out, "packets_up_per_node", packets_up_per_node);
+  out << ',';
+  json_summary(out, "inbox_depth_per_node", inbox_depth_per_node);
+  out << ",\"nodes\":[";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i != 0) out << ',';
+    json_record(out, nodes[i]);
+  }
+  out << "]}";
+  return out.str();
+}
+
+void TelemetryCollector::ingest(std::span<const std::byte> payload) {
+  std::vector<NodeTelemetry> records;
+  try {
+    records = deserialize_records(payload);
+  } catch (const CodecError&) {
+    std::lock_guard lock(mutex_);
+    ++malformed_;
+    return;
+  }
+  ingest_records(records);
+}
+
+void TelemetryCollector::ingest_records(std::span<const NodeTelemetry> records) {
+  const std::int64_t arrival = now_ns();
+  std::lock_guard lock(mutex_);
+  for (const NodeTelemetry& r : records) {
+    auto [it, inserted] = nodes_.try_emplace(r.node, r, arrival);
+    if (!inserted && r.seq >= it->second.first.seq) {
+      it->second = {r, arrival};
+    }
+  }
+}
+
+void TelemetryCollector::freeze() {
+  std::lock_guard lock(mutex_);
+  if (!frozen_at_) frozen_at_ = now_ns();
+}
+
+std::int64_t TelemetryCollector::effective_now() const {
+  return frozen_at_ ? *frozen_at_ : now_ns();
+}
+
+TreeMetricsSnapshot TelemetryCollector::snapshot() const {
+  TreeMetricsSnapshot snap;
+  {
+    std::lock_guard lock(mutex_);
+    const std::int64_t cutoff = effective_now() - age_out_ns_;
+    for (const auto& [node, entry] : nodes_) {
+      if (entry.second < cutoff) continue;  // stopped reporting: aged out
+      snap.nodes.push_back(entry.first);    // map order == node-id order
+    }
+  }
+  snap.nodes_reporting = snap.nodes.size();
+  std::vector<double> filter_ms, packets_up, inbox_depth;
+  filter_ms.reserve(snap.nodes.size());
+  packets_up.reserve(snap.nodes.size());
+  inbox_depth.reserve(snap.nodes.size());
+  for (const NodeTelemetry& r : snap.nodes) {
+    accumulate(snap.total, r);
+    filter_ms.push_back(static_cast<double>(r.filter_ns) / 1e6);
+    packets_up.push_back(static_cast<double>(r.packets_up));
+    inbox_depth.push_back(static_cast<double>(r.inbox_depth));
+  }
+  snap.filter_ms_per_node = summarize(filter_ms);
+  snap.packets_up_per_node = summarize(packets_up);
+  snap.inbox_depth_per_node = summarize(inbox_depth);
+  return snap;
+}
+
+std::uint64_t TelemetryCollector::malformed_payloads() const {
+  std::lock_guard lock(mutex_);
+  return malformed_;
+}
+
+}  // namespace tbon

@@ -1,0 +1,109 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace tbon {
+namespace {
+
+constexpr std::uint8_t kWireVersion = 1;
+
+void put_record(BinaryWriter& writer, const NodeTelemetry& r) {
+  writer.put(r.node);
+  writer.put(r.role);
+  writer.put(r.seq);
+  writer.put(r.packets_up);
+  writer.put(r.packets_down);
+  writer.put(r.bytes_up);
+  writer.put(r.bytes_down);
+  writer.put(r.waves);
+  writer.put(r.filter_ns);
+  writer.put(r.telemetry_packets);
+  writer.put(r.heartbeats_sent);
+  writer.put(r.heartbeats_received);
+  writer.put(r.peer_messages_routed);
+  writer.put(r.packets_dropped);
+  writer.put(r.orphaned_events);
+  writer.put(r.adoptions);
+  writer.put(r.faults_injected);
+  writer.put(r.wire_bytes_out);
+  writer.put(r.wire_bytes_in);
+  writer.put(r.inbox_depth);
+  writer.put(r.sync_depth);
+  writer.put(r.heartbeat_rtt_ns);
+  for (const std::uint64_t count : r.filter_latency_hist) writer.put(count);
+}
+
+NodeTelemetry get_record(BinaryReader& reader) {
+  NodeTelemetry r;
+  r.node = reader.get<std::uint32_t>();
+  r.role = reader.get<std::uint8_t>();
+  r.seq = reader.get<std::uint64_t>();
+  r.packets_up = reader.get<std::uint64_t>();
+  r.packets_down = reader.get<std::uint64_t>();
+  r.bytes_up = reader.get<std::uint64_t>();
+  r.bytes_down = reader.get<std::uint64_t>();
+  r.waves = reader.get<std::uint64_t>();
+  r.filter_ns = reader.get<std::uint64_t>();
+  r.telemetry_packets = reader.get<std::uint64_t>();
+  r.heartbeats_sent = reader.get<std::uint64_t>();
+  r.heartbeats_received = reader.get<std::uint64_t>();
+  r.peer_messages_routed = reader.get<std::uint64_t>();
+  r.packets_dropped = reader.get<std::uint64_t>();
+  r.orphaned_events = reader.get<std::uint64_t>();
+  r.adoptions = reader.get<std::uint64_t>();
+  r.faults_injected = reader.get<std::uint64_t>();
+  r.wire_bytes_out = reader.get<std::uint64_t>();
+  r.wire_bytes_in = reader.get<std::uint64_t>();
+  r.inbox_depth = reader.get<std::uint64_t>();
+  r.sync_depth = reader.get<std::uint64_t>();
+  r.heartbeat_rtt_ns = reader.get<std::int64_t>();
+  for (std::uint64_t& count : r.filter_latency_hist) {
+    count = reader.get<std::uint64_t>();
+  }
+  return r;
+}
+
+}  // namespace
+
+Bytes serialize_records(std::span<const NodeTelemetry> records) {
+  BinaryWriter writer;
+  writer.put(kWireVersion);
+  writer.put(static_cast<std::uint32_t>(records.size()));
+  for (const NodeTelemetry& r : records) put_record(writer, r);
+  return writer.take();
+}
+
+std::vector<NodeTelemetry> deserialize_records(std::span<const std::byte> payload) {
+  BinaryReader reader(payload);
+  const auto version = reader.get<std::uint8_t>();
+  if (version != kWireVersion) {
+    throw CodecError("unsupported telemetry wire version " + std::to_string(version));
+  }
+  const auto count = reader.get<std::uint32_t>();
+  std::vector<NodeTelemetry> records;
+  records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) records.push_back(get_record(reader));
+  return records;
+}
+
+std::vector<NodeTelemetry> merge_records(std::span<const NodeTelemetry> a,
+                                         std::span<const NodeTelemetry> b) {
+  std::map<std::uint32_t, NodeTelemetry> by_node;
+  for (const NodeTelemetry& r : a) {
+    const auto it = by_node.find(r.node);
+    if (it == by_node.end() || r.seq > it->second.seq) by_node[r.node] = r;
+  }
+  for (const NodeTelemetry& r : b) {
+    const auto it = by_node.find(r.node);
+    if (it == by_node.end() || r.seq > it->second.seq) by_node[r.node] = r;
+  }
+  std::vector<NodeTelemetry> merged;
+  merged.reserve(by_node.size());
+  for (auto& [node, record] : by_node) merged.push_back(std::move(record));
+  return merged;
+}
+
+}  // namespace tbon

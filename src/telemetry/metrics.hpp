@@ -1,0 +1,166 @@
+// Per-node metrics for the in-band telemetry subsystem.
+//
+// Every tree node owns one MetricsRegistry: a set of lock-cheap (relaxed
+// atomic) counters, gauges and one log2-bucketed latency histogram, updated
+// from the node's event loop with no locks and no allocation.  A registry is
+// snapshotted into a NodeTelemetry record — the plain-value unit that flows
+// up the reserved telemetry stream, where interior nodes combine records
+// with merge_records() (the `metrics_merge` built-in filter): the TBON
+// aggregates observability data about itself with the same machinery its
+// applications use (paper §2.2's built-in filters, dogfooded).
+//
+// merge_records() keeps, per node id, the record with the highest publish
+// sequence number.  max-by-seq is associative and commutative, so the merge
+// is insensitive to tree shape and to re-adoption moving a subtree's records
+// onto a different path to the root.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/archive.hpp"
+
+namespace tbon {
+
+/// Buckets of the filter-latency histogram: bucket b counts executions with
+/// duration in [1us << (b-1), 1us << b) (bucket 0: < 1us; last: overflow).
+inline constexpr std::size_t kLatencyBuckets = 16;
+
+/// Plain-value snapshot of one node's metrics — the record carried by
+/// telemetry packets and returned by Network::node_metrics().
+struct NodeTelemetry {
+  std::uint32_t node = 0;
+  std::uint8_t role = 0;  ///< 0 = root, 1 = internal, 2 = leaf
+  std::uint64_t seq = 0;  ///< publish sequence; merge keeps the max per node
+
+  // Counters (monotonic over the node's lifetime).
+  std::uint64_t packets_up = 0;    ///< application data packets received from children
+  std::uint64_t packets_down = 0;  ///< application data packets received from the parent
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
+  std::uint64_t waves = 0;      ///< sync batches run through the upstream filter
+  std::uint64_t filter_ns = 0;  ///< total time inside transform()
+  std::uint64_t telemetry_packets = 0;  ///< telemetry-stream packets handled
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_received = 0;
+  std::uint64_t peer_messages_routed = 0;
+  std::uint64_t packets_dropped = 0;  ///< unroutable / unknown-stream drops
+  std::uint64_t orphaned_events = 0;  ///< parent-channel losses seen
+  std::uint64_t adoptions = 0;        ///< successful re-adoptions of this node
+  std::uint64_t faults_injected = 0;  ///< injected crashes at this node
+  std::uint64_t wire_bytes_out = 0;   ///< serialized bytes written (process mode)
+  std::uint64_t wire_bytes_in = 0;    ///< serialized bytes read (process mode)
+
+  // Gauges (sampled at publish time).
+  std::uint64_t inbox_depth = 0;  ///< envelopes queued in the node's inbox
+  std::uint64_t sync_depth = 0;   ///< packets buffered across sync policies
+  std::int64_t heartbeat_rtt_ns = -1;  ///< last parent heartbeat RTT; -1 unknown
+
+  std::array<std::uint64_t, kLatencyBuckets> filter_latency_hist{};
+
+  friend bool operator==(const NodeTelemetry&, const NodeTelemetry&) = default;
+};
+
+/// Histogram bucket for a duration in nanoseconds (see kLatencyBuckets).
+inline std::size_t latency_bucket(std::uint64_t ns) noexcept {
+  const std::uint64_t us = ns >> 10;  // ~microseconds, power-of-two cheap
+  if (us == 0) return 0;
+  const auto b = static_cast<std::size_t>(std::bit_width(us));
+  return b < kLatencyBuckets ? b : kLatencyBuckets - 1;
+}
+
+/// The live, writable side: one per NodeRuntime.  All mutators are relaxed
+/// atomics — safe to bump from the runtime thread while another thread (the
+/// Network's node_metrics(), tests) reads a snapshot.
+class MetricsRegistry {
+ public:
+  using Counter = std::atomic<std::uint64_t>;
+
+  Counter packets_up{0};
+  Counter packets_down{0};
+  Counter bytes_up{0};
+  Counter bytes_down{0};
+  Counter waves{0};
+  Counter filter_ns{0};
+  Counter telemetry_packets{0};
+  Counter heartbeats_sent{0};
+  Counter heartbeats_received{0};
+  Counter peer_messages_routed{0};
+  Counter packets_dropped{0};
+  Counter orphaned_events{0};
+  Counter adoptions{0};
+  Counter faults_injected{0};
+  Counter wire_bytes_out{0};
+  Counter wire_bytes_in{0};
+
+  Counter inbox_depth{0};  ///< gauge, refreshed each telemetry tick
+  Counter sync_depth{0};   ///< gauge, refreshed each telemetry tick
+  std::atomic<std::int64_t> heartbeat_rtt_ns{-1};
+
+  /// Record one filter execution in the latency histogram.
+  void observe_filter_latency(std::uint64_t ns) noexcept {
+    hist_[latency_bucket(ns)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Snapshot into a record, advancing the publish sequence number.
+  NodeTelemetry publish(std::uint32_t node, std::uint8_t role) noexcept {
+    NodeTelemetry r = peek(node, role);
+    r.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return r;
+  }
+
+  /// Snapshot without advancing the sequence (introspection, tests).
+  NodeTelemetry peek(std::uint32_t node, std::uint8_t role) const noexcept {
+    NodeTelemetry r;
+    r.node = node;
+    r.role = role;
+    r.seq = seq_.load(std::memory_order_relaxed);
+    r.packets_up = packets_up.load(std::memory_order_relaxed);
+    r.packets_down = packets_down.load(std::memory_order_relaxed);
+    r.bytes_up = bytes_up.load(std::memory_order_relaxed);
+    r.bytes_down = bytes_down.load(std::memory_order_relaxed);
+    r.waves = waves.load(std::memory_order_relaxed);
+    r.filter_ns = filter_ns.load(std::memory_order_relaxed);
+    r.telemetry_packets = telemetry_packets.load(std::memory_order_relaxed);
+    r.heartbeats_sent = heartbeats_sent.load(std::memory_order_relaxed);
+    r.heartbeats_received = heartbeats_received.load(std::memory_order_relaxed);
+    r.peer_messages_routed = peer_messages_routed.load(std::memory_order_relaxed);
+    r.packets_dropped = packets_dropped.load(std::memory_order_relaxed);
+    r.orphaned_events = orphaned_events.load(std::memory_order_relaxed);
+    r.adoptions = adoptions.load(std::memory_order_relaxed);
+    r.faults_injected = faults_injected.load(std::memory_order_relaxed);
+    r.wire_bytes_out = wire_bytes_out.load(std::memory_order_relaxed);
+    r.wire_bytes_in = wire_bytes_in.load(std::memory_order_relaxed);
+    r.inbox_depth = inbox_depth.load(std::memory_order_relaxed);
+    r.sync_depth = sync_depth.load(std::memory_order_relaxed);
+    r.heartbeat_rtt_ns = heartbeat_rtt_ns.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
+      r.filter_latency_hist[b] = hist_[b].load(std::memory_order_relaxed);
+    }
+    return r;
+  }
+
+ private:
+  std::atomic<std::uint64_t> seq_{0};
+  std::array<Counter, kLatencyBuckets> hist_{};
+};
+
+// ---- wire form and merge ----------------------------------------------------
+
+/// Serialize records into the payload of a telemetry packet.
+Bytes serialize_records(std::span<const NodeTelemetry> records);
+
+/// Inverse of serialize_records; throws CodecError on malformed input.
+std::vector<NodeTelemetry> deserialize_records(std::span<const std::byte> payload);
+
+/// Merge record sets: per node id, the record with the highest seq wins
+/// (ties keep the left operand's).  Output is sorted by node id.  This
+/// operation is associative and commutative — see test_telemetry.cpp.
+std::vector<NodeTelemetry> merge_records(std::span<const NodeTelemetry> a,
+                                         std::span<const NodeTelemetry> b);
+
+}  // namespace tbon

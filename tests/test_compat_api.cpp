@@ -1,0 +1,97 @@
+// Compatibility pin for the deprecated 0.x entry points.  The factory
+// forwarders and the raw-string FilterParams constructor must keep working
+// verbatim until they are removed; this file is the single translation unit
+// allowed to call them — everything else builds under
+// -Werror=deprecated-declarations (see the top-level CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "core/process_network.hpp"
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace tbon {
+namespace {
+
+using namespace std::chrono_literals;
+constexpr std::int32_t kTag = kFirstAppTag;
+
+// NOTE: fork-based tests must not create threads before the network; the
+// process-mode pins below build their networks first thing.
+
+TEST(CompatApi, CreateProcessForwardsToCreate) {
+  auto net = Network::create_process(Topology::flat(3), [](BackEnd& be) {
+    be.send(1, kTag, "i64", {std::int64_t{be.rank() + 1}});
+  });
+  ASSERT_TRUE(net->is_process_mode());
+  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  const auto result = stream.recv_for(10s);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ((*result)->get_i64(0), 6);
+  net->shutdown();
+}
+
+TEST(CompatApi, CreateProcessNetworkFreeFunctionForwards) {
+  auto net = create_process_network(Topology::flat(2), [](BackEnd& be) {
+    be.send(1, kTag, "i64", {std::int64_t{7}});
+  });
+  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  const auto result = stream.recv_for(10s);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ((*result)->get_i64(0), 14);
+  net->shutdown();
+}
+
+TEST(CompatApi, CreateThreadedForwardsToCreate) {
+  auto net = Network::create_threaded(Topology::balanced(2, 2));
+  ASSERT_FALSE(net->is_process_mode());
+  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  net->run_backends([&](BackEnd& be) {
+    be.send(stream.id(), kTag, "i64", {std::int64_t{be.rank() + 1}});
+  });
+  const auto result = stream.recv_for(10s);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ((*result)->get_i64(0), 10);
+  // The forwarders never enable telemetry; that requires NetworkOptions.
+  EXPECT_THROW(net->front_end().metrics(), ProtocolError);
+  net->shutdown();
+}
+
+TEST(CompatApi, CreateThreadedAcceptsRecoveryOptions) {
+  RecoveryOptions recovery;
+  recovery.auto_readopt = true;
+  auto net = Network::create_threaded(Topology::balanced(2, 2), recovery);
+  net->kill_node(1);
+  EXPECT_TRUE(net->wait_for_adoptions(2, 20s));
+  net->shutdown();
+}
+
+TEST(CompatApi, FilterParamsParsesLegacyWireStrings) {
+  const FilterParams parsed("k=2 chain=topk,passthrough");
+  EXPECT_EQ(parsed, FilterParams().set("chain", "topk,passthrough").set("k", 2));
+  EXPECT_EQ(parsed.to_wire(), "chain=topk,passthrough k=2");
+  EXPECT_TRUE(parsed.has("k"));
+
+  // The legacy strings still work end to end through StreamOptions: a
+  // time_out window parsed from a raw string must flush partial waves.
+  auto net = Network::create({.topology = Topology::flat(3)});
+  Stream& stream = net->front_end().new_stream(
+      {.up_transform = "sum",
+       .up_sync = "time_out",
+       .params = FilterParams("window_ms=20")});
+  net->backend(0).send(stream.id(), kTag, "i64", {std::int64_t{5}});
+  net->backend(2).send(stream.id(), kTag, "i64", {std::int64_t{9}});
+  std::int64_t total = 0;
+  while (const auto result = stream.recv_for(1s)) {
+    total += (*result)->get_i64(0);
+    if (total >= 14) break;
+  }
+  EXPECT_EQ(total, 14);
+  net->shutdown();
+}
+
+}  // namespace
+}  // namespace tbon
+
+#pragma GCC diagnostic pop

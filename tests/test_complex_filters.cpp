@@ -55,7 +55,7 @@ TEST_F(ComplexFilters, EquivalenceClassesCodecRoundTrip) {
 TEST_F(ComplexFilters, EquivalenceClassEndToEnd) {
   // 16 back-ends, 3 distinct report classes by rank % 3: the front-end must
   // see exactly 3 classes with full membership.
-  auto net = Network::create_threaded(Topology::balanced(4, 2));
+  auto net = Network::create({.topology = Topology::balanced(4, 2)});
   Stream& stream = net->front_end().new_stream({.up_transform = "equivalence_class"});
   net->run_backends([&](BackEnd& be) {
     EquivalenceClasses mine;
@@ -110,7 +110,7 @@ TEST_F(ComplexFilters, HistogramEndToEndEqualsGlobal) {
     global.add(v);
   }
 
-  auto net = Network::create_threaded(Topology::balanced(2, 3));
+  auto net = Network::create({.topology = Topology::balanced(2, 3)});
   Stream& stream = net->front_end().new_stream({.up_transform = "histogram_merge"});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, HistogramCodec::kFormat,
@@ -162,7 +162,7 @@ TEST_F(ComplexFilters, TimeAlignedEmitsCompleteBucketsOnly) {
 TEST_F(ComplexFilters, TimeAlignedEndToEnd) {
   // 4 leaves each send buckets 0..2 interleaved; front-end must see exactly
   // 3 aligned buckets, each summing all four children.
-  auto net = Network::create_threaded(Topology::balanced(2, 2));
+  auto net = Network::create({.topology = Topology::balanced(2, 2)});
   Stream& stream = net->front_end().new_stream(
       {.up_transform = "time_aligned", .up_sync = "null"});
   net->run_backends([&](BackEnd& be) {
@@ -251,7 +251,7 @@ TEST_F(ComplexFilters, SgfaEndToEnd) {
   // rank-specific path; the composite must fold the shared structure and
   // attribute hosts correctly (paper §2.2's SGFA behaviour).
   constexpr std::size_t kLeaves = 9;
-  auto net = Network::create_threaded(Topology::balanced(3, 2));
+  auto net = Network::create({.topology = Topology::balanced(3, 2)});
   Stream& stream = net->front_end().new_stream({.up_transform = "sgfa"});
   net->run_backends([&](BackEnd& be) {
     CallTree tree;
@@ -302,9 +302,9 @@ TEST_F(ComplexFilters, TopKKeepsLargest) {
 }
 
 TEST_F(ComplexFilters, TopKEndToEndMatchesGlobalSort) {
-  auto net = Network::create_threaded(Topology::balanced(4, 2));  // 16 leaves
+  auto net = Network::create({.topology = Topology::balanced(4, 2)});  // 16 leaves
   Stream& stream = net->front_end().new_stream(
-      {.up_transform = "topk", .params = "k=5"});
+      {.up_transform = "topk", .params = FilterParams().set("k", 5)});
   net->run_backends([&](BackEnd& be) {
     // score(rank, i) = rank * 10 + i for i in 0..9; global top-5 = 159..155.
     std::vector<double> scores;
@@ -340,10 +340,10 @@ TEST_F(ComplexFilters, ClockSkewEndToEnd) {
   // Full protocol over a 2-deep tree with injected virtual skews: recovered
   // offsets must match the injected values within the path-latency bound.
   constexpr std::uint64_t kSeed = 42;
-  auto net = Network::create_threaded(Topology::balanced(3, 2));
+  auto net = Network::create({.topology = Topology::balanced(3, 2)});
   Stream& stream = net->front_end().new_stream({.up_transform = "clock_skew",
                                                 .down_transform = "clock_probe",
-                                                .params = "skew_seed=42"});
+                                                .params = FilterParams().set("skew_seed", 42)});
   // PROBE carries the front-end's virtual clock (the root node applies
   // clock_probe too, appending its own stamp; the FE stamp is field 0).
   stream.send(kTag, "vf64",
@@ -377,11 +377,12 @@ TEST_F(ComplexFilters, ClockSkewEndToEnd) {
 // ---- super filter ------------------------------------------------------------------
 
 TEST_F(ComplexFilters, SuperFilterChains) {
-  auto net = Network::create_threaded(Topology::balanced(2, 2));
+  auto net = Network::create({.topology = Topology::balanced(2, 2)});
   // Chain: topk(k=2) then passthrough — chaining is observable because the
   // result is the top-2 at every level.
   Stream& stream = net->front_end().new_stream(
-      {.up_transform = "super", .params = "chain=topk,passthrough k=2"});
+      {.up_transform = "super",
+       .params = FilterParams().set("chain", "topk,passthrough").set("k", 2)});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, TopKFilter::kFormat,
             {std::vector<double>{static_cast<double>(be.rank()),

@@ -58,7 +58,7 @@ TEST(DistributedParamsTest, ConfigRoundTrip) {
   params.trace = true;
 
   Config config;
-  const std::string text = params_to_string(params);
+  const std::string text = to_filter_params(params).to_wire();
   std::size_t pos = 0;
   while (pos < text.size()) {
     auto end = text.find(' ', pos);
@@ -162,9 +162,9 @@ TEST_P(DistributedEquivalence, PeaksMatchSingleNode) {
   const auto reference = cluster_single_node(union_data, params.shift);
 
   // Distributed run through the real network.
-  auto net = Network::create_threaded(topology);
+  auto net = Network::create({.topology = topology});
   Stream& stream = net->front_end().new_stream(
-      {.up_transform = "mean_shift", .params = params_to_string(params)});
+      {.up_transform = "mean_shift", .params = to_filter_params(params)});
   net->run_backends([&](BackEnd& be) {
     const auto data = generate_leaf_data(be.rank(), synth);
     const LocalResult local = leaf_compute(data, params);
@@ -202,14 +202,16 @@ TEST(DistributedMeanShiftProcess, WorksAcrossRealProcesses) {
   const SynthParams synth = small_synth();
   const DistributedParams params = default_params();
 
-  auto net = tbon::Network::create_process(
-      Topology::balanced(2, 2), [synth, params](tbon::BackEnd& be) {
-        const auto data = generate_leaf_data(be.rank(), synth);
-        const LocalResult local = leaf_compute(data, params);
-        be.send(1, kTag, MeanShiftCodec::kFormat, MeanShiftCodec::to_values(local));
-      });
+  auto net = tbon::Network::create(
+      {.mode = tbon::NetworkMode::kProcess,
+       .topology = Topology::balanced(2, 2),
+       .backend_main = [synth, params](tbon::BackEnd& be) {
+         const auto data = generate_leaf_data(be.rank(), synth);
+         const LocalResult local = leaf_compute(data, params);
+         be.send(1, kTag, MeanShiftCodec::kFormat, MeanShiftCodec::to_values(local));
+       }});
   tbon::Stream& stream = net->front_end().new_stream(
-      {.up_transform = "mean_shift", .params = params_to_string(params)});
+      {.up_transform = "mean_shift", .params = to_filter_params(params)});
   const auto result = stream.recv_for(60s);
   ASSERT_TRUE(result.has_value());
   const LocalResult merged = MeanShiftCodec::from_values(**result);

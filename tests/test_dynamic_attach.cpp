@@ -12,7 +12,7 @@ using namespace std::chrono_literals;
 constexpr std::int32_t kTag = kFirstAppTag;
 
 TEST(DynamicAttach, NewBackendJoinsExistingStream) {
-  auto net = Network::create_threaded(Topology::flat(2));
+  auto net = Network::create({.topology = Topology::flat(2)});
   Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
 
   BackEnd& late = net->attach_backend(net->topology().root());
@@ -31,7 +31,7 @@ TEST(DynamicAttach, NewBackendJoinsExistingStream) {
 }
 
 TEST(DynamicAttach, StreamsCreatedAfterAttachIncludeNewcomer) {
-  auto net = Network::create_threaded(Topology::flat(2));
+  auto net = Network::create({.topology = Topology::flat(2)});
   BackEnd& late = net->attach_backend(net->topology().root());
 
   Stream& stream = net->front_end().new_stream({.up_transform = "count"});
@@ -45,7 +45,7 @@ TEST(DynamicAttach, StreamsCreatedAfterAttachIncludeNewcomer) {
 }
 
 TEST(DynamicAttach, BroadcastReachesNewcomer) {
-  auto net = Network::create_threaded(Topology::flat(2));
+  auto net = Network::create({.topology = Topology::flat(2)});
   BackEnd& late = net->attach_backend(net->topology().root());
   Stream& stream = net->front_end().new_stream({});
   // Give the attach a moment to be wired before the downstream multicast.
@@ -59,7 +59,7 @@ TEST(DynamicAttach, BroadcastReachesNewcomer) {
 }
 
 TEST(DynamicAttach, AttachUnderInternalNode) {
-  auto net = Network::create_threaded(Topology::balanced(2, 2));  // nodes 1,2 internal
+  auto net = Network::create({.topology = Topology::balanced(2, 2)});  // nodes 1,2 internal
   BackEnd& late = net->attach_backend(1);
   Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
   net->run_backends([&](BackEnd& be) {
@@ -73,7 +73,7 @@ TEST(DynamicAttach, AttachUnderInternalNode) {
 }
 
 TEST(DynamicAttach, PeerRoutingReachesNewcomer) {
-  auto net = Network::create_threaded(Topology::balanced(2, 2));
+  auto net = Network::create({.topology = Topology::balanced(2, 2)});
   BackEnd& late = net->attach_backend(2);  // under the second internal node
   net->backend(0).send_to(late.rank(), kTag, "str", {std::string("welcome")});
   const auto message = late.recv_peer_for(5s);
@@ -90,7 +90,7 @@ TEST(DynamicAttach, PeerRoutingReachesNewcomer) {
 }
 
 TEST(DynamicAttach, MultipleAttachesGetDistinctRanks) {
-  auto net = Network::create_threaded(Topology::flat(2));
+  auto net = Network::create({.topology = Topology::flat(2)});
   BackEnd& a = net->attach_backend(0);
   BackEnd& b = net->attach_backend(0);
   BackEnd& c = net->attach_backend(0);
@@ -111,7 +111,7 @@ TEST(DynamicAttach, MultipleAttachesGetDistinctRanks) {
 }
 
 TEST(DynamicAttach, ExplicitEndpointStreamsExcludeNewcomer) {
-  auto net = Network::create_threaded(Topology::flat(2));
+  auto net = Network::create({.topology = Topology::flat(2)});
   Stream& subset = net->front_end().new_stream(
       {.endpoints = {0, 1}, .up_transform = "sum"});
   BackEnd& late = net->attach_backend(net->topology().root());
@@ -126,7 +126,7 @@ TEST(DynamicAttach, ExplicitEndpointStreamsExcludeNewcomer) {
 }
 
 TEST(DynamicAttach, RejectsBadParents) {
-  auto net = Network::create_threaded(Topology::flat(2));
+  auto net = Network::create({.topology = Topology::flat(2)});
   EXPECT_THROW(net->attach_backend(1), ProtocolError);   // a leaf
   EXPECT_THROW(net->attach_backend(99), ProtocolError);  // out of range
   net->shutdown();
@@ -137,7 +137,7 @@ TEST(DynamicAttach, RecoveryPattern) {
   // time (perhaps as a response to failures, recoveries, or load
   // balancing)"): kill an internal node, then attach a replacement back-end
   // to the root and keep computing with the survivors.
-  auto net = Network::create_threaded(Topology::balanced(2, 2));
+  auto net = Network::create({.topology = Topology::balanced(2, 2)});
   Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
 
   net->kill_node(1);  // orphans ranks 0 and 1
@@ -154,7 +154,7 @@ TEST(DynamicAttach, RecoveryPattern) {
 }
 
 TEST(DynamicAttach, ShutdownWaitsForNewcomers) {
-  auto net = Network::create_threaded(Topology::flat(2));
+  auto net = Network::create({.topology = Topology::flat(2)});
   for (int i = 0; i < 3; ++i) net->attach_backend(net->topology().root());
   net->shutdown();  // must not hang or double-count acks
 }

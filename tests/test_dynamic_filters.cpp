@@ -40,7 +40,7 @@ TEST(DynamicFilters, LoadLibraryWithoutEntryPointThrows) {
 }
 
 TEST(DynamicFilters, LoadedFilterRunsInANetwork) {
-  auto net = Network::create_threaded(Topology::balanced(2, 2));
+  auto net = Network::create({.topology = Topology::balanced(2, 2)});
   // Deliver the library to every communication process through the control
   // protocol, exactly as a tool would at runtime.
   net->front_end().load_filter_library(TBON_SAMPLE_FILTER_LIB);
@@ -60,7 +60,7 @@ TEST(DynamicFilters, LoadedFilterRunsInANetwork) {
 }
 
 TEST(DynamicFilters, LoadedSyncPolicyRuns) {
-  auto net = Network::create_threaded(Topology::flat(4));
+  auto net = Network::create({.topology = Topology::flat(4)});
   net->front_end().load_filter_library(TBON_SAMPLE_FILTER_LIB);
   Stream& stream = net->front_end().new_stream(
       {.up_transform = "count", .up_sync = "pairs"});

@@ -137,7 +137,7 @@ TEST(KMeansDistributed, MatchesSingleNodeOverTree) {
     }
   }
 
-  auto net = Network::create_threaded(Topology::balanced(2, 3));
+  auto net = Network::create({.topology = Topology::balanced(2, 3)});
   const KMeansResult distributed =
       kmeans_distributed(*net, kDim, params, leaf_coords);
   net->shutdown();

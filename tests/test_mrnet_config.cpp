@@ -75,7 +75,7 @@ TEST(MrnetConfig, DrivesARealNetwork) {
     mid:0 => worker:0 worker:1 worker:2 ;
     mid:1 => worker:3 worker:4 ;
   )");
-  auto net = Network::create_threaded(t);
+  auto net = Network::create({.topology = t});
   Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kFirstAppTag, "i64", {std::int64_t{1}});

@@ -17,11 +17,12 @@ using namespace std::chrono_literals;
 constexpr std::int32_t kTag = kFirstAppTag;
 
 TEST(Network, RejectsDegenerateTopologies) {
-  EXPECT_THROW(Network::create_threaded(Topology::single()), TopologyError);
+  EXPECT_THROW(Network::create({.topology = Topology::single()}), TopologyError);
+  EXPECT_THROW(Network::create({}), TopologyError);  // default topology is single()
 }
 
 TEST(Network, SumReductionBalancedTree) {
-  auto net = Network::create_threaded(Topology::balanced(4, 2));  // 16 leaves
+  auto net = Network::create({.topology = Topology::balanced(4, 2)});  // 16 leaves
   Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
 
   net->run_backends([&](BackEnd& be) {
@@ -35,7 +36,7 @@ TEST(Network, SumReductionBalancedTree) {
 }
 
 TEST(Network, BroadcastReachesAllBackends) {
-  auto net = Network::create_threaded(Topology::balanced(3, 2));  // 9 leaves
+  auto net = Network::create({.topology = Topology::balanced(3, 2)});  // 9 leaves
   Stream& stream = net->front_end().new_stream({});
   stream.send(kTag, "str i64", {std::string("go"), std::int64_t{42}});
 
@@ -53,7 +54,7 @@ TEST(Network, BroadcastReachesAllBackends) {
 }
 
 TEST(Network, ConcatGathersInRankOrder) {
-  auto net = Network::create_threaded(Topology::balanced(2, 3));  // 8 leaves
+  auto net = Network::create({.topology = Topology::balanced(2, 3)});  // 8 leaves
   Stream& stream = net->front_end().new_stream({.up_transform = "concat"});
 
   net->run_backends([&](BackEnd& be) {
@@ -70,7 +71,7 @@ TEST(Network, ConcatGathersInRankOrder) {
 }
 
 TEST(Network, FlatTopologyWorks) {
-  auto net = Network::create_threaded(Topology::flat(32));
+  auto net = Network::create({.topology = Topology::flat(32)});
   Stream& stream = net->front_end().new_stream({.up_transform = "max"});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "f64", {static_cast<double>(be.rank())});
@@ -82,7 +83,7 @@ TEST(Network, FlatTopologyWorks) {
 }
 
 TEST(Network, MultipleWavesStayOrdered) {
-  auto net = Network::create_threaded(Topology::balanced(2, 2));  // 4 leaves
+  auto net = Network::create({.topology = Topology::balanced(2, 2)});  // 4 leaves
   Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
 
   constexpr int kWaves = 20;
@@ -103,7 +104,7 @@ TEST(Network, MultipleWavesStayOrdered) {
 TEST(Network, ConcurrentOverlappingStreams) {
   // "MRNet supports data communication across multiple, concurrent data
   // streams that may overlap in end-point membership."
-  auto net = Network::create_threaded(Topology::balanced(4, 2));  // 16 leaves
+  auto net = Network::create({.topology = Topology::balanced(4, 2)});  // 16 leaves
   Stream& sums = net->front_end().new_stream({.up_transform = "sum"});
   Stream& maxima = net->front_end().new_stream({.up_transform = "max"});
 
@@ -125,7 +126,7 @@ TEST(Network, ConcurrentOverlappingStreams) {
 
 TEST(Network, SubsetEndpointsOnlyInvolveMembers) {
   // Streams over endpoint subsets select sub-trees (paper §2.2).
-  auto net = Network::create_threaded(Topology::balanced(4, 2));  // 16 leaves
+  auto net = Network::create({.topology = Topology::balanced(4, 2)});  // 16 leaves
   Stream& subset = net->front_end().new_stream(
       {.endpoints = {0, 1, 2, 3}, .up_transform = "sum"});  // one subtree only
   subset.send(kTag, "str", {std::string("begin")});
@@ -139,7 +140,7 @@ TEST(Network, SubsetEndpointsOnlyInvolveMembers) {
       be.send(subset.id(), kTag, "i64", {std::int64_t{10}});
     } else {
       // Non-members must receive nothing.
-      EXPECT_EQ(be.recv_for(200ms), std::nullopt);
+      EXPECT_EQ(be.recv_for(200ms).status(), RecvStatus::kTimeout);
     }
   });
 
@@ -153,7 +154,7 @@ TEST(Network, SubsetEndpointsOnlyInvolveMembers) {
 TEST(Network, DownstreamFilterRuns) {
   // Downstream transformation: our extension beyond upstream-only MRNet
   // streams (the paper's future-work direction of bidirectional filtering).
-  auto net = Network::create_threaded(Topology::balanced(2, 2));
+  auto net = Network::create({.topology = Topology::balanced(2, 2)});
   Stream& stream = net->front_end().new_stream({.down_transform = "passthrough"});
   stream.send(kTag, "i64", {std::int64_t{5}});
   std::atomic<int> got{0};
@@ -188,7 +189,7 @@ TEST(Network, CustomFilterViaRegistry) {
     });
   }
 
-  auto net = Network::create_threaded(Topology::balanced(2, 2));
+  auto net = Network::create({.topology = Topology::balanced(2, 2)});
   Stream& stream = net->front_end().new_stream({.up_transform = "test_double_sum"});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "i64", {std::int64_t{1}});
@@ -202,7 +203,7 @@ TEST(Network, CustomFilterViaRegistry) {
 }
 
 TEST(Network, UnknownFilterFailsFast) {
-  auto net = Network::create_threaded(Topology::flat(2));
+  auto net = Network::create({.topology = Topology::flat(2)});
   EXPECT_THROW(net->front_end().new_stream({.up_transform = "missing"}), FilterError);
   EXPECT_THROW(net->front_end().new_stream({.up_sync = "missing"}), FilterError);
   EXPECT_THROW(net->front_end().new_stream({.endpoints = {99}}), ProtocolError);
@@ -210,30 +211,32 @@ TEST(Network, UnknownFilterFailsFast) {
 }
 
 TEST(Network, BadTagRejected) {
-  auto net = Network::create_threaded(Topology::flat(2));
+  auto net = Network::create({.topology = Topology::flat(2)});
   Stream& stream = net->front_end().new_stream({});
   EXPECT_THROW(stream.send(1, "", {}), ProtocolError);  // control-range tag
   net->shutdown();
 }
 
 TEST(Network, ShutdownIsIdempotentAndUnblocksRecv) {
-  auto net = Network::create_threaded(Topology::balanced(2, 2));
+  auto net = Network::create({.topology = Topology::balanced(2, 2)});
   Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
   net->shutdown();
   net->shutdown();  // second call is a no-op
-  EXPECT_EQ(stream.recv_for(100ms), std::nullopt);
+  EXPECT_EQ(stream.recv_for(100ms).status(), RecvStatus::kShutdown);
 }
 
 TEST(Network, DestructorShutsDownCleanly) {
-  auto net = Network::create_threaded(Topology::balanced(3, 2));
+  auto net = Network::create({.topology = Topology::balanced(3, 2)});
   net->front_end().new_stream({.up_transform = "sum"});
   // No explicit shutdown: the destructor must not hang or crash.
 }
 
 TEST(Network, TimeoutSyncDeliversWithoutAllChildren) {
-  auto net = Network::create_threaded(Topology::flat(4));
+  auto net = Network::create({.topology = Topology::flat(4)});
   Stream& stream = net->front_end().new_stream(
-      {.up_transform = "sum", .up_sync = "time_out", .params = "window_ms=30"});
+      {.up_transform = "sum",
+       .up_sync = "time_out",
+       .params = FilterParams().set("window_ms", 30)});
   // Only half the back-ends report.
   net->backend(0).send(stream.id(), kTag, "i64", {std::int64_t{5}});
   net->backend(1).send(stream.id(), kTag, "i64", {std::int64_t{6}});
@@ -244,7 +247,7 @@ TEST(Network, TimeoutSyncDeliversWithoutAllChildren) {
 }
 
 TEST(Network, NullSyncDeliversPerPacket) {
-  auto net = Network::create_threaded(Topology::flat(3));
+  auto net = Network::create({.topology = Topology::flat(3)});
   Stream& stream = net->front_end().new_stream({.up_sync = "null"});
   net->backend(2).send(stream.id(), kTag, "i64", {std::int64_t{7}});
   const auto result = stream.recv_for(5s);
@@ -255,7 +258,7 @@ TEST(Network, NullSyncDeliversPerPacket) {
 }
 
 TEST(Network, BackendFailureDegradesWaitForAll) {
-  auto net = Network::create_threaded(Topology::flat(4));
+  auto net = Network::create({.topology = Topology::flat(4)});
   Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
 
   // Kill back-end rank 3 before anyone sends.
@@ -271,7 +274,7 @@ TEST(Network, BackendFailureDegradesWaitForAll) {
 }
 
 TEST(Network, InternalNodeFailureOrphansSubtree) {
-  auto net = Network::create_threaded(Topology::balanced(2, 2));  // nodes 1,2 internal
+  auto net = Network::create({.topology = Topology::balanced(2, 2)});  // nodes 1,2 internal
   Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
 
   net->kill_node(1);  // first internal node: leaves 0,1 orphaned
@@ -285,13 +288,13 @@ TEST(Network, InternalNodeFailureOrphansSubtree) {
 }
 
 TEST(Network, KillRootRejected) {
-  auto net = Network::create_threaded(Topology::flat(2));
+  auto net = Network::create({.topology = Topology::flat(2)});
   EXPECT_THROW(net->kill_node(0), ProtocolError);
   net->shutdown();
 }
 
 TEST(Network, MetricsCountTraffic) {
-  auto net = Network::create_threaded(Topology::balanced(2, 2));
+  auto net = Network::create({.topology = Topology::balanced(2, 2)});
   Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "vf64", {std::vector<double>(8, 1.0)});
@@ -310,7 +313,7 @@ TEST(Network, MetricsCountTraffic) {
 }
 
 TEST(Network, DeleteStreamFlushesAndStops) {
-  auto net = Network::create_threaded(Topology::flat(2));
+  auto net = Network::create({.topology = Topology::flat(2)});
   Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
   net->backend(0).send(stream.id(), kTag, "i64", {std::int64_t{1}});
   // Partial wave is buffered in wait_for_all; delete flushes it upward.
@@ -327,7 +330,7 @@ class NetworkReduction : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(NetworkReduction, SumMatchesClosedForm) {
   const Topology topology = Topology::parse(GetParam());
-  auto net = Network::create_threaded(topology);
+  auto net = Network::create({.topology = topology});
   Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "i64", {std::int64_t{be.rank()}});

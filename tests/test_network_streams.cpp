@@ -19,7 +19,7 @@ TEST(StreamSemantics, WavgIsExactOnUnevenTrees) {
   const Topology topology = Topology::from_parents(parents);
   ASSERT_EQ(topology.num_leaves(), 4u);
 
-  auto net = Network::create_threaded(topology);
+  auto net = Network::create({.topology = topology});
   Stream& stream = net->front_end().new_stream({.up_transform = "wavg"});
   // Values 10, 20, 30 (subtree A), 100 (subtree B): exact mean = 40.
   const double values[] = {10, 20, 30, 100};
@@ -41,7 +41,7 @@ TEST(StreamSemantics, AvgIsApproximateOnUnevenTrees) {
   // subtree is over-weighted.  This pins the (intentional) MRNet behaviour.
   const NodeId parents[] = {kNoNode, 0, 0, 1, 1, 1, 2};
   const Topology topology = Topology::from_parents(parents);
-  auto net = Network::create_threaded(topology);
+  auto net = Network::create({.topology = topology});
   Stream& stream = net->front_end().new_stream({.up_transform = "avg"});
   const double values[] = {10, 20, 30, 100};
   net->run_backends([&](BackEnd& be) {
@@ -55,7 +55,7 @@ TEST(StreamSemantics, AvgIsApproximateOnUnevenTrees) {
 }
 
 TEST(StreamSemantics, CountComposesThroughDeepTrees) {
-  auto net = Network::create_threaded(Topology::balanced(3, 3));  // 27 leaves
+  auto net = Network::create({.topology = Topology::balanced(3, 3)});  // 27 leaves
   Stream& stream = net->front_end().new_stream({.up_transform = "count"});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "str", {std::string("present")});
@@ -69,7 +69,7 @@ TEST(StreamSemantics, CountComposesThroughDeepTrees) {
 TEST(StreamSemantics, PerStreamSyncSelection) {
   // Two streams over the same tree with different sync policies: null must
   // deliver per-packet while wait_for_all delivers one aggregate.
-  auto net = Network::create_threaded(Topology::flat(3));
+  auto net = Network::create({.topology = Topology::flat(3)});
   Stream& eager = net->front_end().new_stream({.up_sync = "null"});
   Stream& aligned = net->front_end().new_stream({.up_transform = "sum"});
   net->run_backends([&](BackEnd& be) {
@@ -111,7 +111,7 @@ TEST(StreamSemantics, MultiOutputFilterFansOutUpstream) {
     });
   }
 
-  auto net = Network::create_threaded(Topology::flat(2));
+  auto net = Network::create({.topology = Topology::flat(2)});
   Stream& stream = net->front_end().new_stream({.up_transform = kName});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "i64", {std::int64_t{be.rank() + 1}});
@@ -128,9 +128,11 @@ TEST(StreamSemantics, MultiOutputFilterFansOutUpstream) {
 }
 
 TEST(StreamSemantics, TimeoutSyncOnDeepTree) {
-  auto net = Network::create_threaded(Topology::balanced(2, 2));
+  auto net = Network::create({.topology = Topology::balanced(2, 2)});
   Stream& stream = net->front_end().new_stream(
-      {.up_transform = "sum", .up_sync = "time_out", .params = "window_ms=20"});
+      {.up_transform = "sum",
+       .up_sync = "time_out",
+       .params = FilterParams().set("window_ms", 20)});
   // Only one leaf per subtree reports; time_out flushes partial windows at
   // every level, so the front-end still gets a total.
   net->backend(0).send(stream.id(), kTag, "i64", {std::int64_t{5}});
@@ -145,7 +147,7 @@ TEST(StreamSemantics, TimeoutSyncOnDeepTree) {
 }
 
 TEST(StreamSemantics, MetricsAggregateAcrossLevels) {
-  auto net = Network::create_threaded(Topology::balanced(2, 2));
+  auto net = Network::create({.topology = Topology::balanced(2, 2)});
   Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
   constexpr int kWaves = 5;
   net->run_backends([&](BackEnd& be) {
@@ -170,7 +172,7 @@ TEST(StreamSemantics, MetricsAggregateAcrossLevels) {
 
 TEST(StreamSemantics, DownstreamOnlyStreamNeverSurfacesUpstream) {
   // A stream used purely for control distribution: back-ends never reply.
-  auto net = Network::create_threaded(Topology::balanced(2, 2));
+  auto net = Network::create({.topology = Topology::balanced(2, 2)});
   Stream& control = net->front_end().new_stream({});
   control.send(kTag, "str i64", {std::string("config"), std::int64_t{9}});
   std::atomic<int> got{0};
@@ -179,7 +181,7 @@ TEST(StreamSemantics, DownstreamOnlyStreamNeverSurfacesUpstream) {
     if (packet && (*packet)->get_i64(1) == 9) got.fetch_add(1);
   });
   EXPECT_EQ(got.load(), 4);
-  EXPECT_EQ(control.try_recv(), std::nullopt);
+  EXPECT_EQ(control.try_recv().status(), RecvStatus::kTimeout);
   net->shutdown();
 }
 

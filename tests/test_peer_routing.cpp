@@ -15,7 +15,7 @@ using namespace std::chrono_literals;
 constexpr std::int32_t kTag = kFirstAppTag;
 
 TEST(PeerRouting, SiblingDelivery) {
-  auto net = Network::create_threaded(Topology::flat(4));
+  auto net = Network::create({.topology = Topology::flat(4)});
   net->backend(0).send_to(3, kTag, "str i64", {std::string("hi"), std::int64_t{7}});
   const auto message = net->backend(3).recv_peer_for(5s);
   ASSERT_TRUE(message.has_value());
@@ -29,7 +29,7 @@ TEST(PeerRouting, SiblingDelivery) {
 TEST(PeerRouting, CrossSubtreeGoesThroughRoot) {
   // Ranks 0 and 15 live in different subtrees of a 4x2 tree: the message
   // must climb to the root and descend the other side.
-  auto net = Network::create_threaded(Topology::balanced(4, 2));
+  auto net = Network::create({.topology = Topology::balanced(4, 2)});
   net->backend(0).send_to(15, kTag, "vi64", {std::vector<std::int64_t>{1, 2, 3}});
   const auto message = net->backend(15).recv_peer_for(5s);
   ASSERT_TRUE(message.has_value());
@@ -44,7 +44,7 @@ TEST(PeerRouting, SameSubtreeStaysBelowRoot) {
   // matter, but we check directly: send many sibling messages and verify the
   // root's control traffic cannot have carried them by routing a message
   // after the root's sibling subtree is dead.
-  auto net = Network::create_threaded(Topology::balanced(2, 2));
+  auto net = Network::create({.topology = Topology::balanced(2, 2)});
   net->kill_node(2);  // the other internal node (subtree of ranks 2,3)
   net->backend(0).send_to(1, kTag, "str", {std::string("local")});
   const auto message = net->backend(1).recv_peer_for(5s);
@@ -54,7 +54,7 @@ TEST(PeerRouting, SameSubtreeStaysBelowRoot) {
 }
 
 TEST(PeerRouting, SelfSendBouncesOffParent) {
-  auto net = Network::create_threaded(Topology::flat(2));
+  auto net = Network::create({.topology = Topology::flat(2)});
   net->backend(1).send_to(1, kTag, "i64", {std::int64_t{42}});
   const auto message = net->backend(1).recv_peer_for(5s);
   ASSERT_TRUE(message.has_value());
@@ -64,7 +64,7 @@ TEST(PeerRouting, SelfSendBouncesOffParent) {
 }
 
 TEST(PeerRouting, UnknownDestinationIsDroppedSilently) {
-  auto net = Network::create_threaded(Topology::flat(2));
+  auto net = Network::create({.topology = Topology::flat(2)});
   net->backend(0).send_to(99, kTag, "str", {std::string("void")});
   // Nothing to assert except that the network stays healthy.
   net->backend(0).send(net->front_end().new_stream({.up_transform = "sum"}).id(),
@@ -76,7 +76,7 @@ TEST(PeerRouting, ManyToOneAggregatorPattern) {
   // A common pattern: one back-end acts as coordinator and receives from
   // every other back-end via tree routing.
   constexpr std::size_t kPeers = 8;
-  auto net = Network::create_threaded(Topology::balanced(2, 3));
+  auto net = Network::create({.topology = Topology::balanced(2, 3)});
   std::atomic<std::int64_t> total{0};
   net->run_backends([&](BackEnd& be) {
     if (be.rank() == 0) {
@@ -95,16 +95,19 @@ TEST(PeerRouting, ManyToOneAggregatorPattern) {
 
 TEST(PeerRouting, WorksAcrossProcesses) {
   // Peer messages survive real serialization in the multi-process network.
-  auto net = Network::create_process(Topology::balanced(2, 2), [](BackEnd& be) {
-    if (be.rank() == 0) {
-      be.send_to(3, kFirstAppTag, "str", {std::string("cross-process")});
-    } else if (be.rank() == 3) {
-      const auto message = be.recv_peer_for(10s);
-      // Report the outcome upstream so the test can observe it.
-      be.send(1, kFirstAppTag, "i64",
-              {std::int64_t{message && (*message)->get_str(0) == "cross-process"}});
-    }
-  });
+  auto net = Network::create(
+      {.mode = NetworkMode::kProcess,
+       .topology = Topology::balanced(2, 2),
+       .backend_main = [](BackEnd& be) {
+         if (be.rank() == 0) {
+           be.send_to(3, kFirstAppTag, "str", {std::string("cross-process")});
+         } else if (be.rank() == 3) {
+           const auto message = be.recv_peer_for(10s);
+           // Report the outcome upstream so the test can observe it.
+           be.send(1, kFirstAppTag, "i64",
+                   {std::int64_t{message && (*message)->get_str(0) == "cross-process"}});
+         }
+       }});
   Stream& stream = net->front_end().new_stream({.endpoints = {3}, .up_sync = "null"});
   const auto verdict = stream.recv_for(10s);
   ASSERT_TRUE(verdict.has_value());

@@ -15,8 +15,17 @@ namespace {
 using namespace std::chrono_literals;
 constexpr std::int32_t kTag = kFirstAppTag;
 
+std::unique_ptr<Network> process_net(Topology topology,
+                                     std::function<void(BackEnd&)> backend_main,
+                                     bool tcp_edges = false) {
+  return Network::create({.mode = NetworkMode::kProcess,
+                          .topology = std::move(topology),
+                          .backend_main = std::move(backend_main),
+                          .tcp_edges = tcp_edges});
+}
+
 TEST(ProcessNetwork, SumReductionFlat) {
-  auto net = create_process_network(Topology::flat(4), [](BackEnd& be) {
+  auto net = process_net(Topology::flat(4), [](BackEnd& be) {
     be.send(1, kTag, "i64", {std::int64_t{be.rank() + 1}});
   });
   Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
@@ -28,7 +37,7 @@ TEST(ProcessNetwork, SumReductionFlat) {
 }
 
 TEST(ProcessNetwork, SumReductionDeepTree) {
-  auto net = create_process_network(Topology::balanced(3, 2), [](BackEnd& be) {
+  auto net = process_net(Topology::balanced(3, 2), [](BackEnd& be) {
     be.send(1, kTag, "i64", {std::int64_t{be.rank()}});
   });
   EXPECT_TRUE(net->is_process_mode());
@@ -41,7 +50,7 @@ TEST(ProcessNetwork, SumReductionDeepTree) {
 
 TEST(ProcessNetwork, BroadcastAndEcho) {
   // Downstream multicast then per-backend upstream echo, no aggregation.
-  auto net = create_process_network(Topology::balanced(2, 2), [](BackEnd& be) {
+  auto net = process_net(Topology::balanced(2, 2), [](BackEnd& be) {
     const auto packet = be.recv_for(10s);
     if (!packet) return;
     be.send(1, kTag, "str i64",
@@ -63,7 +72,7 @@ TEST(ProcessNetwork, BroadcastAndEcho) {
 TEST(ProcessNetwork, ComplexFilterAcrossProcesses) {
   // Equivalence classes must survive real serialization across processes.
   filters::register_all(FilterRegistry::instance());
-  auto net = create_process_network(Topology::balanced(2, 2), [](BackEnd& be) {
+  auto net = process_net(Topology::balanced(2, 2), [](BackEnd& be) {
     EquivalenceClasses mine;
     mine.add(be.rank() % 2 == 0 ? "even" : "odd", be.rank());
     be.send(1, kTag, EquivalenceClasses::kFormat, mine.to_values());
@@ -79,7 +88,7 @@ TEST(ProcessNetwork, ComplexFilterAcrossProcesses) {
 }
 
 TEST(ProcessNetwork, MultipleWaves) {
-  auto net = create_process_network(Topology::flat(3), [](BackEnd& be) {
+  auto net = process_net(Topology::flat(3), [](BackEnd& be) {
     for (int wave = 0; wave < 10; ++wave) {
       be.send(1, kTag, "i64", {std::int64_t{wave * 100 + be.rank()}});
     }
@@ -95,10 +104,10 @@ TEST(ProcessNetwork, MultipleWaves) {
 
 TEST(ProcessNetwork, TcpEdgesSumReduction) {
   // Every edge is a loopback TCP connection — MRNet's actual transport.
-  auto net = create_process_network(
+  auto net = process_net(
       Topology::balanced(2, 2),
       [](BackEnd& be) { be.send(1, kTag, "i64", {std::int64_t{be.rank() * 2}}); },
-      EdgeTransport::kTcp);
+      /*tcp_edges=*/true);
   Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
   const auto result = stream.recv_for(10s);
   ASSERT_TRUE(result.has_value());
@@ -107,7 +116,7 @@ TEST(ProcessNetwork, TcpEdgesSumReduction) {
 }
 
 TEST(ProcessNetwork, TcpEdgesBroadcastAndPeers) {
-  auto net = create_process_network(
+  auto net = process_net(
       Topology::flat(3),
       [](BackEnd& be) {
         const auto command = be.recv_for(10s);
@@ -120,7 +129,7 @@ TEST(ProcessNetwork, TcpEdgesBroadcastAndPeers) {
                   {std::int64_t{peer && (*peer)->get_str(0) == "over tcp"}});
         }
       },
-      EdgeTransport::kTcp);
+      /*tcp_edges=*/true);
   Stream& stream = net->front_end().new_stream({.up_sync = "null"});
   stream.send(kTag, "str", {std::string("go")});
   const auto verdict = stream.recv_for(10s);
@@ -130,7 +139,7 @@ TEST(ProcessNetwork, TcpEdgesBroadcastAndPeers) {
 }
 
 TEST(ProcessNetwork, ThreadedApisRejected) {
-  auto net = create_process_network(Topology::flat(2), [](BackEnd&) {});
+  auto net = process_net(Topology::flat(2), [](BackEnd&) {});
   EXPECT_THROW(net->backend(0), ProtocolError);
   EXPECT_THROW(net->run_backends([](BackEnd&) {}), ProtocolError);
   // kill_node works in process mode (kTagDie), but never against the root.
@@ -139,14 +148,14 @@ TEST(ProcessNetwork, ThreadedApisRejected) {
 }
 
 TEST(ProcessNetwork, ShutdownWithoutTrafficIsClean) {
-  auto net = create_process_network(Topology::balanced(2, 2), [](BackEnd&) {});
+  auto net = process_net(Topology::balanced(2, 2), [](BackEnd&) {});
   net->shutdown();
   net->shutdown();  // idempotent
 }
 
 TEST(ProcessNetwork, DestructorReapsChildren) {
   {
-    auto net = create_process_network(Topology::flat(3), [](BackEnd& be) {
+    auto net = process_net(Topology::flat(3), [](BackEnd& be) {
       be.send(1, kTag, "i64", {std::int64_t{1}});
     });
     net->front_end().new_stream({.up_transform = "sum"});

@@ -262,7 +262,7 @@ TEST(RecoveryThreaded, KillAnyInteriorNodeMidStream) {
   for (NodeId victim = 1; victim <= 4; ++victim) {
     SCOPED_TRACE("victim=" + std::to_string(victim));
     ASSERT_FALSE(topo.is_leaf(victim));
-    auto net = Network::create_threaded(topo, {.auto_readopt = true});
+    auto net = Network::create({.topology = topo, .recovery = {.auto_readopt = true}});
     Stream& stream = net->front_end().new_stream(
         {.up_transform = "wavg", .up_sync = "wait_for_all"});
 
@@ -306,7 +306,7 @@ TEST(RecoveryThreaded, InteriorOrphansReadoptWithTheirSubtrees) {
   const Topology topo = Topology::balanced(2, 3);  // 8 leaves, depth 3
   const NodeId victim = 1;
   ASSERT_EQ(topo.node(victim).children.size(), 2u);
-  auto net = Network::create_threaded(topo, {.auto_readopt = true});
+  auto net = Network::create({.topology = topo, .recovery = {.auto_readopt = true}});
   Stream& stream = net->front_end().new_stream(
       {.up_transform = "wavg", .up_sync = "wait_for_all"});
 
@@ -333,7 +333,7 @@ TEST(RecoveryThreaded, InteriorOrphansReadoptWithTheirSubtrees) {
 /// is the exact aggregate over the survivors.
 TEST(RecoveryThreaded, ShrunkenMembershipWithoutReadoption) {
   const Topology topo = Topology::balanced(4, 2);
-  auto net = Network::create_threaded(topo);  // recovery off
+  auto net = Network::create({.topology = topo});  // recovery off
   Stream& stream = net->front_end().new_stream(
       {.up_transform = "wavg", .up_sync = "wait_for_all"});
   const NodeId victim = 2;
@@ -362,7 +362,7 @@ TEST(RecoveryThreaded, MutedNodeIsDetectedByHeartbeatsAndRoutedAround) {
   recovery.heartbeat_interval_ms = 50;
   recovery.failure_timeout_ms = 300;
   recovery.fault_plan.mute(1, 1);  // node 1 "hangs" at its first data packet
-  auto net = Network::create_threaded(topo, recovery);
+  auto net = Network::create({.topology = topo, .recovery = recovery});
   Stream& stream = net->front_end().new_stream(
       {.up_transform = "wavg", .up_sync = "wait_for_all"});
 
@@ -417,10 +417,11 @@ TEST(RecoveryProcess, KilledInteriorProcessOrphansReconnect) {
   RecoveryOptions recovery;
   recovery.auto_readopt = true;
   recovery.fault_plan.kill(1, 5);
-  auto net = Network::create_process(
-      Topology::balanced(4, 2),
-      [](BackEnd& be) { pumping_backend(be, kDataStream, kEchoStream); },
-      /*tcp_edges=*/false, recovery);
+  auto net = Network::create(
+      {.mode = NetworkMode::kProcess,
+       .topology = Topology::balanced(4, 2),
+       .recovery = recovery,
+       .backend_main = [](BackEnd& be) { pumping_backend(be, kDataStream, kEchoStream); }});
   Stream& data = net->front_end().new_stream(
       {.up_transform = "wavg", .up_sync = "wait_for_all"});
   Stream& echo = net->front_end().new_stream(
@@ -466,10 +467,12 @@ TEST(RecoveryProcess, KillNodeOverTcpEdges) {
   constexpr std::uint32_t kDataStream = 1;
   RecoveryOptions recovery;
   recovery.auto_readopt = true;
-  auto net = Network::create_process(
-      Topology::balanced(2, 2),  // 4 leaves: keep the TCP variant small
-      [](BackEnd& be) { pumping_backend(be, kDataStream, /*echo=*/9999); },
-      /*tcp_edges=*/true, recovery);
+  auto net = Network::create(
+      {.mode = NetworkMode::kProcess,
+       .topology = Topology::balanced(2, 2),  // 4 leaves: keep the TCP variant small
+       .recovery = recovery,
+       .backend_main = [](BackEnd& be) { pumping_backend(be, kDataStream, /*echo=*/9999); },
+       .tcp_edges = true});
   Stream& data = net->front_end().new_stream(
       {.up_transform = "wavg", .up_sync = "wait_for_all"});
   ASSERT_EQ(data.id(), kDataStream);

@@ -41,7 +41,7 @@ class RandomTreeReduction : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(RandomTreeReduction, SumMatchesClosedForm) {
   const Topology topology = random_topology(GetParam(), 40, 5);
   if (topology.is_leaf(topology.root())) GTEST_SKIP();
-  auto net = Network::create_threaded(topology);
+  auto net = Network::create({.topology = topology});
   Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "i64", {std::int64_t{be.rank()} * 3 + 1});
@@ -62,7 +62,7 @@ class RandomTreeOrder : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(RandomTreeOrder, ConcatKeepsRankOrder) {
   const Topology topology = random_topology(GetParam() + 1000, 30, 4);
   if (topology.is_leaf(topology.root())) GTEST_SKIP();
-  auto net = Network::create_threaded(topology);
+  auto net = Network::create({.topology = topology});
   Stream& stream = net->front_end().new_stream({.up_transform = "concat"});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "vi64", {std::vector<std::int64_t>{be.rank()}});
@@ -81,7 +81,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeOrder, ::testing::Values(7u, 11u, 19u,
 
 TEST(Stress, HighVolumeWaves) {
   constexpr int kWaves = 300;
-  auto net = Network::create_threaded(Topology::balanced(4, 2));
+  auto net = Network::create({.topology = Topology::balanced(4, 2)});
   Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
   net->run_backends([&](BackEnd& be) {
     for (int wave = 0; wave < kWaves; ++wave) {
@@ -99,7 +99,7 @@ TEST(Stress, HighVolumeWaves) {
 
 TEST(Stress, ManyConcurrentStreams) {
   constexpr std::size_t kStreams = 12;
-  auto net = Network::create_threaded(Topology::balanced(3, 2));
+  auto net = Network::create({.topology = Topology::balanced(3, 2)});
   std::vector<Stream*> streams;
   for (std::size_t i = 0; i < kStreams; ++i) {
     streams.push_back(&net->front_end().new_stream({.up_transform = "sum"}));
@@ -120,7 +120,7 @@ TEST(Stress, ManyConcurrentStreams) {
 }
 
 TEST(Stress, LargePayloads) {
-  auto net = Network::create_threaded(Topology::balanced(2, 2));
+  auto net = Network::create({.topology = Topology::balanced(2, 2)});
   Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
   const std::size_t kDoubles = 100'000;  // 800 KB per packet
   net->run_backends([&](BackEnd& be) {
@@ -138,7 +138,7 @@ TEST(Stress, LargePayloads) {
 TEST(Stress, SurvivorsKeepProducingAfterKills) {
   // Kill a third of the back-ends (one per subtree) before traffic starts;
   // the survivors' waves must keep flowing.
-  auto net = Network::create_threaded(Topology::balanced(3, 2));  // 9 leaves
+  auto net = Network::create({.topology = Topology::balanced(3, 2)});  // 9 leaves
   Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
   const std::set<std::uint32_t> victims = {0u, 4u, 8u};
   for (const std::uint32_t victim : victims) {
@@ -168,7 +168,7 @@ TEST(Stress, SurvivorsKeepProducingAfterKills) {
 TEST(Stress, ConcurrentFailureStormShutsDownCleanly) {
   // Kills racing live traffic: delivery is timing-dependent, but the network
   // must never hang, crash or double-count shutdown acknowledgements.
-  auto net = Network::create_threaded(Topology::balanced(3, 2));
+  auto net = Network::create({.topology = Topology::balanced(3, 2)});
   Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
 
   std::jthread killer([&] {
@@ -193,11 +193,13 @@ TEST(Stress, ConcurrentFailureStormShutsDownCleanly) {
 }
 
 TEST(Stress, ProcessModeManyChildren) {
-  auto net = Network::create_process(Topology::flat(16), [](BackEnd& be) {
-    for (int wave = 0; wave < 20; ++wave) {
-      be.send(1, kTag, "i64", {std::int64_t{wave}});
-    }
-  });
+  auto net = Network::create({.mode = NetworkMode::kProcess,
+                              .topology = Topology::flat(16),
+                              .backend_main = [](BackEnd& be) {
+                                for (int wave = 0; wave < 20; ++wave) {
+                                  be.send(1, kTag, "i64", {std::int64_t{wave}});
+                                }
+                              }});
   Stream& stream = net->front_end().new_stream({.up_transform = "min"});
   for (int wave = 0; wave < 20; ++wave) {
     const auto result = stream.recv_for(20s);
