@@ -33,6 +33,7 @@
 #include "benchlib/table.hpp"
 #include "common/config.hpp"
 #include "common/timer.hpp"
+#include "core/fd_link.hpp"
 #include "core/network.hpp"
 #include "core/protocol.hpp"
 #include "sim/des.hpp"
@@ -91,6 +92,42 @@ double live_throughput(int waves, int functions, bool telemetry) {
   producers.join();
   net->shutdown();
   return 4.0 * waves / elapsed;
+}
+
+/// Bulk payload throughput over a real multi-process tree: every back-end
+/// pushes `waves` opaque payloads through a passthrough stream (the fast
+/// relay lane — no aggregation), and the front-end drains them.  Returns
+/// payload bytes/s at the front-end.  `zero_copy` toggles the fd transport
+/// between the scatter-gather view path and the legacy serialize-copy path.
+/// NOTE: forks — must run before anything in this process spawns threads.
+double process_bulk_throughput(int waves, std::size_t payload_bytes, bool zero_copy) {
+  set_fd_zero_copy(zero_copy);
+  auto net = Network::create(
+      {.mode = NetworkMode::kProcess,
+       .topology = Topology::balanced(2, 2),  // 4 leaf processes, 2 interior
+       .backend_main =
+           [waves, payload_bytes](BackEnd& be) {
+             Bytes blob(payload_bytes);
+             for (std::size_t i = 0; i < payload_bytes; ++i) {
+               blob[i] = static_cast<std::byte>(i & 0xff);
+             }
+             auto buffer = std::make_shared<const Buffer>(std::move(blob));
+             const BufferView payload(buffer, 0, buffer->size());
+             for (int wave = 0; wave < waves; ++wave) {
+               be.send(1, kFirstAppTag, payload);  // refcount bump, no copy
+             }
+           }});
+  Stream& stream = net->front_end().new_stream(
+      {.up_transform = "passthrough", .up_sync = "null"});
+  const int expected = 4 * waves;
+  Stopwatch watch;
+  int received = 0;
+  for (; received < expected; ++received) {
+    if (!stream.recv_for(std::chrono::seconds(60))) break;
+  }
+  const double elapsed = watch.elapsed_seconds();
+  net->shutdown();
+  return static_cast<double>(received) * static_cast<double>(payload_bytes) / elapsed;
 }
 
 /// Peak throughput over `passes` alternating off/on runs.  The best pass
@@ -206,6 +243,35 @@ int main(int argc, char** argv) {
               "Note the tree's internal nodes each serve only `fanout` packets per\n"
               "wave (%zu x %.2f us << 1/rate), so they are not the bottleneck.\n",
               saturation_point, fanout, service * 1e6);
+
+  // ---- process-mode zero-copy payload pipeline -----------------------------
+  // Must precede the live threaded section: these networks fork, and fork
+  // in a multithreaded process is only safe before any thread exists.
+  const auto bulk_waves = static_cast<int>(config.get_int("bulk_waves", 200));
+  const auto bulk_bytes =
+      static_cast<std::size_t>(config.get_int("bulk_kib", 64)) * 1024;
+  const auto bulk_passes = static_cast<int>(config.get_int("bulk_passes", 3));
+  banner("Zero-copy payload pipeline (multi-process tree, passthrough relay)");
+  double legacy_bps = 0.0;
+  double zero_bps = 0.0;
+  for (int pass = 0; pass < bulk_passes; ++pass) {
+    legacy_bps = std::max(legacy_bps,
+                          process_bulk_throughput(bulk_waves, bulk_bytes, false));
+    zero_bps = std::max(zero_bps,
+                        process_bulk_throughput(bulk_waves, bulk_bytes, true));
+  }
+  set_fd_zero_copy(true);  // restore the default
+  const double gain = 100.0 * (zero_bps - legacy_bps) / legacy_bps;
+
+  Table bulk({"fd_path", "payload_MiB_s", "speedup_pct"});
+  bulk.add_row({"legacy (copy)", fmt("%.1f", legacy_bps / (1024.0 * 1024.0)), "-"});
+  bulk.add_row({"zero-copy", fmt("%.1f", zero_bps / (1024.0 * 1024.0)),
+                fmt("%.1f", gain)});
+  bulk.print("zero_copy_throughput");
+  std::printf("\n%zu KiB payloads relayed by reference: interior processes writev the\n"
+              "received frame verbatim (0 payload memcpys/hop; the legacy path costs\n"
+              "2/hop — see micro_transport copy counters).  target: >= 15%% %s\n",
+              bulk_bytes / 1024, gain >= 15.0 ? "(met)" : "(MISSED)");
 
   // ---- live telemetry overhead ---------------------------------------------
   const auto live_waves = static_cast<int>(config.get_int("live_waves", 2000));

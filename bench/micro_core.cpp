@@ -64,7 +64,9 @@ void BM_MulticastDeepCopy(benchmark::State& state) {
   std::vector<PacketPtr> outgoing(children);
   for (auto _ : state) {
     for (std::size_t c = 0; c < children; ++c) {
-      outgoing[c] = std::make_shared<const Packet>(*packet);  // full payload copy
+      outgoing[c] = std::make_shared<const Packet>(  // full payload copy
+          packet->stream_id(), packet->tag(), packet->src_rank(), packet->format(),
+          packet->values());
     }
     benchmark::DoNotOptimize(outgoing.data());
   }

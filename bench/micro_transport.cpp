@@ -105,6 +105,58 @@ void BM_InprocLinkPacketSend(benchmark::State& state) {
 BENCHMARK(BM_InprocLinkPacketSend)->Arg(8)->Arg(512)->Arg(8192)
     ->Unit(benchmark::kMicrosecond);
 
+/// An interior pass-through hop, measured for payload memcpys: a frame
+/// arrives on one socketpair, is relayed verbatim out another — the inner
+/// loop of every communication process on a passthrough stream.  Arg(1)
+/// toggles the zero-copy fd path; the `copies_per_packet` /
+/// `bytes_memcpy_per_packet` counters print the table CI gates on.  The
+/// counters cover the whole producer -> hop -> sink pipeline:
+///   zero-copy on  -> 0 copies (payload referenced by writev at both sends,
+///                    aliased from the receive frame at both reads)
+///   zero-copy off -> 4 copies (pack + unpack at the hop — the >= 2 per hop
+///                    the redesign removes — plus one each at the endpoints)
+void BM_CopyCountPassThroughHop(benchmark::State& state) {
+  const std::size_t payload_size = static_cast<std::size_t>(state.range(0));
+  const bool zero_copy = state.range(1) != 0;
+  const bool was_zero_copy = fd_zero_copy();
+  set_fd_zero_copy(zero_copy);
+
+  auto [up_w, up_r] = make_socketpair();      // producer -> hop
+  auto [down_w, down_r] = make_socketpair();  // hop -> consumer
+  auto hop_inbox = std::make_shared<Inbox>(4096);
+  auto sink_inbox = std::make_shared<Inbox>(4096);
+  auto hop_reader = start_fd_reader(up_r.get(), hop_inbox, Origin::kChild, 0);
+  auto sink_reader = start_fd_reader(down_r.get(), sink_inbox, Origin::kParent, 0);
+  FdLink ingress(up_w.get());
+  FdLink egress(down_w.get());
+
+  const PacketPtr original =
+      Packet::make_view(1, 100, 0, BufferView(payload_of(payload_size)));
+  std::uint64_t packets = 0;
+  CopyStats::reset();
+  for (auto _ : state) {
+    ingress.send(original);
+    Envelope arrived = *hop_inbox->pop();
+    egress.send(arrived.packet);  // the pass-through relay
+    benchmark::DoNotOptimize(sink_inbox->pop());
+    ++packets;
+  }
+  state.counters["copies_per_packet"] = benchmark::Counter(
+      static_cast<double>(CopyStats::memcpys()) / static_cast<double>(packets));
+  state.counters["bytes_memcpy_per_packet"] = benchmark::Counter(
+      static_cast<double>(CopyStats::bytes_copied()) / static_cast<double>(packets));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload_size));
+  ingress.close();
+  egress.close();
+  set_fd_zero_copy(was_zero_copy);
+}
+BENCHMARK(BM_CopyCountPassThroughHop)
+    ->ArgNames({"bytes", "zero_copy"})
+    ->Args({4096, 0})->Args({4096, 1})
+    ->Args({65536, 0})->Args({65536, 1})
+    ->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -56,7 +56,7 @@ int main() {
         {"binomial dim 8", "knomial:2:8"},
     };
     for (const auto& organization : organizations) {
-      const Topology t = Topology::parse(organization.spec);
+      const Topology t = TopologyOptions::from_spec(organization.spec);
       table.add_row({organization.name, fmt_int(static_cast<long long>(t.num_nodes())),
                      fmt_int(static_cast<long long>(t.num_internal())),
                      fmt_int(static_cast<long long>(t.depth())),

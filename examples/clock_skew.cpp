@@ -17,7 +17,7 @@ using namespace tbon;
 
 int main(int argc, char** argv) {
   const Config config(argc, argv);
-  const Topology topology = Topology::parse(config.get("topology", "bal:4x2"));
+  const Topology topology = TopologyOptions::from_spec(config.get("topology", "bal:4x2"));
   const auto seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
 
   filters::register_all(FilterRegistry::instance());

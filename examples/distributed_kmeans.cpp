@@ -17,7 +17,7 @@ using namespace tbon::km;
 
 int main(int argc, char** argv) {
   const Config config(argc, argv);
-  const Topology topology = Topology::parse(config.get("topology", "bal:4x2"));
+  const Topology topology = TopologyOptions::from_spec(config.get("topology", "bal:4x2"));
   const auto dim = static_cast<std::size_t>(config.get_int("dim", 3));
 
   ms::nd::SynthNdParams synth;

@@ -19,7 +19,7 @@ using namespace tbon::ms;
 
 int main(int argc, char** argv) {
   const Config config(argc, argv);
-  const Topology topology = Topology::parse(config.get("topology", "bal:4x2"));
+  const Topology topology = TopologyOptions::from_spec(config.get("topology", "bal:4x2"));
 
   SynthParams synth;
   synth.num_clusters = static_cast<std::size_t>(config.get_int("clusters", 6));

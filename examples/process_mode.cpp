@@ -14,7 +14,7 @@ using namespace tbon;
 
 int main(int argc, char** argv) {
   const Config config(argc, argv);
-  const Topology topology = Topology::parse(config.get("topology", "bal:3x2"));
+  const Topology topology = TopologyOptions::from_spec(config.get("topology", "bal:3x2"));
   std::printf("spawning %zu processes (front-end pid %d)...\n",
               topology.num_nodes() - 1, static_cast<int>(::getpid()));
 

@@ -14,7 +14,7 @@ using namespace tbon;
 
 int main(int argc, char** argv) {
   const Config config(argc, argv);
-  const Topology topology = Topology::parse(config.get("topology", "bal:4x2"));
+  const Topology topology = TopologyOptions::from_spec(config.get("topology", "bal:4x2"));
   std::printf("topology: %zu nodes, %zu back-ends, %zu internal, depth %zu\n",
               topology.num_nodes(), topology.num_leaves(), topology.num_internal(),
               topology.depth());

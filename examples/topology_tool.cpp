@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
       text << in.rdbuf();
       return parse_mrnet_config(text.str());
     }
-    return Topology::parse(config.get("spec", "bal:4x2"));
+    return TopologyOptions::from_spec(config.get("spec", "bal:4x2")).build();
   }();
 
   std::printf("nodes        : %zu\n", topology.num_nodes());

@@ -114,6 +114,21 @@ class BinaryReader {
     return out;
   }
 
+  /// Consume `n` bytes and return a span over them (no copy).  The span
+  /// aliases the reader's input and is valid only while that input lives.
+  std::span<const std::byte> take_span(std::size_t n) {
+    require(n);
+    const std::span<const std::byte> out = data_.subspan(cursor_, n);
+    cursor_ += n;
+    return out;
+  }
+
+  void skip(std::size_t n) {
+    require(n);
+    cursor_ += n;
+  }
+
+  std::size_t position() const noexcept { return cursor_; }
   std::size_t remaining() const noexcept { return data_.size() - cursor_; }
   bool exhausted() const noexcept { return remaining() == 0; }
 

@@ -65,29 +65,113 @@ void pack_values(BinaryWriter& writer, const DataFormat& format,
       case DataType::kFloat64:
         writer.put(std::get<double>(v));
         break;
-      case DataType::kString:
-        writer.put_string(std::get<std::string>(v));
+      case DataType::kString: {
+        const auto& s = std::get<std::string>(v);
+        if (!s.empty()) CopyStats::note(s.size());
+        writer.put_string(s);
         break;
-      case DataType::kBytes:
-        writer.put_bytes(std::get<Bytes>(v));
+      }
+      case DataType::kBytes: {
+        const BufferView& view = std::get<BufferView>(v);
+        if (!view.empty()) CopyStats::note(view.size());
+        writer.put_bytes(view);
         break;
-      case DataType::kVecInt64:
-        writer.put_vector<std::int64_t>(std::get<std::vector<std::int64_t>>(v));
+      }
+      case DataType::kVecInt64: {
+        const auto& vec = std::get<std::vector<std::int64_t>>(v);
+        if (!vec.empty()) CopyStats::note(vec.size() * 8);
+        writer.put_vector<std::int64_t>(vec);
         break;
-      case DataType::kVecFloat64:
-        writer.put_vector<double>(std::get<std::vector<double>>(v));
+      }
+      case DataType::kVecFloat64: {
+        const auto& vec = std::get<std::vector<double>>(v);
+        if (!vec.empty()) CopyStats::note(vec.size() * 8);
+        writer.put_vector<double>(vec);
         break;
+      }
       case DataType::kVecString: {
         const auto& strings = std::get<std::vector<std::string>>(v);
         writer.put(static_cast<std::uint32_t>(strings.size()));
-        for (const auto& s : strings) writer.put_string(s);
+        for (const auto& s : strings) {
+          if (!s.empty()) CopyStats::note(s.size());
+          writer.put_string(s);
+        }
         break;
       }
     }
   }
 }
 
-std::vector<DataValue> unpack_values(BinaryReader& reader, const DataFormat& format) {
+namespace {
+
+std::span<const std::byte> arithmetic_payload(const void* data, std::size_t bytes) {
+  // Little-endian host (static_assert'd in archive.hpp): the in-memory
+  // layout of a contiguous arithmetic vector IS its wire form.
+  return {static_cast<const std::byte*>(data), bytes};
+}
+
+}  // namespace
+
+void pack_values_segments(SegmentWriter& writer, const DataFormat& format,
+                          std::span<const DataValue> values) {
+  if (!format.matches(values)) {
+    throw CodecError("payload does not match format '" + format.to_string() + "'");
+  }
+  for (const DataValue& v : values) {
+    switch (type_of(v)) {
+      case DataType::kInt32:
+        writer.put(std::get<std::int32_t>(v));
+        break;
+      case DataType::kInt64:
+        writer.put(std::get<std::int64_t>(v));
+        break;
+      case DataType::kUInt64:
+        writer.put(std::get<std::uint64_t>(v));
+        break;
+      case DataType::kFloat64:
+        writer.put(std::get<double>(v));
+        break;
+      case DataType::kString: {
+        const auto& s = std::get<std::string>(v);
+        writer.put(static_cast<std::uint32_t>(s.size()));
+        writer.put_payload({reinterpret_cast<const std::byte*>(s.data()), s.size()});
+        break;
+      }
+      case DataType::kBytes: {
+        const BufferView& view = std::get<BufferView>(v);
+        writer.put(static_cast<std::uint32_t>(view.size()));
+        writer.put_payload(view);
+        break;
+      }
+      case DataType::kVecInt64: {
+        const auto& vec = std::get<std::vector<std::int64_t>>(v);
+        writer.put(static_cast<std::uint32_t>(vec.size()));
+        writer.put_payload(arithmetic_payload(vec.data(), vec.size() * 8));
+        break;
+      }
+      case DataType::kVecFloat64: {
+        const auto& vec = std::get<std::vector<double>>(v);
+        writer.put(static_cast<std::uint32_t>(vec.size()));
+        writer.put_payload(arithmetic_payload(vec.data(), vec.size() * 8));
+        break;
+      }
+      case DataType::kVecString: {
+        const auto& strings = std::get<std::vector<std::string>>(v);
+        writer.put(static_cast<std::uint32_t>(strings.size()));
+        for (const auto& s : strings) {
+          writer.put(static_cast<std::uint32_t>(s.size()));
+          writer.put_payload({reinterpret_cast<const std::byte*>(s.data()), s.size()});
+        }
+        break;
+      }
+    }
+  }
+}
+
+namespace {
+
+std::vector<DataValue> unpack_values_impl(BinaryReader& reader, const DataFormat& format,
+                                          const BufferView* backing) {
   std::vector<DataValue> values;
   values.reserve(format.arity());
   for (DataType type : format.fields()) {
@@ -104,18 +188,38 @@ std::vector<DataValue> unpack_values(BinaryReader& reader, const DataFormat& for
       case DataType::kFloat64:
         values.emplace_back(reader.get<double>());
         break;
-      case DataType::kString:
+      case DataType::kString: {
+        const auto before = reader.remaining();
         values.emplace_back(reader.get_string());
+        if (before > reader.remaining() + 4) CopyStats::note(before - reader.remaining() - 4);
         break;
-      case DataType::kBytes:
-        values.emplace_back(reader.get_bytes());
+      }
+      case DataType::kBytes: {
+        const auto n = reader.get<std::uint32_t>();
+        if (backing != nullptr) {
+          // Alias the backing frame: no copy, the view pins the frame.
+          const std::size_t offset = reader.position();
+          reader.skip(n);
+          values.emplace_back(backing->subview(offset, n));
+        } else {
+          if (n != 0) CopyStats::note(n);
+          const auto bytes = reader.take_span(n);
+          values.emplace_back(BufferView(Bytes(bytes.begin(), bytes.end())));
+        }
         break;
-      case DataType::kVecInt64:
-        values.emplace_back(reader.get_vector<std::int64_t>());
+      }
+      case DataType::kVecInt64: {
+        auto vec = reader.get_vector<std::int64_t>();
+        if (!vec.empty()) CopyStats::note(vec.size() * 8);
+        values.emplace_back(std::move(vec));
         break;
-      case DataType::kVecFloat64:
-        values.emplace_back(reader.get_vector<double>());
+      }
+      case DataType::kVecFloat64: {
+        auto vec = reader.get_vector<double>();
+        if (!vec.empty()) CopyStats::note(vec.size() * 8);
+        values.emplace_back(std::move(vec));
         break;
+      }
       case DataType::kVecString: {
         const auto n = reader.get<std::uint32_t>();
         // Every string needs at least its 4-byte length prefix; reject a
@@ -125,13 +229,74 @@ std::vector<DataValue> unpack_values(BinaryReader& reader, const DataFormat& for
         }
         std::vector<std::string> strings;
         strings.reserve(n);
-        for (std::uint32_t i = 0; i < n; ++i) strings.push_back(reader.get_string());
+        for (std::uint32_t i = 0; i < n; ++i) {
+          strings.push_back(reader.get_string());
+          if (!strings.back().empty()) CopyStats::note(strings.back().size());
+        }
         values.emplace_back(std::move(strings));
         break;
       }
     }
   }
   return values;
+}
+
+}  // namespace
+
+std::vector<DataValue> unpack_values(BinaryReader& reader, const DataFormat& format) {
+  return unpack_values_impl(reader, format, nullptr);
+}
+
+std::vector<DataValue> unpack_values_backed(BinaryReader& reader,
+                                            const DataFormat& format,
+                                            const BufferView& backing) {
+  return unpack_values_impl(reader, format, &backing);
+}
+
+std::size_t skim_values(BinaryReader& reader, const DataFormat& format) {
+  std::size_t payload = 0;
+  for (DataType type : format.fields()) {
+    switch (type) {
+      case DataType::kInt32:
+        reader.skip(4);
+        payload += 4;
+        break;
+      case DataType::kInt64:
+      case DataType::kUInt64:
+      case DataType::kFloat64:
+        reader.skip(8);
+        payload += 8;
+        break;
+      case DataType::kString:
+      case DataType::kBytes: {
+        const auto n = reader.get<std::uint32_t>();
+        reader.skip(n);
+        payload += n;
+        break;
+      }
+      case DataType::kVecInt64:
+      case DataType::kVecFloat64: {
+        const auto n = reader.get<std::uint32_t>();
+        const std::size_t bytes = static_cast<std::size_t>(n) * 8;
+        reader.skip(bytes);
+        payload += bytes;
+        break;
+      }
+      case DataType::kVecString: {
+        const auto n = reader.get<std::uint32_t>();
+        if (n > reader.remaining() / 4) {
+          throw CodecError("string-vector length exceeds remaining payload");
+        }
+        for (std::uint32_t i = 0; i < n; ++i) {
+          const auto len = reader.get<std::uint32_t>();
+          reader.skip(len);
+          payload += len;
+        }
+        break;
+      }
+    }
+  }
+  return payload;
 }
 
 std::size_t value_payload_bytes(const DataValue& value) noexcept {
@@ -145,7 +310,7 @@ std::size_t value_payload_bytes(const DataValue& value) noexcept {
     case DataType::kString:
       return std::get<std::string>(value).size();
     case DataType::kBytes:
-      return std::get<Bytes>(value).size();
+      return std::get<BufferView>(value).size();
     case DataType::kVecInt64:
       return std::get<std::vector<std::int64_t>>(value).size() * 8;
     case DataType::kVecFloat64:
@@ -178,7 +343,7 @@ std::string value_to_string(const DataValue& value) {
       out << '"' << std::get<std::string>(value) << '"';
       break;
     case DataType::kBytes:
-      out << "<" << std::get<Bytes>(value).size() << " bytes>";
+      out << "<" << std::get<BufferView>(value).size() << " bytes>";
       break;
     case DataType::kVecInt64: {
       out << '[';

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/archive.hpp"
+#include "common/buffer.hpp"
 #include "common/error.hpp"
 
 namespace tbon {
@@ -41,9 +42,11 @@ std::string_view type_name(DataType type) noexcept;
 /// Parse a single token; throws ParseError for unknown tokens.
 DataType parse_type(std::string_view token);
 
-/// One payload field.
+/// One payload field.  The `bytes` alternative is a refcounted BufferView,
+/// so a blob deserialized off the wire aliases the receive buffer instead of
+/// being copied; `Bytes` converts implicitly (adopted, not copied).
 using DataValue = std::variant<std::int32_t, std::int64_t, std::uint64_t, double,
-                               std::string, Bytes, std::vector<std::int64_t>,
+                               std::string, BufferView, std::vector<std::int64_t>,
                                std::vector<double>, std::vector<std::string>>;
 
 /// The declared type of a DataValue.
@@ -75,8 +78,26 @@ class DataFormat {
 void pack_values(BinaryWriter& writer, const DataFormat& format,
                  std::span<const DataValue> values);
 
+/// Scatter-gather serialization: scalars and prefixes go to the writer's
+/// scratch block, large payloads are referenced in place (no memcpy).  The
+/// values must outlive any use of the writer's segment list.
+void pack_values_segments(SegmentWriter& writer, const DataFormat& format,
+                          std::span<const DataValue> values);
+
 /// Deserialize a value list matching `format`; throws CodecError on mismatch.
 std::vector<DataValue> unpack_values(BinaryReader& reader, const DataFormat& format);
+
+/// Like unpack_values, but the reader's input is the span of `backing`:
+/// `bytes` fields become subviews aliasing it instead of copies.
+std::vector<DataValue> unpack_values_backed(BinaryReader& reader,
+                                            const DataFormat& format,
+                                            const BufferView& backing);
+
+/// Validate the structure of a serialized value list without materializing
+/// it: advances the reader past the values, throws CodecError on truncation
+/// or corrupt counts, and returns the payload byte total (same accounting as
+/// value_payload_bytes summed over the fields).
+std::size_t skim_values(BinaryReader& reader, const DataFormat& format);
 
 /// Rough in-memory footprint of a value, used for throughput accounting.
 std::size_t value_payload_bytes(const DataValue& value) noexcept;

@@ -199,14 +199,21 @@ class ConcatFilter final : public TransformFilter {
   void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
                  const FilterContext&) override {
     const Packet& first = *in.front();
-    std::vector<DataValue> acc = first.values();
     for (std::size_t p = 1; p < in.size(); ++p) {
-      const Packet& packet = *in[p];
-      if (packet.format() != first.format()) {
+      if (in[p]->format() != first.format()) {
         throw CodecError("concat over mixed formats");
       }
+    }
+    std::vector<DataValue> acc = first.values();
+    if (in.size() > 1) {
       for (std::size_t f = 0; f < acc.size(); ++f) {
-        concat_field(acc[f], packet.values()[f]);
+        if (type_of(acc[f]) == DataType::kBytes) {
+          acc[f] = splice_bytes(in, f);
+        } else {
+          for (std::size_t p = 1; p < in.size(); ++p) {
+            concat_field(acc[f], in[p]->values()[f]);
+          }
+        }
       }
     }
     out.push_back(std::make_shared<const Packet>(first.stream_id(), first.tag(),
@@ -215,17 +222,27 @@ class ConcatFilter final : public TransformFilter {
   }
 
  private:
+  /// Splice byte views into one right-sized buffer: a single allocation and
+  /// one pass over the inputs, instead of growing an accumulator per child.
+  static BufferView splice_bytes(std::span<const PacketPtr> in, std::size_t field) {
+    std::size_t total = 0;
+    for (const PacketPtr& packet : in) total += packet->get_bytes(field).size();
+    Bytes spliced;
+    spliced.reserve(total);
+    for (const PacketPtr& packet : in) {
+      const BufferView& view = packet->get_bytes(field);
+      if (view.empty()) continue;
+      CopyStats::note(view.size());
+      spliced.insert(spliced.end(), view.data(), view.data() + view.size());
+    }
+    return BufferView(std::move(spliced));
+  }
+
   static void concat_field(DataValue& acc, const DataValue& next) {
     switch (type_of(acc)) {
       case DataType::kString:
         std::get<std::string>(acc) += std::get<std::string>(next);
         break;
-      case DataType::kBytes: {
-        auto& dst = std::get<Bytes>(acc);
-        const auto& src = std::get<Bytes>(next);
-        dst.insert(dst.end(), src.begin(), src.end());
-        break;
-      }
       case DataType::kVecInt64: {
         auto& dst = std::get<std::vector<std::int64_t>>(acc);
         const auto& src = std::get<std::vector<std::int64_t>>(next);
@@ -261,6 +278,13 @@ class MetricsMergeFilter final : public TransformFilter {
  public:
   void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
                  const FilterContext& ctx) override {
+    if (in.size() == 1) {
+      // Nothing to merge: forward the packet as-is instead of decoding and
+      // re-encoding records we only relay.  A wire-backed packet keeps its
+      // frame, so the next hop sends it verbatim.
+      out.push_back(in.front());
+      return;
+    }
     std::vector<NodeTelemetry> merged;
     for (const PacketPtr& packet : in) {
       try {

@@ -1,20 +1,48 @@
 #include "core/fd_link.hpp"
 
+#include <atomic>
+
 #include "common/archive.hpp"
+#include "common/buffer.hpp"
 #include "common/log.hpp"
 
 namespace tbon {
+namespace {
+
+std::atomic<bool> g_fd_zero_copy{true};
+
+}  // namespace
+
+void set_fd_zero_copy(bool enabled) noexcept {
+  g_fd_zero_copy.store(enabled, std::memory_order_relaxed);
+}
+
+bool fd_zero_copy() noexcept {
+  return g_fd_zero_copy.load(std::memory_order_relaxed);
+}
 
 bool FdLink::send(const PacketPtr& packet) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (closed_) return false;
   try {
-    BinaryWriter writer;
-    packet->serialize(writer);
-    write_frame(fd_, writer.bytes());
+    std::size_t frame_bytes = 0;
+    if (fd_zero_copy()) {
+      // Wire-backed packets (a relay hop) go out as one verbatim segment;
+      // owned packets writev header scratch + in-place payload segments.
+      // The packet stays alive across the call, which is what keeps the
+      // segment list's external pointers valid.
+      SegmentWriter writer;
+      packet->serialize_segments(writer);
+      write_frame_segments(fd_, writer.segments(), writer.size());
+      frame_bytes = writer.size();
+    } else {
+      BinaryWriter writer;
+      packet->serialize(writer);
+      write_frame(fd_, writer.bytes());
+      frame_bytes = writer.bytes().size();
+    }
     if (metrics_ != nullptr) {
-      metrics_->wire_bytes_out.fetch_add(writer.bytes().size(),
-                                         std::memory_order_relaxed);
+      metrics_->wire_bytes_out.fetch_add(frame_bytes, std::memory_order_relaxed);
     }
     return true;
   } catch (const TransportError& error) {
@@ -40,8 +68,18 @@ std::jthread start_fd_reader(int fd, InboxPtr inbox, Origin origin,
         if (metrics != nullptr) {
           metrics->wire_bytes_in.fetch_add(frame->size(), std::memory_order_relaxed);
         }
-        BinaryReader reader(*frame);
-        inbox->push(Envelope{origin, child_slot, Packet::deserialize(reader)});
+        PacketPtr packet;
+        if (fd_zero_copy()) {
+          // Promote the frame to a refcounted buffer and let the packet
+          // alias it: no payload copy here, and none later if the packet is
+          // only routed onward (the frame is relayed verbatim).
+          auto buffer = std::make_shared<const Buffer>(std::move(*frame));
+          packet = Packet::deserialize_view(BufferView(buffer, 0, buffer->size()));
+        } else {
+          BinaryReader reader(*frame);
+          packet = Packet::deserialize(reader);
+        }
+        inbox->push(Envelope{origin, child_slot, packet});
       }
     } catch (const std::exception& error) {
       TBON_DEBUG("fd reader stopping: " << error.what());

@@ -16,6 +16,15 @@
 
 namespace tbon {
 
+/// Process-wide toggle for the zero-copy fd path (on by default).  When on,
+/// FdLink relays wire-backed packets verbatim and writev's scatter-gather
+/// segments for owned ones, and the reader deserializes frames into
+/// buffer-aliasing view packets.  Off restores the copying serialize/
+/// deserialize pipeline — kept so the benches can measure the difference.
+/// Set before Network::create (forked children inherit the value).
+void set_fd_zero_copy(bool enabled) noexcept;
+bool fd_zero_copy() noexcept;
+
 /// Sends packets as serialized frames on a file descriptor.
 /// Thread-safe: a back-end's application thread and its runtime share one.
 class FdLink final : public Link {

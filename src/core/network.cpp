@@ -135,6 +135,20 @@ void Stream::send(std::int32_t tag, std::string_view format,
       Packet::make(spec_.id, tag, kFrontEndRank, format, std::move(values)));
 }
 
+void Stream::send(std::int32_t tag, BufferView payload) {
+  if (tag < kFirstAppTag) throw ProtocolError("application tags must be >= kFirstAppTag");
+  network_.send_to_root(
+      Packet::make_view(spec_.id, tag, kFrontEndRank, std::move(payload)));
+}
+
+void Stream::send(std::int32_t tag, std::vector<std::uint8_t> payload) {
+  // Deprecated forwarder: re-own the bytes once, then hand off a view.
+  if (!payload.empty()) CopyStats::note(payload.size());
+  Bytes bytes(reinterpret_cast<const std::byte*>(payload.data()),
+              reinterpret_cast<const std::byte*>(payload.data()) + payload.size());
+  send(tag, BufferView(std::move(bytes)));
+}
+
 RecvResult Stream::make_result(std::optional<PacketPtr> popped) {
   if (popped) return RecvResult(std::move(*popped));
   if (results_.closed()) {
@@ -239,6 +253,20 @@ void BackEnd::send(std::uint32_t stream_id, std::int32_t tag, std::string_view f
   if (tag < kFirstAppTag) throw ProtocolError("application tags must be >= kFirstAppTag");
   wait_stream_known(stream_id);
   up_link_->send(Packet::make(stream_id, tag, rank_, format, std::move(values)));
+}
+
+void BackEnd::send(std::uint32_t stream_id, std::int32_t tag, BufferView payload) {
+  if (tag < kFirstAppTag) throw ProtocolError("application tags must be >= kFirstAppTag");
+  wait_stream_known(stream_id);
+  up_link_->send(Packet::make_view(stream_id, tag, rank_, std::move(payload)));
+}
+
+void BackEnd::send(std::uint32_t stream_id, std::int32_t tag,
+                   std::vector<std::uint8_t> payload) {
+  if (!payload.empty()) CopyStats::note(payload.size());
+  Bytes bytes(reinterpret_cast<const std::byte*>(payload.data()),
+              reinterpret_cast<const std::byte*>(payload.data()) + payload.size());
+  send(stream_id, tag, BufferView(std::move(bytes)));
 }
 
 void BackEnd::send_to(std::uint32_t dst_rank, std::int32_t tag, std::string_view format,

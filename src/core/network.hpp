@@ -186,6 +186,15 @@ class Stream {
   /// Multicast a packet downstream to the stream's back-ends.
   void send(std::int32_t tag, std::string_view format, std::vector<DataValue> values);
 
+  /// Multicast an opaque payload downstream as a single-`bytes` packet.  The
+  /// view is adopted, not copied: the backing buffer is pinned until every
+  /// link has relayed the packet.  Receivers read it via
+  /// `packet->get_bytes(0)` / `packet->payload_view()`.
+  void send(std::int32_t tag, BufferView payload);
+
+  [[deprecated("copies the payload; pass a BufferView (Bytes adopts implicitly)")]]
+  void send(std::int32_t tag, std::vector<std::uint8_t> payload);
+
   /// Receive the next aggregated upstream packet.  Blocks until a packet
   /// arrives or the status becomes terminal (kShutdown / kStreamClosed —
   /// buffered packets are still drained first).
@@ -259,6 +268,14 @@ class BackEnd {
   /// ProtocolError) so that data can never overtake the stream creation.
   void send(std::uint32_t stream_id, std::int32_t tag, std::string_view format,
             std::vector<DataValue> values);
+
+  /// Send an opaque payload upstream as a single-`bytes` packet; the view is
+  /// adopted, not copied (zero-copy all the way to the first filter that
+  /// actually reads it).
+  void send(std::uint32_t stream_id, std::int32_t tag, BufferView payload);
+
+  [[deprecated("copies the payload; pass a BufferView (Bytes adopts implicitly)")]]
+  void send(std::uint32_t stream_id, std::int32_t tag, std::vector<std::uint8_t> payload);
 
   /// Send a message to another back-end, routed hop-by-hop through the
   /// internal process tree (paper §2.1: the TBON model has no direct

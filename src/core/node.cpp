@@ -391,6 +391,15 @@ void NodeRuntime::handle_new_stream(const StreamSpec& spec) {
     stream.sync = registry_.make_sync(spec.up_sync, stream.ctx);
     stream.up_filter = registry_.make_transform(spec.up_transform, stream.ctx);
     stream.down_filter = registry_.make_transform(spec.down_transform, stream.ctx);
+    // The sync policy and filters stay instantiated even on the fast lanes
+    // (flush/finish and membership compensation still go through them); the
+    // lanes only bypass them on the per-packet hot path.  The telemetry
+    // stream is never fast: its merge filter is what bounds root fan-in.
+    if (spec.id != kTelemetryStream) {
+      stream.fast_up =
+          spec.up_sync == "null" && spec.up_transform == "passthrough";
+      stream.fast_down = spec.down_transform == "passthrough";
+    }
     // A child may have died before this stream was announced; the sync
     // policy and filters must not wait for it.
     for (const std::uint32_t slot : stream.participating_slots) {
@@ -604,6 +613,24 @@ void NodeRuntime::handle_upstream_data(std::uint32_t slot, const PacketPtr& pack
     TBON_WARN("node " << id_ << " dropping packet from non-participating child");
     return;
   }
+  if (stream.fast_up) {
+    // Fast pass-through lane: identity sync + identity transform, so the
+    // packet goes straight to the parent (or root delegate).  A wire-backed
+    // packet is relayed verbatim by the fd link — zero payload memcpys on
+    // this hop.  Counters mirror the slow path: one wave per packet, the
+    // forwarding overhead observed as filter latency.
+    const auto start = now_ns();
+    emit_upstream(stream, {&packet, 1});
+    const auto elapsed = static_cast<std::uint64_t>(now_ns() - start);
+    metrics_.waves.fetch_add(1, std::memory_order_relaxed);
+    metrics_.filter_ns.fetch_add(elapsed, std::memory_order_relaxed);
+    metrics_.observe_filter_latency(elapsed);
+    if (auto& tracer = TraceRecorder::instance(); tracer.enabled()) {
+      tracer.record({id_, start, start + static_cast<std::int64_t>(elapsed),
+                     packet->payload_bytes(), "up:" + stream.spec.up_transform});
+    }
+    return;
+  }
   stream.sync->on_packet(static_cast<std::size_t>(sync_index), packet);
   process_batches(stream, stream.sync->drain_ready(now_ns()));
 }
@@ -783,6 +810,17 @@ void NodeRuntime::handle_downstream_data(const PacketPtr& packet) {
     return;
   }
   StreamLocal& stream = it->second;
+  if (stream.fast_down) {
+    // Identity downstream filter: multicast the packet reference as-is
+    // (one shared object across all child queues, relayed verbatim by fd
+    // links), accounting the forwarding overhead as filter latency.
+    const auto fast_start = now_ns();
+    forward_down_to_participants(stream, packet);
+    const auto fast_elapsed = static_cast<std::uint64_t>(now_ns() - fast_start);
+    metrics_.filter_ns.fetch_add(fast_elapsed, std::memory_order_relaxed);
+    metrics_.observe_filter_latency(fast_elapsed);
+    return;
+  }
   std::vector<PacketPtr> outputs;
   const auto start = now_ns();
   const PacketPtr inputs[] = {packet};

@@ -149,6 +149,13 @@ class NodeRuntime {
     std::vector<std::int32_t> slot_to_sync_index;
     /// child slots participating in this stream, in slot order.
     std::vector<std::uint32_t> participating_slots;
+    /// Fast pass-through lanes: when a direction has only identity filters
+    /// ("null" sync + "passthrough" transform up; "passthrough" down), the
+    /// runtime forwards packets without touching the sync/filter machinery —
+    /// a wire-backed packet then crosses the node with zero payload copies.
+    /// Telemetry counters are accounted exactly as on the slow path.
+    bool fast_up = false;
+    bool fast_down = false;
   };
 
   void handle_envelope(Envelope&& envelope);

@@ -60,12 +60,12 @@ std::uint32_t die_packet_target(const Packet& packet) {
   return static_cast<std::uint32_t>(packet.get_i64(0));
 }
 
-PacketPtr make_telemetry_packet(std::uint32_t src, Bytes records) {
+PacketPtr make_telemetry_packet(std::uint32_t src, BufferView records) {
   return Packet::make(kTelemetryStream, kTagTelemetry, src, "bytes",
                       {std::move(records)});
 }
 
-const Bytes& telemetry_packet_records(const Packet& packet) {
+const BufferView& telemetry_packet_records(const Packet& packet) {
   return packet.get_bytes(0);
 }
 
@@ -81,8 +81,9 @@ std::uint32_t peer_packet_destination(const Packet& wrapper) {
 }
 
 PacketPtr unwrap_peer_packet(const Packet& wrapper) {
-  BinaryReader reader(wrapper.get_bytes(1));
-  return Packet::deserialize(reader);
+  // The inner packet aliases the wrapper's buffer (which the returned
+  // packet's views pin alive); nothing is copied at unwrap.
+  return Packet::deserialize_view(wrapper.get_bytes(1));
 }
 
 }  // namespace tbon

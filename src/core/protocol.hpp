@@ -101,10 +101,12 @@ PacketPtr make_die_packet(std::uint32_t target_node);
 
 /// Wrap serialized NodeTelemetry records (see src/telemetry/metrics.hpp)
 /// for the reserved telemetry stream.  `src` is the publishing node's id.
-PacketPtr make_telemetry_packet(std::uint32_t src, Bytes records);
+/// The view is adopted, not copied.
+PacketPtr make_telemetry_packet(std::uint32_t src, BufferView records);
 
-/// The serialized records carried by a telemetry packet.
-const Bytes& telemetry_packet_records(const Packet& packet);
+/// The serialized records carried by a telemetry packet (aliases the
+/// packet's buffer; no copy).
+const BufferView& telemetry_packet_records(const Packet& packet);
 
 /// Node targeted by a kTagDie packet.
 std::uint32_t die_packet_target(const Packet& packet);

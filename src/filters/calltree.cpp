@@ -144,6 +144,12 @@ CallTree CallTree::from_values(const Packet& packet, std::size_t first_field) {
 
 void SubGraphFoldFilter::transform(std::span<const PacketPtr> in,
                                    std::vector<PacketPtr>& out, const FilterContext&) {
+  if (in.size() == 1) {
+    // A fold of one tree is that tree: forward the packet verbatim instead
+    // of decoding and re-encoding it (keeps a wire-backed payload aliased).
+    out.push_back(in.front());
+    return;
+  }
   CallTree merged = CallTree::from_values(*in.front());
   for (std::size_t i = 1; i < in.size(); ++i) {
     merged.merge(CallTree::from_values(*in[i]));

@@ -48,6 +48,12 @@ PacketPtr make_clock_reply(const Packet& probe, std::uint32_t rank,
 void ClockSkewFilter::transform(std::span<const PacketPtr> in,
                                 std::vector<PacketPtr>& out, const FilterContext&) {
   static const DataFormat kReply{"vi64 vf64"};
+  if (in.size() == 1) {
+    // Concatenating one reply is the identity; validate and forward.
+    if (in.front()->format() != kReply) throw CodecError("clock reply must be 'vi64 vf64'");
+    out.push_back(in.front());
+    return;
+  }
   std::vector<std::int64_t> ranks;
   std::vector<double> offsets;
   for (const PacketPtr& packet : in) {

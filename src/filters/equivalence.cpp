@@ -58,6 +58,12 @@ EquivalenceClasses EquivalenceClasses::from_values(const Packet& packet,
 void EquivalenceClassFilter::transform(std::span<const PacketPtr> in,
                                        std::vector<PacketPtr>& out,
                                        const FilterContext&) {
+  if (in.size() == 1) {
+    // Merging a single contribution is the identity: forward verbatim, no
+    // decode/re-encode round-trip.
+    out.push_back(in.front());
+    return;
+  }
   EquivalenceClasses merged = EquivalenceClasses::from_values(*in.front());
   for (std::size_t i = 1; i < in.size(); ++i) {
     merged.merge(EquivalenceClasses::from_values(*in[i]));

@@ -35,6 +35,12 @@ Histogram HistogramCodec::from_values(const Packet& packet, std::size_t first_fi
 
 void HistogramMergeFilter::transform(std::span<const PacketPtr> in,
                                      std::vector<PacketPtr>& out, const FilterContext&) {
+  if (in.size() == 1) {
+    // Merging one histogram is the identity: forward verbatim, no
+    // decode/re-encode round-trip.
+    out.push_back(in.front());
+    return;
+  }
   Histogram merged = HistogramCodec::from_values(*in.front());
   for (std::size_t i = 1; i < in.size(); ++i) {
     merged.merge(HistogramCodec::from_values(*in[i]));

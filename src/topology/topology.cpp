@@ -190,6 +190,60 @@ Topology Topology::from_parents(std::span<const NodeId> parents) {
 }
 
 Topology Topology::parse(std::string_view spec) {
+  return TopologyOptions::from_spec(spec).build();
+}
+
+// ---- TopologyOptions --------------------------------------------------------
+
+TopologyOptions TopologyOptions::single() { return {}; }
+
+TopologyOptions TopologyOptions::flat(std::size_t leaves) {
+  TopologyOptions options;
+  options.shape_ = Shape::kFlat;
+  options.arg0_ = leaves;
+  return options;
+}
+
+TopologyOptions TopologyOptions::balanced(std::size_t fanout, std::size_t depth) {
+  TopologyOptions options;
+  options.shape_ = Shape::kBalanced;
+  options.arg0_ = fanout;
+  options.arg1_ = depth;
+  return options;
+}
+
+TopologyOptions TopologyOptions::balanced_for_leaves(std::size_t fanout,
+                                                     std::size_t leaves) {
+  TopologyOptions options;
+  options.shape_ = Shape::kBalancedForLeaves;
+  options.arg0_ = fanout;
+  options.arg1_ = leaves;
+  return options;
+}
+
+TopologyOptions TopologyOptions::fanouts(std::vector<std::size_t> per_level) {
+  TopologyOptions options;
+  options.shape_ = Shape::kFanouts;
+  options.per_level_ = std::move(per_level);
+  return options;
+}
+
+TopologyOptions TopologyOptions::knomial(std::size_t k, std::size_t dim) {
+  TopologyOptions options;
+  options.shape_ = Shape::kKnomial;
+  options.arg0_ = k;
+  options.arg1_ = dim;
+  return options;
+}
+
+TopologyOptions TopologyOptions::edges(std::vector<NodeId> parents) {
+  TopologyOptions options;
+  options.shape_ = Shape::kEdges;
+  options.parents_ = std::move(parents);
+  return options;
+}
+
+TopologyOptions TopologyOptions::from_spec(std::string_view spec) {
   if (spec == "single") return single();
   const auto colon = spec.find(':');
   if (colon == std::string_view::npos) throw ParseError("bad topology spec '" + std::string(spec) + "'");
@@ -207,9 +261,9 @@ Topology Topology::parse(std::string_view spec) {
     return balanced_for_leaves(parse_size(parts[0]), parse_size(parts[1]));
   }
   if (kind == "fanouts") {
-    std::vector<std::size_t> fanouts;
-    for (const auto part : split(rest, ',')) fanouts.push_back(parse_size(part));
-    return from_fanouts(fanouts);
+    std::vector<std::size_t> per_level;
+    for (const auto part : split(rest, ',')) per_level.push_back(parse_size(part));
+    return fanouts(std::move(per_level));
   }
   if (kind == "knomial") {
     const auto parts = split(rest, ':');
@@ -217,6 +271,26 @@ Topology Topology::parse(std::string_view spec) {
     return knomial(parse_size(parts[0]), parse_size(parts[1]));
   }
   throw ParseError("unknown topology kind '" + std::string(kind) + "'");
+}
+
+Topology TopologyOptions::build() const {
+  switch (shape_) {
+    case Shape::kSingle:
+      return Topology::single();
+    case Shape::kFlat:
+      return Topology::flat(arg0_);
+    case Shape::kBalanced:
+      return Topology::balanced(arg0_, arg1_);
+    case Shape::kBalancedForLeaves:
+      return Topology::balanced_for_leaves(arg0_, arg1_);
+    case Shape::kFanouts:
+      return Topology::from_fanouts(per_level_);
+    case Shape::kKnomial:
+      return Topology::knomial(arg0_, arg1_);
+    case Shape::kEdges:
+      return Topology::from_parents(parents_);
+  }
+  throw TopologyError("unreachable topology shape");
 }
 
 std::uint32_t Topology::leaf_rank(NodeId id) const {

@@ -65,13 +65,7 @@ class Topology {
   /// Build from explicit parent links (parent[0] must be kNoNode).
   static Topology from_parents(std::span<const NodeId> parents);
 
-  /// Parse a compact spec string:
-  ///   "single"            -> single()
-  ///   "flat:64"           -> flat(64)
-  ///   "bal:16x2"          -> balanced(fanout 16, depth 2)
-  ///   "auto:16:300"       -> balanced_for_leaves(16, 300)
-  ///   "fanouts:4,8,2"     -> from_fanouts({4,8,2})
-  ///   "knomial:2:6"       -> knomial(2, 6)
+  [[deprecated("use TopologyOptions::from_spec (or a typed TopologyOptions builder)")]]
   static Topology parse(std::string_view spec);
 
   // ---- queries ------------------------------------------------------------
@@ -138,6 +132,69 @@ class Topology {
 
   std::vector<TopologyNode> nodes_;
   std::vector<NodeId> leaves_;
+};
+
+/// Typed topology specification — the replacement for the stringly
+/// `Topology::parse` specs.  Pick a shape with a named factory, then pass the
+/// options anywhere a `Topology` is expected (the implicit conversion runs
+/// the builder), e.g.
+///
+///   Network::create({.topology = TopologyOptions::balanced(16, 2)});
+///
+/// Validation happens in `build()`, so malformed options (zero fanout, a
+/// dangling parent link) fail with the same TopologyError/ParseError the
+/// direct builders throw.  `from_spec` accepts the legacy compact strings
+/// for CLI tools that take the shape on the command line.
+class TopologyOptions {
+ public:
+  /// Degenerate single-process tree (front-end only).
+  static TopologyOptions single();
+
+  /// One-to-many: the front-end directly parents `leaves` back-ends.
+  static TopologyOptions flat(std::size_t leaves);
+
+  /// Balanced k-ary tree: `fanout` children per internal node, `depth` hops
+  /// from root to every leaf.
+  static TopologyOptions balanced(std::size_t fanout, std::size_t depth);
+
+  /// Balanced tree sized for a target leaf count (uneven last level).
+  static TopologyOptions balanced_for_leaves(std::size_t fanout, std::size_t leaves);
+
+  /// Explicit per-level fanouts: `per_level[i]` children for every node at
+  /// level i.
+  static TopologyOptions fanouts(std::vector<std::size_t> per_level);
+
+  /// Skewed k-nomial tree of dimension `dim` (2-nomial == binomial).
+  static TopologyOptions knomial(std::size_t k, std::size_t dim);
+
+  /// Explicit edge list as parent links; `parents[0]` must be kNoNode.
+  static TopologyOptions edges(std::vector<NodeId> parents);
+
+  /// Parse a legacy compact spec string (the CLI-facing entry point):
+  ///   "single"            -> single()
+  ///   "flat:64"           -> flat(64)
+  ///   "bal:16x2"          -> balanced(fanout 16, depth 2)
+  ///   "auto:16:300"       -> balanced_for_leaves(16, 300)
+  ///   "fanouts:4,8,2"     -> fanouts({4,8,2})
+  ///   "knomial:2:6"       -> knomial(2, 6)
+  static TopologyOptions from_spec(std::string_view spec);
+
+  /// Materialize (and validate) the topology.
+  Topology build() const;
+  operator Topology() const { return build(); }  // NOLINT(google-explicit-constructor)
+
+ private:
+  enum class Shape : std::uint8_t {
+    kSingle, kFlat, kBalanced, kBalancedForLeaves, kFanouts, kKnomial, kEdges,
+  };
+
+  TopologyOptions() = default;
+
+  Shape shape_ = Shape::kSingle;
+  std::size_t arg0_ = 0;  ///< leaves / fanout / k, by shape.
+  std::size_t arg1_ = 0;  ///< depth / target leaves / dim, by shape.
+  std::vector<std::size_t> per_level_;
+  std::vector<NodeId> parents_;
 };
 
 }  // namespace tbon

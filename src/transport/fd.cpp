@@ -1,11 +1,15 @@
 #include "transport/fd.hpp"
 
+#include <limits.h>
 #include <sys/socket.h>
 #include <sys/types.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -75,6 +79,45 @@ void write_frame(int fd, std::span<const std::byte> payload) {
   std::memcpy(header, &length, 4);
   write_all(fd, header, 4);
   write_all(fd, payload.data(), payload.size());
+}
+
+void write_frame_segments(int fd, std::span<const SegmentWriter::Segment> segments,
+                          std::size_t total) {
+  const auto length = static_cast<std::uint32_t>(total);
+  std::byte header[4];
+  std::memcpy(header, &length, 4);
+
+  std::vector<iovec> iov;
+  iov.reserve(segments.size() + 1);
+  iov.push_back({header, 4});
+  for (const SegmentWriter::Segment& seg : segments) {
+    iov.push_back({const_cast<std::byte*>(seg.data), seg.size});
+  }
+
+  std::size_t next = 0;
+  while (next < iov.size()) {
+    msghdr msg{};
+    msg.msg_iov = iov.data() + next;
+    msg.msg_iovlen = std::min<std::size_t>(iov.size() - next, IOV_MAX);
+    ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::writev(fd, msg.msg_iov, static_cast<int>(msg.msg_iovlen));
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError("writev failed: " + errno_string());
+    }
+    // Skip fully-written iovecs; trim a partially-written one in place.
+    auto advanced = static_cast<std::size_t>(n);
+    while (next < iov.size() && advanced >= iov[next].iov_len) {
+      advanced -= iov[next].iov_len;
+      ++next;
+    }
+    if (next < iov.size() && advanced > 0) {
+      iov[next].iov_base = static_cast<char*>(iov[next].iov_base) + advanced;
+      iov[next].iov_len -= advanced;
+    }
+  }
 }
 
 std::optional<Bytes> read_frame(int fd) {

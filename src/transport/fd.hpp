@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "common/archive.hpp"
+#include "common/buffer.hpp"
 
 namespace tbon {
 
@@ -49,6 +50,12 @@ std::pair<Fd, Fd> make_socketpair();
 
 /// Write a length-prefixed frame; throws TransportError on failure.
 void write_frame(int fd, std::span<const std::byte> payload);
+
+/// Write a length-prefixed frame from a scatter-gather segment list in one
+/// writev/sendmsg call (no coalescing copy); `total` must equal the summed
+/// segment sizes.  Throws TransportError on failure.
+void write_frame_segments(int fd, std::span<const SegmentWriter::Segment> segments,
+                          std::size_t total);
 
 /// Read one length-prefixed frame; nullopt on orderly EOF, throws on error.
 std::optional<Bytes> read_frame(int fd);

@@ -67,6 +67,41 @@ TEST(CompatApi, CreateThreadedAcceptsRecoveryOptions) {
   net->shutdown();
 }
 
+TEST(CompatApi, TopologyParseForwardsToFromSpec) {
+  EXPECT_EQ(Topology::parse("bal:4x2"), TopologyOptions::from_spec("bal:4x2").build());
+  EXPECT_EQ(Topology::parse("single"), Topology::single());
+  EXPECT_THROW(Topology::parse("bogus:1"), ParseError);
+}
+
+TEST(CompatApi, VectorPayloadSendOverloadsCopyButDeliver) {
+  auto net = Network::create({.topology = Topology::flat(2)});
+  Stream& up = net->front_end().new_stream({.up_transform = "concat"});
+  const std::vector<std::uint8_t> blob{0xde, 0xad, 0xbe, 0xef};
+
+  // Deprecated BackEnd::send(vector<uint8_t>): still delivers, but is
+  // counted as a payload copy (the BufferView overload would not be).
+  CopyStats::reset();
+  net->backend(0).send(up.id(), kTag, blob);
+  net->backend(1).send(up.id(), kTag, blob);
+  EXPECT_GE(CopyStats::memcpys(), 2u);
+  const auto result = up.recv_for(10s);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ((*result)->get_bytes(0).size(), 2 * blob.size());
+
+  // Deprecated Stream::send(vector<uint8_t>) multicasts downstream.
+  Stream& down = net->front_end().new_stream({});
+  down.send(kTag, blob);
+  for (std::uint32_t rank = 0; rank < 2; ++rank) {
+    const auto got = net->backend(rank).recv_for(10s);
+    ASSERT_TRUE(got.has_value());
+    const BufferView& payload = (*got)->get_bytes(0);
+    EXPECT_EQ(Bytes(payload.span().begin(), payload.span().end()),
+              Bytes(reinterpret_cast<const std::byte*>(blob.data()),
+                    reinterpret_cast<const std::byte*>(blob.data()) + blob.size()));
+  }
+  net->shutdown();
+}
+
 TEST(CompatApi, FilterParamsParsesLegacyWireStrings) {
   const FilterParams parsed("k=2 chain=topk,passthrough");
   EXPECT_EQ(parsed, FilterParams().set("chain", "topk,passthrough").set("k", 2));

@@ -153,7 +153,7 @@ class DistributedEquivalence : public ::testing::TestWithParam<const char*> {
 };
 
 TEST_P(DistributedEquivalence, PeaksMatchSingleNode) {
-  const Topology topology = Topology::parse(GetParam());
+  const Topology topology = TopologyOptions::from_spec(GetParam());
   const SynthParams synth = small_synth();
   const auto params = default_params();
 

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "core/network.hpp"
 #include "core/packet.hpp"
 #include "core/protocol.hpp"
 #include "filters/calltree.hpp"
@@ -141,6 +142,144 @@ TEST(FuzzCodec, AgglomerativeShapeMismatch) {
       {std::vector<double>{1}, std::vector<double>{1, 2},
        std::vector<std::int64_t>{1}});
   EXPECT_THROW(ms::agg::AggloCodec::from_values(*bad), CodecError);
+}
+
+// ---- scatter-gather framing -------------------------------------------------
+//
+// The segment serializer must produce byte-identical frames to the classic
+// BinaryWriter path — writev'ing header + payload views is an optimization,
+// never a wire-format change — and deserialize_view must reject exactly the
+// inputs deserialize rejects.
+
+PacketPtr random_mixed_packet(Rng& rng) {
+  // Payload sizes straddle SegmentWriter::kExternalCutoff so both the
+  // scratch-coalesced and referenced-in-place branches are exercised.
+  static constexpr std::size_t kSizes[] = {0, 1, 63, 64, 65, 300, 4096};
+  const std::size_t bytes_len = kSizes[rng.next_below(std::size(kSizes))];
+  const std::size_t vec_len = kSizes[rng.next_below(std::size(kSizes))] / 8;
+  Bytes blob(bytes_len);
+  for (auto& b : blob) b = static_cast<std::byte>(rng.next_u64() & 0xff);
+  return Packet::make(
+      static_cast<std::uint32_t>(1 + rng.next_below(100)), kFirstAppTag,
+      static_cast<std::uint32_t>(rng.next_below(64)), "i32 bytes vf64 str",
+      {static_cast<std::int32_t>(rng.next_u64()), BufferView(std::move(blob)),
+       std::vector<double>(vec_len, 0.5), std::string(rng.next_below(80), 'q')});
+}
+
+TEST(FuzzCodec, SegmentFramingMatchesBinaryWriter) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 200; ++trial) {
+    const PacketPtr packet = random_mixed_packet(rng);
+    BinaryWriter writer;
+    packet->serialize(writer);
+    SegmentWriter segments;
+    packet->serialize_segments(segments);
+    EXPECT_EQ(segments.size(), writer.bytes().size());
+    EXPECT_EQ(segments.coalesce(), writer.bytes());
+
+    // And the view deserializer round-trips the coalesced frame.
+    auto frame = std::make_shared<const Buffer>(segments.coalesce());
+    const PacketPtr back =
+        Packet::deserialize_view(BufferView(frame, 0, frame->size()));
+    EXPECT_EQ(back->values(), packet->values());
+    EXPECT_TRUE(back->has_wire());
+  }
+}
+
+TEST(FuzzCodec, SegmentFrameTruncationsAreRejected) {
+  const PacketPtr packet = Packet::make(
+      9, kFirstAppTag, 2, "bytes vstr",
+      {BufferView(Bytes(100, std::byte{0x5a})), std::vector<std::string>{"a", "bb"}});
+  SegmentWriter segments;
+  packet->serialize_segments(segments);
+  const Bytes full = segments.coalesce();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    auto frame = std::make_shared<const Buffer>(Bytes(full.begin(), full.begin() + cut));
+    EXPECT_THROW((void)Packet::deserialize_view(BufferView(frame, 0, cut)), CodecError)
+        << "cut=" << cut;
+  }
+  auto frame = std::make_shared<const Buffer>(Bytes(full));
+  EXPECT_EQ(Packet::deserialize_view(BufferView(frame, 0, full.size()))->values(),
+            packet->values());
+}
+
+TEST(FuzzCodec, ZeroLengthViewsSurviveFraming) {
+  const PacketPtr packet = Packet::make(
+      3, kFirstAppTag, 0, "bytes str bytes",
+      {BufferView(), std::string(), BufferView(Bytes{})});
+  SegmentWriter segments;
+  packet->serialize_segments(segments);
+  BinaryWriter writer;
+  packet->serialize(writer);
+  EXPECT_EQ(segments.coalesce(), writer.bytes());
+  auto frame = std::make_shared<const Buffer>(segments.coalesce());
+  const PacketPtr back = Packet::deserialize_view(BufferView(frame, 0, frame->size()));
+  EXPECT_TRUE(back->get_bytes(0).empty());
+  EXPECT_TRUE(back->get_bytes(2).empty());
+}
+
+TEST(FuzzCodec, AliasedBufferPayloadsShareOneBacking) {
+  // Two packets viewing disjoint windows of ONE buffer must serialize to
+  // independent frames while never copying the shared backing.
+  Bytes blob(256);
+  for (std::size_t i = 0; i < blob.size(); ++i) blob[i] = static_cast<std::byte>(i);
+  auto shared = std::make_shared<const Buffer>(std::move(blob));
+  const BufferView front(shared, 0, 128);
+  const BufferView tail(shared, 128, 128);
+  const PacketPtr a = Packet::make_view(1, kFirstAppTag, 0, front);
+  const PacketPtr b = Packet::make_view(1, kFirstAppTag, 1, tail);
+
+  CopyStats::reset();
+  SegmentWriter sa, sb;
+  a->serialize_segments(sa);
+  b->serialize_segments(sb);
+  EXPECT_EQ(CopyStats::memcpys(), 0u);  // both payloads referenced in place
+
+  auto fa = std::make_shared<const Buffer>(sa.coalesce());
+  auto fb = std::make_shared<const Buffer>(sb.coalesce());
+  EXPECT_EQ(Packet::deserialize_view(BufferView(fa, 0, fa->size()))->get_bytes(0), front);
+  EXPECT_EQ(Packet::deserialize_view(BufferView(fb, 0, fb->size()))->get_bytes(0), tail);
+}
+
+// ---- view lifetimes ---------------------------------------------------------
+
+TEST(ViewLifetime, PayloadOutlivesEveryOtherHandle) {
+  BufferView payload;
+  {
+    const PacketPtr original = Packet::make(
+        5, kFirstAppTag, 1, "bytes", {BufferView(Bytes(4096, std::byte{0xab}))});
+    SegmentWriter segments;
+    original->serialize_segments(segments);
+    auto frame = std::make_shared<const Buffer>(segments.coalesce());
+    PacketPtr parsed = Packet::deserialize_view(BufferView(frame, 0, frame->size()));
+    frame.reset();                       // packet now sole owner of the frame
+    payload = parsed->get_bytes(0);      // view pins the frame through the packet
+    parsed.reset();                      // view now sole owner
+  }
+  ASSERT_EQ(payload.size(), 4096u);
+  for (const std::byte b : payload.span()) ASSERT_EQ(b, std::byte{0xab});
+}
+
+TEST(ViewLifetime, PayloadOutlivesLinkTeardown) {
+  // A payload handed out by recv() must stay readable after the network —
+  // links, runtimes, receive buffers — is torn down (ASan guards this).
+  BufferView payload;
+  {
+    auto net = Network::create({.topology = Topology::flat(2)});
+    Stream& stream = net->front_end().new_stream({.up_transform = "concat"});
+    Bytes blob(8192);
+    for (std::size_t i = 0; i < blob.size(); ++i) blob[i] = static_cast<std::byte>(i % 251);
+    net->backend(0).send(stream.id(), kFirstAppTag, BufferView(Bytes(blob)));
+    net->backend(1).send(stream.id(), kFirstAppTag, BufferView(Bytes(blob)));
+    const auto result = stream.recv();
+    ASSERT_TRUE(result.has_value());
+    payload = (*result)->get_bytes(0);
+    net->shutdown();
+  }  // net destroyed; payload must still pin its backing
+  ASSERT_EQ(payload.size(), 2 * 8192u);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    ASSERT_EQ(payload.span()[i], static_cast<std::byte>((i % 8192) % 251));
+  }
 }
 
 TEST(FuzzCodec, FormatStringFuzz) {

@@ -329,7 +329,7 @@ TEST(Network, DeleteStreamFlushesAndStops) {
 class NetworkReduction : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(NetworkReduction, SumMatchesClosedForm) {
-  const Topology topology = Topology::parse(GetParam());
+  const Topology topology = TopologyOptions::from_spec(GetParam());
   auto net = Network::create({.topology = topology});
   Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
   net->run_backends([&](BackEnd& be) {

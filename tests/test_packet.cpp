@@ -40,6 +40,39 @@ TEST(Packet, SerializationRoundTrip) {
   EXPECT_TRUE(reader.exhausted());
 }
 
+TEST(Packet, PayloadViewAliasesWireFrame) {
+  const PacketPtr original = Packet::make(
+      4, 150, 2, "i32 bytes", {std::int32_t{9}, BufferView(Bytes(200, std::byte{0x7e}))});
+  BinaryWriter writer;
+  original->serialize(writer);
+  auto frame = std::make_shared<const Buffer>(Bytes(writer.bytes()));
+  const PacketPtr parsed = Packet::deserialize_view(BufferView(frame, 0, frame->size()));
+
+  // Wire-backed: the payload view is a window of the frame itself.
+  const BufferView wire_payload = parsed->payload_view();
+  EXPECT_GE(wire_payload.data(), frame->data());
+  EXPECT_LE(wire_payload.data() + wire_payload.size(), frame->data() + frame->size());
+  // The view is the serialized payload region — logical payload bytes plus
+  // the per-field length prefixes.
+  EXPECT_GE(wire_payload.size(), parsed->payload_bytes());
+
+  // Eager packet: payload_view packs a fresh buffer with identical bytes.
+  const BufferView packed = original->payload_view();
+  EXPECT_EQ(packed, wire_payload);
+  EXPECT_EQ(original->values(), parsed->values());
+}
+
+TEST(Packet, MakeViewWrapsOpaquePayload) {
+  Bytes blob(128);
+  for (std::size_t i = 0; i < blob.size(); ++i) blob[i] = static_cast<std::byte>(i);
+  const BufferView view{Bytes(blob)};
+  const PacketPtr p = Packet::make_view(6, 170, 3, view);
+  EXPECT_EQ(p->format().to_string(), "bytes");
+  EXPECT_EQ(p->get_bytes(0), view);
+  // The packet shares the backing, it does not copy it.
+  EXPECT_EQ(p->get_bytes(0).data(), view.data());
+}
+
 TEST(Packet, ToStringMentionsFields) {
   const PacketPtr p = Packet::make(1, 100, kFrontEndRank, "i32 str",
                                    {std::int32_t{5}, std::string("x")});

@@ -2,6 +2,7 @@
 // including the paper's §3.2 internal-node accounting.
 #include <gtest/gtest.h>
 
+#include "core/network.hpp"
 #include "topology/topology.hpp"
 
 namespace tbon {
@@ -122,15 +123,45 @@ TEST(Topology, PathToRoot) {
 }
 
 TEST(Topology, ParseSpecs) {
-  EXPECT_EQ(Topology::parse("single").num_nodes(), 1u);
-  EXPECT_EQ(Topology::parse("flat:8").num_leaves(), 8u);
-  EXPECT_EQ(Topology::parse("bal:4x2").num_leaves(), 16u);
-  EXPECT_EQ(Topology::parse("auto:4:10").num_leaves(), 10u);
-  EXPECT_EQ(Topology::parse("fanouts:2,5").num_leaves(), 10u);
-  EXPECT_EQ(Topology::parse("knomial:2:3").num_nodes(), 8u);
-  EXPECT_THROW(Topology::parse("bogus:1"), ParseError);
-  EXPECT_THROW(Topology::parse("flat:x"), ParseError);
-  EXPECT_THROW(Topology::parse("nocolon"), ParseError);
+  EXPECT_EQ(TopologyOptions::from_spec("single").build().num_nodes(), 1u);
+  EXPECT_EQ(TopologyOptions::from_spec("flat:8").build().num_leaves(), 8u);
+  EXPECT_EQ(TopologyOptions::from_spec("bal:4x2").build().num_leaves(), 16u);
+  EXPECT_EQ(TopologyOptions::from_spec("auto:4:10").build().num_leaves(), 10u);
+  EXPECT_EQ(TopologyOptions::from_spec("fanouts:2,5").build().num_leaves(), 10u);
+  EXPECT_EQ(TopologyOptions::from_spec("knomial:2:3").build().num_nodes(), 8u);
+  EXPECT_THROW(TopologyOptions::from_spec("bogus:1"), ParseError);
+  EXPECT_THROW(TopologyOptions::from_spec("flat:x"), ParseError);
+  EXPECT_THROW(TopologyOptions::from_spec("nocolon"), ParseError);
+}
+
+TEST(TopologyOptions, TypedBuildersMatchDirectFactories) {
+  EXPECT_EQ(Topology(TopologyOptions::single()), Topology::single());
+  EXPECT_EQ(Topology(TopologyOptions::flat(8)), Topology::flat(8));
+  EXPECT_EQ(Topology(TopologyOptions::balanced(4, 2)), Topology::balanced(4, 2));
+  EXPECT_EQ(Topology(TopologyOptions::balanced_for_leaves(4, 10)),
+            Topology::balanced_for_leaves(4, 10));
+  EXPECT_EQ(Topology(TopologyOptions::fanouts({2, 5})),
+            Topology::from_fanouts(std::vector<std::size_t>{2, 5}));
+  EXPECT_EQ(Topology(TopologyOptions::knomial(2, 3)), Topology::knomial(2, 3));
+  const std::vector<NodeId> parents{kNoNode, 0, 0, 1};
+  EXPECT_EQ(Topology(TopologyOptions::edges(parents)),
+            Topology::from_parents(parents));
+}
+
+TEST(TopologyOptions, ValidationDeferredToBuild) {
+  // Constructing the options never throws; build() runs the same validation
+  // as the direct factories.
+  const auto dangling = TopologyOptions::edges({kNoNode, 7});
+  EXPECT_THROW(dangling.build(), TopologyError);
+  EXPECT_THROW(TopologyOptions::flat(0).build(), TopologyError);
+}
+
+TEST(TopologyOptions, ImplicitConversionFeedsNetworkOptions) {
+  // The whole point of the typed spec: designated-initializer NetworkOptions
+  // take a TopologyOptions wherever a Topology is expected.
+  auto net = Network::create({.topology = TopologyOptions::balanced(2, 2)});
+  EXPECT_EQ(net->num_backends(), 4u);
+  net->shutdown();
 }
 
 TEST(Topology, FromParentsValidation) {
@@ -153,7 +184,7 @@ TEST(Topology, FromParentsValidation) {
 
 TEST(Topology, SerializationRoundTrip) {
   for (const char* spec : {"flat:5", "bal:3x2", "knomial:2:4", "auto:4:11"}) {
-    const Topology original = Topology::parse(spec);
+    const Topology original = TopologyOptions::from_spec(spec);
     BinaryWriter writer;
     original.serialize(writer);
     BinaryReader reader(writer.bytes());
@@ -180,7 +211,7 @@ TEST(Topology, DotExportContainsAllEdges) {
 class TopologyInvariants : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(TopologyInvariants, HoldForShape) {
-  const Topology t = Topology::parse(GetParam());
+  const Topology t = TopologyOptions::from_spec(GetParam());
   // Exactly one root.
   std::size_t roots = 0;
   for (NodeId id = 0; id < t.num_nodes(); ++id) {
