@@ -100,11 +100,13 @@ double live_throughput(int waves, int functions, bool telemetry) {
 /// payload bytes/s at the front-end.  `zero_copy` toggles the fd transport
 /// between the scatter-gather view path and the legacy serialize-copy path.
 /// NOTE: forks — must run before anything in this process spawns threads.
-double process_bulk_throughput(int waves, std::size_t payload_bytes, bool zero_copy) {
+double process_bulk_throughput(int waves, std::size_t payload_bytes, bool zero_copy,
+                               FlowControlOptions flow_control = {}) {
   set_fd_zero_copy(zero_copy);
   auto net = Network::create(
       {.mode = NetworkMode::kProcess,
        .topology = Topology::balanced(2, 2),  // 4 leaf processes, 2 interior
+       .flow_control = flow_control,
        .backend_main =
            [waves, payload_bytes](BackEnd& be) {
              Bytes blob(payload_bytes);
@@ -272,6 +274,46 @@ int main(int argc, char** argv) {
               "received frame verbatim (0 payload memcpys/hop; the legacy path costs\n"
               "2/hop — see micro_transport copy counters).  target: >= 15%% %s\n",
               bulk_bytes / 1024, gain >= 15.0 ? "(met)" : "(MISSED)");
+
+  // ---- backpressure (credit flow control) overhead --------------------------
+  // Same bulk workload with block-policy credit windows on every channel.
+  // Also forks, so it stays in the thread-free zone.  With fc_gate=1 a
+  // regression beyond the budget fails the run (CI wires this).
+  banner("Backpressure overhead (credit flow control, block policy, 64-credit window)");
+  // Alternate off/on passes and compare peaks: throughput drifts ~10% with
+  // host load, so reusing the zero-copy section's baseline from an earlier
+  // time window would gate mostly on noise.
+  const auto fc_passes = static_cast<int>(config.get_int("fc_passes", bulk_passes));
+  double fc_base_bps = 0.0;
+  double fc_bps = 0.0;
+  for (int pass = 0; pass < fc_passes; ++pass) {
+    fc_base_bps = std::max(fc_base_bps,
+                           process_bulk_throughput(bulk_waves, bulk_bytes, true));
+    fc_bps = std::max(fc_bps,
+                      process_bulk_throughput(
+                          bulk_waves, bulk_bytes, true,
+                          {.enabled = true,
+                           .capacity = 64,
+                           .policy = FlowControlPolicy::kBlock}));
+  }
+  set_fd_zero_copy(true);  // restore the default
+  const double fc_overhead = 100.0 * (fc_base_bps - fc_bps) / fc_base_bps;
+
+  Table backpressure({"flow_control", "payload_MiB_s", "overhead_pct"});
+  backpressure.add_row({"off", fmt("%.1f", fc_base_bps / (1024.0 * 1024.0)), "-"});
+  backpressure.add_row({"block (cap=64)", fmt("%.1f", fc_bps / (1024.0 * 1024.0)),
+                        fmt("%.1f", fc_overhead)});
+  backpressure.print("backpressure_overhead");
+  const bool fc_budget_met = fc_overhead <= 5.0;
+  std::printf("\ncredit accounting on the uncontended path is one atomic acquire per\n"
+              "send and one in-band grant frame per %u packets consumed.\n"
+              "budget: <= 5%% overhead at %zu KiB%s\n",
+              FlowControlOptions{.enabled = true, .capacity = 64}.grant_quantum(),
+              bulk_bytes / 1024, fc_budget_met ? " (met)" : " (EXCEEDED)");
+  if (config.get_int("fc_gate", 0) != 0 && !fc_budget_met) {
+    std::printf("fc_gate=1: failing the run.\n");
+    return 1;
+  }
 
   // ---- live telemetry overhead ---------------------------------------------
   const auto live_waves = static_cast<int>(config.get_int("live_waves", 2000));

@@ -60,6 +60,15 @@ class FilterError : public Error {
   explicit FilterError(const std::string& what) : Error("filter error: " + what) {}
 };
 
+/// Send rejected by flow control: the channel's credit window is exhausted
+/// and the policy is fail_fast (only application-facing send paths throw;
+/// runtime-internal relays shed and count instead).
+class FlowControlError : public Error {
+ public:
+  explicit FlowControlError(const std::string& what)
+      : Error("flow control: " + what) {}
+};
+
 /// Lightweight result type for fallible operations on non-exceptional paths.
 /// Holds either a value or an error message.
 template <typename T>

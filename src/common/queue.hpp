@@ -33,6 +33,25 @@ class BoundedQueue {
     return true;
   }
 
+  /// Push that never blocks: when the queue is full the *oldest* item is
+  /// evicted to make room (drop_oldest flow-control pending rings).  Returns
+  /// the number of items evicted (0 or 1); returns 0 and drops `item` when
+  /// the queue is closed.
+  std::size_t push_evict_oldest(T item) {
+    std::size_t evicted = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return 0;
+      while (items_.size() >= capacity_ && !items_.empty()) {
+        items_.pop_front();
+        ++evicted;
+      }
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return evicted;
+  }
+
   /// Non-blocking push; returns false when full or closed.
   bool try_push(T item) {
     {
@@ -85,7 +104,21 @@ class BoundedQueue {
     return items_.size();
   }
 
-  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t capacity() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+  }
+
+  /// Re-bound the queue (e.g. sized from flow-control windows after
+  /// construction).  Growing wakes blocked producers; shrinking never drops
+  /// items already queued — the bound applies to future pushes.
+  void resize(std::size_t capacity) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      capacity_ = capacity ? capacity : 1;
+    }
+    not_full_.notify_all();
+  }
 
  private:
   std::optional<T> take_front(std::unique_lock<std::mutex>& lock) {

@@ -4,7 +4,10 @@
 
 #include "common/archive.hpp"
 #include "common/buffer.hpp"
+#include "common/error.hpp"
 #include "common/log.hpp"
+#include "core/flow_control.hpp"
+#include "core/protocol.hpp"
 
 namespace tbon {
 namespace {
@@ -60,9 +63,35 @@ void FdLink::close() {
   }
 }
 
+namespace {
+
+/// Apply (or reject) an in-band credit grant on the reader thread.
+void consume_credit_frame(const Packet& packet, const CreditSink& sink,
+                          MetricsRegistry* metrics) {
+  try {
+    const std::uint32_t count = credit_packet_count(packet);
+    const std::uint32_t channel = credit_packet_channel(packet);
+    if (!sink.gate || channel != sink.channel_id) {
+      throw CodecError("stale or unsinkable credit grant");
+    }
+    sink.gate->grant(count);
+  } catch (const std::exception& error) {
+    // Malformed, stale or unsinkable: count and drop.  Never let a hostile
+    // grant frame tear down the reader (and with it the whole channel).
+    TBON_DEBUG("rejecting credit grant: " << error.what());
+    if (metrics != nullptr) {
+      metrics->fc_invalid_grants.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace
+
 std::jthread start_fd_reader(int fd, InboxPtr inbox, Origin origin,
-                             std::uint32_t child_slot, MetricsRegistry* metrics) {
-  return std::jthread([fd, inbox = std::move(inbox), origin, child_slot, metrics] {
+                             std::uint32_t child_slot, MetricsRegistry* metrics,
+                             CreditSink credit_sink) {
+  return std::jthread([fd, inbox = std::move(inbox), origin, child_slot, metrics,
+                       credit_sink = std::move(credit_sink)] {
     try {
       while (auto frame = read_frame(fd)) {
         if (metrics != nullptr) {
@@ -78,6 +107,10 @@ std::jthread start_fd_reader(int fd, InboxPtr inbox, Origin origin,
         } else {
           BinaryReader reader(*frame);
           packet = Packet::deserialize(reader);
+        }
+        if (packet->stream_id() == kControlStream && packet->tag() == kTagCredit) {
+          consume_credit_frame(*packet, credit_sink, metrics);
+          continue;
         }
         inbox->push(Envelope{origin, child_slot, packet});
       }

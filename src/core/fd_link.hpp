@@ -58,12 +58,27 @@ class SharedLink final : public Link {
   std::shared_ptr<Link> inner_;
 };
 
+class CreditGate;
+
+/// Where a reader thread delivers in-band flow-control credit grants: the
+/// gate guarding the *opposite* direction of the same fd (what this process
+/// sends on it).  Applying grants on the reader thread — never the event
+/// loop, which may itself be blocked on those credits — keeps the credit
+/// control plane deadlock-free.  Grants with a mismatched channel id, or
+/// malformed ones, are rejected and counted (fc_invalid_grants).
+struct CreditSink {
+  std::shared_ptr<CreditGate> gate;
+  std::uint32_t channel_id = 0;
+};
+
 /// Start a reader thread: frames from `fd` become envelopes in `inbox`
 /// tagged (origin, child_slot); EOF or a transport error becomes the null
 /// EOF envelope.  `metrics`, when given, receives wire_bytes_in accounting
-/// and must outlive the thread.
+/// and must outlive the thread.  kTagCredit control frames are consumed
+/// in-place against `credit_sink` (or dropped when no sink), never enqueued.
 std::jthread start_fd_reader(int fd, InboxPtr inbox, Origin origin,
                              std::uint32_t child_slot,
-                             MetricsRegistry* metrics = nullptr);
+                             MetricsRegistry* metrics = nullptr,
+                             CreditSink credit_sink = {});
 
 }  // namespace tbon

@@ -15,6 +15,25 @@ namespace tbon {
 
 using namespace std::chrono_literals;
 
+namespace {
+
+/// Drain hook for a sender-side CreditGate: wake the sender's event loop (a
+/// no-op marker envelope) so registered pending rings get pumped right after
+/// a grant lands.  try_push — a full inbox is an awake inbox.
+std::function<void()> fc_wake_hook(InboxPtr inbox) {
+  return [inbox = std::move(inbox), marker = make_attach_marker_packet()] {
+    inbox->try_push(Envelope{Origin::kParent, 0, marker});
+  };
+}
+
+/// Granter for threaded channels: credits go straight into the shared gate.
+std::function<void(std::uint32_t)> fc_direct_granter(
+    std::shared_ptr<CreditGate> gate) {
+  return [gate = std::move(gate)](std::uint32_t n) { gate->grant(n); };
+}
+
+}  // namespace
+
 // ---- dynamic back-ends --------------------------------------------------------
 
 /// Service loop for a back-end attached after instantiation.  Implements the
@@ -104,8 +123,19 @@ BackEnd& Network::attach_backend(NodeId parent) {
   std::lock_guard<std::mutex> lock(dynamic_mutex_);
   const std::uint32_t rank = next_dynamic_rank_++;
   auto service = std::make_unique<DynamicLeafService>(rank, registry_);
-  service->set_up_link(
-      std::make_unique<InprocLink>(runtime.inbox(), Origin::kChild, slot));
+  std::shared_ptr<Link> up =
+      std::make_shared<InprocLink>(runtime.inbox(), Origin::kChild, slot);
+  if (fc_options_.enabled) {
+    // Upstream direction only: the lightweight leaf service has no event
+    // loop consumption hook, so the parent->service direction stays
+    // uncontrolled (it carries control replay and modest downstream fan-out).
+    auto gate = std::make_shared<CreditGate>(fc_options_.window());
+    up = std::make_shared<FlowControlledLink>(
+        std::move(up), gate, fc_options_, /*metrics=*/nullptr,
+        /*fail_fast_throws=*/true);
+    runtime.set_child_granter(slot, fc_direct_granter(gate));
+  }
+  service->set_up_link(std::make_unique<SharedLink>(std::move(up)));
   service->start();
   runtime.request_attach(
       slot, rank, std::make_unique<InprocLink>(service->inbox(), Origin::kParent, 0));
@@ -418,20 +448,63 @@ std::unique_ptr<Network> Network::create_threaded_impl(const NetworkOptions& opt
     net.runtimes_[id] = std::make_unique<NodeRuntime>(topo, id, net.registry_, delegate);
   }
 
-  // Second pass: wire links along every edge.
+  const FlowControlOptions& fc = options.flow_control;
+  net.fc_options_ = fc;
+  if (fc.enabled) {
+    for (auto& runtime : net.runtimes_) runtime->set_flow_control(fc);
+  }
+
+  // Second pass: wire links along every edge.  With flow control on, each
+  // direction of an edge gets a CreditGate shared by the sender's wrapped
+  // link(s) and the receiving runtime's granter.
   for (NodeId id = 0; id < topo.num_nodes(); ++id) {
     const auto& children = topo.node(id).children;
     for (std::uint32_t slot = 0; slot < children.size(); ++slot) {
       const NodeId child = children[slot];
-      net.runtimes_[id]->add_child_link(std::make_unique<InprocLink>(
-          net.runtimes_[child]->inbox(), Origin::kParent, 0));
-      net.runtimes_[child]->set_parent_link(std::make_unique<InprocLink>(
-          net.runtimes_[id]->inbox(), Origin::kChild, slot));
+      NodeRuntime& parent_rt = *net.runtimes_[id];
+      NodeRuntime& child_rt = *net.runtimes_[child];
+
+      auto down_inner = std::make_shared<InprocLink>(child_rt.inbox(),
+                                                     Origin::kParent, 0u);
+      auto up_inner = std::make_shared<InprocLink>(parent_rt.inbox(),
+                                                   Origin::kChild, slot);
+      std::shared_ptr<CreditGate> gate_up;
+      if (!fc.enabled) {
+        parent_rt.add_child_link(std::make_unique<SharedLink>(down_inner));
+        child_rt.set_parent_link(std::make_unique<SharedLink>(up_inner));
+      } else {
+        auto gate_down = std::make_shared<CreditGate>(fc.window());
+        gate_down->set_drain_hook(fc_wake_hook(parent_rt.inbox()));
+        auto down = std::make_shared<FlowControlledLink>(
+            down_inner, gate_down, fc, &parent_rt.metrics(),
+            /*fail_fast_throws=*/false);
+        parent_rt.register_fc_link(down);
+        parent_rt.add_child_link(std::make_unique<SharedLink>(down));
+        child_rt.set_parent_granter(fc_direct_granter(gate_down));
+
+        gate_up = std::make_shared<CreditGate>(fc.window());
+        gate_up->set_drain_hook(fc_wake_hook(child_rt.inbox()));
+        auto up = std::make_shared<FlowControlledLink>(
+            up_inner, gate_up, fc, &child_rt.metrics(),
+            /*fail_fast_throws=*/false);
+        child_rt.register_fc_link(up);
+        child_rt.set_parent_link(std::make_unique<SharedLink>(up));
+        parent_rt.set_child_granter(slot, fc_direct_granter(gate_up));
+      }
       if (topo.is_leaf(child)) {
-        // Application threads need their own upstream link to the parent.
+        // Application threads need their own upstream link to the parent —
+        // with flow control, their own wrapper sharing the channel's credit
+        // window (fail_fast may throw here: this is the application edge).
         const auto rank = topo.leaf_rank(child);
-        auto up = std::make_shared<InprocLink>(net.runtimes_[id]->inbox(),
-                                               Origin::kChild, slot);
+        std::shared_ptr<Link> up = std::make_shared<InprocLink>(
+            parent_rt.inbox(), Origin::kChild, slot);
+        if (fc.enabled) {
+          auto wrapper = std::make_shared<FlowControlledLink>(
+              std::move(up), gate_up, fc, &child_rt.metrics(),
+              /*fail_fast_throws=*/true);
+          child_rt.register_fc_link(wrapper);
+          up = std::move(wrapper);
+        }
         if (net.recovery_.auto_readopt) {
           // Relinkable so the handle survives a parent swap (re-adoption).
           net.backend_relinks_.resize(topo.num_leaves());
@@ -503,16 +576,51 @@ bool Network::readopt_threaded(NodeRuntime& orphan) {
   // Queue the adoption at the adopter *before* handing the orphan its new
   // parent link: the adopter's inbox is FIFO, so the wiring marker is
   // processed before any data the orphan (or its back-end handle) sends.
-  adopter.request_adopt(
-      slot, topology_.subtree_leaf_ranks(self),
-      std::make_unique<InprocLink>(orphan.inbox(), Origin::kParent, epoch));
-  orphan.set_parent_link(
-      std::make_unique<InprocLink>(adopter.inbox(), Origin::kChild, slot));
+  // With flow control, the new edge gets *fresh* gates (a full re-baselined
+  // window — packets in flight on the dead edge are gone, and so are their
+  // credits) and the granters on both ends are swapped before any data can
+  // flow on the new edge.
+  const FlowControlOptions& fc = fc_options_;
+  std::shared_ptr<Link> down = std::make_shared<InprocLink>(
+      orphan.inbox(), Origin::kParent, epoch);
+  std::shared_ptr<Link> up = std::make_shared<InprocLink>(
+      adopter.inbox(), Origin::kChild, slot);
+  std::shared_ptr<CreditGate> gate_up;
+  if (fc.enabled) {
+    auto gate_down = std::make_shared<CreditGate>(fc.window());
+    gate_down->set_drain_hook(fc_wake_hook(adopter.inbox()));
+    auto down_w = std::make_shared<FlowControlledLink>(
+        std::move(down), gate_down, fc, &adopter.metrics(),
+        /*fail_fast_throws=*/false);
+    adopter.register_fc_link(down_w);
+    down = std::move(down_w);
+    orphan.set_parent_granter(fc_direct_granter(gate_down));
+
+    gate_up = std::make_shared<CreditGate>(fc.window());
+    gate_up->set_drain_hook(fc_wake_hook(orphan.inbox()));
+    auto up_w = std::make_shared<FlowControlledLink>(
+        std::move(up), gate_up, fc, &orphan.metrics(),
+        /*fail_fast_throws=*/false);
+    orphan.register_fc_link(up_w);
+    up = std::move(up_w);
+    adopter.set_child_granter(slot, fc_direct_granter(gate_up));
+  }
+  adopter.request_adopt(slot, topology_.subtree_leaf_ranks(self),
+                        std::make_unique<SharedLink>(std::move(down)));
+  orphan.set_parent_link(std::make_unique<SharedLink>(std::move(up)));
   if (topology_.is_leaf(self)) {
     const auto rank = topology_.leaf_rank(self);
     if (rank < backend_relinks_.size() && backend_relinks_[rank]) {
-      backend_relinks_[rank]->relink(
-          std::make_shared<InprocLink>(adopter.inbox(), Origin::kChild, slot));
+      std::shared_ptr<Link> app_up = std::make_shared<InprocLink>(
+          adopter.inbox(), Origin::kChild, slot);
+      if (fc.enabled) {
+        auto wrapper = std::make_shared<FlowControlledLink>(
+            std::move(app_up), gate_up, fc, &orphan.metrics(),
+            /*fail_fast_throws=*/true);
+        orphan.register_fc_link(wrapper);
+        app_up = std::move(wrapper);
+      }
+      backend_relinks_[rank]->relink(std::move(app_up));
     }
   }
   current_parent_[self] = ancestor;

@@ -105,6 +105,9 @@ struct NetworkOptions {
   Topology topology = Topology::single();
   RecoveryOptions recovery;
   TelemetryOptions telemetry;
+  /// Credit-based flow control on every tree channel (both instantiations);
+  /// see src/core/flow_control.hpp and docs/flow_control.md.
+  FlowControlOptions flow_control;
 
   /// Process mode only: runs inside every back-end process.
   std::function<void(BackEnd&)> backend_main;
@@ -444,6 +447,7 @@ class Network {
 
   // Recovery state (see src/recovery/).
   RecoveryOptions recovery_;
+  FlowControlOptions fc_options_;
   std::shared_ptr<FaultInjector> injector_;
   /// Effective parent of each node after re-adoptions (recovery_mutex_).
   std::vector<NodeId> current_parent_;

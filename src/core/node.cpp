@@ -64,6 +64,94 @@ void NodeRuntime::request_route(std::uint32_t backend_rank, std::uint32_t slot) 
   inbox_->push(Envelope{Origin::kParent, 0, make_attach_marker_packet()});
 }
 
+void NodeRuntime::set_flow_control(const FlowControlOptions& options) {
+  fc_ = options;
+  if (!fc_.enabled) return;
+  // With credits on, per-channel data in flight is bounded by the window, so
+  // an inbox sized over all channels (+ slack for exempt control/telemetry
+  // traffic and wakeup markers) makes producer pushes effectively
+  // non-blocking: backpressure is carried by credits, not by inbox blocking.
+  const std::size_t channels = child_alive_.size() + 2;
+  inbox_->resize(std::max<std::size_t>(4096, channels * fc_.window() + 1024));
+}
+
+void NodeRuntime::set_parent_granter(std::function<void(std::uint32_t)> granter) {
+  std::lock_guard<std::mutex> lock(fc_mutex_);
+  fc_parent_.granter = std::move(granter);
+  fc_parent_.consumed = 0;
+}
+
+void NodeRuntime::set_child_granter(std::uint32_t slot,
+                                    std::function<void(std::uint32_t)> granter) {
+  std::lock_guard<std::mutex> lock(fc_mutex_);
+  auto& channel = fc_children_[slot];
+  channel.granter = std::move(granter);
+  channel.consumed = 0;
+}
+
+void NodeRuntime::register_fc_link(std::shared_ptr<FlowControlledLink> link) {
+  std::lock_guard<std::mutex> lock(fc_mutex_);
+  fc_pump_.push_back(std::move(link));
+}
+
+void NodeRuntime::note_consumed(Origin origin, std::uint32_t slot) {
+  if (!fc_.enabled) return;
+  std::function<void(std::uint32_t)> granter;
+  std::uint32_t grant = 0;
+  {
+    std::lock_guard<std::mutex> lock(fc_mutex_);
+    FcChannel* channel = nullptr;
+    if (origin == Origin::kParent) {
+      channel = &fc_parent_;
+    } else {
+      const auto it = fc_children_.find(slot);
+      if (it != fc_children_.end()) channel = &it->second;
+    }
+    // Channels without a granter (e.g. the front-end's direct push into the
+    // root inbox) are not flow-controlled; nothing to account.
+    if (!channel || !channel->granter) return;
+    ++channel->consumed;
+    if (channel->consumed >= fc_.grant_quantum()) {
+      grant = channel->consumed;
+      channel->consumed = 0;
+      granter = channel->granter;
+    }
+  }
+  if (grant) {
+    metrics_.fc_credits_granted.fetch_add(grant, std::memory_order_relaxed);
+    granter(grant);
+  }
+}
+
+void NodeRuntime::flush_partial_grants() {
+  // Quantum-sized grants strand sub-quantum remainders at quiescence, which
+  // would leave a sender's last packets pending forever; an idle loop tick
+  // returns whatever has been consumed so far.
+  std::vector<std::pair<std::function<void(std::uint32_t)>, std::uint32_t>> due;
+  {
+    std::lock_guard<std::mutex> lock(fc_mutex_);
+    if (fc_parent_.granter && fc_parent_.consumed) {
+      due.emplace_back(fc_parent_.granter, fc_parent_.consumed);
+      fc_parent_.consumed = 0;
+    }
+    for (auto& [slot, channel] : fc_children_) {
+      if (channel.granter && channel.consumed) {
+        due.emplace_back(channel.granter, channel.consumed);
+        channel.consumed = 0;
+      }
+    }
+  }
+  for (const auto& [granter, grant] : due) {
+    metrics_.fc_credits_granted.fetch_add(grant, std::memory_order_relaxed);
+    granter(grant);
+  }
+}
+
+void NodeRuntime::pump_fc_links() {
+  std::lock_guard<std::mutex> lock(fc_mutex_);
+  for (const auto& link : fc_pump_) link->pump();
+}
+
 void NodeRuntime::set_recovery(const HeartbeatConfig& config) { hb_config_ = config; }
 
 void NodeRuntime::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
@@ -177,7 +265,10 @@ void NodeRuntime::run() {
       dead_.store(true, std::memory_order_release);
       close_all_links();
       return;
+    } else if (fc_.enabled) {
+      flush_partial_grants();  // idle: return sub-quantum credits
     }
+    if (fc_.enabled) pump_fc_links();
     now = now_ns();
     poll_timeouts(now);
     poll_liveness(now);
@@ -245,6 +336,12 @@ void NodeRuntime::handle_envelope(Envelope&& envelope) {
     return;
   }
 
+  // The packet is consumed from its channel whatever happens next (filtered,
+  // forwarded or dropped): return the credit.  Telemetry rides exempt.
+  if (packet.stream_id() != kTelemetryStream) {
+    note_consumed(envelope.origin, envelope.child_slot);
+  }
+
   if (envelope.origin == Origin::kChild) {
     handle_upstream_data(envelope.child_slot, envelope.packet);
   } else {
@@ -293,6 +390,12 @@ void NodeRuntime::handle_control(const Envelope& envelope) {
     case kTagHeartbeat:
       // Pure liveness traffic: receipt already credited the channel.
       metrics_.heartbeats_received.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case kTagCredit:
+      // Credit grants are consumed by fd reader threads (process mode) or
+      // granted through shared gates (threaded); one reaching the event loop
+      // is stale or crafted.  Count and drop — never forward.
+      metrics_.fc_invalid_grants.fetch_add(1, std::memory_order_relaxed);
       break;
     case kTagDie:
       if (die_packet_target(packet) == id_) {

@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/flow_control.hpp"
 #include "core/protocol.hpp"
 #include "core/registry.hpp"
 #include "core/runtime.hpp"
@@ -85,6 +86,27 @@ class NodeRuntime {
   /// Tell this node (an ancestor of a dynamic attach) that back-end
   /// `backend_rank` is reachable through child `slot`.
   void request_route(std::uint32_t backend_rank, std::uint32_t slot);
+
+  // ---- flow control (src/core/flow_control.hpp) ---------------------------
+
+  /// Enable credit accounting for data this node consumes, and grow the
+  /// inbox so that exempt control/telemetry traffic never blocks behind the
+  /// credit-bounded data plane.  Call before run().
+  void set_flow_control(const FlowControlOptions& options);
+
+  /// Install the callback that returns credits for data consumed from the
+  /// parent channel / from child `slot`.  Threaded networks grant straight
+  /// into the shared CreditGate; process mode sends a kTagCredit frame on
+  /// the channel.  Safe from any thread (re-adoption replaces granters of a
+  /// running node).
+  void set_parent_granter(std::function<void(std::uint32_t)> granter);
+  void set_child_granter(std::uint32_t slot,
+                         std::function<void(std::uint32_t)> granter);
+
+  /// Register a sender-side flow-controlled link whose pending ring this
+  /// runtime's event loop flushes whenever it wakes (gate drain hooks push a
+  /// wakeup marker into the inbox).  Safe from any thread.
+  void register_fc_link(std::shared_ptr<FlowControlledLink> link);
 
   // ---- recovery subsystem (src/recovery/) ---------------------------------
 
@@ -184,6 +206,9 @@ class NodeRuntime {
   void flush_all_streams();
   void poll_timeouts(std::int64_t now);
   void poll_telemetry(std::int64_t now);
+  void note_consumed(Origin origin, std::uint32_t slot);
+  void flush_partial_grants();
+  void pump_fc_links();
   void publish_telemetry();
   void refresh_gauges();
   std::uint8_t role_byte() const noexcept {
@@ -225,6 +250,21 @@ class NodeRuntime {
 
   std::map<std::uint32_t, StreamLocal> streams_;
   NodeMetrics metrics_;
+
+  /// Flow control: per-channel consumed-since-last-grant counts, the
+  /// granters that return credits to senders, and sender-side wrappers whose
+  /// pending rings this loop pumps.  fc_mutex_ guards all three (granters
+  /// are replaced from other threads during re-adoption); granters run
+  /// outside the lock.
+  FlowControlOptions fc_;
+  std::mutex fc_mutex_;
+  struct FcChannel {
+    std::uint32_t consumed = 0;
+    std::function<void(std::uint32_t)> granter;
+  };
+  FcChannel fc_parent_;
+  std::map<std::uint32_t, FcChannel> fc_children_;
+  std::vector<std::shared_ptr<FlowControlledLink>> fc_pump_;
 
   // Telemetry publishing (armed when the reserved telemetry stream is
   // announced; the publish interval rides in the stream params).

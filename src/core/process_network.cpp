@@ -6,10 +6,13 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "core/delegates.hpp"
 #include "core/fd_link.hpp"
+#include "core/flow_control.hpp"
 #include "recovery/adoption.hpp"
 #include "transport/fd.hpp"
 #include "transport/tcp.hpp"
@@ -26,6 +29,34 @@ std::uint16_t g_rendezvous_port = 0;
 int g_rendezvous_listener_fd = -1;
 HeartbeatConfig g_hb{};
 FaultPlan g_fault_plan{};
+FlowControlOptions g_fc{};
+
+/// Kernel buffer sizing for a credit-controlled edge: enough for one window
+/// of typical frames, clamped so the defaults never shrink below what the
+/// zero-copy bulk path needs nor balloon into an unaccounted queue.
+std::size_t fc_socket_bytes() {
+  return std::clamp<std::size_t>(std::size_t{g_fc.window()} * 8192,
+                                 std::size_t{256} << 10, std::size_t{4} << 20);
+}
+
+/// Process-mode granter: return credits to the channel's sender in-band.
+/// The frame is exempt control traffic, so it passes any wrapper unimpeded;
+/// the peer's fd reader thread applies it to the sender-side gate.
+std::function<void(std::uint32_t)> fc_frame_granter(std::shared_ptr<Link> link) {
+  return [link = std::move(link)](std::uint32_t n) {
+    link->send(make_credit_packet(n));
+  };
+}
+
+/// Drain hook waking a sender's event loop after a grant (see network.cpp's
+/// threaded twin): a no-op marker envelope, try_push because a full inbox is
+/// an awake inbox.
+std::function<void()> fc_wake_hook(InboxPtr inbox) {
+  return [inbox = std::move(inbox), marker = make_attach_marker_packet()] {
+    inbox->try_push(Envelope{Origin::kParent, 0, marker});
+  };
+}
+
 }  // namespace
 
 struct Network::SpawnedChildren {
@@ -113,10 +144,27 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
       BackEnd backend(rank, nullptr);
       BackEndDelegate delegate(backend);
       NodeRuntime runtime(topology, id, FilterRegistry::instance(), &delegate);
-      auto relink = std::make_shared<RelinkableLink>(
-          std::make_shared<FdLink>(parent_fd, &runtime.metrics()));
+      if (g_fc.enabled) runtime.set_flow_control(g_fc);
+      auto parent_raw = std::make_shared<FdLink>(parent_fd, &runtime.metrics());
+      // Upstream gate: survives re-adoption (reset to a full window when the
+      // edge is replaced) so the back-end handle never dangles mid-send.
+      std::shared_ptr<CreditGate> gate_up;
+      std::shared_ptr<Link> channel = parent_raw;
+      if (g_fc.enabled) {
+        set_socket_buffers(parent_fd, fc_socket_bytes());
+        gate_up = std::make_shared<CreditGate>(g_fc.window());
+        gate_up->set_drain_hook(fc_wake_hook(runtime.inbox()));
+        auto up = std::make_shared<FlowControlledLink>(
+            parent_raw, gate_up, g_fc, &runtime.metrics(), /*fail_fast_throws=*/true);
+        runtime.register_fc_link(up);
+        channel = up;
+      }
+      auto relink = std::make_shared<RelinkableLink>(channel);
       backend.up_link_ = std::make_unique<SharedLink>(relink);
       runtime.set_parent_link(std::make_unique<SharedLink>(relink));
+      // Grants for downstream traffic ride the relink so they follow the
+      // live edge across re-adoptions (the credit frame is exempt traffic).
+      if (g_fc.enabled) runtime.set_parent_granter(fc_frame_granter(relink));
       if (injector) runtime.set_fault_injector(injector);
       // An injected crash must look like a real one: no stack unwinding, no
       // flushes, no handshakes.
@@ -129,10 +177,24 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
             Fd fd = orphan_reconnect(g_rendezvous_port, OrphanHello{id, {rank}});
             // The hello frame is already on the wire (FIFO), so the
             // front-end wires our slot before any data sent from here on.
-            relink->relink(std::make_shared<FdLink>(fd.get(), &self.metrics()));
+            auto fresh_raw = std::make_shared<FdLink>(fd.get(), &self.metrics());
+            std::shared_ptr<Link> fresh = fresh_raw;
+            if (gate_up) {
+              // Re-baseline: the adopter granted nothing yet, so start the
+              // new edge with a full window and a fresh wrapper.
+              set_socket_buffers(fd.get(), fc_socket_bytes());
+              gate_up->reset();
+              auto wrapped = std::make_shared<FlowControlledLink>(
+                  fresh_raw, gate_up, g_fc, &self.metrics(),
+                  /*fail_fast_throws=*/true);
+              self.register_fc_link(wrapped);
+              fresh = wrapped;
+            }
+            relink->relink(std::move(fresh));
             readers.push_back(start_fd_reader(fd.get(), self.inbox(),
                                               Origin::kParent, epoch,
-                                              &self.metrics()));
+                                              &self.metrics(),
+                                              CreditSink{gate_up, 0}));
             adopted_fds.push_back(std::move(fd));
             return true;
           } catch (const std::exception& error) {
@@ -142,7 +204,8 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
         });
       }
       readers.push_back(start_fd_reader(parent_fd, runtime.inbox(), Origin::kParent,
-                                        0, &runtime.metrics()));
+                                        0, &runtime.metrics(),
+                                        CreditSink{gate_up, 0}));
       {
         std::jthread service([&runtime] { runtime.run(); });
         backend_main(backend);
@@ -150,7 +213,22 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
       }
     } else {
       NodeRuntime runtime(topology, id, FilterRegistry::instance(), nullptr);
-      runtime.set_parent_link(std::make_unique<FdLink>(parent_fd, &runtime.metrics()));
+      if (g_fc.enabled) runtime.set_flow_control(g_fc);
+      auto parent_raw = std::make_shared<FdLink>(parent_fd, &runtime.metrics());
+      std::shared_ptr<CreditGate> gate_up;
+      if (g_fc.enabled) {
+        set_socket_buffers(parent_fd, fc_socket_bytes());
+        gate_up = std::make_shared<CreditGate>(g_fc.window());
+        gate_up->set_drain_hook(fc_wake_hook(runtime.inbox()));
+        auto up = std::make_shared<FlowControlledLink>(
+            parent_raw, gate_up, g_fc, &runtime.metrics(),
+            /*fail_fast_throws=*/false);
+        runtime.register_fc_link(up);
+        runtime.set_parent_link(std::make_unique<SharedLink>(up));
+        runtime.set_parent_granter(fc_frame_granter(parent_raw));
+      } else {
+        runtime.set_parent_link(std::make_unique<SharedLink>(parent_raw));
+      }
       if (injector) runtime.set_fault_injector(injector);
       runtime.set_crash_handler([] { std::_Exit(0); });
       if (g_hb.enabled()) runtime.set_recovery(g_hb);
@@ -161,11 +239,23 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
             Fd fd = orphan_reconnect(
                 g_rendezvous_port,
                 OrphanHello{id, topology.subtree_leaf_ranks(id)});
-            self.set_parent_link(
-                std::make_unique<FdLink>(fd.get(), &self.metrics()));
+            auto fresh_raw = std::make_shared<FdLink>(fd.get(), &self.metrics());
+            std::shared_ptr<Link> fresh = fresh_raw;
+            if (gate_up) {
+              set_socket_buffers(fd.get(), fc_socket_bytes());
+              gate_up->reset();
+              auto wrapped = std::make_shared<FlowControlledLink>(
+                  fresh_raw, gate_up, g_fc, &self.metrics(),
+                  /*fail_fast_throws=*/false);
+              self.register_fc_link(wrapped);
+              fresh = wrapped;
+              self.set_parent_granter(fc_frame_granter(fresh_raw));
+            }
+            self.set_parent_link(std::make_unique<SharedLink>(std::move(fresh)));
             readers.push_back(start_fd_reader(fd.get(), self.inbox(),
                                               Origin::kParent, epoch,
-                                              &self.metrics()));
+                                              &self.metrics(),
+                                              CreditSink{gate_up, 0}));
             adopted_fds.push_back(std::move(fd));
             return true;
           } catch (const std::exception& error) {
@@ -175,12 +265,28 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
         });
       }
       readers.push_back(start_fd_reader(parent_fd, runtime.inbox(), Origin::kParent,
-                                        0, &runtime.metrics()));
+                                        0, &runtime.metrics(),
+                                        CreditSink{gate_up, 0}));
       for (std::uint32_t slot = 0; slot < spawned.fds.size(); ++slot) {
         const int fd = spawned.fds[slot].get();
-        runtime.add_child_link(std::make_unique<FdLink>(fd, &runtime.metrics()));
+        std::shared_ptr<CreditGate> gate_down;
+        if (g_fc.enabled) {
+          set_socket_buffers(fd, fc_socket_bytes());
+          auto child_raw = std::make_shared<FdLink>(fd, &runtime.metrics());
+          gate_down = std::make_shared<CreditGate>(g_fc.window());
+          gate_down->set_drain_hook(fc_wake_hook(runtime.inbox()));
+          auto down = std::make_shared<FlowControlledLink>(
+              child_raw, gate_down, g_fc, &runtime.metrics(),
+              /*fail_fast_throws=*/false);
+          runtime.register_fc_link(down);
+          runtime.add_child_link(std::make_unique<SharedLink>(down));
+          runtime.set_child_granter(slot, fc_frame_granter(child_raw));
+        } else {
+          runtime.add_child_link(std::make_unique<FdLink>(fd, &runtime.metrics()));
+        }
         readers.push_back(start_fd_reader(fd, runtime.inbox(), Origin::kChild, slot,
-                                          &runtime.metrics()));
+                                          &runtime.metrics(),
+                                          CreditSink{gate_down, 0}));
       }
       runtime.run();
     }
@@ -217,10 +323,27 @@ void Network::adopt_process_orphan(Fd connection, const OrphanHello& hello) {
   }
   // Queue the wiring marker before starting the reader: the root's inbox is
   // FIFO, so the slot is wired before any data frame from the orphan.
-  root.request_adopt(slot, hello.ranks,
-                     std::make_unique<FdLink>(raw, &root.metrics()));
+  std::shared_ptr<CreditGate> gate_down;
+  if (fc_options_.enabled) {
+    set_socket_buffers(raw, std::clamp<std::size_t>(
+        std::size_t{fc_options_.window()} * 8192, std::size_t{256} << 10,
+        std::size_t{4} << 20));
+    auto child_raw = std::make_shared<FdLink>(raw, &root.metrics());
+    gate_down = std::make_shared<CreditGate>(fc_options_.window());
+    gate_down->set_drain_hook(fc_wake_hook(root.inbox()));
+    auto down = std::make_shared<FlowControlledLink>(
+        child_raw, gate_down, fc_options_, &root.metrics(),
+        /*fail_fast_throws=*/false);
+    root.register_fc_link(down);
+    root.set_child_granter(slot, fc_frame_granter(child_raw));
+    root.request_adopt(slot, hello.ranks, std::make_unique<SharedLink>(down));
+  } else {
+    root.request_adopt(slot, hello.ranks,
+                       std::make_unique<FdLink>(raw, &root.metrics()));
+  }
   reader_threads_.push_back(
-      start_fd_reader(raw, root.inbox(), Origin::kChild, slot, &root.metrics()));
+      start_fd_reader(raw, root.inbox(), Origin::kChild, slot, &root.metrics(),
+                      CreditSink{gate_down, 0}));
   process_child_fds_.push_back(raw);
   ++adoptions_;
   adoption_cv_.notify_all();
@@ -234,10 +357,12 @@ std::unique_ptr<Network> Network::create_process_impl(const NetworkOptions& opti
   g_tcp_edges = options.tcp_edges;
   g_hb = options.recovery.heartbeat();
   g_fault_plan = options.recovery.fault_plan;
+  g_fc = options.flow_control;
   auto network = std::unique_ptr<Network>(new Network(options.topology));
   Network& net = *network;
   net.process_mode_ = true;
   net.recovery_ = options.recovery;
+  net.fc_options_ = options.flow_control;
   const Topology& topo = net.topology_;
 
   if (net.recovery_.auto_readopt) {
@@ -263,13 +388,28 @@ std::unique_ptr<Network> Network::create_process_impl(const NetworkOptions& opti
     root.set_fault_injector(net.injector_);
   }
   if (g_hb.enabled()) root.set_recovery(g_hb);
+  if (g_fc.enabled) root.set_flow_control(g_fc);
 
   SpawnedChildren spawned = spawn_children(topo, topo.root(), -1, backend_main);
   for (std::uint32_t slot = 0; slot < spawned.fds.size(); ++slot) {
     const int fd = spawned.fds[slot].get();
-    root.add_child_link(std::make_unique<FdLink>(fd, &root.metrics()));
+    std::shared_ptr<CreditGate> gate_down;
+    if (g_fc.enabled) {
+      set_socket_buffers(fd, fc_socket_bytes());
+      auto child_raw = std::make_shared<FdLink>(fd, &root.metrics());
+      gate_down = std::make_shared<CreditGate>(g_fc.window());
+      gate_down->set_drain_hook(fc_wake_hook(root.inbox()));
+      auto down = std::make_shared<FlowControlledLink>(
+          child_raw, gate_down, g_fc, &root.metrics(), /*fail_fast_throws=*/false);
+      root.register_fc_link(down);
+      root.add_child_link(std::make_unique<SharedLink>(down));
+      root.set_child_granter(slot, fc_frame_granter(child_raw));
+    } else {
+      root.add_child_link(std::make_unique<FdLink>(fd, &root.metrics()));
+    }
     net.reader_threads_.push_back(
-        start_fd_reader(fd, root.inbox(), Origin::kChild, slot, &root.metrics()));
+        start_fd_reader(fd, root.inbox(), Origin::kChild, slot, &root.metrics(),
+                        CreditSink{gate_down, 0}));
   }
   for (Fd& fd : spawned.fds) net.process_child_fds_.push_back(fd.release());
   net.child_pids_ = std::move(spawned.pids);

@@ -60,6 +60,43 @@ std::uint32_t die_packet_target(const Packet& packet) {
   return static_cast<std::uint32_t>(packet.get_i64(0));
 }
 
+PacketPtr make_credit_packet(std::uint32_t count, std::uint32_t channel_id) {
+  return Packet::make(kControlStream, kTagCredit, kFrontEndRank, "i64 i64",
+                      {static_cast<std::int64_t>(count),
+                       static_cast<std::int64_t>(channel_id)});
+}
+
+namespace {
+
+/// Field access hardened against truncated or mistyped grant payloads: a
+/// hostile frame must surface as CodecError (counted, reader survives), not
+/// as std::out_of_range / bad_variant_access escaping the reader thread.
+std::int64_t credit_field(const Packet& packet, std::size_t index) {
+  try {
+    return packet.get_i64(index);
+  } catch (const std::exception&) {
+    throw CodecError("malformed credit grant payload");
+  }
+}
+
+}  // namespace
+
+std::uint32_t credit_packet_count(const Packet& packet) {
+  const std::int64_t count = credit_field(packet, 0);
+  if (count < 1 || count > static_cast<std::int64_t>(kMaxCreditGrant)) {
+    throw CodecError("credit grant count out of range");
+  }
+  return static_cast<std::uint32_t>(count);
+}
+
+std::uint32_t credit_packet_channel(const Packet& packet) {
+  const std::int64_t id = credit_field(packet, 1);
+  if (id < 0 || id > static_cast<std::int64_t>(UINT32_MAX)) {
+    throw CodecError("credit grant channel id out of range");
+  }
+  return static_cast<std::uint32_t>(id);
+}
+
 PacketPtr make_telemetry_packet(std::uint32_t src, BufferView records) {
   return Packet::make(kTelemetryStream, kTagTelemetry, src, "bytes",
                       {std::move(records)});

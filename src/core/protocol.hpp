@@ -42,6 +42,12 @@ enum ControlTag : std::int32_t {
   /// payload "bytes" = serialize_records() of one or more NodeTelemetry
   /// records, merged on the way up by the `metrics_merge` built-in filter.
   kTagTelemetry = 10,
+  /// Flow-control credit grant: the receiver of a channel returns `count`
+  /// send credits to the channel's sender (process mode; threaded channels
+  /// grant through a shared CreditGate instead).  Payload: "i64 i64" =
+  /// (count, channel id).  Consumed by the sender's fd reader thread, never
+  /// enqueued or forwarded.
+  kTagCredit = 11,
 };
 
 /// Reserved stream carrying in-band telemetry (auto-created when
@@ -110,6 +116,20 @@ const BufferView& telemetry_packet_records(const Packet& packet);
 
 /// Node targeted by a kTagDie packet.
 std::uint32_t die_packet_target(const Packet& packet);
+
+/// Largest credit count a grant may carry; larger (or zero, or negative)
+/// counts are rejected as malformed.
+inline constexpr std::uint32_t kMaxCreditGrant = 1u << 20;
+
+/// Build a credit grant returning `count` credits on channel `channel_id`
+/// (ids disambiguate grants across re-adoption epochs; 0 for static edges).
+PacketPtr make_credit_packet(std::uint32_t count, std::uint32_t channel_id = 0);
+
+/// Validated accessors for credit grants; throw CodecError when the payload
+/// is truncated or the count is outside [1, kMaxCreditGrant] — a zero or
+/// overflowing window must never silently reach a CreditGate.
+std::uint32_t credit_packet_count(const Packet& packet);
+std::uint32_t credit_packet_channel(const Packet& packet);
 
 /// Wrap an application packet for tree routing to back-end `dst_rank`.
 PacketPtr make_peer_packet(std::uint32_t dst_rank, const Packet& inner);

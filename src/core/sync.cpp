@@ -101,7 +101,11 @@ std::vector<SyncPolicy::Batch> TimeOutSync::drain_ready(std::int64_t now_ns) {
     deadline_ns_ = -1;
     return {};
   }
-  if (deadline_ns_ < 0) deadline_ns_ = now_ns + window_ns_;  // defensive
+  // Buffered packets with no armed window deliver immediately.  Re-arming
+  // here used to double-arm the timer: on_packet opens the window, and a
+  // drain that raced the disarm (e.g. after a send blocked on upstream
+  // flow control) would start a *second* window, silently delaying the
+  // batch by up to window_ms beyond the packet that opened it.
   if (now_ns < deadline_ns_) return {};
   deadline_ns_ = -1;
   std::vector<Batch> batches;

@@ -26,8 +26,16 @@ void accumulate(NodeTelemetry& total, const NodeTelemetry& r) {
   total.faults_injected += r.faults_injected;
   total.wire_bytes_out += r.wire_bytes_out;
   total.wire_bytes_in += r.wire_bytes_in;
+  total.fc_sends_blocked += r.fc_sends_blocked;
+  total.fc_blocked_ns += r.fc_blocked_ns;
+  total.fc_packets_shed += r.fc_packets_shed;
+  total.fc_credits_consumed += r.fc_credits_consumed;
+  total.fc_credits_granted += r.fc_credits_granted;
+  total.fc_invalid_grants += r.fc_invalid_grants;
   total.inbox_depth += r.inbox_depth;
   total.sync_depth += r.sync_depth;
+  total.fc_inflight_peak = std::max(total.fc_inflight_peak, r.fc_inflight_peak);
+  total.fc_pending_depth += r.fc_pending_depth;
   total.heartbeat_rtt_ns = std::max(total.heartbeat_rtt_ns, r.heartbeat_rtt_ns);
   for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
     total.filter_latency_hist[b] += r.filter_latency_hist[b];
@@ -50,8 +58,16 @@ void json_record(std::ostringstream& out, const NodeTelemetry& r) {
       << ",\"faults_injected\":" << r.faults_injected
       << ",\"wire_bytes_out\":" << r.wire_bytes_out
       << ",\"wire_bytes_in\":" << r.wire_bytes_in
+      << ",\"fc_sends_blocked\":" << r.fc_sends_blocked
+      << ",\"fc_blocked_ns\":" << r.fc_blocked_ns
+      << ",\"fc_packets_shed\":" << r.fc_packets_shed
+      << ",\"fc_credits_consumed\":" << r.fc_credits_consumed
+      << ",\"fc_credits_granted\":" << r.fc_credits_granted
+      << ",\"fc_invalid_grants\":" << r.fc_invalid_grants
       << ",\"inbox_depth\":" << r.inbox_depth
       << ",\"sync_depth\":" << r.sync_depth
+      << ",\"fc_inflight_peak\":" << r.fc_inflight_peak
+      << ",\"fc_pending_depth\":" << r.fc_pending_depth
       << ",\"heartbeat_rtt_ns\":" << r.heartbeat_rtt_ns
       << ",\"filter_latency_hist\":[";
   for (std::size_t b = 0; b < kLatencyBuckets; ++b) {

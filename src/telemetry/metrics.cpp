@@ -8,7 +8,8 @@
 namespace tbon {
 namespace {
 
-constexpr std::uint8_t kWireVersion = 1;
+// v2: flow-control counters + gauges appended (credit-based flow control).
+constexpr std::uint8_t kWireVersion = 2;
 
 void put_record(BinaryWriter& writer, const NodeTelemetry& r) {
   writer.put(r.node);
@@ -30,8 +31,16 @@ void put_record(BinaryWriter& writer, const NodeTelemetry& r) {
   writer.put(r.faults_injected);
   writer.put(r.wire_bytes_out);
   writer.put(r.wire_bytes_in);
+  writer.put(r.fc_sends_blocked);
+  writer.put(r.fc_blocked_ns);
+  writer.put(r.fc_packets_shed);
+  writer.put(r.fc_credits_consumed);
+  writer.put(r.fc_credits_granted);
+  writer.put(r.fc_invalid_grants);
   writer.put(r.inbox_depth);
   writer.put(r.sync_depth);
+  writer.put(r.fc_inflight_peak);
+  writer.put(r.fc_pending_depth);
   writer.put(r.heartbeat_rtt_ns);
   for (const std::uint64_t count : r.filter_latency_hist) writer.put(count);
 }
@@ -57,8 +66,16 @@ NodeTelemetry get_record(BinaryReader& reader) {
   r.faults_injected = reader.get<std::uint64_t>();
   r.wire_bytes_out = reader.get<std::uint64_t>();
   r.wire_bytes_in = reader.get<std::uint64_t>();
+  r.fc_sends_blocked = reader.get<std::uint64_t>();
+  r.fc_blocked_ns = reader.get<std::uint64_t>();
+  r.fc_packets_shed = reader.get<std::uint64_t>();
+  r.fc_credits_consumed = reader.get<std::uint64_t>();
+  r.fc_credits_granted = reader.get<std::uint64_t>();
+  r.fc_invalid_grants = reader.get<std::uint64_t>();
   r.inbox_depth = reader.get<std::uint64_t>();
   r.sync_depth = reader.get<std::uint64_t>();
+  r.fc_inflight_peak = reader.get<std::uint64_t>();
+  r.fc_pending_depth = reader.get<std::uint64_t>();
   r.heartbeat_rtt_ns = reader.get<std::int64_t>();
   for (std::uint64_t& count : r.filter_latency_hist) {
     count = reader.get<std::uint64_t>();

@@ -55,9 +55,19 @@ struct NodeTelemetry {
   std::uint64_t wire_bytes_out = 0;   ///< serialized bytes written (process mode)
   std::uint64_t wire_bytes_in = 0;    ///< serialized bytes read (process mode)
 
+  // Flow control (credit-based; see src/core/flow_control.hpp).
+  std::uint64_t fc_sends_blocked = 0;    ///< sends that waited for credits
+  std::uint64_t fc_blocked_ns = 0;       ///< total time spent waiting for credits
+  std::uint64_t fc_packets_shed = 0;     ///< packets dropped by flow control
+  std::uint64_t fc_credits_consumed = 0; ///< credits spent sending data packets
+  std::uint64_t fc_credits_granted = 0;  ///< credits returned to channel senders
+  std::uint64_t fc_invalid_grants = 0;   ///< malformed/stale credit grants rejected
+
   // Gauges (sampled at publish time).
   std::uint64_t inbox_depth = 0;  ///< envelopes queued in the node's inbox
   std::uint64_t sync_depth = 0;   ///< packets buffered across sync policies
+  std::uint64_t fc_inflight_peak = 0;  ///< max credits in flight on any channel
+  std::uint64_t fc_pending_depth = 0;  ///< packets queued in drop_oldest rings
   std::int64_t heartbeat_rtt_ns = -1;  ///< last parent heartbeat RTT; -1 unknown
 
   std::array<std::uint64_t, kLatencyBuckets> filter_latency_hist{};
@@ -97,8 +107,17 @@ class MetricsRegistry {
   Counter wire_bytes_out{0};
   Counter wire_bytes_in{0};
 
+  Counter fc_sends_blocked{0};
+  Counter fc_blocked_ns{0};
+  Counter fc_packets_shed{0};
+  Counter fc_credits_consumed{0};
+  Counter fc_credits_granted{0};
+  Counter fc_invalid_grants{0};
+
   Counter inbox_depth{0};  ///< gauge, refreshed each telemetry tick
   Counter sync_depth{0};   ///< gauge, refreshed each telemetry tick
+  Counter fc_inflight_peak{0};  ///< gauge, monotonic max (update_max)
+  Counter fc_pending_depth{0};  ///< gauge, live delta-maintained
   std::atomic<std::int64_t> heartbeat_rtt_ns{-1};
 
   /// Record one filter execution in the latency histogram.
@@ -135,8 +154,16 @@ class MetricsRegistry {
     r.faults_injected = faults_injected.load(std::memory_order_relaxed);
     r.wire_bytes_out = wire_bytes_out.load(std::memory_order_relaxed);
     r.wire_bytes_in = wire_bytes_in.load(std::memory_order_relaxed);
+    r.fc_sends_blocked = fc_sends_blocked.load(std::memory_order_relaxed);
+    r.fc_blocked_ns = fc_blocked_ns.load(std::memory_order_relaxed);
+    r.fc_packets_shed = fc_packets_shed.load(std::memory_order_relaxed);
+    r.fc_credits_consumed = fc_credits_consumed.load(std::memory_order_relaxed);
+    r.fc_credits_granted = fc_credits_granted.load(std::memory_order_relaxed);
+    r.fc_invalid_grants = fc_invalid_grants.load(std::memory_order_relaxed);
     r.inbox_depth = inbox_depth.load(std::memory_order_relaxed);
     r.sync_depth = sync_depth.load(std::memory_order_relaxed);
+    r.fc_inflight_peak = fc_inflight_peak.load(std::memory_order_relaxed);
+    r.fc_pending_depth = fc_pending_depth.load(std::memory_order_relaxed);
     r.heartbeat_rtt_ns = heartbeat_rtt_ns.load(std::memory_order_relaxed);
     for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
       r.filter_latency_hist[b] = hist_[b].load(std::memory_order_relaxed);
@@ -148,6 +175,15 @@ class MetricsRegistry {
   std::atomic<std::uint64_t> seq_{0};
   std::array<Counter, kLatencyBuckets> hist_{};
 };
+
+/// Monotonic-max update for peak-style gauges (fc_inflight_peak).
+inline void update_max(MetricsRegistry::Counter& counter,
+                       std::uint64_t value) noexcept {
+  std::uint64_t current = counter.load(std::memory_order_relaxed);
+  while (current < value && !counter.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
 
 // ---- wire form and merge ----------------------------------------------------
 

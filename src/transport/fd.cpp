@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "common/error.hpp"
@@ -135,5 +136,12 @@ std::optional<Bytes> read_frame(int fd) {
 }
 
 void shutdown_write(int fd) noexcept { ::shutdown(fd, SHUT_WR); }
+
+void set_socket_buffers(int fd, std::size_t bytes) noexcept {
+  const int size = static_cast<int>(
+      std::min<std::size_t>(bytes, std::numeric_limits<int>::max()));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &size, sizeof(size));
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &size, sizeof(size));
+}
 
 }  // namespace tbon

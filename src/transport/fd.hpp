@@ -63,4 +63,10 @@ std::optional<Bytes> read_frame(int fd);
 /// Shut down the write side so the peer's read_frame sees EOF.
 void shutdown_write(int fd) noexcept;
 
+/// Best-effort SO_SNDBUF/SO_RCVBUF sizing.  With credit-based flow control
+/// the kernel buffers only need to absorb one credit window; without a
+/// clamp their defaults add an invisible, unaccounted queue on every edge.
+/// Errors are ignored (the kernel may round or refuse).
+void set_socket_buffers(int fd, std::size_t bytes) noexcept;
+
 }  // namespace tbon

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "core/fd_link.hpp"
+#include "core/flow_control.hpp"
 #include "core/network.hpp"
 #include "core/packet.hpp"
 #include "core/protocol.hpp"
@@ -279,6 +281,128 @@ TEST(ViewLifetime, PayloadOutlivesLinkTeardown) {
   ASSERT_EQ(payload.size(), 2 * 8192u);
   for (std::size_t i = 0; i < payload.size(); ++i) {
     ASSERT_EQ(payload.span()[i], static_cast<std::byte>((i % 8192) % 251));
+  }
+}
+
+// ---- credit / flow-control frames ------------------------------------------
+//
+// Credit grants arrive on reader threads straight off the wire, so a hostile
+// or truncated grant must never mint credits, kill the reader, or reach the
+// event loop as a data envelope.
+
+/// A data packet used to prove a reader thread survived hostile frames.
+PacketPtr data_ignored_probe() {
+  return Packet::make(1, kFirstAppTag, 0, "i64", {std::int64_t{42}});
+}
+
+TEST(FuzzCredit, AccessorsRejectMalformedGrantPayloads) {
+  // A well-formed grant round-trips through the accessors.
+  const PacketPtr good = make_credit_packet(5, 7);
+  EXPECT_EQ(credit_packet_count(*good), 5u);
+  EXPECT_EQ(credit_packet_channel(*good), 7u);
+
+  auto grant = [](std::int64_t count, std::int64_t channel) {
+    return Packet::make(kControlStream, kTagCredit, kFrontEndRank, "i64 i64",
+                        {count, channel});
+  };
+  // Zero-capacity windows and negative or absurd counts are all rejected.
+  EXPECT_THROW((void)credit_packet_count(*grant(0, 0)), CodecError);
+  EXPECT_THROW((void)credit_packet_count(*grant(-3, 0)), CodecError);
+  EXPECT_THROW(
+      (void)credit_packet_count(*grant(std::int64_t{kMaxCreditGrant} + 1, 0)),
+      CodecError);
+  EXPECT_EQ(credit_packet_count(*grant(kMaxCreditGrant, 0)), kMaxCreditGrant);
+  EXPECT_THROW((void)credit_packet_channel(*grant(1, -1)), CodecError);
+  EXPECT_THROW((void)credit_packet_channel(
+                   *grant(1, std::int64_t{UINT32_MAX} + 1)),
+               CodecError);
+
+  // Truncated (one field) and mistyped payloads surface as CodecError, not
+  // as out_of_range / bad_variant_access escaping a reader thread.
+  const PacketPtr truncated = Packet::make(kControlStream, kTagCredit,
+                                           kFrontEndRank, "i64", {std::int64_t{4}});
+  EXPECT_THROW((void)credit_packet_channel(*truncated), CodecError);
+  const PacketPtr mistyped = Packet::make(kControlStream, kTagCredit,
+                                          kFrontEndRank, "str str",
+                                          {std::string("a"), std::string("b")});
+  EXPECT_THROW((void)credit_packet_count(*mistyped), CodecError);
+}
+
+TEST(FuzzCredit, ReaderSurvivesHostileGrantFrames) {
+  auto [reader_fd, writer_fd] = make_socketpair();
+  auto inbox = std::make_shared<Inbox>(64);
+  auto gate = std::make_shared<CreditGate>(4);
+  // Drain the window so applied grants are observable as refills.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(gate->try_acquire(), CreditGate::Acquire::kOk);
+  }
+  MetricsRegistry metrics;
+  auto reader = start_fd_reader(reader_fd.get(), inbox, Origin::kParent, 0,
+                                &metrics, CreditSink{gate, 0});
+
+  auto send = [&](const PacketPtr& packet) {
+    BinaryWriter writer;
+    packet->serialize(writer);
+    write_frame(writer_fd.get(), writer.bytes());
+  };
+  send(make_credit_packet(2, 0));             // valid: refills two credits
+  send(make_credit_packet(1, 99));            // stale channel id: rejected
+  send(Packet::make(kControlStream, kTagCredit, kFrontEndRank, "i64 i64",
+                    {std::int64_t{0}, std::int64_t{0}}));  // zero-capacity window
+  send(Packet::make(kControlStream, kTagCredit, kFrontEndRank, "i64 i64",
+                    {std::int64_t{1} << 40, std::int64_t{0}}));  // absurd count
+  send(Packet::make(kControlStream, kTagCredit, kFrontEndRank, "i64",
+                    {std::int64_t{3}}));      // truncated grant payload
+  send(data_ignored_probe());                 // reader must still be alive
+  writer_fd.reset();                          // EOF
+
+  // Only the probe and the EOF marker reach the inbox; every credit frame —
+  // valid or hostile — is consumed on the reader thread.
+  const auto probe = inbox->pop();
+  ASSERT_TRUE(probe.has_value());
+  ASSERT_NE(probe->packet, nullptr);
+  EXPECT_EQ(probe->packet->tag(), kFirstAppTag);
+  const auto eof = inbox->pop();
+  ASSERT_TRUE(eof.has_value());
+  EXPECT_EQ(eof->packet, nullptr);
+  reader.join();
+
+  EXPECT_EQ(gate->available(), 2u);  // exactly the one valid grant applied
+  EXPECT_EQ(metrics.fc_invalid_grants.load(), 4u);
+}
+
+TEST(FuzzCredit, ReaderWithoutSinkDropsGrantsInsteadOfEnqueueing) {
+  auto [reader_fd, writer_fd] = make_socketpair();
+  auto inbox = std::make_shared<Inbox>(64);
+  MetricsRegistry metrics;
+  auto reader = start_fd_reader(reader_fd.get(), inbox, Origin::kParent, 0,
+                                &metrics, CreditSink{});
+  BinaryWriter writer;
+  make_credit_packet(3, 0)->serialize(writer);
+  write_frame(writer_fd.get(), writer.bytes());
+  writer_fd.reset();
+
+  const auto eof = inbox->pop();  // the grant never becomes an envelope
+  ASSERT_TRUE(eof.has_value());
+  EXPECT_EQ(eof->packet, nullptr);
+  reader.join();
+  EXPECT_EQ(metrics.fc_invalid_grants.load(), 1u);
+}
+
+TEST(FuzzCredit, RandomGrantPayloadsNeverMintCreditsBeyondTheWindow) {
+  Rng rng(31337);
+  CreditGate gate(8);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const PacketPtr packet = Packet::make(
+        kControlStream, kTagCredit, kFrontEndRank, "i64 i64",
+        {static_cast<std::int64_t>(rng.next_u64()),
+         static_cast<std::int64_t>(rng.next_u64())});
+    try {
+      gate.grant(credit_packet_count(*packet));
+    } catch (const CodecError&) {
+      // rejection is the common case for random payloads
+    }
+    ASSERT_LE(gate.available(), gate.window());
   }
 }
 

@@ -179,6 +179,31 @@ TEST(TimeOut, LaterPacketsDoNotExtendTheWindow) {
   EXPECT_EQ(batches[0].size(), 3u);
 }
 
+TEST(TimeOut, PendingBatchNeverWaitsMoreThanOneWindow) {
+  // Regression for the double-armed window timer: drain_ready() used to
+  // re-arm the window whenever it ran with a batch pending, so a drain that
+  // raced in before the deadline (routine once upstream flow control blocks
+  // a send mid-loop) restarted the clock and the batch waited up to two
+  // windows.  A pending batch must deliver AT the deadline armed by its
+  // first packet, no matter how many drains poll before it.
+  TimeOutSync sync(context_with_children(2, "window_ms=50"));
+  sync.on_packet(0, packet_from(0, 1.0));
+  const auto armed = sync.next_deadline();
+  ASSERT_TRUE(armed.has_value());
+
+  // Pre-deadline drains: empty, and the deadline must not move.
+  for (std::int64_t elapsed : {1'000'000, 10'000'000, 49'000'000}) {
+    EXPECT_TRUE(sync.drain_ready(*armed - 50'000'000 + elapsed).empty());
+    EXPECT_EQ(sync.next_deadline(), armed);
+  }
+
+  // Exactly one window after the opening packet — not armed + window.
+  const auto batches = sync.drain_ready(*armed);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 1u);
+  EXPECT_EQ(sync.next_deadline(), std::nullopt);
+}
+
 TEST(TimeOut, WindowReArmsForTheNextBatch) {
   TimeOutSync sync(context_with_children(1, "window_ms=10"));
   sync.on_packet(0, packet_from(0, 1.0));
