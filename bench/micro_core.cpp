@@ -84,7 +84,7 @@ void run_filter_bench(benchmark::State& state, const char* name) {
   for (std::size_t c = 0; c < ctx.num_children; ++c) batch.push_back(vector_packet(64));
   for (auto _ : state) {
     std::vector<PacketPtr> out;
-    filter->transform(batch, out, ctx);
+    filter->filter(batch, out, ctx);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -113,7 +113,7 @@ void BM_FilterEquivalence(benchmark::State& state) {
   }
   for (auto _ : state) {
     std::vector<PacketPtr> out;
-    filter->transform(batch, out, ctx);
+    filter->filter(batch, out, ctx);
     benchmark::DoNotOptimize(out.data());
   }
 }

@@ -22,13 +22,13 @@ PacketPtr small_packet(std::uint32_t rank) {
 
 void BM_WaitForAllWave(benchmark::State& state) {
   const auto children = static_cast<std::size_t>(state.range(0));
-  const FilterContext ctx = context_with_children(children);
+  FilterContext ctx = context_with_children(children);
   WaitForAllSync sync(ctx);
   for (auto _ : state) {
     for (std::size_t c = 0; c < children; ++c) {
-      sync.on_packet(c, small_packet(static_cast<std::uint32_t>(c)));
+      sync.on_packet(c, small_packet(static_cast<std::uint32_t>(c)), ctx);
     }
-    benchmark::DoNotOptimize(sync.drain_ready(now_ns()));
+    benchmark::DoNotOptimize(sync.drain_ready(now_ns(), ctx));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(children));
@@ -37,13 +37,13 @@ BENCHMARK(BM_WaitForAllWave)->Arg(2)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_NullSyncWave(benchmark::State& state) {
   const auto children = static_cast<std::size_t>(state.range(0));
-  const FilterContext ctx = context_with_children(children);
+  FilterContext ctx = context_with_children(children);
   NullSync sync(ctx);
   for (auto _ : state) {
     for (std::size_t c = 0; c < children; ++c) {
-      sync.on_packet(c, small_packet(static_cast<std::uint32_t>(c)));
+      sync.on_packet(c, small_packet(static_cast<std::uint32_t>(c)), ctx);
     }
-    benchmark::DoNotOptimize(sync.drain_ready(now_ns()));
+    benchmark::DoNotOptimize(sync.drain_ready(now_ns(), ctx));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(children));
@@ -59,9 +59,9 @@ void BM_TimeOutWave(benchmark::State& state) {
   TimeOutSync sync(ctx);
   for (auto _ : state) {
     for (std::size_t c = 0; c < children; ++c) {
-      sync.on_packet(c, small_packet(static_cast<std::uint32_t>(c)));
+      sync.on_packet(c, small_packet(static_cast<std::uint32_t>(c)), ctx);
     }
-    benchmark::DoNotOptimize(sync.drain_ready(now_ns() + 1));
+    benchmark::DoNotOptimize(sync.drain_ready(now_ns() + 1, ctx));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(children));
@@ -86,7 +86,7 @@ void end_to_end_policy(benchmark::State& state, const char* sync_name,
     // Policies with data-dependent batching (time_out) may emit a variable
     // number of result packets; drain the remainder so the result queue
     // cannot fill up across iterations.
-    while (stream.try_recv()) {
+    while (stream.recv_for(std::chrono::milliseconds(0))) {
     }
   }
   net->shutdown();

@@ -6,6 +6,7 @@
 // waiters and makes further pops drain-then-fail.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -75,6 +76,14 @@ class BoundedQueue {
   std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait_for(lock, timeout, [&] { return !items_.empty() || closed_; });
+    return take_front(lock);
+  }
+
+  /// Pop with an absolute deadline; nullopt on timeout or closed-and-drained.
+  template <typename Clock, typename Duration>
+  std::optional<T> pop_until(std::chrono::time_point<Clock, Duration> deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait_until(lock, deadline, [&] { return !items_.empty() || closed_; });
     return take_front(lock);
   }
 

@@ -18,8 +18,8 @@ namespace {
 template <typename Op>
 class NumericReduceFilter final : public TransformFilter {
  public:
-  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
-                 const FilterContext&) override {
+  void filter(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+              FilterContext&) override {
     const Packet& first = *in.front();
     std::vector<DataValue> acc = first.values();
     for (std::size_t p = 1; p < in.size(); ++p) {
@@ -101,10 +101,10 @@ struct SumOp {
 /// Element-wise arithmetic mean (see header for the balanced-tree caveat).
 class AvgFilter final : public TransformFilter {
  public:
-  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
-                 const FilterContext& ctx) override {
+  void filter(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+              FilterContext& ctx) override {
     std::vector<PacketPtr> summed;
-    sum_.transform(in, summed, ctx);
+    sum_.filter(in, summed, ctx);
     const Packet& total = *summed.front();
     const double n = static_cast<double>(in.size());
     std::vector<DataValue> averaged = total.values();
@@ -149,8 +149,8 @@ class AvgFilter final : public TransformFilter {
 /// Exact tree-safe weighted mean: packets are "vf64 u64" (sums, weight).
 class WeightedAvgFilter final : public TransformFilter {
  public:
-  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
-                 const FilterContext&) override {
+  void filter(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+              FilterContext&) override {
     static const DataFormat kFormat{"vf64 u64"};
     const Packet& first = *in.front();
     if (first.format() != kFormat) {
@@ -175,8 +175,8 @@ class WeightedAvgFilter final : public TransformFilter {
 /// Tree-composable count (see header).
 class CountFilter final : public TransformFilter {
  public:
-  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
-                 const FilterContext&) override {
+  void filter(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+              FilterContext&) override {
     static const DataFormat kCountFormat{"u64"};
     std::uint64_t count = 0;
     for (const PacketPtr& packet : in) {
@@ -196,8 +196,8 @@ class CountFilter final : public TransformFilter {
 /// Concatenate vector/string fields across the batch in child order.
 class ConcatFilter final : public TransformFilter {
  public:
-  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
-                 const FilterContext&) override {
+  void filter(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+              FilterContext&) override {
     const Packet& first = *in.front();
     for (std::size_t p = 1; p < in.size(); ++p) {
       if (in[p]->format() != first.format()) {
@@ -276,8 +276,8 @@ class ConcatFilter final : public TransformFilter {
 /// skipped: observability must never take the tree down.
 class MetricsMergeFilter final : public TransformFilter {
  public:
-  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
-                 const FilterContext& ctx) override {
+  void filter(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+              FilterContext& ctx) override {
     if (in.size() == 1) {
       // Nothing to merge: forward the packet as-is instead of decoding and
       // re-encoding records we only relay.  A wire-backed packet keeps its
@@ -305,8 +305,8 @@ class MetricsMergeFilter final : public TransformFilter {
 /// Forward every input packet unchanged.
 class PassthroughFilter final : public TransformFilter {
  public:
-  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
-                 const FilterContext&) override {
+  void filter(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+              FilterContext&) override {
     out.insert(out.end(), in.begin(), in.end());
   }
 };

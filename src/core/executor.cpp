@@ -1,0 +1,211 @@
+#include "core/executor.hpp"
+
+#include <chrono>
+
+#include "common/timer.hpp"
+
+namespace tbon {
+
+namespace {
+
+/// splitmix64 finalizer: stream ids are small sequential integers, so a
+/// plain modulo would shard id and id+N onto the same worker in lockstep;
+/// mixing first spreads any id pattern evenly across the pool.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FilterExecutor::FilterExecutor(const ExecutionOptions& options,
+                               MetricsRegistry* metrics)
+    : options_(options), metrics_(metrics) {
+  workers_.reserve(options_.num_workers);
+  for (std::uint32_t i = 0; i < options_.num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Start only after the vector is complete: worker_loop never touches
+  // workers_ but keeping construction and launch separate is free insurance.
+  for (auto& worker : workers_) {
+    worker->thread = std::jthread([this, w = worker.get()] { worker_loop(*w); });
+  }
+  if (metrics_) {
+    metrics_->exec_workers.store(options_.num_workers, std::memory_order_relaxed);
+  }
+}
+
+FilterExecutor::~FilterExecutor() { stop(); }
+
+std::uint32_t FilterExecutor::shard_of(std::uint32_t stream_id) const noexcept {
+  return static_cast<std::uint32_t>(mix64(stream_id) % workers_.size());
+}
+
+void FilterExecutor::add_stream(std::uint32_t stream_id, DeadlinePoll poll) {
+  Worker& worker = *workers_[shard_of(stream_id)];
+  std::lock_guard<std::mutex> lock(worker.mutex);
+  StreamState& state = worker.streams[stream_id];
+  state.poll = std::move(poll);
+  state.deadline_ns = -1;
+}
+
+void FilterExecutor::remove_stream(std::uint32_t stream_id) {
+  Worker& worker = *workers_[shard_of(stream_id)];
+  std::lock_guard<std::mutex> lock(worker.mutex);
+  worker.streams.erase(stream_id);
+}
+
+void FilterExecutor::post(std::uint32_t stream_id, Task task) {
+  Worker& worker = *workers_[shard_of(stream_id)];
+  std::unique_lock<std::mutex> lock(worker.mutex);
+  StreamState& state = worker.streams[stream_id];
+  // Backpressure: a full per-stream queue parks the posting event loop,
+  // which stops consuming envelopes and returning credits — exactly how
+  // worker occupancy is made to count against the credit window.
+  worker.settled.wait(lock, [&] {
+    return state.queued < options_.stream_queue_capacity ||
+           stop_.load(std::memory_order_relaxed);
+  });
+  if (stop_.load(std::memory_order_relaxed)) return;
+  ++state.queued;
+  worker.queue.emplace_back(stream_id, std::move(task));
+  if (metrics_) update_max(metrics_->exec_queue_peak, state.queued);
+  worker.wake.notify_one();
+}
+
+void FilterExecutor::set_deadline(std::uint32_t stream_id, std::int64_t deadline_ns) {
+  Worker& worker = *workers_[shard_of(stream_id)];
+  {
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    const auto it = worker.streams.find(stream_id);
+    if (it == worker.streams.end()) return;
+    it->second.deadline_ns = deadline_ns;
+  }
+  worker.wake.notify_one();
+}
+
+void FilterExecutor::drain() {
+  for (auto& worker : workers_) {
+    std::unique_lock<std::mutex> lock(worker->mutex);
+    worker->settled.wait(lock, [&] {
+      return (worker->queue.empty() && worker->executing == 0) ||
+             stop_.load(std::memory_order_relaxed);
+    });
+  }
+}
+
+void FilterExecutor::drain_stream(std::uint32_t stream_id) {
+  Worker& worker = *workers_[shard_of(stream_id)];
+  std::unique_lock<std::mutex> lock(worker.mutex);
+  worker.settled.wait(lock, [&] {
+    const auto it = worker.streams.find(stream_id);
+    if (it == worker.streams.end()) return true;
+    return (it->second.queued == 0 && !it->second.running) ||
+           stop_.load(std::memory_order_relaxed);
+  });
+}
+
+bool FilterExecutor::stream_idle(std::uint32_t stream_id) const {
+  const Worker& worker = *workers_[shard_of(stream_id)];
+  std::lock_guard<std::mutex> lock(worker.mutex);
+  const auto it = worker.streams.find(stream_id);
+  if (it == worker.streams.end()) return true;
+  return it->second.queued == 0 && !it->second.running;
+}
+
+std::uint64_t FilterExecutor::queue_depth() const {
+  std::uint64_t depth = 0;
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    depth += worker->queue.size();
+  }
+  return depth;
+}
+
+void FilterExecutor::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  for (auto& worker : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(worker->mutex);
+      // Abandon queued tasks (crash semantics; orderly paths drain first)
+      // and zero the per-stream counts so blocked posters wake cleanly.
+      worker->queue.clear();
+      for (auto& [stream_id, state] : worker->streams) state.queued = 0;
+    }
+    worker->wake.notify_all();
+    worker->settled.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+void FilterExecutor::worker_loop(Worker& worker) {
+  std::unique_lock<std::mutex> lock(worker.mutex);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (!worker.queue.empty()) {
+      auto [stream_id, task] = std::move(worker.queue.front());
+      worker.queue.pop_front();
+      const auto it = worker.streams.find(stream_id);
+      if (it != worker.streams.end()) {
+        --it->second.queued;
+        it->second.running = true;
+      }
+      ++worker.executing;
+      lock.unlock();
+      const std::int64_t start = now_ns();
+      task();
+      const auto elapsed = static_cast<std::uint64_t>(now_ns() - start);
+      if (metrics_) {
+        metrics_->exec_tasks.fetch_add(1, std::memory_order_relaxed);
+        metrics_->exec_task_ns.fetch_add(elapsed, std::memory_order_relaxed);
+      }
+      lock.lock();
+      --worker.executing;
+      const auto after = worker.streams.find(stream_id);
+      if (after != worker.streams.end()) after->second.running = false;
+      worker.settled.notify_all();
+      continue;
+    }
+
+    // Idle: fire an expired drain deadline on this shard, or sleep until
+    // the earliest one (tasks take priority — every task re-polls its
+    // stream's sync policy anyway, so a due deadline is never starved).
+    const std::int64_t now = now_ns();
+    std::int64_t earliest = -1;
+    std::uint32_t due_stream = 0;
+    StreamState* due = nullptr;
+    for (auto& [stream_id, state] : worker.streams) {
+      if (state.deadline_ns < 0) continue;
+      if (state.deadline_ns <= now) {
+        due_stream = stream_id;
+        due = &state;
+        break;
+      }
+      if (earliest < 0 || state.deadline_ns < earliest) earliest = state.deadline_ns;
+    }
+    if (due != nullptr) {
+      due->deadline_ns = -1;
+      const DeadlinePoll poll = due->poll;
+      due->running = true;
+      ++worker.executing;
+      lock.unlock();
+      if (poll) poll(now);
+      lock.lock();
+      --worker.executing;
+      const auto after = worker.streams.find(due_stream);
+      if (after != worker.streams.end()) after->second.running = false;
+      worker.settled.notify_all();
+      continue;
+    }
+    if (earliest >= 0) {
+      worker.wake.wait_for(lock, std::chrono::nanoseconds(earliest - now));
+    } else {
+      worker.wake.wait(lock);
+    }
+  }
+}
+
+}  // namespace tbon

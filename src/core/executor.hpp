@@ -1,0 +1,140 @@
+// FilterExecutor: a per-node pool of worker threads that runs filter work
+// off the event loop, so the loop shrinks to pure I/O + control (heartbeats,
+// credits, adoption never wait behind a slow filter).
+//
+// Ordering model — "stream sharding":
+//   * Every stream is pinned to one worker: shard = hash(stream_id) % N.
+//   * Each stream has its own FIFO run queue; a worker executes one stream's
+//     tasks strictly in post order.
+// Together these preserve per-stream FIFO delivery and stateful-filter
+// sequencing *exactly* (a stream's sync policy and transformation filter are
+// only ever touched from its shard), while distinct streams execute
+// concurrently on distinct workers.
+//
+// The executor knows nothing about packets or links: the NodeRuntime posts
+// closures that run the sync/filter machinery and hand their outputs back to
+// the event loop as completion records (see node.hpp).  Timed sync policies
+// (time_out) are served by per-stream deadline polls that fire on the
+// stream's own shard, so even timer-driven drains keep the sharding
+// guarantee.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace tbon {
+
+/// Typed executor configuration (part of NetworkOptions).  The default —
+/// zero workers — keeps today's inline behaviour: every filter runs on the
+/// node's event-loop thread and existing programs are unchanged.
+struct ExecutionOptions {
+  /// Worker threads per interior node (the front-end and every internal
+  /// communication process; leaves run no filters).  0 = inline.
+  std::uint32_t num_workers = 0;
+
+  /// Per-stream run-queue bound.  A full queue blocks the event loop's
+  /// post(), which in turn stops the loop from returning flow-control
+  /// credits — worker-queue occupancy therefore counts against the
+  /// channel's credit window and the bounded-depth guarantee survives.
+  std::size_t stream_queue_capacity = 1024;
+
+  /// Packets with payloads smaller than this run inline on the event loop
+  /// when their stream has no work in flight (cuts the handoff cost for
+  /// tiny packets without ever reordering a stream).  0 = always dispatch.
+  std::size_t inline_below_bytes = 0;
+
+  bool enabled() const noexcept { return num_workers > 0; }
+};
+
+class FilterExecutor {
+ public:
+  using Task = std::function<void()>;
+  /// Deadline poll: runs on the stream's shard when its armed deadline
+  /// expires (the executor-mode replacement for the loop's poll_timeouts).
+  using DeadlinePoll = std::function<void(std::int64_t now_ns)>;
+
+  /// `metrics` (optional) receives exec_tasks / exec_task_ns /
+  /// exec_queue_peak as work flows through; workers start immediately.
+  FilterExecutor(const ExecutionOptions& options, MetricsRegistry* metrics);
+  ~FilterExecutor();
+
+  FilterExecutor(const FilterExecutor&) = delete;
+  FilterExecutor& operator=(const FilterExecutor&) = delete;
+
+  std::uint32_t num_workers() const noexcept {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+
+  /// The worker a stream is pinned to (stable for the executor's lifetime).
+  std::uint32_t shard_of(std::uint32_t stream_id) const noexcept;
+
+  /// Register a stream before posting work for it.  `poll` may be empty for
+  /// streams whose sync policy never arms deadlines.
+  void add_stream(std::uint32_t stream_id, DeadlinePoll poll);
+
+  /// Unregister (call only after drain_stream: no tasks may be in flight).
+  void remove_stream(std::uint32_t stream_id);
+
+  /// Enqueue a task on the stream's shard, preserving per-stream FIFO order.
+  /// Blocks while the stream's queue is at capacity (backpressure toward
+  /// the event loop, which is what keeps credits unreturned).
+  void post(std::uint32_t stream_id, Task task);
+
+  /// Arm (or clear, with deadline_ns < 0) the stream's drain deadline.
+  /// Called from the stream's own shard at the end of each task, so it can
+  /// never race that stream's execution.
+  void set_deadline(std::uint32_t stream_id, std::int64_t deadline_ns);
+
+  /// Barrier: every task posted so far (all streams) has finished.
+  void drain();
+
+  /// Barrier for one stream's queue.
+  void drain_stream(std::uint32_t stream_id);
+
+  /// True when the stream has no queued or executing task (event-loop
+  /// callers use this for the inline-below-bytes fast path).
+  bool stream_idle(std::uint32_t stream_id) const;
+
+  /// Tasks currently queued across all streams (telemetry gauge).
+  std::uint64_t queue_depth() const;
+
+  /// Stop workers after their current task, abandoning queued work (crash
+  /// teardown; orderly shutdown drains first).  Idempotent.
+  void stop();
+
+ private:
+  struct StreamState {
+    DeadlinePoll poll;
+    std::size_t queued = 0;           ///< tasks waiting in the run queue
+    bool running = false;             ///< a task or poll is executing now
+    std::int64_t deadline_ns = -1;    ///< armed drain deadline; -1 = none
+  };
+
+  struct Worker {
+    mutable std::mutex mutex;
+    std::condition_variable wake;     ///< work arrived / deadline re-armed / stop
+    std::condition_variable settled;  ///< task finished (post backpressure, drains)
+    std::deque<std::pair<std::uint32_t, Task>> queue;  ///< cross-stream FIFO
+    std::map<std::uint32_t, StreamState> streams;
+    std::size_t executing = 0;        ///< tasks/polls running right now
+    std::jthread thread;
+  };
+
+  void worker_loop(Worker& worker);
+
+  ExecutionOptions options_;
+  MetricsRegistry* metrics_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace tbon

@@ -19,22 +19,79 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.hpp"
 #include "core/packet.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tbon {
 
-/// Static information a filter can consult while running.
+/// The stream's participating-children set at this node, as the runtime
+/// currently sees it.  `live[i]` is indexed by sync index (the dense
+/// per-stream child ordering sync policies see); entries flip to false when
+/// a child is declared dead and new children append as they are adopted.
+struct MembershipSnapshot {
+  std::size_t num_live = 0;   ///< children currently expected to contribute
+  std::size_t num_total = 0;  ///< sync slots ever allocated (== live.size())
+  std::vector<bool> live;     ///< liveness by sync index
+};
+
+/// Telemetry hook handed to filters through FilterContext.  Cheap to copy;
+/// all methods are safe no-ops when telemetry is disabled.  Counts land in
+/// the node's MetricsRegistry and aggregate tree-wide like every other
+/// metric (filter_custom_events / the filter latency histogram).
+class TelemetryScope {
+ public:
+  TelemetryScope() = default;
+  TelemetryScope(MetricsRegistry* metrics, int worker) noexcept
+      : metrics_(metrics), worker_(worker) {}
+
+  /// False when the network runs with telemetry disabled.
+  bool enabled() const noexcept { return metrics_ != nullptr; }
+
+  /// Worker thread executing this filter call: 0..N-1 under the
+  /// FilterExecutor, -1 when running inline on the node's event loop.
+  int worker() const noexcept { return worker_; }
+
+  /// Bump the node's custom-event counter (visible tree-wide as
+  /// `filter_custom_events`) — a lightweight way for filters to export
+  /// domain events without their own plumbing.
+  void count(std::uint64_t n = 1) const noexcept {
+    if (metrics_) {
+      metrics_->filter_custom_events.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+
+  /// Record a duration in the node's filter-latency histogram.
+  void observe_latency(std::uint64_t ns) const noexcept {
+    if (metrics_) metrics_->observe_filter_latency(ns);
+  }
+
+ private:
+  MetricsRegistry* metrics_ = nullptr;
+  int worker_ = -1;
+};
+
+/// Everything a filter can consult while running: placement (node id, role),
+/// stream identity and parameters, a live membership snapshot, and a
+/// telemetry scope.  One context per (node, stream) filter instance; the
+/// runtime keeps it current and passes it to every hook, replacing the old
+/// ad-hoc setter threading.  A filter call may rely on the context being
+/// stable for the duration of that call (the runtime only mutates it
+/// between calls, on the same shard that runs the filter).
 struct FilterContext {
   std::uint32_t node_id = 0;       ///< topology node this instance runs on
   std::uint32_t stream_id = 0;     ///< stream this instance serves
-  std::size_t num_children = 0;    ///< stream-participating children here
+  std::size_t num_children = 0;    ///< live stream-participating children here
   bool is_root = false;            ///< true at the front-end node
   bool is_leaf = false;            ///< true at a back-end node
   Config params;                   ///< per-stream parameters (key=value)
+  MembershipSnapshot membership;   ///< per-sync-index liveness view
+  TelemetryScope telemetry;        ///< custom counters + latency histogram
 };
 
 /// A change in a stream's participating-children set at one node, caused by
@@ -49,27 +106,67 @@ struct MembershipChange {
 
 /// Transformation filter: reduces one synchronized batch of upstream packets
 /// (or one downstream packet) into zero or more output packets.
+///
+/// New code overrides the context-taking hooks — filter() / flush() /
+/// membership_changed().  The context-free spellings (transform, finish,
+/// on_membership_change) are deprecated: their new-style counterparts
+/// forward to them by default, so existing filters keep working unchanged,
+/// and test_compat_api pins the forwarding behaviour.
 class TransformFilter {
  public:
   virtual ~TransformFilter() = default;
 
   /// Process a batch.  `in` is never empty.  Outputs are appended to `out`
   /// and forwarded toward the parent (upstream) or the children (downstream).
-  virtual void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
-                         const FilterContext& ctx) = 0;
+  virtual void filter(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                      FilterContext& ctx) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    transform(in, out, ctx);
+#pragma GCC diagnostic pop
+  }
 
   /// Called once when the stream shuts down; filters holding buffered state
   /// (e.g. time-aligned aggregation) may emit final packets here.
+  virtual void flush(std::vector<PacketPtr>& out, FilterContext& ctx) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    finish(out, ctx);
+#pragma GCC diagnostic pop
+  }
+
+  /// The stream's membership changed at this node (failure or re-adoption).
+  /// `ctx.num_children` / `ctx.membership` already reflect the new state.
+  /// Filters keyed on the expected number of contributors re-baseline here
+  /// and may emit buffered aggregates that the change just completed;
+  /// stateless filters ignore it (default).
+  virtual void membership_changed(const MembershipChange& change,
+                                  std::vector<PacketPtr>& out, FilterContext& ctx) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    on_membership_change(change, out, ctx);
+#pragma GCC diagnostic pop
+  }
+
+  /// \deprecated Override filter(in, out, FilterContext&) instead.
+  [[deprecated("override filter(in, out, FilterContext&) instead")]]
+  virtual void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                         const FilterContext& ctx) {
+    (void)in;
+    (void)out;
+    (void)ctx;
+    throw std::logic_error("TransformFilter: neither filter() nor transform() overridden");
+  }
+
+  /// \deprecated Override flush(out, FilterContext&) instead.
+  [[deprecated("override flush(out, FilterContext&) instead")]]
   virtual void finish(std::vector<PacketPtr>& out, const FilterContext& ctx) {
     (void)out;
     (void)ctx;
   }
 
-  /// The stream's membership changed at this node (failure or re-adoption).
-  /// `ctx.num_children` already reflects the new count.  Filters keyed on
-  /// the expected number of contributors re-baseline here and may emit
-  /// buffered aggregates that the change just completed; stateless filters
-  /// ignore it (default).
+  /// \deprecated Override membership_changed(change, out, FilterContext&) instead.
+  [[deprecated("override membership_changed(change, out, FilterContext&) instead")]]
   virtual void on_membership_change(const MembershipChange& change,
                                     std::vector<PacketPtr>& out,
                                     const FilterContext& ctx) {
@@ -92,16 +189,46 @@ class SyncPolicy {
   using Batch = std::vector<PacketPtr>;
 
   /// A packet arrived from stream-participating child slot `child`.
-  virtual void on_packet(std::size_t child, PacketPtr packet) = 0;
+  virtual void on_packet(std::size_t child, PacketPtr packet, FilterContext& ctx) {
+    (void)ctx;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    on_packet(child, std::move(packet));
+#pragma GCC diagnostic pop
+  }
 
   /// Return every batch that is ready at monotonic time `now_ns`.
-  virtual std::vector<Batch> drain_ready(std::int64_t now_ns) = 0;
+  virtual std::vector<Batch> drain_ready(std::int64_t now_ns, FilterContext& ctx) {
+    (void)ctx;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    return drain_ready(now_ns);
+#pragma GCC diagnostic pop
+  }
+
+  /// Deliver everything still buffered, regardless of completeness.
+  virtual std::vector<Batch> flush(FilterContext& ctx) {
+    (void)ctx;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    return flush();
+#pragma GCC diagnostic pop
+  }
+
+  /// Unified membership hook used by the recovery subsystem; the default
+  /// forwards to the context-free spelling, whose own default forwards to
+  /// child_failed()/child_added() so existing policies (e.g. wait_for_all
+  /// shrinking its expected-child set) work unchanged.
+  virtual void membership_changed(const MembershipChange& change, FilterContext& ctx) {
+    (void)ctx;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    on_membership_change(change);
+#pragma GCC diagnostic pop
+  }
 
   /// Monotonic deadline at which drain_ready() should be re-polled, if any.
   virtual std::optional<std::int64_t> next_deadline() const { return std::nullopt; }
-
-  /// Deliver everything still buffered, regardless of completeness.
-  virtual std::vector<Batch> flush() = 0;
 
   /// Packets currently buffered awaiting batch formation (telemetry gauge).
   virtual std::size_t buffered() const { return 0; }
@@ -115,9 +242,29 @@ class SyncPolicy {
   /// instantiated"); the policy should start expecting it.
   virtual void child_added() {}
 
-  /// Unified membership hook used by the recovery subsystem; the default
-  /// forwards to child_failed()/child_added() so existing policies (e.g.
-  /// wait_for_all shrinking its expected-child set) work unchanged.
+  /// \deprecated Override on_packet(child, packet, FilterContext&) instead.
+  [[deprecated("override on_packet(child, packet, FilterContext&) instead")]]
+  virtual void on_packet(std::size_t child, PacketPtr packet) {
+    (void)child;
+    (void)packet;
+    throw std::logic_error("SyncPolicy: neither on_packet overload overridden");
+  }
+
+  /// \deprecated Override drain_ready(now_ns, FilterContext&) instead.
+  [[deprecated("override drain_ready(now_ns, FilterContext&) instead")]]
+  virtual std::vector<Batch> drain_ready(std::int64_t now_ns) {
+    (void)now_ns;
+    throw std::logic_error("SyncPolicy: neither drain_ready overload overridden");
+  }
+
+  /// \deprecated Override flush(FilterContext&) instead.
+  [[deprecated("override flush(FilterContext&) instead")]]
+  virtual std::vector<Batch> flush() {
+    throw std::logic_error("SyncPolicy: neither flush overload overridden");
+  }
+
+  /// \deprecated Override membership_changed(change, FilterContext&) instead.
+  [[deprecated("override membership_changed(change, FilterContext&) instead")]]
   virtual void on_membership_change(const MembershipChange& change) {
     if (change.added) {
       child_added();

@@ -1,0 +1,61 @@
+// Typed per-stream filter parameters.
+//
+// Replaces the raw space-separated "key=value key=value" string that
+// StreamOptions::params used to be: a FilterParams is built with typed
+// set() calls, validated at the call site (ParseError on keys/values that
+// could not round-trip), and serialized to the unchanged wire form with
+// to_wire() — so filters keep reading FilterContext::params exactly as
+// before and old captures of the wire format stay valid.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace tbon {
+
+class FilterParams {
+ public:
+  FilterParams() = default;
+
+  /// Parse the legacy space-separated wire form.  New code should build
+  /// params with set(); this exists so pre-redesign call sites keep
+  /// compiling during migration.
+  [[deprecated("build FilterParams with set(key, value) instead of a raw string")]]
+  FilterParams(std::string_view wire) : FilterParams(from_wire(wire)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Typed setters; all return *this for chaining.  Keys must be non-empty
+  /// and neither keys nor values may contain ' ' or '=' (ParseError).
+  FilterParams& set(std::string key, std::string value);
+  FilterParams& set(std::string key, std::string_view value) {
+    return set(std::move(key), std::string(value));
+  }
+  FilterParams& set(std::string key, const char* value) {
+    return set(std::move(key), std::string(value));
+  }
+  FilterParams& set(std::string key, std::int64_t value);
+  FilterParams& set(std::string key, int value) {
+    return set(std::move(key), static_cast<std::int64_t>(value));
+  }
+  FilterParams& set(std::string key, double value);
+  FilterParams& set(std::string key, bool value);
+
+  bool empty() const noexcept { return values_.size() == 0; }
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  /// Serialize to the wire form carried in StreamSpec::params: key=value
+  /// pairs, space-separated, sorted by key.
+  std::string to_wire() const;
+
+  /// Inverse of to_wire() (non-deprecated spelling of the parsing path,
+  /// used internally and by the compat layer).
+  static FilterParams from_wire(std::string_view wire);
+
+  friend bool operator==(const FilterParams&, const FilterParams&) = default;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace tbon

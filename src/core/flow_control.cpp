@@ -1,0 +1,234 @@
+#include "core/flow_control.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace tbon {
+
+// ---- CreditGate -------------------------------------------------------------
+
+CreditGate::Acquire CreditGate::try_acquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return Acquire::kClosed;
+  if (available_ == 0) return Acquire::kExhausted;
+  --available_;
+  peak_ = std::max(peak_, window_ - available_);
+  return Acquire::kOk;
+}
+
+CreditGate::Acquire CreditGate::acquire_for(std::int64_t timeout_ns) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  credits_.wait_for(lock, std::chrono::nanoseconds(timeout_ns),
+                    [&] { return available_ > 0 || closed_; });
+  if (closed_) return Acquire::kClosed;
+  if (available_ == 0) return Acquire::kExhausted;
+  --available_;
+  peak_ = std::max(peak_, window_ - available_);
+  return Acquire::kOk;
+}
+
+void CreditGate::grant(std::uint32_t n) {
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    const std::uint64_t refilled = std::uint64_t{available_} + n;
+    available_ = refilled > window_ ? window_
+                                    : static_cast<std::uint32_t>(refilled);
+    hook = drain_hook_;
+  }
+  credits_.notify_all();
+  if (hook) hook();
+}
+
+void CreditGate::reset() {
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    available_ = window_;
+    hook = drain_hook_;
+  }
+  credits_.notify_all();
+  if (hook) hook();
+}
+
+void CreditGate::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  credits_.notify_all();
+}
+
+std::uint32_t CreditGate::available() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return available_;
+}
+
+std::uint32_t CreditGate::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return window_ - available_;
+}
+
+std::uint32_t CreditGate::in_flight_peak() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_;
+}
+
+std::uint32_t CreditGate::window() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return window_;
+}
+
+bool CreditGate::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+void CreditGate::set_drain_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  drain_hook_ = std::move(hook);
+}
+
+// ---- FlowControlledLink -----------------------------------------------------
+
+FlowControlledLink::FlowControlledLink(std::shared_ptr<Link> inner,
+                                       std::shared_ptr<CreditGate> gate,
+                                       const FlowControlOptions& options,
+                                       MetricsRegistry* metrics,
+                                       bool fail_fast_throws)
+    : inner_(std::move(inner)),
+      gate_(std::move(gate)),
+      options_(options),
+      metrics_(metrics),
+      fail_fast_throws_(fail_fast_throws),
+      pending_(options.window()) {}
+
+FlowControlledLink::~FlowControlledLink() {
+  // A wrapper replaced without close() (e.g. RelinkableLink swap during
+  // re-adoption) still accounts for the packets its ring is abandoning.
+  std::size_t shed = 0;
+  while (pending_.try_pop()) ++shed;
+  count_shed(shed);
+  if (shed && metrics_) {
+    metrics_->fc_pending_depth.fetch_sub(shed, std::memory_order_relaxed);
+  }
+}
+
+void FlowControlledLink::count_shed(std::uint64_t n) {
+  if (n && metrics_) {
+    metrics_->fc_packets_shed.fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+bool FlowControlledLink::send_with_credit_locked(const PacketPtr& packet) {
+  if (metrics_) {
+    metrics_->fc_credits_consumed.fetch_add(1, std::memory_order_relaxed);
+    update_max(metrics_->fc_inflight_peak, gate_->in_flight_peak());
+  }
+  return inner_->send(packet);
+}
+
+bool FlowControlledLink::flush_pending_locked() {
+  while (pending_.size() > 0) {
+    const auto acquired = gate_->try_acquire();
+    if (acquired != CreditGate::Acquire::kOk) break;
+    auto queued = pending_.try_pop();
+    if (!queued) {  // ring raced empty; return the unused credit
+      gate_->grant(1);
+      break;
+    }
+    if (metrics_) {
+      metrics_->fc_pending_depth.fetch_sub(1, std::memory_order_relaxed);
+    }
+    send_with_credit_locked(*queued);
+  }
+  const bool drained = pending_.size() == 0;
+  has_pending_.store(!drained, std::memory_order_relaxed);
+  return drained;
+}
+
+bool FlowControlledLink::send(const PacketPtr& packet) {
+  // Control/telemetry traffic (and EOF markers) bypasses credits *and* the
+  // wrapper lock: a sender blocked on credits must never delay the control
+  // plane that will eventually produce those credits.
+  if (!packet || flow_control_exempt(*packet)) return inner_->send(packet);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (flush_pending_locked()) {  // FIFO: older queued packets go first
+    const auto acquired = gate_->try_acquire();
+    if (acquired == CreditGate::Acquire::kOk) {
+      return send_with_credit_locked(packet);
+    }
+    if (acquired == CreditGate::Acquire::kClosed) return false;
+  }
+
+  switch (options_.policy) {
+    case FlowControlPolicy::kBlock: {
+      if (metrics_) {
+        metrics_->fc_sends_blocked.fetch_add(1, std::memory_order_relaxed);
+      }
+      const std::int64_t start = now_ns();
+      const auto acquired =
+          gate_->acquire_for(std::int64_t{options_.block_timeout_ms} * 1'000'000);
+      if (metrics_) {
+        metrics_->fc_blocked_ns.fetch_add(
+            static_cast<std::uint64_t>(now_ns() - start),
+            std::memory_order_relaxed);
+      }
+      if (acquired == CreditGate::Acquire::kOk) {
+        return send_with_credit_locked(packet);
+      }
+      if (acquired == CreditGate::Acquire::kClosed) return false;
+      count_shed(1);  // timed out: shed rather than wedge the caller forever
+      return true;
+    }
+    case FlowControlPolicy::kDropOldest: {
+      const std::size_t evicted = pending_.push_evict_oldest(packet);
+      count_shed(evicted);
+      if (metrics_ && evicted < 1) {
+        metrics_->fc_pending_depth.fetch_add(1, std::memory_order_relaxed);
+      }
+      has_pending_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    case FlowControlPolicy::kFailFast: {
+      if (fail_fast_throws_) {
+        throw FlowControlError("credit window exhausted (capacity " +
+                               std::to_string(gate_->window()) + ")");
+      }
+      count_shed(1);
+      return true;
+    }
+  }
+  return false;  // unreachable
+}
+
+void FlowControlledLink::pump() {
+  if (!has_pending_.load(std::memory_order_relaxed)) return;
+  std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) return;  // a sender holds the lane; it will flush
+  flush_pending_locked();
+}
+
+void FlowControlledLink::close() {
+  pump();          // last chance to deliver pending packets against credits
+  gate_->close();  // wakes blocked senders before we contend for the lock
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t shed = 0;
+  while (pending_.try_pop()) ++shed;
+  count_shed(shed);
+  if (shed && metrics_) {
+    metrics_->fc_pending_depth.fetch_sub(shed, std::memory_order_relaxed);
+  }
+  has_pending_.store(false, std::memory_order_relaxed);
+  inner_->close();
+}
+
+}  // namespace tbon

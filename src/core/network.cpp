@@ -197,7 +197,14 @@ RecvResult Stream::recv_for(std::chrono::milliseconds timeout) {
   return make_result(results_.pop_for(timeout));
 }
 
+RecvResult Stream::recv_until(std::chrono::steady_clock::time_point deadline) {
+  return make_result(results_.pop_until(deadline));
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 RecvResult Stream::try_recv() { return make_result(results_.try_pop()); }
+#pragma GCC diagnostic pop
 
 // ---- FrontEnd ---------------------------------------------------------------
 
@@ -253,6 +260,45 @@ Stream& FrontEnd::stream(std::uint32_t stream_id) {
   const auto it = streams_.find(stream_id);
   if (it == streams_.end()) throw ProtocolError("unknown stream " + std::to_string(stream_id));
   return *it->second;
+}
+
+AnyRecvResult FrontEnd::recv_any() { return recv_any_impl(std::nullopt); }
+
+AnyRecvResult FrontEnd::recv_any_for(std::chrono::milliseconds timeout) {
+  return recv_any_impl(std::chrono::steady_clock::now() + timeout);
+}
+
+AnyRecvResult FrontEnd::recv_any_until(std::chrono::steady_clock::time_point deadline) {
+  return recv_any_impl(deadline);
+}
+
+AnyRecvResult FrontEnd::recv_any_impl(
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  // Scan-then-wait: the ready_streams_ hints are advisory wakeups (they may
+  // be evicted under overflow, and a concurrent Stream::recv() may have
+  // consumed the hinted packet), so every wake re-scans all streams.  The
+  // scan also guarantees progress when packets arrived before this call.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (auto& [id, stream] : streams_) {
+        if (auto popped = stream->results_.try_pop()) {
+          return AnyRecvResult{id, RecvResult(std::move(*popped))};
+        }
+      }
+    }
+    const auto hint = deadline ? network_.ready_streams_.pop_until(*deadline)
+                               : network_.ready_streams_.pop();
+    if (!hint) {
+      // A packet-bearing push enqueues its hint before the queue can close,
+      // and closed queues drain before reporting empty — so nullopt here
+      // means "no packet is coming" (shutdown) or the deadline passed.
+      if (network_.ready_streams_.closed()) {
+        return AnyRecvResult{0, RecvResult(RecvStatus::kShutdown)};
+      }
+      return AnyRecvResult{0, RecvResult(RecvStatus::kTimeout)};
+    }
+  }
 }
 
 TreeMetricsSnapshot FrontEnd::metrics() const {
@@ -453,6 +499,9 @@ std::unique_ptr<Network> Network::create_threaded_impl(const NetworkOptions& opt
   if (fc.enabled) {
     for (auto& runtime : net.runtimes_) runtime->set_flow_control(fc);
   }
+  // Parallel filter execution: every runtime learns the options; leaves
+  // ignore them (they run no filters), so only non-leaf nodes build pools.
+  for (auto& runtime : net.runtimes_) runtime->set_execution(options.execution);
 
   // Second pass: wire links along every edge.  With flow control on, each
   // direction of an edge gets a CreditGate shared by the sender's wrapped
@@ -717,6 +766,7 @@ void Network::on_result(std::uint32_t stream_id, PacketPtr packet) {
   }
   try {
     front_end_->stream(stream_id).results_.push(std::move(packet));
+    ready_streams_.push_evict_oldest(stream_id);
   } catch (const ProtocolError&) {
     TBON_WARN("dropping result for unknown stream " << stream_id);
   }
@@ -747,9 +797,11 @@ void Network::on_shutdown_complete() {
     shutdown_complete_ = true;
   }
   shutdown_cv_.notify_all();
-  // Unblock any Stream::recv() waiting for results that will never come.
+  // Unblock any Stream::recv() / FrontEnd::recv_any() waiting for results
+  // that will never come.
   std::lock_guard<std::mutex> lock(front_end_->mutex_);
   for (auto& [id, stream] : front_end_->streams_) stream->results_.close();
+  ready_streams_.close();
 }
 
 void Network::shutdown() {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -108,6 +109,13 @@ struct NetworkOptions {
   /// Credit-based flow control on every tree channel (both instantiations);
   /// see src/core/flow_control.hpp and docs/flow_control.md.
   FlowControlOptions flow_control;
+  /// Parallel filter execution on non-leaf nodes: a per-node worker pool
+  /// onto which packets are hash-sharded by stream id, preserving per-stream
+  /// FIFO while distinct streams filter concurrently (see
+  /// src/core/executor.hpp and docs/execution.md).  Defaults to off
+  /// (num_workers = 0): filters run inline on each node's event loop,
+  /// byte-identically to previous releases.
+  ExecutionOptions execution;
 
   /// Process mode only: runs inside every back-end process.
   std::function<void(BackEnd&)> backend_main;
@@ -170,6 +178,13 @@ class RecvResult {
   RecvStatus status_ = RecvStatus::kOk;
 };
 
+/// Result of FrontEnd::recv_any: which stream produced the packet, plus the
+/// RecvResult itself.  `stream_id` is meaningful only when `result.ok()`.
+struct AnyRecvResult {
+  std::uint32_t stream_id = 0;
+  RecvResult result{RecvStatus::kShutdown};
+};
+
 /// Options for FrontEnd::new_stream.
 struct StreamOptions {
   /// Participating back-end ranks; empty = all back-ends.
@@ -206,7 +221,14 @@ class Stream {
   /// recv with a timeout; kTimeout when the deadline passes.
   RecvResult recv_for(std::chrono::milliseconds timeout);
 
-  /// Non-blocking receive; kTimeout when no packet is ready.
+  /// recv with an absolute deadline; kTimeout once `deadline` passes.
+  /// Prefer this in retry loops: the deadline does not stretch with each
+  /// attempt the way a relative recv_for() timeout does.
+  RecvResult recv_until(std::chrono::steady_clock::time_point deadline);
+
+  /// \deprecated Zero-timeout polling spelling; use recv_for(0ms) (same
+  /// semantics) or a deadline via recv_until() instead of a poll loop.
+  [[deprecated("use recv_for(std::chrono::milliseconds(0)) or recv_until()")]]
   RecvResult try_recv();
 
  private:
@@ -240,6 +262,21 @@ class FrontEnd {
   /// Stream lookup (throws ProtocolError for unknown ids).
   Stream& stream(std::uint32_t stream_id);
 
+  /// Receive the next aggregated packet from *any* of this front-end's
+  /// streams — the natural shape for a front-end multiplexing many
+  /// concurrently-filtering streams (it does not pin the caller to one
+  /// stream's arrival order).  Blocks until some stream has a packet or the
+  /// network shuts down (kShutdown).  Tolerates concurrent direct
+  /// Stream::recv() calls: a packet is delivered exactly once, to whichever
+  /// caller pops it.
+  AnyRecvResult recv_any();
+
+  /// recv_any with a timeout; result.status() == kTimeout when it passes.
+  AnyRecvResult recv_any_for(std::chrono::milliseconds timeout);
+
+  /// recv_any with an absolute deadline; kTimeout once `deadline` passes.
+  AnyRecvResult recv_any_until(std::chrono::steady_clock::time_point deadline);
+
   /// Current tree-wide telemetry snapshot: one record per live node plus
   /// field-wise totals and cross-node percentiles.  After shutdown() the
   /// snapshot is frozen and the aggregate counters are exact (every node
@@ -254,6 +291,9 @@ class FrontEnd {
  private:
   friend class Network;
   explicit FrontEnd(Network& network) : network_(network) {}
+
+  AnyRecvResult recv_any_impl(
+      const std::optional<std::chrono::steady_clock::time_point>& deadline);
 
   Network& network_;
   std::mutex mutex_;
@@ -444,6 +484,11 @@ class Network {
 
   // Telemetry state (see src/telemetry/); null unless enabled.
   std::unique_ptr<TelemetryCollector> collector_;
+
+  /// Wake hints for FrontEnd::recv_any: one stream id per result delivery.
+  /// Hints are advisory (recv_any re-scans the streams on every wake), so
+  /// overflow evicts the oldest hint rather than blocking the root runtime.
+  BoundedQueue<std::uint32_t> ready_streams_{1 << 16};
 
   // Recovery state (see src/recovery/).
   RecoveryOptions recovery_;

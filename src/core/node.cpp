@@ -94,6 +94,10 @@ void NodeRuntime::register_fc_link(std::shared_ptr<FlowControlledLink> link) {
   fc_pump_.push_back(std::move(link));
 }
 
+void NodeRuntime::set_execution(const ExecutionOptions& options) {
+  exec_options_ = options;
+}
+
 void NodeRuntime::note_consumed(Origin origin, std::uint32_t slot) {
   if (!fc_.enabled) return;
   std::function<void(std::uint32_t)> granter;
@@ -236,6 +240,10 @@ void NodeRuntime::run() {
         hb_config_, role_ != NodeRole::kRoot && parent_link_ != nullptr,
         child_alive_.size(), now_ns());
   }
+  // Leaves run no filters, so they never get a worker pool.
+  if (exec_options_.enabled() && role_ != NodeRole::kLeaf && !executor_) {
+    executor_ = std::make_unique<FilterExecutor>(exec_options_, &metrics_);
+  }
   // At saturation this loop runs once per envelope, and per-iteration clock
   // reads are measurable overhead (telemetry arms a standing deadline, which
   // would otherwise cost a read before every pop).  One post-pop timestamp
@@ -263,11 +271,13 @@ void NodeRuntime::run() {
       // all peers and stop.
       TBON_DEBUG("node " << id_ << " inbox closed; exiting");
       dead_.store(true, std::memory_order_release);
+      if (executor_) executor_->stop();
       close_all_links();
       return;
     } else if (fc_.enabled) {
       flush_partial_grants();  // idle: return sub-quantum credits
     }
+    if (executor_) exec_drain_completions();
     if (fc_.enabled) pump_fc_links();
     now = now_ns();
     poll_timeouts(now);
@@ -276,6 +286,7 @@ void NodeRuntime::run() {
     if (crashed_) return;
   }
   dead_.store(true, std::memory_order_release);
+  if (executor_) executor_->stop();
   close_all_links();
 }
 
@@ -336,12 +347,9 @@ void NodeRuntime::handle_envelope(Envelope&& envelope) {
     return;
   }
 
-  // The packet is consumed from its channel whatever happens next (filtered,
-  // forwarded or dropped): return the credit.  Telemetry rides exempt.
-  if (packet.stream_id() != kTelemetryStream) {
-    note_consumed(envelope.origin, envelope.child_slot);
-  }
-
+  // Crediting happens inside the data handlers: inline/dropped packets are
+  // credited immediately, executor-dispatched ones when their filter work
+  // completes (so worker-queue occupancy counts against the credit window).
   if (envelope.origin == Origin::kChild) {
     handle_upstream_data(envelope.child_slot, envelope.packet);
   } else {
@@ -489,6 +497,8 @@ void NodeRuntime::handle_new_stream(const StreamSpec& spec) {
   stream.ctx.is_root = role_ == NodeRole::kRoot;
   stream.ctx.is_leaf = role_ == NodeRole::kLeaf;
   stream.ctx.params = spec.parsed_params();
+  stream.ctx.membership = membership_snapshot(stream);
+  stream.ctx.telemetry = TelemetryScope(&metrics_, /*worker=*/-1);
 
   if (role_ != NodeRole::kLeaf) {
     stream.sync = registry_.make_sync(spec.up_sync, stream.ctx);
@@ -514,7 +524,12 @@ void NodeRuntime::handle_new_stream(const StreamSpec& spec) {
     }
   }
 
-  streams_.emplace(spec.id, std::move(stream));
+  const auto emplaced = streams_.emplace(spec.id, std::move(stream));
+  // Register with the executor only now: map storage is node-stable, so the
+  // shard's tasks can safely hold a StreamLocal pointer.
+  if (executor_ && emplaced.first->second.sync) {
+    exec_register_stream(emplaced.first->second);
+  }
 
   if (spec.id == kTelemetryStream) {
     // Arm periodic self-publishing; the interval rides in the stream params
@@ -533,7 +548,8 @@ void NodeRuntime::handle_new_stream(const StreamSpec& spec) {
 void NodeRuntime::handle_delete_stream(std::uint32_t stream_id) {
   const auto it = streams_.find(stream_id);
   if (it == streams_.end()) return;
-  flush_stream(it->second);
+  flush_stream(it->second);  // exec streams: posts the flush, drains the shard
+  if (executor_ && it->second.exec) executor_->remove_stream(stream_id);
   streams_.erase(it);
   if (delegate_ != nullptr) delegate_->on_stream_deleted(stream_id);
 }
@@ -603,6 +619,9 @@ void NodeRuntime::handle_parent_lost() {
 void NodeRuntime::crash() {
   metrics_.faults_injected.fetch_add(1, std::memory_order_relaxed);
   dead_.store(true, std::memory_order_release);
+  // Crash semantics: abandon queued filter work (stop() joins workers after
+  // their current task, so no worker can touch a link we're closing).
+  if (executor_) executor_->stop();
   close_all_links();
   crashed_ = true;
   if (crash_handler_) crash_handler_();  // may not return (process: _Exit)
@@ -640,20 +659,64 @@ std::size_t NodeRuntime::live_participants(const StreamLocal& stream) const {
   return live;
 }
 
+MembershipSnapshot NodeRuntime::membership_snapshot(const StreamLocal& stream) const {
+  MembershipSnapshot snapshot;
+  snapshot.num_total = stream.participating_slots.size();
+  snapshot.live.reserve(snapshot.num_total);
+  for (const std::uint32_t slot : stream.participating_slots) {
+    const bool alive = slot < child_alive_.size() && child_alive_[slot];
+    snapshot.live.push_back(alive);
+    if (alive) ++snapshot.num_live;
+  }
+  return snapshot;
+}
+
 void NodeRuntime::apply_membership_change(StreamLocal& stream,
                                           std::size_t sync_index, bool added) {
-  stream.ctx.num_children = live_participants(stream);
-  const MembershipChange change{sync_index, added, stream.ctx.num_children};
+  const std::size_t live = live_participants(stream);
+  const MembershipChange change{sync_index, added, live};
+  MembershipSnapshot snapshot = membership_snapshot(stream);
+  if (stream.exec) {
+    // The stream's sync/filter/ctx belong to its shard now: apply the change
+    // there, in FIFO order with any packet work already queued, and deliver
+    // any compensation outputs through the completion path like everything
+    // else.
+    ++stream.exec_inflight;
+    StreamLocal* sp = &stream;
+    executor_->post(stream.spec.id, [this, sp, change, added,
+                                     snapshot = std::move(snapshot)]() mutable {
+      sp->ctx.num_children = change.num_children;
+      sp->ctx.membership = std::move(snapshot);
+      ExecCompletion completion;
+      completion.stream_id = sp->spec.id;
+      completion.from_post = true;
+      sp->sync->membership_changed(change, sp->ctx);
+      if (!added) {
+        // Failure may complete a pending wave for the survivors.
+        completion.up_outputs =
+            run_upstream_batches(*sp, sp->sync->drain_ready(now_ns(), sp->ctx));
+      }
+      sp->up_filter->membership_changed(change, completion.up_outputs, sp->ctx);
+      const auto deadline = sp->sync->next_deadline();
+      executor_->set_deadline(sp->spec.id, deadline ? *deadline : -1);
+      completion.deadline_armed = deadline.has_value();
+      completion.buffered = sp->sync->buffered();
+      exec_enqueue(std::move(completion));
+    });
+    return;
+  }
+  stream.ctx.num_children = live;
+  stream.ctx.membership = std::move(snapshot);
   if (stream.sync) {
-    stream.sync->on_membership_change(change);
+    stream.sync->membership_changed(change, stream.ctx);
     if (!added) {
       // Failure may complete a pending wave for the survivors.
-      process_batches(stream, stream.sync->drain_ready(now_ns()));
+      process_batches(stream, stream.sync->drain_ready(now_ns(), stream.ctx));
     }
   }
   if (stream.up_filter) {
     std::vector<PacketPtr> outputs;
-    stream.up_filter->on_membership_change(change, outputs, stream.ctx);
+    stream.up_filter->membership_changed(change, outputs, stream.ctx);
     emit_upstream(stream, outputs);
   }
 }
@@ -680,6 +743,19 @@ void NodeRuntime::note_child_gone(std::uint32_t slot) {
 }
 
 void NodeRuntime::handle_upstream_data(std::uint32_t slot, const PacketPtr& packet) {
+  const bool deferred = consume_upstream_data(slot, packet);
+  // The packet is consumed from its channel whatever happened (filtered,
+  // forwarded or dropped): return the credit.  Telemetry rides exempt;
+  // executor-dispatched packets return theirs when the completion is
+  // delivered instead.
+  if (!deferred && packet->stream_id() != kTelemetryStream) {
+    note_consumed(Origin::kChild, slot);
+  }
+}
+
+/// Returns true when the packet was dispatched to the executor (its credit
+/// is deferred to completion delivery), false when handled to completion.
+bool NodeRuntime::consume_upstream_data(std::uint32_t slot, const PacketPtr& packet) {
   if (packet->stream_id() == kTelemetryStream) {
     // Telemetry traffic is accounted separately so application counters
     // stay exact whether or not telemetry is enabled.
@@ -695,26 +771,26 @@ void NodeRuntime::handle_upstream_data(std::uint32_t slot, const PacketPtr& pack
     // live index for this child.
     metrics_.packets_dropped.fetch_add(1, std::memory_order_relaxed);
     TBON_DEBUG("node " << id_ << " dropping packet from dead child slot " << slot);
-    return;
+    return false;
   }
   const auto it = streams_.find(packet->stream_id());
   if (it == streams_.end()) {
     metrics_.packets_dropped.fetch_add(1, std::memory_order_relaxed);
     TBON_WARN("node " << id_ << " dropping packet for unknown stream "
                       << packet->stream_id());
-    return;
+    return false;
   }
   StreamLocal& stream = it->second;
   if (slot >= stream.slot_to_sync_index.size()) {
     metrics_.packets_dropped.fetch_add(1, std::memory_order_relaxed);
     TBON_WARN("node " << id_ << " dropping packet from unwired child slot " << slot);
-    return;
+    return false;
   }
   const auto sync_index = stream.slot_to_sync_index[slot];
   if (sync_index < 0) {
     metrics_.packets_dropped.fetch_add(1, std::memory_order_relaxed);
     TBON_WARN("node " << id_ << " dropping packet from non-participating child");
-    return;
+    return false;
   }
   if (stream.fast_up) {
     // Fast pass-through lane: identity sync + identity transform, so the
@@ -732,23 +808,43 @@ void NodeRuntime::handle_upstream_data(std::uint32_t slot, const PacketPtr& pack
       tracer.record({id_, start, start + static_cast<std::int64_t>(elapsed),
                      packet->payload_bytes(), "up:" + stream.spec.up_transform});
     }
-    return;
+    return false;
   }
-  stream.sync->on_packet(static_cast<std::size_t>(sync_index), packet);
-  process_batches(stream, stream.sync->drain_ready(now_ns()));
+  if (stream.exec) {
+    if (exec_options_.inline_below_bytes > 0 &&
+        packet->payload_bytes() < exec_options_.inline_below_bytes &&
+        stream.exec_inflight == 0 && !stream.exec_deadline_armed) {
+      exec_run_inline_upstream(stream, static_cast<std::size_t>(sync_index), packet);
+      return false;
+    }
+    exec_dispatch_upstream(stream, static_cast<std::size_t>(sync_index), packet, slot);
+    return true;
+  }
+  stream.sync->on_packet(static_cast<std::size_t>(sync_index), packet, stream.ctx);
+  process_batches(stream, stream.sync->drain_ready(now_ns(), stream.ctx));
+  return false;
 }
 
 void NodeRuntime::process_batches(StreamLocal& stream,
                                   std::vector<SyncPolicy::Batch> batches) {
-  // The telemetry stream's own merge work is excluded from the application
-  // wave/latency instruments it feeds.
+  emit_upstream(stream, run_upstream_batches(stream, std::move(batches)));
+}
+
+std::vector<PacketPtr> NodeRuntime::run_upstream_batches(
+    StreamLocal& stream, std::vector<SyncPolicy::Batch> batches) {
+  // Runs on the stream's shard under the executor, inline on the event loop
+  // otherwise.  Metrics are relaxed atomics and the tracer locks internally,
+  // so the accounting is identical either way.  The telemetry stream's own
+  // merge work is excluded from the application wave/latency instruments it
+  // feeds.
   const bool telemetry = stream.spec.id == kTelemetryStream;
+  std::vector<PacketPtr> outputs;
   for (auto& batch : batches) {
     if (batch.empty()) continue;
     if (!telemetry) metrics_.waves.fetch_add(1, std::memory_order_relaxed);
-    std::vector<PacketPtr> outputs;
+    const std::size_t before = outputs.size();
     const auto start = now_ns();
-    stream.up_filter->transform(batch, outputs, stream.ctx);
+    stream.up_filter->filter(batch, outputs, stream.ctx);
     const auto end = now_ns();
     if (!telemetry) {
       const auto elapsed = static_cast<std::uint64_t>(end - start);
@@ -756,12 +852,14 @@ void NodeRuntime::process_batches(StreamLocal& stream,
       metrics_.observe_filter_latency(elapsed);
       if (auto& tracer = TraceRecorder::instance(); tracer.enabled()) {
         std::uint64_t bytes_out = 0;
-        for (const PacketPtr& p : outputs) bytes_out += p->payload_bytes();
+        for (std::size_t i = before; i < outputs.size(); ++i) {
+          bytes_out += outputs[i]->payload_bytes();
+        }
         tracer.record({id_, start, end, bytes_out, "up:" + stream.spec.up_transform});
       }
     }
-    emit_upstream(stream, outputs);
   }
+  return outputs;
 }
 
 void NodeRuntime::emit_upstream(StreamLocal& stream, std::span<const PacketPtr> packets) {
@@ -774,11 +872,173 @@ void NodeRuntime::emit_upstream(StreamLocal& stream, std::span<const PacketPtr> 
   }
 }
 
+// ---- parallel filter execution ----------------------------------------------
+//
+// Division of labour: workers run the stream's sync policy and transformation
+// filter (the CPU-bound part) and hand everything with side effects outside
+// the stream — sends, credits, delegate callbacks — back to the event loop as
+// completion records.  Links, liveness, the injector and the granter table
+// are therefore still touched by exactly one thread, and per-stream output
+// order is the completion queue's FIFO order, which matches inline mode.
+
+void NodeRuntime::exec_register_stream(StreamLocal& stream) {
+  StreamLocal* sp = &stream;
+  executor_->add_stream(stream.spec.id, [this, sp](std::int64_t now) {
+    // Deadline poll, on the stream's own shard: the executor-mode
+    // replacement for the loop's poll_timeouts.
+    ExecCompletion completion;
+    completion.stream_id = sp->spec.id;
+    completion.up_outputs =
+        run_upstream_batches(*sp, sp->sync->drain_ready(now, sp->ctx));
+    const auto deadline = sp->sync->next_deadline();
+    executor_->set_deadline(sp->spec.id, deadline ? *deadline : -1);
+    completion.deadline_armed = deadline.has_value();
+    completion.buffered = sp->sync->buffered();
+    exec_enqueue(std::move(completion));
+  });
+  stream.ctx.telemetry = TelemetryScope(
+      &metrics_, static_cast<int>(executor_->shard_of(stream.spec.id)));
+  stream.exec = true;
+}
+
+void NodeRuntime::exec_dispatch_upstream(StreamLocal& stream, std::size_t sync_index,
+                                         PacketPtr packet, std::uint32_t slot) {
+  ++stream.exec_inflight;
+  const bool credit = stream.spec.id != kTelemetryStream;
+  StreamLocal* sp = &stream;
+  executor_->post(stream.spec.id, [this, sp, sync_index, slot, credit,
+                                   packet = std::move(packet)]() mutable {
+    sp->sync->on_packet(sync_index, std::move(packet), sp->ctx);
+    ExecCompletion completion;
+    completion.stream_id = sp->spec.id;
+    completion.up_outputs =
+        run_upstream_batches(*sp, sp->sync->drain_ready(now_ns(), sp->ctx));
+    const auto deadline = sp->sync->next_deadline();
+    executor_->set_deadline(sp->spec.id, deadline ? *deadline : -1);
+    completion.from_post = true;
+    completion.deadline_armed = deadline.has_value();
+    completion.buffered = sp->sync->buffered();
+    completion.credit = credit;
+    completion.credit_origin = Origin::kChild;
+    completion.credit_slot = slot;
+    exec_enqueue(std::move(completion));
+  });
+}
+
+void NodeRuntime::exec_dispatch_downstream(StreamLocal& stream, PacketPtr packet) {
+  ++stream.exec_inflight;
+  const bool telemetry = packet->stream_id() == kTelemetryStream;
+  StreamLocal* sp = &stream;
+  executor_->post(stream.spec.id, [this, sp, telemetry,
+                                   packet = std::move(packet)] {
+    ExecCompletion completion;
+    completion.stream_id = sp->spec.id;
+    const auto start = now_ns();
+    const PacketPtr inputs[] = {packet};
+    sp->down_filter->filter(inputs, completion.down_outputs, sp->ctx);
+    const auto elapsed = static_cast<std::uint64_t>(now_ns() - start);
+    if (!telemetry) {
+      metrics_.filter_ns.fetch_add(elapsed, std::memory_order_relaxed);
+      metrics_.observe_filter_latency(elapsed);
+    }
+    // The sync policy was not touched, but the mirrors still need truthful
+    // values (reads are safe: we are on the stream's shard).
+    const auto deadline = sp->sync->next_deadline();
+    completion.from_post = true;
+    completion.deadline_armed = deadline.has_value();
+    completion.buffered = sp->sync->buffered();
+    completion.credit = !telemetry;
+    completion.credit_origin = Origin::kParent;
+    completion.credit_slot = 0;
+    exec_enqueue(std::move(completion));
+  });
+}
+
+void NodeRuntime::exec_run_inline_upstream(StreamLocal& stream, std::size_t sync_index,
+                                           const PacketPtr& packet) {
+  // Small-packet fast path: the stream is provably idle on its shard (no
+  // undelivered task, no armed deadline the worker could fire), so the loop
+  // may run the machinery itself without violating the one-shard-per-stream
+  // invariant — and without the handoff cost dwarfing a tiny filter run.
+  metrics_.exec_inline.fetch_add(1, std::memory_order_relaxed);
+  stream.sync->on_packet(sync_index, packet, stream.ctx);
+  process_batches(stream, stream.sync->drain_ready(now_ns(), stream.ctx));
+  const auto deadline = stream.sync->next_deadline();
+  stream.exec_deadline_armed = deadline.has_value();
+  stream.exec_buffered = stream.sync->buffered();
+  if (deadline) executor_->set_deadline(stream.spec.id, *deadline);
+}
+
+void NodeRuntime::exec_enqueue(ExecCompletion&& completion) {
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(exec_mutex_);
+    exec_completions_.push_back(std::move(completion));
+    wake = !exec_wake_pending_;
+    exec_wake_pending_ = true;
+  }
+  // Wake an idle loop with an epoch-agnostic marker envelope (coalesced: one
+  // marker per drain).  If the inbox is full the push fails harmlessly — a
+  // full inbox means the loop is awake and drains completions every
+  // iteration anyway.
+  if (wake) {
+    inbox_->try_push(Envelope{Origin::kParent, 0, make_attach_marker_packet()});
+  }
+}
+
+void NodeRuntime::exec_drain_completions() {
+  std::deque<ExecCompletion> batch;
+  {
+    std::lock_guard<std::mutex> lock(exec_mutex_);
+    exec_wake_pending_ = false;
+    if (exec_completions_.empty()) return;
+    batch.swap(exec_completions_);
+  }
+  for (auto& completion : batch) exec_deliver(std::move(completion));
+}
+
+void NodeRuntime::exec_deliver(ExecCompletion&& completion) {
+  const auto it = streams_.find(completion.stream_id);
+  if (it != streams_.end()) {
+    StreamLocal& stream = it->second;
+    if (completion.from_post && stream.exec_inflight > 0) --stream.exec_inflight;
+    stream.exec_deadline_armed = completion.deadline_armed;
+    stream.exec_buffered = completion.buffered;
+    emit_upstream(stream, completion.up_outputs);
+    for (const PacketPtr& packet : completion.down_outputs) {
+      forward_down_to_participants(stream, packet);
+    }
+  }
+  if (completion.credit) {
+    note_consumed(completion.credit_origin, completion.credit_slot);
+  }
+}
+
 void NodeRuntime::flush_stream(StreamLocal& stream) {
   if (!stream.sync) return;
-  process_batches(stream, stream.sync->flush());
+  if (stream.exec) {
+    // Post the flush as the stream's last task (FIFO after all queued work),
+    // wait for its shard to go quiet, then deliver every pending completion
+    // — so flushed output follows in-flight output in exactly inline order,
+    // and (at shutdown) precedes this node's own telemetry record and ack.
+    ++stream.exec_inflight;
+    StreamLocal* sp = &stream;
+    executor_->post(stream.spec.id, [this, sp] {
+      ExecCompletion completion;
+      completion.stream_id = sp->spec.id;
+      completion.from_post = true;
+      completion.up_outputs = run_upstream_batches(*sp, sp->sync->flush(sp->ctx));
+      sp->up_filter->flush(completion.up_outputs, sp->ctx);
+      executor_->set_deadline(sp->spec.id, -1);
+      exec_enqueue(std::move(completion));
+    });
+    executor_->drain_stream(stream.spec.id);
+    exec_drain_completions();
+    return;
+  }
+  process_batches(stream, stream.sync->flush(stream.ctx));
   std::vector<PacketPtr> finals;
-  stream.up_filter->finish(finals, stream.ctx);
+  stream.up_filter->flush(finals, stream.ctx);
   emit_upstream(stream, finals);
 }
 
@@ -788,10 +1048,12 @@ void NodeRuntime::flush_all_streams() {
 
 void NodeRuntime::poll_timeouts(std::int64_t now) {
   for (auto& [stream_id, stream] : streams_) {
-    if (!stream.sync) continue;
+    // Executor streams arm their deadlines on their own shard (the loop may
+    // not touch their sync policy at all).
+    if (!stream.sync || stream.exec) continue;
     const auto deadline = stream.sync->next_deadline();
     if (deadline && *deadline <= now) {
-      process_batches(stream, stream.sync->drain_ready(now));
+      process_batches(stream, stream.sync->drain_ready(now, stream.ctx));
     }
   }
 }
@@ -831,7 +1093,7 @@ void NodeRuntime::poll_liveness(std::int64_t now) {
 std::optional<std::int64_t> NodeRuntime::earliest_deadline() const {
   std::optional<std::int64_t> earliest;
   for (const auto& [stream_id, stream] : streams_) {
-    if (!stream.sync) continue;
+    if (!stream.sync || stream.exec) continue;  // exec: worker-side deadlines
     const auto deadline = stream.sync->next_deadline();
     if (deadline && (!earliest || *deadline < *earliest)) earliest = deadline;
   }
@@ -857,9 +1119,18 @@ void NodeRuntime::refresh_gauges() {
   metrics_.inbox_depth.store(inbox_->size(), std::memory_order_relaxed);
   std::uint64_t depth = 0;
   for (const auto& [stream_id, stream] : streams_) {
-    if (stream.sync) depth += stream.sync->buffered();
+    if (stream.exec) {
+      // The shard owns the sync policy; use the completion-updated mirror.
+      depth += stream.exec_buffered;
+    } else if (stream.sync) {
+      depth += stream.sync->buffered();
+    }
   }
   metrics_.sync_depth.store(depth, std::memory_order_relaxed);
+  if (executor_) {
+    metrics_.exec_queue_depth.store(executor_->queue_depth(),
+                                    std::memory_order_relaxed);
+  }
 }
 
 void NodeRuntime::publish_telemetry() {
@@ -893,6 +1164,15 @@ void NodeRuntime::forward_down_to_participants(const StreamLocal& stream,
 }
 
 void NodeRuntime::handle_downstream_data(const PacketPtr& packet) {
+  const bool deferred = consume_downstream_data(packet);
+  if (!deferred && packet->stream_id() != kTelemetryStream) {
+    note_consumed(Origin::kParent, 0);
+  }
+}
+
+/// Returns true when the packet was dispatched to the executor (its credit
+/// is deferred to completion delivery), false when handled to completion.
+bool NodeRuntime::consume_downstream_data(const PacketPtr& packet) {
   const bool telemetry = packet->stream_id() == kTelemetryStream;
   if (telemetry) {
     metrics_.telemetry_packets.fetch_add(1, std::memory_order_relaxed);
@@ -903,14 +1183,14 @@ void NodeRuntime::handle_downstream_data(const PacketPtr& packet) {
 
   if (role_ == NodeRole::kLeaf) {
     if (delegate_ != nullptr) delegate_->on_downstream(packet);
-    return;
+    return false;
   }
   const auto it = streams_.find(packet->stream_id());
   if (it == streams_.end()) {
     metrics_.packets_dropped.fetch_add(1, std::memory_order_relaxed);
     TBON_WARN("node " << id_ << " dropping downstream packet for unknown stream "
                       << packet->stream_id());
-    return;
+    return false;
   }
   StreamLocal& stream = it->second;
   if (stream.fast_down) {
@@ -922,12 +1202,24 @@ void NodeRuntime::handle_downstream_data(const PacketPtr& packet) {
     const auto fast_elapsed = static_cast<std::uint64_t>(now_ns() - fast_start);
     metrics_.filter_ns.fetch_add(fast_elapsed, std::memory_order_relaxed);
     metrics_.observe_filter_latency(fast_elapsed);
-    return;
+    return false;
+  }
+  if (stream.exec) {
+    const bool small = exec_options_.inline_below_bytes > 0 &&
+                       packet->payload_bytes() < exec_options_.inline_below_bytes &&
+                       stream.exec_inflight == 0 && !stream.exec_deadline_armed;
+    if (!small) {
+      exec_dispatch_downstream(stream, packet);
+      return true;
+    }
+    // Small-packet path: stream idle on its shard, run the down filter here
+    // (it never touches the sync policy, so no deadline bookkeeping needed).
+    metrics_.exec_inline.fetch_add(1, std::memory_order_relaxed);
   }
   std::vector<PacketPtr> outputs;
   const auto start = now_ns();
   const PacketPtr inputs[] = {packet};
-  stream.down_filter->transform(inputs, outputs, stream.ctx);
+  stream.down_filter->filter(inputs, outputs, stream.ctx);
   const auto elapsed = static_cast<std::uint64_t>(now_ns() - start);
   if (!telemetry) {
     metrics_.filter_ns.fetch_add(elapsed, std::memory_order_relaxed);
@@ -936,6 +1228,7 @@ void NodeRuntime::handle_downstream_data(const PacketPtr& packet) {
   for (const PacketPtr& output : outputs) {
     forward_down_to_participants(stream, output);
   }
+  return false;
 }
 
 void NodeRuntime::close_all_links() {

@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -26,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/executor.hpp"
 #include "core/flow_control.hpp"
 #include "core/protocol.hpp"
 #include "core/registry.hpp"
@@ -108,6 +110,18 @@ class NodeRuntime {
   /// wakeup marker into the inbox).  Safe from any thread.
   void register_fc_link(std::shared_ptr<FlowControlledLink> link);
 
+  // ---- parallel filter execution (src/core/executor.hpp) ------------------
+
+  /// Enable the stream-sharded filter worker pool: sync + transformation
+  /// filter work runs on N workers (per-stream FIFO preserved; distinct
+  /// streams concurrent) while this event loop keeps doing pure I/O +
+  /// control.  Workers hand results back as completion records the loop
+  /// delivers, so every send still happens on the loop thread and credits
+  /// for dispatched packets are only returned once their filter work has
+  /// completed.  Leaves ignore this (they run no filters).  Call before
+  /// run(); num_workers = 0 keeps today's inline behaviour.
+  void set_execution(const ExecutionOptions& options);
+
   // ---- recovery subsystem (src/recovery/) ---------------------------------
 
   /// Enable heartbeat-based failure detection on every channel of this node.
@@ -178,6 +192,29 @@ class NodeRuntime {
     /// Telemetry counters are accounted exactly as on the slow path.
     bool fast_up = false;
     bool fast_down = false;
+    /// Executor mode: sync/filter/ctx are only ever touched on the stream's
+    /// shard once this is set (the loop dispatches tasks instead of running
+    /// the machinery itself).  The remaining fields are loop-owned mirrors.
+    bool exec = false;
+    std::size_t exec_inflight = 0;   ///< loop-posted tasks not yet delivered
+    bool exec_deadline_armed = false;  ///< sync had a deadline after last task
+    std::uint64_t exec_buffered = 0;   ///< sync->buffered() after last task
+  };
+
+  /// What a worker hands back to the event loop after running filter work:
+  /// outputs to send (the loop owns all links), the stream's post-task sync
+  /// state (deadline / buffered mirrors), and the deferred flow-control
+  /// credit for the packet that triggered the task.
+  struct ExecCompletion {
+    std::uint32_t stream_id = 0;
+    std::vector<PacketPtr> up_outputs;    ///< toward the parent / root delegate
+    std::vector<PacketPtr> down_outputs;  ///< multicast to participating children
+    bool from_post = false;        ///< loop-posted task (vs worker deadline poll)
+    bool deadline_armed = false;
+    std::uint64_t buffered = 0;
+    bool credit = false;           ///< return one credit on delivery
+    Origin credit_origin = Origin::kParent;
+    std::uint32_t credit_slot = 0;
   };
 
   void handle_envelope(Envelope&& envelope);
@@ -200,7 +237,21 @@ class NodeRuntime {
   void note_child_gone(std::uint32_t slot);
   void handle_upstream_data(std::uint32_t slot, const PacketPtr& packet);
   void handle_downstream_data(const PacketPtr& packet);
+  bool consume_upstream_data(std::uint32_t slot, const PacketPtr& packet);
+  bool consume_downstream_data(const PacketPtr& packet);
   void process_batches(StreamLocal& stream, std::vector<SyncPolicy::Batch> batches);
+  std::vector<PacketPtr> run_upstream_batches(StreamLocal& stream,
+                                              std::vector<SyncPolicy::Batch> batches);
+  MembershipSnapshot membership_snapshot(const StreamLocal& stream) const;
+  void exec_register_stream(StreamLocal& stream);
+  void exec_dispatch_upstream(StreamLocal& stream, std::size_t sync_index,
+                              PacketPtr packet, std::uint32_t slot);
+  void exec_dispatch_downstream(StreamLocal& stream, PacketPtr packet);
+  void exec_run_inline_upstream(StreamLocal& stream, std::size_t sync_index,
+                                const PacketPtr& packet);
+  void exec_enqueue(ExecCompletion&& completion);
+  void exec_drain_completions();
+  void exec_deliver(ExecCompletion&& completion);
   void emit_upstream(StreamLocal& stream, std::span<const PacketPtr> packets);
   void flush_stream(StreamLocal& stream);
   void flush_all_streams();
@@ -265,6 +316,16 @@ class NodeRuntime {
   FcChannel fc_parent_;
   std::map<std::uint32_t, FcChannel> fc_children_;
   std::vector<std::shared_ptr<FlowControlledLink>> fc_pump_;
+
+  /// Parallel filter execution: the worker pool plus the completion queue
+  /// workers feed and the loop drains (a marker envelope wakes an idle loop;
+  /// exec_wake_pending_ coalesces markers so a burst of completions costs
+  /// one wakeup).
+  ExecutionOptions exec_options_;
+  std::unique_ptr<FilterExecutor> executor_;
+  std::mutex exec_mutex_;
+  std::deque<ExecCompletion> exec_completions_;
+  bool exec_wake_pending_ = false;
 
   // Telemetry publishing (armed when the reserved telemetry stream is
   // announced; the publish interval rides in the stream params).

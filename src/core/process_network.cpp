@@ -30,6 +30,7 @@ int g_rendezvous_listener_fd = -1;
 HeartbeatConfig g_hb{};
 FaultPlan g_fault_plan{};
 FlowControlOptions g_fc{};
+ExecutionOptions g_exec{};
 
 /// Kernel buffer sizing for a credit-controlled edge: enough for one window
 /// of typical frames, clamped so the defaults never shrink below what the
@@ -214,6 +215,7 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
     } else {
       NodeRuntime runtime(topology, id, FilterRegistry::instance(), nullptr);
       if (g_fc.enabled) runtime.set_flow_control(g_fc);
+      runtime.set_execution(g_exec);
       auto parent_raw = std::make_shared<FdLink>(parent_fd, &runtime.metrics());
       std::shared_ptr<CreditGate> gate_up;
       if (g_fc.enabled) {
@@ -358,6 +360,7 @@ std::unique_ptr<Network> Network::create_process_impl(const NetworkOptions& opti
   g_hb = options.recovery.heartbeat();
   g_fault_plan = options.recovery.fault_plan;
   g_fc = options.flow_control;
+  g_exec = options.execution;
   auto network = std::unique_ptr<Network>(new Network(options.topology));
   Network& net = *network;
   net.process_mode_ = true;
@@ -389,6 +392,7 @@ std::unique_ptr<Network> Network::create_process_impl(const NetworkOptions& opti
   }
   if (g_hb.enabled()) root.set_recovery(g_hb);
   if (g_fc.enabled) root.set_flow_control(g_fc);
+  root.set_execution(g_exec);
 
   SpawnedChildren spawned = spawn_children(topo, topo.root(), -1, backend_main);
   for (std::uint32_t slot = 0; slot < spawned.fds.size(); ++slot) {

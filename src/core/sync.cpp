@@ -13,7 +13,8 @@ WaitForAllSync::WaitForAllSync(const FilterContext& ctx)
       alive_(per_child_.size(), true),
       num_alive_(per_child_.size()) {}
 
-void WaitForAllSync::on_packet(std::size_t child, PacketPtr packet) {
+void WaitForAllSync::on_packet(std::size_t child, PacketPtr packet,
+                               FilterContext&) {
   per_child_.at(child).push_back(std::move(packet));
 }
 
@@ -29,7 +30,8 @@ bool WaitForAllSync::wave_ready() const {
   return true;
 }
 
-std::vector<SyncPolicy::Batch> WaitForAllSync::drain_ready(std::int64_t) {
+std::vector<SyncPolicy::Batch> WaitForAllSync::drain_ready(std::int64_t,
+                                                           FilterContext&) {
   std::vector<Batch> batches;
   while (wave_ready()) {
     Batch wave;
@@ -45,7 +47,7 @@ std::vector<SyncPolicy::Batch> WaitForAllSync::drain_ready(std::int64_t) {
   return batches;
 }
 
-std::vector<SyncPolicy::Batch> WaitForAllSync::flush() {
+std::vector<SyncPolicy::Batch> WaitForAllSync::flush(FilterContext&) {
   // Deliver remaining packets as (partial) waves, preserving per-child FIFO
   // order: repeatedly take the front packet of every non-empty child queue.
   std::vector<Batch> batches;
@@ -87,7 +89,7 @@ void WaitForAllSync::child_failed(std::size_t child) {
 TimeOutSync::TimeOutSync(const FilterContext& ctx)
     : window_ns_(ctx.params.get_int("window_ms", 50) * 1'000'000) {}
 
-void TimeOutSync::on_packet(std::size_t, PacketPtr packet) {
+void TimeOutSync::on_packet(std::size_t, PacketPtr packet, FilterContext&) {
   // Arm the window when the first packet of a batch is buffered, not when
   // drain_ready() happens to run next: arming lazily let the window start
   // drift later than the packet that opened it, inflating delivery latency
@@ -96,7 +98,8 @@ void TimeOutSync::on_packet(std::size_t, PacketPtr packet) {
   pending_.push_back(std::move(packet));
 }
 
-std::vector<SyncPolicy::Batch> TimeOutSync::drain_ready(std::int64_t now_ns) {
+std::vector<SyncPolicy::Batch> TimeOutSync::drain_ready(std::int64_t now_ns,
+                                                        FilterContext&) {
   if (pending_.empty()) {
     deadline_ns_ = -1;
     return {};
@@ -119,7 +122,7 @@ std::optional<std::int64_t> TimeOutSync::next_deadline() const {
   return deadline_ns_;
 }
 
-std::vector<SyncPolicy::Batch> TimeOutSync::flush() {
+std::vector<SyncPolicy::Batch> TimeOutSync::flush(FilterContext&) {
   if (pending_.empty()) return {};
   std::vector<Batch> batches;
   batches.push_back(std::move(pending_));
@@ -130,14 +133,16 @@ std::vector<SyncPolicy::Batch> TimeOutSync::flush() {
 
 // ---- NullSync ---------------------------------------------------------------
 
-void NullSync::on_packet(std::size_t, PacketPtr packet) {
+void NullSync::on_packet(std::size_t, PacketPtr packet, FilterContext&) {
   ready_.push_back(Batch{std::move(packet)});
 }
 
-std::vector<SyncPolicy::Batch> NullSync::drain_ready(std::int64_t) {
+std::vector<SyncPolicy::Batch> NullSync::drain_ready(std::int64_t, FilterContext&) {
   return std::exchange(ready_, {});
 }
 
-std::vector<SyncPolicy::Batch> NullSync::flush() { return std::exchange(ready_, {}); }
+std::vector<SyncPolicy::Batch> NullSync::flush(FilterContext&) {
+  return std::exchange(ready_, {});
+}
 
 }  // namespace tbon

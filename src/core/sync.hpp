@@ -21,9 +21,9 @@ class WaitForAllSync final : public SyncPolicy {
  public:
   explicit WaitForAllSync(const FilterContext& ctx);
 
-  void on_packet(std::size_t child, PacketPtr packet) override;
-  std::vector<Batch> drain_ready(std::int64_t now_ns) override;
-  std::vector<Batch> flush() override;
+  void on_packet(std::size_t child, PacketPtr packet, FilterContext& ctx) override;
+  std::vector<Batch> drain_ready(std::int64_t now_ns, FilterContext& ctx) override;
+  std::vector<Batch> flush(FilterContext& ctx) override;
   std::size_t buffered() const override;
   void child_failed(std::size_t child) override;
   void child_added() override;
@@ -43,10 +43,10 @@ class TimeOutSync final : public SyncPolicy {
  public:
   explicit TimeOutSync(const FilterContext& ctx);
 
-  void on_packet(std::size_t child, PacketPtr packet) override;
-  std::vector<Batch> drain_ready(std::int64_t now_ns) override;
+  void on_packet(std::size_t child, PacketPtr packet, FilterContext& ctx) override;
+  std::vector<Batch> drain_ready(std::int64_t now_ns, FilterContext& ctx) override;
   std::optional<std::int64_t> next_deadline() const override;
-  std::vector<Batch> flush() override;
+  std::vector<Batch> flush(FilterContext& ctx) override;
   std::size_t buffered() const override { return pending_.size(); }
 
  private:
@@ -60,9 +60,9 @@ class NullSync final : public SyncPolicy {
  public:
   explicit NullSync(const FilterContext&) {}
 
-  void on_packet(std::size_t child, PacketPtr packet) override;
-  std::vector<Batch> drain_ready(std::int64_t now_ns) override;
-  std::vector<Batch> flush() override;
+  void on_packet(std::size_t child, PacketPtr packet, FilterContext& ctx) override;
+  std::vector<Batch> drain_ready(std::int64_t now_ns, FilterContext& ctx) override;
+  std::vector<Batch> flush(FilterContext& ctx) override;
 
  private:
   std::vector<Batch> ready_;

@@ -142,8 +142,8 @@ CallTree CallTree::from_values(const Packet& packet, std::size_t first_field) {
   return tree;
 }
 
-void SubGraphFoldFilter::transform(std::span<const PacketPtr> in,
-                                   std::vector<PacketPtr>& out, const FilterContext&) {
+void SubGraphFoldFilter::filter(std::span<const PacketPtr> in,
+                                   std::vector<PacketPtr>& out, FilterContext&) {
   if (in.size() == 1) {
     // A fold of one tree is that tree: forward the packet verbatim instead
     // of decoding and re-encoding it (keeps a wire-backed payload aliased).

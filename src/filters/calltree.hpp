@@ -77,8 +77,8 @@ class CallTree {
 /// Transformation filter folding CallTree payloads (register name "sgfa").
 class SubGraphFoldFilter final : public TransformFilter {
  public:
-  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
-                 const FilterContext& ctx) override;
+  void filter(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 FilterContext& ctx) override;
 };
 
 }  // namespace tbon

@@ -18,8 +18,8 @@ double virtual_now_seconds(std::uint32_t node_id, std::uint64_t seed) {
   return static_cast<double>(now_ns()) * 1e-9 + virtual_skew(node_id, seed);
 }
 
-void ClockProbeFilter::transform(std::span<const PacketPtr> in,
-                                 std::vector<PacketPtr>& out, const FilterContext& ctx) {
+void ClockProbeFilter::filter(std::span<const PacketPtr> in,
+                                 std::vector<PacketPtr>& out, FilterContext& ctx) {
   static const DataFormat kProbe{"vf64"};
   for (const PacketPtr& packet : in) {
     if (packet->format() != kProbe) throw CodecError("clock probe must be 'vf64'");
@@ -45,8 +45,8 @@ PacketPtr make_clock_reply(const Packet& probe, std::uint32_t rank,
                       {std::vector<std::int64_t>{rank}, std::vector<double>{offset}});
 }
 
-void ClockSkewFilter::transform(std::span<const PacketPtr> in,
-                                std::vector<PacketPtr>& out, const FilterContext&) {
+void ClockSkewFilter::filter(std::span<const PacketPtr> in,
+                                std::vector<PacketPtr>& out, FilterContext&) {
   static const DataFormat kReply{"vi64 vf64"};
   if (in.size() == 1) {
     // Concatenating one reply is the identity; validate and forward.

@@ -47,8 +47,8 @@ class ClockProbeFilter final : public TransformFilter {
   explicit ClockProbeFilter(const FilterContext& ctx)
       : seed_(static_cast<std::uint64_t>(ctx.params.get_int("skew_seed", 0))) {}
 
-  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
-                 const FilterContext& ctx) override;
+  void filter(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 FilterContext& ctx) override;
 
  private:
   std::uint64_t seed_;
@@ -61,8 +61,8 @@ PacketPtr make_clock_reply(const Packet& probe, std::uint32_t rank,
 /// Upstream filter: merges children's (rank, offset) estimates.
 class ClockSkewFilter final : public TransformFilter {
  public:
-  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
-                 const FilterContext& ctx) override;
+  void filter(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 FilterContext& ctx) override;
 };
 
 }  // namespace tbon

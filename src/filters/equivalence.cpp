@@ -55,9 +55,9 @@ EquivalenceClasses EquivalenceClasses::from_values(const Packet& packet,
   return classes;
 }
 
-void EquivalenceClassFilter::transform(std::span<const PacketPtr> in,
+void EquivalenceClassFilter::filter(std::span<const PacketPtr> in,
                                        std::vector<PacketPtr>& out,
-                                       const FilterContext&) {
+                                       FilterContext&) {
   if (in.size() == 1) {
     // Merging a single contribution is the identity: forward verbatim, no
     // decode/re-encode round-trip.

@@ -58,8 +58,8 @@ class EquivalenceClasses {
 /// Register under "equivalence_class" via filters::register_all().
 class EquivalenceClassFilter final : public TransformFilter {
  public:
-  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
-                 const FilterContext& ctx) override;
+  void filter(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 FilterContext& ctx) override;
 };
 
 }  // namespace tbon

@@ -33,8 +33,8 @@ Histogram HistogramCodec::from_values(const Packet& packet, std::size_t first_fi
   return histogram;
 }
 
-void HistogramMergeFilter::transform(std::span<const PacketPtr> in,
-                                     std::vector<PacketPtr>& out, const FilterContext&) {
+void HistogramMergeFilter::filter(std::span<const PacketPtr> in,
+                                     std::vector<PacketPtr>& out, FilterContext&) {
   if (in.size() == 1) {
     // Merging one histogram is the identity: forward verbatim, no
     // decode/re-encode round-trip.

@@ -25,8 +25,8 @@ struct HistogramCodec {
 /// Register under "histogram_merge" via filters::register_all().
 class HistogramMergeFilter final : public TransformFilter {
  public:
-  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
-                 const FilterContext& ctx) override;
+  void filter(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 FilterContext& ctx) override;
 };
 
 }  // namespace tbon

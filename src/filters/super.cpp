@@ -24,41 +24,41 @@ SuperFilter::SuperFilter(const FilterContext& ctx, const FilterRegistry& registr
   if (stages_.empty()) throw FilterError("super filter chain is empty");
 }
 
-void SuperFilter::transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
-                            const FilterContext& ctx) {
+void SuperFilter::filter(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                            FilterContext& ctx) {
   std::vector<PacketPtr> current(in.begin(), in.end());
   for (auto& stage : stages_) {
     std::vector<PacketPtr> next;
-    if (!current.empty()) stage->transform(current, next, ctx);
+    if (!current.empty()) stage->filter(current, next, ctx);
     current = std::move(next);
   }
   out.insert(out.end(), current.begin(), current.end());
 }
 
-void SuperFilter::on_membership_change(const MembershipChange& change,
+void SuperFilter::membership_changed(const MembershipChange& change,
                                        std::vector<PacketPtr>& out,
-                                       const FilterContext& ctx) {
+                                       FilterContext& ctx) {
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     std::vector<PacketPtr> emitted;
-    stages_[i]->on_membership_change(change, emitted, ctx);
+    stages_[i]->membership_changed(change, emitted, ctx);
     for (std::size_t j = i + 1; j < stages_.size() && !emitted.empty(); ++j) {
       std::vector<PacketPtr> next;
-      stages_[j]->transform(emitted, next, ctx);
+      stages_[j]->filter(emitted, next, ctx);
       emitted = std::move(next);
     }
     out.insert(out.end(), emitted.begin(), emitted.end());
   }
 }
 
-void SuperFilter::finish(std::vector<PacketPtr>& out, const FilterContext& ctx) {
+void SuperFilter::flush(std::vector<PacketPtr>& out, FilterContext& ctx) {
   // Flush each stage in order, feeding its finals through the rest of the
   // chain so stateful stages compose correctly.
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     std::vector<PacketPtr> finals;
-    stages_[i]->finish(finals, ctx);
+    stages_[i]->flush(finals, ctx);
     for (std::size_t j = i + 1; j < stages_.size() && !finals.empty(); ++j) {
       std::vector<PacketPtr> next;
-      stages_[j]->transform(finals, next, ctx);
+      stages_[j]->filter(finals, next, ctx);
       finals = std::move(next);
     }
     out.insert(out.end(), finals.begin(), finals.end());

@@ -24,16 +24,16 @@ class SuperFilter final : public TransformFilter {
  public:
   SuperFilter(const FilterContext& ctx, const FilterRegistry& registry);
 
-  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
-                 const FilterContext& ctx) override;
-  void finish(std::vector<PacketPtr>& out, const FilterContext& ctx) override;
+  void filter(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 FilterContext& ctx) override;
+  void flush(std::vector<PacketPtr>& out, FilterContext& ctx) override;
 
   /// Forward the change to every stage; packets a stage emits in response
   /// (e.g. a time_aligned bucket the failure completed) flow through the
   /// remaining stages, mirroring finish().
-  void on_membership_change(const MembershipChange& change,
+  void membership_changed(const MembershipChange& change,
                             std::vector<PacketPtr>& out,
-                            const FilterContext& ctx) override;
+                            FilterContext& ctx) override;
 
  private:
   std::vector<std::unique_ptr<TransformFilter>> stages_;

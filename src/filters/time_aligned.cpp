@@ -4,8 +4,8 @@
 
 namespace tbon {
 
-void TimeAlignedFilter::transform(std::span<const PacketPtr> in,
-                                  std::vector<PacketPtr>& out, const FilterContext&) {
+void TimeAlignedFilter::filter(std::span<const PacketPtr> in,
+                                  std::vector<PacketPtr>& out, FilterContext&) {
   static const DataFormat kExpected{kFormat};
   for (const PacketPtr& packet : in) {
     if (packet->format() != kExpected) {
@@ -43,9 +43,9 @@ void TimeAlignedFilter::emit_complete(std::vector<PacketPtr>& out) {
   }
 }
 
-void TimeAlignedFilter::on_membership_change(const MembershipChange& change,
+void TimeAlignedFilter::membership_changed(const MembershipChange& change,
                                              std::vector<PacketPtr>& out,
-                                             const FilterContext&) {
+                                             FilterContext&) {
   expected_children_ = change.num_children;
   // A shrink may have completed buckets the dead child never reached.  (On
   // growth nothing is emitted; future buckets simply expect more
@@ -55,7 +55,7 @@ void TimeAlignedFilter::on_membership_change(const MembershipChange& change,
   if (!change.added && expected_children_ > 0) emit_complete(out);
 }
 
-void TimeAlignedFilter::finish(std::vector<PacketPtr>& out, const FilterContext&) {
+void TimeAlignedFilter::flush(std::vector<PacketPtr>& out, FilterContext&) {
   for (const auto& [bucket_id, bucket] : buckets_) emit(bucket_id, bucket, out);
   buckets_.clear();
 }

@@ -29,16 +29,16 @@ class TimeAlignedFilter final : public TransformFilter {
   explicit TimeAlignedFilter(const FilterContext& ctx)
       : expected_children_(ctx.num_children) {}
 
-  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
-                 const FilterContext& ctx) override;
-  void finish(std::vector<PacketPtr>& out, const FilterContext& ctx) override;
+  void filter(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 FilterContext& ctx) override;
+  void flush(std::vector<PacketPtr>& out, FilterContext& ctx) override;
 
   /// Re-baseline on failure/re-adoption: a dead child will never contribute
   /// to pending buckets, so the expected count shrinks and any bucket the
   /// change just completed is emitted immediately instead of hanging.
-  void on_membership_change(const MembershipChange& change,
+  void membership_changed(const MembershipChange& change,
                             std::vector<PacketPtr>& out,
-                            const FilterContext& ctx) override;
+                            FilterContext& ctx) override;
 
  private:
   /// Emit and erase every bucket with >= expected_children_ contributions.

@@ -6,8 +6,8 @@
 
 namespace tbon {
 
-void TopKFilter::transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
-                           const FilterContext&) {
+void TopKFilter::filter(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                           FilterContext&) {
   static const DataFormat kExpected{kFormat};
   std::vector<std::pair<double, std::string>> candidates;
   for (const PacketPtr& packet : in) {

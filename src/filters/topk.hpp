@@ -21,8 +21,8 @@ class TopKFilter final : public TransformFilter {
   explicit TopKFilter(const FilterContext& ctx)
       : k_(static_cast<std::size_t>(ctx.params.get_int("k", 10))) {}
 
-  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
-                 const FilterContext& ctx) override;
+  void filter(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 FilterContext& ctx) override;
 
  private:
   std::size_t k_;

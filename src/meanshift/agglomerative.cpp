@@ -99,8 +99,8 @@ AgglomerativeFilter::AgglomerativeFilter(const FilterContext& ctx) {
       ctx.params.get_int("max_clusters", static_cast<std::int64_t>(params_.max_clusters)));
 }
 
-void AgglomerativeFilter::transform(std::span<const PacketPtr> in,
-                                    std::vector<PacketPtr>& out, const FilterContext&) {
+void AgglomerativeFilter::filter(std::span<const PacketPtr> in,
+                                    std::vector<PacketPtr>& out, FilterContext&) {
   std::vector<Cluster> merged;
   for (const PacketPtr& packet : in) {
     const auto clusters = AggloCodec::from_values(*packet);

@@ -68,8 +68,8 @@ class AgglomerativeFilter final : public TransformFilter {
  public:
   explicit AgglomerativeFilter(const FilterContext& ctx);
 
-  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
-                 const FilterContext& ctx) override;
+  void filter(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 FilterContext& ctx) override;
 
  private:
   AggloParams params_;

@@ -184,8 +184,8 @@ LocalResult merge_compute(std::span<const LocalResult> children,
   return result;
 }
 
-void MeanShiftFilter::transform(std::span<const PacketPtr> in,
-                                std::vector<PacketPtr>& out, const FilterContext& ctx) {
+void MeanShiftFilter::filter(std::span<const PacketPtr> in,
+                                std::vector<PacketPtr>& out, FilterContext& ctx) {
   std::vector<LocalResult> children;
   children.reserve(in.size());
   for (const PacketPtr& packet : in) {

@@ -74,8 +74,8 @@ class MeanShiftFilter final : public TransformFilter {
   explicit MeanShiftFilter(const FilterContext& ctx)
       : params_(params_from_config(ctx.params)) {}
 
-  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
-                 const FilterContext& ctx) override;
+  void filter(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 FilterContext& ctx) override;
 
  private:
   DistributedParams params_;

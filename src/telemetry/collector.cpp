@@ -32,10 +32,17 @@ void accumulate(NodeTelemetry& total, const NodeTelemetry& r) {
   total.fc_credits_consumed += r.fc_credits_consumed;
   total.fc_credits_granted += r.fc_credits_granted;
   total.fc_invalid_grants += r.fc_invalid_grants;
+  total.exec_tasks += r.exec_tasks;
+  total.exec_task_ns += r.exec_task_ns;
+  total.exec_inline += r.exec_inline;
+  total.filter_custom_events += r.filter_custom_events;
   total.inbox_depth += r.inbox_depth;
   total.sync_depth += r.sync_depth;
   total.fc_inflight_peak = std::max(total.fc_inflight_peak, r.fc_inflight_peak);
   total.fc_pending_depth += r.fc_pending_depth;
+  total.exec_workers += r.exec_workers;
+  total.exec_queue_depth += r.exec_queue_depth;
+  total.exec_queue_peak = std::max(total.exec_queue_peak, r.exec_queue_peak);
   total.heartbeat_rtt_ns = std::max(total.heartbeat_rtt_ns, r.heartbeat_rtt_ns);
   for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
     total.filter_latency_hist[b] += r.filter_latency_hist[b];
@@ -64,10 +71,17 @@ void json_record(std::ostringstream& out, const NodeTelemetry& r) {
       << ",\"fc_credits_consumed\":" << r.fc_credits_consumed
       << ",\"fc_credits_granted\":" << r.fc_credits_granted
       << ",\"fc_invalid_grants\":" << r.fc_invalid_grants
+      << ",\"exec_tasks\":" << r.exec_tasks
+      << ",\"exec_task_ns\":" << r.exec_task_ns
+      << ",\"exec_inline\":" << r.exec_inline
+      << ",\"filter_custom_events\":" << r.filter_custom_events
       << ",\"inbox_depth\":" << r.inbox_depth
       << ",\"sync_depth\":" << r.sync_depth
       << ",\"fc_inflight_peak\":" << r.fc_inflight_peak
       << ",\"fc_pending_depth\":" << r.fc_pending_depth
+      << ",\"exec_workers\":" << r.exec_workers
+      << ",\"exec_queue_depth\":" << r.exec_queue_depth
+      << ",\"exec_queue_peak\":" << r.exec_queue_peak
       << ",\"heartbeat_rtt_ns\":" << r.heartbeat_rtt_ns
       << ",\"filter_latency_hist\":[";
   for (std::size_t b = 0; b < kLatencyBuckets; ++b) {

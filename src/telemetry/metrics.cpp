@@ -9,7 +9,8 @@ namespace tbon {
 namespace {
 
 // v2: flow-control counters + gauges appended (credit-based flow control).
-constexpr std::uint8_t kWireVersion = 2;
+// v3: parallel-filter-execution counters + gauges appended (FilterExecutor).
+constexpr std::uint8_t kWireVersion = 3;
 
 void put_record(BinaryWriter& writer, const NodeTelemetry& r) {
   writer.put(r.node);
@@ -37,10 +38,17 @@ void put_record(BinaryWriter& writer, const NodeTelemetry& r) {
   writer.put(r.fc_credits_consumed);
   writer.put(r.fc_credits_granted);
   writer.put(r.fc_invalid_grants);
+  writer.put(r.exec_tasks);
+  writer.put(r.exec_task_ns);
+  writer.put(r.exec_inline);
+  writer.put(r.filter_custom_events);
   writer.put(r.inbox_depth);
   writer.put(r.sync_depth);
   writer.put(r.fc_inflight_peak);
   writer.put(r.fc_pending_depth);
+  writer.put(r.exec_workers);
+  writer.put(r.exec_queue_depth);
+  writer.put(r.exec_queue_peak);
   writer.put(r.heartbeat_rtt_ns);
   for (const std::uint64_t count : r.filter_latency_hist) writer.put(count);
 }
@@ -72,10 +80,17 @@ NodeTelemetry get_record(BinaryReader& reader) {
   r.fc_credits_consumed = reader.get<std::uint64_t>();
   r.fc_credits_granted = reader.get<std::uint64_t>();
   r.fc_invalid_grants = reader.get<std::uint64_t>();
+  r.exec_tasks = reader.get<std::uint64_t>();
+  r.exec_task_ns = reader.get<std::uint64_t>();
+  r.exec_inline = reader.get<std::uint64_t>();
+  r.filter_custom_events = reader.get<std::uint64_t>();
   r.inbox_depth = reader.get<std::uint64_t>();
   r.sync_depth = reader.get<std::uint64_t>();
   r.fc_inflight_peak = reader.get<std::uint64_t>();
   r.fc_pending_depth = reader.get<std::uint64_t>();
+  r.exec_workers = reader.get<std::uint64_t>();
+  r.exec_queue_depth = reader.get<std::uint64_t>();
+  r.exec_queue_peak = reader.get<std::uint64_t>();
   r.heartbeat_rtt_ns = reader.get<std::int64_t>();
   for (std::uint64_t& count : r.filter_latency_hist) {
     count = reader.get<std::uint64_t>();

@@ -63,11 +63,20 @@ struct NodeTelemetry {
   std::uint64_t fc_credits_granted = 0;  ///< credits returned to channel senders
   std::uint64_t fc_invalid_grants = 0;   ///< malformed/stale credit grants rejected
 
+  // Parallel filter execution (src/core/executor.hpp).
+  std::uint64_t exec_tasks = 0;      ///< filter tasks run on worker threads
+  std::uint64_t exec_task_ns = 0;    ///< total worker busy time (utilization)
+  std::uint64_t exec_inline = 0;     ///< packets run inline via inline_below_bytes
+  std::uint64_t filter_custom_events = 0;  ///< TelemetryScope::count() bumps
+
   // Gauges (sampled at publish time).
   std::uint64_t inbox_depth = 0;  ///< envelopes queued in the node's inbox
   std::uint64_t sync_depth = 0;   ///< packets buffered across sync policies
   std::uint64_t fc_inflight_peak = 0;  ///< max credits in flight on any channel
   std::uint64_t fc_pending_depth = 0;  ///< packets queued in drop_oldest rings
+  std::uint64_t exec_workers = 0;      ///< configured filter worker threads
+  std::uint64_t exec_queue_depth = 0;  ///< tasks queued across worker shards
+  std::uint64_t exec_queue_peak = 0;   ///< max depth any stream's run queue hit
   std::int64_t heartbeat_rtt_ns = -1;  ///< last parent heartbeat RTT; -1 unknown
 
   std::array<std::uint64_t, kLatencyBuckets> filter_latency_hist{};
@@ -114,10 +123,18 @@ class MetricsRegistry {
   Counter fc_credits_granted{0};
   Counter fc_invalid_grants{0};
 
+  Counter exec_tasks{0};
+  Counter exec_task_ns{0};
+  Counter exec_inline{0};
+  Counter filter_custom_events{0};
+
   Counter inbox_depth{0};  ///< gauge, refreshed each telemetry tick
   Counter sync_depth{0};   ///< gauge, refreshed each telemetry tick
   Counter fc_inflight_peak{0};  ///< gauge, monotonic max (update_max)
   Counter fc_pending_depth{0};  ///< gauge, live delta-maintained
+  Counter exec_workers{0};      ///< gauge, set once at executor start
+  Counter exec_queue_depth{0};  ///< gauge, refreshed each telemetry tick
+  Counter exec_queue_peak{0};   ///< gauge, monotonic max (update_max)
   std::atomic<std::int64_t> heartbeat_rtt_ns{-1};
 
   /// Record one filter execution in the latency histogram.
@@ -160,10 +177,17 @@ class MetricsRegistry {
     r.fc_credits_consumed = fc_credits_consumed.load(std::memory_order_relaxed);
     r.fc_credits_granted = fc_credits_granted.load(std::memory_order_relaxed);
     r.fc_invalid_grants = fc_invalid_grants.load(std::memory_order_relaxed);
+    r.exec_tasks = exec_tasks.load(std::memory_order_relaxed);
+    r.exec_task_ns = exec_task_ns.load(std::memory_order_relaxed);
+    r.exec_inline = exec_inline.load(std::memory_order_relaxed);
+    r.filter_custom_events = filter_custom_events.load(std::memory_order_relaxed);
     r.inbox_depth = inbox_depth.load(std::memory_order_relaxed);
     r.sync_depth = sync_depth.load(std::memory_order_relaxed);
     r.fc_inflight_peak = fc_inflight_peak.load(std::memory_order_relaxed);
     r.fc_pending_depth = fc_pending_depth.load(std::memory_order_relaxed);
+    r.exec_workers = exec_workers.load(std::memory_order_relaxed);
+    r.exec_queue_depth = exec_queue_depth.load(std::memory_order_relaxed);
+    r.exec_queue_peak = exec_queue_peak.load(std::memory_order_relaxed);
     r.heartbeat_rtt_ns = heartbeat_rtt_ns.load(std::memory_order_relaxed);
     for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
       r.filter_latency_hist[b] = hist_[b].load(std::memory_order_relaxed);

@@ -16,10 +16,10 @@ FilterContext make_context(std::size_t num_children = 2) {
 
 std::vector<PacketPtr> run_filter(const std::string& name,
                                   std::span<const PacketPtr> in,
-                                  const FilterContext& ctx) {
+                                  FilterContext& ctx) {
   auto filter = FilterRegistry::instance().make_transform(name, ctx);
   std::vector<PacketPtr> out;
-  filter->transform(in, out, ctx);
+  filter->filter(in, out, ctx);
   return out;
 }
 
@@ -44,7 +44,7 @@ TEST(Registry, BuiltinsPresent) {
 }
 
 TEST(Registry, UnknownNameThrows) {
-  const FilterContext ctx = make_context();
+  FilterContext ctx = make_context();
   EXPECT_THROW(FilterRegistry::instance().make_transform("nope", ctx), FilterError);
   EXPECT_THROW(FilterRegistry::instance().make_sync("nope", ctx), FilterError);
 }
@@ -62,7 +62,7 @@ TEST(Registry, DuplicateRegistrationThrows) {
 }
 
 TEST(SumFilter, ScalarsAndVectors) {
-  const FilterContext ctx = make_context();
+  FilterContext ctx = make_context();
   const PacketPtr in[] = {
       Packet::make(1, 100, 0, "i64 vf64", {std::int64_t{3}, std::vector<double>{1, 2}}),
       Packet::make(1, 100, 1, "i64 vf64", {std::int64_t{4}, std::vector<double>{10, 20}}),
@@ -74,7 +74,7 @@ TEST(SumFilter, ScalarsAndVectors) {
 }
 
 TEST(SumFilter, SingleInputIsIdentity) {
-  const FilterContext ctx = make_context();
+  FilterContext ctx = make_context();
   const PacketPtr in[] = {scalar_packet(5.0)};
   const auto out = run_filter("sum", in, ctx);
   ASSERT_EQ(out.size(), 1u);
@@ -82,27 +82,27 @@ TEST(SumFilter, SingleInputIsIdentity) {
 }
 
 TEST(SumFilter, RejectsMixedFormats) {
-  const FilterContext ctx = make_context();
+  FilterContext ctx = make_context();
   const PacketPtr in[] = {scalar_packet(1.0),
                           Packet::make(1, 100, 1, "i32", {std::int32_t{1}})};
   EXPECT_THROW(run_filter("sum", in, ctx), CodecError);
 }
 
 TEST(SumFilter, RejectsLengthMismatchedVectors) {
-  const FilterContext ctx = make_context();
+  FilterContext ctx = make_context();
   const PacketPtr in[] = {vec_packet({1, 2}), vec_packet({1, 2, 3})};
   EXPECT_THROW(run_filter("sum", in, ctx), CodecError);
 }
 
 TEST(MinMaxFilter, Work) {
-  const FilterContext ctx = make_context();
+  FilterContext ctx = make_context();
   const PacketPtr in[] = {scalar_packet(3.5), scalar_packet(-1.0), scalar_packet(2.0)};
   EXPECT_DOUBLE_EQ(run_filter("min", in, ctx)[0]->get_f64(0), -1.0);
   EXPECT_DOUBLE_EQ(run_filter("max", in, ctx)[0]->get_f64(0), 3.5);
 }
 
 TEST(MinMaxFilter, StringsRideAlong) {
-  const FilterContext ctx = make_context();
+  FilterContext ctx = make_context();
   const PacketPtr in[] = {
       Packet::make(1, 100, 0, "f64 str", {1.0, std::string("first")}),
       Packet::make(1, 100, 1, "f64 str", {2.0, std::string("second")}),
@@ -113,14 +113,14 @@ TEST(MinMaxFilter, StringsRideAlong) {
 }
 
 TEST(AvgFilter, EqualWeightMean) {
-  const FilterContext ctx = make_context();
+  FilterContext ctx = make_context();
   const PacketPtr in[] = {vec_packet({2, 4}), vec_packet({4, 8})};
   const auto out = run_filter("avg", in, ctx);
   EXPECT_EQ(out[0]->get_vf64(0), (std::vector<double>{3, 6}));
 }
 
 TEST(WavgFilter, ExactForUnevenWeights) {
-  const FilterContext ctx = make_context();
+  FilterContext ctx = make_context();
   // Child A aggregated 3 endpoints summing to 30; child B 1 endpoint with 10.
   const PacketPtr in[] = {
       Packet::make(1, 100, 0, "vf64 u64", {std::vector<double>{30.0}, std::uint64_t{3}}),
@@ -134,13 +134,13 @@ TEST(WavgFilter, ExactForUnevenWeights) {
 }
 
 TEST(WavgFilter, RejectsWrongFormat) {
-  const FilterContext ctx = make_context();
+  FilterContext ctx = make_context();
   const PacketPtr in[] = {scalar_packet(1.0)};
   EXPECT_THROW(run_filter("wavg", in, ctx), CodecError);
 }
 
 TEST(CountFilter, CountsLeavesAndComposes) {
-  const FilterContext ctx = make_context();
+  FilterContext ctx = make_context();
   // Leaf level: arbitrary packets count 1 each.
   const PacketPtr leaf_in[] = {scalar_packet(1), scalar_packet(2), scalar_packet(3)};
   const auto level1 = run_filter("count", leaf_in, ctx);
@@ -155,7 +155,7 @@ TEST(CountFilter, CountsLeavesAndComposes) {
 }
 
 TEST(ConcatFilter, ConcatenatesInChildOrder) {
-  const FilterContext ctx = make_context();
+  FilterContext ctx = make_context();
   const PacketPtr in[] = {
       Packet::make(1, 100, 0, "vi64 str", {std::vector<std::int64_t>{1, 2}, std::string("ab")}),
       Packet::make(1, 100, 1, "vi64 str", {std::vector<std::int64_t>{3}, std::string("c")}),
@@ -166,13 +166,13 @@ TEST(ConcatFilter, ConcatenatesInChildOrder) {
 }
 
 TEST(ConcatFilter, RejectsScalarFields) {
-  const FilterContext ctx = make_context();
+  FilterContext ctx = make_context();
   const PacketPtr in[] = {scalar_packet(1), scalar_packet(2)};
   EXPECT_THROW(run_filter("concat", in, ctx), CodecError);
 }
 
 TEST(PassthroughFilter, ForwardsEverything) {
-  const FilterContext ctx = make_context();
+  FilterContext ctx = make_context();
   const PacketPtr in[] = {scalar_packet(1), scalar_packet(2)};
   const auto out = run_filter("passthrough", in, ctx);
   ASSERT_EQ(out.size(), 2u);
@@ -196,7 +196,7 @@ class TreeDecomposition : public ::testing::TestWithParam<TreeReduceCase> {};
 
 TEST_P(TreeDecomposition, TreeFoldEqualsFlatFold) {
   const auto& param = GetParam();
-  const FilterContext ctx = make_context(param.arity);
+  FilterContext ctx = make_context(param.arity);
   Rng rng(param.leaves * 31 + param.arity);
 
   std::vector<PacketPtr> level;
@@ -238,7 +238,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 // concat through a tree preserves global left-to-right order.
 TEST(TreeDecomposition, ConcatPreservesOrder) {
-  const FilterContext ctx = make_context(4);
+  FilterContext ctx = make_context(4);
   std::vector<PacketPtr> level;
   for (std::int64_t i = 0; i < 64; ++i) {
     level.push_back(Packet::make(1, 100, static_cast<std::uint32_t>(i), "vi64",

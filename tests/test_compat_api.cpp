@@ -102,6 +102,133 @@ TEST(CompatApi, VectorPayloadSendOverloadsCopyButDeliver) {
   net->shutdown();
 }
 
+// ---- legacy context-free filter API ----------------------------------------
+//
+// Pre-FilterContext subclasses override transform/finish/on_membership_change
+// (TransformFilter) and the context-free SyncPolicy hooks.  The new
+// context-taking virtuals must forward to them by default so these filters
+// keep working unchanged — including under the parallel executor, which only
+// ever calls the new spellings.
+
+class LegacyDoubler final : public TransformFilter {
+ public:
+  void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                 const FilterContext&) override {
+    for (const PacketPtr& packet : in) {
+      out.push_back(Packet::make(packet->stream_id(), packet->tag(), kFrontEndRank,
+                                 "i64", {packet->get_i64(0) * 2}));
+    }
+  }
+  void finish(std::vector<PacketPtr>& out, const FilterContext&) override {
+    out.push_back(Packet::make(1, kTag, kFrontEndRank, "i64", {std::int64_t{-1}}));
+  }
+  void on_membership_change(const MembershipChange& change, std::vector<PacketPtr>&,
+                            const FilterContext&) override {
+    last_change_children = change.num_children;
+  }
+  std::size_t last_change_children = 0;
+};
+
+TEST(CompatApi, ContextFreeTransformHooksForwardFromNewApi) {
+  LegacyDoubler legacy;
+  TransformFilter& filter = legacy;  // the runtime always calls the new API
+  FilterContext ctx;
+  const PacketPtr in[] = {Packet::make(1, kTag, 0, "i64", {std::int64_t{21}})};
+  std::vector<PacketPtr> out;
+  filter.filter(in, out, ctx);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->get_i64(0), 42);
+
+  out.clear();
+  filter.flush(out, ctx);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->get_i64(0), -1);
+
+  out.clear();
+  filter.membership_changed(MembershipChange{0, false, 3}, out, ctx);
+  EXPECT_EQ(legacy.last_change_children, 3u);
+  EXPECT_TRUE(out.empty());
+}
+
+class LegacyPairSync : public SyncPolicy {
+ public:
+  void on_packet(std::size_t, PacketPtr packet) override {
+    buffer_.push_back(std::move(packet));
+  }
+  std::vector<Batch> drain_ready(std::int64_t) override {
+    std::vector<Batch> batches;
+    while (buffer_.size() >= 2) {
+      batches.push_back({std::move(buffer_[0]), std::move(buffer_[1])});
+      buffer_.erase(buffer_.begin(), buffer_.begin() + 2);
+    }
+    return batches;
+  }
+  std::vector<Batch> flush() override {
+    std::vector<Batch> batches;
+    if (!buffer_.empty()) batches.push_back(std::move(buffer_));
+    buffer_.clear();
+    return batches;
+  }
+
+ private:
+  std::vector<PacketPtr> buffer_;
+};
+
+TEST(CompatApi, ContextFreeSyncHooksForwardFromNewApi) {
+  LegacyPairSync legacy;
+  SyncPolicy& sync = legacy;
+  FilterContext ctx;
+  sync.on_packet(0, Packet::make(1, kTag, 0, "i64", {std::int64_t{1}}), ctx);
+  EXPECT_TRUE(sync.drain_ready(0, ctx).empty());
+  sync.on_packet(1, Packet::make(1, kTag, 1, "i64", {std::int64_t{2}}), ctx);
+  const auto batches = sync.drain_ready(0, ctx);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 2u);
+  sync.on_packet(0, Packet::make(1, kTag, 0, "i64", {std::int64_t{3}}), ctx);
+  const auto flushed = sync.flush(ctx);
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_EQ(flushed[0].size(), 1u);
+}
+
+TEST(CompatApi, ContextFreeMembershipDefaultSplitsIntoFailedAndAdded) {
+  // The old on_membership_change default forwards to child_failed /
+  // child_added, and the new membership_changed forwards to it — the whole
+  // chain must stay intact for policies overriding only the leaf hooks.
+  class CountingSync final : public LegacyPairSync {
+   public:
+    void child_failed(std::size_t child) override { failed.push_back(child); }
+    void child_added() override { ++added; }
+    std::vector<std::size_t> failed;
+    int added = 0;
+  };
+  CountingSync counting;
+  SyncPolicy& sync = counting;
+  FilterContext ctx;
+  sync.membership_changed(MembershipChange{4, false, 2}, ctx);
+  sync.membership_changed(MembershipChange{0, true, 3}, ctx);
+  EXPECT_EQ(counting.failed, (std::vector<std::size_t>{4}));
+  EXPECT_EQ(counting.added, 1);
+}
+
+TEST(CompatApi, TryRecvKeepsPollingSemantics) {
+  auto net = Network::create({.topology = Topology::flat(2)});
+  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  EXPECT_EQ(stream.try_recv().status(), RecvStatus::kTimeout);
+  net->run_backends([&](BackEnd& be) {
+    be.send(stream.id(), kTag, "i64", {std::int64_t{be.rank() + 1}});
+  });
+  // Poll until the aggregate lands, exactly how 0.x consumers spun.
+  RecvResult result{RecvStatus::kTimeout};
+  const auto give_up = std::chrono::steady_clock::now() + 20s;
+  while (!result.ok() && std::chrono::steady_clock::now() < give_up) {
+    result = stream.try_recv();
+  }
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->get_i64(0), 3);
+  net->shutdown();
+  EXPECT_EQ(stream.try_recv().status(), RecvStatus::kShutdown);
+}
+
 TEST(CompatApi, FilterParamsParsesLegacyWireStrings) {
   const FilterParams parsed("k=2 chain=topk,passthrough");
   EXPECT_EQ(parsed, FilterParams().set("chain", "topk,passthrough").set("k", 2));

@@ -138,22 +138,22 @@ TEST_F(ComplexFilters, TimeAlignedEmitsCompleteBucketsOnly) {
                                       {std::uint64_t{0}, std::vector<double>{10, 20}});
 
   const PacketPtr in1[] = {b0c0};
-  filter.transform(in1, out, ctx);
+  filter.filter(in1, out, ctx);
   EXPECT_TRUE(out.empty());  // bucket 0 has one of two contributions
 
   const PacketPtr in2[] = {b1c0};
-  filter.transform(in2, out, ctx);
+  filter.filter(in2, out, ctx);
   EXPECT_TRUE(out.empty());  // bucket 1 incomplete too
 
   const PacketPtr in3[] = {b0c1};
-  filter.transform(in3, out, ctx);
+  filter.filter(in3, out, ctx);
   ASSERT_EQ(out.size(), 1u);  // bucket 0 complete
   EXPECT_EQ(out[0]->get_u64(0), 0u);
   EXPECT_EQ(out[0]->get_vf64(1), (std::vector<double>{11, 22}));
 
-  // finish() flushes the incomplete bucket 1.
+  // flush() flushes the incomplete bucket 1.
   out.clear();
-  filter.finish(out, ctx);
+  filter.flush(out, ctx);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0]->get_u64(0), 1u);
   EXPECT_EQ(out[0]->get_vf64(1), (std::vector<double>{5, 5}));
@@ -295,7 +295,7 @@ TEST_F(ComplexFilters, TopKKeepsLargest) {
                    {std::vector<double>{4, 9}, std::vector<std::string>{"d", "i"}}),
   };
   std::vector<PacketPtr> out;
-  filter.transform(in, out, ctx);
+  filter.filter(in, out, ctx);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0]->get_vf64(0), (std::vector<double>{9, 5, 4}));
   EXPECT_EQ(out[0]->get_vstr(1), (std::vector<std::string>{"i", "e", "d"}));

@@ -346,7 +346,7 @@ TEST(FlowControlThreaded, DropOldestConservesPacketsAndKeepsFifoOrder) {
            net->node_metrics(1).fc_packets_shed;
   };
   while (std::chrono::steady_clock::now() < deadline) {
-    if (const auto result = stream.try_recv()) {
+    if (const auto result = stream.recv_for(std::chrono::milliseconds(0))) {
       received.push_back((*result)->get_i64(0));
     } else if (received.size() + shed_total() ==
                static_cast<std::uint64_t>(kSent)) {
@@ -388,7 +388,7 @@ TEST(FlowControlThreaded, FailFastSurfacesStatusToTheSendingBackend) {
     }
   });
   EXPECT_GT(throws.load(), 0);
-  while (stream.try_recv()) {
+  while (stream.recv_for(std::chrono::milliseconds(0))) {
   }
   net->shutdown();  // and the half-sent streams must not wedge teardown
 }
@@ -531,7 +531,7 @@ TEST(FlowControlProcess, FailFastSurfacesToBackendMainInChildProcesses) {
   const auto verdict = report.recv_for(60s);
   ASSERT_TRUE(verdict.has_value());
   EXPECT_GE((*verdict)->get_i64(0), 1);  // at least one back-end saw the error
-  while (burst.try_recv()) {
+  while (burst.recv_for(std::chrono::milliseconds(0))) {
   }
   net->shutdown();
 }

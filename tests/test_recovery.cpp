@@ -199,13 +199,13 @@ TEST(TimeAlignedMembership, ShrinkEmitsBucketsTheFailureCompleted) {
                         {bucket, std::vector<double>{value}});
   };
   const PacketPtr batch[] = {sample(0, 1.0), sample(0, 2.0)};
-  filter.transform(batch, out, ctx);
+  filter.filter(batch, out, ctx);
   EXPECT_TRUE(out.empty());  // 2 of 3 contributions: bucket 0 incomplete
 
   // Child 2 dies; its contribution will never arrive.  The shrink to 2
   // expected children completes bucket 0 immediately.
   ctx.num_children = 2;
-  filter.on_membership_change(MembershipChange{2, false, 2}, out, ctx);
+  filter.membership_changed(MembershipChange{2, false, 2}, out, ctx);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0]->get_u64(0), 0u);
   EXPECT_DOUBLE_EQ(out[0]->get_vf64(1)[0], 3.0);
@@ -217,11 +217,11 @@ TEST(TimeAlignedMembership, GrowthRaisesTheBar) {
   TimeAlignedFilter filter(ctx);
   std::vector<PacketPtr> out;
   ctx.num_children = 2;
-  filter.on_membership_change(MembershipChange{1, true, 2}, out, ctx);
+  filter.membership_changed(MembershipChange{1, true, 2}, out, ctx);
   EXPECT_TRUE(out.empty());
   const PacketPtr one[] = {Packet::make(1, kTag, 0, TimeAlignedFilter::kFormat,
                                         {std::uint64_t{0}, std::vector<double>{1.0}})};
-  filter.transform(one, out, ctx);
+  filter.filter(one, out, ctx);
   EXPECT_TRUE(out.empty());  // now needs 2 contributions per bucket
 }
 
@@ -450,7 +450,7 @@ TEST(RecoveryProcess, KilledInteriorProcessOrphansReconnect) {
   bool echoed = false;
   const auto echo_until = std::chrono::steady_clock::now() + 30s;
   while (!echoed && std::chrono::steady_clock::now() < echo_until) {
-    (void)data.try_recv();
+    (void)data.recv_for(std::chrono::milliseconds(0));
     const auto reply = echo.recv_for(50ms);
     if (reply) {
       EXPECT_EQ((*reply)->get_i64(0), 16);
