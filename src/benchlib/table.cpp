@@ -71,4 +71,38 @@ void banner(const std::string& title) {
   std::fflush(stdout);
 }
 
+void JsonReport::set(const std::string& key, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  entries_.emplace_back(key, buffer);
+}
+
+void JsonReport::set(const std::string& key, const std::string& value) {
+  std::string quoted = "\"";
+  for (const char c : value) {
+    if (c == '"' || c == '\\') quoted += '\\';
+    quoted += c;
+  }
+  quoted += '"';
+  entries_.emplace_back(key, std::move(quoted));
+}
+
+bool JsonReport::write(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "JsonReport: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs("{\n", file);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    std::fprintf(file, "  \"%s\": %s%s\n", entries_[i].first.c_str(),
+                 entries_[i].second.c_str(),
+                 i + 1 < entries_.size() ? "," : "");
+  }
+  std::fputs("}\n", file);
+  std::fclose(file);
+  std::printf("json report -> %s\n", path.c_str());
+  return true;
+}
+
 }  // namespace tbon::bench

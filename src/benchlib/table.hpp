@@ -38,4 +38,18 @@ std::string fmt_int(long long value);
 /// Section banner for bench output.
 void banner(const std::string& title);
 
+/// Flat key -> number report written as a BENCH_<name>.json artifact (CI
+/// uploads it; the gates grep it).  Keys are emitted in insertion order.
+class JsonReport {
+ public:
+  void set(const std::string& key, double value);
+  void set(const std::string& key, const std::string& value);
+
+  /// Serialize to `path`; returns false (and warns on stderr) on I/O error.
+  bool write(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
 }  // namespace tbon::bench

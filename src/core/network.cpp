@@ -414,8 +414,15 @@ std::unique_ptr<Network> Network::create(NetworkOptions options) {
       return create_threaded_impl(options);
     case NetworkMode::kProcess:
       return create_process_impl(options);
+    case NetworkMode::kRemote:
+      return create_remote_impl(options);
   }
   throw ProtocolError("unknown NetworkMode");
+}
+
+std::unique_ptr<Network> Network::create_remote(NetworkOptions options) {
+  options.mode = NetworkMode::kRemote;
+  return create(std::move(options));
 }
 
 std::unique_ptr<Network> Network::create_threaded(const Topology& topology,
@@ -706,9 +713,9 @@ Network::~Network() {
 }
 
 BackEnd& Network::backend(std::uint32_t rank) {
-  if (process_mode_) {
+  if (process_mode_ || remote_mode_) {
     throw ProtocolError(
-        "back-end handles live in their own processes in process mode");
+        "back-end handles live in their own processes in process/remote mode");
   }
   if (rank < backends_.size()) return *backends_[rank];
   std::lock_guard<std::mutex> lock(dynamic_mutex_);
@@ -723,9 +730,9 @@ std::size_t Network::num_backends() const {
 }
 
 void Network::run_backends(const std::function<void(BackEnd&)>& body) {
-  if (process_mode_) {
-    throw ProtocolError("run_backends is unavailable in process mode; pass "
-                        "backend_main to create_process instead");
+  if (process_mode_ || remote_mode_) {
+    throw ProtocolError("run_backends is unavailable in process/remote mode; "
+                        "pass NetworkOptions::backend_main instead");
   }
   std::vector<std::jthread> workers;
   workers.reserve(backends_.size());
@@ -738,7 +745,7 @@ void Network::kill_node(NodeId id) {
   if (id == topology_.root()) throw ProtocolError("cannot kill the front-end");
   if (id >= topology_.num_nodes()) throw ProtocolError("node id out of range");
   TBON_INFO("injecting failure at node " << id);
-  if (process_mode_) {
+  if (process_mode_ || remote_mode_) {
     // The victim lives in another process: send a targeted die request down
     // the tree; the node crashes abruptly on receipt (no handshakes).
     send_to_root(make_die_packet(id));
@@ -833,6 +840,15 @@ void Network::shutdown() {
   // join no adoption callback can touch reader_threads_/process_child_fds_.
   if (rendezvous_) rendezvous_->stop();
   threads_.clear();  // join all service threads
+  if (remote_stop_) {
+    // Remote mode: stop the front-end's event loop (closing every tree
+    // socket, so surviving node processes see EOF and exit) and reap
+    // locally spawned node processes.
+    auto stop = std::move(remote_stop_);
+    remote_stop_ = nullptr;
+    stop();
+    remote_state_.reset();
+  }
   if (process_mode_) {
     // The root runtime shut down its child links on exit, so every child
     // process sees EOF, finishes and exits; reap them and drop the fds.
@@ -851,7 +867,8 @@ NodeMetricsSnapshot Network::node_metrics(NodeId id) const {
   if (id >= runtimes_.size()) throw ProtocolError("node id out of range");
   if (!runtimes_[id]) {
     throw ProtocolError(
-        "metrics for remote nodes are not available in process mode");
+        "this node runs in another process; its metrics arrive via "
+        "FrontEnd::metrics() telemetry only");
   }
   return runtimes_[id]->telemetry_snapshot();
 }

@@ -42,6 +42,10 @@
 
 namespace tbon {
 
+namespace net {
+class Framing;  // src/net/framing.hpp — the remote mode's TLS-ready seam
+}  // namespace net
+
 class Network;
 class FrontEnd;
 class BackEnd;
@@ -91,6 +95,45 @@ struct TelemetryOptions {
 enum class NetworkMode {
   kThreaded,  ///< one thread per tree node in this process, zero-copy links
   kProcess,   ///< one forked OS process per node, serialized fd channels
+  kRemote,    ///< one process per node, possibly on other hosts, connected
+              ///< by TCP with an epoll event loop per node (src/net/)
+};
+
+/// One node the remote instantiation needs launched (see RemoteOptions::
+/// spawn): run a process for `node` on `host` that ends up calling
+/// Network::run_remote_node(node, bootstrap, ...) — directly (fork), via
+/// exec of a binary that calls net::maybe_run_remote_node, or via ssh.
+struct RemoteSpawnRequest {
+  NodeId node = 0;
+  std::string host;       ///< placement host from the topology ("host[:port]")
+  std::string bootstrap;  ///< "host:port" of the front-end's bootstrap listener
+};
+
+/// Remote (multi-host TCP) instantiation options; see docs/remote.md.
+struct RemoteOptions {
+  /// Launch hook, called once per non-root node before the front-end starts
+  /// waiting for them.  Default: fork this process and run the node in the
+  /// child (single-host; needs NetworkOptions::backend_main).  Use
+  /// net::exec_spawn / net::ssh_spawn to launch separate binaries.
+  std::function<void(const RemoteSpawnRequest&)> spawn;
+
+  /// Address the front-end's listeners (bootstrap, link, rendezvous) bind
+  /// and advertise.  The default reaches only local processes; multi-host
+  /// trees need the front-end machine's externally visible address.
+  std::string bind_host = "127.0.0.1";
+
+  /// Per-connection handshake deadline (listener side) and per-node dial
+  /// budget (connector side, with capped exponential backoff).
+  int handshake_timeout_ms = 10'000;
+
+  /// How long create_remote waits for every node to report BootReady before
+  /// tearing down and throwing.
+  int ready_timeout_ms = 30'000;
+
+  /// Frame transform factory, run once per established tree edge on both
+  /// ends (the TLS insertion seam; see src/net/framing.hpp).  Null = plain
+  /// frames with the zero-copy writev fast path.
+  std::function<std::shared_ptr<net::Framing>()> framing;
 };
 
 /// Everything Network::create needs, in one aggregate so call sites read as
@@ -117,11 +160,13 @@ struct NetworkOptions {
   /// byte-identically to previous releases.
   ExecutionOptions execution;
 
-  /// Process mode only: runs inside every back-end process.
+  /// Process and remote modes: runs inside every back-end process.
   std::function<void(BackEnd&)> backend_main;
   /// Process mode only: loopback-TCP edges (MRNet's wire) instead of
   /// socketpairs.
   bool tcp_edges = false;
+  /// Remote mode only (see RemoteOptions).
+  RemoteOptions remote;
 };
 
 /// Why a receive returned without a packet.
@@ -370,6 +415,23 @@ class Network {
   /// telemetry and recovery subsystems — are identical.
   static std::unique_ptr<Network> create(NetworkOptions options);
 
+  /// Convenience spelling for the remote instantiation: create() with
+  /// mode = NetworkMode::kRemote.  Every non-root node runs in its own OS
+  /// process (launched by RemoteOptions::spawn, default: local fork),
+  /// connects to its tree neighbours over TCP, and drives all of its socket
+  /// I/O from a single epoll event loop (src/net/event_loop.hpp).
+  static std::unique_ptr<Network> create_remote(NetworkOptions options);
+
+  /// Node-process entry point for the remote instantiation (the default
+  /// fork launcher and net::maybe_run_remote_node land here): dial the
+  /// front-end's bootstrap listener at `bootstrap` ("host:port"), take node
+  /// `id`'s place in the tree, and exit the process when the tree shuts
+  /// down.  Never returns.
+  [[noreturn]] static void run_remote_node(
+      NodeId id, const std::string& bootstrap,
+      const std::function<void(BackEnd&)>& backend_main,
+      const std::function<std::shared_ptr<net::Framing>()>& framing = {});
+
   /// Pre-NetworkOptions factory spellings; forward to create().
   [[deprecated("use Network::create(NetworkOptions)")]]
   static std::unique_ptr<Network> create_threaded(const Topology& topology,
@@ -381,6 +443,9 @@ class Network {
 
   /// True when this network runs in NetworkMode::kProcess.
   bool is_process_mode() const noexcept { return process_mode_; }
+
+  /// True when this network runs in NetworkMode::kRemote.
+  bool is_remote_mode() const noexcept { return remote_mode_; }
 
   ~Network();
   Network(const Network&) = delete;
@@ -445,6 +510,7 @@ class Network {
   explicit Network(const Topology& topology);
   static std::unique_ptr<Network> create_threaded_impl(const NetworkOptions& options);
   static std::unique_ptr<Network> create_process_impl(const NetworkOptions& options);
+  static std::unique_ptr<Network> create_remote_impl(const NetworkOptions& options);
   void start_telemetry(const TelemetryOptions& telemetry);
   void send_to_root(PacketPtr packet);
   BackEnd& dynamic_backend(std::size_t index);
@@ -454,6 +520,7 @@ class Network {
   void apply_recovery_threaded();
   bool readopt_threaded(NodeRuntime& orphan);
   void adopt_process_orphan(Fd connection, const OrphanHello& hello);
+  void adopt_remote_orphan(Fd connection, const OrphanHello& hello);
 
   // Multi-process instantiation internals (defined in process_network.cpp).
   [[noreturn]] static void run_child_process(
@@ -509,6 +576,12 @@ class Network {
   std::vector<int> process_child_fds_;   ///< root's ends, owned
   std::vector<int> child_pids_;
   std::vector<std::jthread> reader_threads_;
+
+  // Remote mode state (defined in src/net/remote_network.cpp; opaque here
+  // so core stays independent of the net subsystem's types).
+  bool remote_mode_ = false;
+  std::shared_ptr<void> remote_state_;
+  std::function<void()> remote_stop_;  ///< invoked once, at end of shutdown()
 };
 
 }  // namespace tbon

@@ -1,0 +1,79 @@
+// Frame-payload transform seam for the remote connection subsystem.
+//
+// Every tree edge in the remote instantiation carries length-prefixed
+// frames (the fd.hpp codec).  A Framing sits between the frame codec and
+// the socket: outgoing frame payloads pass through encode(), incoming ones
+// through decode().  The default PlainFraming is transparent — the event
+// loop detects that and keeps the scatter-gather writev fast path, so the
+// seam costs nothing unless a transform is installed.
+//
+// This is the TLS insertion point: a TLS framing would own the record
+// layer and keys per connection (the factory runs once per accepted or
+// dialed socket, after version negotiation — handshake frames themselves
+// travel in the clear, like a ClientHello).  The tree ships without a TLS
+// dependency; XorFraming exists to prove the seam end-to-end in tests.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "common/buffer.hpp"
+
+namespace tbon::net {
+
+/// Per-connection byte transform applied to frame payloads (not to the
+/// 4-byte length prefix).  Implementations may be stateful; the event loop
+/// calls encode/decode only from its own thread.
+class Framing {
+ public:
+  virtual ~Framing() = default;
+
+  /// True when encode/decode are the identity: the loop then skips the
+  /// transform entirely and sends owned payload segments with writev.
+  virtual bool transparent() const noexcept { return false; }
+
+  /// Transform an outgoing frame payload (may change its size).
+  virtual Bytes encode(std::span<const std::byte> frame) = 0;
+
+  /// Inverse transform, in place (size-preserving transforms only; a TLS
+  /// framing would instead re-frame in its own buffer).
+  virtual void decode(std::span<std::byte> frame) = 0;
+};
+
+/// The identity framing (default): zero-copy lanes stay intact.
+class PlainFraming final : public Framing {
+ public:
+  bool transparent() const noexcept override { return true; }
+  Bytes encode(std::span<const std::byte> frame) override {
+    return Bytes(frame.begin(), frame.end());
+  }
+  void decode(std::span<std::byte>) override {}
+};
+
+/// A deliberately trivial non-transparent framing: XOR with a rolling key.
+/// Worthless as cryptography; invaluable as proof that every payload byte
+/// really passes through the seam (tests install it on both ends and the
+/// tree keeps working — with plain text on neither wire).
+class XorFraming final : public Framing {
+ public:
+  explicit XorFraming(std::uint8_t key = 0x5a) : key_(key) {}
+  Bytes encode(std::span<const std::byte> frame) override {
+    Bytes out(frame.begin(), frame.end());
+    apply(out);
+    return out;
+  }
+  void decode(std::span<std::byte> frame) override { apply(frame); }
+
+ private:
+  void apply(std::span<std::byte> bytes) const noexcept {
+    for (std::byte& b : bytes) b ^= std::byte{key_};
+  }
+  std::uint8_t key_;
+};
+
+/// Runs once per established link connection, after version negotiation.
+using FramingFactory = std::function<std::shared_ptr<Framing>()>;
+
+}  // namespace tbon::net

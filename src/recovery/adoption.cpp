@@ -117,10 +117,15 @@ void RendezvousServer::stop() {
 
 // ---- orphan client ----------------------------------------------------------
 
-Fd orphan_reconnect(std::uint16_t port, const OrphanHello& hello) {
-  Fd connection = tcp_connect(port);
+Fd orphan_reconnect(const TcpEndpoint& endpoint, const OrphanHello& hello,
+                    int timeout_ms) {
+  Fd connection = tcp_connect(endpoint, timeout_ms);
   write_frame(connection.get(), encode_orphan_hello(hello));
   return connection;
+}
+
+Fd orphan_reconnect(std::uint16_t port, const OrphanHello& hello) {
+  return orphan_reconnect(TcpEndpoint{.host = "127.0.0.1", .port = port}, hello);
 }
 
 }  // namespace tbon

@@ -78,6 +78,9 @@ class RendezvousServer {
   using AdoptFn = std::function<void(Fd connection, const OrphanHello& hello)>;
 
   RendezvousServer() = default;
+  /// Bind an explicit host:port (port 0 = ephemeral) so orphans on other
+  /// hosts can reach the rendezvous (the remote instantiation).
+  explicit RendezvousServer(const TcpEndpoint& endpoint) : listener_(endpoint) {}
   ~RendezvousServer() { stop(); }
 
   RendezvousServer(const RendezvousServer&) = delete;
@@ -104,8 +107,14 @@ class RendezvousServer {
   std::thread thread_;
 };
 
-/// Orphan side: connect to the rendezvous port and send the hello frame.
-/// Returns the connected socket; throws TransportError on failure.
+/// Orphan side: connect to the rendezvous endpoint — retrying with capped
+/// exponential backoff while the front-end is busy adopting siblings — and
+/// send the hello frame.  Returns the connected socket; throws
+/// TransportError once the timeout elapses.
+Fd orphan_reconnect(const TcpEndpoint& endpoint, const OrphanHello& hello,
+                    int timeout_ms = 10'000);
+
+/// Loopback convenience overload (the multi-process instantiation).
 Fd orphan_reconnect(std::uint16_t port, const OrphanHello& hello);
 
 }  // namespace tbon

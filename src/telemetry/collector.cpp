@@ -36,6 +36,14 @@ void accumulate(NodeTelemetry& total, const NodeTelemetry& r) {
   total.exec_task_ns += r.exec_task_ns;
   total.exec_inline += r.exec_inline;
   total.filter_custom_events += r.filter_custom_events;
+  total.net_accepts += r.net_accepts;
+  total.net_connects += r.net_connects;
+  total.net_handshakes_failed += r.net_handshakes_failed;
+  total.net_reconnects += r.net_reconnects;
+  total.net_frames_in += r.net_frames_in;
+  total.net_frames_out += r.net_frames_out;
+  total.net_partial_writes += r.net_partial_writes;
+  total.net_wakeups += r.net_wakeups;
   total.inbox_depth += r.inbox_depth;
   total.sync_depth += r.sync_depth;
   total.fc_inflight_peak = std::max(total.fc_inflight_peak, r.fc_inflight_peak);
@@ -44,6 +52,10 @@ void accumulate(NodeTelemetry& total, const NodeTelemetry& r) {
   total.exec_queue_depth += r.exec_queue_depth;
   total.exec_queue_peak = std::max(total.exec_queue_peak, r.exec_queue_peak);
   total.heartbeat_rtt_ns = std::max(total.heartbeat_rtt_ns, r.heartbeat_rtt_ns);
+  total.net_connections += r.net_connections;
+  total.net_send_queue_peak =
+      std::max(total.net_send_queue_peak, r.net_send_queue_peak);
+  total.net_threads += r.net_threads;
   for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
     total.filter_latency_hist[b] += r.filter_latency_hist[b];
   }
@@ -75,6 +87,14 @@ void json_record(std::ostringstream& out, const NodeTelemetry& r) {
       << ",\"exec_task_ns\":" << r.exec_task_ns
       << ",\"exec_inline\":" << r.exec_inline
       << ",\"filter_custom_events\":" << r.filter_custom_events
+      << ",\"net_accepts\":" << r.net_accepts
+      << ",\"net_connects\":" << r.net_connects
+      << ",\"net_handshakes_failed\":" << r.net_handshakes_failed
+      << ",\"net_reconnects\":" << r.net_reconnects
+      << ",\"net_frames_in\":" << r.net_frames_in
+      << ",\"net_frames_out\":" << r.net_frames_out
+      << ",\"net_partial_writes\":" << r.net_partial_writes
+      << ",\"net_wakeups\":" << r.net_wakeups
       << ",\"inbox_depth\":" << r.inbox_depth
       << ",\"sync_depth\":" << r.sync_depth
       << ",\"fc_inflight_peak\":" << r.fc_inflight_peak
@@ -83,6 +103,9 @@ void json_record(std::ostringstream& out, const NodeTelemetry& r) {
       << ",\"exec_queue_depth\":" << r.exec_queue_depth
       << ",\"exec_queue_peak\":" << r.exec_queue_peak
       << ",\"heartbeat_rtt_ns\":" << r.heartbeat_rtt_ns
+      << ",\"net_connections\":" << r.net_connections
+      << ",\"net_send_queue_peak\":" << r.net_send_queue_peak
+      << ",\"net_threads\":" << r.net_threads
       << ",\"filter_latency_hist\":[";
   for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
     if (b != 0) out << ',';

@@ -10,7 +10,8 @@ namespace {
 
 // v2: flow-control counters + gauges appended (credit-based flow control).
 // v3: parallel-filter-execution counters + gauges appended (FilterExecutor).
-constexpr std::uint8_t kWireVersion = 3;
+// v4: remote connection-subsystem counters + gauges appended (src/net/).
+constexpr std::uint8_t kWireVersion = 4;
 
 void put_record(BinaryWriter& writer, const NodeTelemetry& r) {
   writer.put(r.node);
@@ -42,6 +43,14 @@ void put_record(BinaryWriter& writer, const NodeTelemetry& r) {
   writer.put(r.exec_task_ns);
   writer.put(r.exec_inline);
   writer.put(r.filter_custom_events);
+  writer.put(r.net_accepts);
+  writer.put(r.net_connects);
+  writer.put(r.net_handshakes_failed);
+  writer.put(r.net_reconnects);
+  writer.put(r.net_frames_in);
+  writer.put(r.net_frames_out);
+  writer.put(r.net_partial_writes);
+  writer.put(r.net_wakeups);
   writer.put(r.inbox_depth);
   writer.put(r.sync_depth);
   writer.put(r.fc_inflight_peak);
@@ -50,6 +59,9 @@ void put_record(BinaryWriter& writer, const NodeTelemetry& r) {
   writer.put(r.exec_queue_depth);
   writer.put(r.exec_queue_peak);
   writer.put(r.heartbeat_rtt_ns);
+  writer.put(r.net_connections);
+  writer.put(r.net_send_queue_peak);
+  writer.put(r.net_threads);
   for (const std::uint64_t count : r.filter_latency_hist) writer.put(count);
 }
 
@@ -84,6 +96,14 @@ NodeTelemetry get_record(BinaryReader& reader) {
   r.exec_task_ns = reader.get<std::uint64_t>();
   r.exec_inline = reader.get<std::uint64_t>();
   r.filter_custom_events = reader.get<std::uint64_t>();
+  r.net_accepts = reader.get<std::uint64_t>();
+  r.net_connects = reader.get<std::uint64_t>();
+  r.net_handshakes_failed = reader.get<std::uint64_t>();
+  r.net_reconnects = reader.get<std::uint64_t>();
+  r.net_frames_in = reader.get<std::uint64_t>();
+  r.net_frames_out = reader.get<std::uint64_t>();
+  r.net_partial_writes = reader.get<std::uint64_t>();
+  r.net_wakeups = reader.get<std::uint64_t>();
   r.inbox_depth = reader.get<std::uint64_t>();
   r.sync_depth = reader.get<std::uint64_t>();
   r.fc_inflight_peak = reader.get<std::uint64_t>();
@@ -92,6 +112,9 @@ NodeTelemetry get_record(BinaryReader& reader) {
   r.exec_queue_depth = reader.get<std::uint64_t>();
   r.exec_queue_peak = reader.get<std::uint64_t>();
   r.heartbeat_rtt_ns = reader.get<std::int64_t>();
+  r.net_connections = reader.get<std::uint64_t>();
+  r.net_send_queue_peak = reader.get<std::uint64_t>();
+  r.net_threads = reader.get<std::uint64_t>();
   for (std::uint64_t& count : r.filter_latency_hist) {
     count = reader.get<std::uint64_t>();
   }

@@ -69,6 +69,16 @@ struct NodeTelemetry {
   std::uint64_t exec_inline = 0;     ///< packets run inline via inline_below_bytes
   std::uint64_t filter_custom_events = 0;  ///< TelemetryScope::count() bumps
 
+  // Remote connection subsystem (src/net/; zero everywhere else).
+  std::uint64_t net_accepts = 0;           ///< sockets accepted by the event loop
+  std::uint64_t net_connects = 0;          ///< outbound link connections established
+  std::uint64_t net_handshakes_failed = 0; ///< malformed/timed-out/rejected handshakes
+  std::uint64_t net_reconnects = 0;        ///< parent channels re-established after loss
+  std::uint64_t net_frames_in = 0;         ///< frames decoded by the event loop
+  std::uint64_t net_frames_out = 0;        ///< frames fully written by the event loop
+  std::uint64_t net_partial_writes = 0;    ///< writev calls that left a send in flight
+  std::uint64_t net_wakeups = 0;           ///< eventfd wake-channel notifications
+
   // Gauges (sampled at publish time).
   std::uint64_t inbox_depth = 0;  ///< envelopes queued in the node's inbox
   std::uint64_t sync_depth = 0;   ///< packets buffered across sync policies
@@ -78,6 +88,9 @@ struct NodeTelemetry {
   std::uint64_t exec_queue_depth = 0;  ///< tasks queued across worker shards
   std::uint64_t exec_queue_peak = 0;   ///< max depth any stream's run queue hit
   std::int64_t heartbeat_rtt_ns = -1;  ///< last parent heartbeat RTT; -1 unknown
+  std::uint64_t net_connections = 0;     ///< sockets the event loop has owned (monotonic)
+  std::uint64_t net_send_queue_peak = 0; ///< max bytes queued behind one socket
+  std::uint64_t net_threads = 0;         ///< OS threads in this process (/proc/self/task)
 
   std::array<std::uint64_t, kLatencyBuckets> filter_latency_hist{};
 
@@ -128,6 +141,15 @@ class MetricsRegistry {
   Counter exec_inline{0};
   Counter filter_custom_events{0};
 
+  Counter net_accepts{0};
+  Counter net_connects{0};
+  Counter net_handshakes_failed{0};
+  Counter net_reconnects{0};
+  Counter net_frames_in{0};
+  Counter net_frames_out{0};
+  Counter net_partial_writes{0};
+  Counter net_wakeups{0};
+
   Counter inbox_depth{0};  ///< gauge, refreshed each telemetry tick
   Counter sync_depth{0};   ///< gauge, refreshed each telemetry tick
   Counter fc_inflight_peak{0};  ///< gauge, monotonic max (update_max)
@@ -136,6 +158,13 @@ class MetricsRegistry {
   Counter exec_queue_depth{0};  ///< gauge, refreshed each telemetry tick
   Counter exec_queue_peak{0};   ///< gauge, monotonic max (update_max)
   std::atomic<std::int64_t> heartbeat_rtt_ns{-1};
+  /// Monotonic count of sockets the loop has ever registered.  Not a live
+  /// gauge on purpose: the tree snapshot is frozen at shutdown, when live
+  /// connection counts have already collapsed to ~0 and churn (reconnects)
+  /// is the interesting signal.
+  Counter net_connections{0};
+  Counter net_send_queue_peak{0}; ///< gauge, monotonic max (update_max)
+  Counter net_threads{0};         ///< gauge, sampled by the loop from /proc
 
   /// Record one filter execution in the latency histogram.
   void observe_filter_latency(std::uint64_t ns) noexcept {
@@ -181,6 +210,14 @@ class MetricsRegistry {
     r.exec_task_ns = exec_task_ns.load(std::memory_order_relaxed);
     r.exec_inline = exec_inline.load(std::memory_order_relaxed);
     r.filter_custom_events = filter_custom_events.load(std::memory_order_relaxed);
+    r.net_accepts = net_accepts.load(std::memory_order_relaxed);
+    r.net_connects = net_connects.load(std::memory_order_relaxed);
+    r.net_handshakes_failed = net_handshakes_failed.load(std::memory_order_relaxed);
+    r.net_reconnects = net_reconnects.load(std::memory_order_relaxed);
+    r.net_frames_in = net_frames_in.load(std::memory_order_relaxed);
+    r.net_frames_out = net_frames_out.load(std::memory_order_relaxed);
+    r.net_partial_writes = net_partial_writes.load(std::memory_order_relaxed);
+    r.net_wakeups = net_wakeups.load(std::memory_order_relaxed);
     r.inbox_depth = inbox_depth.load(std::memory_order_relaxed);
     r.sync_depth = sync_depth.load(std::memory_order_relaxed);
     r.fc_inflight_peak = fc_inflight_peak.load(std::memory_order_relaxed);
@@ -189,6 +226,9 @@ class MetricsRegistry {
     r.exec_queue_depth = exec_queue_depth.load(std::memory_order_relaxed);
     r.exec_queue_peak = exec_queue_peak.load(std::memory_order_relaxed);
     r.heartbeat_rtt_ns = heartbeat_rtt_ns.load(std::memory_order_relaxed);
+    r.net_connections = net_connections.load(std::memory_order_relaxed);
+    r.net_send_queue_peak = net_send_queue_peak.load(std::memory_order_relaxed);
+    r.net_threads = net_threads.load(std::memory_order_relaxed);
     for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
       r.filter_latency_hist[b] = hist_[b].load(std::memory_order_relaxed);
     }

@@ -273,7 +273,37 @@ TopologyOptions TopologyOptions::from_spec(std::string_view spec) {
   throw ParseError("unknown topology kind '" + std::string(kind) + "'");
 }
 
+Topology Topology::with_placements(
+    std::span<const std::pair<NodeId, std::string>> placements) const {
+  Topology out = *this;
+  for (const auto& [id, host_port] : placements) {
+    if (id >= out.nodes_.size()) {
+      throw TopologyError("placement for node " + std::to_string(id) +
+                          " is outside the tree");
+    }
+    if (!host_port.empty()) out.nodes_[id].host = host_port;
+  }
+  return out;
+}
+
+TopologyOptions& TopologyOptions::at(NodeId node, std::string host_port) {
+  placements_.emplace_back(node, std::move(host_port));
+  return *this;
+}
+
+TopologyOptions& TopologyOptions::hosts(std::vector<std::string> host_ports) {
+  for (NodeId id = 0; id < host_ports.size(); ++id) {
+    placements_.emplace_back(id, std::move(host_ports[id]));
+  }
+  return *this;
+}
+
 Topology TopologyOptions::build() const {
+  if (!placements_.empty()) return build_shape().with_placements(placements_);
+  return build_shape();
+}
+
+Topology TopologyOptions::build_shape() const {
   switch (shape_) {
     case Shape::kSingle:
       return Topology::single();

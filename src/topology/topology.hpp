@@ -15,6 +15,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/archive.hpp"
@@ -29,7 +30,11 @@ inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
 struct TopologyNode {
   NodeId parent = kNoNode;            ///< kNoNode for the root.
   std::vector<NodeId> children;       ///< ordered; empty for back-ends.
-  std::string host = "localhost";     ///< placement hint (informational).
+  /// Placement: "host" or "host:port".  Informational for the threaded and
+  /// multi-process instantiations; for create_remote it names the machine
+  /// the node's process is launched on and (optionally) the fixed port its
+  /// child-facing listener binds (omitted/0 -> ephemeral).
+  std::string host = "localhost";
 };
 
 class Topology {
@@ -105,6 +110,11 @@ class Topology {
   /// Leaf ranks reachable in the subtree rooted at `id`.
   std::vector<std::uint32_t> subtree_leaf_ranks(NodeId id) const;
 
+  /// Copy with updated placement strings ("host" or "host:port") for the
+  /// given nodes; builder support for TopologyOptions::at()/hosts().
+  Topology with_placements(
+      std::span<const std::pair<NodeId, std::string>> placements) const;
+
   // ---- serialization / output ---------------------------------------------
 
   void serialize(BinaryWriter& writer) const;
@@ -179,6 +189,16 @@ class TopologyOptions {
   ///   "knomial:2:6"       -> knomial(2, 6)
   static TopologyOptions from_spec(std::string_view spec);
 
+  /// Place one node: `host_port` is "host" or "host:port" (the port fixes
+  /// the node's child-facing listener for create_remote; otherwise the OS
+  /// assigns one).  Unplaced nodes default to "localhost".
+  TopologyOptions& at(NodeId node, std::string host_port);
+
+  /// Bulk placement: `host_ports[i]` places node i.  Entries beyond the
+  /// built tree's size throw TopologyError from build(); empty strings keep
+  /// the default.
+  TopologyOptions& hosts(std::vector<std::string> host_ports);
+
   /// Materialize (and validate) the topology.
   Topology build() const;
   operator Topology() const { return build(); }  // NOLINT(google-explicit-constructor)
@@ -190,11 +210,14 @@ class TopologyOptions {
 
   TopologyOptions() = default;
 
+  Topology build_shape() const;
+
   Shape shape_ = Shape::kSingle;
   std::size_t arg0_ = 0;  ///< leaves / fanout / k, by shape.
   std::size_t arg1_ = 0;  ///< depth / target leaves / dim, by shape.
   std::vector<std::size_t> per_level_;
   std::vector<NodeId> parents_;
+  std::vector<std::pair<NodeId, std::string>> placements_;
 };
 
 }  // namespace tbon

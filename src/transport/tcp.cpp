@@ -1,13 +1,18 @@
 #include "transport/tcp.hpp"
 
 #include <arpa/inet.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <charconv>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/error.hpp"
 
@@ -22,31 +27,113 @@ void enable_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag));
 }
 
+/// Resolve host -> IPv4 sockaddr_in.  Throws TransportError on failure.
+sockaddr_in resolve(const std::string& host, std::uint16_t port) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (host.empty() || host == "localhost") {
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return address;
+  }
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) == 1) return address;
+
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &results);
+  if (rc != 0 || results == nullptr) {
+    throw TransportError("cannot resolve host '" + host +
+                         "': " + ::gai_strerror(rc));
+  }
+  address.sin_addr = reinterpret_cast<sockaddr_in*>(results->ai_addr)->sin_addr;
+  ::freeaddrinfo(results);
+  return address;
+}
+
+/// Failures worth retrying while the peer's listener is (re)starting.
+bool transient_connect_error(int err) {
+  switch (err) {
+    case ECONNREFUSED:
+    case ECONNRESET:
+    case ETIMEDOUT:
+    case EHOSTUNREACH:
+    case ENETUNREACH:
+    case EAGAIN:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Fd connect_once(const sockaddr_in& address) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw TransportError("socket failed: " + errno_string());
+  while (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&address),
+                   sizeof(address)) != 0) {
+    if (errno != EINTR) return Fd();  // caller decides retry vs throw
+  }
+  enable_nodelay(fd.get());
+  return fd;
+}
+
 }  // namespace
 
-TcpListener::TcpListener() {
+TcpEndpoint parse_endpoint(std::string_view spec, std::uint16_t default_port) {
+  TcpEndpoint endpoint;
+  endpoint.port = default_port;
+  const std::size_t colon = spec.rfind(':');
+  std::string_view host = spec;
+  if (colon != std::string_view::npos) {
+    host = spec.substr(0, colon);
+    const std::string_view digits = spec.substr(colon + 1);
+    unsigned value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), value);
+    if (ec != std::errc{} || ptr != digits.data() + digits.size() ||
+        value > 65535) {
+      throw ParseError("bad port in endpoint '" + std::string(spec) + "'");
+    }
+    endpoint.port = static_cast<std::uint16_t>(value);
+  }
+  if (!host.empty()) endpoint.host = std::string(host);
+  return endpoint;
+}
+
+TcpListener::TcpListener() { bind_and_listen({.host = "127.0.0.1", .port = 0}); }
+
+TcpListener::TcpListener(const TcpEndpoint& endpoint) { bind_and_listen(endpoint); }
+
+void TcpListener::bind_and_listen(const TcpEndpoint& endpoint) {
   socket_ = Fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!socket_.valid()) throw TransportError("socket failed: " + errno_string());
 
   int reuse = 1;
   ::setsockopt(socket_.get(), SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
 
-  sockaddr_in address{};
-  address.sin_family = AF_INET;
-  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  address.sin_port = 0;  // ephemeral
+  const sockaddr_in address = resolve(endpoint.host, endpoint.port);
   if (::bind(socket_.get(), reinterpret_cast<const sockaddr*>(&address),
              sizeof(address)) != 0) {
-    throw TransportError("bind failed: " + errno_string());
+    const int err = errno;
+    std::string message = "bind to " + endpoint.host + ":" +
+                          std::to_string(endpoint.port) +
+                          " failed: " + std::strerror(err);
+    if (err == EADDRINUSE) {
+      message += " (port " + std::to_string(endpoint.port) +
+                 " is already in use)";
+    }
+    throw TransportError(message);
   }
   if (::listen(socket_.get(), 128) != 0) {
     throw TransportError("listen failed: " + errno_string());
   }
-  socklen_t length = sizeof(address);
-  if (::getsockname(socket_.get(), reinterpret_cast<sockaddr*>(&address), &length) != 0) {
+  sockaddr_in bound{};
+  socklen_t length = sizeof(bound);
+  if (::getsockname(socket_.get(), reinterpret_cast<sockaddr*>(&bound), &length) != 0) {
     throw TransportError("getsockname failed: " + errno_string());
   }
-  port_ = ntohs(address.sin_port);
+  port_ = ntohs(bound.sin_port);
 }
 
 Fd TcpListener::accept() {
@@ -60,20 +147,59 @@ Fd TcpListener::accept() {
   }
 }
 
-Fd tcp_connect(std::uint16_t port) {
-  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
-  if (!fd.valid()) throw TransportError("socket failed: " + errno_string());
-
-  sockaddr_in address{};
-  address.sin_family = AF_INET;
-  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  address.sin_port = htons(port);
-  while (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&address),
-                   sizeof(address)) != 0) {
-    if (errno != EINTR) throw TransportError("connect failed: " + errno_string());
+Fd TcpListener::accept_for(int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) return Fd();
+    pollfd waiter{.fd = socket_.get(), .events = POLLIN, .revents = 0};
+    const int ready = ::poll(&waiter, 1, static_cast<int>(remaining.count()));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError("poll failed: " + errno_string());
+    }
+    if (ready == 0) return Fd();  // timeout
+    const int fd = ::accept(socket_.get(), nullptr, nullptr);
+    if (fd >= 0) {
+      enable_nodelay(fd);
+      return Fd(fd);
+    }
+    if (errno != EINTR && errno != EAGAIN && errno != ECONNABORTED) {
+      throw TransportError("accept failed: " + errno_string());
+    }
   }
-  enable_nodelay(fd.get());
+}
+
+Fd tcp_connect(std::uint16_t port) {
+  const sockaddr_in address = resolve("127.0.0.1", port);
+  Fd fd = connect_once(address);
+  if (!fd.valid()) throw TransportError("connect failed: " + errno_string());
   return fd;
+}
+
+Fd tcp_connect(const TcpEndpoint& endpoint, int timeout_ms) {
+  const sockaddr_in address = resolve(endpoint.host, endpoint.port);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  // Capped exponential backoff: 1 ms doubling to 200 ms.  A freshly exec'd
+  // peer whose listener is not up yet refuses the first attempts; a fixed
+  // sleep either wastes the common fast case or thrashes the slow one.
+  std::chrono::milliseconds backoff{1};
+  constexpr std::chrono::milliseconds kBackoffCap{200};
+  while (true) {
+    Fd fd = connect_once(address);
+    if (fd.valid()) return fd;
+    const int err = errno;
+    if (!transient_connect_error(err) ||
+        std::chrono::steady_clock::now() + backoff > deadline) {
+      throw TransportError("connect to " + endpoint.to_string() +
+                           " failed: " + std::strerror(err));
+    }
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, kBackoffCap);
+  }
 }
 
 }  // namespace tbon

@@ -1,24 +1,44 @@
-// Localhost TCP transport — the wire MRNet actually uses.
+// TCP transport — the wire MRNet actually uses.
 //
 // The multi-process launcher defaults to socketpairs (no ports to manage),
-// but this module lets tests and examples run edges over real TCP sockets:
-// a listener on an ephemeral port, plus connect/accept helpers.  Frames use
-// the same length-prefix codec as fd.hpp.
+// but this module lets tests, examples and the remote instantiation run
+// edges over real TCP sockets: a listener (loopback-ephemeral by default,
+// or bound to an explicit host:port for multi-host trees), plus
+// connect/accept helpers.  Frames use the same length-prefix codec as
+// fd.hpp.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "transport/fd.hpp"
 
 namespace tbon {
 
-/// Listening TCP socket bound to 127.0.0.1 on an ephemeral port.
+/// A resolvable TCP address.  `host` accepts dotted quads or names
+/// ("127.0.0.1", "localhost", "node7.cluster"); resolution happens at
+/// connect/bind time via getaddrinfo.
+struct TcpEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  std::string to_string() const { return host + ":" + std::to_string(port); }
+};
+
+/// Parse "host:port", "host" (-> default_port) or ":port" (-> default
+/// host).  Throws ParseError on a malformed port.
+TcpEndpoint parse_endpoint(std::string_view spec, std::uint16_t default_port = 0);
+
+/// Listening TCP socket.  The default constructor binds 127.0.0.1 on an
+/// ephemeral port (the historical rendezvous behaviour); the endpoint
+/// constructor binds an explicit host:port (port 0 still means ephemeral).
 class TcpListener {
  public:
   TcpListener();
+  explicit TcpListener(const TcpEndpoint& endpoint);
 
-  /// The port the OS assigned.
+  /// The port the OS assigned (== the requested port unless it was 0).
   std::uint16_t port() const noexcept { return port_; }
 
   /// The raw listening fd (so forked children can close their inherited
@@ -28,16 +48,31 @@ class TcpListener {
   /// Block until a client connects; returns the connected socket.
   Fd accept();
 
+  /// Like accept(), but gives up after `timeout_ms`; returns an invalid Fd
+  /// on timeout.
+  Fd accept_for(int timeout_ms);
+
   /// Close the listening socket (e.g. in a forked child that must only
   /// connect, never accept).
   void close() noexcept { socket_.reset(); }
 
  private:
+  void bind_and_listen(const TcpEndpoint& endpoint);
+
   Fd socket_;
   std::uint16_t port_ = 0;
 };
 
-/// Connect to 127.0.0.1:port; throws TransportError on failure.
+/// Connect to 127.0.0.1:port; single attempt, throws TransportError on
+/// failure (callers that need to ride out a not-yet-listening peer use the
+/// endpoint overload below).
 Fd tcp_connect(std::uint16_t port);
+
+/// Connect to an endpoint, retrying transient failures (ECONNREFUSED,
+/// unreachable networks, kernel backlog overflow) with capped exponential
+/// backoff — 1 ms doubling to a 200 ms cap — until `timeout_ms` elapses.
+/// `timeout_ms == 0` means a single attempt.  Throws TransportError once
+/// the deadline passes or on a non-transient error.
+Fd tcp_connect(const TcpEndpoint& endpoint, int timeout_ms = 10'000);
 
 }  // namespace tbon

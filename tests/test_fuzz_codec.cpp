@@ -15,6 +15,7 @@
 #include "filters/histogram_filter.hpp"
 #include "meanshift/agglomerative.hpp"
 #include "meanshift/distributed.hpp"
+#include "net/wire.hpp"
 
 namespace tbon {
 namespace {
@@ -403,6 +404,118 @@ TEST(FuzzCredit, RandomGrantPayloadsNeverMintCreditsBeyondTheWindow) {
       // rejection is the common case for random payloads
     }
     ASSERT_LE(gate.available(), gate.window());
+  }
+}
+
+// ---- remote handshake wire codecs -------------------------------------------
+//
+// These decoders run on the event loop thread against frames from sockets
+// that have NOT yet authenticated as tree members, so they are the most
+// exposed parsers in the system: arbitrary and truncated bytes must always
+// surface as CodecError (which the loop turns into a closed connection and
+// a net_handshakes_failed tick), never as a crash or an absurd allocation.
+
+TEST(FuzzWire, HandshakeRoundTrips) {
+  const net::LinkHello hello{1, 1, 42, 7, 64};
+  const net::LinkHello hello2 = net::decode_link_hello(net::encode_link_hello(hello));
+  EXPECT_EQ(hello2.node, 42u);
+  EXPECT_EQ(hello2.epoch, 7u);
+  EXPECT_EQ(hello2.credit_window, 64u);
+
+  const net::LinkWelcome welcome{1, 3, 2, 64};
+  const net::LinkWelcome welcome2 =
+      net::decode_link_welcome(net::encode_link_welcome(welcome));
+  EXPECT_EQ(welcome2.node, 3u);
+  EXPECT_EQ(welcome2.slot, 2u);
+
+  net::NodeConfig config;
+  config.topology = Topology::balanced(2, 2);
+  config.rendezvous = "127.0.0.1:9999";
+  config.parent = "127.0.0.1:1234";
+  config.flow_control.enabled = true;
+  config.flow_control.capacity = 32;
+  const net::NodeConfig config2 = net::decode_node_config(net::encode_node_config(config));
+  EXPECT_EQ(config2.topology.num_nodes(), config.topology.num_nodes());
+  EXPECT_EQ(config2.rendezvous, "127.0.0.1:9999");
+  EXPECT_EQ(config2.parent, "127.0.0.1:1234");
+  EXPECT_TRUE(config2.flow_control.enabled);
+
+  EXPECT_EQ(net::decode_boot_hello(net::encode_boot_hello({1, 1, 9})).node, 9u);
+  EXPECT_EQ(net::decode_boot_listen(net::encode_boot_listen({4242})).port, 4242);
+  const net::BootReady ready = net::decode_boot_ready(net::encode_boot_ready(
+      {false, "listener bind failed"}));
+  EXPECT_FALSE(ready.ok);
+  EXPECT_EQ(ready.error, "listener bind failed");
+}
+
+TEST(FuzzWire, RandomBytesNeverCrashHandshakeDecoders) {
+  Rng rng(6006);
+  int rejected = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Bytes bytes = random_bytes(rng, rng.next_below(96));
+    const std::span<const std::byte> view(bytes);
+    try { (void)net::decode_link_hello(view); } catch (const CodecError&) { ++rejected; }
+    try { (void)net::decode_link_welcome(view); } catch (const CodecError&) { ++rejected; }
+    try { (void)net::boot_frame_type(view); } catch (const CodecError&) { ++rejected; }
+    try { (void)net::decode_boot_hello(view); } catch (const CodecError&) { ++rejected; }
+    try { (void)net::decode_node_config(view); } catch (const CodecError&) { ++rejected; }
+    try { (void)net::decode_boot_listen(view); } catch (const CodecError&) { ++rejected; }
+    try { (void)net::decode_boot_ready(view); } catch (const CodecError&) { ++rejected; }
+  }
+  // Without the right magic numbers essentially everything must bounce.
+  EXPECT_GT(rejected, 2000 * 5);
+}
+
+TEST(FuzzWire, TruncationsOfValidHandshakesAreRejected) {
+  net::NodeConfig config;
+  config.topology = Topology::from_fanouts(std::vector<std::size_t>{2, 3});
+  config.rendezvous = "127.0.0.1:7000";
+  config.parent = "127.0.0.1:7001";
+  const Bytes frames[] = {
+      net::encode_link_hello({1, 1, 3, 0, 16}),
+      net::encode_link_welcome({1, 0, 1, 16}),
+      net::encode_boot_hello({1, 1, 5}),
+      net::encode_node_config(config),
+      net::encode_boot_listen({31337}),
+      net::encode_boot_ready({false, "error text"}),
+  };
+  for (const Bytes& full : frames) {
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+      const std::span<const std::byte> view(full.data(), cut);
+      EXPECT_THROW(
+          {
+            try { (void)net::decode_link_hello(view); } catch (const CodecError&) { throw; }
+            try { (void)net::decode_link_welcome(view); } catch (const CodecError&) { throw; }
+            try { (void)net::decode_boot_hello(view); } catch (const CodecError&) { throw; }
+            try { (void)net::decode_node_config(view); } catch (const CodecError&) { throw; }
+            try { (void)net::decode_boot_listen(view); } catch (const CodecError&) { throw; }
+            (void)net::decode_boot_ready(view);
+          },
+          CodecError)
+          << "cut=" << cut;
+    }
+  }
+}
+
+TEST(FuzzWire, BitFlippedHandshakesNeverCrash) {
+  Rng rng(515);
+  net::NodeConfig config;
+  config.topology = Topology::balanced(4, 1);
+  config.heartbeat.interval_ns = 50'000'000;
+  const Bytes originals[] = {
+      net::encode_link_hello({1, 1, 2, 1, 8}),
+      net::encode_node_config(config),
+      net::encode_boot_ready({true, ""}),
+  };
+  for (const Bytes& original : originals) {
+    for (int trial = 0; trial < 300; ++trial) {
+      Bytes mutated = original;
+      const std::size_t at = rng.next_below(mutated.size());
+      mutated[at] ^= static_cast<std::byte>(1u << rng.next_below(8));
+      try { (void)net::decode_link_hello(mutated); } catch (const CodecError&) {}
+      try { (void)net::decode_node_config(mutated); } catch (const CodecError&) {}
+      try { (void)net::decode_boot_ready(mutated); } catch (const CodecError&) {}
+    }
   }
 }
 
