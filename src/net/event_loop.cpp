@@ -259,7 +259,15 @@ std::shared_ptr<Link> EventLoop::link(const ConnRef& conn) {
 }
 
 void EventLoop::register_conn(const ConnRef& conn) {
-  if (stopping_.load(std::memory_order_acquire) || conn->closed()) return;
+  if (conn->closed()) return;
+  if (stopping_.load(std::memory_order_acquire)) {
+    // Late registration during shutdown: stop()'s wake pass only covers
+    // conns_ members, so a silently dropped conn would leave any sender
+    // blocked on its budget condvar hanging forever.  Tear it down properly
+    // (marks it closed, clears the queue, notifies budget_, surfaces EOF).
+    connection_dead(conn, false);
+    return;
+  }
   try {
     set_nonblocking(conn->fd());
   } catch (const std::exception& error) {
@@ -275,6 +283,7 @@ void EventLoop::register_conn(const ConnRef& conn) {
     connection_dead(conn, !conn->channel_);
     return;
   }
+  conn->registered_ = true;
   conns_.emplace(conn->fd(), conn);
   if (metrics_ != nullptr) {
     metrics_->net_connections.fetch_add(1, std::memory_order_relaxed);
@@ -320,9 +329,15 @@ bool EventLoop::enqueue(const ConnRef& conn, NetConn::SendItem item, bool may_bl
   {
     std::unique_lock<std::mutex> lock(conn->mutex_);
     if (conn->closed() || conn->close_after_flush_) return false;
-    if (may_block && conn->queued_bytes_ + item.charge > kSendBudget) {
+    if (may_block && conn->queued_bytes_ > 0 &&
+        conn->queued_bytes_ + item.charge > kSendBudget) {
+      // An empty queue always admits one item: a single frame can legally be
+      // larger than the whole budget (kMaxWireFrame >> kSendBudget), and
+      // waiting for `queued + charge <= budget` on such a frame would never
+      // be satisfied.
       conn->budget_.wait(lock, [&] {
-        return conn->closed() || conn->queued_bytes_ + item.charge <= kSendBudget;
+        return conn->closed() || conn->queued_bytes_ == 0 ||
+               conn->queued_bytes_ + item.charge <= kSendBudget;
       });
       if (conn->closed()) return false;
     }
@@ -676,6 +691,7 @@ void EventLoop::connection_dead(const ConnRef& conn, bool handshake_failure) {
     conn->budget_.notify_all();
   }
   ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, conn->fd(), nullptr);
+  conn->registered_ = false;
   conns_.erase(conn->fd());
   if (metrics_ != nullptr) {
     if (handshake_failure) {
@@ -711,6 +727,14 @@ void EventLoop::update_interest(NetConn& conn) {
   ev.events = (conn.read_enabled_ ? EPOLLIN : 0u) |
               (conn.want_write_ ? EPOLLOUT : 0u);
   ev.data.fd = conn.fd();
+  if (!conn.registered_) {
+    // Deregistered by the masked-HUP path in run(); re-arm so the pending
+    // data / EOF the peer left behind gets read.
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, conn.fd(), &ev) == 0) {
+      conn.registered_ = true;
+    }
+    return;
+  }
   ::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, conn.fd(), &ev);
 }
 
@@ -841,9 +865,25 @@ void EventLoop::run() {
       if (it == conns_.end()) continue;
       const ConnRef conn = it->second;
       if ((events[i].events & EPOLLOUT) != 0) handle_writable(conn);
-      if ((events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
-        handle_readable(conn);
+      if ((events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) == 0) continue;
+      if (!conn->closed() && !conn->read_enabled_ && !conn->want_write_ &&
+          (events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        // HUP/ERR are delivered even with a 0 interest mask, and
+        // handle_readable no-ops while reads are masked — level-triggered,
+        // the event would repeat every epoll_wait and spin the loop hot
+        // until the inbox drains.  Drop the fd from the interest set
+        // instead; resume()/retry_parked() re-add it via update_interest
+        // and then drain whatever the peer left behind before the EOF
+        // surfaces.  (With want_write_ set the interest mask is non-zero
+        // and the write path consumes the event: the next writev fails and
+        // tears the connection down.)
+        if (::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, conn->fd(), nullptr) ==
+            0) {
+          conn->registered_ = false;
+        }
+        continue;
       }
+      handle_readable(conn);
     }
   }
   loop_thread_id_.store(nullptr, std::memory_order_release);

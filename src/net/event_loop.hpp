@@ -162,6 +162,10 @@ class NetConn {
   bool want_write_ = false;
   bool read_enabled_ = true;
   bool eof_notified_ = false;
+  // In the epoll interest set.  Cleared when the loop deregisters a
+  // read-masked conn on EPOLLHUP/EPOLLERR (the events are level-triggered
+  // and ignore a 0 interest mask); update_interest re-adds on resume.
+  bool registered_ = false;
 
   std::atomic<bool> closed_{false};
 };

@@ -18,12 +18,14 @@
 // every test builds its network first thing.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <ctime>
 #include <optional>
 #include <set>
 #include <thread>
@@ -135,6 +137,34 @@ TEST(RemoteNetwork, WavgFilterAcrossProcesses) {
   const auto sum = await_weight(stream, 4, 20s);
   ASSERT_TRUE(sum.has_value());
   EXPECT_DOUBLE_EQ(*sum, full_sum(4));
+  net->shutdown();
+}
+
+TEST(RemoteNetwork, FramesLargerThanSendBudgetMakeProgress) {
+  // Regression: a frame whose charge alone exceeds the loop's 4 MiB send
+  // budget made enqueue()'s wait predicate unsatisfiable — the sending
+  // thread blocked on the budget condvar forever, even with an empty queue.
+  // The wire format allows frames up to 1 GiB, so an oversized frame must
+  // be admitted whenever the queue is empty.  A 6 MiB blob bounced off the
+  // back-ends exercises the blocking send path in both directions; pre-fix
+  // this test hangs rather than fails.
+  constexpr std::size_t kBig = std::size_t{6} << 20;
+  auto net = remote_net(Topology::flat(2), [](BackEnd& be) {
+    const auto packet = be.recv_for(30s);
+    if (!packet) return;
+    be.send(1, kTag, "str i64",
+            {(*packet)->get_str(0), std::int64_t{be.rank()}});
+  });
+  Stream& stream = net->front_end().new_stream({.up_sync = "null"});
+  stream.send(kTag, "str", {std::string(kBig, 'x')});
+  std::set<std::int64_t> ranks;
+  for (int i = 0; i < 2; ++i) {
+    const auto result = stream.recv_for(30s);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ((*result)->get_str(0).size(), kBig);
+    ranks.insert((*result)->get_i64(1));
+  }
+  EXPECT_EQ(ranks.size(), 2u);
   net->shutdown();
 }
 
@@ -339,6 +369,46 @@ TEST(RemoteNetwork, MalformedHandshakesNeverWedgeTheEventLoop) {
   EXPECT_EQ(server.failures(), 4u);
   ASSERT_TRUE(server_still_serves(server));
   EXPECT_EQ(server.accepted.load(), 2);
+}
+
+TEST(RemoteNetwork, PeerHangupOnPausedChannelDoesNotSpinTheLoop) {
+  // EPOLLHUP is level-triggered and delivered even with a 0 interest mask.
+  // A paused channel used to route it through handle_readable, which no-ops
+  // while reads are masked — the loop re-woke on the same un-consumable
+  // event every epoll_wait, burning a core until resume().  The loop now
+  // drops the fd from its interest set instead, and resume() must re-arm it
+  // so the peer's EOF still surfaces.
+  MetricsRegistry metrics;
+  net::EventLoop loop{&metrics};
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  net::ChannelOptions options;
+  options.inbox = std::make_shared<Inbox>(16);
+  options.slot = 3;
+  options.paused = true;
+  const InboxPtr inbox = options.inbox;
+  net::ConnRef conn;
+  auto link = loop.add_channel(Fd(sv[0]), std::move(options), &conn);
+  loop.start();
+  ::close(sv[1]);  // HUP lands on a connection with an empty interest mask
+
+  // Masked means masked: no envelope may surface yet, and the loop must
+  // idle rather than spin (the pre-fix busy loop burns the entire window;
+  // the threshold is generous for loaded CI).
+  const std::clock_t cpu_before = std::clock();
+  std::this_thread::sleep_for(500ms);
+  const double cpu_ms =
+      1000.0 * static_cast<double>(std::clock() - cpu_before) / CLOCKS_PER_SEC;
+  EXPECT_FALSE(inbox->try_pop().has_value());
+  EXPECT_LT(cpu_ms, 250.0);
+
+  // resume() re-arms the deregistered fd and the EOF envelope comes through.
+  loop.resume(conn);
+  const auto eof = inbox->pop_for(5s);
+  ASSERT_TRUE(eof.has_value());
+  EXPECT_EQ(eof->packet, nullptr);
+  EXPECT_EQ(eof->child_slot, 3u);
+  loop.stop();
 }
 
 // ---- option validation ------------------------------------------------------
