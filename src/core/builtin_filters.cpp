@@ -2,16 +2,37 @@
 
 #include <algorithm>
 #include <functional>
+#include <type_traits>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "core/protocol.hpp"
 #include "core/registry.hpp"
+#include "core/simd_kernels.hpp"
 #include "core/sync.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace tbon {
 namespace {
+
+struct MinOp {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return std::min(a, b);
+  }
+};
+struct MaxOp {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return std::max(a, b);
+  }
+};
+struct SumOp {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return static_cast<T>(a + b);
+  }
+};
 
 /// Shared implementation for sum/min/max: reduce numeric fields across the
 /// batch with `Op`, preserving the packet format.
@@ -34,6 +55,15 @@ class NumericReduceFilter final : public TransformFilter {
     out.push_back(std::make_shared<const Packet>(first.stream_id(), first.tag(),
                                                  first.src_rank(), first.format(),
                                                  std::move(acc)));
+  }
+
+  /// Each packet of a coalesced batch is its own single-packet wave, and a
+  /// reduction over one packet is the packet itself — forward the inputs
+  /// instead of rebuilding each one (byte-identical: a singleton filter()
+  /// call copies the values into an equal packet).
+  void filter_batch(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                    FilterContext&) override {
+    out.insert(out.end(), in.begin(), in.end());
   }
 
  private:
@@ -75,26 +105,26 @@ class NumericReduceFilter final : public TransformFilter {
     if (next.size() != acc.size()) {
       throw CodecError("numeric reduction over vectors of different lengths");
     }
+    // Contiguous numeric fields take the vectorized kernels (bit-exact with
+    // the plain loop below — see simd_kernels.hpp).
+    if constexpr (std::is_same_v<T, double>) {
+      if constexpr (std::is_same_v<Op, SumOp>) {
+        return simd::add_f64(acc.data(), next.data(), acc.size());
+      } else if constexpr (std::is_same_v<Op, MinOp>) {
+        return simd::min_f64(acc.data(), next.data(), acc.size());
+      } else if constexpr (std::is_same_v<Op, MaxOp>) {
+        return simd::max_f64(acc.data(), next.data(), acc.size());
+      }
+    } else if constexpr (std::is_same_v<T, std::int64_t>) {
+      if constexpr (std::is_same_v<Op, SumOp>) {
+        return simd::add_i64(acc.data(), next.data(), acc.size());
+      } else if constexpr (std::is_same_v<Op, MinOp>) {
+        return simd::min_i64(acc.data(), next.data(), acc.size());
+      } else if constexpr (std::is_same_v<Op, MaxOp>) {
+        return simd::max_i64(acc.data(), next.data(), acc.size());
+      }
+    }
     for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = Op{}(acc[i], next[i]);
-  }
-};
-
-struct MinOp {
-  template <typename T>
-  T operator()(T a, T b) const {
-    return std::min(a, b);
-  }
-};
-struct MaxOp {
-  template <typename T>
-  T operator()(T a, T b) const {
-    return std::max(a, b);
-  }
-};
-struct SumOp {
-  template <typename T>
-  T operator()(T a, T b) const {
-    return static_cast<T>(a + b);
   }
 };
 
@@ -113,9 +143,11 @@ class AvgFilter final : public TransformFilter {
         case DataType::kFloat64:
           std::get<double>(field) /= n;
           break;
-        case DataType::kVecFloat64:
-          for (double& v : std::get<std::vector<double>>(field)) v /= n;
+        case DataType::kVecFloat64: {
+          auto& vec = std::get<std::vector<double>>(field);
+          simd::div_f64(vec.data(), n, vec.size());
           break;
+        }
         case DataType::kInt32:
           std::get<std::int32_t>(field) =
               static_cast<std::int32_t>(std::get<std::int32_t>(field) / n);
@@ -163,7 +195,7 @@ class WeightedAvgFilter final : public TransformFilter {
       if (packet.format() != kFormat) throw CodecError("wavg expects 'vf64 u64'");
       const auto& other = packet.get_vf64(0);
       if (other.size() != sums.size()) throw CodecError("wavg vector length mismatch");
-      for (std::size_t i = 0; i < sums.size(); ++i) sums[i] += other[i];
+      simd::add_f64(sums.data(), other.data(), sums.size());
       weight += packet.get_u64(1);
     }
     out.push_back(std::make_shared<const Packet>(
@@ -307,6 +339,13 @@ class PassthroughFilter final : public TransformFilter {
  public:
   void filter(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
               FilterContext&) override {
+    out.insert(out.end(), in.begin(), in.end());
+  }
+
+  /// One append for the whole coalesced batch instead of a virtual call per
+  /// packet; identical output by construction.
+  void filter_batch(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                    FilterContext&) override {
     out.insert(out.end(), in.begin(), in.end());
   }
 };

@@ -6,6 +6,7 @@
 #include "common/buffer.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "core/coalesce.hpp"
 #include "core/flow_control.hpp"
 #include "core/protocol.hpp"
 
@@ -55,6 +56,28 @@ bool FdLink::send(const PacketPtr& packet) {
   }
 }
 
+bool FdLink::send_batch(std::span<const PacketPtr> packets) {
+  if (packets.empty()) return true;
+  // A one-packet batch gains nothing over the plain (zero-copy capable)
+  // single-frame path, and keeps single sends byte-identical to the
+  // pre-batching wire form.
+  if (packets.size() == 1) return send(packets.front());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return false;
+  try {
+    const Bytes frame = encode_batch_frame(packets);
+    write_frame(fd_, frame);
+    if (metrics_ != nullptr) {
+      metrics_->wire_bytes_out.fetch_add(frame.size(), std::memory_order_relaxed);
+    }
+    return true;
+  } catch (const TransportError& error) {
+    TBON_DEBUG("fd link batch send failed: " << error.what());
+    closed_ = true;
+    return false;
+  }
+}
+
 void FdLink::close() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!closed_) {
@@ -96,6 +119,30 @@ std::jthread start_fd_reader(int fd, InboxPtr inbox, Origin origin,
       while (auto frame = read_frame(fd)) {
         if (metrics != nullptr) {
           metrics->wire_bytes_in.fetch_add(frame->size(), std::memory_order_relaxed);
+        }
+        if (is_batch_frame(*frame)) {
+          std::vector<PacketPtr> packets;
+          try {
+            packets = decode_batch_frame(std::move(*frame), fd_zero_copy());
+          } catch (const CodecError& error) {
+            // Frame boundaries are intact (length-prefixed stream), so a
+            // malformed batch is dropped whole — no envelopes, no credits —
+            // and the reader keeps going.
+            TBON_DEBUG("dropping malformed batch frame: " << error.what());
+            if (metrics != nullptr) {
+              metrics->batch_frames_rejected.fetch_add(1, std::memory_order_relaxed);
+            }
+            continue;
+          }
+          if (metrics != nullptr) {
+            metrics->batch_frames_in.fetch_add(1, std::memory_order_relaxed);
+            metrics->batch_packets_in.fetch_add(packets.size(),
+                                                std::memory_order_relaxed);
+          }
+          inbox->push(Envelope{
+              origin, child_slot, nullptr,
+              std::make_shared<const std::vector<PacketPtr>>(std::move(packets))});
+          continue;
         }
         PacketPtr packet;
         if (fd_zero_copy()) {

@@ -36,6 +36,9 @@ class FdLink final : public Link {
       : fd_(fd), metrics_(metrics) {}
 
   bool send(const PacketPtr& packet) override;
+  /// Write all packets as one multi-packet batch frame (single syscall);
+  /// the peer's reader delivers them as one batch envelope.
+  bool send_batch(std::span<const PacketPtr> packets) override;
   void close() override;
 
  private:
@@ -52,6 +55,9 @@ class SharedLink final : public Link {
  public:
   explicit SharedLink(std::shared_ptr<Link> inner) : inner_(std::move(inner)) {}
   bool send(const PacketPtr& packet) override { return inner_->send(packet); }
+  bool send_batch(std::span<const PacketPtr> packets) override {
+    return inner_->send_batch(packets);
+  }
   void close() override { inner_->close(); }
 
  private:

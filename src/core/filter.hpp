@@ -126,6 +126,23 @@ class TransformFilter {
 #pragma GCC diagnostic pop
   }
 
+  /// Batch-first hook: process several *independent* single-packet waves in
+  /// one invocation.  The runtime calls this when a coalesced batch arrives
+  /// on a null-sync stream — each packet in `in` is its own wave, so the
+  /// required semantics are exactly `for each p: filter({p}, out, ctx)`,
+  /// which is what the default does (every existing filter keeps working
+  /// and produces byte-identical output).  Override when per-wave work can
+  /// be amortized across the batch (vectorized kernels, shared lookups);
+  /// overrides must preserve the one-wave-per-packet contract.  Do NOT
+  /// reduce across `in` here — cross-packet aggregation is what filter()
+  /// with a grouping SyncPolicy is for.
+  virtual void filter_batch(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                            FilterContext& ctx) {
+    for (const PacketPtr& packet : in) {
+      filter({&packet, 1}, out, ctx);
+    }
+  }
+
   /// Called once when the stream shuts down; filters holding buffered state
   /// (e.g. time-aligned aggregation) may emit final packets here.
   virtual void flush(std::vector<PacketPtr>& out, FilterContext& ctx) {

@@ -179,6 +179,27 @@ void Stream::send(std::int32_t tag, std::vector<std::uint8_t> payload) {
   send(tag, BufferView(std::move(bytes)));
 }
 
+PacketPtr Stream::make_packet(std::int32_t tag, std::string_view format,
+                              std::vector<DataValue> values) const {
+  if (tag < kFirstAppTag) throw ProtocolError("application tags must be >= kFirstAppTag");
+  return Packet::make(spec_.id, tag, kFrontEndRank, format, std::move(values));
+}
+
+void Stream::send_batch(std::span<const PacketPtr> packets) {
+  for (const PacketPtr& packet : packets) {
+    if (!packet) throw ProtocolError("send_batch: null packet");
+    if (packet->stream_id() != spec_.id) {
+      throw ProtocolError("send_batch: packet for stream " +
+                          std::to_string(packet->stream_id()) +
+                          " sent on stream " + std::to_string(spec_.id));
+    }
+    if (packet->tag() < kFirstAppTag) {
+      throw ProtocolError("application tags must be >= kFirstAppTag");
+    }
+  }
+  network_.send_batch_to_root(packets);
+}
+
 RecvResult Stream::make_result(std::optional<PacketPtr> popped) {
   if (popped) return RecvResult(std::move(*popped));
   if (results_.closed()) {
@@ -345,6 +366,30 @@ void BackEnd::send(std::uint32_t stream_id, std::int32_t tag,
   send(stream_id, tag, BufferView(std::move(bytes)));
 }
 
+PacketPtr BackEnd::make_packet(std::uint32_t stream_id, std::int32_t tag,
+                               std::string_view format,
+                               std::vector<DataValue> values) const {
+  if (tag < kFirstAppTag) throw ProtocolError("application tags must be >= kFirstAppTag");
+  return Packet::make(stream_id, tag, rank_, format, std::move(values));
+}
+
+void BackEnd::send_batch(std::uint32_t stream_id, std::span<const PacketPtr> packets) {
+  if (packets.empty()) return;
+  for (const PacketPtr& packet : packets) {
+    if (!packet) throw ProtocolError("send_batch: null packet");
+    if (packet->stream_id() != stream_id) {
+      throw ProtocolError("send_batch: packet for stream " +
+                          std::to_string(packet->stream_id()) +
+                          " sent on stream " + std::to_string(stream_id));
+    }
+    if (packet->tag() < kFirstAppTag) {
+      throw ProtocolError("application tags must be >= kFirstAppTag");
+    }
+  }
+  wait_stream_known(stream_id);
+  up_link_->send_batch(packets);
+}
+
 void BackEnd::send_to(std::uint32_t dst_rank, std::int32_t tag, std::string_view format,
                       std::vector<DataValue> values) {
   if (tag < kFirstAppTag) throw ProtocolError("application tags must be >= kFirstAppTag");
@@ -506,6 +551,8 @@ std::unique_ptr<Network> Network::create_threaded_impl(const NetworkOptions& opt
   if (fc.enabled) {
     for (auto& runtime : net.runtimes_) runtime->set_flow_control(fc);
   }
+  net.batching_ = options.batching;
+  if (net.batching_.enabled()) net.batch_flusher_ = std::make_shared<BatchFlusher>();
   // Parallel filter execution: every runtime learns the options; leaves
   // ignore them (they run no filters), so only non-leaf nodes build pools.
   for (auto& runtime : net.runtimes_) runtime->set_execution(options.execution);
@@ -526,13 +573,24 @@ std::unique_ptr<Network> Network::create_threaded_impl(const NetworkOptions& opt
                                                    Origin::kChild, slot);
       std::shared_ptr<CreditGate> gate_up;
       if (!fc.enabled) {
-        parent_rt.add_child_link(std::make_unique<SharedLink>(down_inner));
-        child_rt.set_parent_link(std::make_unique<SharedLink>(up_inner));
+        // Batching interposes between the sender and the raw inbox link so
+        // data packets coalesce into one batch envelope per flush.
+        parent_rt.add_child_link(std::make_unique<SharedLink>(maybe_coalesce(
+            down_inner, net.batching_, &parent_rt.metrics(), nullptr,
+            net.batch_flusher_)));
+        child_rt.set_parent_link(std::make_unique<SharedLink>(maybe_coalesce(
+            up_inner, net.batching_, &child_rt.metrics(), nullptr,
+            net.batch_flusher_)));
       } else {
+        // Decorator order is FlowControlledLink(CoalescingLink(raw)): every
+        // data packet acquires its credit before it is buffered, and the
+        // coalescer gets the gate so window exhaustion forces a flush.
         auto gate_down = std::make_shared<CreditGate>(fc.window());
         gate_down->set_drain_hook(fc_wake_hook(parent_rt.inbox()));
         auto down = std::make_shared<FlowControlledLink>(
-            down_inner, gate_down, fc, &parent_rt.metrics(),
+            maybe_coalesce(down_inner, net.batching_, &parent_rt.metrics(),
+                           gate_down, net.batch_flusher_),
+            gate_down, fc, &parent_rt.metrics(),
             /*fail_fast_throws=*/false);
         parent_rt.register_fc_link(down);
         parent_rt.add_child_link(std::make_unique<SharedLink>(down));
@@ -541,7 +599,9 @@ std::unique_ptr<Network> Network::create_threaded_impl(const NetworkOptions& opt
         gate_up = std::make_shared<CreditGate>(fc.window());
         gate_up->set_drain_hook(fc_wake_hook(child_rt.inbox()));
         auto up = std::make_shared<FlowControlledLink>(
-            up_inner, gate_up, fc, &child_rt.metrics(),
+            maybe_coalesce(up_inner, net.batching_, &child_rt.metrics(),
+                           gate_up, net.batch_flusher_),
+            gate_up, fc, &child_rt.metrics(),
             /*fail_fast_throws=*/false);
         child_rt.register_fc_link(up);
         child_rt.set_parent_link(std::make_unique<SharedLink>(up));
@@ -552,8 +612,9 @@ std::unique_ptr<Network> Network::create_threaded_impl(const NetworkOptions& opt
         // with flow control, their own wrapper sharing the channel's credit
         // window (fail_fast may throw here: this is the application edge).
         const auto rank = topo.leaf_rank(child);
-        std::shared_ptr<Link> up = std::make_shared<InprocLink>(
-            parent_rt.inbox(), Origin::kChild, slot);
+        std::shared_ptr<Link> up = maybe_coalesce(
+            std::make_shared<InprocLink>(parent_rt.inbox(), Origin::kChild, slot),
+            net.batching_, &child_rt.metrics(), gate_up, net.batch_flusher_);
         if (fc.enabled) {
           auto wrapper = std::make_shared<FlowControlledLink>(
               std::move(up), gate_up, fc, &child_rt.metrics(),
@@ -757,6 +818,18 @@ void Network::kill_node(NodeId id) {
 void Network::send_to_root(PacketPtr packet) {
   runtimes_[topology_.root()]->inbox()->push(
       Envelope{Origin::kParent, 0, std::move(packet)});
+}
+
+void Network::send_batch_to_root(std::span<const PacketPtr> packets) {
+  if (packets.empty()) return;
+  if (packets.size() == 1) {
+    send_to_root(packets.front());
+    return;
+  }
+  auto batch = std::make_shared<const std::vector<PacketPtr>>(packets.begin(),
+                                                              packets.end());
+  runtimes_[topology_.root()]->inbox()->push(
+      Envelope{Origin::kParent, 0, nullptr, std::move(batch)});
 }
 
 void Network::on_result(std::uint32_t stream_id, PacketPtr packet) {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "core/coalesce.hpp"
 #include "core/filter_params.hpp"
 #include "core/node.hpp"
 #include "core/protocol.hpp"
@@ -159,6 +160,13 @@ struct NetworkOptions {
   /// (num_workers = 0): filters run inline on each node's event loop,
   /// byte-identically to previous releases.
   ExecutionOptions execution;
+  /// Adaptive small-packet batching on every tree channel (all three
+  /// instantiations): data packets coalesce into multi-packet wire frames,
+  /// flushed on size, deadline, or credit pressure; control and telemetry
+  /// traffic always goes out immediately (see src/core/coalesce.hpp and
+  /// docs/batching.md).  Defaults to off: the wire format and flush timing
+  /// are byte-identical to previous releases.
+  BatchingOptions batching;
 
   /// Process and remote modes: runs inside every back-end process.
   std::function<void(BackEnd&)> backend_main;
@@ -257,6 +265,19 @@ class Stream {
 
   [[deprecated("copies the payload; pass a BufferView (Bytes adopts implicitly)")]]
   void send(std::int32_t tag, std::vector<std::uint8_t> payload);
+
+  /// Multicast several packets downstream as one unit: the whole span enters
+  /// the root's event loop as a single batch envelope (one wakeup, one
+  /// multi-packet frame per coalescing hop) instead of N independent sends.
+  /// Every packet must belong to this stream and carry an application tag;
+  /// build them with make_packet().  Delivery order and per-packet semantics
+  /// are identical to calling send() N times.
+  void send_batch(std::span<const PacketPtr> packets);
+
+  /// Build a packet for send_batch() (stream id and front-end rank filled
+  /// in; same wire form as the equivalent send()).
+  PacketPtr make_packet(std::int32_t tag, std::string_view format,
+                        std::vector<DataValue> values) const;
 
   /// Receive the next aggregated upstream packet.  Blocks until a packet
   /// arrives or the status becomes terminal (kShutdown / kStreamClosed —
@@ -364,6 +385,20 @@ class BackEnd {
 
   [[deprecated("copies the payload; pass a BufferView (Bytes adopts implicitly)")]]
   void send(std::uint32_t stream_id, std::int32_t tag, std::vector<std::uint8_t> payload);
+
+  /// Send several packets upstream on `stream_id` as one unit: one
+  /// stream-known wait, then the whole span is handed to the upstream link
+  /// in a single call (one batch frame on a coalescing channel, one inbox
+  /// push in threaded mode).  Every packet must belong to `stream_id` and
+  /// carry an application tag; build them with make_packet().  Semantically
+  /// identical to calling send() N times, just cheaper.
+  void send_batch(std::uint32_t stream_id, std::span<const PacketPtr> packets);
+
+  /// Build a packet for send_batch() (this back-end's rank filled in; same
+  /// wire form as the equivalent send()).
+  PacketPtr make_packet(std::uint32_t stream_id, std::int32_t tag,
+                        std::string_view format,
+                        std::vector<DataValue> values) const;
 
   /// Send a message to another back-end, routed hop-by-hop through the
   /// internal process tree (paper §2.1: the TBON model has no direct
@@ -513,6 +548,7 @@ class Network {
   static std::unique_ptr<Network> create_remote_impl(const NetworkOptions& options);
   void start_telemetry(const TelemetryOptions& telemetry);
   void send_to_root(PacketPtr packet);
+  void send_batch_to_root(std::span<const PacketPtr> packets);
   BackEnd& dynamic_backend(std::size_t index);
   void on_result(std::uint32_t stream_id, PacketPtr packet);
   void on_stream_deleted(std::uint32_t stream_id);
@@ -556,6 +592,12 @@ class Network {
   /// Hints are advisory (recv_any re-scans the streams on every wake), so
   /// overflow evicts the oldest hint rather than blocking the root runtime.
   BoundedQueue<std::uint32_t> ready_streams_{1 << 16};
+
+  // Batching state: the options every channel was wired with, and the
+  // process-wide deadline-service thread (threaded/remote front-end side;
+  // forked children build their own in run_child_process).
+  BatchingOptions batching_;
+  std::shared_ptr<BatchFlusher> batch_flusher_;
 
   // Recovery state (see src/recovery/).
   RecoveryOptions recovery_;

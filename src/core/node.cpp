@@ -9,6 +9,18 @@
 #include "common/trace.hpp"
 
 namespace tbon {
+namespace {
+
+// The deprecated inline-dispatch knob stays honoured until it is removed;
+// this is the one place the runtime reads it.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+std::size_t inline_cutoff(const ExecutionOptions& options) noexcept {
+  return options.inline_below_bytes;
+}
+#pragma GCC diagnostic pop
+
+}  // namespace
 
 NodeRuntime::NodeRuntime(const Topology& topology, NodeId id, FilterRegistry& registry,
                          Delegate* delegate)
@@ -98,8 +110,9 @@ void NodeRuntime::set_execution(const ExecutionOptions& options) {
   exec_options_ = options;
 }
 
-void NodeRuntime::note_consumed(Origin origin, std::uint32_t slot) {
-  if (!fc_.enabled) return;
+void NodeRuntime::note_consumed(Origin origin, std::uint32_t slot,
+                                std::uint32_t count) {
+  if (!fc_.enabled || count == 0) return;
   std::function<void(std::uint32_t)> granter;
   std::uint32_t grant = 0;
   {
@@ -114,7 +127,7 @@ void NodeRuntime::note_consumed(Origin origin, std::uint32_t slot) {
     // Channels without a granter (e.g. the front-end's direct push into the
     // root inbox) are not flow-controlled; nothing to account.
     if (!channel || !channel->granter) return;
-    ++channel->consumed;
+    channel->consumed += count;
     if (channel->consumed >= fc_.grant_quantum()) {
       grant = channel->consumed;
       channel->consumed = 0;
@@ -320,6 +333,28 @@ void NodeRuntime::handle_envelope(Envelope&& envelope) {
     last_parent_hb_sent_ = -1;
   }
 
+  if (envelope.batch) {
+    // A coalesced run of data packets (the coalescer exempts control and
+    // telemetry traffic, and wire decoding rejects them inside batch frames).
+    // Checked before the EOF interpretation: a batch envelope also carries a
+    // null `packet`.  With fault injection armed, take the per-packet path so
+    // kill-at-data-packet-N hits the same packet batched or unbatched.
+    const auto batch = std::move(envelope.batch);
+    if (injector_) {
+      for (const PacketPtr& packet : *batch) {
+        handle_envelope(Envelope{envelope.origin, envelope.child_slot, packet});
+        if (crashed_ || done_) return;
+      }
+      return;
+    }
+    if (envelope.origin == Origin::kChild) {
+      handle_upstream_batch(envelope.child_slot, *batch);
+    } else {
+      for (const PacketPtr& packet : *batch) handle_downstream_data(packet);
+    }
+    return;
+  }
+
   if (!envelope.packet) {
     // EOF marker from a peer.
     if (envelope.origin == Origin::kChild) {
@@ -512,6 +547,7 @@ void NodeRuntime::handle_new_stream(const StreamSpec& spec) {
       stream.fast_up =
           spec.up_sync == "null" && spec.up_transform == "passthrough";
       stream.fast_down = spec.down_transform == "passthrough";
+      stream.null_sync = spec.up_sync == "null";
     }
     // A child may have died before this stream was announced; the sync
     // policy and filters must not wait for it.
@@ -811,8 +847,8 @@ bool NodeRuntime::consume_upstream_data(std::uint32_t slot, const PacketPtr& pac
     return false;
   }
   if (stream.exec) {
-    if (exec_options_.inline_below_bytes > 0 &&
-        packet->payload_bytes() < exec_options_.inline_below_bytes &&
+    if (inline_cutoff(exec_options_) > 0 &&
+        packet->payload_bytes() < inline_cutoff(exec_options_) &&
         stream.exec_inflight == 0 && !stream.exec_deadline_armed) {
       exec_run_inline_upstream(stream, static_cast<std::size_t>(sync_index), packet);
       return false;
@@ -823,6 +859,136 @@ bool NodeRuntime::consume_upstream_data(std::uint32_t slot, const PacketPtr& pac
   stream.sync->on_packet(static_cast<std::size_t>(sync_index), packet, stream.ctx);
   process_batches(stream, stream.sync->drain_ready(now_ns(), stream.ctx));
   return false;
+}
+
+void NodeRuntime::handle_upstream_batch(std::uint32_t slot,
+                                        std::span<const PacketPtr> packets) {
+  // Group consecutive same-stream packets into runs: one coalesced frame
+  // usually carries one stream's burst, so this almost always yields a
+  // single run, and each run costs one stream lookup + one filter
+  // invocation (or one shard task) instead of N.
+  std::size_t i = 0;
+  while (i < packets.size()) {
+    std::size_t j = i + 1;
+    while (j < packets.size() &&
+           packets[j]->stream_id() == packets[i]->stream_id()) {
+      ++j;
+    }
+    consume_upstream_run(slot, packets.subspan(i, j - i));
+    i = j;
+  }
+}
+
+void NodeRuntime::consume_upstream_run(std::uint32_t slot,
+                                       std::span<const PacketPtr> run) {
+  const std::uint32_t stream_id = run.front()->stream_id();
+  const bool telemetry = stream_id == kTelemetryStream;
+  if (telemetry) {
+    metrics_.telemetry_packets.fetch_add(run.size(), std::memory_order_relaxed);
+  } else {
+    std::uint64_t payload = 0;
+    for (const PacketPtr& packet : run) payload += packet->payload_bytes();
+    metrics_.packets_up.fetch_add(run.size(), std::memory_order_relaxed);
+    metrics_.bytes_up.fetch_add(payload, std::memory_order_relaxed);
+  }
+  // Every packet of the run is consumed from its channel whatever happens
+  // below (filtered, forwarded or dropped) — except executor dispatch, which
+  // defers the whole run's credits to completion delivery.
+  const auto credit_run = [&] {
+    if (!telemetry) {
+      note_consumed(Origin::kChild, slot, static_cast<std::uint32_t>(run.size()));
+    }
+  };
+
+  if (slot < child_alive_.size() && !child_alive_[slot]) {
+    metrics_.packets_dropped.fetch_add(run.size(), std::memory_order_relaxed);
+    TBON_DEBUG("node " << id_ << " dropping batch from dead child slot " << slot);
+    credit_run();
+    return;
+  }
+  const auto it = streams_.find(stream_id);
+  if (it == streams_.end()) {
+    metrics_.packets_dropped.fetch_add(run.size(), std::memory_order_relaxed);
+    TBON_WARN("node " << id_ << " dropping batch for unknown stream " << stream_id);
+    credit_run();
+    return;
+  }
+  StreamLocal& stream = it->second;
+  if (slot >= stream.slot_to_sync_index.size() ||
+      stream.slot_to_sync_index[slot] < 0) {
+    metrics_.packets_dropped.fetch_add(run.size(), std::memory_order_relaxed);
+    TBON_WARN("node " << id_ << " dropping batch from non-participating child slot "
+                      << slot);
+    credit_run();
+    return;
+  }
+  const auto sync_index = static_cast<std::size_t>(stream.slot_to_sync_index[slot]);
+
+  if (stream.fast_up) {
+    // Fast pass-through lane, batch form: the run is relayed toward the
+    // parent (whose link re-coalesces it when batching is on) or the root
+    // delegate.  Counters mirror the single-packet lane: one wave per
+    // packet, the forwarding overhead observed as filter latency once per
+    // run.
+    const auto start = now_ns();
+    emit_upstream(stream, run);
+    const auto elapsed = static_cast<std::uint64_t>(now_ns() - start);
+    metrics_.waves.fetch_add(run.size(), std::memory_order_relaxed);
+    metrics_.filter_ns.fetch_add(elapsed, std::memory_order_relaxed);
+    metrics_.observe_filter_latency(elapsed);
+    if (auto& tracer = TraceRecorder::instance(); tracer.enabled()) {
+      std::uint64_t bytes = 0;
+      for (const PacketPtr& packet : run) bytes += packet->payload_bytes();
+      tracer.record({id_, start, start + static_cast<std::int64_t>(elapsed), bytes,
+                     "up:" + stream.spec.up_transform});
+    }
+    credit_run();
+    return;
+  }
+  if (stream.exec) {
+    exec_dispatch_upstream_run(
+        stream, sync_index, run, slot,
+        telemetry ? 0 : static_cast<std::uint32_t>(run.size()));
+    return;
+  }
+  if (stream.null_sync) {
+    emit_upstream(stream, run_upstream_filter_batch(stream, run));
+  } else {
+    // Grouping syncs: feed the run packet-by-packet, then drain once —
+    // same ready set and output order as interleaved drains, minus the
+    // per-packet drain overhead.
+    for (const PacketPtr& packet : run) {
+      stream.sync->on_packet(sync_index, packet, stream.ctx);
+    }
+    process_batches(stream, stream.sync->drain_ready(now_ns(), stream.ctx));
+  }
+  credit_run();
+}
+
+std::vector<PacketPtr> NodeRuntime::run_upstream_filter_batch(
+    StreamLocal& stream, std::span<const PacketPtr> run) {
+  // One batch-aware filter invocation covering run.size() independent waves.
+  // Only valid for null-sync streams, where each packet forms its own
+  // singleton wave — filter_batch's contract is exactly that, so output is
+  // byte-identical to run.size() single-packet filter() calls while letting
+  // batch-aware filters amortize (vectorized kernels, shared lookups).
+  const bool telemetry = stream.spec.id == kTelemetryStream;
+  std::vector<PacketPtr> outputs;
+  const auto start = now_ns();
+  stream.up_filter->filter_batch(run, outputs, stream.ctx);
+  const auto end = now_ns();
+  if (!telemetry) {
+    metrics_.waves.fetch_add(run.size(), std::memory_order_relaxed);
+    const auto elapsed = static_cast<std::uint64_t>(end - start);
+    metrics_.filter_ns.fetch_add(elapsed, std::memory_order_relaxed);
+    metrics_.observe_filter_latency(elapsed);
+    if (auto& tracer = TraceRecorder::instance(); tracer.enabled()) {
+      std::uint64_t bytes_out = 0;
+      for (const PacketPtr& packet : outputs) bytes_out += packet->payload_bytes();
+      tracer.record({id_, start, end, bytes_out, "up:" + stream.spec.up_transform});
+    }
+  }
+  return outputs;
 }
 
 void NodeRuntime::process_batches(StreamLocal& stream,
@@ -904,9 +1070,9 @@ void NodeRuntime::exec_register_stream(StreamLocal& stream) {
 void NodeRuntime::exec_dispatch_upstream(StreamLocal& stream, std::size_t sync_index,
                                          PacketPtr packet, std::uint32_t slot) {
   ++stream.exec_inflight;
-  const bool credit = stream.spec.id != kTelemetryStream;
+  const std::uint32_t credits = stream.spec.id != kTelemetryStream ? 1 : 0;
   StreamLocal* sp = &stream;
-  executor_->post(stream.spec.id, [this, sp, sync_index, slot, credit,
+  executor_->post(stream.spec.id, [this, sp, sync_index, slot, credits,
                                    packet = std::move(packet)]() mutable {
     sp->sync->on_packet(sync_index, std::move(packet), sp->ctx);
     ExecCompletion completion;
@@ -918,7 +1084,45 @@ void NodeRuntime::exec_dispatch_upstream(StreamLocal& stream, std::size_t sync_i
     completion.from_post = true;
     completion.deadline_armed = deadline.has_value();
     completion.buffered = sp->sync->buffered();
-    completion.credit = credit;
+    completion.credits = credits;
+    completion.credit_origin = Origin::kChild;
+    completion.credit_slot = slot;
+    exec_enqueue(std::move(completion));
+  });
+}
+
+void NodeRuntime::exec_dispatch_upstream_run(StreamLocal& stream,
+                                             std::size_t sync_index,
+                                             std::span<const PacketPtr> run,
+                                             std::uint32_t slot,
+                                             std::uint32_t credits) {
+  // Whole coalesced run → one shard task → one filter invocation (null-sync
+  // streams) or one sync feed + drain.  The task carries the run's full
+  // credit count, returned in one go when its completion is delivered, so
+  // worker-queue occupancy still counts against the credit window exactly as
+  // in the single-packet path.
+  ++stream.exec_inflight;
+  StreamLocal* sp = &stream;
+  std::vector<PacketPtr> packets(run.begin(), run.end());
+  executor_->post(stream.spec.id, [this, sp, sync_index, slot, credits,
+                                   packets = std::move(packets)]() mutable {
+    ExecCompletion completion;
+    completion.stream_id = sp->spec.id;
+    if (sp->null_sync) {
+      completion.up_outputs = run_upstream_filter_batch(*sp, packets);
+    } else {
+      for (PacketPtr& packet : packets) {
+        sp->sync->on_packet(sync_index, std::move(packet), sp->ctx);
+      }
+      completion.up_outputs =
+          run_upstream_batches(*sp, sp->sync->drain_ready(now_ns(), sp->ctx));
+    }
+    const auto deadline = sp->sync->next_deadline();
+    executor_->set_deadline(sp->spec.id, deadline ? *deadline : -1);
+    completion.from_post = true;
+    completion.deadline_armed = deadline.has_value();
+    completion.buffered = sp->sync->buffered();
+    completion.credits = credits;
     completion.credit_origin = Origin::kChild;
     completion.credit_slot = slot;
     exec_enqueue(std::move(completion));
@@ -947,7 +1151,7 @@ void NodeRuntime::exec_dispatch_downstream(StreamLocal& stream, PacketPtr packet
     completion.from_post = true;
     completion.deadline_armed = deadline.has_value();
     completion.buffered = sp->sync->buffered();
-    completion.credit = !telemetry;
+    completion.credits = telemetry ? 0 : 1;
     completion.credit_origin = Origin::kParent;
     completion.credit_slot = 0;
     exec_enqueue(std::move(completion));
@@ -1009,8 +1213,9 @@ void NodeRuntime::exec_deliver(ExecCompletion&& completion) {
       forward_down_to_participants(stream, packet);
     }
   }
-  if (completion.credit) {
-    note_consumed(completion.credit_origin, completion.credit_slot);
+  if (completion.credits) {
+    note_consumed(completion.credit_origin, completion.credit_slot,
+                  completion.credits);
   }
 }
 
@@ -1205,8 +1410,8 @@ bool NodeRuntime::consume_downstream_data(const PacketPtr& packet) {
     return false;
   }
   if (stream.exec) {
-    const bool small = exec_options_.inline_below_bytes > 0 &&
-                       packet->payload_bytes() < exec_options_.inline_below_bytes &&
+    const bool small = inline_cutoff(exec_options_) > 0 &&
+                       packet->payload_bytes() < inline_cutoff(exec_options_) &&
                        stream.exec_inflight == 0 && !stream.exec_deadline_armed;
     if (!small) {
       exec_dispatch_downstream(stream, packet);

@@ -192,6 +192,11 @@ class NodeRuntime {
     /// Telemetry counters are accounted exactly as on the slow path.
     bool fast_up = false;
     bool fast_down = false;
+    /// Upstream sync is "null" (one singleton wave per packet): a coalesced
+    /// run of N packets can be handed to the transformation filter as ONE
+    /// filter_batch() call — N independent waves, amortized — with output
+    /// byte-identical to N single-packet invocations.
+    bool null_sync = false;
     /// Executor mode: sync/filter/ctx are only ever touched on the stream's
     /// shard once this is set (the loop dispatches tasks instead of running
     /// the machinery itself).  The remaining fields are loop-owned mirrors.
@@ -212,7 +217,9 @@ class NodeRuntime {
     bool from_post = false;        ///< loop-posted task (vs worker deadline poll)
     bool deadline_armed = false;
     std::uint64_t buffered = 0;
-    bool credit = false;           ///< return one credit on delivery
+    std::uint32_t credits = 0;     ///< credits to return on delivery (one per
+                                   ///< packet the task consumed; a coalesced
+                                   ///< run carries its whole count)
     Origin credit_origin = Origin::kParent;
     std::uint32_t credit_slot = 0;
   };
@@ -239,6 +246,10 @@ class NodeRuntime {
   void handle_downstream_data(const PacketPtr& packet);
   bool consume_upstream_data(std::uint32_t slot, const PacketPtr& packet);
   bool consume_downstream_data(const PacketPtr& packet);
+  void handle_upstream_batch(std::uint32_t slot, std::span<const PacketPtr> packets);
+  void consume_upstream_run(std::uint32_t slot, std::span<const PacketPtr> run);
+  std::vector<PacketPtr> run_upstream_filter_batch(StreamLocal& stream,
+                                                   std::span<const PacketPtr> run);
   void process_batches(StreamLocal& stream, std::vector<SyncPolicy::Batch> batches);
   std::vector<PacketPtr> run_upstream_batches(StreamLocal& stream,
                                               std::vector<SyncPolicy::Batch> batches);
@@ -246,6 +257,9 @@ class NodeRuntime {
   void exec_register_stream(StreamLocal& stream);
   void exec_dispatch_upstream(StreamLocal& stream, std::size_t sync_index,
                               PacketPtr packet, std::uint32_t slot);
+  void exec_dispatch_upstream_run(StreamLocal& stream, std::size_t sync_index,
+                                  std::span<const PacketPtr> run, std::uint32_t slot,
+                                  std::uint32_t credits);
   void exec_dispatch_downstream(StreamLocal& stream, PacketPtr packet);
   void exec_run_inline_upstream(StreamLocal& stream, std::size_t sync_index,
                                 const PacketPtr& packet);
@@ -257,7 +271,7 @@ class NodeRuntime {
   void flush_all_streams();
   void poll_timeouts(std::int64_t now);
   void poll_telemetry(std::int64_t now);
-  void note_consumed(Origin origin, std::uint32_t slot);
+  void note_consumed(Origin origin, std::uint32_t slot, std::uint32_t count = 1);
   void flush_partial_grants();
   void pump_fc_links();
   void publish_telemetry();

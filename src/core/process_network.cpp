@@ -10,6 +10,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "core/coalesce.hpp"
 #include "core/delegates.hpp"
 #include "core/fd_link.hpp"
 #include "core/flow_control.hpp"
@@ -31,6 +32,7 @@ HeartbeatConfig g_hb{};
 FaultPlan g_fault_plan{};
 FlowControlOptions g_fc{};
 ExecutionOptions g_exec{};
+BatchingOptions g_batching{};
 
 /// Kernel buffer sizing for a credit-controlled edge: enough for one window
 /// of typical frames, clamped so the defaults never shrink below what the
@@ -125,6 +127,10 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
   try {
     SpawnedChildren spawned = spawn_children(topology, id, parent_fd, backend_main);
 
+    // Each process services its own coalescer deadlines (the thread starts
+    // lazily on the first attach, safely after all the forks above).
+    auto flusher = std::make_shared<BatchFlusher>();
+
     std::shared_ptr<FaultInjector> injector;
     if (!g_fault_plan.empty()) {
       // Each process builds its own injector from the inherited plan; the
@@ -150,15 +156,22 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
       // Upstream gate: survives re-adoption (reset to a full window when the
       // edge is replaced) so the back-end handle never dangles mid-send.
       std::shared_ptr<CreditGate> gate_up;
-      std::shared_ptr<Link> channel = parent_raw;
+      std::shared_ptr<Link> channel;
       if (g_fc.enabled) {
         set_socket_buffers(parent_fd, fc_socket_bytes());
         gate_up = std::make_shared<CreditGate>(g_fc.window());
         gate_up->set_drain_hook(fc_wake_hook(runtime.inbox()));
+        // FlowControlledLink(CoalescingLink(raw)): credits are accounted
+        // per packet before buffering, and the gate drives pressure flushes.
         auto up = std::make_shared<FlowControlledLink>(
-            parent_raw, gate_up, g_fc, &runtime.metrics(), /*fail_fast_throws=*/true);
+            maybe_coalesce(parent_raw, g_batching, &runtime.metrics(), gate_up,
+                           flusher),
+            gate_up, g_fc, &runtime.metrics(), /*fail_fast_throws=*/true);
         runtime.register_fc_link(up);
         channel = up;
+      } else {
+        channel = maybe_coalesce(parent_raw, g_batching, &runtime.metrics(),
+                                 nullptr, flusher);
       }
       auto relink = std::make_shared<RelinkableLink>(channel);
       backend.up_link_ = std::make_unique<SharedLink>(relink);
@@ -223,13 +236,18 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
         gate_up = std::make_shared<CreditGate>(g_fc.window());
         gate_up->set_drain_hook(fc_wake_hook(runtime.inbox()));
         auto up = std::make_shared<FlowControlledLink>(
-            parent_raw, gate_up, g_fc, &runtime.metrics(),
+            maybe_coalesce(parent_raw, g_batching, &runtime.metrics(), gate_up,
+                           flusher),
+            gate_up, g_fc, &runtime.metrics(),
             /*fail_fast_throws=*/false);
         runtime.register_fc_link(up);
         runtime.set_parent_link(std::make_unique<SharedLink>(up));
+        // Grants ride the raw link: exempt control frames that must never
+        // wait behind a coalescer buffer.
         runtime.set_parent_granter(fc_frame_granter(parent_raw));
       } else {
-        runtime.set_parent_link(std::make_unique<SharedLink>(parent_raw));
+        runtime.set_parent_link(std::make_unique<SharedLink>(maybe_coalesce(
+            parent_raw, g_batching, &runtime.metrics(), nullptr, flusher)));
       }
       if (injector) runtime.set_fault_injector(injector);
       runtime.set_crash_handler([] { std::_Exit(0); });
@@ -272,19 +290,22 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
       for (std::uint32_t slot = 0; slot < spawned.fds.size(); ++slot) {
         const int fd = spawned.fds[slot].get();
         std::shared_ptr<CreditGate> gate_down;
+        auto child_raw = std::make_shared<FdLink>(fd, &runtime.metrics());
         if (g_fc.enabled) {
           set_socket_buffers(fd, fc_socket_bytes());
-          auto child_raw = std::make_shared<FdLink>(fd, &runtime.metrics());
           gate_down = std::make_shared<CreditGate>(g_fc.window());
           gate_down->set_drain_hook(fc_wake_hook(runtime.inbox()));
           auto down = std::make_shared<FlowControlledLink>(
-              child_raw, gate_down, g_fc, &runtime.metrics(),
+              maybe_coalesce(child_raw, g_batching, &runtime.metrics(),
+                             gate_down, flusher),
+              gate_down, g_fc, &runtime.metrics(),
               /*fail_fast_throws=*/false);
           runtime.register_fc_link(down);
           runtime.add_child_link(std::make_unique<SharedLink>(down));
           runtime.set_child_granter(slot, fc_frame_granter(child_raw));
         } else {
-          runtime.add_child_link(std::make_unique<FdLink>(fd, &runtime.metrics()));
+          runtime.add_child_link(std::make_unique<SharedLink>(maybe_coalesce(
+              child_raw, g_batching, &runtime.metrics(), nullptr, flusher)));
         }
         readers.push_back(start_fd_reader(fd, runtime.inbox(), Origin::kChild, slot,
                                           &runtime.metrics(),
@@ -361,11 +382,16 @@ std::unique_ptr<Network> Network::create_process_impl(const NetworkOptions& opti
   g_fault_plan = options.recovery.fault_plan;
   g_fc = options.flow_control;
   g_exec = options.execution;
+  g_batching = options.batching;
   auto network = std::unique_ptr<Network>(new Network(options.topology));
   Network& net = *network;
   net.process_mode_ = true;
   net.recovery_ = options.recovery;
   net.fc_options_ = options.flow_control;
+  net.batching_ = options.batching;
+  // The deadline-service thread starts lazily on the first attach, which
+  // happens only after every fork below (threads don't survive fork).
+  net.batch_flusher_ = std::make_shared<BatchFlusher>();
   const Topology& topo = net.topology_;
 
   if (net.recovery_.auto_readopt) {
@@ -398,18 +424,21 @@ std::unique_ptr<Network> Network::create_process_impl(const NetworkOptions& opti
   for (std::uint32_t slot = 0; slot < spawned.fds.size(); ++slot) {
     const int fd = spawned.fds[slot].get();
     std::shared_ptr<CreditGate> gate_down;
+    auto child_raw = std::make_shared<FdLink>(fd, &root.metrics());
     if (g_fc.enabled) {
       set_socket_buffers(fd, fc_socket_bytes());
-      auto child_raw = std::make_shared<FdLink>(fd, &root.metrics());
       gate_down = std::make_shared<CreditGate>(g_fc.window());
       gate_down->set_drain_hook(fc_wake_hook(root.inbox()));
       auto down = std::make_shared<FlowControlledLink>(
-          child_raw, gate_down, g_fc, &root.metrics(), /*fail_fast_throws=*/false);
+          maybe_coalesce(child_raw, g_batching, &root.metrics(), gate_down,
+                         net.batch_flusher_),
+          gate_down, g_fc, &root.metrics(), /*fail_fast_throws=*/false);
       root.register_fc_link(down);
       root.add_child_link(std::make_unique<SharedLink>(down));
       root.set_child_granter(slot, fc_frame_granter(child_raw));
     } else {
-      root.add_child_link(std::make_unique<FdLink>(fd, &root.metrics()));
+      root.add_child_link(std::make_unique<SharedLink>(maybe_coalesce(
+          child_raw, g_batching, &root.metrics(), nullptr, net.batch_flusher_)));
     }
     net.reader_threads_.push_back(
         start_fd_reader(fd, root.inbox(), Origin::kChild, slot, &root.metrics(),

@@ -54,6 +54,11 @@ enum ControlTag : std::int32_t {
 /// TelemetryOptions::enabled); far above any application stream id.
 inline constexpr std::uint32_t kTelemetryStream = 0xFFFFFFFEu;
 
+/// First u32 of a multi-packet (batch) wire frame.  A packet frame starts
+/// with its stream id, and no stream is ever allocated this value, so one
+/// 4-byte peek tells a reader which decoder to use (see core/coalesce.hpp).
+inline constexpr std::uint32_t kBatchMarker = 0xFFFFFFFDu;
+
 /// First tag value available to applications.
 inline constexpr std::int32_t kFirstAppTag = 100;
 

@@ -6,6 +6,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "common/queue.hpp"
 #include "core/packet.hpp"
@@ -18,7 +20,9 @@ enum class Origin : std::uint8_t { kParent, kChild };
 
 /// One unit of work in a node's inbox.  A null packet is the EOF marker:
 /// the peer on that side closed its end of the channel (used for failure
-/// detection and teardown).
+/// detection and teardown) — unless `batch` is set, in which case the
+/// envelope carries a coalesced multi-packet batch (packet stays null) and
+/// must be checked before the EOF interpretation.
 struct Envelope {
   Origin origin = Origin::kParent;
   /// Child slot when origin == kChild; the sender's parent-channel epoch
@@ -26,6 +30,10 @@ struct Envelope {
   /// parent by comparing this against the receiver's current epoch).
   std::uint32_t child_slot = 0;
   PacketPtr packet;
+  /// A coalesced batch delivered as one unit (one wire frame / one queue
+  /// slot).  Never empty when set; never contains control or telemetry
+  /// packets (the coalescer flushes around those).
+  std::shared_ptr<const std::vector<PacketPtr>> batch;
 };
 
 using Inbox = BoundedQueue<Envelope>;
@@ -38,6 +46,16 @@ class Link {
 
   /// Enqueue a packet; returns false when the peer is gone.
   virtual bool send(const PacketPtr& packet) = 0;
+
+  /// Enqueue several packets, preserving order.  Transports that can encode
+  /// a multi-packet wire frame override this (FdLink, NetLink, InprocLink);
+  /// the default is semantically identical per-packet sends.  Returns false
+  /// when any send failed (the peer is gone).
+  virtual bool send_batch(std::span<const PacketPtr> packets) {
+    bool ok = true;
+    for (const PacketPtr& packet : packets) ok = send(packet) && ok;
+    return ok;
+  }
 
   /// Signal EOF to the peer (idempotent).
   virtual void close() = 0;
@@ -56,6 +74,14 @@ class InprocLink final : public Link {
 
   bool send(const PacketPtr& packet) override {
     return target_->push(Envelope{origin_, child_slot_, packet});
+  }
+
+  bool send_batch(std::span<const PacketPtr> packets) override {
+    if (packets.empty()) return true;
+    if (packets.size() == 1) return send(packets.front());
+    auto batch = std::make_shared<const std::vector<PacketPtr>>(packets.begin(),
+                                                                packets.end());
+    return target_->push(Envelope{origin_, child_slot_, nullptr, std::move(batch)});
   }
 
   void close() override {

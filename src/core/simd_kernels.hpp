@@ -1,0 +1,154 @@
+// Vectorized element-wise reduction kernels for the builtin filters.
+//
+// Each kernel applies one scalar operation lane-wise over contiguous
+// arrays: acc[i] = op(acc[i], next[i]).  Dispatch is compile-time — AVX2
+// when the translation unit is built for a target that has it, else SSE2
+// (the x86-64 baseline), else the plain loop — so there is no runtime
+// branching and no new build flags: the same source gets faster when the
+// toolchain targets a wider ISA.
+//
+// Bit-exactness contract: every kernel produces results byte-identical to
+// the scalar expression it replaces (std::min / std::max / operator+ /
+// operator/), including NaN propagation and signed-zero selection.  That is
+// why min/max use an explicit compare-and-blend of the *same* predicate the
+// scalar code evaluates — (b < a) ? b : a — instead of the asymmetric
+// MINPD/MAXPD instructions, whose unordered-operand rule differs from
+// std::min.  The batched-vs-unbatched byte-identity tests rely on this.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__SSE2__)
+#include <immintrin.h>
+#endif
+
+namespace tbon::simd {
+
+/// acc[i] += next[i]
+inline void add_f64(double* acc, const double* next, std::size_t n) {
+  std::size_t i = 0;
+#if defined(__AVX2__)
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(acc + i, _mm256_add_pd(_mm256_loadu_pd(acc + i),
+                                            _mm256_loadu_pd(next + i)));
+  }
+#elif defined(__SSE2__)
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(acc + i,
+                  _mm_add_pd(_mm_loadu_pd(acc + i), _mm_loadu_pd(next + i)));
+  }
+#endif
+  for (; i < n; ++i) acc[i] += next[i];
+}
+
+/// acc[i] = std::min(acc[i], next[i])  — i.e. (next < acc) ? next : acc
+inline void min_f64(double* acc, const double* next, std::size_t n) {
+  std::size_t i = 0;
+#if defined(__AVX2__)
+  for (; i + 4 <= n; i += 4) {
+    const __m256d a = _mm256_loadu_pd(acc + i);
+    const __m256d b = _mm256_loadu_pd(next + i);
+    const __m256d take_b = _mm256_cmp_pd(b, a, _CMP_LT_OQ);
+    _mm256_storeu_pd(acc + i, _mm256_blendv_pd(a, b, take_b));
+  }
+#elif defined(__SSE2__)
+  for (; i + 2 <= n; i += 2) {
+    const __m128d a = _mm_loadu_pd(acc + i);
+    const __m128d b = _mm_loadu_pd(next + i);
+    const __m128d take_b = _mm_cmplt_pd(b, a);
+    _mm_storeu_pd(acc + i, _mm_or_pd(_mm_and_pd(take_b, b), _mm_andnot_pd(take_b, a)));
+  }
+#endif
+  for (; i < n; ++i) acc[i] = next[i] < acc[i] ? next[i] : acc[i];
+}
+
+/// acc[i] = std::max(acc[i], next[i])  — i.e. (acc < next) ? next : acc
+inline void max_f64(double* acc, const double* next, std::size_t n) {
+  std::size_t i = 0;
+#if defined(__AVX2__)
+  for (; i + 4 <= n; i += 4) {
+    const __m256d a = _mm256_loadu_pd(acc + i);
+    const __m256d b = _mm256_loadu_pd(next + i);
+    const __m256d take_b = _mm256_cmp_pd(a, b, _CMP_LT_OQ);
+    _mm256_storeu_pd(acc + i, _mm256_blendv_pd(a, b, take_b));
+  }
+#elif defined(__SSE2__)
+  for (; i + 2 <= n; i += 2) {
+    const __m128d a = _mm_loadu_pd(acc + i);
+    const __m128d b = _mm_loadu_pd(next + i);
+    const __m128d take_b = _mm_cmplt_pd(a, b);
+    _mm_storeu_pd(acc + i, _mm_or_pd(_mm_and_pd(take_b, b), _mm_andnot_pd(take_b, a)));
+  }
+#endif
+  for (; i < n; ++i) acc[i] = acc[i] < next[i] ? next[i] : acc[i];
+}
+
+/// acc[i] /= divisor  (IEEE division, lane-wise — used by the avg filter)
+inline void div_f64(double* acc, double divisor, std::size_t n) {
+  std::size_t i = 0;
+#if defined(__AVX2__)
+  const __m256d d4 = _mm256_set1_pd(divisor);
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(acc + i, _mm256_div_pd(_mm256_loadu_pd(acc + i), d4));
+  }
+#elif defined(__SSE2__)
+  const __m128d d2 = _mm_set1_pd(divisor);
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(acc + i, _mm_div_pd(_mm_loadu_pd(acc + i), d2));
+  }
+#endif
+  for (; i < n; ++i) acc[i] /= divisor;
+}
+
+/// acc[i] += next[i]
+inline void add_i64(std::int64_t* acc, const std::int64_t* next, std::size_t n) {
+  std::size_t i = 0;
+#if defined(__AVX2__)
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(next + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i), _mm256_add_epi64(a, b));
+  }
+#elif defined(__SSE2__)
+  for (; i + 2 <= n; i += 2) {
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + i));
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(next + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + i), _mm_add_epi64(a, b));
+  }
+#endif
+  for (; i < n; ++i) acc[i] += next[i];
+}
+
+/// acc[i] = std::min(acc[i], next[i]).  64-bit signed compare needs AVX2's
+/// VPCMPGTQ; below that the plain loop is the whole implementation.
+inline void min_i64(std::int64_t* acc, const std::int64_t* next, std::size_t n) {
+  std::size_t i = 0;
+#if defined(__AVX2__)
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(next + i));
+    const __m256i take_b = _mm256_cmpgt_epi64(a, b);  // a > b  <=>  b < a
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                        _mm256_blendv_epi8(a, b, take_b));
+  }
+#endif
+  for (; i < n; ++i) acc[i] = next[i] < acc[i] ? next[i] : acc[i];
+}
+
+/// acc[i] = std::max(acc[i], next[i])
+inline void max_i64(std::int64_t* acc, const std::int64_t* next, std::size_t n) {
+  std::size_t i = 0;
+#if defined(__AVX2__)
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(next + i));
+    const __m256i take_b = _mm256_cmpgt_epi64(b, a);  // b > a  <=>  a < b
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                        _mm256_blendv_epi8(a, b, take_b));
+  }
+#endif
+  for (; i < n; ++i) acc[i] = acc[i] < next[i] ? next[i] : acc[i];
+}
+
+}  // namespace tbon::simd

@@ -18,6 +18,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/timer.hpp"
+#include "core/coalesce.hpp"
 #include "core/flow_control.hpp"
 #include "core/protocol.hpp"
 
@@ -76,6 +77,22 @@ bool NetLink::send(const PacketPtr& packet) {
   // would deadlock shutdown and starve heartbeats.
   const bool may_block = !flow_control_exempt(*packet);
   return conn_->loop_->enqueue(conn_, std::move(item), may_block);
+}
+
+bool NetLink::send_batch(std::span<const PacketPtr> packets) {
+  if (packets.empty()) return true;
+  // A one-packet batch keeps the plain single-frame path (and with it the
+  // zero-copy writev lanes), byte-identical to the pre-batching wire form.
+  if (packets.size() == 1) return send(packets.front());
+  if (conn_ == nullptr || conn_->loop_ == nullptr) return false;
+  NetConn::SendItem item;
+  item.batch.assign(packets.begin(), packets.end());
+  for (const PacketPtr& packet : packets) {
+    item.charge += packet->payload_bytes() + 64;
+  }
+  // Batches only ever carry data packets (the coalescer exempts control and
+  // telemetry), so they always count against the send budget.
+  return conn_->loop_->enqueue(conn_, std::move(item), /*may_block=*/true);
 }
 
 void NetLink::close() {
@@ -375,7 +392,19 @@ bool EventLoop::build_outgoing(const ConnRef& conn) {
   NetConn::Outgoing out;
   out.charge = item.charge;
   try {
-    if (item.packet != nullptr) {
+    if (!item.batch.empty()) {
+      // A coalesced run: one multi-packet batch frame.  Always flattened —
+      // the batch encoding interleaves per-packet headers, so there is no
+      // verbatim-relay segment list to preserve.
+      Bytes frame = encode_batch_frame(item.batch);
+      if (conn->framing_ && !conn->framing_->transparent()) {
+        out.flat = conn->framing_->encode(frame);
+      } else {
+        out.flat = std::move(frame);
+      }
+      out.frame_size = static_cast<std::uint32_t>(out.flat.size());
+      out.segments.push_back({out.flat.data(), out.flat.size()});
+    } else if (item.packet != nullptr) {
       const bool transparent = !conn->framing_ || conn->framing_->transparent();
       if (transparent && fd_zero_copy()) {
         // The PR 3 lanes: wire-backed relays go out verbatim, owned packets
@@ -598,6 +627,30 @@ bool EventLoop::deliver_frame(const ConnRef& conn, Bytes frame) {
   try {
     if (conn->framing_ && !conn->framing_->transparent()) {
       conn->framing_->decode(frame);
+    }
+    if (is_batch_frame(frame)) {
+      std::vector<PacketPtr> packets;
+      try {
+        packets = decode_batch_frame(std::move(frame), fd_zero_copy());
+      } catch (const CodecError& error) {
+        // Frame boundaries are intact (length-prefixed stream), so a
+        // malformed batch is dropped whole — no envelopes, no credits — and
+        // the connection lives on.
+        TBON_DEBUG("dropping malformed batch frame: " << error.what());
+        if (metrics_ != nullptr) {
+          metrics_->batch_frames_rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+        return !conn->closed();
+      }
+      if (metrics_ != nullptr) {
+        metrics_->batch_frames_in.fetch_add(1, std::memory_order_relaxed);
+        metrics_->batch_packets_in.fetch_add(packets.size(),
+                                             std::memory_order_relaxed);
+      }
+      return deliver_envelope(
+          conn, Envelope{conn->origin_, conn->slot_, nullptr,
+                         std::make_shared<const std::vector<PacketPtr>>(
+                             std::move(packets))});
     }
     PacketPtr packet;
     if (fd_zero_copy()) {

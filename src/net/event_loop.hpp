@@ -107,7 +107,10 @@ class NetConn {
 
   struct SendItem {
     PacketPtr packet;        ///< packet-plane send, or ...
-    Bytes raw;               ///< ... a pre-framed handshake payload
+    Bytes raw;               ///< ... a pre-framed handshake payload, or ...
+    /// ... a coalesced run of data packets, encoded into one multi-packet
+    /// batch frame when it reaches the queue head.
+    std::vector<PacketPtr> batch;
     std::size_t charge = 0;  ///< budget bytes this item holds
   };
 
@@ -177,6 +180,7 @@ class NetLink final : public Link {
  public:
   explicit NetLink(ConnRef conn) : conn_(std::move(conn)) {}
   bool send(const PacketPtr& packet) override;
+  bool send_batch(std::span<const PacketPtr> packets) override;
   void close() override;
 
  private:

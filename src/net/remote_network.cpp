@@ -34,6 +34,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/timer.hpp"
+#include "core/coalesce.hpp"
 #include "core/delegates.hpp"
 #include "core/fd_link.hpp"
 #include "core/flow_control.hpp"
@@ -122,6 +123,8 @@ struct RootChild {
 struct RemoteState {
   net::EventLoop loop;
   FlowControlOptions fc;
+  BatchingOptions batching;
+  std::shared_ptr<BatchFlusher> flusher;  ///< deadline service, FE side
   std::function<std::shared_ptr<net::Framing>()> framing;
   std::unique_ptr<TcpListener> boot_listener;
   std::unique_ptr<TcpListener> link_listener;
@@ -296,10 +299,13 @@ void fe_link_hello(RemoteState* st, const net::ConnRef& conn, const Bytes& frame
 
   RootChild edge;
   edge.raw = st->loop.link(conn);
-  edge.channel = edge.raw;
+  // FlowControlledLink(CoalescingLink(raw)): credits per packet before
+  // buffering; the gate drives the coalescer's pressure flush.
+  edge.channel = maybe_coalesce(edge.raw, st->batching, &st->root->metrics(),
+                                gate_down, st->flusher);
   if (st->fc.enabled) {
     edge.fc_link = std::make_shared<FlowControlledLink>(
-        edge.raw, gate_down, st->fc, &st->root->metrics(),
+        edge.channel, gate_down, st->fc, &st->root->metrics(),
         /*fail_fast_throws=*/false);
     edge.channel = edge.fc_link;
   }
@@ -443,7 +449,9 @@ void Network::run_remote_node(
 
     // All edges are sockets now; build the runtime and hand every fd to one
     // EventLoop.  Declared after the runtime so the loop stops first if an
-    // exception unwinds.
+    // exception unwinds.  Each node process services its own coalescer
+    // deadlines (the flusher thread starts lazily on first attach).
+    auto flusher = std::make_shared<BatchFlusher>();
     if (leaf) {
       const auto rank = topo.leaf_rank(id);
       BackEnd backend(rank, nullptr);
@@ -465,10 +473,11 @@ void Network::run_remote_node(
       }
       if (framing) up.framing = framing();
       auto parent_raw = loop.add_channel(std::move(parent_fd), std::move(up));
-      std::shared_ptr<Link> channel = parent_raw;
+      std::shared_ptr<Link> channel = maybe_coalesce(
+          parent_raw, config.batching, &runtime.metrics(), gate_up, flusher);
       if (config.flow_control.enabled) {
         auto wrapped = std::make_shared<FlowControlledLink>(
-            parent_raw, gate_up, config.flow_control, &runtime.metrics(),
+            channel, gate_up, config.flow_control, &runtime.metrics(),
             /*fail_fast_throws=*/true);
         runtime.register_fc_link(wrapped);
         channel = wrapped;
@@ -551,15 +560,19 @@ void Network::run_remote_node(
       }
       if (framing) up.framing = framing();
       auto parent_raw = loop.add_channel(std::move(parent_fd), std::move(up));
+      auto parent_coalesced = maybe_coalesce(
+          parent_raw, config.batching, &runtime.metrics(), gate_up, flusher);
       if (config.flow_control.enabled) {
         auto wrapped = std::make_shared<FlowControlledLink>(
-            parent_raw, gate_up, config.flow_control, &runtime.metrics(),
+            parent_coalesced, gate_up, config.flow_control, &runtime.metrics(),
             /*fail_fast_throws=*/false);
         runtime.register_fc_link(wrapped);
         runtime.set_parent_link(std::make_unique<SharedLink>(wrapped));
+        // Grants ride the raw link so the exempt control frame never waits
+        // behind a coalescer buffer.
         runtime.set_parent_granter(fc_frame_granter(parent_raw));
       } else {
-        runtime.set_parent_link(std::make_unique<SharedLink>(parent_raw));
+        runtime.set_parent_link(std::make_unique<SharedLink>(parent_coalesced));
       }
       runtime.set_crash_handler([] { std::_Exit(0); });
       if (config.heartbeat.enabled()) runtime.set_recovery(config.heartbeat);
@@ -616,15 +629,17 @@ void Network::run_remote_node(
         }
         if (framing) down.framing = framing();
         auto child_raw = loop.add_channel(std::move(child_fds[slot]), std::move(down));
+        auto child_coalesced = maybe_coalesce(
+            child_raw, config.batching, &runtime.metrics(), gate_down, flusher);
         if (config.flow_control.enabled) {
           auto wrapped = std::make_shared<FlowControlledLink>(
-              child_raw, gate_down, config.flow_control, &runtime.metrics(),
-              /*fail_fast_throws=*/false);
+              child_coalesced, gate_down, config.flow_control,
+              &runtime.metrics(), /*fail_fast_throws=*/false);
           runtime.register_fc_link(wrapped);
           runtime.add_child_link(std::make_unique<SharedLink>(wrapped));
           runtime.set_child_granter(slot, fc_frame_granter(child_raw));
         } else {
-          runtime.add_child_link(std::make_unique<SharedLink>(child_raw));
+          runtime.add_child_link(std::make_unique<SharedLink>(child_coalesced));
         }
       }
       loop.start();
@@ -697,6 +712,7 @@ std::unique_ptr<Network> Network::create_remote_impl(const NetworkOptions& optio
   base.topology = topo;
   base.flow_control = options.flow_control;
   base.execution = options.execution;
+  base.batching = options.batching;
   base.heartbeat = hb;
   base.zero_copy = fd_zero_copy();
   base.handshake_timeout_ms = ropts.handshake_timeout_ms;
@@ -732,6 +748,10 @@ std::unique_ptr<Network> Network::create_remote_impl(const NetworkOptions& optio
   auto state = std::make_shared<RemoteState>(&root.metrics());
   RemoteState* st = state.get();
   st->fc = options.flow_control;
+  st->batching = options.batching;
+  st->flusher = std::make_shared<BatchFlusher>();
+  self.batching_ = options.batching;
+  self.batch_flusher_ = st->flusher;
   st->framing = ropts.framing;
   st->boot_listener = std::move(boot_listener);
   st->link_listener = std::move(link_listener);

@@ -27,6 +27,7 @@
 #include <string>
 
 #include "common/archive.hpp"
+#include "core/coalesce.hpp"
 #include "core/executor.hpp"
 #include "core/flow_control.hpp"
 #include "recovery/heartbeat.hpp"
@@ -100,6 +101,7 @@ struct NodeConfig {
   Topology topology = Topology::single();
   FlowControlOptions flow_control;
   ExecutionOptions execution;
+  BatchingOptions batching;
   HeartbeatConfig heartbeat;
   bool zero_copy = true;          ///< the front-end's fd_zero_copy() toggle
   int handshake_timeout_ms = 10'000;

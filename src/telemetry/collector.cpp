@@ -44,6 +44,15 @@ void accumulate(NodeTelemetry& total, const NodeTelemetry& r) {
   total.net_frames_out += r.net_frames_out;
   total.net_partial_writes += r.net_partial_writes;
   total.net_wakeups += r.net_wakeups;
+  total.batch_frames_out += r.batch_frames_out;
+  total.batch_packets_out += r.batch_packets_out;
+  total.batch_flush_size += r.batch_flush_size;
+  total.batch_flush_deadline += r.batch_flush_deadline;
+  total.batch_flush_pressure += r.batch_flush_pressure;
+  total.batch_flush_eager += r.batch_flush_eager;
+  total.batch_frames_in += r.batch_frames_in;
+  total.batch_packets_in += r.batch_packets_in;
+  total.batch_frames_rejected += r.batch_frames_rejected;
   total.inbox_depth += r.inbox_depth;
   total.sync_depth += r.sync_depth;
   total.fc_inflight_peak = std::max(total.fc_inflight_peak, r.fc_inflight_peak);
@@ -58,6 +67,9 @@ void accumulate(NodeTelemetry& total, const NodeTelemetry& r) {
   total.net_threads += r.net_threads;
   for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
     total.filter_latency_hist[b] += r.filter_latency_hist[b];
+  }
+  for (std::size_t b = 0; b < kBatchBuckets; ++b) {
+    total.batch_ppf_hist[b] += r.batch_ppf_hist[b];
   }
 }
 
@@ -95,6 +107,15 @@ void json_record(std::ostringstream& out, const NodeTelemetry& r) {
       << ",\"net_frames_out\":" << r.net_frames_out
       << ",\"net_partial_writes\":" << r.net_partial_writes
       << ",\"net_wakeups\":" << r.net_wakeups
+      << ",\"batch_frames_out\":" << r.batch_frames_out
+      << ",\"batch_packets_out\":" << r.batch_packets_out
+      << ",\"batch_flush_size\":" << r.batch_flush_size
+      << ",\"batch_flush_deadline\":" << r.batch_flush_deadline
+      << ",\"batch_flush_pressure\":" << r.batch_flush_pressure
+      << ",\"batch_flush_eager\":" << r.batch_flush_eager
+      << ",\"batch_frames_in\":" << r.batch_frames_in
+      << ",\"batch_packets_in\":" << r.batch_packets_in
+      << ",\"batch_frames_rejected\":" << r.batch_frames_rejected
       << ",\"inbox_depth\":" << r.inbox_depth
       << ",\"sync_depth\":" << r.sync_depth
       << ",\"fc_inflight_peak\":" << r.fc_inflight_peak
@@ -110,6 +131,11 @@ void json_record(std::ostringstream& out, const NodeTelemetry& r) {
   for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
     if (b != 0) out << ',';
     out << r.filter_latency_hist[b];
+  }
+  out << "],\"batch_ppf_hist\":[";
+  for (std::size_t b = 0; b < kBatchBuckets; ++b) {
+    if (b != 0) out << ',';
+    out << r.batch_ppf_hist[b];
   }
   out << "]}";
 }

@@ -11,7 +11,8 @@ namespace {
 // v2: flow-control counters + gauges appended (credit-based flow control).
 // v3: parallel-filter-execution counters + gauges appended (FilterExecutor).
 // v4: remote connection-subsystem counters + gauges appended (src/net/).
-constexpr std::uint8_t kWireVersion = 4;
+// v5: small-packet batching counters + packets-per-flush histogram appended.
+constexpr std::uint8_t kWireVersion = 5;
 
 void put_record(BinaryWriter& writer, const NodeTelemetry& r) {
   writer.put(r.node);
@@ -51,6 +52,15 @@ void put_record(BinaryWriter& writer, const NodeTelemetry& r) {
   writer.put(r.net_frames_out);
   writer.put(r.net_partial_writes);
   writer.put(r.net_wakeups);
+  writer.put(r.batch_frames_out);
+  writer.put(r.batch_packets_out);
+  writer.put(r.batch_flush_size);
+  writer.put(r.batch_flush_deadline);
+  writer.put(r.batch_flush_pressure);
+  writer.put(r.batch_flush_eager);
+  writer.put(r.batch_frames_in);
+  writer.put(r.batch_packets_in);
+  writer.put(r.batch_frames_rejected);
   writer.put(r.inbox_depth);
   writer.put(r.sync_depth);
   writer.put(r.fc_inflight_peak);
@@ -63,6 +73,7 @@ void put_record(BinaryWriter& writer, const NodeTelemetry& r) {
   writer.put(r.net_send_queue_peak);
   writer.put(r.net_threads);
   for (const std::uint64_t count : r.filter_latency_hist) writer.put(count);
+  for (const std::uint64_t count : r.batch_ppf_hist) writer.put(count);
 }
 
 NodeTelemetry get_record(BinaryReader& reader) {
@@ -104,6 +115,15 @@ NodeTelemetry get_record(BinaryReader& reader) {
   r.net_frames_out = reader.get<std::uint64_t>();
   r.net_partial_writes = reader.get<std::uint64_t>();
   r.net_wakeups = reader.get<std::uint64_t>();
+  r.batch_frames_out = reader.get<std::uint64_t>();
+  r.batch_packets_out = reader.get<std::uint64_t>();
+  r.batch_flush_size = reader.get<std::uint64_t>();
+  r.batch_flush_deadline = reader.get<std::uint64_t>();
+  r.batch_flush_pressure = reader.get<std::uint64_t>();
+  r.batch_flush_eager = reader.get<std::uint64_t>();
+  r.batch_frames_in = reader.get<std::uint64_t>();
+  r.batch_packets_in = reader.get<std::uint64_t>();
+  r.batch_frames_rejected = reader.get<std::uint64_t>();
   r.inbox_depth = reader.get<std::uint64_t>();
   r.sync_depth = reader.get<std::uint64_t>();
   r.fc_inflight_peak = reader.get<std::uint64_t>();
@@ -116,6 +136,9 @@ NodeTelemetry get_record(BinaryReader& reader) {
   r.net_send_queue_peak = reader.get<std::uint64_t>();
   r.net_threads = reader.get<std::uint64_t>();
   for (std::uint64_t& count : r.filter_latency_hist) {
+    count = reader.get<std::uint64_t>();
+  }
+  for (std::uint64_t& count : r.batch_ppf_hist) {
     count = reader.get<std::uint64_t>();
   }
   return r;

@@ -30,6 +30,11 @@ namespace tbon {
 /// duration in [1us << (b-1), 1us << b) (bucket 0: < 1us; last: overflow).
 inline constexpr std::size_t kLatencyBuckets = 16;
 
+/// Buckets of the packets-per-flush histogram kept by the batching
+/// coalescer: bucket b counts flushes carrying (2^(b-1), 2^b] packets
+/// (bucket 0: exactly 1; last: overflow).
+inline constexpr std::size_t kBatchBuckets = 8;
+
 /// Plain-value snapshot of one node's metrics — the record carried by
 /// telemetry packets and returned by Network::node_metrics().
 struct NodeTelemetry {
@@ -79,6 +84,17 @@ struct NodeTelemetry {
   std::uint64_t net_partial_writes = 0;    ///< writev calls that left a send in flight
   std::uint64_t net_wakeups = 0;           ///< eventfd wake-channel notifications
 
+  // Adaptive small-packet batching (src/core/coalesce.hpp).
+  std::uint64_t batch_frames_out = 0;      ///< coalescer flushes (frames handed to the wire)
+  std::uint64_t batch_packets_out = 0;     ///< data packets those flushes carried
+  std::uint64_t batch_flush_size = 0;      ///< flushes fired by byte/count thresholds
+  std::uint64_t batch_flush_deadline = 0;  ///< flushes fired by the deadline timer
+  std::uint64_t batch_flush_pressure = 0;  ///< flushes fired by credit-window exhaustion
+  std::uint64_t batch_flush_eager = 0;     ///< flushes forced by control/large-payload bypass or close
+  std::uint64_t batch_frames_in = 0;       ///< multi-packet wire frames decoded
+  std::uint64_t batch_packets_in = 0;      ///< packets carried by decoded batch frames
+  std::uint64_t batch_frames_rejected = 0; ///< malformed batch frames dropped (reader survives)
+
   // Gauges (sampled at publish time).
   std::uint64_t inbox_depth = 0;  ///< envelopes queued in the node's inbox
   std::uint64_t sync_depth = 0;   ///< packets buffered across sync policies
@@ -93,6 +109,8 @@ struct NodeTelemetry {
   std::uint64_t net_threads = 0;         ///< OS threads in this process (/proc/self/task)
 
   std::array<std::uint64_t, kLatencyBuckets> filter_latency_hist{};
+  /// Packets-per-flush distribution (see kBatchBuckets).
+  std::array<std::uint64_t, kBatchBuckets> batch_ppf_hist{};
 
   friend bool operator==(const NodeTelemetry&, const NodeTelemetry&) = default;
 };
@@ -103,6 +121,13 @@ inline std::size_t latency_bucket(std::uint64_t ns) noexcept {
   if (us == 0) return 0;
   const auto b = static_cast<std::size_t>(std::bit_width(us));
   return b < kLatencyBuckets ? b : kLatencyBuckets - 1;
+}
+
+/// Histogram bucket for a flush of `packets` packets (see kBatchBuckets).
+inline std::size_t batch_bucket(std::uint64_t packets) noexcept {
+  if (packets <= 1) return 0;
+  const auto b = static_cast<std::size_t>(std::bit_width(packets - 1));
+  return b < kBatchBuckets ? b : kBatchBuckets - 1;
 }
 
 /// The live, writable side: one per NodeRuntime.  All mutators are relaxed
@@ -150,6 +175,16 @@ class MetricsRegistry {
   Counter net_partial_writes{0};
   Counter net_wakeups{0};
 
+  Counter batch_frames_out{0};
+  Counter batch_packets_out{0};
+  Counter batch_flush_size{0};
+  Counter batch_flush_deadline{0};
+  Counter batch_flush_pressure{0};
+  Counter batch_flush_eager{0};
+  Counter batch_frames_in{0};
+  Counter batch_packets_in{0};
+  Counter batch_frames_rejected{0};
+
   Counter inbox_depth{0};  ///< gauge, refreshed each telemetry tick
   Counter sync_depth{0};   ///< gauge, refreshed each telemetry tick
   Counter fc_inflight_peak{0};  ///< gauge, monotonic max (update_max)
@@ -169,6 +204,13 @@ class MetricsRegistry {
   /// Record one filter execution in the latency histogram.
   void observe_filter_latency(std::uint64_t ns) noexcept {
     hist_[latency_bucket(ns)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Record one coalescer flush of `packets` packets.
+  void observe_batch_flush(std::uint64_t packets) noexcept {
+    batch_frames_out.fetch_add(1, std::memory_order_relaxed);
+    batch_packets_out.fetch_add(packets, std::memory_order_relaxed);
+    batch_hist_[batch_bucket(packets)].fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Snapshot into a record, advancing the publish sequence number.
@@ -218,6 +260,15 @@ class MetricsRegistry {
     r.net_frames_out = net_frames_out.load(std::memory_order_relaxed);
     r.net_partial_writes = net_partial_writes.load(std::memory_order_relaxed);
     r.net_wakeups = net_wakeups.load(std::memory_order_relaxed);
+    r.batch_frames_out = batch_frames_out.load(std::memory_order_relaxed);
+    r.batch_packets_out = batch_packets_out.load(std::memory_order_relaxed);
+    r.batch_flush_size = batch_flush_size.load(std::memory_order_relaxed);
+    r.batch_flush_deadline = batch_flush_deadline.load(std::memory_order_relaxed);
+    r.batch_flush_pressure = batch_flush_pressure.load(std::memory_order_relaxed);
+    r.batch_flush_eager = batch_flush_eager.load(std::memory_order_relaxed);
+    r.batch_frames_in = batch_frames_in.load(std::memory_order_relaxed);
+    r.batch_packets_in = batch_packets_in.load(std::memory_order_relaxed);
+    r.batch_frames_rejected = batch_frames_rejected.load(std::memory_order_relaxed);
     r.inbox_depth = inbox_depth.load(std::memory_order_relaxed);
     r.sync_depth = sync_depth.load(std::memory_order_relaxed);
     r.fc_inflight_peak = fc_inflight_peak.load(std::memory_order_relaxed);
@@ -232,12 +283,16 @@ class MetricsRegistry {
     for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
       r.filter_latency_hist[b] = hist_[b].load(std::memory_order_relaxed);
     }
+    for (std::size_t b = 0; b < kBatchBuckets; ++b) {
+      r.batch_ppf_hist[b] = batch_hist_[b].load(std::memory_order_relaxed);
+    }
     return r;
   }
 
  private:
   std::atomic<std::uint64_t> seq_{0};
   std::array<Counter, kLatencyBuckets> hist_{};
+  std::array<Counter, kBatchBuckets> batch_hist_{};
 };
 
 /// Monotonic-max update for peak-style gauges (fc_inflight_peak).

@@ -229,6 +229,72 @@ TEST(CompatApi, TryRecvKeepsPollingSemantics) {
   EXPECT_EQ(stream.try_recv().status(), RecvStatus::kShutdown);
 }
 
+// ---- batching-era compatibility ---------------------------------------------
+//
+// The batch-first redesign (BatchingOptions, send_batch, filter_batch) must
+// leave every 0.x spelling intact: single-packet sends behave identically on
+// a batching network, the deprecated inline-dispatch knob keeps its
+// semantics, and legacy filters receive coalesced runs through the
+// filter_batch -> filter -> transform forwarding chain.
+
+TEST(CompatApi, DeprecatedInlineBelowBytesStillHonoured) {
+  auto net = Network::create(
+      {.topology = Topology::flat(2),
+       .execution = {.num_workers = 2, .inline_below_bytes = 1 << 20}});
+  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  net->run_backends([&](BackEnd& be) {
+    be.send(stream.id(), kTag, "i64", {std::int64_t{be.rank() + 1}});
+  });
+  const auto result = stream.recv_for(10s);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ((*result)->get_i64(0), 3);
+  // The knob still routes tiny packets onto the inline fast path.
+  EXPECT_GT(net->node_metrics(net->topology().root()).exec_inline, 0u);
+  net->shutdown();
+}
+
+TEST(CompatApi, SinglePacketSpellingsUnchangedUnderBatching) {
+  auto net = Network::create(
+      {.topology = Topology::balanced(2, 2),
+       .batching = BatchingOptions::on()});
+  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  net->run_backends([&](BackEnd& be) {
+    be.send(stream.id(), kTag, "i64", {std::int64_t{be.rank() + 1}});
+  });
+  const auto result = stream.recv_for(10s);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ((*result)->get_i64(0), 10);
+  net->shutdown();
+}
+
+TEST(CompatApi, FilterBatchForwardsToLegacyTransform) {
+  // A pre-FilterContext filter overriding only transform() must see a
+  // coalesced run as independent single-packet waves, in order, through the
+  // default filter_batch -> filter -> transform chain.
+  class LegacyNegate final : public TransformFilter {
+   public:
+    void transform(std::span<const PacketPtr> in, std::vector<PacketPtr>& out,
+                   const FilterContext&) override {
+      EXPECT_EQ(in.size(), 1u);  // one wave per packet, never the whole run
+      out.push_back(Packet::make(in[0]->stream_id(), in[0]->tag(), kFrontEndRank,
+                                 "i64", {-in[0]->get_i64(0)}));
+    }
+  };
+  LegacyNegate legacy;
+  TransformFilter& filter = legacy;
+  FilterContext ctx;
+  std::vector<PacketPtr> run;
+  for (std::int64_t i = 1; i <= 4; ++i) {
+    run.push_back(Packet::make(1, kTag, 0, "i64", {i}));
+  }
+  std::vector<PacketPtr> out;
+  filter.filter_batch(run, out, ctx);
+  ASSERT_EQ(out.size(), 4u);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)]->get_i64(0), -(i + 1));
+  }
+}
+
 TEST(CompatApi, FilterParamsParsesLegacyWireStrings) {
   const FilterParams parsed("k=2 chain=topk,passthrough");
   EXPECT_EQ(parsed, FilterParams().set("chain", "topk,passthrough").set("k", 2));

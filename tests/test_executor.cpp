@@ -369,9 +369,14 @@ TEST_F(ExecutorFilters, TelemetryAggregatesExecutorMetricsTreeWide) {
 }
 
 TEST_F(ExecutorFilters, InlineBelowBytesKeepsSmallPacketsOnTheLoop) {
+  // inline_below_bytes is deprecated (superseded by adaptive batching) but
+  // must keep its semantics until removed; see also tests/test_compat_api.cpp.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   auto net = Network::create(
       {.topology = Topology::flat(2),
        .execution = {.num_workers = 2, .inline_below_bytes = 1 << 20}});
+#pragma GCC diagnostic pop
   Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
   for (int wave = 0; wave < 5; ++wave) {
     net->run_backends([&](BackEnd& be) {

@@ -4,7 +4,10 @@
 // byte stream a broken or malicious peer produces.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/rng.hpp"
+#include "core/coalesce.hpp"
 #include "core/fd_link.hpp"
 #include "core/flow_control.hpp"
 #include "core/network.hpp"
@@ -517,6 +520,178 @@ TEST(FuzzWire, BitFlippedHandshakesNeverCrash) {
       try { (void)net::decode_boot_ready(mutated); } catch (const CodecError&) {}
     }
   }
+}
+
+// ---- batch frames -----------------------------------------------------------
+//
+// Multi-packet batch frames arrive on reader threads and the epoll loop from
+// peers that may be broken or hostile.  Decoding is all-or-nothing: any
+// malformed frame must throw before a single envelope is delivered, so a
+// torn batch can neither kill a reader nor mint flow-control credits.
+
+/// Overwrite a little-endian u32 field inside an encoded frame.
+void poke_u32(Bytes& frame, std::size_t offset, std::uint32_t value) {
+  ASSERT_LE(offset + sizeof(value), frame.size());
+  std::memcpy(frame.data() + offset, &value, sizeof(value));
+}
+
+std::vector<PacketPtr> small_batch(int n) {
+  std::vector<PacketPtr> packets;
+  for (int i = 0; i < n; ++i) {
+    packets.push_back(Packet::make(5, kFirstAppTag, static_cast<std::uint32_t>(i),
+                                   "i64", {std::int64_t{i * 11}}));
+  }
+  return packets;
+}
+
+TEST(FuzzBatch, RoundTripBothDecodePaths) {
+  const auto packets = small_batch(7);
+  const Bytes frame = encode_batch_frame(packets);
+  ASSERT_TRUE(is_batch_frame(frame));
+  for (const bool zero_copy : {false, true}) {
+    const auto back = decode_batch_frame(frame, zero_copy);
+    ASSERT_EQ(back.size(), packets.size());
+    for (std::size_t i = 0; i < back.size(); ++i) {
+      EXPECT_EQ(back[i]->values(), packets[i]->values());
+      EXPECT_EQ(back[i]->stream_id(), packets[i]->stream_id());
+    }
+  }
+}
+
+TEST(FuzzBatch, TruncationsAreRejectedAtEveryCut) {
+  const Bytes full = encode_batch_frame(small_batch(3));
+  for (const bool zero_copy : {false, true}) {
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+      Bytes torn(full.begin(), full.begin() + cut);
+      if (!is_batch_frame(torn)) continue;  // too short to even carry the marker
+      EXPECT_THROW((void)decode_batch_frame(std::move(torn), zero_copy), CodecError)
+          << "cut=" << cut << " zero_copy=" << zero_copy;
+    }
+  }
+}
+
+TEST(FuzzBatch, ZeroCountAndHostileCountsAreRejected) {
+  for (const bool zero_copy : {false, true}) {
+    Bytes zero = encode_batch_frame(small_batch(2));
+    poke_u32(zero, 4, 0);  // claim zero packets, leave their bytes behind
+    EXPECT_THROW((void)decode_batch_frame(std::move(zero), zero_copy), CodecError);
+
+    Bytes greedy = encode_batch_frame(small_batch(2));
+    poke_u32(greedy, 4, kMaxBatchPackets + 1);  // absurd pre-allocation bait
+    EXPECT_THROW((void)decode_batch_frame(std::move(greedy), zero_copy), CodecError);
+
+    Bytes hungry = encode_batch_frame(small_batch(2));
+    poke_u32(hungry, 4, 3);  // claims one more packet than the frame holds
+    EXPECT_THROW((void)decode_batch_frame(std::move(hungry), zero_copy), CodecError);
+  }
+}
+
+TEST(FuzzBatch, LengthMismatchAndTrailingBytesAreRejected) {
+  for (const bool zero_copy : {false, true}) {
+    // Shrink the first entry's declared length: its packet can no longer
+    // parse to exactly `length` bytes.
+    Bytes shrunk = encode_batch_frame(small_batch(2));
+    std::uint32_t length = 0;
+    std::memcpy(&length, shrunk.data() + 8, sizeof(length));
+    poke_u32(shrunk, 8, length - 1);
+    EXPECT_THROW((void)decode_batch_frame(std::move(shrunk), zero_copy), CodecError);
+
+    Bytes trailing = encode_batch_frame(small_batch(2));
+    trailing.push_back(std::byte{0x5a});
+    EXPECT_THROW((void)decode_batch_frame(std::move(trailing), zero_copy), CodecError);
+  }
+}
+
+TEST(FuzzBatch, ControlAndTelemetrySmugglingIsRejected) {
+  // A credit grant hidden inside a batch must never reach a CreditSink, and
+  // telemetry must never ride a data batch.  Build the frame by hand since
+  // the coalescer itself refuses to buffer exempt packets.
+  for (const std::uint32_t stream : {kControlStream, kTelemetryStream}) {
+    const PacketPtr smuggled =
+        stream == kControlStream
+            ? make_credit_packet(1000, 0)
+            : Packet::make(kTelemetryStream, kFirstAppTag, 0, "i64", {std::int64_t{1}});
+    const PacketPtr innocent =
+        Packet::make(5, kFirstAppTag, 0, "i64", {std::int64_t{7}});
+    const std::vector<PacketPtr> mixed = {innocent, smuggled};
+    Bytes frame = encode_batch_frame(mixed);
+    for (const bool zero_copy : {false, true}) {
+      EXPECT_THROW((void)decode_batch_frame(Bytes(frame), zero_copy), CodecError);
+    }
+  }
+}
+
+TEST(FuzzBatch, RandomPayloadsAfterMarkerNeverCrash) {
+  Rng rng(777);
+  int rejected = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes frame = random_bytes(rng, 8 + rng.next_below(200));
+    poke_u32(frame, 0, kBatchMarker);
+    try {
+      (void)decode_batch_frame(std::move(frame), trial % 2 == 0);
+    } catch (const CodecError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 1990);  // essentially everything must bounce
+}
+
+TEST(FuzzBatch, ReaderSurvivesTornBatchFramesAndMintsNoCredits) {
+  auto [reader_fd, writer_fd] = make_socketpair();
+  auto inbox = std::make_shared<Inbox>(64);
+  auto gate = std::make_shared<CreditGate>(4);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(gate->try_acquire(), CreditGate::Acquire::kOk);  // drain window
+  }
+  MetricsRegistry metrics;
+  auto reader = start_fd_reader(reader_fd.get(), inbox, Origin::kChild, 0,
+                                &metrics, CreditSink{gate, 0});
+
+  // Hostile batch frames: zero count, hungry count, corrupt entry length,
+  // and a smuggled credit grant.  Each must be dropped on the reader thread
+  // without killing it or granting anything.
+  Bytes zero = encode_batch_frame(small_batch(2));
+  poke_u32(zero, 4, 0);
+  write_frame(writer_fd.get(), zero);
+  Bytes hungry = encode_batch_frame(small_batch(2));
+  poke_u32(hungry, 4, 3);
+  write_frame(writer_fd.get(), hungry);
+  Bytes shrunk = encode_batch_frame(small_batch(2));
+  std::uint32_t length = 0;
+  std::memcpy(&length, shrunk.data() + 8, sizeof(length));
+  poke_u32(shrunk, 8, length - 1);
+  write_frame(writer_fd.get(), shrunk);
+  const std::vector<PacketPtr> smuggle = {
+      Packet::make(5, kFirstAppTag, 0, "i64", {std::int64_t{1}}),
+      make_credit_packet(1000, 0)};
+  write_frame(writer_fd.get(), encode_batch_frame(smuggle));
+
+  // A healthy batch and a plain probe prove the reader is still consuming.
+  write_frame(writer_fd.get(), encode_batch_frame(small_batch(3)));
+  BinaryWriter probe;
+  data_ignored_probe()->serialize(probe);
+  write_frame(writer_fd.get(), probe.bytes());
+  writer_fd.reset();  // EOF
+
+  const auto batch = inbox->pop();
+  ASSERT_TRUE(batch.has_value());
+  ASSERT_NE(batch->batch, nullptr);
+  EXPECT_EQ(batch->batch->size(), 3u);
+  EXPECT_EQ(batch->origin, Origin::kChild);
+  const auto plain = inbox->pop();
+  ASSERT_TRUE(plain.has_value());
+  ASSERT_NE(plain->packet, nullptr);
+  EXPECT_EQ(plain->packet->tag(), kFirstAppTag);
+  const auto eof = inbox->pop();
+  ASSERT_TRUE(eof.has_value());
+  EXPECT_EQ(eof->packet, nullptr);
+  EXPECT_EQ(eof->batch, nullptr);
+  reader.join();
+
+  EXPECT_EQ(gate->available(), 0u);  // the smuggled grant minted nothing
+  EXPECT_EQ(metrics.batch_frames_rejected.load(), 4u);
+  EXPECT_EQ(metrics.batch_frames_in.load(), 1u);
+  EXPECT_EQ(metrics.batch_packets_in.load(), 3u);
 }
 
 TEST(FuzzCodec, FormatStringFuzz) {
