@@ -83,8 +83,8 @@ RunResult run_distributed(const Topology& topology, const ms::SynthParams& synth
 
   Stopwatch watch;
   auto net = Network::create({.topology = topology});
-  Stream& stream = net->front_end().new_stream(
-      {.up_transform = "mean_shift", .params = ms::to_filter_params(params)});
+  Stream& stream = net->front_end().open_stream(
+      StreamSpec().up("mean_shift").with_params(ms::to_filter_params(params)));
   // The measured window starts with the control broadcast (paper §3.2); we
   // include it in the makespan via the link model's broadcast term.
   stream.send(kFirstAppTag, "str", {std::string("start")});

@@ -44,8 +44,8 @@ Outcome run_once(std::size_t scale, const ms::SynthParams& synth,
       std::ceil(std::sqrt(static_cast<double>(scale))));
   const Topology topology = Topology::balanced_for_leaves(fanout, scale);
   auto net = Network::create({.topology = topology});
-  Stream& stream = net->front_end().new_stream(
-      {.up_transform = "mean_shift", .params = ms::to_filter_params(params)});
+  Stream& stream = net->front_end().open_stream(
+      StreamSpec().up("mean_shift").with_params(ms::to_filter_params(params)));
   net->run_backends([&](BackEnd& be) {
     const auto data = ms::generate_leaf_data(be.rank(), synth);
     const NodeId leaf = net->topology().leaves()[be.rank()];

@@ -136,7 +136,7 @@ BENCHMARK(BM_BoundedQueuePushPop);
 void BM_EndToEndWave(benchmark::State& state) {
   const auto leaves = static_cast<std::size_t>(state.range(0));
   auto net = Network::create({.topology = Topology::balanced_for_leaves(4, leaves)});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   for (auto _ : state) {
     for (std::uint32_t rank = 0; rank < leaves; ++rank) {
       net->backend(rank).send(stream.id(), kFirstAppTag, "i64", {std::int64_t{1}});

@@ -148,7 +148,7 @@ int main(int argc, char** argv) {
     std::size_t fe_bytes_tbon = 0;
     if (daemons <= real_limit) {
       auto net = Network::create({.topology = tree});
-      Stream& stream = net->front_end().new_stream(
+      Stream& stream = net->front_end().open_stream(
           {.up_transform = "equivalence_class"});
       Stopwatch watch;
       net->run_backends([&](BackEnd& be) {

@@ -59,7 +59,7 @@ Sample measure_once(std::uint32_t fanout) {
   const Topology topo = Topology::balanced(fanout, 2);
   const std::uint32_t leaves = fanout * fanout;
   auto net = Network::create({.topology = topo, .recovery = {.auto_readopt = true}});
-  Stream& stream = net->front_end().new_stream(
+  Stream& stream = net->front_end().open_stream(
       {.up_transform = "wavg", .up_sync = "wait_for_all"});
 
   // Steady state: one full wave through the intact tree.

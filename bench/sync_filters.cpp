@@ -73,8 +73,8 @@ BENCHMARK(BM_TimeOutWave)->Arg(2)->Arg(16)->Arg(64)->Arg(256);
 void end_to_end_policy(benchmark::State& state, const char* sync_name,
                        FilterParams params = {}) {
   auto net = Network::create({.topology = Topology::balanced(4, 2)});
-  Stream& stream = net->front_end().new_stream(
-      {.up_transform = "sum", .up_sync = sync_name, .params = std::move(params)});
+  Stream& stream = net->front_end().open_stream(
+      StreamSpec().up("sum").sync(sync_name).with_params(params));
   const std::size_t expected = sync_name == std::string("null") ? 16 : 1;
   for (auto _ : state) {
     for (std::uint32_t rank = 0; rank < 16; ++rank) {

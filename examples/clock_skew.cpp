@@ -22,10 +22,9 @@ int main(int argc, char** argv) {
 
   filters::register_all(FilterRegistry::instance());
   auto net = Network::create({.topology = topology});
-  Stream& stream = net->front_end().new_stream(
-      {.up_transform = "clock_skew",
-       .down_transform = "clock_probe",
-       .params = FilterParams().set("skew_seed", static_cast<std::int64_t>(seed))});
+  Stream& stream = net->front_end().open_stream(
+      StreamSpec().up("clock_skew").down("clock_probe").with_params(
+          FilterParams().set("skew_seed", static_cast<std::int64_t>(seed))));
 
   // The probe carries the front-end's (unskewed reference) clock.
   stream.send(kFirstAppTag, "vf64",

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   filters::register_all(FilterRegistry::instance());
   const Topology topology = Topology::balanced_for_leaves(fanout, daemons);
   auto net = Network::create({.topology = topology});
-  Stream& stream = net->front_end().new_stream({.up_transform = "equivalence_class"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "equivalence_class"});
 
   std::atomic<std::size_t> raw_bytes{0};
   net->run_backends([&](BackEnd& be) {

@@ -32,8 +32,8 @@ int main(int argc, char** argv) {
 
   register_mean_shift_filter();
   auto net = Network::create({.topology = topology});
-  Stream& stream = net->front_end().new_stream(
-      {.up_transform = "mean_shift", .params = to_filter_params(params)});
+  Stream& stream = net->front_end().open_stream(
+      StreamSpec().up("mean_shift").with_params(to_filter_params(params)));
 
   net->run_backends([&](BackEnd& be) {
     const auto data = generate_leaf_data(be.rank(), synth);

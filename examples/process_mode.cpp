@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
                                          std::vector<std::string>{
                                              "rank-" + std::to_string(be.rank())}});
                               }});
-  Stream& stream = net->front_end().new_stream({.up_transform = "concat"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "concat"});
 
   const auto result = stream.recv_for(std::chrono::seconds(10));
   if (result) {

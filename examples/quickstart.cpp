@@ -24,9 +24,9 @@ int main(int argc, char** argv) {
 
   // A stream whose upstream packets are summed field-wise at every level and
   // delivered in waves (one packet per back-end per wave).
-  Stream& sums = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& sums = net->front_end().open_stream({.up_transform = "sum"});
   // A second, concurrent stream computing the max (streams may overlap).
-  Stream& maxima = net->front_end().new_stream({.up_transform = "max"});
+  Stream& maxima = net->front_end().open_stream({.up_transform = "max"});
 
   // Broadcast a command downstream; each back-end replies on both streams.
   constexpr std::int32_t kGo = kFirstAppTag;

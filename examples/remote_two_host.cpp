@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
               topology.num_nodes() - 1, static_cast<int>(::getpid()));
   auto net = Network::create(std::move(options));
 
-  Stream& stream = net->front_end().new_stream({.up_transform = "concat"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "concat"});
   const auto result = stream.recv_for(std::chrono::seconds(15));
   if (result) {
     const auto& pids = (*result)->get_vi64(0);

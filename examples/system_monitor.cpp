@@ -30,11 +30,11 @@ int main(int argc, char** argv) {
   filters::register_all(FilterRegistry::instance());
   auto net = Network::create({.topology = topology});
 
-  Stream& aligned = net->front_end().new_stream(
+  Stream& aligned = net->front_end().open_stream(
       {.up_transform = "time_aligned", .up_sync = "null"});
-  Stream& latency = net->front_end().new_stream({.up_transform = "histogram_merge"});
-  Stream& hogs = net->front_end().new_stream(
-      {.up_transform = "topk", .params = FilterParams().set("k", 3)});
+  Stream& latency = net->front_end().open_stream({.up_transform = "histogram_merge"});
+  Stream& hogs = net->front_end().open_stream(
+      StreamSpec().up("topk").with_params(FilterParams().set("k", 3)));
 
   net->run_backends([&](BackEnd& be) {
     Rng rng(1000 + be.rank());

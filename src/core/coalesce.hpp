@@ -164,7 +164,7 @@ class CoalescingLink final : public Link {
   void close() override;
 
   /// Flush whatever is buffered now (counted as an eager flush).
-  bool flush();
+  bool flush() override;
 
   /// Flush if the deadline has passed; returns the (re)armed deadline in
   /// now_ns() terms, or 0 when nothing is buffered.  BatchFlusher only.

@@ -17,6 +17,10 @@ class Network::RootDelegate final : public NodeRuntime::Delegate {
   void on_stream_deleted(std::uint32_t stream_id) override {
     network_.on_stream_deleted(stream_id);
   }
+  void on_subscription(const std::string& prefix, std::uint32_t rank,
+                       bool added) override {
+    network_.on_subscription(prefix, rank, added);
+  }
   void on_shutdown_complete() override { network_.on_shutdown_complete(); }
 
  private:

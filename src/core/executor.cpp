@@ -18,6 +18,10 @@ std::uint64_t mix64(std::uint64_t x) noexcept {
   return x ^ (x >> 31);
 }
 
+/// Drain weights per priority class.  kControl's weight is unused (its queue
+/// is always drained first); high : normal : bulk share slots 4 : 2 : 1.
+constexpr std::array<std::uint32_t, kNumPriorities> kDrainWeights{0, 4, 2, 1};
+
 }  // namespace
 
 FilterExecutor::FilterExecutor(const ExecutionOptions& options,
@@ -43,11 +47,13 @@ std::uint32_t FilterExecutor::shard_of(std::uint32_t stream_id) const noexcept {
   return static_cast<std::uint32_t>(mix64(stream_id) % workers_.size());
 }
 
-void FilterExecutor::add_stream(std::uint32_t stream_id, DeadlinePoll poll) {
+void FilterExecutor::add_stream(std::uint32_t stream_id, DeadlinePoll poll,
+                                Priority priority) {
   Worker& worker = *workers_[shard_of(stream_id)];
   std::lock_guard<std::mutex> lock(worker.mutex);
   StreamState& state = worker.streams[stream_id];
   state.poll = std::move(poll);
+  state.priority = priority;
   state.deadline_ns = -1;
 }
 
@@ -70,7 +76,8 @@ void FilterExecutor::post(std::uint32_t stream_id, Task task) {
   });
   if (stop_.load(std::memory_order_relaxed)) return;
   ++state.queued;
-  worker.queue.emplace_back(stream_id, std::move(task));
+  worker.queues[static_cast<std::size_t>(state.priority)].emplace_back(
+      stream_id, std::move(task));
   if (metrics_) update_max(metrics_->exec_queue_peak, state.queued);
   worker.wake.notify_one();
 }
@@ -87,10 +94,16 @@ void FilterExecutor::set_deadline(std::uint32_t stream_id, std::int64_t deadline
 }
 
 void FilterExecutor::drain() {
+  const auto all_empty = [](const Worker& worker) {
+    for (const auto& queue : worker.queues) {
+      if (!queue.empty()) return false;
+    }
+    return true;
+  };
   for (auto& worker : workers_) {
     std::unique_lock<std::mutex> lock(worker->mutex);
     worker->settled.wait(lock, [&] {
-      return (worker->queue.empty() && worker->executing == 0) ||
+      return (all_empty(*worker) && worker->executing == 0) ||
              stop_.load(std::memory_order_relaxed);
     });
   }
@@ -119,7 +132,7 @@ std::uint64_t FilterExecutor::queue_depth() const {
   std::uint64_t depth = 0;
   for (const auto& worker : workers_) {
     std::lock_guard<std::mutex> lock(worker->mutex);
-    depth += worker->queue.size();
+    for (const auto& queue : worker->queues) depth += queue.size();
   }
   return depth;
 }
@@ -131,7 +144,7 @@ void FilterExecutor::stop() {
       std::lock_guard<std::mutex> lock(worker->mutex);
       // Abandon queued tasks (crash semantics; orderly paths drain first)
       // and zero the per-stream counts so blocked posters wake cleanly.
-      worker->queue.clear();
+      for (auto& queue : worker->queues) queue.clear();
       for (auto& [stream_id, state] : worker->streams) state.queued = 0;
     }
     worker->wake.notify_all();
@@ -142,12 +155,58 @@ void FilterExecutor::stop() {
   }
 }
 
+bool FilterExecutor::pop_task_locked(Worker& worker, std::uint32_t& stream_id,
+                                     Task& task) {
+  const auto take = [&](std::size_t cls) {
+    auto& queue = worker.queues[cls];
+    stream_id = queue.front().first;
+    task = std::move(queue.front().second);
+    queue.pop_front();
+    if (metrics_) {
+      MetricsRegistry::Counter* drained[] = {
+          &metrics_->prio_drained_control, &metrics_->prio_drained_high,
+          &metrics_->prio_drained_normal, &metrics_->prio_drained_bulk};
+      drained[cls]->fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  // Control always preempts the weighted classes.
+  if (!worker.queues[static_cast<std::size_t>(Priority::kControl)].empty()) {
+    take(static_cast<std::size_t>(Priority::kControl));
+    return true;
+  }
+  // Weighted round-robin over high/normal/bulk: each class gets up to its
+  // weight in consecutive slots, then the turn passes on.  An empty class
+  // forfeits its turn, so a lone class still drains at full speed.
+  for (std::size_t scanned = 0; scanned < kNumPriorities - 1; ++scanned) {
+    auto& queue = worker.queues[worker.wrr_class];
+    if (!queue.empty() && worker.wrr_left > 0) {
+      const std::size_t cls = worker.wrr_class;
+      if (--worker.wrr_left == 0) {
+        worker.wrr_class = worker.wrr_class == kNumPriorities - 1
+                               ? static_cast<std::size_t>(Priority::kHigh)
+                               : worker.wrr_class + 1;
+        worker.wrr_left = kDrainWeights[worker.wrr_class];
+      }
+      take(cls);
+      return true;
+    }
+    worker.wrr_class = worker.wrr_class == kNumPriorities - 1
+                           ? static_cast<std::size_t>(Priority::kHigh)
+                           : worker.wrr_class + 1;
+    worker.wrr_left = kDrainWeights[worker.wrr_class];
+  }
+  return false;
+}
+
 void FilterExecutor::worker_loop(Worker& worker) {
   std::unique_lock<std::mutex> lock(worker.mutex);
+  if (worker.wrr_left == 0) {
+    worker.wrr_left = kDrainWeights[worker.wrr_class];
+  }
   while (!stop_.load(std::memory_order_relaxed)) {
-    if (!worker.queue.empty()) {
-      auto [stream_id, task] = std::move(worker.queue.front());
-      worker.queue.pop_front();
+    std::uint32_t stream_id = 0;
+    Task task;
+    if (pop_task_locked(worker, stream_id, task)) {
       const auto it = worker.streams.find(stream_id);
       if (it != worker.streams.end()) {
         --it->second.queued;

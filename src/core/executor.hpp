@@ -19,6 +19,7 @@
 // guarantee.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -29,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/tenant.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace tbon {
@@ -89,8 +91,12 @@ class FilterExecutor {
   std::uint32_t shard_of(std::uint32_t stream_id) const noexcept;
 
   /// Register a stream before posting work for it.  `poll` may be empty for
-  /// streams whose sync policy never arms deadlines.
-  void add_stream(std::uint32_t stream_id, DeadlinePoll poll);
+  /// streams whose sync policy never arms deadlines.  `priority` places the
+  /// stream's tasks in its shard's weighted drain (control > high > normal >
+  /// bulk with weights 4/2/1 below control, which always drains first) so a
+  /// bulk flood sharing a shard cannot starve a high-priority stream.
+  void add_stream(std::uint32_t stream_id, DeadlinePoll poll,
+                  Priority priority = Priority::kNormal);
 
   /// Unregister (call only after drain_stream: no tasks may be in flight).
   void remove_stream(std::uint32_t stream_id);
@@ -125,6 +131,7 @@ class FilterExecutor {
  private:
   struct StreamState {
     DeadlinePoll poll;
+    Priority priority = Priority::kNormal;
     std::size_t queued = 0;           ///< tasks waiting in the run queue
     bool running = false;             ///< a task or poll is executing now
     std::int64_t deadline_ns = -1;    ///< armed drain deadline; -1 = none
@@ -134,12 +141,18 @@ class FilterExecutor {
     mutable std::mutex mutex;
     std::condition_variable wake;     ///< work arrived / deadline re-armed / stop
     std::condition_variable settled;  ///< task finished (post backpressure, drains)
-    std::deque<std::pair<std::uint32_t, Task>> queue;  ///< cross-stream FIFO
+    /// Per-priority cross-stream FIFOs; within one class tasks run in post
+    /// order, so per-stream FIFO holds (a stream lives in exactly one class).
+    std::array<std::deque<std::pair<std::uint32_t, Task>>, kNumPriorities> queues;
     std::map<std::uint32_t, StreamState> streams;
     std::size_t executing = 0;        ///< tasks/polls running right now
+    /// Weighted-round-robin drain state over kHigh/kNormal/kBulk.
+    std::size_t wrr_class = static_cast<std::size_t>(Priority::kHigh);
+    std::uint32_t wrr_left = 0;
     std::jthread thread;
   };
 
+  bool pop_task_locked(Worker& worker, std::uint32_t& stream_id, Task& task);
   void worker_loop(Worker& worker);
 
   ExecutionOptions options_;

@@ -58,6 +58,7 @@ class SharedLink final : public Link {
   bool send_batch(std::span<const PacketPtr> packets) override {
     return inner_->send_batch(packets);
   }
+  bool flush() override { return inner_->flush(); }
   void close() override { inner_->close(); }
 
  private:

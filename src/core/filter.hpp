@@ -26,6 +26,7 @@
 
 #include "common/config.hpp"
 #include "core/packet.hpp"
+#include "core/tenant.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace tbon {
@@ -90,6 +91,9 @@ struct FilterContext {
   bool is_root = false;            ///< true at the front-end node
   bool is_leaf = false;            ///< true at a back-end node
   Config params;                   ///< per-stream parameters (key=value)
+  std::string topic;               ///< stream's topic path ("" = untopiced)
+  std::string tenant;              ///< owning tenant name ("" = none)
+  Priority priority = Priority::kNormal;  ///< stream's drain class
   MembershipSnapshot membership;   ///< per-sync-index liveness view
   TelemetryScope telemetry;        ///< custom counters + latency histogram
 };

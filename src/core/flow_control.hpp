@@ -14,16 +14,20 @@
 // saturated data plane can never wedge the protocol that un-saturates it.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 
 #include "common/queue.hpp"
 #include "core/protocol.hpp"
 #include "core/runtime.hpp"
+#include "core/tenant.hpp"
 
 namespace tbon {
 
@@ -87,16 +91,45 @@ struct FlowControlOptions {
 /// runtime itself (threaded) or the sender-side fd reader thread (process).
 class CreditGate {
  public:
-  enum class Acquire : std::uint8_t { kOk, kExhausted, kClosed };
+  /// kThrottled: credits remain in the window, but this request's tenant
+  /// budget or priority cap blocks it (policy treats it like exhaustion,
+  /// charged to the tenant instead of the channel).
+  enum class Acquire : std::uint8_t { kOk, kExhausted, kClosed, kThrottled };
+
+  /// Everything the gate needs to know about one send to enforce priority
+  /// and tenant caps.  The default request is uncapped — byte-identical to
+  /// pre-tenancy behavior.
+  struct Request {
+    Priority priority = Priority::kNormal;
+    std::uint16_t tenant = TenantTable::kNoTenant;
+    std::uint64_t bytes = 0;        ///< payload bytes this send puts in flight
+    std::uint32_t max_credits = 0;  ///< tenant inflight-credit cap (0 = none)
+    std::uint64_t max_bytes = 0;    ///< tenant inflight-byte cap (0 = none)
+  };
+
+  /// kBulk may hold at most window - max(1, window/4) credits: a bulk flood
+  /// always leaves at least a quarter of the window (and never less than one
+  /// credit) free for higher classes.  Other classes are uncapped, so
+  /// single-class traffic sees the full window exactly as before tenancy.
+  static std::uint32_t bulk_cap_for(std::uint32_t window) noexcept {
+    const std::uint32_t reserve = window / 4 ? window / 4 : 1;
+    return window > reserve ? window - reserve : 1;
+  }
 
   explicit CreditGate(std::uint32_t window)
-      : window_(window ? window : 1), available_(window_) {}
+      : window_(window ? window : 1),
+        available_(window_),
+        bulk_cap_(bulk_cap_for(window_)) {}
 
   /// Consume one credit if available without blocking.
-  Acquire try_acquire();
+  Acquire try_acquire() { return try_acquire(Request{}); }
+  Acquire try_acquire(const Request& request);
 
   /// Consume one credit, waiting up to `timeout_ns`; kExhausted on timeout.
-  Acquire acquire_for(std::int64_t timeout_ns);
+  Acquire acquire_for(std::int64_t timeout_ns) {
+    return acquire_for(timeout_ns, Request{});
+  }
+  Acquire acquire_for(std::int64_t timeout_ns, const Request& request);
 
   /// Return `n` credits (clamped to the window) and wake blocked senders;
   /// runs the drain hook, outside the lock, after the credits land.
@@ -121,13 +154,32 @@ class CreditGate {
   void set_drain_hook(std::function<void()> hook);
 
  private:
+  /// One credit in flight, remembered so grants (which arrive in consumption
+  /// order == send order) can be charged back to the right tenant/priority.
+  struct Hold {
+    std::uint16_t tenant;
+    std::uint8_t priority;
+    std::uint64_t bytes;
+  };
+  struct Inflight {
+    std::uint32_t credits = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  bool admissible_locked(const Request& request) const;
+  Acquire acquire_locked(const Request& request);
+
   mutable std::mutex mutex_;
   std::condition_variable credits_;
   std::function<void()> drain_hook_;
   std::uint32_t window_;
   std::uint32_t available_;
+  std::uint32_t bulk_cap_;
   std::uint32_t peak_ = 0;
   bool closed_ = false;
+  std::deque<Hold> holds_;
+  std::map<std::uint16_t, Inflight> tenant_inflight_;
+  std::array<std::uint32_t, kNumPriorities> prio_inflight_{};
 };
 
 /// Link decorator enforcing a CreditGate on the data plane.  Control and
@@ -141,12 +193,20 @@ class CreditGate {
 /// shed send still returns true, exactly like an injector-muted send.
 class FlowControlledLink final : public Link {
  public:
+  /// `tenants`, when given, classifies packets by stream id so sends run
+  /// under the owning tenant's budget and priority class, and charges the
+  /// tenant's counters; without it every send is an uncapped kNormal —
+  /// exactly the pre-tenancy behavior.
   FlowControlledLink(std::shared_ptr<Link> inner, std::shared_ptr<CreditGate> gate,
                      const FlowControlOptions& options, MetricsRegistry* metrics,
-                     bool fail_fast_throws);
+                     bool fail_fast_throws,
+                     std::shared_ptr<TenantTable> tenants = nullptr);
   ~FlowControlledLink() override;
 
   bool send(const PacketPtr& packet) override;
+  bool send_batch(std::span<const PacketPtr> packets) override;
+  /// Retry pending packets against the window, then flush the inner link.
+  bool flush() override;
   void close() override;
 
   /// Flush pending packets against newly granted credits; never blocks (a
@@ -156,18 +216,34 @@ class FlowControlledLink final : public Link {
   const std::shared_ptr<CreditGate>& gate() const noexcept { return gate_; }
 
  private:
+  /// Tenant/priority classification + gate request for one packet.
+  struct SendClass {
+    CreditGate::Request request;
+    std::uint16_t tenant = TenantTable::kNoTenant;
+  };
+
+  SendClass classify(const Packet& packet) const;
   bool flush_pending_locked();
-  bool send_with_credit_locked(const PacketPtr& packet);
-  void count_shed(std::uint64_t n);
+  bool send_with_credit_locked(const PacketPtr& packet, const SendClass& cls);
+  bool send_unavailable_locked(const PacketPtr& packet, const SendClass& cls,
+                               CreditGate::Acquire acquired);
+  void push_pending_locked(const PacketPtr& packet, Priority priority);
+  std::size_t drop_all_pending_locked();
+  void count_shed(std::uint64_t n, std::uint16_t tenant = TenantTable::kNoTenant);
 
   std::shared_ptr<Link> inner_;
   std::shared_ptr<CreditGate> gate_;
   FlowControlOptions options_;
   MetricsRegistry* metrics_;
   bool fail_fast_throws_;
+  std::shared_ptr<TenantTable> tenants_;
 
-  std::mutex mutex_;  ///< serializes data-plane sends and the pending ring
-  BoundedQueue<PacketPtr> pending_;
+  std::mutex mutex_;  ///< serializes data-plane sends and the pending rings
+  /// drop_oldest rings, one per priority class, flushed control-first and
+  /// bounded to one window in total; eviction takes from the lowest-priority
+  /// non-empty class so queued bulk dies before queued high.
+  std::array<std::deque<PacketPtr>, kNumPriorities> pending_;
+  std::size_t pending_count_ = 0;
   std::atomic<bool> has_pending_{false};
 };
 

@@ -132,7 +132,7 @@ BackEnd& Network::attach_backend(NodeId parent) {
     auto gate = std::make_shared<CreditGate>(fc_options_.window());
     up = std::make_shared<FlowControlledLink>(
         std::move(up), gate, fc_options_, /*metrics=*/nullptr,
-        /*fail_fast_throws=*/true);
+        /*fail_fast_throws=*/true, runtime.tenants());
     runtime.set_child_granter(slot, fc_direct_granter(gate));
   }
   service->set_up_link(std::make_unique<SharedLink>(std::move(up)));
@@ -229,14 +229,8 @@ RecvResult Stream::try_recv() { return make_result(results_.try_pop()); }
 
 // ---- FrontEnd ---------------------------------------------------------------
 
-Stream& FrontEnd::new_stream(StreamOptions options) {
-  StreamSpec spec;
-  spec.endpoints = std::move(options.endpoints);
+Stream& FrontEnd::open_stream(StreamSpec spec) {
   std::sort(spec.endpoints.begin(), spec.endpoints.end());
-  spec.up_transform = std::move(options.up_transform);
-  spec.up_sync = std::move(options.up_sync);
-  spec.down_transform = std::move(options.down_transform);
-  spec.params = options.params.to_wire();
 
   // Validate filter names eagerly so misconfigurations fail at the call site
   // rather than deep inside a communication process.
@@ -251,6 +245,20 @@ Stream& FrontEnd::new_stream(StreamOptions options) {
     }
   }
 
+  // Resolve the tenant's budget from the roster and pin it into the spec —
+  // the announcement is what every node enforces, so the budget must ride it.
+  if (spec.priority_class == Priority::kControl) spec.priority_class = Priority::kHigh;
+  if (!spec.tenant_name.empty()) {
+    if (const TenantOptions* budget = network_.tenancy_.find(spec.tenant_name)) {
+      spec.tenant_credit_share = budget->credit_share();
+      spec.tenant_max_inflight_bytes = budget->max_inflight_bytes();
+      spec.tenant_priority_ceiling = budget->priority_ceiling();
+    }
+    if (spec.priority_class < spec.tenant_priority_ceiling) {
+      spec.priority_class = spec.tenant_priority_ceiling;  // clamp to ceiling
+    }
+  }
+
   std::unique_ptr<Stream> stream;
   Stream* raw = nullptr;
   {
@@ -259,9 +267,68 @@ Stream& FrontEnd::new_stream(StreamOptions options) {
     stream = std::unique_ptr<Stream>(new Stream(network_, spec));
     raw = stream.get();
     streams_.emplace(spec.id, std::move(stream));
+    if (!spec.topic_path.empty() && !topic_ids_.count(spec.topic_path)) {
+      topic_ids_.emplace(spec.topic_path, spec.id);
+    }
   }
   network_.send_to_root(spec.to_packet());
   return *raw;
+}
+
+Stream& FrontEnd::new_stream(StreamOptions options) {
+  // Deprecated forwarder: the StreamOptions fields map 1:1 onto the untopiced
+  // subset of StreamSpec (see the migration table in docs/api.md).
+  StreamSpec spec;
+  spec.endpoints = std::move(options.endpoints);
+  spec.up_transform = std::move(options.up_transform);
+  spec.up_sync = std::move(options.up_sync);
+  spec.down_transform = std::move(options.down_transform);
+  spec.params = options.params.to_wire();
+  return open_stream(std::move(spec));
+}
+
+Stream& FrontEnd::publish(const std::string& topic, std::int32_t tag,
+                          std::string_view format, std::vector<DataValue> values) {
+  if (topic.empty()) throw ProtocolError("publish needs a non-empty topic");
+  Stream* stream = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = topic_ids_.find(topic);
+    if (it != topic_ids_.end()) stream = streams_.at(it->second).get();
+  }
+  if (stream == nullptr) stream = &open_stream(StreamSpec::topic(topic));
+  stream->send(tag, format, std::move(values));
+  return *stream;
+}
+
+void FrontEnd::subscribe(const std::string& prefix) {
+  network_.send_to_root(make_subscribe_packet(kFrontEndRank, prefix, true));
+}
+
+void FrontEnd::unsubscribe(const std::string& prefix) {
+  network_.send_to_root(make_subscribe_packet(kFrontEndRank, prefix, false));
+}
+
+std::size_t FrontEnd::subscriber_count(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(network_.subs_mutex_);
+  std::set<std::uint32_t> ranks;
+  for (const auto& [prefix, subscribers] : network_.root_subs_) {
+    if (topic_matches(prefix, topic)) ranks.insert(subscribers.begin(), subscribers.end());
+  }
+  return ranks.size();
+}
+
+bool FrontEnd::wait_subscribers(const std::string& topic, std::size_t count,
+                                std::chrono::milliseconds timeout) {
+  const auto matched = [&] {
+    std::set<std::uint32_t> ranks;
+    for (const auto& [prefix, subscribers] : network_.root_subs_) {
+      if (topic_matches(prefix, topic)) ranks.insert(subscribers.begin(), subscribers.end());
+    }
+    return ranks.size();
+  };
+  std::unique_lock<std::mutex> lock(network_.subs_mutex_);
+  return network_.subs_cv_.wait_for(lock, timeout, [&] { return matched() >= count; });
 }
 
 void FrontEnd::delete_stream(std::uint32_t stream_id) {
@@ -390,6 +457,14 @@ void BackEnd::send_batch(std::uint32_t stream_id, std::span<const PacketPtr> pac
   up_link_->send_batch(packets);
 }
 
+void BackEnd::subscribe(const std::string& prefix) {
+  up_link_->send(make_subscribe_packet(rank_, prefix, true));
+}
+
+void BackEnd::unsubscribe(const std::string& prefix) {
+  up_link_->send(make_subscribe_packet(rank_, prefix, false));
+}
+
 void BackEnd::send_to(std::uint32_t dst_rank, std::int32_t tag, std::string_view format,
                       std::vector<DataValue> values) {
   if (tag < kFirstAppTag) throw ProtocolError("application tags must be >= kFirstAppTag");
@@ -456,11 +531,19 @@ std::unique_ptr<Network> Network::create(NetworkOptions options) {
   }
   switch (options.mode) {
     case NetworkMode::kThreaded:
-      return create_threaded_impl(options);
     case NetworkMode::kProcess:
-      return create_process_impl(options);
-    case NetworkMode::kRemote:
-      return create_remote_impl(options);
+    case NetworkMode::kRemote: {
+      auto network = options.mode == NetworkMode::kThreaded
+                         ? create_threaded_impl(options)
+                         : options.mode == NetworkMode::kProcess
+                               ? create_process_impl(options)
+                               : create_remote_impl(options);
+      // The roster is a front-end-side lookup (open_stream resolves budgets
+      // into the announcement), so storing it after instantiation is safe:
+      // no application stream can open before create() returns.
+      network->tenancy_ = std::move(options.tenancy);
+      return network;
+    }
   }
   throw ProtocolError("unknown NetworkMode");
 }
@@ -591,7 +674,7 @@ std::unique_ptr<Network> Network::create_threaded_impl(const NetworkOptions& opt
             maybe_coalesce(down_inner, net.batching_, &parent_rt.metrics(),
                            gate_down, net.batch_flusher_),
             gate_down, fc, &parent_rt.metrics(),
-            /*fail_fast_throws=*/false);
+            /*fail_fast_throws=*/false, parent_rt.tenants());
         parent_rt.register_fc_link(down);
         parent_rt.add_child_link(std::make_unique<SharedLink>(down));
         child_rt.set_parent_granter(fc_direct_granter(gate_down));
@@ -602,7 +685,7 @@ std::unique_ptr<Network> Network::create_threaded_impl(const NetworkOptions& opt
             maybe_coalesce(up_inner, net.batching_, &child_rt.metrics(),
                            gate_up, net.batch_flusher_),
             gate_up, fc, &child_rt.metrics(),
-            /*fail_fast_throws=*/false);
+            /*fail_fast_throws=*/false, child_rt.tenants());
         child_rt.register_fc_link(up);
         child_rt.set_parent_link(std::make_unique<SharedLink>(up));
         parent_rt.set_child_granter(slot, fc_direct_granter(gate_up));
@@ -618,7 +701,7 @@ std::unique_ptr<Network> Network::create_threaded_impl(const NetworkOptions& opt
         if (fc.enabled) {
           auto wrapper = std::make_shared<FlowControlledLink>(
               std::move(up), gate_up, fc, &child_rt.metrics(),
-              /*fail_fast_throws=*/true);
+              /*fail_fast_throws=*/true, child_rt.tenants());
           child_rt.register_fc_link(wrapper);
           up = std::move(wrapper);
         }
@@ -708,7 +791,7 @@ bool Network::readopt_threaded(NodeRuntime& orphan) {
     gate_down->set_drain_hook(fc_wake_hook(adopter.inbox()));
     auto down_w = std::make_shared<FlowControlledLink>(
         std::move(down), gate_down, fc, &adopter.metrics(),
-        /*fail_fast_throws=*/false);
+        /*fail_fast_throws=*/false, adopter.tenants());
     adopter.register_fc_link(down_w);
     down = std::move(down_w);
     orphan.set_parent_granter(fc_direct_granter(gate_down));
@@ -717,7 +800,7 @@ bool Network::readopt_threaded(NodeRuntime& orphan) {
     gate_up->set_drain_hook(fc_wake_hook(orphan.inbox()));
     auto up_w = std::make_shared<FlowControlledLink>(
         std::move(up), gate_up, fc, &orphan.metrics(),
-        /*fail_fast_throws=*/false);
+        /*fail_fast_throws=*/false, orphan.tenants());
     orphan.register_fc_link(up_w);
     up = std::move(up_w);
     adopter.set_child_granter(slot, fc_direct_granter(gate_up));
@@ -733,7 +816,7 @@ bool Network::readopt_threaded(NodeRuntime& orphan) {
       if (fc.enabled) {
         auto wrapper = std::make_shared<FlowControlledLink>(
             std::move(app_up), gate_up, fc, &orphan.metrics(),
-            /*fail_fast_throws=*/true);
+            /*fail_fast_throws=*/true, orphan.tenants());
         orphan.register_fc_link(wrapper);
         app_up = std::move(wrapper);
       }
@@ -865,6 +948,25 @@ void Network::on_stream_deleted(std::uint32_t stream_id) {
   } catch (const ProtocolError&) {
     // Deleted before ever reaching the front-end map; nothing to mark.
   }
+}
+
+void Network::on_subscription(const std::string& prefix, std::uint32_t rank,
+                              bool added) {
+  // Delivered on the root runtime thread once a subscription finishes
+  // climbing — the ack point wait_subscribers() blocks on.
+  {
+    std::lock_guard<std::mutex> lock(subs_mutex_);
+    if (added) {
+      root_subs_[prefix].insert(rank);
+    } else {
+      const auto it = root_subs_.find(prefix);
+      if (it != root_subs_.end()) {
+        it->second.erase(rank);
+        if (it->second.empty()) root_subs_.erase(it);
+      }
+    }
+  }
+  subs_cv_.notify_all();
 }
 
 void Network::on_shutdown_complete() {

@@ -3,7 +3,7 @@
 // Mirrors MRNet's programming model:
 //
 //   auto net = Network::create({.topology = Topology::balanced(4, 2)});
-//   Stream& s = net->front_end().new_stream({.up_transform = "sum"});
+//   Stream& s = net->front_end().open_stream({.up_transform = "sum"});
 //   s.send(kMyTag, "str", {"begin"});                  // multicast down
 //   // ... back-ends call be.send(s.id(), kMyTag, "vf64", {...}) ...
 //   RecvResult result = s.recv();                      // aggregated result
@@ -167,6 +167,13 @@ struct NetworkOptions {
   /// docs/batching.md).  Defaults to off: the wire format and flush timing
   /// are byte-identical to previous releases.
   BatchingOptions batching;
+  /// Named per-tenant QoS budgets (see src/core/tenant.hpp and
+  /// docs/tenancy.md).  A stream opened with StreamSpec::tenant("name")
+  /// resolves "name" here at open_stream time; the budget rides the stream
+  /// announcement so every node enforces the same credit share, inflight-byte
+  /// cap, and priority ceiling.  Unlisted tenants get the default
+  /// (unconstrained) budget.
+  TenancyOptions tenancy;
 
   /// Process and remote modes: runs inside every back-end process.
   std::function<void(BackEnd&)> backend_main;
@@ -253,6 +260,8 @@ class Stream {
  public:
   std::uint32_t id() const noexcept { return spec_.id; }
   const StreamSpec& spec() const noexcept { return spec_; }
+  /// Topic path this stream publishes under ("" = untopiced).
+  const std::string& topic() const noexcept { return spec_.topic_path; }
 
   /// Multicast a packet downstream to the stream's back-ends.
   void send(std::int32_t tag, std::string_view format, std::vector<DataValue> values);
@@ -315,9 +324,45 @@ class Stream {
 /// The application process at the root of the tree.
 class FrontEnd {
  public:
-  /// Create a stream; the announcement propagates down the tree ahead of any
-  /// data (FIFO channels), so back-ends can use it immediately.
+  /// Open a stream from a typed spec (the primary spelling):
+  ///
+  ///   Stream& s = fe.open_stream(StreamSpec::topic("/app/metrics")
+  ///                                  .priority(Priority::kHigh)
+  ///                                  .tenant("acme")
+  ///                                  .up("sum"));
+  ///
+  /// The announcement propagates down the tree ahead of any data (FIFO
+  /// channels), so back-ends can use it immediately.  A tenant named in
+  /// NetworkOptions::tenancy contributes its budget to the announcement, and
+  /// the spec's priority is clamped to that tenant's ceiling.  A topiced
+  /// stream's downstream packets reach only subtrees holding a matching
+  /// prefix subscription (BackEnd::subscribe).
+  Stream& open_stream(StreamSpec spec = {});
+
+  /// \deprecated StreamOptions spelling; use open_stream(StreamSpec).
+  [[deprecated("use open_stream(StreamSpec) - see docs/api.md")]]
   Stream& new_stream(StreamOptions options = {});
+
+  /// Publish one packet under `topic`, opening the stream on first use (one
+  /// stream per exact topic path, cached).  Returns that stream so callers
+  /// can recv() aggregated results on it.
+  Stream& publish(const std::string& topic, std::int32_t tag,
+                  std::string_view format, std::vector<DataValue> values);
+
+  /// Subscribe the front-end itself to a topic prefix (symmetric with
+  /// BackEnd::subscribe; counts toward subscriber_count for observability).
+  void subscribe(const std::string& prefix);
+  void unsubscribe(const std::string& prefix);
+
+  /// Distinct subscriber ranks whose prefix matches `topic` right now
+  /// (subscriptions propagate up the tree asynchronously).
+  std::size_t subscriber_count(const std::string& topic) const;
+
+  /// Block until at least `count` distinct ranks subscribe to a prefix
+  /// matching `topic`; false on timeout.  The publish-side rendezvous: a
+  /// packet published before a subscription lands is pruned, not queued.
+  bool wait_subscribers(const std::string& topic, std::size_t count,
+                        std::chrono::milliseconds timeout);
 
   /// Tear down a stream tree-wide (buffered packets are flushed upward).
   void delete_stream(std::uint32_t stream_id);
@@ -365,6 +410,7 @@ class FrontEnd {
   std::mutex mutex_;
   std::uint32_t next_stream_id_ = 1;  // 0 is the control stream
   std::map<std::uint32_t, std::unique_ptr<Stream>> streams_;
+  std::map<std::string, std::uint32_t> topic_ids_;  ///< publish() cache
 };
 
 /// The application process at a leaf of the tree.
@@ -399,6 +445,14 @@ class BackEnd {
   PacketPtr make_packet(std::uint32_t stream_id, std::int32_t tag,
                         std::string_view format,
                         std::vector<DataValue> values) const;
+
+  /// Subscribe this back-end to every stream whose topic path starts with
+  /// `prefix`.  The subscription climbs the tree on the control stream;
+  /// interior nodes forward a topiced stream's downstream packets only into
+  /// subtrees with a matching subscriber, so unsubscribed subtrees cost
+  /// nothing.  Use FrontEnd::wait_subscribers before publishing.
+  void subscribe(const std::string& prefix);
+  void unsubscribe(const std::string& prefix);
 
   /// Send a message to another back-end, routed hop-by-hop through the
   /// internal process tree (paper §2.1: the TBON model has no direct
@@ -552,6 +606,7 @@ class Network {
   BackEnd& dynamic_backend(std::size_t index);
   void on_result(std::uint32_t stream_id, PacketPtr packet);
   void on_stream_deleted(std::uint32_t stream_id);
+  void on_subscription(const std::string& prefix, std::uint32_t rank, bool added);
   void on_shutdown_complete();
   void apply_recovery_threaded();
   bool readopt_threaded(NodeRuntime& orphan);
@@ -587,6 +642,14 @@ class Network {
 
   // Telemetry state (see src/telemetry/); null unless enabled.
   std::unique_ptr<TelemetryCollector> collector_;
+
+  // Tenancy roster (from NetworkOptions) and the root's view of the tree's
+  // topic subscriptions: prefix -> subscriber ranks, updated on the root
+  // runtime thread as kTagSubscribe packets climb to it.
+  TenancyOptions tenancy_;
+  std::map<std::string, std::set<std::uint32_t>> root_subs_;
+  mutable std::mutex subs_mutex_;
+  std::condition_variable subs_cv_;
 
   /// Wake hints for FrontEnd::recv_any: one stream id per result delivery.
   /// Hints are advisory (recv_any re-scans the streams on every wake), so

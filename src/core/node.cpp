@@ -427,6 +427,12 @@ void NodeRuntime::handle_control(const Envelope& envelope) {
     case kTagPeerMessage:
       route_peer_message(envelope);
       break;
+    case kTagSubscribe:
+      handle_subscription(envelope, /*added=*/true);
+      break;
+    case kTagUnsubscribe:
+      handle_subscription(envelope, /*added=*/false);
+      break;
     case kTagAttachChild:
       process_pending_attaches();
       break;
@@ -450,6 +456,37 @@ void NodeRuntime::handle_control(const Envelope& envelope) {
       break;
     default:
       TBON_WARN("node " << id_ << " dropping unknown control tag " << packet.tag());
+  }
+}
+
+void NodeRuntime::handle_subscription(const Envelope& envelope, bool added) {
+  const Packet& packet = *envelope.packet;
+  std::string prefix;
+  try {
+    prefix = subscribe_packet_prefix(packet);
+  } catch (const CodecError& error) {
+    metrics_.packets_dropped.fetch_add(1, std::memory_order_relaxed);
+    TBON_WARN("node " << id_ << " dropping malformed subscription: " << error.what());
+    return;
+  }
+  const std::uint32_t rank = packet.src_rank();
+  if (added) {
+    subs_[prefix].insert(rank);
+  } else {
+    const auto it = subs_.find(prefix);
+    if (it != subs_.end()) {
+      it->second.erase(rank);
+      if (it->second.empty()) subs_.erase(it);
+    }
+  }
+  // Subscriptions only climb: every ancestor of the subscriber learns the
+  // prefix (that is exactly the set of nodes that route data down to it),
+  // and the root reports it to the front-end for subscriber_count /
+  // wait_subscribers.  Re-sends are idempotent, so adoption replay is safe.
+  if (role_ == NodeRole::kRoot) {
+    if (delegate_ != nullptr) delegate_->on_subscription(prefix, rank, added);
+  } else if (parent_link_) {
+    send_parent(envelope.packet);
   }
 }
 
@@ -492,6 +529,12 @@ void NodeRuntime::handle_new_stream(const StreamSpec& spec) {
   StreamLocal stream;
   stream.spec = spec;
 
+  // Classify the stream for every tenant-aware consumer on this node: the
+  // sender-side flow-controlled links (which share this table) and the
+  // executor's weighted drain.
+  tenants_->register_stream(spec.id, spec.priority_class, spec.tenant_name,
+                            spec.tenant_budget());
+
   const auto& children = topology_.node(id_).children;
   stream.slot_to_sync_index.assign(std::max(children.size(), child_links_.size()), -1);
   for (std::uint32_t slot = 0; slot < children.size(); ++slot) {
@@ -532,6 +575,9 @@ void NodeRuntime::handle_new_stream(const StreamSpec& spec) {
   stream.ctx.is_root = role_ == NodeRole::kRoot;
   stream.ctx.is_leaf = role_ == NodeRole::kLeaf;
   stream.ctx.params = spec.parsed_params();
+  stream.ctx.topic = spec.topic_path;
+  stream.ctx.tenant = spec.tenant_name;
+  stream.ctx.priority = tenants_->priority_of(spec.id);
   stream.ctx.membership = membership_snapshot(stream);
   stream.ctx.telemetry = TelemetryScope(&metrics_, /*worker=*/-1);
 
@@ -586,6 +632,7 @@ void NodeRuntime::handle_delete_stream(std::uint32_t stream_id) {
   if (it == streams_.end()) return;
   flush_stream(it->second);  // exec streams: posts the flush, drains the shard
   if (executor_ && it->second.exec) executor_->remove_stream(stream_id);
+  tenants_->forget_stream(stream_id);
   streams_.erase(it);
   if (delegate_ != nullptr) delegate_->on_stream_deleted(stream_id);
 }
@@ -1029,13 +1076,37 @@ std::vector<PacketPtr> NodeRuntime::run_upstream_batches(
 }
 
 void NodeRuntime::emit_upstream(StreamLocal& stream, std::span<const PacketPtr> packets) {
+  if (packets.empty()) return;
+  if (role_ == NodeRole::kRoot) {
+    if (delegate_ == nullptr) return;
+    for (const PacketPtr& packet : packets) {
+      delegate_->on_result(stream.spec.id, packet);
+    }
+    return;
+  }
+  if (!parent_link_) return;
+  if (packets.size() == 1) {
+    send_parent(packets.front());
+    return;
+  }
+  // Multi-packet emission: hand the whole run to the parent link as one
+  // batch (one wire frame / queue push instead of N; per-packet links fall
+  // back to a loop).  Control and telemetry packets are barred from batch
+  // frames by the wire codec, so runs containing them go out one by one.
   for (const PacketPtr& packet : packets) {
-    if (role_ == NodeRole::kRoot) {
-      if (delegate_ != nullptr) delegate_->on_result(stream.spec.id, packet);
-    } else if (parent_link_) {
-      send_parent(packet);
+    if (flow_control_exempt(*packet)) {
+      for (const PacketPtr& each : packets) send_parent(each);
+      return;
     }
   }
+  if (liveness_) liveness_->note_send_parent(now_ns());
+  if (injector_) {
+    if (injector_->sends_muted(id_)) return;  // simulated hang: drop the run
+    if (const auto delay = injector_->send_delay_ns(id_)) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+    }
+  }
+  parent_link_->send_batch(packets);
 }
 
 // ---- parallel filter execution ----------------------------------------------
@@ -1049,19 +1120,22 @@ void NodeRuntime::emit_upstream(StreamLocal& stream, std::span<const PacketPtr> 
 
 void NodeRuntime::exec_register_stream(StreamLocal& stream) {
   StreamLocal* sp = &stream;
-  executor_->add_stream(stream.spec.id, [this, sp](std::int64_t now) {
-    // Deadline poll, on the stream's own shard: the executor-mode
-    // replacement for the loop's poll_timeouts.
-    ExecCompletion completion;
-    completion.stream_id = sp->spec.id;
-    completion.up_outputs =
-        run_upstream_batches(*sp, sp->sync->drain_ready(now, sp->ctx));
-    const auto deadline = sp->sync->next_deadline();
-    executor_->set_deadline(sp->spec.id, deadline ? *deadline : -1);
-    completion.deadline_armed = deadline.has_value();
-    completion.buffered = sp->sync->buffered();
-    exec_enqueue(std::move(completion));
-  });
+  executor_->add_stream(
+      stream.spec.id,
+      [this, sp](std::int64_t now) {
+        // Deadline poll, on the stream's own shard: the executor-mode
+        // replacement for the loop's poll_timeouts.
+        ExecCompletion completion;
+        completion.stream_id = sp->spec.id;
+        completion.up_outputs =
+            run_upstream_batches(*sp, sp->sync->drain_ready(now, sp->ctx));
+        const auto deadline = sp->sync->next_deadline();
+        executor_->set_deadline(sp->spec.id, deadline ? *deadline : -1);
+        completion.deadline_armed = deadline.has_value();
+        completion.buffered = sp->sync->buffered();
+        exec_enqueue(std::move(completion));
+      },
+      tenants_->priority_of(stream.spec.id));
   stream.ctx.telemetry = TelemetryScope(
       &metrics_, static_cast<int>(executor_->shard_of(stream.spec.id)));
   stream.exec = true;
@@ -1338,9 +1412,20 @@ void NodeRuntime::refresh_gauges() {
   }
 }
 
+void NodeRuntime::fill_tenant_rollups(NodeTelemetry& record) const noexcept {
+  record.tenants = tenants_->snapshot();
+  record.tenant_sends_throttled = 0;
+  record.tenant_packets_shed = 0;
+  for (const TenantTelemetry& tenant : record.tenants) {
+    record.tenant_sends_throttled += tenant.sends_throttled;
+    record.tenant_packets_shed += tenant.packets_shed;
+  }
+}
+
 void NodeRuntime::publish_telemetry() {
   refresh_gauges();
-  const NodeTelemetry record = metrics_.publish(id_, role_byte());
+  NodeTelemetry record = metrics_.publish(id_, role_byte());
+  fill_tenant_rollups(record);
   const PacketPtr packet =
       make_telemetry_packet(id_, serialize_records({&record, 1}));
   if (role_ == NodeRole::kRoot) {
@@ -1362,10 +1447,30 @@ void NodeRuntime::forward_down(const PacketPtr& packet) {
 void NodeRuntime::forward_down_to_participants(const StreamLocal& stream,
                                                const PacketPtr& packet) {
   for (const std::uint32_t slot : stream.participating_slots) {
-    if (slot < child_links_.size() && child_links_[slot] && child_alive_[slot]) {
-      send_child(slot, packet);
+    if (slot >= child_links_.size() || !child_links_[slot] || !child_alive_[slot]) {
+      continue;
+    }
+    if (!topic_routed_to_slot(stream, slot)) {
+      // Pub/sub pruning: no subscriber for this topic lives in that subtree.
+      metrics_.topic_packets_pruned.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    send_child(slot, packet);
+  }
+}
+
+bool NodeRuntime::topic_routed_to_slot(const StreamLocal& stream,
+                                       std::uint32_t slot) const {
+  const std::string& topic = stream.spec.topic_path;
+  if (topic.empty()) return true;  // untopiced stream: classic multicast
+  for (const auto& [prefix, ranks] : subs_) {
+    if (!topic_matches(prefix, topic)) continue;
+    for (const std::uint32_t rank : ranks) {
+      const auto route = rank_routes_.find(rank);
+      if (route != rank_routes_.end() && route->second == slot) return true;
     }
   }
+  return false;
 }
 
 void NodeRuntime::handle_downstream_data(const PacketPtr& packet) {

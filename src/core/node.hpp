@@ -23,6 +23,7 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <set>
 #include <tuple>
 #include <memory>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "core/protocol.hpp"
 #include "core/registry.hpp"
 #include "core/runtime.hpp"
+#include "core/tenant.hpp"
 #include "recovery/fault_injector.hpp"
 #include "recovery/heartbeat.hpp"
 #include "topology/topology.hpp"
@@ -64,6 +66,15 @@ class NodeRuntime {
     virtual void on_shutdown() {}
     /// Leaf only: a tree-routed back-end-to-back-end message arrived.
     virtual void on_peer_message(PacketPtr inner) { (void)inner; }
+    /// Root only: a subscription change reached the root (every subscribe /
+    /// unsubscribe propagates to the front-end, which uses this to answer
+    /// subscriber_count / wait_subscribers).
+    virtual void on_subscription(const std::string& prefix, std::uint32_t rank,
+                                 bool added) {
+      (void)prefix;
+      (void)rank;
+      (void)added;
+    }
   };
 
   NodeRuntime(const Topology& topology, NodeId id, FilterRegistry& registry,
@@ -165,10 +176,18 @@ class NodeRuntime {
   NodeRole role() const noexcept { return role_; }
   NodeMetrics& metrics() noexcept { return metrics_; }
 
+  /// This node's tenant table: stream -> (priority, tenant) classification
+  /// plus per-tenant budgets and counters.  Created with the runtime; shared
+  /// with the sender-side FlowControlledLinks wired to this node so their
+  /// sends are classified by the streams this node has announced.
+  const TenantTablePtr& tenants() const noexcept { return tenants_; }
+
   /// Live snapshot of this node's metrics (does not advance the telemetry
   /// publish sequence).
   NodeTelemetry telemetry_snapshot() const noexcept {
-    return metrics_.peek(id_, role_byte());
+    NodeTelemetry r = metrics_.peek(id_, role_byte());
+    fill_tenant_rollups(r);
+    return r;
   }
 
   /// Process envelopes until shutdown completes or the inbox is destroyed.
@@ -226,6 +245,12 @@ class NodeRuntime {
 
   void handle_envelope(Envelope&& envelope);
   void handle_control(const Envelope& envelope);
+  void handle_subscription(const Envelope& envelope, bool added);
+  /// True when downstream data on `stream` should reach child `slot`:
+  /// untopiced streams go to every participant; topiced streams only where a
+  /// subtree subscription prefix-matches the topic.
+  bool topic_routed_to_slot(const StreamLocal& stream, std::uint32_t slot) const;
+  void fill_tenant_rollups(NodeTelemetry& record) const noexcept;
   void route_peer_message(const Envelope& envelope);
   void process_pending_attaches();
   void wire_dynamic_child(std::uint32_t slot, std::vector<std::uint32_t> ranks,
@@ -300,6 +325,15 @@ class NodeRuntime {
 
   /// Back-end rank -> child slot whose subtree serves it (peer routing).
   std::map<std::uint32_t, std::uint32_t> rank_routes_;
+
+  /// Topic subscriptions seen by this node: prefix -> subscriber ranks.
+  /// Rank-keyed (not slot-keyed) so re-adoption needs no re-sync: adopters
+  /// are always ancestors of the orphan, so they already hold every
+  /// subscription, and rank_routes_ re-points ranks at the new slot.
+  std::map<std::string, std::set<std::uint32_t>> subs_;
+
+  /// Stream classification + tenant budgets/counters for this node.
+  TenantTablePtr tenants_ = std::make_shared<TenantTable>();
 
   /// Dynamic-attach plumbing.
   std::mutex attach_mutex_;

@@ -166,7 +166,8 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
         auto up = std::make_shared<FlowControlledLink>(
             maybe_coalesce(parent_raw, g_batching, &runtime.metrics(), gate_up,
                            flusher),
-            gate_up, g_fc, &runtime.metrics(), /*fail_fast_throws=*/true);
+            gate_up, g_fc, &runtime.metrics(), /*fail_fast_throws=*/true,
+            runtime.tenants());
         runtime.register_fc_link(up);
         channel = up;
       } else {
@@ -200,7 +201,7 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
               gate_up->reset();
               auto wrapped = std::make_shared<FlowControlledLink>(
                   fresh_raw, gate_up, g_fc, &self.metrics(),
-                  /*fail_fast_throws=*/true);
+                  /*fail_fast_throws=*/true, self.tenants());
               self.register_fc_link(wrapped);
               fresh = wrapped;
             }
@@ -239,7 +240,7 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
             maybe_coalesce(parent_raw, g_batching, &runtime.metrics(), gate_up,
                            flusher),
             gate_up, g_fc, &runtime.metrics(),
-            /*fail_fast_throws=*/false);
+            /*fail_fast_throws=*/false, runtime.tenants());
         runtime.register_fc_link(up);
         runtime.set_parent_link(std::make_unique<SharedLink>(up));
         // Grants ride the raw link: exempt control frames that must never
@@ -266,7 +267,7 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
               gate_up->reset();
               auto wrapped = std::make_shared<FlowControlledLink>(
                   fresh_raw, gate_up, g_fc, &self.metrics(),
-                  /*fail_fast_throws=*/false);
+                  /*fail_fast_throws=*/false, self.tenants());
               self.register_fc_link(wrapped);
               fresh = wrapped;
               self.set_parent_granter(fc_frame_granter(fresh_raw));
@@ -299,7 +300,7 @@ void Network::run_child_process(const Topology& topology, NodeId id, int parent_
               maybe_coalesce(child_raw, g_batching, &runtime.metrics(),
                              gate_down, flusher),
               gate_down, g_fc, &runtime.metrics(),
-              /*fail_fast_throws=*/false);
+              /*fail_fast_throws=*/false, runtime.tenants());
           runtime.register_fc_link(down);
           runtime.add_child_link(std::make_unique<SharedLink>(down));
           runtime.set_child_granter(slot, fc_frame_granter(child_raw));
@@ -356,7 +357,7 @@ void Network::adopt_process_orphan(Fd connection, const OrphanHello& hello) {
     gate_down->set_drain_hook(fc_wake_hook(root.inbox()));
     auto down = std::make_shared<FlowControlledLink>(
         child_raw, gate_down, fc_options_, &root.metrics(),
-        /*fail_fast_throws=*/false);
+        /*fail_fast_throws=*/false, root.tenants());
     root.register_fc_link(down);
     root.set_child_granter(slot, fc_frame_granter(child_raw));
     root.request_adopt(slot, hello.ranks, std::make_unique<SharedLink>(down));
@@ -432,7 +433,8 @@ std::unique_ptr<Network> Network::create_process_impl(const NetworkOptions& opti
       auto down = std::make_shared<FlowControlledLink>(
           maybe_coalesce(child_raw, g_batching, &root.metrics(), gate_down,
                          net.batch_flusher_),
-          gate_down, g_fc, &root.metrics(), /*fail_fast_throws=*/false);
+          gate_down, g_fc, &root.metrics(), /*fail_fast_throws=*/false,
+          root.tenants());
       root.register_fc_link(down);
       root.add_child_link(std::make_unique<SharedLink>(down));
       root.set_child_granter(slot, fc_frame_granter(child_raw));

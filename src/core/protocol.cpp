@@ -2,14 +2,29 @@
 
 namespace tbon {
 namespace {
-constexpr std::string_view kSpecFormat = "i64 vi64 str str str str";
+// Fields 0-5 are the pre-tenancy spec; 6-11 carry topic/priority/tenant and
+// ride the same kTagNewStream frame.  from_packet tolerates the short form
+// so captures of the old wire format still decode.
+constexpr std::string_view kSpecFormat =
+    "i64 vi64 str str str str str i64 str f64 i64 i64";
+
+Priority clamp_priority(std::int64_t raw) noexcept {
+  if (raw < 0 || raw >= static_cast<std::int64_t>(kNumPriorities)) {
+    return Priority::kNormal;
+  }
+  return static_cast<Priority>(raw);
 }
+}  // namespace
 
 PacketPtr StreamSpec::to_packet() const {
   std::vector<std::int64_t> ranks(endpoints.begin(), endpoints.end());
-  return Packet::make(kControlStream, kTagNewStream, kFrontEndRank, kSpecFormat,
-                      {static_cast<std::int64_t>(id), std::move(ranks), up_transform,
-                       up_sync, down_transform, params});
+  return Packet::make(
+      kControlStream, kTagNewStream, kFrontEndRank, kSpecFormat,
+      {static_cast<std::int64_t>(id), std::move(ranks), up_transform, up_sync,
+       down_transform, params, topic_path,
+       static_cast<std::int64_t>(priority_class), tenant_name,
+       tenant_credit_share, static_cast<std::int64_t>(tenant_max_inflight_bytes),
+       static_cast<std::int64_t>(tenant_priority_ceiling)});
 }
 
 StreamSpec StreamSpec::from_packet(const Packet& packet) {
@@ -22,6 +37,17 @@ StreamSpec StreamSpec::from_packet(const Packet& packet) {
   spec.up_sync = packet.get_str(3);
   spec.down_transform = packet.get_str(4);
   spec.params = packet.get_str(5);
+  if (packet.arity() > 6) {
+    spec.topic_path = packet.get_str(6);
+    spec.priority_class = clamp_priority(packet.get_i64(7));
+    spec.tenant_name = packet.get_str(8);
+    const double share = packet.get_f64(9);
+    spec.tenant_credit_share = (share > 0.0 && share <= 1.0) ? share : 1.0;
+    const std::int64_t cap = packet.get_i64(10);
+    spec.tenant_max_inflight_bytes =
+        cap > 0 ? static_cast<std::uint64_t>(cap) : 0;
+    spec.tenant_priority_ceiling = clamp_priority(packet.get_i64(11));
+  }
   return spec;
 }
 
@@ -104,6 +130,23 @@ PacketPtr make_telemetry_packet(std::uint32_t src, BufferView records) {
 
 const BufferView& telemetry_packet_records(const Packet& packet) {
   return packet.get_bytes(0);
+}
+
+PacketPtr make_subscribe_packet(std::uint32_t rank, const std::string& prefix,
+                                bool subscribe) {
+  return Packet::make(kControlStream,
+                      subscribe ? kTagSubscribe : kTagUnsubscribe, rank, "str",
+                      {prefix});
+}
+
+std::string subscribe_packet_prefix(const Packet& packet) {
+  // Hardened like credit_field: a truncated or mistyped subscription frame
+  // surfaces as CodecError, not std::out_of_range, on a reader thread.
+  try {
+    return packet.get_str(0);
+  } catch (const std::exception&) {
+    throw CodecError("malformed subscription payload");
+  }
 }
 
 PacketPtr make_peer_packet(std::uint32_t dst_rank, const Packet& inner) {

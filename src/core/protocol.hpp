@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "core/filter_params.hpp"
 #include "core/packet.hpp"
+#include "core/tenant.hpp"
 
 namespace tbon {
 
@@ -48,6 +50,14 @@ enum ControlTag : std::int32_t {
   /// (count, channel id).  Consumed by the sender's fd reader thread, never
   /// enqueued or forwarded.
   kTagCredit = 11,
+  /// Topic subscription: src_rank is the subscribing back-end rank (or
+  /// kFrontEndRank for the front-end), payload "str" = topic prefix.  Each
+  /// node on the path records (prefix -> rank) and forwards the frame to its
+  /// parent, so every ancestor of a subscriber knows to route matching topic
+  /// streams down that subtree.  Never forwarded downward.
+  kTagSubscribe = 12,
+  /// Subscription withdrawal; same shape as kTagSubscribe.
+  kTagUnsubscribe = 13,
 };
 
 /// Reserved stream carrying in-band telemetry (auto-created when
@@ -63,6 +73,17 @@ inline constexpr std::uint32_t kBatchMarker = 0xFFFFFFFDu;
 inline constexpr std::int32_t kFirstAppTag = 100;
 
 /// Everything a node needs to know to participate in a stream.
+///
+/// Also the typed builder handed to FrontEnd::open_stream — start from the
+/// topic() factory (or designated initializers) and chain:
+///
+///   network->front_end().open_stream(StreamSpec::topic("/app/metrics")
+///                                        .priority(Priority::kHigh)
+///                                        .tenant("acme")
+///                                        .up("sum"));
+///
+/// It stays an aggregate on purpose: pre-redesign call sites using
+/// designated initializers (`.up_transform = "sum"`) keep compiling.
 struct StreamSpec {
   std::uint32_t id = 0;
   /// Participating back-end ranks, sorted.  Empty means "all back-ends".
@@ -72,6 +93,64 @@ struct StreamSpec {
   std::string down_transform = "passthrough";
   /// Space-separated key=value parameters made available to filters.
   std::string params;
+  /// Topic path ("/app/metrics").  Empty = untopiced: downstream packets are
+  /// broadcast to all participants exactly as before topics existed.  A
+  /// topiced stream's downstream packets reach only subtrees with a matching
+  /// prefix subscription.
+  std::string topic_path;
+  /// Drain-order class; clamped to the tenant's priority ceiling at open.
+  Priority priority_class = Priority::kNormal;
+  /// Owning tenant ("" = untenanted: exempt from tenant budgets).
+  std::string tenant_name;
+  /// Tenant budget, resolved from NetworkOptions::tenancy by open_stream and
+  /// carried on the wire so every node enforces the same caps.
+  double tenant_credit_share = 1.0;
+  std::uint64_t tenant_max_inflight_bytes = 0;
+  Priority tenant_priority_ceiling = Priority::kHigh;
+
+  /// Builder entry point: a spec publishing under `path`.
+  static StreamSpec topic(std::string path) {
+    StreamSpec spec;
+    spec.topic_path = std::move(path);
+    return spec;
+  }
+
+  StreamSpec& priority(Priority p) {
+    priority_class = p == Priority::kControl ? Priority::kHigh : p;
+    return *this;
+  }
+  StreamSpec& tenant(std::string name) {
+    tenant_name = std::move(name);
+    return *this;
+  }
+  StreamSpec& up(std::string transform) {
+    up_transform = std::move(transform);
+    return *this;
+  }
+  StreamSpec& sync(std::string policy) {
+    up_sync = std::move(policy);
+    return *this;
+  }
+  StreamSpec& down(std::string transform) {
+    down_transform = std::move(transform);
+    return *this;
+  }
+  StreamSpec& to(std::vector<std::uint32_t> ranks) {
+    endpoints = std::move(ranks);
+    return *this;
+  }
+  StreamSpec& with_params(const FilterParams& p) {
+    params = p.to_wire();
+    return *this;
+  }
+
+  /// The tenant budget carried by this spec, as a TenantOptions.
+  TenantOptions tenant_budget() const {
+    return TenantOptions()
+        .credit_share(tenant_credit_share)
+        .max_inflight_bytes(tenant_max_inflight_bytes)
+        .priority_ceiling(tenant_priority_ceiling);
+  }
 
   /// True when back-end `rank` participates.
   bool contains(std::uint32_t rank) const noexcept {
@@ -135,6 +214,23 @@ PacketPtr make_credit_packet(std::uint32_t count, std::uint32_t channel_id = 0);
 /// overflowing window must never silently reach a CreditGate.
 std::uint32_t credit_packet_count(const Packet& packet);
 std::uint32_t credit_packet_channel(const Packet& packet);
+
+/// Build a topic (un)subscription frame for `prefix`, attributed to
+/// subscriber `rank` (kFrontEndRank for the front-end).
+PacketPtr make_subscribe_packet(std::uint32_t rank, const std::string& prefix,
+                                bool subscribe = true);
+
+/// The topic prefix carried by a kTagSubscribe / kTagUnsubscribe frame;
+/// throws CodecError when the payload is malformed (hostile frames must not
+/// escape a reader thread as std::out_of_range).
+std::string subscribe_packet_prefix(const Packet& packet);
+
+/// True when `topic` falls under subscription `prefix` (plain string-prefix
+/// match: "/app" covers "/app/metrics"; "" covers everything).
+inline bool topic_matches(const std::string& prefix,
+                          const std::string& topic) noexcept {
+  return topic.compare(0, prefix.size(), prefix) == 0;
+}
 
 /// Wrap an application packet for tree routing to back-end `dst_rank`.
 PacketPtr make_peer_packet(std::uint32_t dst_rank, const Packet& inner);

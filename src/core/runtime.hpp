@@ -57,6 +57,11 @@ class Link {
     return ok;
   }
 
+  /// Deliver anything buffered inside the link stack right now.  Most links
+  /// transmit on send and have nothing to do; a coalescing link overrides
+  /// this to emit its buffer.  Returns false when the peer is gone.
+  virtual bool flush() { return true; }
+
   /// Signal EOF to the peer (idempotent).
   virtual void close() = 0;
 };

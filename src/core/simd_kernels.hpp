@@ -120,8 +120,28 @@ inline void add_i64(std::int64_t* acc, const std::int64_t* next, std::size_t n) 
   for (; i < n; ++i) acc[i] += next[i];
 }
 
-/// acc[i] = std::min(acc[i], next[i]).  64-bit signed compare needs AVX2's
-/// VPCMPGTQ; below that the plain loop is the whole implementation.
+#if defined(__SSE2__) && !defined(__AVX2__)
+/// Per-lane signed 64-bit a > b built from 32-bit compares (SSE2 has no
+/// PCMPGTQ).  The signed order of the high dwords decides; when the high
+/// dwords are equal, the *unsigned* order of the low dwords does — biasing
+/// both by 0x80000000 makes PCMPGTD behave unsigned.  The verdict lands in
+/// each lane's high dword; the final shuffle spreads it across all 64 bits
+/// so the result is a full-lane mask like PCMPGTQ's.
+inline __m128i cmpgt_epi64_sse2(__m128i a, __m128i b) {
+  const __m128i bias = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  const __m128i hi_gt = _mm_cmpgt_epi32(a, b);
+  const __m128i hi_eq = _mm_cmpeq_epi32(a, b);
+  const __m128i lo_gt =
+      _mm_cmpgt_epi32(_mm_xor_si128(a, bias), _mm_xor_si128(b, bias));
+  // Lift each lane's low-dword verdict into its high dword, then combine.
+  const __m128i lo_in_hi = _mm_shuffle_epi32(lo_gt, _MM_SHUFFLE(2, 2, 0, 0));
+  const __m128i gt = _mm_or_si128(hi_gt, _mm_and_si128(hi_eq, lo_in_hi));
+  return _mm_shuffle_epi32(gt, _MM_SHUFFLE(3, 3, 1, 1));
+}
+#endif
+
+/// acc[i] = std::min(acc[i], next[i]).  AVX2 has VPCMPGTQ; the SSE2 path
+/// synthesizes the same full-lane compare mask from 32-bit ops.
 inline void min_i64(std::int64_t* acc, const std::int64_t* next, std::size_t n) {
   std::size_t i = 0;
 #if defined(__AVX2__)
@@ -131,6 +151,15 @@ inline void min_i64(std::int64_t* acc, const std::int64_t* next, std::size_t n) 
     const __m256i take_b = _mm256_cmpgt_epi64(a, b);  // a > b  <=>  b < a
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
                         _mm256_blendv_epi8(a, b, take_b));
+  }
+#elif defined(__SSE2__)
+  for (; i + 2 <= n; i += 2) {
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + i));
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(next + i));
+    const __m128i take_b = cmpgt_epi64_sse2(a, b);  // a > b  <=>  b < a
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + i),
+                     _mm_or_si128(_mm_and_si128(take_b, b),
+                                  _mm_andnot_si128(take_b, a)));
   }
 #endif
   for (; i < n; ++i) acc[i] = next[i] < acc[i] ? next[i] : acc[i];
@@ -146,6 +175,15 @@ inline void max_i64(std::int64_t* acc, const std::int64_t* next, std::size_t n) 
     const __m256i take_b = _mm256_cmpgt_epi64(b, a);  // b > a  <=>  a < b
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
                         _mm256_blendv_epi8(a, b, take_b));
+  }
+#elif defined(__SSE2__)
+  for (; i + 2 <= n; i += 2) {
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + i));
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(next + i));
+    const __m128i take_b = cmpgt_epi64_sse2(b, a);  // b > a  <=>  a < b
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + i),
+                     _mm_or_si128(_mm_and_si128(take_b, b),
+                                  _mm_andnot_si128(take_b, a)));
   }
 #endif
   for (; i < n; ++i) acc[i] = acc[i] < next[i] ? next[i] : acc[i];

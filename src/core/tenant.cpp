@@ -1,0 +1,95 @@
+#include "core/tenant.hpp"
+
+#include "core/protocol.hpp"
+
+namespace tbon {
+
+void TenantTable::register_stream(std::uint32_t stream_id, Priority priority,
+                                  const std::string& tenant_name,
+                                  const TenantOptions& budget) {
+  std::lock_guard lock(mutex_);
+  std::uint16_t index = kNoTenant;
+  if (!tenant_name.empty()) {
+    const auto it = tenant_index_.find(tenant_name);
+    if (it != tenant_index_.end()) {
+      index = it->second;
+      tenants_[index]->budget = budget;
+    } else if (tenants_.size() < kNoTenant) {
+      index = static_cast<std::uint16_t>(tenants_.size());
+      auto cell = std::make_unique<Tenant>();
+      cell->name = tenant_name;
+      cell->budget = budget;
+      tenants_.push_back(std::move(cell));
+      tenant_index_.emplace(tenant_name, index);
+    }
+  }
+  streams_[stream_id] = StreamClass{priority, index};
+}
+
+void TenantTable::forget_stream(std::uint32_t stream_id) {
+  std::lock_guard lock(mutex_);
+  streams_.erase(stream_id);
+}
+
+Priority TenantTable::priority_of(std::uint32_t stream_id) const {
+  return classify(stream_id).priority;
+}
+
+TenantTable::StreamClass TenantTable::classify(std::uint32_t stream_id) const {
+  if (stream_id == kControlStream || stream_id == kTelemetryStream) {
+    return StreamClass{Priority::kControl, kNoTenant};
+  }
+  std::lock_guard lock(mutex_);
+  const auto it = streams_.find(stream_id);
+  if (it == streams_.end()) return StreamClass{};
+  return it->second;
+}
+
+TenantOptions TenantTable::budget(std::uint16_t tenant) const {
+  std::lock_guard lock(mutex_);
+  if (tenant >= tenants_.size()) return TenantOptions();
+  return tenants_[tenant]->budget;
+}
+
+TenantTable::Tenant* TenantTable::tenant_cell(std::uint16_t tenant) const noexcept {
+  std::lock_guard lock(mutex_);
+  if (tenant >= tenants_.size()) return nullptr;
+  return tenants_[tenant].get();
+}
+
+void TenantTable::note_send(std::uint16_t tenant, std::uint64_t bytes) noexcept {
+  Tenant* cell = tenant_cell(tenant);
+  if (!cell) return;
+  cell->packets.fetch_add(1, std::memory_order_relaxed);
+  cell->bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void TenantTable::note_throttled(std::uint16_t tenant) noexcept {
+  Tenant* cell = tenant_cell(tenant);
+  if (!cell) return;
+  cell->sends_throttled.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TenantTable::note_shed(std::uint16_t tenant, std::uint64_t packets) noexcept {
+  Tenant* cell = tenant_cell(tenant);
+  if (!cell) return;
+  cell->packets_shed.fetch_add(packets, std::memory_order_relaxed);
+}
+
+std::vector<TenantTelemetry> TenantTable::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<TenantTelemetry> out;
+  out.reserve(tenants_.size());
+  for (const auto& cell : tenants_) {
+    TenantTelemetry t;
+    t.name = cell->name;
+    t.packets = cell->packets.load(std::memory_order_relaxed);
+    t.bytes = cell->bytes.load(std::memory_order_relaxed);
+    t.sends_throttled = cell->sends_throttled.load(std::memory_order_relaxed);
+    t.packets_shed = cell->packets_shed.load(std::memory_order_relaxed);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace tbon

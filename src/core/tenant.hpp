@@ -1,0 +1,197 @@
+// Multi-tenant stream classification — priority classes, per-tenant QoS
+// budgets, and the per-node TenantTable that links/executors consult.
+//
+// Many applications share one tree (Benoit et al., "Resource Allocation for
+// Multiple Concurrent In-Network Stream-Processing Applications"): each
+// stream is opened under a topic path, tagged with a priority class and a
+// tenant name, and every node keeps a small table mapping stream ids to
+// (priority, tenant) so the send path and the executor can make tenant-aware
+// decisions without parsing packets.
+//
+// The three knobs:
+//
+//  * Priority — drain order.  kControl (recovery, credits, telemetry) always
+//    goes first; kHigh / kNormal / kBulk share the remainder by weight, so a
+//    bulk flood can delay but never starve high-priority traffic.
+//  * TenantOptions — a per-tenant budget: a share of each channel's credit
+//    window, a cap on inflight payload bytes, and a priority ceiling that
+//    clamps whatever priority the tenant asks for.
+//  * TenantTelemetry — per-tenant counters (packets/bytes sent, sends
+//    throttled, packets shed) rolled up tree-wide by the collector.
+//
+// This header is dependency-light on purpose: protocol.hpp includes it so
+// StreamSpec can carry a Priority, so it must not include protocol.hpp.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"  // TenantTelemetry (a telemetry-layer record)
+
+namespace tbon {
+
+/// Drain-order class for a stream's packets.  Lower value = drained first.
+/// kControl is reserved for the runtime (control stream, telemetry stream,
+/// credit grants); application streams pick from kHigh / kNormal / kBulk.
+enum class Priority : std::uint8_t {
+  kControl = 0,
+  kHigh = 1,
+  kNormal = 2,
+  kBulk = 3,
+};
+
+inline constexpr std::size_t kNumPriorities = 4;
+
+inline const char* to_string(Priority p) noexcept {
+  switch (p) {
+    case Priority::kControl: return "control";
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kBulk: return "bulk";
+  }
+  return "?";
+}
+
+/// Per-tenant QoS budget, in the typed-builder style of BatchingOptions:
+///
+///   TenantOptions().credit_share(0.25).max_inflight_bytes(1 << 20)
+///                  .priority_ceiling(Priority::kNormal)
+///
+/// The default budget is unconstrained: full credit share, no byte cap, and
+/// a kHigh ceiling (kControl is never grantable to applications).
+class TenantOptions {
+ public:
+  TenantOptions() = default;
+
+  /// Fraction (0, 1] of each channel's credit window this tenant may hold
+  /// in flight.  Values outside (0, 1] are clamped.
+  TenantOptions& credit_share(double share) {
+    credit_share_ = share <= 0.0 ? 1.0 : (share > 1.0 ? 1.0 : share);
+    return *this;
+  }
+
+  /// Cap on payload bytes this tenant may have credit-inflight per channel
+  /// (0 = unlimited).  A tenant at its cap is throttled, not shed, under the
+  /// block policy; at least one packet is always admitted so a tiny cap
+  /// cannot wedge the tenant entirely.
+  TenantOptions& max_inflight_bytes(std::uint64_t bytes) {
+    max_inflight_bytes_ = bytes;
+    return *this;
+  }
+
+  /// Highest priority class this tenant's streams may claim; open_stream
+  /// clamps the spec's priority to this.
+  TenantOptions& priority_ceiling(Priority ceiling) {
+    priority_ceiling_ = ceiling == Priority::kControl ? Priority::kHigh : ceiling;
+    return *this;
+  }
+
+  double credit_share() const noexcept { return credit_share_; }
+  std::uint64_t max_inflight_bytes() const noexcept { return max_inflight_bytes_; }
+  Priority priority_ceiling() const noexcept { return priority_ceiling_; }
+
+ private:
+  double credit_share_ = 1.0;
+  std::uint64_t max_inflight_bytes_ = 0;  ///< 0 = unlimited
+  Priority priority_ceiling_ = Priority::kHigh;
+};
+
+/// The front-end's tenant roster: named budgets handed to
+/// NetworkOptions::tenancy.  Tenants not listed here get the default
+/// (unconstrained) TenantOptions.
+class TenancyOptions {
+ public:
+  TenancyOptions() = default;
+
+  TenancyOptions& tenant(std::string name, TenantOptions budget) {
+    budgets_[std::move(name)] = budget;
+    return *this;
+  }
+
+  /// Budget for `name`, or nullptr when the tenant is not listed.
+  const TenantOptions* find(const std::string& name) const noexcept {
+    const auto it = budgets_.find(name);
+    return it == budgets_.end() ? nullptr : &it->second;
+  }
+
+  const std::map<std::string, TenantOptions>& budgets() const noexcept {
+    return budgets_;
+  }
+
+ private:
+  std::map<std::string, TenantOptions> budgets_;
+};
+
+/// Per-node registry mapping stream ids to (priority, tenant) and tenants to
+/// budgets + counters.  Populated by handle_new_stream when the stream
+/// announcement arrives, consulted by FlowControlledLink on every send and by
+/// the executor when pinning a stream to a shard.  Thread-safe; the counter
+/// cells are atomics at stable addresses so note_send stays lock-light.
+class TenantTable {
+ public:
+  /// Sentinel tenant index: stream has no tenant (or is unknown).
+  static constexpr std::uint16_t kNoTenant = 0xFFFF;
+
+  /// Classification of one stream, resolved once per send.
+  struct StreamClass {
+    Priority priority = Priority::kNormal;
+    std::uint16_t tenant = kNoTenant;
+  };
+
+  /// Register `stream_id` under `priority` / `tenant_name` (empty = no
+  /// tenant) with `budget`.  Idempotent: re-announcements (adoption replay)
+  /// keep the first registration's tenant slot and refresh the budget.
+  void register_stream(std::uint32_t stream_id, Priority priority,
+                       const std::string& tenant_name, const TenantOptions& budget);
+
+  /// Drop a stream's classification (tenant counters are kept: telemetry is
+  /// monotonic).
+  void forget_stream(std::uint32_t stream_id);
+
+  /// Priority of `stream_id`.  The control and telemetry streams are always
+  /// kControl; unknown streams default to kNormal.
+  Priority priority_of(std::uint32_t stream_id) const;
+
+  /// Both classification fields in one lookup.
+  StreamClass classify(std::uint32_t stream_id) const;
+
+  /// Budget for tenant index `tenant` (kNoTenant or out of range returns the
+  /// default unconstrained budget).
+  TenantOptions budget(std::uint16_t tenant) const;
+
+  /// Counter bumps, charged to `tenant` (kNoTenant is a no-op).
+  void note_send(std::uint16_t tenant, std::uint64_t bytes) noexcept;
+  void note_throttled(std::uint16_t tenant) noexcept;
+  void note_shed(std::uint16_t tenant, std::uint64_t packets = 1) noexcept;
+
+  /// Snapshot of every tenant's counters, in registration order.
+  std::vector<TenantTelemetry> snapshot() const;
+
+ private:
+  struct Tenant {
+    std::string name;
+    TenantOptions budget;
+    std::atomic<std::uint64_t> packets{0};
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> sends_throttled{0};
+    std::atomic<std::uint64_t> packets_shed{0};
+  };
+
+  Tenant* tenant_cell(std::uint16_t tenant) const noexcept;
+
+  mutable std::mutex mutex_;
+  std::map<std::uint32_t, StreamClass> streams_;
+  std::map<std::string, std::uint16_t> tenant_index_;
+  // unique_ptr so counter addresses survive vector growth.
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+};
+
+using TenantTablePtr = std::shared_ptr<TenantTable>;
+
+}  // namespace tbon

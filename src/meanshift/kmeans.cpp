@@ -131,7 +131,7 @@ KMeansResult kmeans_distributed(Network& network, std::size_t dim,
   result.centroids = initial_centroids(first_leaf, params);
 
   // The per-round reduction is the built-in element-wise sum.
-  Stream& stream = network.front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = network.front_end().open_stream({.up_transform = "sum"});
 
   for (result.rounds = 1; result.rounds <= params.max_rounds; ++result.rounds) {
     // Multicast the centroids; every back-end answers with its partials.

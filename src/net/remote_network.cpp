@@ -306,7 +306,7 @@ void fe_link_hello(RemoteState* st, const net::ConnRef& conn, const Bytes& frame
   if (st->fc.enabled) {
     edge.fc_link = std::make_shared<FlowControlledLink>(
         edge.channel, gate_down, st->fc, &st->root->metrics(),
-        /*fail_fast_throws=*/false);
+        /*fail_fast_throws=*/false, st->root->tenants());
     edge.channel = edge.fc_link;
   }
   st->root_children[slot] = std::move(edge);
@@ -478,7 +478,7 @@ void Network::run_remote_node(
       if (config.flow_control.enabled) {
         auto wrapped = std::make_shared<FlowControlledLink>(
             channel, gate_up, config.flow_control, &runtime.metrics(),
-            /*fail_fast_throws=*/true);
+            /*fail_fast_throws=*/true, runtime.tenants());
         runtime.register_fc_link(wrapped);
         channel = wrapped;
       }
@@ -515,7 +515,7 @@ void Network::run_remote_node(
             if (gate_up) {
               auto wrapped = std::make_shared<FlowControlledLink>(
                   fresh_raw, gate_up, config.flow_control, &self.metrics(),
-                  /*fail_fast_throws=*/true);
+                  /*fail_fast_throws=*/true, self.tenants());
               self.register_fc_link(wrapped);
               fresh = wrapped;
             }
@@ -565,7 +565,7 @@ void Network::run_remote_node(
       if (config.flow_control.enabled) {
         auto wrapped = std::make_shared<FlowControlledLink>(
             parent_coalesced, gate_up, config.flow_control, &runtime.metrics(),
-            /*fail_fast_throws=*/false);
+            /*fail_fast_throws=*/false, runtime.tenants());
         runtime.register_fc_link(wrapped);
         runtime.set_parent_link(std::make_unique<SharedLink>(wrapped));
         // Grants ride the raw link so the exempt control frame never waits
@@ -599,7 +599,7 @@ void Network::run_remote_node(
             if (gate_up) {
               auto wrapped = std::make_shared<FlowControlledLink>(
                   fresh_raw, gate_up, config.flow_control, &self.metrics(),
-                  /*fail_fast_throws=*/false);
+                  /*fail_fast_throws=*/false, self.tenants());
               self.register_fc_link(wrapped);
               fresh = wrapped;
               self.set_parent_granter(fc_frame_granter(fresh_raw));
@@ -634,7 +634,8 @@ void Network::run_remote_node(
         if (config.flow_control.enabled) {
           auto wrapped = std::make_shared<FlowControlledLink>(
               child_coalesced, gate_down, config.flow_control,
-              &runtime.metrics(), /*fail_fast_throws=*/false);
+              &runtime.metrics(), /*fail_fast_throws=*/false,
+              runtime.tenants());
           runtime.register_fc_link(wrapped);
           runtime.add_child_link(std::make_unique<SharedLink>(wrapped));
           runtime.set_child_granter(slot, fc_frame_granter(child_raw));
@@ -884,7 +885,8 @@ void Network::adopt_remote_orphan(Fd connection, const OrphanHello& hello) {
   std::shared_ptr<Link> channel = raw;
   if (fc_options_.enabled) {
     auto wrapped = std::make_shared<FlowControlledLink>(
-        raw, gate_down, fc_options_, &root.metrics(), /*fail_fast_throws=*/false);
+        raw, gate_down, fc_options_, &root.metrics(), /*fail_fast_throws=*/false,
+        root.tenants());
     root.register_fc_link(wrapped);
     root.set_child_granter(slot, fc_frame_granter(raw));
     channel = wrapped;

@@ -24,6 +24,16 @@ bool RelinkableLink::send(const PacketPtr& packet) {
   }
 }
 
+bool RelinkableLink::flush() {
+  std::shared_ptr<Link> inner;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return false;
+    inner = inner_;
+  }
+  return inner ? inner->flush() : true;
+}
+
 void RelinkableLink::close() {
   std::shared_ptr<Link> inner;
   {

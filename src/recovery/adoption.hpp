@@ -46,6 +46,7 @@ class RelinkableLink final : public Link {
       : inner_(std::move(inner)), relink_wait_(relink_wait) {}
 
   bool send(const PacketPtr& packet) override;
+  bool flush() override;
   void close() override;
 
   /// Swap in a fresh channel to the new parent; wakes blocked senders.

@@ -1,6 +1,7 @@
 #include "telemetry/collector.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -65,12 +66,52 @@ void accumulate(NodeTelemetry& total, const NodeTelemetry& r) {
   total.net_send_queue_peak =
       std::max(total.net_send_queue_peak, r.net_send_queue_peak);
   total.net_threads += r.net_threads;
+  total.prio_drained_control += r.prio_drained_control;
+  total.prio_drained_high += r.prio_drained_high;
+  total.prio_drained_normal += r.prio_drained_normal;
+  total.prio_drained_bulk += r.prio_drained_bulk;
+  total.topic_packets_pruned += r.topic_packets_pruned;
+  total.tenant_sends_throttled += r.tenant_sends_throttled;
+  total.tenant_packets_shed += r.tenant_packets_shed;
   for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
     total.filter_latency_hist[b] += r.filter_latency_hist[b];
   }
   for (std::size_t b = 0; b < kBatchBuckets; ++b) {
     total.batch_ppf_hist[b] += r.batch_ppf_hist[b];
   }
+  // Tenant rollups merge by name so the tree-wide total reads as one row
+  // per tenant regardless of which nodes carried its traffic.
+  for (const TenantTelemetry& t : r.tenants) {
+    auto it = std::find_if(total.tenants.begin(), total.tenants.end(),
+                           [&](const TenantTelemetry& x) { return x.name == t.name; });
+    if (it == total.tenants.end()) {
+      total.tenants.push_back(t);
+    } else {
+      it->packets += t.packets;
+      it->bytes += t.bytes;
+      it->sends_throttled += t.sends_throttled;
+      it->packets_shed += t.packets_shed;
+    }
+  }
+}
+
+void json_string(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
 }
 
 void json_record(std::ostringstream& out, const NodeTelemetry& r) {
@@ -127,6 +168,13 @@ void json_record(std::ostringstream& out, const NodeTelemetry& r) {
       << ",\"net_connections\":" << r.net_connections
       << ",\"net_send_queue_peak\":" << r.net_send_queue_peak
       << ",\"net_threads\":" << r.net_threads
+      << ",\"prio_drained_control\":" << r.prio_drained_control
+      << ",\"prio_drained_high\":" << r.prio_drained_high
+      << ",\"prio_drained_normal\":" << r.prio_drained_normal
+      << ",\"prio_drained_bulk\":" << r.prio_drained_bulk
+      << ",\"topic_packets_pruned\":" << r.topic_packets_pruned
+      << ",\"tenant_sends_throttled\":" << r.tenant_sends_throttled
+      << ",\"tenant_packets_shed\":" << r.tenant_packets_shed
       << ",\"filter_latency_hist\":[";
   for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
     if (b != 0) out << ',';
@@ -136,6 +184,16 @@ void json_record(std::ostringstream& out, const NodeTelemetry& r) {
   for (std::size_t b = 0; b < kBatchBuckets; ++b) {
     if (b != 0) out << ',';
     out << r.batch_ppf_hist[b];
+  }
+  out << "],\"tenants\":[";
+  for (std::size_t i = 0; i < r.tenants.size(); ++i) {
+    const TenantTelemetry& t = r.tenants[i];
+    if (i != 0) out << ',';
+    out << "{\"name\":";
+    json_string(out, t.name);
+    out << ",\"packets\":" << t.packets << ",\"bytes\":" << t.bytes
+        << ",\"sends_throttled\":" << t.sends_throttled
+        << ",\"packets_shed\":" << t.packets_shed << '}';
   }
   out << "]}";
 }

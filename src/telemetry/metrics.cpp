@@ -12,7 +12,13 @@ namespace {
 // v3: parallel-filter-execution counters + gauges appended (FilterExecutor).
 // v4: remote connection-subsystem counters + gauges appended (src/net/).
 // v5: small-packet batching counters + packets-per-flush histogram appended.
-constexpr std::uint8_t kWireVersion = 5;
+// v6: multi-tenant counters (priority drain, topic pruning, tenant rollups)
+//     + variable-length per-tenant entries appended.
+constexpr std::uint8_t kWireVersion = 6;
+
+/// Upper bound on per-tenant entries in one record; a decoded count above
+/// this is malformed (a hostile count must not pre-reserve unbounded memory).
+constexpr std::uint32_t kMaxTenantEntries = 1u << 16;
 
 void put_record(BinaryWriter& writer, const NodeTelemetry& r) {
   writer.put(r.node);
@@ -74,6 +80,21 @@ void put_record(BinaryWriter& writer, const NodeTelemetry& r) {
   writer.put(r.net_threads);
   for (const std::uint64_t count : r.filter_latency_hist) writer.put(count);
   for (const std::uint64_t count : r.batch_ppf_hist) writer.put(count);
+  writer.put(r.prio_drained_control);
+  writer.put(r.prio_drained_high);
+  writer.put(r.prio_drained_normal);
+  writer.put(r.prio_drained_bulk);
+  writer.put(r.topic_packets_pruned);
+  writer.put(r.tenant_sends_throttled);
+  writer.put(r.tenant_packets_shed);
+  writer.put(static_cast<std::uint32_t>(r.tenants.size()));
+  for (const TenantTelemetry& t : r.tenants) {
+    writer.put_string(t.name);
+    writer.put(t.packets);
+    writer.put(t.bytes);
+    writer.put(t.sends_throttled);
+    writer.put(t.packets_shed);
+  }
 }
 
 NodeTelemetry get_record(BinaryReader& reader) {
@@ -140,6 +161,27 @@ NodeTelemetry get_record(BinaryReader& reader) {
   }
   for (std::uint64_t& count : r.batch_ppf_hist) {
     count = reader.get<std::uint64_t>();
+  }
+  r.prio_drained_control = reader.get<std::uint64_t>();
+  r.prio_drained_high = reader.get<std::uint64_t>();
+  r.prio_drained_normal = reader.get<std::uint64_t>();
+  r.prio_drained_bulk = reader.get<std::uint64_t>();
+  r.topic_packets_pruned = reader.get<std::uint64_t>();
+  r.tenant_sends_throttled = reader.get<std::uint64_t>();
+  r.tenant_packets_shed = reader.get<std::uint64_t>();
+  const auto tenant_count = reader.get<std::uint32_t>();
+  if (tenant_count > kMaxTenantEntries) {
+    throw CodecError("telemetry tenant entry count out of range");
+  }
+  r.tenants.reserve(tenant_count);
+  for (std::uint32_t i = 0; i < tenant_count; ++i) {
+    TenantTelemetry t;
+    t.name = reader.get_string();
+    t.packets = reader.get<std::uint64_t>();
+    t.bytes = reader.get<std::uint64_t>();
+    t.sends_throttled = reader.get<std::uint64_t>();
+    t.packets_shed = reader.get<std::uint64_t>();
+    r.tenants.push_back(std::move(t));
   }
   return r;
 }

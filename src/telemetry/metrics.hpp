@@ -20,6 +20,7 @@
 #include <bit>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/archive.hpp"
@@ -34,6 +35,18 @@ inline constexpr std::size_t kLatencyBuckets = 16;
 /// coalescer: bucket b counts flushes carrying (2^(b-1), 2^b] packets
 /// (bucket 0: exactly 1; last: overflow).
 inline constexpr std::size_t kBatchBuckets = 8;
+
+/// One tenant's counter rollup inside a NodeTelemetry record (wire v6);
+/// the collector aggregates these tree-wide by name.
+struct TenantTelemetry {
+  std::string name;
+  std::uint64_t packets = 0;          ///< data packets sent on links
+  std::uint64_t bytes = 0;            ///< payload bytes sent on links
+  std::uint64_t sends_throttled = 0;  ///< sends delayed by the tenant budget
+  std::uint64_t packets_shed = 0;     ///< packets dropped charged to the tenant
+
+  bool operator==(const TenantTelemetry&) const = default;
+};
 
 /// Plain-value snapshot of one node's metrics — the record carried by
 /// telemetry packets and returned by Network::node_metrics().
@@ -95,6 +108,15 @@ struct NodeTelemetry {
   std::uint64_t batch_packets_in = 0;      ///< packets carried by decoded batch frames
   std::uint64_t batch_frames_rejected = 0; ///< malformed batch frames dropped (reader survives)
 
+  // Multi-tenant streams (src/core/tenant.hpp; wire v6).
+  std::uint64_t prio_drained_control = 0;  ///< executor tasks drained from the control class
+  std::uint64_t prio_drained_high = 0;
+  std::uint64_t prio_drained_normal = 0;
+  std::uint64_t prio_drained_bulk = 0;
+  std::uint64_t topic_packets_pruned = 0;  ///< downstream sends skipped: no subscriber below
+  std::uint64_t tenant_sends_throttled = 0; ///< sum over tenants (convenience rollup)
+  std::uint64_t tenant_packets_shed = 0;    ///< sum over tenants (convenience rollup)
+
   // Gauges (sampled at publish time).
   std::uint64_t inbox_depth = 0;  ///< envelopes queued in the node's inbox
   std::uint64_t sync_depth = 0;   ///< packets buffered across sync policies
@@ -111,6 +133,11 @@ struct NodeTelemetry {
   std::array<std::uint64_t, kLatencyBuckets> filter_latency_hist{};
   /// Packets-per-flush distribution (see kBatchBuckets).
   std::array<std::uint64_t, kBatchBuckets> batch_ppf_hist{};
+
+  /// Per-tenant rollups from this node's TenantTable, in registration
+  /// order.  Filled by the runtime at publish time (the registry's atomic
+  /// counters cannot hold strings).
+  std::vector<TenantTelemetry> tenants;
 
   friend bool operator==(const NodeTelemetry&, const NodeTelemetry&) = default;
 };
@@ -184,6 +211,12 @@ class MetricsRegistry {
   Counter batch_frames_in{0};
   Counter batch_packets_in{0};
   Counter batch_frames_rejected{0};
+
+  Counter prio_drained_control{0};
+  Counter prio_drained_high{0};
+  Counter prio_drained_normal{0};
+  Counter prio_drained_bulk{0};
+  Counter topic_packets_pruned{0};
 
   Counter inbox_depth{0};  ///< gauge, refreshed each telemetry tick
   Counter sync_depth{0};   ///< gauge, refreshed each telemetry tick
@@ -269,6 +302,11 @@ class MetricsRegistry {
     r.batch_frames_in = batch_frames_in.load(std::memory_order_relaxed);
     r.batch_packets_in = batch_packets_in.load(std::memory_order_relaxed);
     r.batch_frames_rejected = batch_frames_rejected.load(std::memory_order_relaxed);
+    r.prio_drained_control = prio_drained_control.load(std::memory_order_relaxed);
+    r.prio_drained_high = prio_drained_high.load(std::memory_order_relaxed);
+    r.prio_drained_normal = prio_drained_normal.load(std::memory_order_relaxed);
+    r.prio_drained_bulk = prio_drained_bulk.load(std::memory_order_relaxed);
+    r.topic_packets_pruned = topic_packets_pruned.load(std::memory_order_relaxed);
     r.inbox_depth = inbox_depth.load(std::memory_order_relaxed);
     r.sync_depth = sync_depth.load(std::memory_order_relaxed);
     r.fc_inflight_peak = fc_inflight_peak.load(std::memory_order_relaxed);

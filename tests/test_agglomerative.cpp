@@ -92,8 +92,9 @@ TEST(Agglomerate, TreeEquivalentToCentral) {
 
   register_agglomerative_filter();
   auto net = Network::create({.topology = Topology::balanced(2, 3)});
-  Stream& stream = net->front_end().new_stream(
-      {.up_transform = "agglomerative", .params = FilterParams().set("stop_distance", 60)});
+  Stream& stream = net->front_end().open_stream(
+      StreamSpec().up("agglomerative").with_params(
+          FilterParams().set("stop_distance", 60)));
   net->run_backends([&](BackEnd& be) {
     const auto local = agglomerate(singletons(per_leaf[be.rank()]), params);
     be.send(stream.id(), kTag, AggloCodec::kFormat, AggloCodec::to_values(local));
@@ -122,9 +123,9 @@ TEST(Agglomerate, TreeEquivalentToCentral) {
 TEST(Agglomerate, FilterCapsForwarding) {
   register_agglomerative_filter();
   auto net = Network::create({.topology = Topology::flat(4)});
-  Stream& stream = net->front_end().new_stream(
-      {.up_transform = "agglomerative",
-       .params = FilterParams().set("stop_distance", 1).set("max_clusters", 3)});
+  Stream& stream = net->front_end().open_stream(
+      StreamSpec().up("agglomerative").with_params(
+          FilterParams().set("stop_distance", 1).set("max_clusters", 3)));
   net->run_backends([&](BackEnd& be) {
     // Four distant singletons per back-end: nothing merges, the cap bites.
     std::vector<Cluster> clusters;

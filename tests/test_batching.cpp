@@ -270,7 +270,7 @@ std::vector<Bytes> threaded_run(const BatchingOptions& batching,
   auto net = Network::create({.topology = Topology::balanced(2, 2),
                               .flow_control = fc,
                               .batching = batching});
-  Stream& stream = net->front_end().new_stream({.up_transform = transform});
+  Stream& stream = net->front_end().open_stream({.up_transform = transform});
   // concat rejects scalar fields by design; give it one-element vectors.
   const bool vectors = transform == "concat";
   net->run_backends([&](BackEnd& be) {
@@ -316,7 +316,7 @@ TEST(BatchingIdentity, ThreadedEquivalenceMatchesUnbatched) {
     auto net = Network::create({.topology = Topology::balanced(2, 2),
                                 .batching = batching});
     Stream& stream =
-        net->front_end().new_stream({.up_transform = "equivalence_class"});
+        net->front_end().open_stream({.up_transform = "equivalence_class"});
     net->run_backends([&](BackEnd& be) {
       be.send(stream.id(), kTag, "vstr vi64 vi64",
               {std::vector<std::string>{be.rank() % 2 ? "odd" : "even"},
@@ -374,7 +374,7 @@ std::vector<Bytes> process_run(const BatchingOptions& batching,
            }
          }
        }});
-  Stream& stream = net->front_end().new_stream({.up_transform = transform});
+  Stream& stream = net->front_end().open_stream({.up_transform = transform});
   EXPECT_EQ(stream.id(), 1u);
   std::vector<Bytes> out;
   for (int wave = 0; wave < waves; ++wave) {
@@ -415,7 +415,7 @@ TEST(BatchingIdentity, ProcessModeConcatMatchesUnbatched) {
 TEST(BatchSendApi, StreamSendBatchBroadcasts) {
   auto net = Network::create({.topology = Topology::balanced(2, 2),
                               .batching = BatchingOptions::on().max_delay(1ms)});
-  Stream& stream = net->front_end().new_stream({.up_sync = "null"});
+  Stream& stream = net->front_end().open_stream({.up_sync = "null"});
   std::vector<PacketPtr> batch;
   for (std::int64_t i = 0; i < 3; ++i) {
     batch.push_back(stream.make_packet(kTag, "i64", {i * 100}));
@@ -438,7 +438,7 @@ TEST(BatchSendApi, StreamSendBatchBroadcasts) {
 TEST(BatchSendApi, BackEndSendBatchGathers) {
   auto net = Network::create({.topology = Topology::balanced(2, 2),
                               .batching = BatchingOptions::on().max_delay(1ms)});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   net->run_backends([&](BackEnd& be) {
     std::vector<PacketPtr> batch;
     for (std::int64_t wave = 0; wave < 5; ++wave) {
@@ -456,8 +456,8 @@ TEST(BatchSendApi, BackEndSendBatchGathers) {
 
 TEST(BatchSendApi, ValidatesBeforeAnySideEffect) {
   auto net = Network::create({.topology = Topology::balanced(2, 2)});
-  Stream& stream = net->front_end().new_stream({.up_sync = "null"});
-  Stream& other = net->front_end().new_stream({.up_sync = "null"});
+  Stream& stream = net->front_end().open_stream({.up_sync = "null"});
+  Stream& other = net->front_end().open_stream({.up_sync = "null"});
 
   EXPECT_THROW(stream.make_packet(3, "i64", {std::int64_t{0}}), ProtocolError);
 

@@ -56,7 +56,7 @@ TEST_F(ComplexFilters, EquivalenceClassEndToEnd) {
   // 16 back-ends, 3 distinct report classes by rank % 3: the front-end must
   // see exactly 3 classes with full membership.
   auto net = Network::create({.topology = Topology::balanced(4, 2)});
-  Stream& stream = net->front_end().new_stream({.up_transform = "equivalence_class"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "equivalence_class"});
   net->run_backends([&](BackEnd& be) {
     EquivalenceClasses mine;
     mine.add("class-" + std::to_string(be.rank() % 3), be.rank());
@@ -111,7 +111,7 @@ TEST_F(ComplexFilters, HistogramEndToEndEqualsGlobal) {
   }
 
   auto net = Network::create({.topology = Topology::balanced(2, 3)});
-  Stream& stream = net->front_end().new_stream({.up_transform = "histogram_merge"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "histogram_merge"});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, HistogramCodec::kFormat,
             HistogramCodec::to_values(locals[be.rank()]));
@@ -163,7 +163,7 @@ TEST_F(ComplexFilters, TimeAlignedEndToEnd) {
   // 4 leaves each send buckets 0..2 interleaved; front-end must see exactly
   // 3 aligned buckets, each summing all four children.
   auto net = Network::create({.topology = Topology::balanced(2, 2)});
-  Stream& stream = net->front_end().new_stream(
+  Stream& stream = net->front_end().open_stream(
       {.up_transform = "time_aligned", .up_sync = "null"});
   net->run_backends([&](BackEnd& be) {
     for (std::uint64_t bucket = 0; bucket < 3; ++bucket) {
@@ -252,7 +252,7 @@ TEST_F(ComplexFilters, SgfaEndToEnd) {
   // attribute hosts correctly (paper §2.2's SGFA behaviour).
   constexpr std::size_t kLeaves = 9;
   auto net = Network::create({.topology = Topology::balanced(3, 2)});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sgfa"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sgfa"});
   net->run_backends([&](BackEnd& be) {
     CallTree tree;
     const std::string shared[] = {"main", "solve", "mpi_wait"};
@@ -303,8 +303,8 @@ TEST_F(ComplexFilters, TopKKeepsLargest) {
 
 TEST_F(ComplexFilters, TopKEndToEndMatchesGlobalSort) {
   auto net = Network::create({.topology = Topology::balanced(4, 2)});  // 16 leaves
-  Stream& stream = net->front_end().new_stream(
-      {.up_transform = "topk", .params = FilterParams().set("k", 5)});
+  Stream& stream = net->front_end().open_stream(
+      StreamSpec().up("topk").with_params(FilterParams().set("k", 5)));
   net->run_backends([&](BackEnd& be) {
     // score(rank, i) = rank * 10 + i for i in 0..9; global top-5 = 159..155.
     std::vector<double> scores;
@@ -341,9 +341,9 @@ TEST_F(ComplexFilters, ClockSkewEndToEnd) {
   // offsets must match the injected values within the path-latency bound.
   constexpr std::uint64_t kSeed = 42;
   auto net = Network::create({.topology = Topology::balanced(3, 2)});
-  Stream& stream = net->front_end().new_stream({.up_transform = "clock_skew",
-                                                .down_transform = "clock_probe",
-                                                .params = FilterParams().set("skew_seed", 42)});
+  Stream& stream = net->front_end().open_stream(
+      StreamSpec().up("clock_skew").down("clock_probe").with_params(
+          FilterParams().set("skew_seed", 42)));
   // PROBE carries the front-end's virtual clock (the root node applies
   // clock_probe too, appending its own stamp; the FE stamp is field 0).
   stream.send(kTag, "vf64",
@@ -380,9 +380,9 @@ TEST_F(ComplexFilters, SuperFilterChains) {
   auto net = Network::create({.topology = Topology::balanced(2, 2)});
   // Chain: topk(k=2) then passthrough — chaining is observable because the
   // result is the top-2 at every level.
-  Stream& stream = net->front_end().new_stream(
-      {.up_transform = "super",
-       .params = FilterParams().set("chain", "topk,passthrough").set("k", 2)});
+  Stream& stream = net->front_end().open_stream(
+      StreamSpec().up("super").with_params(
+          FilterParams().set("chain", "topk,passthrough").set("k", 2)));
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, TopKFilter::kFormat,
             {std::vector<double>{static_cast<double>(be.rank()),

@@ -163,8 +163,8 @@ TEST_P(DistributedEquivalence, PeaksMatchSingleNode) {
 
   // Distributed run through the real network.
   auto net = Network::create({.topology = topology});
-  Stream& stream = net->front_end().new_stream(
-      {.up_transform = "mean_shift", .params = to_filter_params(params)});
+  Stream& stream = net->front_end().open_stream(
+      StreamSpec().up("mean_shift").with_params(to_filter_params(params)));
   net->run_backends([&](BackEnd& be) {
     const auto data = generate_leaf_data(be.rank(), synth);
     const LocalResult local = leaf_compute(data, params);
@@ -210,8 +210,8 @@ TEST(DistributedMeanShiftProcess, WorksAcrossRealProcesses) {
          const LocalResult local = leaf_compute(data, params);
          be.send(1, kTag, MeanShiftCodec::kFormat, MeanShiftCodec::to_values(local));
        }});
-  tbon::Stream& stream = net->front_end().new_stream(
-      {.up_transform = "mean_shift", .params = to_filter_params(params)});
+  tbon::Stream& stream = net->front_end().open_stream(
+      tbon::StreamSpec().up("mean_shift").with_params(to_filter_params(params)));
   const auto result = stream.recv_for(60s);
   ASSERT_TRUE(result.has_value());
   const LocalResult merged = MeanShiftCodec::from_values(**result);

@@ -13,7 +13,7 @@ constexpr std::int32_t kTag = kFirstAppTag;
 
 TEST(DynamicAttach, NewBackendJoinsExistingStream) {
   auto net = Network::create({.topology = Topology::flat(2)});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
 
   BackEnd& late = net->attach_backend(net->topology().root());
   EXPECT_EQ(late.rank(), 2u);
@@ -34,7 +34,7 @@ TEST(DynamicAttach, StreamsCreatedAfterAttachIncludeNewcomer) {
   auto net = Network::create({.topology = Topology::flat(2)});
   BackEnd& late = net->attach_backend(net->topology().root());
 
-  Stream& stream = net->front_end().new_stream({.up_transform = "count"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "count"});
   net->backend(0).send(stream.id(), kTag, "i64", {std::int64_t{0}});
   net->backend(1).send(stream.id(), kTag, "i64", {std::int64_t{0}});
   late.send(stream.id(), kTag, "i64", {std::int64_t{0}});
@@ -47,7 +47,7 @@ TEST(DynamicAttach, StreamsCreatedAfterAttachIncludeNewcomer) {
 TEST(DynamicAttach, BroadcastReachesNewcomer) {
   auto net = Network::create({.topology = Topology::flat(2)});
   BackEnd& late = net->attach_backend(net->topology().root());
-  Stream& stream = net->front_end().new_stream({});
+  Stream& stream = net->front_end().open_stream({});
   // Give the attach a moment to be wired before the downstream multicast.
   // (The attach marker and the stream announcement both flow through the
   // root's inbox; marker first, so ordering is already guaranteed.)
@@ -61,7 +61,7 @@ TEST(DynamicAttach, BroadcastReachesNewcomer) {
 TEST(DynamicAttach, AttachUnderInternalNode) {
   auto net = Network::create({.topology = Topology::balanced(2, 2)});  // nodes 1,2 internal
   BackEnd& late = net->attach_backend(1);
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "i64", {std::int64_t{1}});
   });
@@ -100,7 +100,7 @@ TEST(DynamicAttach, MultipleAttachesGetDistinctRanks) {
   EXPECT_EQ(net->num_backends(), 5u);
   EXPECT_EQ(&net->backend(3), &b);
 
-  Stream& stream = net->front_end().new_stream({.up_transform = "count"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "count"});
   for (std::uint32_t rank = 0; rank < 5; ++rank) {
     net->backend(rank).send(stream.id(), kTag, "i64", {std::int64_t{0}});
   }
@@ -112,7 +112,7 @@ TEST(DynamicAttach, MultipleAttachesGetDistinctRanks) {
 
 TEST(DynamicAttach, ExplicitEndpointStreamsExcludeNewcomer) {
   auto net = Network::create({.topology = Topology::flat(2)});
-  Stream& subset = net->front_end().new_stream(
+  Stream& subset = net->front_end().open_stream(
       {.endpoints = {0, 1}, .up_transform = "sum"});
   BackEnd& late = net->attach_backend(net->topology().root());
   (void)late;
@@ -138,7 +138,7 @@ TEST(DynamicAttach, RecoveryPattern) {
   // balancing)"): kill an internal node, then attach a replacement back-end
   // to the root and keep computing with the survivors.
   auto net = Network::create({.topology = Topology::balanced(2, 2)});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
 
   net->kill_node(1);  // orphans ranks 0 and 1
   BackEnd& replacement = net->attach_backend(net->topology().root());

@@ -45,7 +45,7 @@ TEST(DynamicFilters, LoadedFilterRunsInANetwork) {
   // protocol, exactly as a tool would at runtime.
   net->front_end().load_filter_library(TBON_SAMPLE_FILTER_LIB);
 
-  Stream& stream = net->front_end().new_stream({.up_transform = "geomean"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "geomean"});
   net->run_backends([&](BackEnd& be) {
     const double value = 2.0 + be.rank();  // 2, 3, 4, 5
     be.send(stream.id(), kTag, "f64 u64", {std::log(value), std::uint64_t{1}});
@@ -62,7 +62,7 @@ TEST(DynamicFilters, LoadedFilterRunsInANetwork) {
 TEST(DynamicFilters, LoadedSyncPolicyRuns) {
   auto net = Network::create({.topology = Topology::flat(4)});
   net->front_end().load_filter_library(TBON_SAMPLE_FILTER_LIB);
-  Stream& stream = net->front_end().new_stream(
+  Stream& stream = net->front_end().open_stream(
       {.up_transform = "count", .up_sync = "pairs"});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "i64", {std::int64_t{be.rank()}});

@@ -131,7 +131,7 @@ std::vector<std::string> time_aligned_payloads(NetworkMode mode, std::uint32_t w
   options.execution.num_workers = workers;
   if (mode == NetworkMode::kProcess) options.backend_main = send_all;
   auto net = Network::create(options);
-  Stream& stream = net->front_end().new_stream(
+  Stream& stream = net->front_end().open_stream(
       {.up_transform = "time_aligned", .up_sync = "null"});
   if (mode == NetworkMode::kThreaded) net->run_backends(send_all);
   auto payloads = collect_payloads(stream, kBuckets);
@@ -158,7 +158,7 @@ std::vector<std::string> equivalence_payloads(std::uint32_t workers) {
   options.topology = Topology::balanced(2, 3);
   options.execution.num_workers = workers;
   auto net = Network::create(options);
-  Stream& stream = net->front_end().new_stream({.up_transform = "equivalence_class"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "equivalence_class"});
   net->run_backends([&](BackEnd& be) {
     for (int wave = 0; wave < kWaves; ++wave) {
       EquivalenceClasses mine;
@@ -183,7 +183,7 @@ std::vector<std::string> sgfa_payloads(std::uint32_t workers) {
   options.topology = Topology::balanced(3, 2);  // 9 leaves
   options.execution.num_workers = workers;
   auto net = Network::create(options);
-  Stream& stream = net->front_end().new_stream({.up_transform = "sgfa"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sgfa"});
   net->run_backends([&](BackEnd& be) {
     CallTree tree;
     const std::string shared[] = {"main", "solve", "mpi_wait"};
@@ -216,7 +216,7 @@ TEST_F(ExecutorFilters, PerStreamFifoSurvivesWorkersEndToEnd) {
                               .execution = {.num_workers = 8}});
   std::vector<Stream*> streams;
   for (std::size_t s = 0; s < kStreams; ++s) {
-    streams.push_back(&net->front_end().new_stream({.up_sync = "null"}));
+    streams.push_back(&net->front_end().open_stream({.up_sync = "null"}));
   }
   net->run_backends([&](BackEnd& be) {
     for (std::int64_t seq = 0; seq < kPerBackend; ++seq) {
@@ -245,7 +245,7 @@ TEST_F(ExecutorFilters, PerStreamFifoSurvivesWorkersEndToEnd) {
 
 TEST_F(ExecutorFilters, RecvDeadlinesReportTimeout) {
   auto net = Network::create({.topology = Topology::flat(2)});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   // Nothing sent yet: deadline spellings must report kTimeout, not block.
   EXPECT_EQ(stream.recv_until(std::chrono::steady_clock::now() + 10ms).status(),
             RecvStatus::kTimeout);
@@ -274,7 +274,7 @@ TEST_F(ExecutorFilters, KillAndReadoptMidFlightWithWorkers) {
   auto net = Network::create({.topology = topo,
                               .recovery = {.auto_readopt = true},
                               .execution = {.num_workers = 2}});
-  Stream& stream = net->front_end().new_stream(
+  Stream& stream = net->front_end().open_stream(
       {.up_transform = "sum", .up_sync = "wait_for_all"});
   auto send_wave = [&] {
     for (std::uint32_t rank = 0; rank < 8; ++rank) {
@@ -322,7 +322,7 @@ TEST_F(ExecutorFilters, FlowControlDepthStaysBoundedWithWorkers) {
                         .policy = FlowControlPolicy::kBlock,
                         .block_timeout_ms = 30'000},
        .execution = {.num_workers = 2, .stream_queue_capacity = 8}});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   net->run_backends([&](BackEnd& be) {
     for (int wave = 0; wave < kWaves; ++wave) {
       be.send(stream.id(), kTag, "i64", {std::int64_t{1}});
@@ -348,7 +348,7 @@ TEST_F(ExecutorFilters, TelemetryAggregatesExecutorMetricsTreeWide) {
   auto net = Network::create({.topology = Topology::balanced(2, 2),
                               .telemetry = {.enabled = true, .interval_ms = 50},
                               .execution = {.num_workers = 2}});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   for (int wave = 0; wave < 10; ++wave) {
     net->run_backends([&](BackEnd& be) {
       be.send(stream.id(), kTag, "i64", {std::int64_t{be.rank()}});
@@ -377,7 +377,7 @@ TEST_F(ExecutorFilters, InlineBelowBytesKeepsSmallPacketsOnTheLoop) {
       {.topology = Topology::flat(2),
        .execution = {.num_workers = 2, .inline_below_bytes = 1 << 20}});
 #pragma GCC diagnostic pop
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   for (int wave = 0; wave < 5; ++wave) {
     net->run_backends([&](BackEnd& be) {
       be.send(stream.id(), kTag, "i64", {std::int64_t{1}});
@@ -399,7 +399,7 @@ TEST_F(ExecutorFilters, ProcessModeSumReductionWithWorkers) {
        .backend_main = [](BackEnd& be) {
          be.send(1, kTag, "i64", {std::int64_t{be.rank() + 1}});
        }});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   const auto result = stream.recv_for(20s);
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ((*result)->get_i64(0), 10);

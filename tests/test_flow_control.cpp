@@ -291,7 +291,7 @@ TEST(FlowControlThreaded, BlockBoundsPeakPerChannelQueueAndDeliversAll) {
                         .capacity = kCapacity,
                         .policy = FlowControlPolicy::kBlock,
                         .block_timeout_ms = 30'000}});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   net->run_backends([&](BackEnd& be) {
     for (int wave = 0; wave < kWaves; ++wave) {
       be.send(stream.id(), kTag, "i64", {std::int64_t{1}});
@@ -329,7 +329,7 @@ TEST(FlowControlThreaded, DropOldestConservesPacketsAndKeepsFifoOrder) {
        .flow_control = {.enabled = true,
                         .capacity = 4,
                         .policy = FlowControlPolicy::kDropOldest}});
-  Stream& stream = net->front_end().new_stream({});  // passthrough
+  Stream& stream = net->front_end().open_stream({});  // passthrough
   net->run_backends([&](BackEnd& be) {
     for (std::int64_t i = 0; i < kSent; ++i) {
       be.send(stream.id(), kTag, "i64", {i});
@@ -373,7 +373,7 @@ TEST(FlowControlThreaded, FailFastSurfacesStatusToTheSendingBackend) {
        .flow_control = {.enabled = true,
                         .capacity = 4,
                         .policy = FlowControlPolicy::kFailFast}});
-  Stream& stream = net->front_end().new_stream({.up_sync = "null"});
+  Stream& stream = net->front_end().open_stream({.up_sync = "null"});
   std::atomic<int> throws{0};
   net->run_backends([&](BackEnd& be) {
     // The interiors sleep 2 ms per aggregated send while each leaf bursts
@@ -410,7 +410,7 @@ TEST(FlowControlThreaded, ReadoptionRebaselinesCreditsWithoutDeadlock) {
                         .capacity = 4,
                         .policy = FlowControlPolicy::kBlock,
                         .block_timeout_ms = 30'000}});
-  Stream& stream = net->front_end().new_stream({.up_sync = "null"});
+  Stream& stream = net->front_end().open_stream({.up_sync = "null"});
   stream.send(kTag, "str", {std::string("go")});
   net->run_backends([&](BackEnd& be) {
     if (!be.recv_for(30s).ok()) return;
@@ -468,7 +468,7 @@ TEST(FlowControlProcess, BlockBoundsPeakAcrossProcessesAndDeliversAll) {
            be.send(1, kTag, "i64", {std::int64_t{1}});
          }
        }});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   stream.send(kTag, "str", {std::string("go")});
   for (int wave = 0; wave < kWaves; ++wave) {
     const auto result = stream.recv_for(30s);
@@ -522,8 +522,8 @@ TEST(FlowControlProcess, FailFastSurfacesToBackendMainInChildProcesses) {
            }
          }
        }});
-  Stream& burst = net->front_end().new_stream({.up_sync = "null"});
-  Stream& report = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& burst = net->front_end().open_stream({.up_sync = "null"});
+  Stream& report = net->front_end().open_stream({.up_transform = "sum"});
   ASSERT_EQ(burst.id(), 1u);
   ASSERT_EQ(report.id(), 2u);
   burst.send(kTag, "str", {std::string("go")});

@@ -272,7 +272,7 @@ TEST(ViewLifetime, PayloadOutlivesLinkTeardown) {
   BufferView payload;
   {
     auto net = Network::create({.topology = Topology::flat(2)});
-    Stream& stream = net->front_end().new_stream({.up_transform = "concat"});
+    Stream& stream = net->front_end().open_stream({.up_transform = "concat"});
     Bytes blob(8192);
     for (std::size_t i = 0; i < blob.size(); ++i) blob[i] = static_cast<std::byte>(i % 251);
     net->backend(0).send(stream.id(), kFirstAppTag, BufferView(Bytes(blob)));

@@ -76,7 +76,7 @@ TEST(MrnetConfig, DrivesARealNetwork) {
     mid:1 => worker:3 worker:4 ;
   )");
   auto net = Network::create({.topology = t});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kFirstAppTag, "i64", {std::int64_t{1}});
   });

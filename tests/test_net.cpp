@@ -98,7 +98,7 @@ TEST(RemoteNetwork, SumReductionThreeLevelTree) {
     be.send(1, kTag, "i64", {std::int64_t{be.rank() + 1}});
   });
   EXPECT_TRUE(net->is_remote_mode());
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   ASSERT_EQ(stream.id(), 1u);
   const auto result = stream.recv_for(20s);
   ASSERT_TRUE(result.has_value());
@@ -113,7 +113,7 @@ TEST(RemoteNetwork, BroadcastAndEcho) {
     be.send(1, kTag, "str i64",
             {(*packet)->get_str(0) + "-ack", std::int64_t{be.rank()}});
   });
-  Stream& stream = net->front_end().new_stream({.up_sync = "null"});
+  Stream& stream = net->front_end().open_stream({.up_sync = "null"});
   stream.send(kTag, "str", {std::string("hello")});
   std::set<std::int64_t> ranks;
   for (int i = 0; i < 4; ++i) {
@@ -132,7 +132,7 @@ TEST(RemoteNetwork, WavgFilterAcrossProcesses) {
   auto net = remote_net(Topology::balanced(2, 2), [](BackEnd& be) {
     send_wave(be, 1);
   });
-  Stream& stream = net->front_end().new_stream(
+  Stream& stream = net->front_end().open_stream(
       {.up_transform = "wavg", .up_sync = "wait_for_all"});
   const auto sum = await_weight(stream, 4, 20s);
   ASSERT_TRUE(sum.has_value());
@@ -155,7 +155,7 @@ TEST(RemoteNetwork, FramesLargerThanSendBudgetMakeProgress) {
     be.send(1, kTag, "str i64",
             {(*packet)->get_str(0), std::int64_t{be.rank()}});
   });
-  Stream& stream = net->front_end().new_stream({.up_sync = "null"});
+  Stream& stream = net->front_end().open_stream({.up_sync = "null"});
   stream.send(kTag, "str", {std::string(kBig, 'x')});
   std::set<std::int64_t> ranks;
   for (int i = 0; i < 2; ++i) {
@@ -180,7 +180,7 @@ TEST(RemoteNetwork, TelemetryAggregatesAndThreadCountIsFlat) {
   auto net = remote_net(Topology::from_fanouts(std::vector<std::size_t>{1, 4}),
                         [](BackEnd& be) { pumping_backend(be, 1); },
                         std::move(extra));
-  Stream& stream = net->front_end().new_stream(
+  Stream& stream = net->front_end().open_stream(
       {.up_transform = "wavg", .up_sync = "wait_for_all"});
   ASSERT_TRUE(await_weight(stream, 4, 20s).has_value());
   net->shutdown();
@@ -214,7 +214,7 @@ TEST(RemoteNetwork, KillInteriorNodeOrphansReadopt) {
   auto net = remote_net(Topology::balanced(2, 2),
                         [](BackEnd& be) { pumping_backend(be, 1); },
                         std::move(extra));
-  Stream& stream = net->front_end().new_stream(
+  Stream& stream = net->front_end().open_stream(
       {.up_transform = "wavg", .up_sync = "wait_for_all"});
   auto sum = await_weight(stream, 4, 30s);
   ASSERT_TRUE(sum.has_value());
@@ -253,7 +253,7 @@ TEST(RemoteNetwork, CreditGatesRebaselineAfterReconnect) {
   auto net = remote_net(Topology::balanced(2, 2),
                         [](BackEnd& be) { pumping_backend(be, 1); },
                         std::move(extra));
-  Stream& stream = net->front_end().new_stream(
+  Stream& stream = net->front_end().open_stream(
       {.up_transform = "wavg", .up_sync = "wait_for_all"});
   ASSERT_TRUE(await_weight(stream, 4, 30s).has_value());
 

@@ -23,7 +23,7 @@ TEST(Network, RejectsDegenerateTopologies) {
 
 TEST(Network, SumReductionBalancedTree) {
   auto net = Network::create({.topology = Topology::balanced(4, 2)});  // 16 leaves
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
 
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "i64", {std::int64_t{be.rank() + 1}});
@@ -37,7 +37,7 @@ TEST(Network, SumReductionBalancedTree) {
 
 TEST(Network, BroadcastReachesAllBackends) {
   auto net = Network::create({.topology = Topology::balanced(3, 2)});  // 9 leaves
-  Stream& stream = net->front_end().new_stream({});
+  Stream& stream = net->front_end().open_stream({});
   stream.send(kTag, "str i64", {std::string("go"), std::int64_t{42}});
 
   std::atomic<int> received{0};
@@ -55,7 +55,7 @@ TEST(Network, BroadcastReachesAllBackends) {
 
 TEST(Network, ConcatGathersInRankOrder) {
   auto net = Network::create({.topology = Topology::balanced(2, 3)});  // 8 leaves
-  Stream& stream = net->front_end().new_stream({.up_transform = "concat"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "concat"});
 
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "vi64", {std::vector<std::int64_t>{be.rank()}});
@@ -72,7 +72,7 @@ TEST(Network, ConcatGathersInRankOrder) {
 
 TEST(Network, FlatTopologyWorks) {
   auto net = Network::create({.topology = Topology::flat(32)});
-  Stream& stream = net->front_end().new_stream({.up_transform = "max"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "max"});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "f64", {static_cast<double>(be.rank())});
   });
@@ -84,7 +84,7 @@ TEST(Network, FlatTopologyWorks) {
 
 TEST(Network, MultipleWavesStayOrdered) {
   auto net = Network::create({.topology = Topology::balanced(2, 2)});  // 4 leaves
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
 
   constexpr int kWaves = 20;
   net->run_backends([&](BackEnd& be) {
@@ -105,8 +105,8 @@ TEST(Network, ConcurrentOverlappingStreams) {
   // "MRNet supports data communication across multiple, concurrent data
   // streams that may overlap in end-point membership."
   auto net = Network::create({.topology = Topology::balanced(4, 2)});  // 16 leaves
-  Stream& sums = net->front_end().new_stream({.up_transform = "sum"});
-  Stream& maxima = net->front_end().new_stream({.up_transform = "max"});
+  Stream& sums = net->front_end().open_stream({.up_transform = "sum"});
+  Stream& maxima = net->front_end().open_stream({.up_transform = "max"});
 
   net->run_backends([&](BackEnd& be) {
     be.send(sums.id(), kTag, "i64", {std::int64_t{1}});
@@ -127,7 +127,7 @@ TEST(Network, ConcurrentOverlappingStreams) {
 TEST(Network, SubsetEndpointsOnlyInvolveMembers) {
   // Streams over endpoint subsets select sub-trees (paper §2.2).
   auto net = Network::create({.topology = Topology::balanced(4, 2)});  // 16 leaves
-  Stream& subset = net->front_end().new_stream(
+  Stream& subset = net->front_end().open_stream(
       {.endpoints = {0, 1, 2, 3}, .up_transform = "sum"});  // one subtree only
   subset.send(kTag, "str", {std::string("begin")});
 
@@ -155,7 +155,7 @@ TEST(Network, DownstreamFilterRuns) {
   // Downstream transformation: our extension beyond upstream-only MRNet
   // streams (the paper's future-work direction of bidirectional filtering).
   auto net = Network::create({.topology = Topology::balanced(2, 2)});
-  Stream& stream = net->front_end().new_stream({.down_transform = "passthrough"});
+  Stream& stream = net->front_end().open_stream({.down_transform = "passthrough"});
   stream.send(kTag, "i64", {std::int64_t{5}});
   std::atomic<int> got{0};
   net->run_backends([&](BackEnd& be) {
@@ -190,7 +190,7 @@ TEST(Network, CustomFilterViaRegistry) {
   }
 
   auto net = Network::create({.topology = Topology::balanced(2, 2)});
-  Stream& stream = net->front_end().new_stream({.up_transform = "test_double_sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "test_double_sum"});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "i64", {std::int64_t{1}});
   });
@@ -204,22 +204,22 @@ TEST(Network, CustomFilterViaRegistry) {
 
 TEST(Network, UnknownFilterFailsFast) {
   auto net = Network::create({.topology = Topology::flat(2)});
-  EXPECT_THROW(net->front_end().new_stream({.up_transform = "missing"}), FilterError);
-  EXPECT_THROW(net->front_end().new_stream({.up_sync = "missing"}), FilterError);
-  EXPECT_THROW(net->front_end().new_stream({.endpoints = {99}}), ProtocolError);
+  EXPECT_THROW(net->front_end().open_stream({.up_transform = "missing"}), FilterError);
+  EXPECT_THROW(net->front_end().open_stream({.up_sync = "missing"}), FilterError);
+  EXPECT_THROW(net->front_end().open_stream({.endpoints = {99}}), ProtocolError);
   net->shutdown();
 }
 
 TEST(Network, BadTagRejected) {
   auto net = Network::create({.topology = Topology::flat(2)});
-  Stream& stream = net->front_end().new_stream({});
+  Stream& stream = net->front_end().open_stream({});
   EXPECT_THROW(stream.send(1, "", {}), ProtocolError);  // control-range tag
   net->shutdown();
 }
 
 TEST(Network, ShutdownIsIdempotentAndUnblocksRecv) {
   auto net = Network::create({.topology = Topology::balanced(2, 2)});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   net->shutdown();
   net->shutdown();  // second call is a no-op
   EXPECT_EQ(stream.recv_for(100ms).status(), RecvStatus::kShutdown);
@@ -227,16 +227,15 @@ TEST(Network, ShutdownIsIdempotentAndUnblocksRecv) {
 
 TEST(Network, DestructorShutsDownCleanly) {
   auto net = Network::create({.topology = Topology::balanced(3, 2)});
-  net->front_end().new_stream({.up_transform = "sum"});
+  net->front_end().open_stream({.up_transform = "sum"});
   // No explicit shutdown: the destructor must not hang or crash.
 }
 
 TEST(Network, TimeoutSyncDeliversWithoutAllChildren) {
   auto net = Network::create({.topology = Topology::flat(4)});
-  Stream& stream = net->front_end().new_stream(
-      {.up_transform = "sum",
-       .up_sync = "time_out",
-       .params = FilterParams().set("window_ms", 30)});
+  Stream& stream = net->front_end().open_stream(
+      StreamSpec().up("sum").sync("time_out").with_params(
+          FilterParams().set("window_ms", 30)));
   // Only half the back-ends report.
   net->backend(0).send(stream.id(), kTag, "i64", {std::int64_t{5}});
   net->backend(1).send(stream.id(), kTag, "i64", {std::int64_t{6}});
@@ -248,7 +247,7 @@ TEST(Network, TimeoutSyncDeliversWithoutAllChildren) {
 
 TEST(Network, NullSyncDeliversPerPacket) {
   auto net = Network::create({.topology = Topology::flat(3)});
-  Stream& stream = net->front_end().new_stream({.up_sync = "null"});
+  Stream& stream = net->front_end().open_stream({.up_sync = "null"});
   net->backend(2).send(stream.id(), kTag, "i64", {std::int64_t{7}});
   const auto result = stream.recv_for(5s);
   ASSERT_TRUE(result.has_value());
@@ -259,7 +258,7 @@ TEST(Network, NullSyncDeliversPerPacket) {
 
 TEST(Network, BackendFailureDegradesWaitForAll) {
   auto net = Network::create({.topology = Topology::flat(4)});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
 
   // Kill back-end rank 3 before anyone sends.
   net->kill_node(net->topology().leaves()[3]);
@@ -275,7 +274,7 @@ TEST(Network, BackendFailureDegradesWaitForAll) {
 
 TEST(Network, InternalNodeFailureOrphansSubtree) {
   auto net = Network::create({.topology = Topology::balanced(2, 2)});  // nodes 1,2 internal
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
 
   net->kill_node(1);  // first internal node: leaves 0,1 orphaned
 
@@ -295,7 +294,7 @@ TEST(Network, KillRootRejected) {
 
 TEST(Network, MetricsCountTraffic) {
   auto net = Network::create({.topology = Topology::balanced(2, 2)});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "vf64", {std::vector<double>(8, 1.0)});
   });
@@ -314,7 +313,7 @@ TEST(Network, MetricsCountTraffic) {
 
 TEST(Network, DeleteStreamFlushesAndStops) {
   auto net = Network::create({.topology = Topology::flat(2)});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   net->backend(0).send(stream.id(), kTag, "i64", {std::int64_t{1}});
   // Partial wave is buffered in wait_for_all; delete flushes it upward.
   net->front_end().delete_stream(stream.id());
@@ -331,7 +330,7 @@ class NetworkReduction : public ::testing::TestWithParam<const char*> {};
 TEST_P(NetworkReduction, SumMatchesClosedForm) {
   const Topology topology = TopologyOptions::from_spec(GetParam());
   auto net = Network::create({.topology = topology});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "i64", {std::int64_t{be.rank()}});
   });

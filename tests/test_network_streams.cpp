@@ -20,7 +20,7 @@ TEST(StreamSemantics, WavgIsExactOnUnevenTrees) {
   ASSERT_EQ(topology.num_leaves(), 4u);
 
   auto net = Network::create({.topology = topology});
-  Stream& stream = net->front_end().new_stream({.up_transform = "wavg"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "wavg"});
   // Values 10, 20, 30 (subtree A), 100 (subtree B): exact mean = 40.
   const double values[] = {10, 20, 30, 100};
   net->run_backends([&](BackEnd& be) {
@@ -42,7 +42,7 @@ TEST(StreamSemantics, AvgIsApproximateOnUnevenTrees) {
   const NodeId parents[] = {kNoNode, 0, 0, 1, 1, 1, 2};
   const Topology topology = Topology::from_parents(parents);
   auto net = Network::create({.topology = topology});
-  Stream& stream = net->front_end().new_stream({.up_transform = "avg"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "avg"});
   const double values[] = {10, 20, 30, 100};
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "f64", {values[be.rank()]});
@@ -56,7 +56,7 @@ TEST(StreamSemantics, AvgIsApproximateOnUnevenTrees) {
 
 TEST(StreamSemantics, CountComposesThroughDeepTrees) {
   auto net = Network::create({.topology = Topology::balanced(3, 3)});  // 27 leaves
-  Stream& stream = net->front_end().new_stream({.up_transform = "count"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "count"});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "str", {std::string("present")});
   });
@@ -70,8 +70,8 @@ TEST(StreamSemantics, PerStreamSyncSelection) {
   // Two streams over the same tree with different sync policies: null must
   // deliver per-packet while wait_for_all delivers one aggregate.
   auto net = Network::create({.topology = Topology::flat(3)});
-  Stream& eager = net->front_end().new_stream({.up_sync = "null"});
-  Stream& aligned = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& eager = net->front_end().open_stream({.up_sync = "null"});
+  Stream& aligned = net->front_end().open_stream({.up_transform = "sum"});
   net->run_backends([&](BackEnd& be) {
     be.send(eager.id(), kTag, "i64", {std::int64_t{be.rank()}});
     be.send(aligned.id(), kTag, "i64", {std::int64_t{be.rank()}});
@@ -112,7 +112,7 @@ TEST(StreamSemantics, MultiOutputFilterFansOutUpstream) {
   }
 
   auto net = Network::create({.topology = Topology::flat(2)});
-  Stream& stream = net->front_end().new_stream({.up_transform = kName});
+  Stream& stream = net->front_end().open_stream({.up_transform = kName});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "i64", {std::int64_t{be.rank() + 1}});
   });
@@ -129,10 +129,9 @@ TEST(StreamSemantics, MultiOutputFilterFansOutUpstream) {
 
 TEST(StreamSemantics, TimeoutSyncOnDeepTree) {
   auto net = Network::create({.topology = Topology::balanced(2, 2)});
-  Stream& stream = net->front_end().new_stream(
-      {.up_transform = "sum",
-       .up_sync = "time_out",
-       .params = FilterParams().set("window_ms", 20)});
+  Stream& stream = net->front_end().open_stream(
+      StreamSpec().up("sum").sync("time_out").with_params(
+          FilterParams().set("window_ms", 20)));
   // Only one leaf per subtree reports; time_out flushes partial windows at
   // every level, so the front-end still gets a total.
   net->backend(0).send(stream.id(), kTag, "i64", {std::int64_t{5}});
@@ -148,7 +147,7 @@ TEST(StreamSemantics, TimeoutSyncOnDeepTree) {
 
 TEST(StreamSemantics, MetricsAggregateAcrossLevels) {
   auto net = Network::create({.topology = Topology::balanced(2, 2)});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   constexpr int kWaves = 5;
   net->run_backends([&](BackEnd& be) {
     for (int wave = 0; wave < kWaves; ++wave) {
@@ -173,7 +172,7 @@ TEST(StreamSemantics, MetricsAggregateAcrossLevels) {
 TEST(StreamSemantics, DownstreamOnlyStreamNeverSurfacesUpstream) {
   // A stream used purely for control distribution: back-ends never reply.
   auto net = Network::create({.topology = Topology::balanced(2, 2)});
-  Stream& control = net->front_end().new_stream({});
+  Stream& control = net->front_end().open_stream({});
   control.send(kTag, "str i64", {std::string("config"), std::int64_t{9}});
   std::atomic<int> got{0};
   net->run_backends([&](BackEnd& be) {

@@ -67,7 +67,7 @@ TEST(PeerRouting, UnknownDestinationIsDroppedSilently) {
   auto net = Network::create({.topology = Topology::flat(2)});
   net->backend(0).send_to(99, kTag, "str", {std::string("void")});
   // Nothing to assert except that the network stays healthy.
-  net->backend(0).send(net->front_end().new_stream({.up_transform = "sum"}).id(),
+  net->backend(0).send(net->front_end().open_stream({.up_transform = "sum"}).id(),
                        kTag, "i64", {std::int64_t{1}});
   net->shutdown();
 }
@@ -108,7 +108,7 @@ TEST(PeerRouting, WorksAcrossProcesses) {
                    {std::int64_t{message && (*message)->get_str(0) == "cross-process"}});
          }
        }});
-  Stream& stream = net->front_end().new_stream({.endpoints = {3}, .up_sync = "null"});
+  Stream& stream = net->front_end().open_stream({.endpoints = {3}, .up_sync = "null"});
   const auto verdict = stream.recv_for(10s);
   ASSERT_TRUE(verdict.has_value());
   EXPECT_EQ((*verdict)->get_i64(0), 1);

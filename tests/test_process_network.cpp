@@ -28,7 +28,7 @@ TEST(ProcessNetwork, SumReductionFlat) {
   auto net = process_net(Topology::flat(4), [](BackEnd& be) {
     be.send(1, kTag, "i64", {std::int64_t{be.rank() + 1}});
   });
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   ASSERT_EQ(stream.id(), 1u);
   const auto result = stream.recv_for(10s);
   ASSERT_TRUE(result.has_value());
@@ -41,7 +41,7 @@ TEST(ProcessNetwork, SumReductionDeepTree) {
     be.send(1, kTag, "i64", {std::int64_t{be.rank()}});
   });
   EXPECT_TRUE(net->is_process_mode());
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   const auto result = stream.recv_for(10s);
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ((*result)->get_i64(0), 36);  // 0 + ... + 8
@@ -56,7 +56,7 @@ TEST(ProcessNetwork, BroadcastAndEcho) {
     be.send(1, kTag, "str i64",
             {(*packet)->get_str(0) + "-ack", std::int64_t{be.rank()}});
   });
-  Stream& stream = net->front_end().new_stream({.up_sync = "null"});
+  Stream& stream = net->front_end().open_stream({.up_sync = "null"});
   stream.send(kTag, "str", {std::string("hello")});
   std::set<std::int64_t> ranks;
   for (int i = 0; i < 4; ++i) {
@@ -77,7 +77,7 @@ TEST(ProcessNetwork, ComplexFilterAcrossProcesses) {
     mine.add(be.rank() % 2 == 0 ? "even" : "odd", be.rank());
     be.send(1, kTag, EquivalenceClasses::kFormat, mine.to_values());
   });
-  Stream& stream = net->front_end().new_stream({.up_transform = "equivalence_class"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "equivalence_class"});
   const auto result = stream.recv_for(10s);
   ASSERT_TRUE(result.has_value());
   const auto classes = EquivalenceClasses::from_values(**result);
@@ -93,7 +93,7 @@ TEST(ProcessNetwork, MultipleWaves) {
       be.send(1, kTag, "i64", {std::int64_t{wave * 100 + be.rank()}});
     }
   });
-  Stream& stream = net->front_end().new_stream({.up_transform = "min"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "min"});
   for (int wave = 0; wave < 10; ++wave) {
     const auto result = stream.recv_for(10s);
     ASSERT_TRUE(result.has_value());
@@ -108,7 +108,7 @@ TEST(ProcessNetwork, TcpEdgesSumReduction) {
       Topology::balanced(2, 2),
       [](BackEnd& be) { be.send(1, kTag, "i64", {std::int64_t{be.rank() * 2}}); },
       /*tcp_edges=*/true);
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   const auto result = stream.recv_for(10s);
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ((*result)->get_i64(0), 0 + 2 + 4 + 6);
@@ -130,7 +130,7 @@ TEST(ProcessNetwork, TcpEdgesBroadcastAndPeers) {
         }
       },
       /*tcp_edges=*/true);
-  Stream& stream = net->front_end().new_stream({.up_sync = "null"});
+  Stream& stream = net->front_end().open_stream({.up_sync = "null"});
   stream.send(kTag, "str", {std::string("go")});
   const auto verdict = stream.recv_for(10s);
   ASSERT_TRUE(verdict.has_value());
@@ -158,7 +158,7 @@ TEST(ProcessNetwork, DestructorReapsChildren) {
     auto net = process_net(Topology::flat(3), [](BackEnd& be) {
       be.send(1, kTag, "i64", {std::int64_t{1}});
     });
-    net->front_end().new_stream({.up_transform = "sum"});
+    net->front_end().open_stream({.up_transform = "sum"});
     // No explicit shutdown.
   }
   // If children leaked, later fork-heavy tests would accumulate zombies; a

@@ -263,7 +263,7 @@ TEST(RecoveryThreaded, KillAnyInteriorNodeMidStream) {
     SCOPED_TRACE("victim=" + std::to_string(victim));
     ASSERT_FALSE(topo.is_leaf(victim));
     auto net = Network::create({.topology = topo, .recovery = {.auto_readopt = true}});
-    Stream& stream = net->front_end().new_stream(
+    Stream& stream = net->front_end().open_stream(
         {.up_transform = "wavg", .up_sync = "wait_for_all"});
 
     // Wave 0: the intact tree produces the exact full aggregate.
@@ -307,7 +307,7 @@ TEST(RecoveryThreaded, InteriorOrphansReadoptWithTheirSubtrees) {
   const NodeId victim = 1;
   ASSERT_EQ(topo.node(victim).children.size(), 2u);
   auto net = Network::create({.topology = topo, .recovery = {.auto_readopt = true}});
-  Stream& stream = net->front_end().new_stream(
+  Stream& stream = net->front_end().open_stream(
       {.up_transform = "wavg", .up_sync = "wait_for_all"});
 
   for (std::uint32_t rank = 0; rank < 8; ++rank) send_wave(net->backend(rank), stream.id());
@@ -334,7 +334,7 @@ TEST(RecoveryThreaded, InteriorOrphansReadoptWithTheirSubtrees) {
 TEST(RecoveryThreaded, ShrunkenMembershipWithoutReadoption) {
   const Topology topo = Topology::balanced(4, 2);
   auto net = Network::create({.topology = topo});  // recovery off
-  Stream& stream = net->front_end().new_stream(
+  Stream& stream = net->front_end().open_stream(
       {.up_transform = "wavg", .up_sync = "wait_for_all"});
   const NodeId victim = 2;
   net->kill_node(victim);
@@ -363,7 +363,7 @@ TEST(RecoveryThreaded, MutedNodeIsDetectedByHeartbeatsAndRoutedAround) {
   recovery.failure_timeout_ms = 300;
   recovery.fault_plan.mute(1, 1);  // node 1 "hangs" at its first data packet
   auto net = Network::create({.topology = topo, .recovery = recovery});
-  Stream& stream = net->front_end().new_stream(
+  Stream& stream = net->front_end().open_stream(
       {.up_transform = "wavg", .up_sync = "wait_for_all"});
 
   // Keep waves flowing (constant per-rank values, so every full-weight
@@ -422,9 +422,9 @@ TEST(RecoveryProcess, KilledInteriorProcessOrphansReconnect) {
        .topology = Topology::balanced(4, 2),
        .recovery = recovery,
        .backend_main = [](BackEnd& be) { pumping_backend(be, kDataStream, kEchoStream); }});
-  Stream& data = net->front_end().new_stream(
+  Stream& data = net->front_end().open_stream(
       {.up_transform = "wavg", .up_sync = "wait_for_all"});
-  Stream& echo = net->front_end().new_stream(
+  Stream& echo = net->front_end().open_stream(
       {.up_transform = "sum", .up_sync = "wait_for_all"});
   ASSERT_EQ(data.id(), kDataStream);
   ASSERT_EQ(echo.id(), kEchoStream);
@@ -473,7 +473,7 @@ TEST(RecoveryProcess, KillNodeOverTcpEdges) {
        .recovery = recovery,
        .backend_main = [](BackEnd& be) { pumping_backend(be, kDataStream, /*echo=*/9999); },
        .tcp_edges = true});
-  Stream& data = net->front_end().new_stream(
+  Stream& data = net->front_end().open_stream(
       {.up_transform = "wavg", .up_sync = "wait_for_all"});
   ASSERT_EQ(data.id(), kDataStream);
 

@@ -44,7 +44,7 @@ TEST_P(RandomTreeReduction, SumMatchesClosedForm) {
   const Topology topology = random_topology(GetParam(), 40, 5);
   if (topology.is_leaf(topology.root())) GTEST_SKIP();
   auto net = Network::create({.topology = topology});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "i64", {std::int64_t{be.rank()} * 3 + 1});
   });
@@ -65,7 +65,7 @@ TEST_P(RandomTreeOrder, ConcatKeepsRankOrder) {
   const Topology topology = random_topology(GetParam() + 1000, 30, 4);
   if (topology.is_leaf(topology.root())) GTEST_SKIP();
   auto net = Network::create({.topology = topology});
-  Stream& stream = net->front_end().new_stream({.up_transform = "concat"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "concat"});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "vi64", {std::vector<std::int64_t>{be.rank()}});
   });
@@ -84,7 +84,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeOrder, ::testing::Values(7u, 11u, 19u,
 TEST(Stress, HighVolumeWaves) {
   constexpr int kWaves = 300;
   auto net = Network::create({.topology = Topology::balanced(4, 2)});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   net->run_backends([&](BackEnd& be) {
     for (int wave = 0; wave < kWaves; ++wave) {
       be.send(stream.id(), kTag, "i64", {std::int64_t{1}});
@@ -104,7 +104,7 @@ TEST(Stress, ManyConcurrentStreams) {
   auto net = Network::create({.topology = Topology::balanced(3, 2)});
   std::vector<Stream*> streams;
   for (std::size_t i = 0; i < kStreams; ++i) {
-    streams.push_back(&net->front_end().new_stream({.up_transform = "sum"}));
+    streams.push_back(&net->front_end().open_stream({.up_transform = "sum"}));
   }
   net->run_backends([&](BackEnd& be) {
     for (std::size_t i = 0; i < kStreams; ++i) {
@@ -123,7 +123,7 @@ TEST(Stress, ManyConcurrentStreams) {
 
 TEST(Stress, LargePayloads) {
   auto net = Network::create({.topology = Topology::balanced(2, 2)});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   const std::size_t kDoubles = 100'000;  // 800 KB per packet
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "vf64",
@@ -141,7 +141,7 @@ TEST(Stress, SurvivorsKeepProducingAfterKills) {
   // Kill a third of the back-ends (one per subtree) before traffic starts;
   // the survivors' waves must keep flowing.
   auto net = Network::create({.topology = Topology::balanced(3, 2)});  // 9 leaves
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   const std::set<std::uint32_t> victims = {0u, 4u, 8u};
   for (const std::uint32_t victim : victims) {
     net->kill_node(net->topology().leaves()[victim]);
@@ -171,7 +171,7 @@ TEST(Stress, ConcurrentFailureStormShutsDownCleanly) {
   // Kills racing live traffic: delivery is timing-dependent, but the network
   // must never hang, crash or double-count shutdown acknowledgements.
   auto net = Network::create({.topology = Topology::balanced(3, 2)});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
 
   std::jthread killer([&] {
     for (const std::uint32_t victim : {0u, 4u, 8u}) {
@@ -211,7 +211,7 @@ TEST(Stress, BackpressureSoakConservesPacketsAcrossRepeats) {
          .flow_control = {.enabled = true,
                           .capacity = 4,
                           .policy = FlowControlPolicy::kDropOldest}});
-    Stream& stream = net->front_end().new_stream({.up_sync = "null"});
+    Stream& stream = net->front_end().open_stream({.up_sync = "null"});
     net->run_backends([&](BackEnd& be) {
       for (std::int64_t i = 0; i < kPerLeaf; ++i) {
         be.send(stream.id(), kTag, "i64", {i});  // full-speed burst
@@ -248,7 +248,7 @@ TEST(Stress, ProcessModeManyChildren) {
                                   be.send(1, kTag, "i64", {std::int64_t{wave}});
                                 }
                               }});
-  Stream& stream = net->front_end().new_stream({.up_transform = "min"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "min"});
   for (int wave = 0; wave < 20; ++wave) {
     const auto result = stream.recv_for(20s);
     ASSERT_TRUE(result.has_value());

@@ -176,7 +176,7 @@ TEST(TelemetryProcess, AggregateCountersAreExact) {
            be.send(1, kTag, "vf64", {std::vector<double>{1.0, 2.0}});
          }
        }});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   ASSERT_EQ(stream.id(), 1u);
   stream.send(kTag, "str", {std::string("go")});
   run_exact_counters_check(*net, stream, kWaves);
@@ -191,7 +191,7 @@ TEST(TelemetryThreaded, AggregateCountersAreExact) {
   constexpr int kWaves = 10;
   auto net = Network::create({.topology = Topology::balanced(2, 2),
                               .telemetry = {.enabled = true, .interval_ms = 25}});
-  Stream& stream = net->front_end().new_stream({.up_transform = "sum"});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   // The go broadcast is sent first: run_backends joins its workers, so the
   // gate must already be in flight when the back-end bodies start.
   stream.send(kTag, "str", {std::string("go")});
@@ -239,7 +239,7 @@ TEST(TelemetryThreaded, SnapshotSurvivesInteriorKillAndReadoption) {
   auto net = Network::create({.topology = Topology::balanced(2, 2),
                               .recovery = recovery,
                               .telemetry = {.enabled = true, .interval_ms = 20}});
-  Stream& stream = net->front_end().new_stream({.up_sync = "null"});
+  Stream& stream = net->front_end().open_stream({.up_sync = "null"});
   stream.send(kTag, "str", {std::string("go")});
   net->run_backends([&](BackEnd& be) {
     if (!be.recv_for(30s).ok()) return;
