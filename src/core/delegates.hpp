@@ -22,6 +22,9 @@ class Network::RootDelegate final : public NodeRuntime::Delegate {
     network_.on_subscription(prefix, rank, added);
   }
   void on_shutdown_complete() override { network_.on_shutdown_complete(); }
+  void on_reconfig_ack(std::int64_t op_id, NodeId subject) override {
+    network_.on_reconfig_ack(op_id, subject);
+  }
 
  private:
   Network& network_;
@@ -63,6 +66,9 @@ class BackEndDelegate final : public NodeRuntime::Delegate {
     backend_.peer_messages_.push(std::move(inner));
   }
 
+  void on_reconfig_pause() override { backend_.pause_sends(); }
+  void on_reconfig_resume() override { backend_.resume_sends(); }
+
  private:
   BackEnd& backend_;
 };
@@ -77,6 +83,8 @@ class Network::LeafDelegate final : public NodeRuntime::Delegate {
   void on_peer_message(PacketPtr inner) override {
     impl_.on_peer_message(std::move(inner));
   }
+  void on_reconfig_pause() override { impl_.on_reconfig_pause(); }
+  void on_reconfig_resume() override { impl_.on_reconfig_resume(); }
 
  private:
   BackEndDelegate impl_;

@@ -106,6 +106,9 @@ struct MembershipChange {
   std::size_t child = 0;         ///< sync index of the affected child
   bool added = false;            ///< true: grafted in; false: gone
   std::size_t num_children = 0;  ///< live participating children *after* the change
+  /// With `added`: the child is a previously-retired sync index resuming
+  /// contribution (a re-populated relay interior), not a brand-new slot.
+  bool revived = false;
 };
 
 /// Transformation filter: reduces one synchronized batch of upstream packets
@@ -263,6 +266,14 @@ class SyncPolicy {
   /// instantiated"); the policy should start expecting it.
   virtual void child_added() {}
 
+  /// A previously-failed/retired child index resumed contributing (planned
+  /// reconfiguration re-populated an emptied relay subtree); the policy
+  /// should expect it again.  The default is a no-op: index-agnostic
+  /// policies (timeout, null) need nothing, and appending a fresh index
+  /// here would deadlock index-tracking policies, so those override it
+  /// (wait_for_all re-arms the existing index).
+  virtual void child_revived(std::size_t child) { (void)child; }
+
   /// \deprecated Override on_packet(child, packet, FilterContext&) instead.
   [[deprecated("override on_packet(child, packet, FilterContext&) instead")]]
   virtual void on_packet(std::size_t child, PacketPtr packet) {
@@ -288,7 +299,11 @@ class SyncPolicy {
   [[deprecated("override membership_changed(change, FilterContext&) instead")]]
   virtual void on_membership_change(const MembershipChange& change) {
     if (change.added) {
-      child_added();
+      if (change.revived) {
+        child_revived(change.child);
+      } else {
+        child_added();
+      }
     } else {
       child_failed(change.child);
     }

@@ -104,9 +104,21 @@ BackEnd& Network::dynamic_backend(std::size_t index) {
   return dynamic_leaves_[index]->backend();
 }
 
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 BackEnd& Network::attach_backend(NodeId parent) {
-  if (process_mode_) {
-    throw ProtocolError("attach_backend is only supported in threaded mode");
+  // Deprecated forwarder; FrontEnd::reconfigure(TopologyDelta().add_leaf())
+  // is the supported spelling (see docs/api.md).
+  return attach_backend_at(parent);
+}
+#pragma GCC diagnostic pop
+
+BackEnd& Network::attach_backend_at(NodeId parent) {
+  if ((process_mode_ || remote_mode_) && parent != topology_.root()) {
+    // Only the root runtime shares the front-end's address space in these
+    // modes, so a dynamic leaf service can splice in nowhere else.
+    throw ProtocolError(
+        "dynamic back-ends attach at the root in process/remote mode");
   }
   if (parent >= topology_.num_nodes()) throw ProtocolError("parent id out of range");
   if (topology_.is_leaf(parent)) {
@@ -118,6 +130,7 @@ BackEnd& Network::attach_backend(NodeId parent) {
   }
 
   NodeRuntime& runtime = *runtimes_[parent];
+  if (runtime.is_dead()) throw ProtocolError("parent node is dead");
   const std::uint32_t slot = runtime.reserve_child_slot();
 
   std::lock_guard<std::mutex> lock(dynamic_mutex_);
@@ -135,20 +148,29 @@ BackEnd& Network::attach_backend(NodeId parent) {
         /*fail_fast_throws=*/true, runtime.tenants());
     runtime.set_child_granter(slot, fc_direct_granter(gate));
   }
-  service->set_up_link(std::make_unique<SharedLink>(std::move(up)));
+  // The handle sends through a relink seam so planned moves can swap the
+  // upstream edge underneath the application thread.
+  auto relink = std::make_shared<RelinkableLink>(std::move(up));
+  service->set_up_link(std::make_unique<SharedLink>(relink));
   service->start();
   runtime.request_attach(
       slot, rank, std::make_unique<InprocLink>(service->inbox(), Origin::kParent, 0));
-  // Teach every ancestor which child slot now leads to the new rank, so
-  // peer messages route from anywhere in the tree.
-  for (NodeId node = parent; node != topology_.root();) {
-    const NodeId ancestor = topology_.node(node).parent;
-    const auto& siblings = topology_.node(ancestor).children;
-    const auto it = std::find(siblings.begin(), siblings.end(), node);
-    runtimes_[ancestor]->request_route(
-        rank, static_cast<std::uint32_t>(it - siblings.begin()));
-    node = ancestor;
+  // Teach every ancestor along the *effective* (post-move) topology which
+  // child slot now leads to the new rank, so peer messages route from
+  // anywhere in the tree.
+  {
+    std::lock_guard<std::mutex> recovery_lock(recovery_mutex_);
+    for (NodeId node = parent; node != topology_.root();) {
+      const NodeId ancestor = current_parent_[node];
+      const auto edge = edge_slots_.find({ancestor, node});
+      if (edge != edge_slots_.end() && ancestor < runtimes_.size() &&
+          runtimes_[ancestor]) {
+        runtimes_[ancestor]->request_route(rank, edge->second);
+      }
+      node = ancestor;
+    }
   }
+  dyn_leaf_state_[rank] = DynamicLeafState{parent, slot, service.get(), relink};
   dynamic_leaves_.push_back(std::move(service));
   return dynamic_leaves_.back()->backend();
 }
@@ -399,6 +421,32 @@ TreeMetricsSnapshot FrontEnd::metrics() const {
 
 std::string FrontEnd::metrics_json() const { return metrics().to_json(); }
 
+ReconfigResult FrontEnd::reconfigure(TopologyDelta delta) {
+  return network_.reconfigure(std::move(delta));
+}
+
+std::optional<ReconfigResult> FrontEnd::maybe_rebalance() {
+  const ReconfigOptions& options = network_.reconfig_;
+  {
+    std::lock_guard<std::mutex> lock(rebalance_mutex_);
+    const auto now = std::chrono::steady_clock::now();
+    if (last_rebalance_ != std::chrono::steady_clock::time_point{} &&
+        now - last_rebalance_ < std::chrono::milliseconds(options.cooldown_ms)) {
+      return std::nullopt;
+    }
+  }
+  const std::vector<NodeLoad> loads = network_.node_loads();
+  std::optional<TopologyDelta> delta = options.policy->propose(loads, options);
+  if (!delta || delta->empty()) return std::nullopt;
+  {
+    // Stamp before applying: a failed rebalance still burns the cooldown so
+    // a persistently saturated gauge cannot turn this into a retry hot loop.
+    std::lock_guard<std::mutex> lock(rebalance_mutex_);
+    last_rebalance_ = std::chrono::steady_clock::now();
+  }
+  return network_.reconfigure(std::move(*delta));
+}
+
 // ---- BackEnd ----------------------------------------------------------------
 
 void BackEnd::wait_stream_known(std::uint32_t stream_id) {
@@ -412,16 +460,42 @@ void BackEnd::wait_stream_known(std::uint32_t stream_id) {
   }
 }
 
+// The reconfiguration fence: pause_sends() returns only once it holds
+// send_mutex_, i.e. once any in-flight send has fully handed its packet to
+// the (old) upstream link — after that, everything the application sent is
+// ahead of the detach/quiesce marker in the parent's FIFO inbox, and nothing
+// new can slip onto the old edge until resume_sends().
+void BackEnd::pause_sends() {
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  sends_paused_ = true;
+}
+
+void BackEnd::resume_sends() {
+  {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    sends_paused_ = false;
+  }
+  send_resumed_cv_.notify_all();
+}
+
+void BackEnd::wait_send_allowed(std::unique_lock<std::mutex>& lock) {
+  send_resumed_cv_.wait(lock, [&] { return !sends_paused_; });
+}
+
 void BackEnd::send(std::uint32_t stream_id, std::int32_t tag, std::string_view format,
                    std::vector<DataValue> values) {
   if (tag < kFirstAppTag) throw ProtocolError("application tags must be >= kFirstAppTag");
   wait_stream_known(stream_id);
+  std::unique_lock<std::mutex> lock(send_mutex_);
+  wait_send_allowed(lock);
   up_link_->send(Packet::make(stream_id, tag, rank_, format, std::move(values)));
 }
 
 void BackEnd::send(std::uint32_t stream_id, std::int32_t tag, BufferView payload) {
   if (tag < kFirstAppTag) throw ProtocolError("application tags must be >= kFirstAppTag");
   wait_stream_known(stream_id);
+  std::unique_lock<std::mutex> lock(send_mutex_);
+  wait_send_allowed(lock);
   up_link_->send(Packet::make_view(stream_id, tag, rank_, std::move(payload)));
 }
 
@@ -454,14 +528,20 @@ void BackEnd::send_batch(std::uint32_t stream_id, std::span<const PacketPtr> pac
     }
   }
   wait_stream_known(stream_id);
+  std::unique_lock<std::mutex> lock(send_mutex_);
+  wait_send_allowed(lock);
   up_link_->send_batch(packets);
 }
 
 void BackEnd::subscribe(const std::string& prefix) {
+  std::unique_lock<std::mutex> lock(send_mutex_);
+  wait_send_allowed(lock);
   up_link_->send(make_subscribe_packet(rank_, prefix, true));
 }
 
 void BackEnd::unsubscribe(const std::string& prefix) {
+  std::unique_lock<std::mutex> lock(send_mutex_);
+  wait_send_allowed(lock);
   up_link_->send(make_subscribe_packet(rank_, prefix, false));
 }
 
@@ -470,6 +550,8 @@ void BackEnd::send_to(std::uint32_t dst_rank, std::int32_t tag, std::string_view
   if (tag < kFirstAppTag) throw ProtocolError("application tags must be >= kFirstAppTag");
   const PacketPtr inner =
       Packet::make(kControlStream, tag, rank_, format, std::move(values));
+  std::unique_lock<std::mutex> lock(send_mutex_);
+  wait_send_allowed(lock);
   up_link_->send(make_peer_packet(dst_rank, *inner));
 }
 
@@ -518,6 +600,10 @@ Network::Network(const Topology& topology) : topology_(topology) {
   current_parent_.resize(topology_.num_nodes());
   for (NodeId id = 0; id < topology_.num_nodes(); ++id) {
     current_parent_[id] = topology_.is_root(id) ? id : topology_.node(id).parent;
+    const auto& children = topology_.node(id).children;
+    for (std::uint32_t slot = 0; slot < children.size(); ++slot) {
+      edge_slots_[{id, children[slot]}] = slot;
+    }
   }
 }
 
@@ -542,6 +628,10 @@ std::unique_ptr<Network> Network::create(NetworkOptions options) {
       // into the announcement), so storing it after instantiation is safe:
       // no application stream can open before create() returns.
       network->tenancy_ = std::move(options.tenancy);
+      network->reconfig_ = std::move(options.reconfig);
+      if (!network->reconfig_.policy) {
+        network->reconfig_.policy = std::make_shared<LoadBalancedPolicy>();
+      }
       return network;
     }
   }
@@ -705,16 +795,13 @@ std::unique_ptr<Network> Network::create_threaded_impl(const NetworkOptions& opt
           child_rt.register_fc_link(wrapper);
           up = std::move(wrapper);
         }
-        if (net.recovery_.auto_readopt) {
-          // Relinkable so the handle survives a parent swap (re-adoption).
-          net.backend_relinks_.resize(topo.num_leaves());
-          net.backend_relinks_[rank] =
-              std::make_shared<RelinkableLink>(std::move(up));
-          net.backends_[rank]->up_link_ =
-              std::make_unique<SharedLink>(net.backend_relinks_[rank]);
-        } else {
-          net.backends_[rank]->up_link_ = std::make_unique<SharedLink>(std::move(up));
-        }
+        // Always relinkable: the handle must survive a parent swap whether
+        // it comes from re-adoption (failure) or a planned re-home.
+        net.backend_relinks_.resize(topo.num_leaves());
+        net.backend_relinks_[rank] =
+            std::make_shared<RelinkableLink>(std::move(up));
+        net.backends_[rank]->up_link_ =
+            std::make_unique<SharedLink>(net.backend_relinks_[rank]);
       }
     }
   }
@@ -722,6 +809,14 @@ std::unique_ptr<Network> Network::create_threaded_impl(const NetworkOptions& opt
   net.front_end_ = std::unique_ptr<FrontEnd>(new FrontEnd(net));
   net.next_dynamic_rank_ = static_cast<std::uint32_t>(topo.num_leaves());
   net.apply_recovery_threaded();
+  // Planned re-homes run on the mover's own runtime thread (the rehome frame
+  // arrives there), independent of auto_readopt.
+  for (auto& runtime : net.runtimes_) {
+    if (runtime->role() == NodeRole::kRoot) continue;
+    runtime->set_rehome_handler([&net](NodeRuntime& mover, NodeId new_parent) {
+      return net.rehome_threaded(mover, new_parent);
+    });
+  }
 
   // Launch one service thread per node.
   net.threads_.reserve(topo.num_nodes());
@@ -823,6 +918,8 @@ bool Network::readopt_threaded(NodeRuntime& orphan) {
       backend_relinks_[rank]->relink(std::move(app_up));
     }
   }
+  edge_slots_.erase({current_parent_[self], self});
+  edge_slots_[{ancestor, self}] = slot;
   current_parent_[self] = ancestor;
   ++adoptions_;
   adoption_cv_.notify_all();
@@ -845,6 +942,603 @@ NodeId Network::effective_parent(NodeId id) const {
   return current_parent_[id];
 }
 
+// ---- planned reconfiguration engine -----------------------------------------
+//
+// The engine runs on the operator's thread (FrontEnd::reconfigure), fully
+// serialized under reconfig_op_mutex_.  Wire-protocol phases (quiesce /
+// rehome / detach of nodes with their own runtime threads or processes) are
+// fenced by control-stream acknowledgements; dynamic leaves — whose service
+// loop and handle both live in this process — are rewired directly with the
+// pause_sends() fence.
+
+ReconfigResult Network::reconfigure(TopologyDelta delta) {
+  std::lock_guard<std::mutex> op_lock(reconfig_op_mutex_);
+  ReconfigResult result;
+  MetricsRegistry& root_metrics = runtimes_[topology_.root()]->metrics();
+  for (const ReconfigOp& op : delta.ops()) {
+    ReconfigOpResult r;
+    try {
+      r = apply_reconfig_op(op);
+    } catch (const Error& error) {
+      r.op = op;
+      r.ok = false;
+      r.message = error.what();
+    }
+    root_metrics.reconfig_ops.fetch_add(1, std::memory_order_relaxed);
+    if (!r.ok) {
+      root_metrics.reconfig_ops_failed.fetch_add(1, std::memory_order_relaxed);
+      TBON_WARN("reconfigure: " << r.message);
+    }
+    result.add(std::move(r));
+  }
+  return result;
+}
+
+ReconfigOpResult Network::apply_reconfig_op(const ReconfigOp& op) {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    if (shutdown_requested_) {
+      ReconfigOpResult r;
+      r.op = op;
+      r.message = "network is shutting down";
+      return r;
+    }
+  }
+  switch (op.kind) {
+    case ReconfigOpKind::kAddLeaf: return reconfig_add_leaf(op);
+    case ReconfigOpKind::kRemoveLeaf: return reconfig_remove_leaf(op);
+    case ReconfigOpKind::kSplit: return reconfig_split(op);
+    case ReconfigOpKind::kMerge: return reconfig_merge(op);
+    case ReconfigOpKind::kMoveSubtree: return reconfig_move_subtree(op);
+  }
+  ReconfigOpResult r;
+  r.op = op;
+  r.message = "unknown operation kind";
+  return r;
+}
+
+std::vector<NodeLoad> Network::node_loads() const {
+  std::vector<NodeLoad> loads;
+  // Interiors without a local runtime (process/remote children) report their
+  // gauges through the telemetry stream when it is enabled; a node that has
+  // not reported yet simply is not a placement candidate.
+  std::optional<TreeMetricsSnapshot> tree;
+  if ((process_mode_ || remote_mode_) && collector_) tree = collector_->snapshot();
+  for (NodeId id = 0; id < topology_.num_nodes(); ++id) {
+    if (topology_.is_leaf(id)) continue;
+    NodeLoad load;
+    load.node = id;
+    if (id < runtimes_.size() && runtimes_[id]) {
+      if (runtimes_[id]->is_dead()) continue;
+      load.fan_in = runtimes_[id]->live_child_count();
+      const NodeTelemetry record = runtimes_[id]->telemetry_snapshot();
+      load.exec_queue_depth = record.exec_queue_depth;
+      load.inbox_depth = record.inbox_depth;
+    } else if (tree) {
+      const NodeTelemetry* record = tree->find(id);
+      if (record == nullptr) continue;
+      {
+        std::lock_guard<std::mutex> lock(recovery_mutex_);
+        load.fan_in = effective_children_locked(id).size();
+      }
+      load.exec_queue_depth = record->exec_queue_depth;
+      load.inbox_depth = record->inbox_depth;
+    } else {
+      continue;
+    }
+    loads.push_back(load);
+  }
+  return loads;
+}
+
+std::vector<NodeId> Network::effective_children_locked(NodeId node) const {
+  std::vector<NodeId> children;
+  for (NodeId id = 0; id < topology_.num_nodes(); ++id) {
+    if (id == node || topology_.is_root(id)) continue;
+    if (current_parent_[id] != node) continue;
+    if (topology_.is_leaf(id) &&
+        detached_ranks_.count(topology_.leaf_rank(id)) != 0) {
+      continue;
+    }
+    if (id < runtimes_.size() && runtimes_[id] && runtimes_[id]->is_dead()) continue;
+    children.push_back(id);
+  }
+  return children;
+}
+
+NodeId Network::resolve_parent(NodeId requested) const {
+  if (requested != kAutoPlacement) return requested;
+  if (process_mode_ || remote_mode_) return topology_.root();
+  const std::vector<NodeLoad> loads = node_loads();
+  const NodeId chosen = reconfig_.policy->choose_parent(loads);
+  return chosen == kAutoPlacement ? topology_.root() : chosen;
+}
+
+bool Network::await_reconfig_ack(std::int64_t op_id, NodeId subject,
+                                 PacketPtr packet) {
+  // Send before locking: the ack is delivered on the root runtime thread,
+  // which must never find this mutex held across a blocking inbox push.
+  send_to_root(std::move(packet));
+  std::unique_lock<std::mutex> lock(reconfig_ack_mutex_);
+  const auto key = std::make_pair(op_id, subject);
+  const bool acked = reconfig_ack_cv_.wait_for(
+      lock, std::chrono::milliseconds(reconfig_.op_timeout_ms),
+      [&] { return reconfig_acks_.count(key) != 0; });
+  if (acked) reconfig_acks_.erase(key);
+  return acked;
+}
+
+void Network::on_reconfig_ack(std::int64_t op_id, NodeId subject) {
+  {
+    std::lock_guard<std::mutex> lock(reconfig_ack_mutex_);
+    reconfig_acks_.emplace(op_id, subject);
+  }
+  reconfig_ack_cv_.notify_all();
+}
+
+ReconfigOpResult Network::reconfig_add_leaf(const ReconfigOp& op) {
+  ReconfigOpResult r;
+  r.op = op;
+  const NodeId parent = resolve_parent(op.node);
+  if (parent >= topology_.num_nodes() || topology_.is_leaf(parent)) {
+    r.message = "add_leaf: no usable parent (" + std::to_string(parent) + ")";
+    return r;
+  }
+  BackEnd& backend = attach_backend_at(parent);
+  r.ok = true;
+  r.new_rank = backend.rank();
+  r.resolved_target = parent;
+  runtimes_[topology_.root()]->metrics().reconfig_joins.fetch_add(
+      1, std::memory_order_relaxed);
+  return r;
+}
+
+ReconfigOpResult Network::reconfig_remove_leaf(const ReconfigOp& op) {
+  ReconfigOpResult r;
+  r.op = op;
+  const std::uint32_t rank = op.rank;
+
+  // Dynamic leaf: handle and service are local whatever the mode, so the
+  // whole detach is engine-side.  Fence order: pause (drains any in-flight
+  // send), detach marker at the old parent (behind all data, FIFO), then
+  // end the service loop and unroute the rank tree-wide.
+  {
+    std::lock_guard<std::mutex> lock(dynamic_mutex_);
+    const auto it = dyn_leaf_state_.find(rank);
+    if (it != dyn_leaf_state_.end()) {
+      DynamicLeafState state = it->second;
+      state.service->backend().pause_sends();
+      runtimes_[state.parent]->request_detach(state.slot);
+      runtimes_[state.parent]->metrics().reconfig_detaches.fetch_add(
+          1, std::memory_order_relaxed);
+      state.service->inbox()->push(Envelope{Origin::kParent, 0, nullptr});
+      {
+        std::lock_guard<std::mutex> recovery_lock(recovery_mutex_);
+        detached_ranks_.insert(rank);
+        for (NodeId node = state.parent;; node = current_parent_[node]) {
+          if (node < runtimes_.size() && runtimes_[node]) {
+            runtimes_[node]->request_unroute(rank);
+          }
+          if (node == topology_.root()) break;
+        }
+      }
+      dyn_leaf_state_.erase(it);
+      // Unblock any sender parked on the fence; later sends land on the dead
+      // slot and are dropped there (the documented caller contract: stop
+      // sending before removing a leaf).
+      state.service->backend().resume_sends();
+      r.ok = true;
+      r.new_rank = rank;
+      return r;
+    }
+  }
+
+  // Static leaf: drive the wire protocol so it works identically when the
+  // leaf runs in another process or on another host.
+  NodeId leaf = kAutoPlacement;
+  for (NodeId id = 0; id < topology_.num_nodes(); ++id) {
+    if (topology_.is_leaf(id) && topology_.leaf_rank(id) == rank) {
+      leaf = id;
+      break;
+    }
+  }
+  if (leaf == kAutoPlacement) {
+    r.message = "remove_leaf: unknown rank " + std::to_string(rank);
+    return r;
+  }
+  {
+    std::lock_guard<std::mutex> lock(recovery_mutex_);
+    if (detached_ranks_.count(rank) != 0) {
+      r.message = "remove_leaf: rank " + std::to_string(rank) +
+                  " already detached";
+      return r;
+    }
+  }
+  const std::int64_t op_id = next_reconfig_op_.fetch_add(1);
+  if (!await_reconfig_ack(op_id, leaf, make_detach_packet(op_id, rank))) {
+    r.message = "remove_leaf: detach of rank " + std::to_string(rank) +
+                " timed out";
+    return r;
+  }
+  {
+    std::lock_guard<std::mutex> lock(recovery_mutex_);
+    detached_ranks_.insert(rank);
+    const NodeId parent = current_parent_[leaf];
+    for (NodeId node = parent;; node = current_parent_[node]) {
+      if (node < runtimes_.size() && runtimes_[node]) {
+        runtimes_[node]->request_unroute(rank);
+      }
+      if (node == topology_.root()) break;
+    }
+    edge_slots_.erase({parent, leaf});
+  }
+  r.ok = true;
+  r.new_rank = rank;
+  return r;
+}
+
+ReconfigOpResult Network::reconfig_move_subtree(const ReconfigOp& op) {
+  ReconfigOpResult r;
+  r.op = op;
+  const NodeId node = op.node;
+  if (node >= topology_.num_nodes() || topology_.is_root(node)) {
+    r.message = "move_subtree: invalid node " + std::to_string(node);
+    return r;
+  }
+
+  // Membership of the *effective* subtree decides both cycle prevention and
+  // which rank can still carry frames down to the node.
+  const auto inside_subtree = [&](NodeId candidate) {
+    for (NodeId n = candidate;; n = current_parent_[n]) {
+      if (n == node) return true;
+      if (n == topology_.root()) return false;
+    }
+  };
+
+  NodeId target = op.target;
+  if (process_mode_ || remote_mode_) {
+    if (!recovery_.auto_readopt) {
+      r.message =
+          "move_subtree needs RecoveryOptions::auto_readopt in process/remote "
+          "mode (re-homes rendezvous like orphans)";
+      return r;
+    }
+    if (target == kAutoPlacement) target = topology_.root();
+    if (target != topology_.root()) {
+      r.message = "process/remote re-homes attach at the root";
+      return r;
+    }
+  } else if (target == kAutoPlacement) {
+    std::vector<NodeLoad> candidates;
+    {
+      std::lock_guard<std::mutex> lock(recovery_mutex_);
+      for (const NodeLoad& load : node_loads()) {
+        if (load.node != node && !inside_subtree(load.node)) {
+          candidates.push_back(load);
+        }
+      }
+    }
+    target = reconfig_.policy->choose_parent(candidates);
+    if (target == kAutoPlacement) target = topology_.root();
+  }
+  if (target >= topology_.num_nodes() || topology_.is_leaf(target) ||
+      target == node) {
+    r.message = "move_subtree: invalid target " + std::to_string(target);
+    return r;
+  }
+  {
+    std::lock_guard<std::mutex> lock(recovery_mutex_);
+    if (inside_subtree(target)) {
+      r.message = "move_subtree: target " + std::to_string(target) +
+                  " is inside the moving subtree";
+      return r;
+    }
+  }
+  if (target < runtimes_.size() && runtimes_[target] &&
+      runtimes_[target]->is_dead()) {
+    r.message = "move_subtree: target " + std::to_string(target) + " is dead";
+    return r;
+  }
+  r.resolved_target = target;
+
+  // Frames route down via a back-end rank whose effective path still crosses
+  // the node (planned detaches may have pruned parts of the static subtree).
+  std::optional<std::uint32_t> via;
+  {
+    std::lock_guard<std::mutex> lock(recovery_mutex_);
+    for (NodeId id = 0; id < topology_.num_nodes() && !via; ++id) {
+      if (!topology_.is_leaf(id)) continue;
+      const std::uint32_t rank = topology_.leaf_rank(id);
+      if (detached_ranks_.count(rank) != 0) continue;
+      if (inside_subtree(id)) via = rank;
+    }
+  }
+  if (!via) {
+    r.message = "move_subtree: no routable back-end below node " +
+                std::to_string(node);
+    return r;
+  }
+
+  const std::int64_t quiesce_op = next_reconfig_op_.fetch_add(1);
+  if (!await_reconfig_ack(quiesce_op, node,
+                          make_quiesce_packet(quiesce_op, node, *via))) {
+    r.message = "move_subtree: quiesce of node " + std::to_string(node) +
+                " timed out";
+    return r;
+  }
+  const std::int64_t rehome_op = next_reconfig_op_.fetch_add(1);
+  if (!await_reconfig_ack(rehome_op, node,
+                          make_rehome_packet(rehome_op, node, target, *via))) {
+    r.message = "move_subtree: re-home of node " + std::to_string(node) +
+                " under " + std::to_string(target) + " timed out";
+    return r;
+  }
+  r.ok = true;
+  return r;
+}
+
+bool Network::move_dynamic_leaf(std::uint32_t rank, NodeId new_parent) {
+  if (new_parent >= topology_.num_nodes() || topology_.is_leaf(new_parent)) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(dynamic_mutex_);
+  const auto it = dyn_leaf_state_.find(rank);
+  if (it == dyn_leaf_state_.end()) return false;
+  DynamicLeafState& state = it->second;
+  if (state.parent == new_parent) return true;
+  NodeRuntime& target = *runtimes_[new_parent];
+  if (target.is_dead()) return false;
+  BackEnd& backend = state.service->backend();
+
+  backend.pause_sends();  // fence: in-flight send drained, edge quiet
+  runtimes_[state.parent]->request_detach(state.slot);
+  runtimes_[state.parent]->metrics().reconfig_detaches.fetch_add(
+      1, std::memory_order_relaxed);
+  const std::uint32_t slot = target.reserve_child_slot();
+  std::shared_ptr<Link> up =
+      std::make_shared<InprocLink>(target.inbox(), Origin::kChild, slot);
+  if (fc_options_.enabled) {
+    // Fresh gate on the new edge: the old edge was drained by the fence, so
+    // the full window re-baselines here.
+    auto gate = std::make_shared<CreditGate>(fc_options_.window());
+    up = std::make_shared<FlowControlledLink>(
+        std::move(up), gate, fc_options_, /*metrics=*/nullptr,
+        /*fail_fast_throws=*/true, target.tenants());
+    target.set_child_granter(slot, fc_direct_granter(gate));
+  }
+  // Attach marker first, then relink + resume: the marker is FIFO-ahead of
+  // anything the resumed handle can push into the same inbox.
+  target.request_attach(
+      slot, rank,
+      std::make_unique<InprocLink>(state.service->inbox(), Origin::kParent, 0));
+  state.relink->relink(std::move(up));
+  {
+    std::lock_guard<std::mutex> recovery_lock(recovery_mutex_);
+    reroute_ranks_locked({rank}, state.parent, new_parent);
+  }
+  state.parent = new_parent;
+  state.slot = slot;
+  backend.resume_sends();
+  runtimes_[topology_.root()]->metrics().reconfig_moves.fetch_add(
+      1, std::memory_order_relaxed);
+  return true;
+}
+
+void Network::reroute_ranks_locked(const std::vector<std::uint32_t>& ranks,
+                                   NodeId old_parent, NodeId new_parent) {
+  const auto chain = [&](NodeId from) {
+    std::vector<NodeId> nodes;
+    for (NodeId n = from;; n = current_parent_[n]) {
+      nodes.push_back(n);
+      if (n == topology_.root()) break;
+    }
+    return nodes;
+  };
+  const std::vector<NodeId> old_chain = chain(old_parent);
+  const std::vector<NodeId> new_chain = chain(new_parent);
+  const std::set<NodeId> keep(new_chain.begin(), new_chain.end());
+  for (const NodeId stale : old_chain) {
+    if (keep.count(stale) != 0) continue;  // shared ancestors re-point below
+    if (stale < runtimes_.size() && runtimes_[stale] &&
+        !runtimes_[stale]->is_dead()) {
+      for (const std::uint32_t rank : ranks) {
+        runtimes_[stale]->request_unroute(rank);
+      }
+    }
+  }
+  // Above the new parent each hop routes via the child slot on its way down;
+  // the new parent itself learns the ranks from its adopt/attach marker.
+  for (std::size_t i = 1; i < new_chain.size(); ++i) {
+    const NodeId hop = new_chain[i];
+    const auto edge = edge_slots_.find({hop, new_chain[i - 1]});
+    if (edge == edge_slots_.end()) continue;
+    if (hop < runtimes_.size() && runtimes_[hop] && !runtimes_[hop]->is_dead()) {
+      for (const std::uint32_t rank : ranks) {
+        runtimes_[hop]->request_route(rank, edge->second);
+      }
+    }
+  }
+}
+
+bool Network::rehome_threaded(NodeRuntime& mover, NodeId new_parent) {
+  std::lock_guard<std::mutex> lock(recovery_mutex_);
+  {
+    std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+    if (shutdown_requested_) return false;
+  }
+  const NodeId self = mover.id();
+  if (new_parent >= topology_.num_nodes() || topology_.is_leaf(new_parent) ||
+      new_parent == self) {
+    return false;
+  }
+  NodeRuntime& adopter = *runtimes_[new_parent];
+  if (adopter.is_dead() || mover.is_dead()) return false;
+  const NodeId old_parent = current_parent_[self];
+
+  const std::uint32_t epoch = mover.bump_parent_epoch();
+  const std::uint32_t slot = adopter.reserve_child_slot();
+  TBON_INFO("node " << self << " re-homing under node " << new_parent
+                    << " at slot " << slot << " (planned)");
+  // Same rewiring as re-adoption.  Fresh gates are the credit re-baseline:
+  // the quiesce fence drained the old edge, so both directions of the new
+  // edge start with a full window and no stranded credits.
+  const FlowControlOptions& fc = fc_options_;
+  std::shared_ptr<Link> down =
+      std::make_shared<InprocLink>(mover.inbox(), Origin::kParent, epoch);
+  std::shared_ptr<Link> up =
+      std::make_shared<InprocLink>(adopter.inbox(), Origin::kChild, slot);
+  std::shared_ptr<CreditGate> gate_up;
+  if (fc.enabled) {
+    auto gate_down = std::make_shared<CreditGate>(fc.window());
+    gate_down->set_drain_hook(fc_wake_hook(adopter.inbox()));
+    auto down_w = std::make_shared<FlowControlledLink>(
+        std::move(down), gate_down, fc, &adopter.metrics(),
+        /*fail_fast_throws=*/false, adopter.tenants());
+    adopter.register_fc_link(down_w);
+    down = std::move(down_w);
+    mover.set_parent_granter(fc_direct_granter(gate_down));
+
+    gate_up = std::make_shared<CreditGate>(fc.window());
+    gate_up->set_drain_hook(fc_wake_hook(mover.inbox()));
+    auto up_w = std::make_shared<FlowControlledLink>(
+        std::move(up), gate_up, fc, &mover.metrics(),
+        /*fail_fast_throws=*/false, mover.tenants());
+    mover.register_fc_link(up_w);
+    up = std::move(up_w);
+    adopter.set_child_granter(slot, fc_direct_granter(gate_up));
+  }
+  const std::vector<std::uint32_t> ranks = mover.served_ranks();
+  adopter.request_adopt(slot, ranks, std::make_unique<SharedLink>(std::move(down)));
+  mover.set_parent_link(std::make_unique<SharedLink>(std::move(up)));
+  if (topology_.is_leaf(self)) {
+    const auto rank = topology_.leaf_rank(self);
+    if (rank < backend_relinks_.size() && backend_relinks_[rank]) {
+      std::shared_ptr<Link> app_up =
+          std::make_shared<InprocLink>(adopter.inbox(), Origin::kChild, slot);
+      if (fc.enabled) {
+        auto wrapper = std::make_shared<FlowControlledLink>(
+            std::move(app_up), gate_up, fc, &mover.metrics(),
+            /*fail_fast_throws=*/true, mover.tenants());
+        mover.register_fc_link(wrapper);
+        app_up = std::move(wrapper);
+      }
+      backend_relinks_[rank]->relink(std::move(app_up));
+    }
+  }
+  reroute_ranks_locked(ranks, old_parent, new_parent);
+  edge_slots_.erase({old_parent, self});
+  edge_slots_[{new_parent, self}] = slot;
+  current_parent_[self] = new_parent;
+  return true;
+}
+
+ReconfigOpResult Network::reconfig_split(const ReconfigOp& op) {
+  return migrate_children(op, /*merge_all=*/false);
+}
+
+ReconfigOpResult Network::reconfig_merge(const ReconfigOp& op) {
+  return migrate_children(op, /*merge_all=*/true);
+}
+
+ReconfigOpResult Network::migrate_children(const ReconfigOp& op, bool merge_all) {
+  ReconfigOpResult r;
+  r.op = op;
+  const char* verb = merge_all ? "merge" : "split";
+  if (process_mode_ || remote_mode_) {
+    r.message = std::string(verb) + ": rebalancing interiors is threaded-mode only";
+    return r;
+  }
+  const NodeId node = op.node;
+  if (node >= topology_.num_nodes() || topology_.is_leaf(node)) {
+    r.message = std::string(verb) + ": node " + std::to_string(node) +
+                " is not an interior node";
+    return r;
+  }
+
+  std::vector<NodeId> statics;
+  {
+    std::lock_guard<std::mutex> lock(recovery_mutex_);
+    statics = effective_children_locked(node);
+  }
+  std::vector<std::uint32_t> dynamics;
+  {
+    std::lock_guard<std::mutex> lock(dynamic_mutex_);
+    for (const auto& [rank, state] : dyn_leaf_state_) {
+      if (state.parent == node) dynamics.push_back(rank);
+    }
+  }
+  const std::size_t total = statics.size() + dynamics.size();
+  if (total == 0 || (!merge_all && total < 2)) {
+    r.message = std::string(verb) + ": node " + std::to_string(node) +
+                " has nothing to migrate";
+    return r;
+  }
+
+  NodeId target = op.target;
+  if (target == kAutoPlacement) {
+    // Any other interior is a candidate — including ones below `node` (the
+    // canonical root split offloads onto an existing interior child).  A
+    // target that would create a cycle for some specific child is rejected
+    // per-child by reconfig_move_subtree.
+    std::vector<NodeLoad> candidates;
+    for (const NodeLoad& load : node_loads()) {
+      if (load.node != node) candidates.push_back(load);
+    }
+    target = reconfig_.policy->choose_parent(candidates);
+  }
+  if (target == kAutoPlacement || target >= topology_.num_nodes() ||
+      topology_.is_leaf(target) || target == node) {
+    r.message = std::string(verb) + ": no usable migration target";
+    return r;
+  }
+  r.resolved_target = target;
+
+  // Split keeps the first half in place; merge drains everything.  Children
+  // move one at a time through the same quiesce->rewire->replay path a
+  // standalone move_subtree uses, so FIFO and filter-state guarantees hold
+  // per child.
+  const std::size_t keep = merge_all ? 0 : (total + 1) / 2;
+  std::size_t index = 0;
+  std::size_t moved = 0;
+  std::vector<std::string> failures;
+  for (const NodeId child : statics) {
+    if (index++ < keep || child == target) continue;
+    ReconfigOp sub;
+    sub.kind = ReconfigOpKind::kMoveSubtree;
+    sub.node = child;
+    sub.target = target;
+    const ReconfigOpResult sr = reconfig_move_subtree(sub);
+    if (sr.ok) {
+      ++moved;
+    } else {
+      failures.push_back(sr.message);
+    }
+  }
+  for (const std::uint32_t rank : dynamics) {
+    if (index++ < keep) continue;
+    if (move_dynamic_leaf(rank, target)) {
+      ++moved;
+    } else {
+      failures.push_back("dynamic rank " + std::to_string(rank) +
+                         " could not be moved");
+    }
+  }
+  if (moved == 0) {
+    r.message = std::string(verb) + ": no child could be migrated" +
+                (failures.empty() ? "" : (" (" + failures.front() + ")"));
+    return r;
+  }
+  r.ok = failures.empty();
+  if (!failures.empty()) {
+    r.message = std::to_string(failures.size()) + " child move(s) failed: " +
+                failures.front();
+  }
+  MetricsRegistry& root_metrics = runtimes_[topology_.root()]->metrics();
+  (merge_all ? root_metrics.reconfig_merges : root_metrics.reconfig_splits)
+      .fetch_add(1, std::memory_order_relaxed);
+  return r;
+}
+
 Network::~Network() {
   try {
     shutdown();
@@ -857,13 +1551,22 @@ Network::~Network() {
 }
 
 BackEnd& Network::backend(std::uint32_t rank) {
-  if (process_mode_ || remote_mode_) {
-    throw ProtocolError(
-        "back-end handles live in their own processes in process/remote mode");
+  // Static ranks live below the topology's leaves; dynamic ranks are
+  // numbered after them (in process/remote mode `backends_` is empty, so
+  // the static leaf count — not its size — is the dynamic base).
+  const std::uint32_t static_ranks =
+      static_cast<std::uint32_t>(topology_.num_leaves());
+  if (rank < static_ranks) {
+    if (process_mode_ || remote_mode_) {
+      throw ProtocolError(
+          "back-end handles live in their own processes in process/remote mode");
+    }
+    return *backends_[rank];
   }
-  if (rank < backends_.size()) return *backends_[rank];
+  // Dynamically attached ranks always have their handle in this process,
+  // whatever the instantiation mode.
   std::lock_guard<std::mutex> lock(dynamic_mutex_);
-  const std::size_t index = rank - backends_.size();
+  const std::size_t index = rank - static_ranks;
   if (index >= dynamic_leaves_.size()) throw ProtocolError("back-end rank out of range");
   return dynamic_backend(index);
 }

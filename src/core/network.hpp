@@ -34,6 +34,7 @@
 #include "core/filter_params.hpp"
 #include "core/node.hpp"
 #include "core/protocol.hpp"
+#include "core/reconfig.hpp"
 #include "core/registry.hpp"
 #include "recovery/adoption.hpp"
 #include "recovery/fault_injector.hpp"
@@ -174,6 +175,10 @@ struct NetworkOptions {
   /// cap, and priority ceiling.  Unlisted tenants get the default
   /// (unconstrained) budget.
   TenancyOptions tenancy;
+  /// Planned reconfiguration: placement policy and split thresholds for
+  /// FrontEnd::reconfigure / maybe_rebalance (see src/core/reconfig.hpp and
+  /// docs/reconfiguration.md).  Defaults leave rebalancing dormant.
+  ReconfigOptions reconfig;
 
   /// Process and remote modes: runs inside every back-end process.
   std::function<void(BackEnd&)> backend_main;
@@ -399,6 +404,26 @@ class FrontEnd {
   /// The same snapshot rendered as a JSON object.
   std::string metrics_json() const;
 
+  /// Apply a typed topology delta to the live tree (the operator surface of
+  /// the reconfiguration subsystem; identical in all three modes):
+  ///
+  ///   ReconfigResult r = fe.reconfigure(
+  ///       TopologyDelta().add_leaf().remove_leaf(3).split(1));
+  ///
+  /// Operations apply in order, each via the two-phase quiesce -> rewire ->
+  /// replay protocol that preserves per-stream FIFO and filter state (see
+  /// docs/reconfiguration.md).  kAutoPlacement targets are resolved by
+  /// ReconfigOptions::policy.  Per-op success/failure is reported in the
+  /// returned ReconfigResult; a failed op does not stop later ops.
+  ReconfigResult reconfigure(TopologyDelta delta);
+
+  /// Inspect per-node load (fan-in, filter queue depth, inbox depth) and,
+  /// if ReconfigOptions thresholds flag a saturated interior and the
+  /// cooldown has elapsed, apply the policy's proposed delta.  Returns the
+  /// applied result, or nullopt when nothing needed doing.  Call this from
+  /// the operator loop; it never blocks longer than one reconfigure().
+  std::optional<ReconfigResult> maybe_rebalance();
+
  private:
   friend class Network;
   explicit FrontEnd(Network& network) : network_(network) {}
@@ -411,6 +436,10 @@ class FrontEnd {
   std::uint32_t next_stream_id_ = 1;  // 0 is the control stream
   std::map<std::uint32_t, std::unique_ptr<Stream>> streams_;
   std::map<std::string, std::uint32_t> topic_ids_;  ///< publish() cache
+
+  /// maybe_rebalance cooldown clock; zero until the first applied delta.
+  std::mutex rebalance_mutex_;
+  std::chrono::steady_clock::time_point last_rebalance_{};
 };
 
 /// The application process at a leaf of the tree.
@@ -475,7 +504,7 @@ class BackEnd {
   RecvResult recv_peer_for(std::chrono::milliseconds timeout);
   RecvResult try_recv_peer();
 
-  /// True once the network told this back-end to shut down.
+  /// True once the network told this back-end to stop.
   bool shutting_down() const;
 
  private:
@@ -485,6 +514,17 @@ class BackEnd {
 
   void wait_stream_known(std::uint32_t stream_id);
 
+  /// Reconfiguration quiesce fence: pause_sends() blocks new application
+  /// sends AND waits out any in-flight one (it acquires send_mutex_, which
+  /// every send path holds across the link handoff), so after it returns no
+  /// packet can enter the old channel.  resume_sends() releases the fence
+  /// after this leaf's subtree is rewired to its new parent.
+  void pause_sends();
+  void resume_sends();
+  /// Blocks while paused; every upstream-sending path calls this with
+  /// send_mutex_ held before touching up_link_.
+  void wait_send_allowed(std::unique_lock<std::mutex>& lock);
+
   std::uint32_t rank_;
   LinkPtr up_link_;
   BoundedQueue<PacketPtr> downstream_{1 << 16};
@@ -493,6 +533,10 @@ class BackEnd {
   std::condition_variable stream_known_cv_;
   std::set<std::uint32_t> known_streams_;
   bool shutting_down_ = false;
+
+  mutable std::mutex send_mutex_;
+  std::condition_variable send_resumed_cv_;
+  bool sends_paused_ = false;
 };
 
 /// A fully instantiated TBON.
@@ -552,12 +596,15 @@ class Network {
   /// Run `body` concurrently on every back-end (one thread each) and join.
   void run_backends(const std::function<void(BackEnd&)>& body);
 
-  /// Dynamic topology (threaded instantiation; paper §2.2: "back-end
-  /// processes may join after the internal tree has been instantiated"):
-  /// attach a new back-end under `parent` (the root or an internal node).
-  /// The newcomer gets the next free rank, joins every stream that spans all
-  /// endpoints (existing announcements are replayed to it), and is reachable
-  /// by peer messages.  Returns its handle, valid for the network's life.
+  /// \deprecated Imperative dynamic-attach spelling.  Use the typed
+  /// reconfiguration API instead (identical semantics, plus placement,
+  /// status reporting and membership compensation):
+  ///
+  ///   fe.reconfigure(TopologyDelta().add_leaf(parent));
+  ///
+  /// This shim forwards to the same engine path and returns the newcomer's
+  /// handle; see docs/api.md for the migration table.
+  [[deprecated("use FrontEnd::reconfigure(TopologyDelta().add_leaf(parent)) - see docs/api.md")]]
   BackEnd& attach_backend(NodeId parent);
 
   /// Failure injection: abruptly terminate a non-root node.  Its peers see
@@ -608,6 +655,46 @@ class Network {
   void on_stream_deleted(std::uint32_t stream_id);
   void on_subscription(const std::string& prefix, std::uint32_t rank, bool added);
   void on_shutdown_complete();
+
+  // ---- planned reconfiguration engine (network.cpp) -------------------
+  // FrontEnd::reconfigure delegates here; ops are serialized on the caller
+  // thread under reconfig_op_mutex_ so concurrent deltas interleave whole
+  // operations, never phases.
+  ReconfigResult reconfigure(TopologyDelta delta);
+  std::vector<NodeLoad> node_loads() const;
+  void on_reconfig_ack(std::int64_t op_id, NodeId subject);  ///< root delegate
+  ReconfigOpResult apply_reconfig_op(const ReconfigOp& op);
+  ReconfigOpResult reconfig_add_leaf(const ReconfigOp& op);
+  ReconfigOpResult reconfig_remove_leaf(const ReconfigOp& op);
+  ReconfigOpResult reconfig_move_subtree(const ReconfigOp& op);
+  ReconfigOpResult reconfig_split(const ReconfigOp& op);
+  ReconfigOpResult reconfig_merge(const ReconfigOp& op);
+  /// Shared body of split (migrate the second half of op.node's children)
+  /// and merge (migrate all of them); threaded mode only.
+  ReconfigOpResult migrate_children(const ReconfigOp& op, bool merge_all);
+  /// Resolve a kAutoPlacement parent via the policy over interior loads.
+  NodeId resolve_parent(NodeId requested) const;
+  /// Send `packet` into the root runtime's control plane and wait until the
+  /// matching (op_id, subject) acknowledgement climbs back; false on
+  /// ReconfigOptions::op_timeout_ms expiry.
+  bool await_reconfig_ack(std::int64_t op_id, NodeId subject, PacketPtr packet);
+  /// Re-home a live interior/leaf runtime under a new parent (threaded
+  /// mode), reusing the adoption rewiring: epoch bump, fresh flow-control
+  /// gates (credit re-baseline), rank re-routing along both parent chains.
+  bool rehome_threaded(NodeRuntime& mover, NodeId new_parent);
+  /// attach_backend's engine path, shared with reconfig_add_leaf.
+  BackEnd& attach_backend_at(NodeId parent);
+  /// Engine-side move of a dynamically attached leaf: its service and
+  /// handle live in this process, so the fence is pause_sends -> detach at
+  /// the old parent -> attach at the new one -> resume; no wire protocol.
+  bool move_dynamic_leaf(std::uint32_t rank, NodeId new_parent);
+  /// Static-topology children of `node` in the effective (post-move)
+  /// topology, skipping planned-detached leaves (recovery_mutex_ held).
+  std::vector<NodeId> effective_children_locked(NodeId node) const;
+  /// Re-point rank routes along the old and new parent chains after a move
+  /// (recovery_mutex_ held).
+  void reroute_ranks_locked(const std::vector<std::uint32_t>& ranks,
+                            NodeId old_parent, NodeId new_parent);
   void apply_recovery_threaded();
   bool readopt_threaded(NodeRuntime& orphan);
   void adopt_process_orphan(Fd connection, const OrphanHello& hello);
@@ -630,6 +717,32 @@ class Network {
   std::vector<std::unique_ptr<DynamicLeafService>> dynamic_leaves_;
   mutable std::mutex dynamic_mutex_;
   std::uint32_t next_dynamic_rank_ = 0;  // set at creation to num_leaves
+
+  // Reconfiguration engine state (reconfig_op_mutex_ serializes whole
+  // deltas; reconfig_ack_mutex_ guards the ack rendezvous with the root
+  // runtime thread).
+  ReconfigOptions reconfig_;
+  std::mutex reconfig_op_mutex_;
+  std::mutex reconfig_ack_mutex_;
+  std::condition_variable reconfig_ack_cv_;
+  std::set<std::pair<std::int64_t, NodeId>> reconfig_acks_;
+  std::atomic<std::int64_t> next_reconfig_op_{1};
+  /// Engine's view of each dynamic leaf (dynamic_mutex_): where it hangs,
+  /// which child slot it occupies there, and the relink seam its BackEnd
+  /// handle sends through (swapped on planned moves).
+  struct DynamicLeafState {
+    NodeId parent = 0;
+    std::uint32_t slot = 0;
+    DynamicLeafService* service = nullptr;
+    std::shared_ptr<RelinkableLink> relink;
+  };
+  std::map<std::uint32_t, DynamicLeafState> dyn_leaf_state_;
+  /// Ranks removed by planned detach (recovery_mutex_); never reused.
+  std::set<std::uint32_t> detached_ranks_;
+  /// Child slot of every live (parent, child) tree edge, kept current across
+  /// re-adoptions and planned moves so route updates can climb arbitrary
+  /// effective-topology chains (recovery_mutex_).
+  std::map<std::pair<NodeId, NodeId>, std::uint32_t> edge_slots_;
   std::unique_ptr<RootDelegate> root_delegate_;
   std::vector<std::unique_ptr<LeafDelegate>> leaf_delegates_;
   std::unique_ptr<FrontEnd> front_end_;

@@ -33,8 +33,10 @@ NodeRuntime::NodeRuntime(const Topology& topology, NodeId id, FilterRegistry& re
       delegate_(delegate),
       inbox_(std::make_shared<Inbox>(/*capacity=*/4096)),
       child_alive_(topology.node(id).children.size(), true),
+      child_contributing_(topology.node(id).children.size(), true),
       child_acked_(topology.node(id).children.size(), false),
       live_children_(topology.node(id).children.size()),
+      contributing_children_(topology.node(id).children.size()),
       next_dynamic_slot_(
           static_cast<std::uint32_t>(topology.node(id).children.size())) {
   // Peer-message routing table: which child slot serves which back-end rank.
@@ -54,7 +56,8 @@ void NodeRuntime::request_attach(std::uint32_t slot, std::uint32_t backend_rank,
                                  LinkPtr link) {
   {
     std::lock_guard<std::mutex> lock(attach_mutex_);
-    pending_attaches_.emplace_back(slot, backend_rank, std::move(link));
+    pending_child_ops_.push_back({PendingChildOp::Kind::kAttach, slot,
+                                  backend_rank, {}, std::move(link)});
   }
   inbox_->push(Envelope{Origin::kParent, 0, make_attach_marker_packet()});
 }
@@ -63,7 +66,8 @@ void NodeRuntime::request_adopt(std::uint32_t slot, std::vector<std::uint32_t> r
                                 LinkPtr link) {
   {
     std::lock_guard<std::mutex> lock(attach_mutex_);
-    pending_adopts_.emplace_back(slot, std::move(ranks), std::move(link));
+    pending_child_ops_.push_back({PendingChildOp::Kind::kAdopt, slot, 0,
+                                  std::move(ranks), std::move(link)});
   }
   inbox_->push(Envelope{Origin::kParent, 0, make_attach_marker_packet()});
 }
@@ -71,7 +75,26 @@ void NodeRuntime::request_adopt(std::uint32_t slot, std::vector<std::uint32_t> r
 void NodeRuntime::request_route(std::uint32_t backend_rank, std::uint32_t slot) {
   {
     std::lock_guard<std::mutex> lock(attach_mutex_);
-    pending_routes_.emplace_back(backend_rank, slot);
+    pending_child_ops_.push_back(
+        {PendingChildOp::Kind::kRoute, slot, backend_rank, {}, nullptr});
+  }
+  inbox_->push(Envelope{Origin::kParent, 0, make_attach_marker_packet()});
+}
+
+void NodeRuntime::request_unroute(std::uint32_t backend_rank) {
+  {
+    std::lock_guard<std::mutex> lock(attach_mutex_);
+    pending_child_ops_.push_back(
+        {PendingChildOp::Kind::kUnroute, 0, backend_rank, {}, nullptr});
+  }
+  inbox_->push(Envelope{Origin::kParent, 0, make_attach_marker_packet()});
+}
+
+void NodeRuntime::request_detach(std::uint32_t slot) {
+  {
+    std::lock_guard<std::mutex> lock(attach_mutex_);
+    pending_child_ops_.push_back(
+        {PendingChildOp::Kind::kDetach, slot, 0, {}, nullptr});
   }
   inbox_->push(Envelope{Origin::kParent, 0, make_attach_marker_packet()});
 }
@@ -91,6 +114,7 @@ void NodeRuntime::set_parent_granter(std::function<void(std::uint32_t)> granter)
   std::lock_guard<std::mutex> lock(fc_mutex_);
   fc_parent_.granter = std::move(granter);
   fc_parent_.consumed = 0;
+  fc_parent_.weighted = 0.0;
 }
 
 void NodeRuntime::set_child_granter(std::uint32_t slot,
@@ -99,6 +123,7 @@ void NodeRuntime::set_child_granter(std::uint32_t slot,
   auto& channel = fc_children_[slot];
   channel.granter = std::move(granter);
   channel.consumed = 0;
+  channel.weighted = 0.0;
 }
 
 void NodeRuntime::register_fc_link(std::shared_ptr<FlowControlledLink> link) {
@@ -110,11 +135,18 @@ void NodeRuntime::set_execution(const ExecutionOptions& options) {
   exec_options_ = options;
 }
 
+double NodeRuntime::grant_share(std::uint32_t stream_id) const {
+  const auto cls = tenants_->classify(stream_id);
+  if (cls.tenant == TenantTable::kNoTenant) return 1.0;
+  return tenants_->budget(cls.tenant).credit_share();
+}
+
 void NodeRuntime::note_consumed(Origin origin, std::uint32_t slot,
-                                std::uint32_t count) {
+                                std::uint32_t count, double share) {
   if (!fc_.enabled || count == 0) return;
   std::function<void(std::uint32_t)> granter;
   std::uint32_t grant = 0;
+  bool weighted_pace = false;
   {
     std::lock_guard<std::mutex> lock(fc_mutex_);
     FcChannel* channel = nullptr;
@@ -128,14 +160,38 @@ void NodeRuntime::note_consumed(Origin origin, std::uint32_t slot,
     // root inbox) are not flow-controlled; nothing to account.
     if (!channel || !channel->granter) return;
     channel->consumed += count;
+    channel->weighted += static_cast<double>(count) *
+                         (share > 0.0 && share <= 1.0 ? share : 1.0);
     if (channel->consumed >= fc_.grant_quantum()) {
-      grant = channel->consumed;
-      channel->consumed = 0;
-      granter = channel->granter;
+      // Weighted grant pacing: grants for a channel whose traffic belongs to
+      // fractional-share tenants come in proportionally larger, rarer quanta
+      // (effective quantum = quantum / mean share), so at a fan-in point the
+      // per-child refill rate tracks tenant share instead of raw FIFO
+      // consumption order.  Clamped to the window: a sender at its full
+      // window must always be granted, so the channel can never wedge — and
+      // flush_partial_grants still rescues remainders at quiescence.
+      const double mean_share =
+          channel->weighted / static_cast<double>(channel->consumed);
+      const double quantum = static_cast<double>(fc_.grant_quantum());
+      double effective = quantum;
+      if (mean_share < 1.0) {
+        effective = std::min(quantum / std::max(mean_share, 1e-6),
+                             static_cast<double>(fc_.window()));
+      }
+      if (static_cast<double>(channel->consumed) >= effective) {
+        grant = channel->consumed;
+        weighted_pace = effective > quantum;
+        channel->consumed = 0;
+        channel->weighted = 0.0;
+        granter = channel->granter;
+      }
     }
   }
   if (grant) {
     metrics_.fc_credits_granted.fetch_add(grant, std::memory_order_relaxed);
+    if (weighted_pace) {
+      metrics_.fc_weighted_grants.fetch_add(1, std::memory_order_relaxed);
+    }
     granter(grant);
   }
 }
@@ -150,11 +206,13 @@ void NodeRuntime::flush_partial_grants() {
     if (fc_parent_.granter && fc_parent_.consumed) {
       due.emplace_back(fc_parent_.granter, fc_parent_.consumed);
       fc_parent_.consumed = 0;
+      fc_parent_.weighted = 0.0;
     }
     for (auto& [slot, channel] : fc_children_) {
       if (channel.granter && channel.consumed) {
         due.emplace_back(channel.granter, channel.consumed);
         channel.consumed = 0;
+        channel.weighted = 0.0;
       }
     }
   }
@@ -184,27 +242,40 @@ void NodeRuntime::set_crash_handler(std::function<void()> handler) {
 }
 
 void NodeRuntime::process_pending_attaches() {
-  std::vector<std::tuple<std::uint32_t, std::uint32_t, LinkPtr>> batch;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> routes;
-  std::vector<std::tuple<std::uint32_t, std::vector<std::uint32_t>, LinkPtr>> adopts;
+  std::vector<PendingChildOp> ops;
   {
     std::lock_guard<std::mutex> lock(attach_mutex_);
-    batch.swap(pending_attaches_);
-    routes.swap(pending_routes_);
-    adopts.swap(pending_adopts_);
+    ops.swap(pending_child_ops_);
   }
-  for (const auto& [backend_rank, slot] : routes) {
-    rank_routes_[backend_rank] = slot;
-  }
-  for (auto& [slot, backend_rank, link] : batch) {
-    TBON_INFO("node " << id_ << " attaching dynamic back-end rank " << backend_rank
-                      << " at slot " << slot);
-    wire_dynamic_child(slot, {backend_rank}, std::move(link));
-  }
-  for (auto& [slot, ranks, link] : adopts) {
-    TBON_INFO("node " << id_ << " adopting orphaned subtree serving "
-                      << ranks.size() << " back-end rank(s) at slot " << slot);
-    wire_dynamic_child(slot, std::move(ranks), std::move(link));
+  // Strict request order.  An unroute+route pair queued by a subtree
+  // migration re-points the rank in one drain without losing it, and a
+  // detach requested after an attach of the same slot (rapid add+remove)
+  // tears down the freshly wired child instead of no-opping on an
+  // unwired slot and leaking a ghost live child.
+  for (auto& op : ops) {
+    switch (op.kind) {
+      case PendingChildOp::Kind::kUnroute:
+        rank_routes_.erase(op.backend_rank);
+        break;
+      case PendingChildOp::Kind::kRoute:
+        rank_routes_[op.backend_rank] = op.slot;
+        break;
+      case PendingChildOp::Kind::kDetach:
+        TBON_INFO("node " << id_ << " planned detach of child slot " << op.slot);
+        note_child_gone(op.slot);
+        break;
+      case PendingChildOp::Kind::kAttach:
+        TBON_INFO("node " << id_ << " attaching dynamic back-end rank "
+                          << op.backend_rank << " at slot " << op.slot);
+        wire_dynamic_child(op.slot, {op.backend_rank}, std::move(op.link));
+        break;
+      case PendingChildOp::Kind::kAdopt:
+        TBON_INFO("node " << id_ << " adopting orphaned subtree serving "
+                          << op.ranks.size() << " back-end rank(s) at slot "
+                          << op.slot);
+        wire_dynamic_child(op.slot, std::move(op.ranks), std::move(op.link));
+        break;
+    }
   }
 }
 
@@ -213,12 +284,24 @@ void NodeRuntime::wire_dynamic_child(std::uint32_t slot,
   if (child_links_.size() <= slot) {
     child_links_.resize(slot + 1);
     child_alive_.resize(slot + 1, false);
+    child_contributing_.resize(slot + 1, false);
     child_acked_.resize(slot + 1, false);
   }
   child_links_[slot] = std::move(link);
   child_alive_[slot] = true;
   child_acked_[slot] = false;
   ++live_children_;
+  const bool was_empty = contributing_children_ == 0;
+  if (!child_contributing_[slot]) {
+    child_contributing_[slot] = true;
+    ++contributing_children_;
+  }
+  // An emptied relay regaining its first member must re-arm the retired
+  // wave-sync slot at its parent before any of the newcomer's data climbs
+  // (both ride the same FIFO upstream link, so ordering is guaranteed).
+  if (was_empty && role_ == NodeRole::kInternal && !shutting_down_) {
+    notify_parent_membership(/*live=*/true);
+  }
   for (const std::uint32_t rank : ranks) rank_routes_[rank] = slot;
   dynamic_slot_ranks_[slot] = std::move(ranks);
   if (liveness_) liveness_->ensure_child(slot, now_ns());
@@ -454,6 +537,21 @@ void NodeRuntime::handle_control(const Envelope& envelope) {
         forward_down(envelope.packet);
       }
       break;
+    case kTagDetach:
+      handle_detach(envelope);
+      break;
+    case kTagQuiesce:
+      handle_quiesce(envelope);
+      break;
+    case kTagRehome:
+      handle_rehome(envelope);
+      break;
+    case kTagReconfigAck:
+      handle_reconfig_ack(envelope);
+      break;
+    case kTagMembership:
+      handle_membership(envelope);
+      break;
     default:
       TBON_WARN("node " << id_ << " dropping unknown control tag " << packet.tag());
   }
@@ -595,10 +693,11 @@ void NodeRuntime::handle_new_stream(const StreamSpec& spec) {
       stream.fast_down = spec.down_transform == "passthrough";
       stream.null_sync = spec.up_sync == "null";
     }
-    // A child may have died before this stream was announced; the sync
-    // policy and filters must not wait for it.
+    // A child may have died — or its subtree emptied out through planned
+    // reconfiguration — before this stream was announced; the sync policy
+    // and filters must not wait for it.
     for (const std::uint32_t slot : stream.participating_slots) {
-      if (slot < child_alive_.size() && !child_alive_[slot]) {
+      if (!slot_contributes(slot)) {
         apply_membership_change(
             stream, static_cast<std::size_t>(stream.slot_to_sync_index[slot]),
             /*added=*/false);
@@ -635,6 +734,249 @@ void NodeRuntime::handle_delete_stream(std::uint32_t stream_id) {
   tenants_->forget_stream(stream_id);
   streams_.erase(it);
   if (delegate_ != nullptr) delegate_->on_stream_deleted(stream_id);
+}
+
+// ---- planned reconfiguration (src/core/reconfig.hpp) ------------------------
+//
+// The runtime's half of the quiesce→rewire→replay protocol.  All frames ride
+// the control stream, so they are FIFO-ordered against the data they fence:
+// a detach/quiesce ack follows every packet its subtree sent beforehand, and
+// the first node to see the ack applies membership compensation before any
+// later wave can close without the departed contributor.
+
+bool NodeRuntime::route_down_via_rank(std::uint32_t rank, const PacketPtr& packet,
+                                      bool allow_dead) {
+  const auto route = rank_routes_.find(rank);
+  if (route != rank_routes_.end()) {
+    const std::uint32_t slot = route->second;
+    const bool usable = slot < child_links_.size() && child_links_[slot] &&
+                        (allow_dead ||
+                         (slot < child_alive_.size() && child_alive_[slot]));
+    if (usable) return send_child(slot, packet);
+  }
+  metrics_.packets_dropped.fetch_add(1, std::memory_order_relaxed);
+  TBON_WARN("node " << id_ << " cannot route reconfiguration frame via rank "
+                    << rank);
+  return false;
+}
+
+std::vector<std::uint32_t> NodeRuntime::served_ranks() const {
+  if (role_ == NodeRole::kLeaf) return topology_.subtree_leaf_ranks(id_);
+  std::vector<std::uint32_t> ranks;
+  for (const auto& [rank, slot] : rank_routes_) {
+    if (slot < child_alive_.size() && child_alive_[slot]) ranks.push_back(rank);
+  }
+  return ranks;
+}
+
+void NodeRuntime::handle_detach(const Envelope& envelope) {
+  const Packet& packet = *envelope.packet;
+  std::int64_t op_id = 0;
+  std::uint32_t target_rank = 0;
+  try {
+    op_id = reconfig_op_id(packet);
+    target_rank = reconfig_target(packet);
+  } catch (const CodecError& error) {
+    metrics_.packets_dropped.fetch_add(1, std::memory_order_relaxed);
+    TBON_WARN("node " << id_ << " dropping malformed detach: " << error.what());
+    return;
+  }
+  if (shutting_down_) return;  // departure is moot: the whole tree is leaving
+  if (role_ == NodeRole::kLeaf &&
+      topology_.subtree_leaf_ranks(id_).front() == target_rank) {
+    TBON_INFO("node " << id_ << " (rank " << target_rank
+                      << ") leaving on planned detach, op " << op_id);
+    if (delegate_ != nullptr) delegate_->on_shutdown();
+    // The ack is the fence: it follows every packet this back-end sent, so
+    // the parent's membership compensation can never orphan in-flight data.
+    send_parent(make_reconfig_ack_packet(op_id, id_, ReconfigAckKind::kDetach));
+    if (parent_link_) parent_link_->flush();
+    done_ = true;  // run() exits and closes all links (EOF is then a no-op
+                   // at the parent: the ack already applied the removal)
+    return;
+  }
+  route_down_via_rank(target_rank, envelope.packet, /*allow_dead=*/false);
+}
+
+void NodeRuntime::handle_quiesce(const Envelope& envelope) {
+  const Packet& packet = *envelope.packet;
+  std::int64_t op_id = 0;
+  std::uint32_t target_node = 0;
+  std::uint32_t via_rank = 0;
+  try {
+    op_id = reconfig_op_id(packet);
+    target_node = reconfig_target(packet);
+    via_rank = quiesce_via_rank(packet);
+  } catch (const CodecError& error) {
+    metrics_.packets_dropped.fetch_add(1, std::memory_order_relaxed);
+    TBON_WARN("node " << id_ << " dropping malformed quiesce: " << error.what());
+    return;
+  }
+  if (shutting_down_) return;
+  if (target_node != id_) {
+    route_down_via_rank(via_rank, envelope.packet, /*allow_dead=*/false);
+    return;
+  }
+  TBON_INFO("node " << id_ << " quiescing for planned re-home, op " << op_id);
+  // Pause the application handle first (leaves): its in-flight sends finish
+  // before pause_sends returns, so they precede the ack on the channel.
+  if (role_ == NodeRole::kLeaf && delegate_ != nullptr) {
+    delegate_->on_reconfig_pause();
+  }
+  send_parent(make_reconfig_ack_packet(op_id, id_, ReconfigAckKind::kQuiesce));
+  if (parent_link_) parent_link_->flush();
+  // Park after the ack: everything this subtree emits from here on (late
+  // executor completions included) is buffered and replayed to the new
+  // parent, preserving per-stream order across the move.
+  upstream_parked_ = true;
+}
+
+void NodeRuntime::handle_rehome(const Envelope& envelope) {
+  const Packet& packet = *envelope.packet;
+  std::int64_t op_id = 0;
+  std::uint32_t target_node = 0;
+  std::uint32_t new_parent = 0;
+  std::uint32_t via_rank = 0;
+  try {
+    op_id = reconfig_op_id(packet);
+    target_node = reconfig_target(packet);
+    new_parent = rehome_new_parent(packet);
+    via_rank = rehome_via_rank(packet);
+  } catch (const CodecError& error) {
+    metrics_.packets_dropped.fetch_add(1, std::memory_order_relaxed);
+    TBON_WARN("node " << id_ << " dropping malformed rehome: " << error.what());
+    return;
+  }
+  if (shutting_down_) return;
+  if (target_node != id_) {
+    // allow_dead: at the old parent the target's slot is already
+    // membership-removed, but the link is intact — exactly the edge this
+    // frame must cross.
+    route_down_via_rank(via_rank, envelope.packet, /*allow_dead=*/true);
+    return;
+  }
+  bool rewired = false;
+  if (rehome_handler_) {
+    rewired = rehome_handler_(*this, static_cast<NodeId>(new_parent));
+  } else if (orphan_handler_) {
+    // Process/remote instantiations re-home through the same rendezvous path
+    // as fault recovery (the root re-adopts the subtree; `new_parent` is the
+    // root there by construction).
+    rewired = orphan_handler_(*this);
+  }
+  if (!rewired) {
+    TBON_WARN("node " << id_ << " re-home failed (op " << op_id
+                      << "); dying so children re-adopt");
+    crash();
+    return;
+  }
+  TBON_INFO("node " << id_ << " re-homed under node " << new_parent << ", op "
+                    << op_id);
+  metrics_.reconfig_moves.fetch_add(1, std::memory_order_relaxed);
+  if (liveness_) liveness_->reset_parent(now_ns());
+  // Replay parked emissions to the new parent — they land after the adopt
+  // marker queued by the handler, so announcements still precede data — then
+  // let the application handle send again, then complete the op.
+  unpark_upstream();
+  if (role_ == NodeRole::kLeaf && delegate_ != nullptr) {
+    delegate_->on_reconfig_resume();
+  }
+  send_parent(make_reconfig_ack_packet(op_id, id_, ReconfigAckKind::kRehome));
+}
+
+void NodeRuntime::handle_reconfig_ack(const Envelope& envelope) {
+  const Packet& packet = *envelope.packet;
+  std::int64_t op_id = 0;
+  std::uint32_t subject = 0;
+  ReconfigAckKind kind = ReconfigAckKind::kForwarded;
+  try {
+    op_id = reconfig_op_id(packet);
+    subject = reconfig_ack_subject(packet);
+    kind = reconfig_ack_kind(packet);
+  } catch (const CodecError& error) {
+    metrics_.packets_dropped.fetch_add(1, std::memory_order_relaxed);
+    TBON_WARN("node " << id_ << " dropping malformed reconfig ack: "
+                      << error.what());
+    return;
+  }
+  PacketPtr upward = envelope.packet;
+  if (envelope.origin == Origin::kChild && (kind == ReconfigAckKind::kDetach ||
+                                            kind == ReconfigAckKind::kQuiesce)) {
+    // First hop: this node is the departing subtree's parent.  Apply the
+    // planned removal now — membership compensation runs before any later
+    // wave, exactly like a failure EOF, but without recovery side effects.
+    metrics_.reconfig_detaches.fetch_add(1, std::memory_order_relaxed);
+    note_child_gone(envelope.child_slot);
+    upward = make_reconfig_ack_packet(op_id, subject, ReconfigAckKind::kForwarded);
+  }
+  if (role_ == NodeRole::kRoot) {
+    if (delegate_ != nullptr) delegate_->on_reconfig_ack(op_id, subject);
+    return;
+  }
+  send_parent(upward);
+}
+
+bool NodeRuntime::slot_contributes(std::uint32_t slot) const {
+  return slot < child_alive_.size() && child_alive_[slot] &&
+         (slot >= child_contributing_.size() || child_contributing_[slot]);
+}
+
+void NodeRuntime::notify_parent_membership(bool live) {
+  if (parent_link_ == nullptr) return;
+  TBON_INFO("node " << id_
+                    << (live ? " subtree contributing again" : " subtree emptied")
+                    << "; notifying parent");
+  const PacketPtr packet = make_membership_packet(live);
+  if (upstream_parked_) {
+    // Mid-move: the notification replays to the new parent with everything
+    // else parked, in order.
+    parked_upstream_.push_back(packet);
+    return;
+  }
+  send_parent(packet);
+}
+
+void NodeRuntime::handle_membership(const Envelope& envelope) {
+  if (envelope.origin != Origin::kChild) return;
+  const std::uint32_t slot = envelope.child_slot;
+  if (slot >= child_alive_.size() || !child_alive_[slot]) return;
+  const bool live = membership_packet_live(*envelope.packet);
+  if (child_contributing_.size() <= slot) {
+    child_contributing_.resize(slot + 1, true);
+  }
+  if (child_contributing_[slot] == live) return;  // duplicate notification
+  const bool was_empty = contributing_children_ == 0;
+  child_contributing_[slot] = live;
+  if (live) {
+    ++contributing_children_;
+  } else {
+    --contributing_children_;
+  }
+  TBON_INFO("node " << id_ << (live ? " reviving" : " retiring")
+                    << " wave membership of child slot " << slot);
+  for (auto& [stream_id, stream] : streams_) {
+    if (!stream.sync) continue;
+    const auto sync_index = slot < stream.slot_to_sync_index.size()
+                                ? stream.slot_to_sync_index[slot]
+                                : -1;
+    if (sync_index < 0) continue;  // endpoint-scoped stream skips this subtree
+    apply_membership_change(stream, static_cast<std::size_t>(sync_index),
+                            /*added=*/live, /*revived=*/live);
+  }
+  // Cascade: retiring the slot may have emptied this node too (a chain of
+  // relays), and reviving it may have refilled it.
+  if (role_ == NodeRole::kInternal && !shutting_down_) {
+    if (!live && contributing_children_ == 0) notify_parent_membership(false);
+    if (live && was_empty) notify_parent_membership(true);
+  }
+}
+
+void NodeRuntime::unpark_upstream() {
+  if (!upstream_parked_) return;
+  upstream_parked_ = false;
+  std::vector<PacketPtr> parked;
+  parked.swap(parked_upstream_);
+  for (const PacketPtr& packet : parked) send_parent(packet);
 }
 
 void NodeRuntime::handle_shutdown() {
@@ -681,6 +1023,10 @@ void NodeRuntime::handle_parent_lost() {
                         << parent_epoch_ << ")");
       metrics_.adoptions.fetch_add(1, std::memory_order_relaxed);
       if (liveness_) liveness_->reset_parent(now_ns());
+      // Rare overlap: the old parent died while this node was quiesced for a
+      // planned move.  Fault recovery won the race — replay the parked
+      // emissions to the adopter rather than holding them forever.
+      unpark_upstream();
       return;
     }
     // Recovery is enabled but re-adoption failed (network tearing down, the
@@ -712,6 +1058,11 @@ void NodeRuntime::crash() {
 
 bool NodeRuntime::send_parent(const PacketPtr& packet) {
   if (!parent_link_) return false;
+  if (upstream_parked_) {
+    // Quiesced: buffer in order for replay to the new parent.
+    parked_upstream_.push_back(packet);
+    return true;
+  }
   if (liveness_) liveness_->note_send_parent(now_ns());
   if (injector_) {
     if (injector_->sends_muted(id_)) return true;  // simulated hang: drop
@@ -737,7 +1088,7 @@ bool NodeRuntime::send_child(std::uint32_t slot, const PacketPtr& packet) {
 std::size_t NodeRuntime::live_participants(const StreamLocal& stream) const {
   std::size_t live = 0;
   for (const std::uint32_t slot : stream.participating_slots) {
-    if (slot < child_alive_.size() && child_alive_[slot]) ++live;
+    if (slot_contributes(slot)) ++live;
   }
   return live;
 }
@@ -747,7 +1098,7 @@ MembershipSnapshot NodeRuntime::membership_snapshot(const StreamLocal& stream) c
   snapshot.num_total = stream.participating_slots.size();
   snapshot.live.reserve(snapshot.num_total);
   for (const std::uint32_t slot : stream.participating_slots) {
-    const bool alive = slot < child_alive_.size() && child_alive_[slot];
+    const bool alive = slot_contributes(slot);
     snapshot.live.push_back(alive);
     if (alive) ++snapshot.num_live;
   }
@@ -755,9 +1106,10 @@ MembershipSnapshot NodeRuntime::membership_snapshot(const StreamLocal& stream) c
 }
 
 void NodeRuntime::apply_membership_change(StreamLocal& stream,
-                                          std::size_t sync_index, bool added) {
+                                          std::size_t sync_index, bool added,
+                                          bool revived) {
   const std::size_t live = live_participants(stream);
-  const MembershipChange change{sync_index, added, live};
+  const MembershipChange change{sync_index, added, live, revived};
   MembershipSnapshot snapshot = membership_snapshot(stream);
   if (stream.exec) {
     // The stream's sync/filter/ctx belong to its shard now: apply the change
@@ -808,6 +1160,10 @@ void NodeRuntime::note_child_gone(std::uint32_t slot) {
   if (slot >= child_alive_.size() || !child_alive_[slot]) return;
   child_alive_[slot] = false;
   --live_children_;
+  if (slot < child_contributing_.size() && child_contributing_[slot]) {
+    child_contributing_[slot] = false;
+    --contributing_children_;
+  }
   if (liveness_) liveness_->drop_child(slot);
   TBON_DEBUG("node " << id_ << " lost child slot " << slot);
   for (auto& [stream_id, stream] : streams_) {
@@ -817,6 +1173,13 @@ void NodeRuntime::note_child_gone(std::uint32_t slot) {
       apply_membership_change(stream, static_cast<std::size_t>(sync_index),
                               /*added=*/false);
     }
+  }
+  // Losing the last contributing child turns this interior into an empty
+  // relay: nothing below it will ever feed another wave, so the parent must
+  // stop waiting for this edge (and so on up the tree, recursively).
+  if (contributing_children_ == 0 && role_ == NodeRole::kInternal &&
+      !shutting_down_) {
+    notify_parent_membership(/*live=*/false);
   }
   if (shutting_down_ && shutdown_acks_needed_ > 0 && !child_acked_[slot]) {
     child_acked_[slot] = true;
@@ -832,7 +1195,7 @@ void NodeRuntime::handle_upstream_data(std::uint32_t slot, const PacketPtr& pack
   // executor-dispatched packets return theirs when the completion is
   // delivered instead.
   if (!deferred && packet->stream_id() != kTelemetryStream) {
-    note_consumed(Origin::kChild, slot);
+    note_consumed(Origin::kChild, slot, 1, grant_share(packet->stream_id()));
   }
 }
 
@@ -943,7 +1306,8 @@ void NodeRuntime::consume_upstream_run(std::uint32_t slot,
   // defers the whole run's credits to completion delivery.
   const auto credit_run = [&] {
     if (!telemetry) {
-      note_consumed(Origin::kChild, slot, static_cast<std::uint32_t>(run.size()));
+      note_consumed(Origin::kChild, slot, static_cast<std::uint32_t>(run.size()),
+                    grant_share(stream_id));
     }
   };
 
@@ -1085,6 +1449,10 @@ void NodeRuntime::emit_upstream(StreamLocal& stream, std::span<const PacketPtr> 
     return;
   }
   if (!parent_link_) return;
+  if (upstream_parked_) {
+    parked_upstream_.insert(parked_upstream_.end(), packets.begin(), packets.end());
+    return;
+  }
   if (packets.size() == 1) {
     send_parent(packets.front());
     return;
@@ -1289,7 +1657,7 @@ void NodeRuntime::exec_deliver(ExecCompletion&& completion) {
   }
   if (completion.credits) {
     note_consumed(completion.credit_origin, completion.credit_slot,
-                  completion.credits);
+                  completion.credits, grant_share(completion.stream_id));
   }
 }
 
@@ -1340,7 +1708,7 @@ void NodeRuntime::poll_timeouts(std::int64_t now) {
 void NodeRuntime::poll_liveness(std::int64_t now) {
   if (!liveness_ || done_ || crashed_) return;
   // Explicit heartbeats on channels that have been send-idle too long.
-  if (parent_link_ && liveness_->parent_heartbeat_due(now)) {
+  if (parent_link_ && !upstream_parked_ && liveness_->parent_heartbeat_due(now)) {
     send_parent(make_heartbeat_packet());
     metrics_.heartbeats_sent.fetch_add(1, std::memory_order_relaxed);
     if (last_parent_hb_sent_ < 0) last_parent_hb_sent_ = now;
@@ -1362,7 +1730,10 @@ void NodeRuntime::poll_liveness(std::int64_t now) {
     if (child_links_[slot]) child_links_[slot]->close();
     note_child_gone(slot);
   }
-  if (!shutting_down_ && role_ != NodeRole::kRoot && liveness_->parent_timed_out(now)) {
+  // A parked node is between parents on purpose: the old channel going
+  // quiet must not trigger spurious re-adoption mid-rehome.
+  if (!shutting_down_ && !upstream_parked_ && role_ != NodeRole::kRoot &&
+      liveness_->parent_timed_out(now)) {
     TBON_WARN("node " << id_ << " heartbeat timeout: declaring parent dead");
     if (parent_link_) parent_link_->close();
     handle_parent_lost();
@@ -1476,7 +1847,7 @@ bool NodeRuntime::topic_routed_to_slot(const StreamLocal& stream,
 void NodeRuntime::handle_downstream_data(const PacketPtr& packet) {
   const bool deferred = consume_downstream_data(packet);
   if (!deferred && packet->stream_id() != kTelemetryStream) {
-    note_consumed(Origin::kParent, 0);
+    note_consumed(Origin::kParent, 0, 1, grant_share(packet->stream_id()));
   }
 }
 

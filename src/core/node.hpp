@@ -75,6 +75,16 @@ class NodeRuntime {
       (void)rank;
       (void)added;
     }
+    /// Root only: a reconfiguration operation's acknowledgement arrived
+    /// (planned detach / quiesce / rehome; see src/core/reconfig.hpp).
+    virtual void on_reconfig_ack(std::int64_t op_id, std::uint32_t subject) {
+      (void)op_id;
+      (void)subject;
+    }
+    /// Leaf only: the reconfiguration protocol is quiescing this back-end;
+    /// application sends must pause until on_reconfig_resume.
+    virtual void on_reconfig_pause() {}
+    virtual void on_reconfig_resume() {}
   };
 
   NodeRuntime(const Topology& topology, NodeId id, FilterRegistry& registry,
@@ -99,6 +109,35 @@ class NodeRuntime {
   /// Tell this node (an ancestor of a dynamic attach) that back-end
   /// `backend_rank` is reachable through child `slot`.
   void request_route(std::uint32_t backend_rank, std::uint32_t slot);
+
+  /// Withdraw a rank route (planned subtree migration: the old path's
+  /// ancestors stop claiming reachability).  Unroutes queued before routes
+  /// are applied first, so an unroute+route pair re-points a rank atomically
+  /// from the runtime thread's perspective.
+  void request_unroute(std::uint32_t backend_rank);
+
+  /// Planned departure of child `slot` (engine-driven dynamic-leaf moves):
+  /// the runtime applies membership compensation on its own thread exactly
+  /// as if the child had acknowledged a detach.  Safe from any thread.
+  void request_detach(std::uint32_t slot);
+
+  /// Called (on the runtime thread) when a kTagRehome frame targets this
+  /// node: re-wire under `new_parent` and return true, or false to fail the
+  /// operation (the runtime then crashes so its children re-adopt).  Without
+  /// a handler the orphan handler is used as a fallback, ignoring
+  /// `new_parent` — the process/remote instantiations re-home through the
+  /// same rendezvous path as fault recovery.
+  void set_rehome_handler(std::function<bool(NodeRuntime&, NodeId)> handler) {
+    rehome_handler_ = std::move(handler);
+  }
+
+  /// Back-end ranks currently served by this node's subtree: the static
+  /// subtree ranks plus dynamically attached/adopted ones, minus departed
+  /// children.  A leaf returns its own rank.
+  std::vector<std::uint32_t> served_ranks() const;
+
+  /// Children wired and alive right now (engine load gauge).
+  std::size_t live_child_count() const noexcept { return live_children_; }
 
   // ---- flow control (src/core/flow_control.hpp) ---------------------------
 
@@ -257,14 +296,34 @@ class NodeRuntime {
                           LinkPtr link);
   void handle_new_stream(const StreamSpec& spec);
   void handle_delete_stream(std::uint32_t stream_id);
-  void handle_shutdown();
+  void handle_detach(const Envelope& envelope);
+  void handle_quiesce(const Envelope& envelope);
+  void handle_rehome(const Envelope& envelope);
+  void handle_reconfig_ack(const Envelope& envelope);
+  /// kTagMembership from a child: retire (live == false) or revive its slot
+  /// in every stream's wave sync; the link itself stays wired.
+  void handle_membership(const Envelope& envelope);
+  /// True when the slot both has a live link and serves at least one
+  /// back-end (emptied relay interiors stay linked but stop contributing).
+  bool slot_contributes(std::uint32_t slot) const;
+  /// Tell the parent this subtree just lost its last contributing back-end
+  /// (or regained its first), so wave syncs upstream never stall on it.
+  void notify_parent_membership(bool live);
+  /// Route a control frame one hop toward back-end `rank`; `allow_dead`
+  /// lets a rehome frame cross the membership-removed edge at the old
+  /// parent.  Returns false (and counts a drop) when no route exists.
+  bool route_down_via_rank(std::uint32_t rank, const PacketPtr& packet,
+                           bool allow_dead);
+  /// Replay emissions parked while quiesced to the (new) parent, in order.
+  void unpark_upstream();
   void handle_parent_lost();
+  void handle_shutdown();
   void crash();
   bool send_parent(const PacketPtr& packet);
   bool send_child(std::uint32_t slot, const PacketPtr& packet);
   void poll_liveness(std::int64_t now);
   void apply_membership_change(StreamLocal& stream, std::size_t sync_index,
-                               bool added);
+                               bool added, bool revived = false);
   std::size_t live_participants(const StreamLocal& stream) const;
   void note_child_gone(std::uint32_t slot);
   void handle_upstream_data(std::uint32_t slot, const PacketPtr& packet);
@@ -296,7 +355,14 @@ class NodeRuntime {
   void flush_all_streams();
   void poll_timeouts(std::int64_t now);
   void poll_telemetry(std::int64_t now);
-  void note_consumed(Origin origin, std::uint32_t slot, std::uint32_t count = 1);
+  /// `share` is the consuming stream's tenant credit share, used to pace
+  /// grants so a small-share tenant's consumption refills the sender in
+  /// proportionally larger, rarer quanta (weighted credit grants).
+  void note_consumed(Origin origin, std::uint32_t slot, std::uint32_t count = 1,
+                     double share = 1.0);
+  /// Tenant credit share of `stream_id` for grant weighting (1.0 when the
+  /// stream is untenanted or unknown).
+  double grant_share(std::uint32_t stream_id) const;
   void flush_partial_grants();
   void pump_fc_links();
   void publish_telemetry();
@@ -320,8 +386,14 @@ class NodeRuntime {
   LinkPtr parent_link_;
   std::vector<LinkPtr> child_links_;
   std::vector<bool> child_alive_;
+  /// Parallel to child_alive_: false marks a slot whose subtree has no
+  /// contributing back-ends left (an emptied relay interior after a merge
+  /// or planned removals).  The link stays usable; wave syncs skip it.
+  std::vector<bool> child_contributing_;
   std::vector<bool> child_acked_;  ///< shutdown ack received from this slot
-  std::size_t live_children_ = 0;
+  /// Atomic so the reconfiguration engine can read the fan-in gauge live.
+  std::atomic<std::size_t> live_children_{0};
+  std::size_t contributing_children_ = 0;
 
   /// Back-end rank -> child slot whose subtree serves it (peer routing).
   std::map<std::uint32_t, std::uint32_t> rank_routes_;
@@ -335,12 +407,22 @@ class NodeRuntime {
   /// Stream classification + tenant budgets/counters for this node.
   TenantTablePtr tenants_ = std::make_shared<TenantTable>();
 
-  /// Dynamic-attach plumbing.
+  /// Dynamic-attach plumbing.  All topology requests (attach, adopt, route,
+  /// unroute, detach) share ONE queue drained in request order: with separate
+  /// per-kind queues, a detach requested after an attach of the same slot
+  /// could be applied first — note_child_gone on the not-yet-wired slot is a
+  /// no-op, the removal is silently lost, and the parent later waits forever
+  /// for a shutdown ack from the already-stopped leaf.
+  struct PendingChildOp {
+    enum class Kind { kAttach, kAdopt, kRoute, kUnroute, kDetach };
+    Kind kind;
+    std::uint32_t slot = 0;                 // attach/adopt/route/detach
+    std::uint32_t backend_rank = 0;         // attach/route/unroute
+    std::vector<std::uint32_t> ranks;       // adopt
+    LinkPtr link;                           // attach/adopt
+  };
   std::mutex attach_mutex_;
-  std::vector<std::tuple<std::uint32_t, std::uint32_t, LinkPtr>> pending_attaches_;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> pending_routes_;
-  std::vector<std::tuple<std::uint32_t, std::vector<std::uint32_t>, LinkPtr>>
-      pending_adopts_;
+  std::vector<PendingChildOp> pending_child_ops_;
   std::atomic<std::uint32_t> next_dynamic_slot_;
 
   /// Back-end ranks served through each dynamically wired slot (attach and
@@ -359,6 +441,9 @@ class NodeRuntime {
   std::mutex fc_mutex_;
   struct FcChannel {
     std::uint32_t consumed = 0;
+    /// Share-weighted consumption since the last grant (weighted credit
+    /// grants: sum of count * tenant credit share per note_consumed).
+    double weighted = 0.0;
     std::function<void(std::uint32_t)> granter;
   };
   FcChannel fc_parent_;
@@ -387,8 +472,15 @@ class NodeRuntime {
   std::unique_ptr<PeerLiveness> liveness_;
   std::shared_ptr<FaultInjector> injector_;
   std::function<bool(NodeRuntime&)> orphan_handler_;
+  std::function<bool(NodeRuntime&, NodeId)> rehome_handler_;
   std::function<void()> crash_handler_;
   std::uint32_t parent_epoch_ = 0;
+
+  /// Quiesce state: while parked, upstream emissions are buffered (in order)
+  /// instead of sent, parent heartbeats stop, and the parent channel is not
+  /// subject to liveness timeout — the node is between parents on purpose.
+  bool upstream_parked_ = false;
+  std::vector<PacketPtr> parked_upstream_;
   std::atomic<bool> dead_{false};
   bool crashed_ = false;
 

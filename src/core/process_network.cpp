@@ -450,6 +450,7 @@ std::unique_ptr<Network> Network::create_process_impl(const NetworkOptions& opti
   net.child_pids_ = std::move(spawned.pids);
 
   net.front_end_ = std::unique_ptr<FrontEnd>(new FrontEnd(net));
+  net.next_dynamic_rank_ = static_cast<std::uint32_t>(topo.num_leaves());
   if (net.rendezvous_) {
     net.rendezvous_->start([&net](Fd connection, const OrphanHello& hello) {
       net.adopt_process_orphan(std::move(connection), hello);

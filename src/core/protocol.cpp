@@ -149,6 +149,102 @@ std::string subscribe_packet_prefix(const Packet& packet) {
   }
 }
 
+PacketPtr make_detach_packet(std::int64_t op_id, std::uint32_t target_rank) {
+  return Packet::make(kControlStream, kTagDetach, kFrontEndRank, "i64 i64",
+                      {op_id, static_cast<std::int64_t>(target_rank)});
+}
+
+PacketPtr make_quiesce_packet(std::int64_t op_id, std::uint32_t target_node,
+                              std::uint32_t via_rank) {
+  return Packet::make(kControlStream, kTagQuiesce, kFrontEndRank, "i64 i64 i64",
+                      {op_id, static_cast<std::int64_t>(target_node),
+                       static_cast<std::int64_t>(via_rank)});
+}
+
+PacketPtr make_rehome_packet(std::int64_t op_id, std::uint32_t target_node,
+                             std::uint32_t new_parent, std::uint32_t via_rank) {
+  return Packet::make(kControlStream, kTagRehome, kFrontEndRank,
+                      "i64 i64 i64 i64",
+                      {op_id, static_cast<std::int64_t>(target_node),
+                       static_cast<std::int64_t>(new_parent),
+                       static_cast<std::int64_t>(via_rank)});
+}
+
+PacketPtr make_reconfig_ack_packet(std::int64_t op_id, std::uint32_t subject,
+                                   ReconfigAckKind kind) {
+  return Packet::make(kControlStream, kTagReconfigAck, kFrontEndRank,
+                      "i64 i64 i64",
+                      {op_id, static_cast<std::int64_t>(subject),
+                       static_cast<std::int64_t>(kind)});
+}
+
+PacketPtr make_membership_packet(bool live) {
+  return Packet::make(kControlStream, kTagMembership, kFrontEndRank, "i64",
+                      {std::int64_t{live ? 1 : 0}});
+}
+
+bool membership_packet_live(const Packet& packet) {
+  try {
+    return packet.get_i64(0) != 0;
+  } catch (const std::exception&) {
+    throw CodecError("malformed membership payload");
+  }
+}
+
+namespace {
+
+// Hardened like credit_field: reconfiguration frames cross process/socket
+// boundaries, so malformed payloads must surface as CodecError.
+std::int64_t reconfig_field(const Packet& packet, std::size_t index) {
+  try {
+    return packet.get_i64(index);
+  } catch (const std::exception&) {
+    throw CodecError("malformed reconfiguration payload");
+  }
+}
+
+std::uint32_t reconfig_u32(const Packet& packet, std::size_t index) {
+  const std::int64_t v = reconfig_field(packet, index);
+  if (v < 0 || v > static_cast<std::int64_t>(UINT32_MAX)) {
+    throw CodecError("reconfiguration field out of range");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+std::int64_t reconfig_op_id(const Packet& packet) {
+  return reconfig_field(packet, 0);
+}
+
+std::uint32_t reconfig_target(const Packet& packet) {
+  return reconfig_u32(packet, 1);
+}
+
+std::uint32_t quiesce_via_rank(const Packet& packet) {
+  return reconfig_u32(packet, 2);
+}
+
+std::uint32_t rehome_new_parent(const Packet& packet) {
+  return reconfig_u32(packet, 2);
+}
+
+std::uint32_t rehome_via_rank(const Packet& packet) {
+  return reconfig_u32(packet, 3);
+}
+
+std::uint32_t reconfig_ack_subject(const Packet& packet) {
+  return reconfig_u32(packet, 1);
+}
+
+ReconfigAckKind reconfig_ack_kind(const Packet& packet) {
+  const std::int64_t kind = reconfig_field(packet, 2);
+  if (kind < 0 || kind > static_cast<std::int64_t>(ReconfigAckKind::kForwarded)) {
+    throw CodecError("reconfiguration ack kind out of range");
+  }
+  return static_cast<ReconfigAckKind>(kind);
+}
+
 PacketPtr make_peer_packet(std::uint32_t dst_rank, const Packet& inner) {
   BinaryWriter writer;
   inner.serialize(writer);

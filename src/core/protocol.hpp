@@ -58,6 +58,43 @@ enum ControlTag : std::int32_t {
   kTagSubscribe = 12,
   /// Subscription withdrawal; same shape as kTagSubscribe.
   kTagUnsubscribe = 13,
+  /// Planned back-end departure (reconfiguration subsystem,
+  /// src/core/reconfig.hpp).  Payload "i64 i64" = (op id, target rank);
+  /// routed down the tree via rank routes.  The target leaf acknowledges
+  /// with kTagReconfigAck and exits cleanly; its parent treats the ack like
+  /// a planned EOF (membership compensation, no re-adoption).
+  kTagDetach = 14,
+  /// Phase one of a planned subtree move.  Payload "i64 i64 i64" =
+  /// (op id, target node, via rank); `via rank` is any back-end rank in the
+  /// target's subtree, used to route the frame since interior nodes have no
+  /// rank of their own.  The target parks its upstream (buffering emissions)
+  /// and acknowledges; the ack's first hop doubles as the planned-departure
+  /// signal at the old parent.
+  kTagQuiesce = 15,
+  /// Phase two: re-home the quiesced subtree.  Payload "i64 i64 i64 i64" =
+  /// (op id, target node, new parent, via rank).  Routed like kTagQuiesce
+  /// but allowed to cross the membership-removed edge at the old parent.
+  kTagRehome = 16,
+  /// Reconfiguration acknowledgement flowing up to the root.  Payload
+  /// "i64 i64 i64" = (op id, subject node, kind: ReconfigAckKind).  The
+  /// first hop of a detach/quiesce ack applies the planned removal at the
+  /// parent, then forwards the ack rewritten as kForwarded.
+  kTagReconfigAck = 17,
+
+  /// Upstream structural notification: the sender's subtree lost its last
+  /// contributing back-end (payload 0) or regained its first (payload 1)
+  /// through planned reconfiguration or failure.  The parent retires or
+  /// revives the child's slot in every stream's wave sync without touching
+  /// the link, so wait_for_all never stalls on an emptied relay interior.
+  kTagMembership = 18,
+};
+
+/// Discriminator carried by kTagReconfigAck frames.
+enum class ReconfigAckKind : std::uint8_t {
+  kDetach = 0,     ///< first hop: planned leaf departure at this parent
+  kQuiesce = 1,    ///< first hop: subtree quiesced; detach it from this parent
+  kRehome = 2,     ///< subtree re-wired under its new parent
+  kForwarded = 3,  ///< already applied below; relay to the root untouched
 };
 
 /// Reserved stream carrying in-band telemetry (auto-created when
@@ -231,6 +268,31 @@ inline bool topic_matches(const std::string& prefix,
                           const std::string& topic) noexcept {
   return topic.compare(0, prefix.size(), prefix) == 0;
 }
+
+/// Build the reconfiguration-protocol frames (kTagDetach / kTagQuiesce /
+/// kTagRehome / kTagReconfigAck; see src/core/reconfig.hpp).
+PacketPtr make_detach_packet(std::int64_t op_id, std::uint32_t target_rank);
+PacketPtr make_quiesce_packet(std::int64_t op_id, std::uint32_t target_node,
+                              std::uint32_t via_rank);
+PacketPtr make_rehome_packet(std::int64_t op_id, std::uint32_t target_node,
+                             std::uint32_t new_parent, std::uint32_t via_rank);
+PacketPtr make_reconfig_ack_packet(std::int64_t op_id, std::uint32_t subject,
+                                   ReconfigAckKind kind);
+
+/// kTagMembership frame: `live` false retires the sender's child slot from
+/// every stream's wave sync at the parent, true revives it.
+PacketPtr make_membership_packet(bool live);
+bool membership_packet_live(const Packet& packet);
+
+/// Validated accessors for the reconfiguration frames; throw CodecError on
+/// truncated or mistyped payloads (these cross process boundaries).
+std::int64_t reconfig_op_id(const Packet& packet);
+std::uint32_t reconfig_target(const Packet& packet);      ///< rank (detach) / node
+std::uint32_t quiesce_via_rank(const Packet& packet);     ///< field 2
+std::uint32_t rehome_new_parent(const Packet& packet);    ///< field 2
+std::uint32_t rehome_via_rank(const Packet& packet);      ///< field 3
+std::uint32_t reconfig_ack_subject(const Packet& packet);
+ReconfigAckKind reconfig_ack_kind(const Packet& packet);
 
 /// Wrap an application packet for tree routing to back-end `dst_rank`.
 PacketPtr make_peer_packet(std::uint32_t dst_rank, const Packet& inner);

@@ -1,0 +1,43 @@
+#include "core/reconfig.hpp"
+
+#include <tuple>
+
+namespace tbon {
+
+std::optional<TopologyDelta> PlacementPolicy::propose(
+    std::span<const NodeLoad> candidates, const ReconfigOptions& options) {
+  if (options.split_fan_in == 0 && options.split_queue_depth == 0) {
+    return std::nullopt;
+  }
+  for (const NodeLoad& load : candidates) {
+    const bool hot_fan_in =
+        options.split_fan_in && load.fan_in >= options.split_fan_in;
+    const bool hot_queue = options.split_queue_depth &&
+                           load.exec_queue_depth >= options.split_queue_depth;
+    // A saturated interior needs at least two children to have anything to
+    // migrate; propose one split per inspection so cooldown paces the churn.
+    if ((hot_fan_in || hot_queue) && load.fan_in >= 2) {
+      return TopologyDelta().split(load.node);
+    }
+  }
+  return std::nullopt;
+}
+
+NodeId LoadBalancedPolicy::choose_parent(std::span<const NodeLoad> candidates) {
+  if (candidates.empty()) return kAutoPlacement;
+  const NodeLoad* best = &candidates.front();
+  for (const NodeLoad& load : candidates.subspan(1)) {
+    const auto key = [](const NodeLoad& l) {
+      return std::tuple(l.fan_in, l.exec_queue_depth, l.inbox_depth, l.node);
+    };
+    if (key(load) < key(*best)) best = &load;
+  }
+  return best->node;
+}
+
+NodeId ManualPolicy::choose_parent(std::span<const NodeLoad> candidates) {
+  if (next_ < targets_.size()) return targets_[next_++];
+  return candidates.empty() ? kAutoPlacement : candidates.front().node;
+}
+
+}  // namespace tbon

@@ -1,0 +1,205 @@
+// Planned topology reconfiguration: the typed operator surface for evolving
+// a live tree (paper §2: "the internal process tree may be reconfigured
+// while the application runs").
+//
+// A TopologyDelta is an ordered batch of mutations — add_leaf / remove_leaf /
+// split / merge / move_subtree — applied by FrontEnd::reconfigure() through a
+// two-phase quiesce→rewire→replay protocol (docs/reconfiguration.md).  Where
+// an operation needs a destination the caller may name one explicitly or
+// leave it to the network's PlacementPolicy, which picks load-balanced join
+// targets from live gauges (child fan-in, executor queue depth, inbox depth
+// — the BON-style join-target selection of PAPERS.md).
+//
+// This header is self-contained on purpose: it depends on the topology layer
+// only, so policies can be unit-tested without instantiating a network.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace tbon {
+
+/// Placeholder destination: "let the PlacementPolicy choose".
+inline constexpr NodeId kAutoPlacement = 0xFFFFFFFFu;
+
+enum class ReconfigOpKind : std::uint8_t {
+  kAddLeaf,      ///< join a new back-end under `node` (or policy-chosen)
+  kRemoveLeaf,   ///< planned departure of back-end `rank`
+  kSplit,        ///< migrate half of `node`'s children to `target`
+  kMerge,        ///< drain every child of `node` into `target`
+  kMoveSubtree,  ///< re-home the subtree rooted at `node` under `target`
+};
+
+/// One mutation inside a TopologyDelta.
+struct ReconfigOp {
+  ReconfigOpKind kind = ReconfigOpKind::kAddLeaf;
+  NodeId node = kAutoPlacement;    ///< subject (parent / split / merge / move)
+  NodeId target = kAutoPlacement;  ///< destination (kAutoPlacement = policy)
+  std::uint32_t rank = 0;          ///< back-end rank (kRemoveLeaf)
+
+  friend bool operator==(const ReconfigOp&, const ReconfigOp&) = default;
+};
+
+/// Typed builder for a batch of topology mutations, applied in order:
+///
+///   fe.reconfigure(TopologyDelta()
+///                      .add_leaf()            // policy-placed join
+///                      .add_leaf(/*parent=*/1)
+///                      .split(1)              // rebalance a hot interior
+///                      .remove_leaf(3));
+class TopologyDelta {
+ public:
+  TopologyDelta& add_leaf(NodeId parent = kAutoPlacement) {
+    ops_.push_back({ReconfigOpKind::kAddLeaf, parent, kAutoPlacement, 0});
+    return *this;
+  }
+  TopologyDelta& remove_leaf(std::uint32_t rank) {
+    ops_.push_back({ReconfigOpKind::kRemoveLeaf, kAutoPlacement, kAutoPlacement, rank});
+    return *this;
+  }
+  TopologyDelta& split(NodeId node, NodeId target = kAutoPlacement) {
+    ops_.push_back({ReconfigOpKind::kSplit, node, target, 0});
+    return *this;
+  }
+  TopologyDelta& merge(NodeId node, NodeId target = kAutoPlacement) {
+    ops_.push_back({ReconfigOpKind::kMerge, node, target, 0});
+    return *this;
+  }
+  TopologyDelta& move_subtree(NodeId node, NodeId new_parent) {
+    ops_.push_back({ReconfigOpKind::kMoveSubtree, node, new_parent, 0});
+    return *this;
+  }
+
+  bool empty() const noexcept { return ops_.empty(); }
+  std::size_t size() const noexcept { return ops_.size(); }
+  const std::vector<ReconfigOp>& ops() const noexcept { return ops_; }
+
+ private:
+  std::vector<ReconfigOp> ops_;
+};
+
+/// Outcome of one ReconfigOp.
+struct ReconfigOpResult {
+  ReconfigOp op;
+  bool ok = false;
+  /// kAddLeaf: the rank assigned to the new back-end.
+  std::uint32_t new_rank = 0;
+  /// Destination the placement actually used (resolved kAutoPlacement).
+  NodeId resolved_target = kAutoPlacement;
+  /// Human-readable failure reason ("" on success).
+  std::string message;
+};
+
+enum class ReconfigStatus : std::uint8_t {
+  kOk,       ///< every operation applied
+  kPartial,  ///< some applied, some failed (applied ones are NOT rolled back)
+  kFailed,   ///< nothing applied
+};
+
+/// Status-carrying result of FrontEnd::reconfigure(): overall status plus a
+/// per-operation breakdown in submission order.
+class ReconfigResult {
+ public:
+  ReconfigStatus status() const noexcept { return status_; }
+  bool ok() const noexcept { return status_ == ReconfigStatus::kOk; }
+  const std::vector<ReconfigOpResult>& ops() const noexcept { return ops_; }
+
+  /// Engine-side assembly.
+  void add(ReconfigOpResult op_result) {
+    ops_.push_back(std::move(op_result));
+    recompute();
+  }
+
+ private:
+  void recompute() noexcept {
+    std::size_t succeeded = 0;
+    for (const ReconfigOpResult& r : ops_) succeeded += r.ok ? 1 : 0;
+    status_ = succeeded == ops_.size() ? ReconfigStatus::kOk
+              : succeeded == 0         ? ReconfigStatus::kFailed
+                                       : ReconfigStatus::kPartial;
+  }
+
+  ReconfigStatus status_ = ReconfigStatus::kOk;
+  std::vector<ReconfigOpResult> ops_;
+};
+
+/// Live load gauges for one candidate attach point, sampled by the engine
+/// from the node's metrics registry when a placement decision is needed.
+struct NodeLoad {
+  NodeId node = 0;
+  std::size_t fan_in = 0;              ///< live children wired right now
+  std::uint64_t exec_queue_depth = 0;  ///< tasks queued across worker shards
+  std::uint64_t inbox_depth = 0;       ///< envelopes waiting in the inbox
+};
+
+struct ReconfigOptions;
+
+/// Pluggable join-target selection and auto-rebalance proposals.  Candidates
+/// are the interior nodes (and the root) currently able to adopt a subtree;
+/// in the process and remote instantiations only the root can (re-)wire
+/// channels, so the candidate list collapses to {root}.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Choose the attach point for a join or migration.  `candidates` is never
+  /// empty.  Return kAutoPlacement to refuse (the operation fails).
+  virtual NodeId choose_parent(std::span<const NodeLoad> candidates) = 0;
+
+  /// Periodic gauge inspection (FrontEnd::maybe_rebalance): return a delta to
+  /// apply, or nullopt to leave the tree alone.  Default: split any interior
+  /// whose fan-in or executor queue exceeds the configured thresholds.
+  virtual std::optional<TopologyDelta> propose(std::span<const NodeLoad> candidates,
+                                               const ReconfigOptions& options);
+};
+
+/// Default policy: least-loaded candidate by (fan-in, queue depth, inbox
+/// depth) lexicographically — BON-style load-balanced join targets.
+class LoadBalancedPolicy : public PlacementPolicy {
+ public:
+  NodeId choose_parent(std::span<const NodeLoad> candidates) override;
+};
+
+/// Deterministic policy for tests: hands out a scripted target list in
+/// order, then falls back to the first candidate.  propose() never fires.
+class ManualPolicy : public PlacementPolicy {
+ public:
+  explicit ManualPolicy(std::vector<NodeId> targets) : targets_(std::move(targets)) {}
+
+  NodeId choose_parent(std::span<const NodeLoad> candidates) override;
+  std::optional<TopologyDelta> propose(std::span<const NodeLoad>,
+                                       const ReconfigOptions&) override {
+    return std::nullopt;
+  }
+
+ private:
+  std::vector<NodeId> targets_;
+  std::size_t next_ = 0;
+};
+
+/// Knobs for the reconfiguration subsystem, carried on NetworkOptions.
+struct ReconfigOptions {
+  /// Join-target selection; null = LoadBalancedPolicy.
+  std::shared_ptr<PlacementPolicy> policy;
+
+  /// Auto-rebalance gauge thresholds consulted by maybe_rebalance(): an
+  /// interior whose live fan-in (or executor queue depth) reaches the
+  /// threshold is proposed for a split.  0 disables that gauge.
+  std::uint64_t split_fan_in = 0;
+  std::uint64_t split_queue_depth = 0;
+
+  /// Minimum spacing between maybe_rebalance()-initiated deltas.
+  int cooldown_ms = 1'000;
+
+  /// Per-operation deadline: a quiesce / rewire handshake that has not
+  /// acknowledged within this budget fails the operation.
+  int op_timeout_ms = 10'000;
+};
+
+}  // namespace tbon

@@ -84,6 +84,15 @@ void WaitForAllSync::child_failed(std::size_t child) {
   }
 }
 
+void WaitForAllSync::child_revived(std::size_t child) {
+  // The index already has a (now empty) queue; re-arming the alive flag is
+  // all it takes to wait for the re-populated subtree again.
+  if (child < alive_.size() && !alive_[child]) {
+    alive_[child] = true;
+    ++num_alive_;
+  }
+}
+
 // ---- TimeOutSync ------------------------------------------------------------
 
 TimeOutSync::TimeOutSync(const FilterContext& ctx)

@@ -27,6 +27,7 @@ class WaitForAllSync final : public SyncPolicy {
   std::size_t buffered() const override;
   void child_failed(std::size_t child) override;
   void child_added() override;
+  void child_revived(std::size_t child) override;
 
  private:
   bool wave_ready() const;

@@ -16,7 +16,9 @@ void TimeAlignedFilter::filter(std::span<const PacketPtr> in,
 
     const std::uint64_t bucket_id = packet->get_u64(0);
     const auto& values = packet->get_vf64(1);
-    Bucket& bucket = buckets_[bucket_id];
+    const auto [slot, inserted] = buckets_.try_emplace(bucket_id);
+    Bucket& bucket = slot->second;
+    if (inserted) bucket.expected = expected_children_;
     if (bucket.sums.empty()) {
       bucket.sums = values;
     } else {
@@ -32,9 +34,11 @@ void TimeAlignedFilter::filter(std::span<const PacketPtr> in,
 }
 
 void TimeAlignedFilter::emit_complete(std::vector<PacketPtr>& out) {
-  // Emit every bucket that is now complete, in bucket order.
+  // Emit every bucket that is now complete, in bucket order.  Completion is
+  // judged against the bucket's own expectation (membership at creation),
+  // not the current one: a child that joined later never saw this bucket.
   for (auto it = buckets_.begin(); it != buckets_.end();) {
-    if (it->second.contributions >= expected_children_) {
+    if (it->second.contributions >= it->second.expected) {
       emit(it->first, it->second, out);
       it = buckets_.erase(it);
     } else {
@@ -47,12 +51,19 @@ void TimeAlignedFilter::membership_changed(const MembershipChange& change,
                                              std::vector<PacketPtr>& out,
                                              FilterContext&) {
   expected_children_ = change.num_children;
-  // A shrink may have completed buckets the dead child never reached.  (On
-  // growth nothing is emitted; future buckets simply expect more
-  // contributions.  Buckets already partially filled before the newcomer
-  // joined will wait for it too — its replayed stream sees all buckets the
-  // adopted subtree still produces, so the accounting stays consistent.)
-  if (!change.added && expected_children_ > 0) emit_complete(out);
+  if (change.added) {
+    // Growth affects only buckets opened from now on; in-flight buckets keep
+    // their snapshotted expectation (the newcomer's replayed stream starts
+    // at the next bucket it samples, not at buckets already in flight).
+    return;
+  }
+  // Shrink: the departed child contributes nothing further, so pending
+  // buckets can expect at most the surviving membership.  Emit whatever that
+  // just completed instead of letting it hang.
+  for (auto& [bucket_id, bucket] : buckets_) {
+    bucket.expected = std::min(bucket.expected, expected_children_);
+  }
+  if (expected_children_ > 0) emit_complete(out);
 }
 
 void TimeAlignedFilter::flush(std::vector<PacketPtr>& out, FilterContext&) {

@@ -33,20 +33,25 @@ class TimeAlignedFilter final : public TransformFilter {
                  FilterContext& ctx) override;
   void flush(std::vector<PacketPtr>& out, FilterContext& ctx) override;
 
-  /// Re-baseline on failure/re-adoption: a dead child will never contribute
-  /// to pending buckets, so the expected count shrinks and any bucket the
-  /// change just completed is emitted immediately instead of hanging.
+  /// Re-baseline on membership change.  Shrink (failure or planned detach):
+  /// the departed child will never contribute to pending buckets, so their
+  /// expectation is capped and any bucket the change just completed is
+  /// emitted instead of hanging.  Growth (planned attach): only buckets
+  /// opened *after* the join expect the newcomer — in-flight buckets keep
+  /// the expectation snapshotted at creation, so a join mid-wave cannot
+  /// stall them waiting for a contributor that never saw their bucket.
   void membership_changed(const MembershipChange& change,
                             std::vector<PacketPtr>& out,
                             FilterContext& ctx) override;
 
  private:
-  /// Emit and erase every bucket with >= expected_children_ contributions.
+  /// Emit and erase every bucket with >= its own expected contributions.
   void emit_complete(std::vector<PacketPtr>& out);
 
   struct Bucket {
     std::vector<double> sums;
     std::size_t contributions = 0;
+    std::size_t expected = 0;  ///< membership when the bucket opened
   };
 
   void emit(std::uint64_t bucket_id, const Bucket& bucket, std::vector<PacketPtr>& out);

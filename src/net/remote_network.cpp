@@ -837,6 +837,7 @@ std::unique_ptr<Network> Network::create_remote_impl(const NetworkOptions& optio
   }
 
   self.front_end_ = std::unique_ptr<FrontEnd>(new FrontEnd(self));
+  self.next_dynamic_rank_ = static_cast<std::uint32_t>(topo.num_leaves());
   if (self.rendezvous_) {
     self.rendezvous_->start([&self](Fd connection, const OrphanHello& hello) {
       self.adopt_remote_orphan(std::move(connection), hello);

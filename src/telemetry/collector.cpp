@@ -73,6 +73,14 @@ void accumulate(NodeTelemetry& total, const NodeTelemetry& r) {
   total.topic_packets_pruned += r.topic_packets_pruned;
   total.tenant_sends_throttled += r.tenant_sends_throttled;
   total.tenant_packets_shed += r.tenant_packets_shed;
+  total.reconfig_ops += r.reconfig_ops;
+  total.reconfig_ops_failed += r.reconfig_ops_failed;
+  total.reconfig_joins += r.reconfig_joins;
+  total.reconfig_detaches += r.reconfig_detaches;
+  total.reconfig_moves += r.reconfig_moves;
+  total.reconfig_splits += r.reconfig_splits;
+  total.reconfig_merges += r.reconfig_merges;
+  total.fc_weighted_grants += r.fc_weighted_grants;
   for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
     total.filter_latency_hist[b] += r.filter_latency_hist[b];
   }
@@ -175,6 +183,14 @@ void json_record(std::ostringstream& out, const NodeTelemetry& r) {
       << ",\"topic_packets_pruned\":" << r.topic_packets_pruned
       << ",\"tenant_sends_throttled\":" << r.tenant_sends_throttled
       << ",\"tenant_packets_shed\":" << r.tenant_packets_shed
+      << ",\"reconfig_ops\":" << r.reconfig_ops
+      << ",\"reconfig_ops_failed\":" << r.reconfig_ops_failed
+      << ",\"reconfig_joins\":" << r.reconfig_joins
+      << ",\"reconfig_detaches\":" << r.reconfig_detaches
+      << ",\"reconfig_moves\":" << r.reconfig_moves
+      << ",\"reconfig_splits\":" << r.reconfig_splits
+      << ",\"reconfig_merges\":" << r.reconfig_merges
+      << ",\"fc_weighted_grants\":" << r.fc_weighted_grants
       << ",\"filter_latency_hist\":[";
   for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
     if (b != 0) out << ',';

@@ -14,7 +14,8 @@ namespace {
 // v5: small-packet batching counters + packets-per-flush histogram appended.
 // v6: multi-tenant counters (priority drain, topic pruning, tenant rollups)
 //     + variable-length per-tenant entries appended.
-constexpr std::uint8_t kWireVersion = 6;
+// v7: planned-reconfiguration counters + weighted-grant counter appended.
+constexpr std::uint8_t kWireVersion = 7;
 
 /// Upper bound on per-tenant entries in one record; a decoded count above
 /// this is malformed (a hostile count must not pre-reserve unbounded memory).
@@ -95,6 +96,14 @@ void put_record(BinaryWriter& writer, const NodeTelemetry& r) {
     writer.put(t.sends_throttled);
     writer.put(t.packets_shed);
   }
+  writer.put(r.reconfig_ops);
+  writer.put(r.reconfig_ops_failed);
+  writer.put(r.reconfig_joins);
+  writer.put(r.reconfig_detaches);
+  writer.put(r.reconfig_moves);
+  writer.put(r.reconfig_splits);
+  writer.put(r.reconfig_merges);
+  writer.put(r.fc_weighted_grants);
 }
 
 NodeTelemetry get_record(BinaryReader& reader) {
@@ -183,6 +192,14 @@ NodeTelemetry get_record(BinaryReader& reader) {
     t.packets_shed = reader.get<std::uint64_t>();
     r.tenants.push_back(std::move(t));
   }
+  r.reconfig_ops = reader.get<std::uint64_t>();
+  r.reconfig_ops_failed = reader.get<std::uint64_t>();
+  r.reconfig_joins = reader.get<std::uint64_t>();
+  r.reconfig_detaches = reader.get<std::uint64_t>();
+  r.reconfig_moves = reader.get<std::uint64_t>();
+  r.reconfig_splits = reader.get<std::uint64_t>();
+  r.reconfig_merges = reader.get<std::uint64_t>();
+  r.fc_weighted_grants = reader.get<std::uint64_t>();
   return r;
 }
 

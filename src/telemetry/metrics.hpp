@@ -117,6 +117,16 @@ struct NodeTelemetry {
   std::uint64_t tenant_sends_throttled = 0; ///< sum over tenants (convenience rollup)
   std::uint64_t tenant_packets_shed = 0;    ///< sum over tenants (convenience rollup)
 
+  // Planned reconfiguration (src/core/reconfig.hpp; wire v7).
+  std::uint64_t reconfig_ops = 0;         ///< reconfigure() operations applied (root)
+  std::uint64_t reconfig_ops_failed = 0;  ///< operations rejected/failed/timed out (root)
+  std::uint64_t reconfig_joins = 0;       ///< planned back-end joins wired (root)
+  std::uint64_t reconfig_detaches = 0;    ///< planned departures applied at this parent
+  std::uint64_t reconfig_moves = 0;       ///< times this node was re-homed (planned)
+  std::uint64_t reconfig_splits = 0;      ///< interior splits applied (root)
+  std::uint64_t reconfig_merges = 0;      ///< interior merges applied (root)
+  std::uint64_t fc_weighted_grants = 0;   ///< grants paced by tenant credit share
+
   // Gauges (sampled at publish time).
   std::uint64_t inbox_depth = 0;  ///< envelopes queued in the node's inbox
   std::uint64_t sync_depth = 0;   ///< packets buffered across sync policies
@@ -218,6 +228,15 @@ class MetricsRegistry {
   Counter prio_drained_bulk{0};
   Counter topic_packets_pruned{0};
 
+  Counter reconfig_ops{0};
+  Counter reconfig_ops_failed{0};
+  Counter reconfig_joins{0};
+  Counter reconfig_detaches{0};
+  Counter reconfig_moves{0};
+  Counter reconfig_splits{0};
+  Counter reconfig_merges{0};
+  Counter fc_weighted_grants{0};
+
   Counter inbox_depth{0};  ///< gauge, refreshed each telemetry tick
   Counter sync_depth{0};   ///< gauge, refreshed each telemetry tick
   Counter fc_inflight_peak{0};  ///< gauge, monotonic max (update_max)
@@ -307,6 +326,14 @@ class MetricsRegistry {
     r.prio_drained_normal = prio_drained_normal.load(std::memory_order_relaxed);
     r.prio_drained_bulk = prio_drained_bulk.load(std::memory_order_relaxed);
     r.topic_packets_pruned = topic_packets_pruned.load(std::memory_order_relaxed);
+    r.reconfig_ops = reconfig_ops.load(std::memory_order_relaxed);
+    r.reconfig_ops_failed = reconfig_ops_failed.load(std::memory_order_relaxed);
+    r.reconfig_joins = reconfig_joins.load(std::memory_order_relaxed);
+    r.reconfig_detaches = reconfig_detaches.load(std::memory_order_relaxed);
+    r.reconfig_moves = reconfig_moves.load(std::memory_order_relaxed);
+    r.reconfig_splits = reconfig_splits.load(std::memory_order_relaxed);
+    r.reconfig_merges = reconfig_merges.load(std::memory_order_relaxed);
+    r.fc_weighted_grants = fc_weighted_grants.load(std::memory_order_relaxed);
     r.inbox_depth = inbox_depth.load(std::memory_order_relaxed);
     r.sync_depth = sync_depth.load(std::memory_order_relaxed);
     r.fc_inflight_peak = fc_inflight_peak.load(std::memory_order_relaxed);

@@ -295,6 +295,28 @@ TEST(CompatApi, FilterBatchForwardsToLegacyTransform) {
   }
 }
 
+TEST(CompatApi, AttachBackendForwardsToReconfigure) {
+  // Deprecated Network::attach_backend must stay byte-for-byte compatible
+  // with 0.x: same handle semantics, same rank assignment, same throw on a
+  // bad parent — while forwarding through the reconfiguration engine (the
+  // supported spelling is FrontEnd::reconfigure(TopologyDelta().add_leaf())).
+  auto net = Network::create({.topology = Topology::flat(2)});
+  Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
+  BackEnd& late = net->attach_backend(net->topology().root());
+  EXPECT_EQ(late.rank(), 2u);
+  EXPECT_EQ(net->num_backends(), 3u);
+  EXPECT_THROW(net->attach_backend(1), ProtocolError);   // a leaf
+  EXPECT_THROW(net->attach_backend(99), ProtocolError);  // out of range
+
+  net->backend(0).send(stream.id(), kTag, "i64", {std::int64_t{1}});
+  net->backend(1).send(stream.id(), kTag, "i64", {std::int64_t{2}});
+  late.send(stream.id(), kTag, "i64", {std::int64_t{4}});
+  const auto result = stream.recv_for(10s);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ((*result)->get_i64(0), 7);
+  net->shutdown();
+}
+
 TEST(CompatApi, FilterParamsParsesLegacyWireStrings) {
   const FilterParams parsed("k=2 chain=topk,passthrough");
   EXPECT_EQ(parsed, FilterParams().set("chain", "topk,passthrough").set("k", 2));

@@ -1,9 +1,13 @@
 // Tests for dynamic back-end attach (paper §2.2: "MRNet also supports a
 // more dynamic topology model in which ... back-end processes may join
 // after the internal tree has been instantiated").
+//
+// Joins go through the typed reconfiguration API; the deprecated
+// Network::attach_backend spelling is pinned in test_compat_api.cpp.
 #include <gtest/gtest.h>
 
 #include "core/network.hpp"
+#include "core/reconfig.hpp"
 
 namespace tbon {
 namespace {
@@ -11,11 +15,20 @@ namespace {
 using namespace std::chrono_literals;
 constexpr std::int32_t kTag = kFirstAppTag;
 
+/// Join one back-end under `parent` via FrontEnd::reconfigure and return its
+/// handle (the migrated spelling of the deprecated Network::attach_backend).
+BackEnd& add_leaf(Network& net, NodeId parent) {
+  const ReconfigResult result =
+      net.front_end().reconfigure(TopologyDelta().add_leaf(parent));
+  if (!result.ok()) throw ProtocolError(result.ops().front().message);
+  return net.backend(result.ops().front().new_rank);
+}
+
 TEST(DynamicAttach, NewBackendJoinsExistingStream) {
   auto net = Network::create({.topology = Topology::flat(2)});
   Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
 
-  BackEnd& late = net->attach_backend(net->topology().root());
+  BackEnd& late = add_leaf(*net, net->topology().root());
   EXPECT_EQ(late.rank(), 2u);
   EXPECT_EQ(net->num_backends(), 3u);
 
@@ -32,7 +45,7 @@ TEST(DynamicAttach, NewBackendJoinsExistingStream) {
 
 TEST(DynamicAttach, StreamsCreatedAfterAttachIncludeNewcomer) {
   auto net = Network::create({.topology = Topology::flat(2)});
-  BackEnd& late = net->attach_backend(net->topology().root());
+  BackEnd& late = add_leaf(*net, net->topology().root());
 
   Stream& stream = net->front_end().open_stream({.up_transform = "count"});
   net->backend(0).send(stream.id(), kTag, "i64", {std::int64_t{0}});
@@ -46,7 +59,7 @@ TEST(DynamicAttach, StreamsCreatedAfterAttachIncludeNewcomer) {
 
 TEST(DynamicAttach, BroadcastReachesNewcomer) {
   auto net = Network::create({.topology = Topology::flat(2)});
-  BackEnd& late = net->attach_backend(net->topology().root());
+  BackEnd& late = add_leaf(*net, net->topology().root());
   Stream& stream = net->front_end().open_stream({});
   // Give the attach a moment to be wired before the downstream multicast.
   // (The attach marker and the stream announcement both flow through the
@@ -60,7 +73,7 @@ TEST(DynamicAttach, BroadcastReachesNewcomer) {
 
 TEST(DynamicAttach, AttachUnderInternalNode) {
   auto net = Network::create({.topology = Topology::balanced(2, 2)});  // nodes 1,2 internal
-  BackEnd& late = net->attach_backend(1);
+  BackEnd& late = add_leaf(*net, 1);
   Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
   net->run_backends([&](BackEnd& be) {
     be.send(stream.id(), kTag, "i64", {std::int64_t{1}});
@@ -74,7 +87,7 @@ TEST(DynamicAttach, AttachUnderInternalNode) {
 
 TEST(DynamicAttach, PeerRoutingReachesNewcomer) {
   auto net = Network::create({.topology = Topology::balanced(2, 2)});
-  BackEnd& late = net->attach_backend(2);  // under the second internal node
+  BackEnd& late = add_leaf(*net, 2);  // under the second internal node
   net->backend(0).send_to(late.rank(), kTag, "str", {std::string("welcome")});
   const auto message = late.recv_peer_for(5s);
   ASSERT_TRUE(message.has_value());
@@ -91,9 +104,9 @@ TEST(DynamicAttach, PeerRoutingReachesNewcomer) {
 
 TEST(DynamicAttach, MultipleAttachesGetDistinctRanks) {
   auto net = Network::create({.topology = Topology::flat(2)});
-  BackEnd& a = net->attach_backend(0);
-  BackEnd& b = net->attach_backend(0);
-  BackEnd& c = net->attach_backend(0);
+  BackEnd& a = add_leaf(*net, 0);
+  BackEnd& b = add_leaf(*net, 0);
+  BackEnd& c = add_leaf(*net, 0);
   EXPECT_EQ(a.rank(), 2u);
   EXPECT_EQ(b.rank(), 3u);
   EXPECT_EQ(c.rank(), 4u);
@@ -114,7 +127,7 @@ TEST(DynamicAttach, ExplicitEndpointStreamsExcludeNewcomer) {
   auto net = Network::create({.topology = Topology::flat(2)});
   Stream& subset = net->front_end().open_stream(
       {.endpoints = {0, 1}, .up_transform = "sum"});
-  BackEnd& late = net->attach_backend(net->topology().root());
+  BackEnd& late = add_leaf(*net, net->topology().root());
   (void)late;
   net->backend(0).send(subset.id(), kTag, "i64", {std::int64_t{1}});
   net->backend(1).send(subset.id(), kTag, "i64", {std::int64_t{2}});
@@ -127,8 +140,8 @@ TEST(DynamicAttach, ExplicitEndpointStreamsExcludeNewcomer) {
 
 TEST(DynamicAttach, RejectsBadParents) {
   auto net = Network::create({.topology = Topology::flat(2)});
-  EXPECT_THROW(net->attach_backend(1), ProtocolError);   // a leaf
-  EXPECT_THROW(net->attach_backend(99), ProtocolError);  // out of range
+  EXPECT_THROW(add_leaf(*net, 1), ProtocolError);   // a leaf
+  EXPECT_THROW(add_leaf(*net, 99), ProtocolError);  // out of range
   net->shutdown();
 }
 
@@ -141,7 +154,7 @@ TEST(DynamicAttach, RecoveryPattern) {
   Stream& stream = net->front_end().open_stream({.up_transform = "sum"});
 
   net->kill_node(1);  // orphans ranks 0 and 1
-  BackEnd& replacement = net->attach_backend(net->topology().root());
+  BackEnd& replacement = add_leaf(*net, net->topology().root());
 
   net->backend(2).send(stream.id(), kTag, "i64", {std::int64_t{10}});
   net->backend(3).send(stream.id(), kTag, "i64", {std::int64_t{20}});
@@ -155,7 +168,7 @@ TEST(DynamicAttach, RecoveryPattern) {
 
 TEST(DynamicAttach, ShutdownWaitsForNewcomers) {
   auto net = Network::create({.topology = Topology::flat(2)});
-  for (int i = 0; i < 3; ++i) net->attach_backend(net->topology().root());
+  for (int i = 0; i < 3; ++i) add_leaf(*net, net->topology().root());
   net->shutdown();  // must not hang or double-count acks
 }
 
